@@ -1,0 +1,17 @@
+(* The benchmark / experiment harness.
+
+   `dune exec bench/main.exe` reproduces every table and figure of the
+   paper's evaluation section (with our measured values next to the
+   paper's), runs the ablation studies indexed in DESIGN.md, and
+   finishes with bechamel microbenchmarks of the algorithmic kernels.
+
+   Pass `--no-micro` to skip the microbenchmarks, `--only-micro` to run
+   only them. *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro = not (List.mem "--no-micro" args) in
+  let experiments = not (List.mem "--only-micro" args) in
+  if experiments then Experiments.run_all ();
+  if micro then Microbench.run ();
+  print_newline ()

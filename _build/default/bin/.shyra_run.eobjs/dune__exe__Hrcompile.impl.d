@@ -1,0 +1,1 @@
+bin/hrcompile.ml: Arg Cmd Cmdliner Format Fun Hr_core Hr_shyra List Option Printf String Term

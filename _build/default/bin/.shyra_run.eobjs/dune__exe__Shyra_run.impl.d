@@ -1,0 +1,1 @@
+bin/shyra_run.ml: Arg Cmd Cmdliner Format Hr_core Hr_shyra Hr_util List Option Printf Term Trace Trace_io

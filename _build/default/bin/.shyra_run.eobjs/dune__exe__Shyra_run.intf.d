@@ -1,0 +1,1 @@
+bin/shyra_run.mli:

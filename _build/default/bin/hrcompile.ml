@@ -1,0 +1,71 @@
+(* CLI: compile boolean expressions to SHyRA programs.
+
+   Example:
+     dune exec bin/hrcompile.exe -- '(a ^ b) & !(c | d)' --stats
+     dune exec bin/hrcompile.exe -- 'a & b' --emit out.shyra *)
+
+open Cmdliner
+module Shyra = Hr_shyra
+
+let run source stats emit trace_out =
+  match Shyra.Expr_parse.parse source with
+  | Error e ->
+      prerr_endline ("parse error: " ^ e);
+      1
+  | Ok expr ->
+      let simplified = Shyra.Expr.simplify expr in
+      let compiled = Shyra.Expr.compile expr in
+      Printf.printf "expression: %s\n" (Shyra.Expr_parse.print expr);
+      if simplified <> expr then
+        Printf.printf "simplified: %s\n" (Shyra.Expr_parse.print simplified);
+      Printf.printf "inputs:     %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (n, r) -> Printf.sprintf "%s->r%d" n r)
+              compiled.Shyra.Expr.input_regs));
+      Printf.printf "result:     r%d\n" compiled.Shyra.Expr.result;
+      Printf.printf "LUT ops:    %d in %d cycles\n" compiled.Shyra.Expr.ops
+        (Shyra.Program.length compiled.Shyra.Expr.program);
+      if stats then begin
+        let trace = Shyra.Tracer.trace compiled.Shyra.Expr.program in
+        Format.printf "trace:      %a@." Hr_core.Trace_stats.pp
+          (Hr_core.Trace_stats.analyze trace)
+      end;
+      Option.iter
+        (fun path ->
+          Hr_core.Trace_io.save path (Shyra.Tracer.trace compiled.Shyra.Expr.program);
+          Printf.printf "trace written to %s\n" path)
+        trace_out;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              List.iteri
+                (fun i step ->
+                  output_string oc
+                    (Printf.sprintf "# cycle %d (%s)\n" i step.Shyra.Program.label);
+                  output_string oc
+                    (Format.asprintf "# %a\n" Shyra.Config.pp step.Shyra.Program.cfg))
+                (Shyra.Program.steps compiled.Shyra.Expr.program));
+          Printf.printf "configuration listing written to %s\n" path)
+        emit;
+      0
+
+let source =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Boolean expression.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print trace statistics.")
+
+let emit =
+  Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FILE" ~doc:"Write a configuration listing.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc:"Write the requirement trace.")
+
+let cmd =
+  let doc = "compile boolean expressions to SHyRA programs" in
+  Cmd.v (Cmd.info "hrcompile" ~doc) Term.(const run $ source $ stats $ emit $ trace_out)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,166 @@
+(* CLI: optimize (hyper)reconfiguration plans for a workload.
+
+   Workloads: the SHyRA counter trace (the paper's experiment) or
+   synthetic multi-task phased workloads.  Optimizers: the greedy
+   portfolio, hill climbing, simulated annealing, the genetic
+   algorithm, and (when the instance is small enough) the exact DP. *)
+
+open Cmdliner
+open Hr_core
+module Rng = Hr_util.Rng
+module Shyra = Hr_shyra
+module W = Hr_workload
+
+let counter_oracle mode split =
+  let run = Shyra.Counter.build ~init:0 ~bound:10 () in
+  let trace = Shyra.Tracer.trace ~mode run.Shyra.Counter.program in
+  let parts =
+    if split = "single" then Shyra.Tasks.single_task else Shyra.Tasks.four_tasks
+  in
+  (Shyra.Tasks.oracle trace parts, Shyra.Tasks.split trace parts)
+
+let synthetic_oracle seed m n correlated =
+  let sizes = Array.init m (fun j -> if j = m - 1 then 24 else 8) in
+  let spec = { W.Multi_gen.default_spec with W.Multi_gen.m; n; local_sizes = sizes } in
+  let gen = if correlated then W.Multi_gen.correlated else W.Multi_gen.independent in
+  let ts = gen (Rng.create seed) spec in
+  (Interval_cost.of_task_set ts, ts)
+
+let file_oracle path =
+  let trace = Trace_io.load path in
+  let ts = Task_set.single ~name:"trace" trace in
+  (Interval_cost.of_task_set ts, ts)
+
+let run workload mode split seed m n correlated method_ seed_opt show_figures
+    trace_file plan_file =
+  let tracer_mode =
+    match mode with
+    | "diff" -> Shyra.Tracer.Diff
+    | "inuse" -> Shyra.Tracer.In_use
+    | _ -> Shyra.Tracer.Field_diff
+  in
+  let oracle, ts =
+    match workload with
+    | "counter" -> counter_oracle tracer_mode split
+    | "synthetic" -> synthetic_oracle seed m n correlated
+    | "file" -> (
+        match trace_file with
+        | Some path -> file_oracle path
+        | None -> failwith "workload 'file' needs --trace-file")
+    | s -> failwith (Printf.sprintf "unknown workload %S (counter|synthetic|file)" s)
+  in
+  let rng = Rng.create seed_opt in
+  let result_rows =
+    match method_ with
+    | "portfolio" ->
+        List.map
+          (fun e -> (e.Mt_greedy.name, e.Mt_greedy.cost, Some e.Mt_greedy.bp))
+          (Mt_greedy.portfolio oracle)
+    | "local" ->
+        let r = Mt_local.solve oracle in
+        [ ("hill-climbing", r.Mt_local.cost, Some r.Mt_local.bp) ]
+    | "anneal" ->
+        let r = Mt_anneal.solve ~rng oracle in
+        [ ("annealing", r.Mt_anneal.cost, Some r.Mt_anneal.bp) ]
+    | "ga" ->
+        let r = Mt_ga.solve ~rng oracle in
+        [ ("genetic-algorithm", r.Mt_ga.cost, Some r.Mt_ga.bp) ]
+    | "exact" ->
+        let ub = (Mt_greedy.best oracle).Mt_greedy.cost in
+        let r = Mt_dp.solve ~upper_bound:ub oracle in
+        [ ((if r.Mt_dp.exact then "exact-dp" else "beam-dp"), r.Mt_dp.cost, Some r.Mt_dp.bp) ]
+    | "eval" -> (
+        match plan_file with
+        | None -> failwith "method 'eval' needs --plan-file"
+        | Some path -> (
+            let bp = Plan_io.load path in
+            match Machine_vm.execute_breakpoints ts bp with
+            | Ok vm_run ->
+                [ ("saved plan (referee VM)", vm_run.Machine_vm.total_time, Some bp) ]
+            | Error e -> failwith ("invalid plan: " ^ e)))
+    | s ->
+        failwith
+          (Printf.sprintf "unknown method %S (portfolio|local|anneal|ga|exact|eval)" s)
+  in
+  Option.iter
+    (fun path ->
+      match result_rows with
+      | (_, _, Some bp) :: _ when method_ <> "eval" ->
+          Plan_io.save path bp;
+          Printf.printf "plan written to %s\n" path
+      | _ -> ())
+    (if method_ = "eval" then None else plan_file);
+  let disabled =
+    Sync_cost.disabled_cost ~n:oracle.Interval_cost.n
+      ~machine_width:(Task_set.total_local_switches ts) ()
+  in
+  Printf.printf "instance: m=%d n=%d, disabled-baseline cost %d\n"
+    oracle.Interval_cost.m oracle.Interval_cost.n disabled;
+  Hr_util.Tablefmt.print ~header:[ "method"; "cost"; "% of disabled" ]
+    (List.map
+       (fun (name, cost, _) ->
+         [
+           name;
+           string_of_int cost;
+           Printf.sprintf "%.1f" (100. *. float_of_int cost /. float_of_int disabled);
+         ])
+       result_rows);
+  (if show_figures then
+     match result_rows with
+     | (_, _, Some bp) :: _ ->
+         print_newline ();
+         print_string (Hr_viz.Figures.fig2 ts bp);
+         print_newline ();
+         print_string (Hr_viz.Figures.fig3 ts bp)
+     | _ -> ());
+  0
+
+let workload =
+  Arg.(value & pos 0 string "counter" & info [] ~docv:"WORKLOAD" ~doc:"counter or synthetic.")
+
+let mode =
+  Arg.(value & opt string "field" & info [ "mode" ] ~doc:"Counter trace mode: diff, field, inuse.")
+
+let split =
+  Arg.(value & opt string "four" & info [ "split" ] ~doc:"Counter task split: single or four.")
+
+let seed = Arg.(value & opt int 1 & info [ "workload-seed" ] ~doc:"Synthetic workload seed.")
+
+let m = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Synthetic task count.")
+
+let n = Arg.(value & opt int 96 & info [ "n" ] ~doc:"Synthetic step count.")
+
+let correlated =
+  Arg.(value & flag & info [ "correlated" ] ~doc:"Correlate phase boundaries across tasks.")
+
+let method_ =
+  Arg.(value & opt string "portfolio" & info [ "method" ] ~doc:"portfolio, local, anneal, ga or exact.")
+
+let seed_opt = Arg.(value & opt int 2004 & info [ "seed" ] ~doc:"Optimizer RNG seed.")
+
+let show_figures =
+  Arg.(value & flag & info [ "figures" ] ~doc:"Render Fig.2/Fig.3-style views of the best plan.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-file" ] ~docv:"FILE" ~doc:"Trace file for the 'file' workload.")
+
+let plan_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-file" ] ~docv:"FILE"
+        ~doc:
+          "With --method eval: load and referee-evaluate this plan.  With other \
+           methods: write the best plan here.")
+
+let cmd =
+  let doc = "optimize (hyper)reconfiguration plans" in
+  Cmd.v (Cmd.info "hropt" ~doc)
+    Term.(
+      const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
+      $ seed_opt $ show_figures $ trace_file $ plan_file)
+
+let () = exit (Cmd.eval' cmd)

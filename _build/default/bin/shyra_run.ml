@@ -1,0 +1,133 @@
+(* CLI: run a SHyRA application, optionally dump its configuration
+   sequence and its context-requirement trace. *)
+
+open Cmdliner
+open Hr_core
+module Shyra = Hr_shyra
+
+let mode_of_string = function
+  | "diff" -> Ok Shyra.Tracer.Diff
+  | "field" -> Ok Shyra.Tracer.Field_diff
+  | "inuse" -> Ok Shyra.Tracer.In_use
+  | s -> Error (Printf.sprintf "unknown trace mode %S (diff|field|inuse)" s)
+
+let build_app name arg1 arg2 =
+  match name with
+  | "counter" ->
+      let run = Shyra.Counter.build ~init:arg1 ~bound:arg2 () in
+      Ok
+        ( run.Shyra.Counter.program,
+          Printf.sprintf "counter %d -> %d: %d increments, final value %d" arg1 arg2
+            run.Shyra.Counter.iterations
+            (Shyra.Machine.read_nibble run.Shyra.Counter.final 0) )
+  | "adder" ->
+      let sum, carry = Shyra.Serial_adder.run ~a:arg1 ~b:arg2 in
+      Ok
+        ( Shyra.Serial_adder.build (),
+          Printf.sprintf "adder: %d + %d = %d (carry %b)" arg1 arg2 sum carry )
+  | "lfsr" ->
+      let steps = max 1 arg2 in
+      Ok
+        ( Shyra.Lfsr.build ~steps,
+          Printf.sprintf "lfsr: seed %d, %d steps -> %d" arg1 steps
+            (Shyra.Lfsr.run ~seed:arg1 ~steps) )
+  | "parity" ->
+      Ok
+        ( Shyra.Parity.build (),
+          Printf.sprintf "parity of %d = %b" arg1 (Shyra.Parity.run arg1) )
+  | "gray" ->
+      Ok
+        ( Shyra.Gray.build (),
+          Printf.sprintf "gray(%d) = %d" arg1 (Shyra.Gray.run arg1) )
+  | "rule90" ->
+      let steps = max 1 arg2 in
+      Ok
+        ( Shyra.Rule90.build ~steps,
+          Printf.sprintf "rule90: cells %#x, %d steps -> %#x" arg1 steps
+            (Shyra.Rule90.run ~cells:arg1 ~steps) )
+  | s ->
+      Error (Printf.sprintf "unknown app %S (counter|adder|lfsr|parity|gray|rule90)" s)
+
+let build_from_file path =
+  match Shyra.Asm_text.load path with
+  | Error e -> Error e
+  | Ok instrs ->
+      let program = Shyra.Asm.assemble instrs in
+      let final = Shyra.Program.run program (Shyra.Machine.create ()) in
+      Ok
+        ( program,
+          Format.asprintf "program %s: final state %a" path Shyra.Machine.pp final )
+
+let run app arg1 arg2 mode show_configs show_trace dump asm_file =
+  match
+    ( (match asm_file with
+      | Some path -> build_from_file path
+      | None -> build_app app arg1 arg2),
+      mode_of_string mode )
+  with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok (program, summary), Ok mode ->
+      print_endline summary;
+      Printf.printf "program: %d reconfiguration steps\n" (Shyra.Program.length program);
+      Option.iter
+        (fun path ->
+          Trace_io.save path (Shyra.Tracer.trace ~mode program);
+          Printf.printf "trace written to %s\n" path)
+        dump;
+      if show_configs then
+        List.iteri
+          (fun i step ->
+            Format.printf "%3d %-8s %a@." i step.Shyra.Program.label Shyra.Config.pp
+              step.Shyra.Program.cfg)
+          (Shyra.Program.steps program);
+      if show_trace then begin
+        let trace = Shyra.Tracer.trace ~mode program in
+        let sizes = Trace.sizes trace in
+        Format.printf "trace (%d steps, requirement sizes %a):@." (Trace.length trace)
+          Hr_util.Stats.pp_summary
+          (Hr_util.Stats.summarize (Hr_util.Stats.of_ints sizes));
+        Format.printf "%a" Trace.pp trace
+      end;
+      0
+
+let app_arg =
+  Arg.(value & pos 0 string "counter" & info [] ~docv:"APP" ~doc:"Application to run.")
+
+let arg1 =
+  Arg.(value & opt int 0 & info [ "a"; "init" ] ~docv:"N" ~doc:"First operand / initial value / seed.")
+
+let arg2 =
+  Arg.(value & opt int 10 & info [ "b"; "bound" ] ~docv:"N" ~doc:"Second operand / bound / steps.")
+
+let mode =
+  Arg.(value & opt string "field" & info [ "mode" ] ~docv:"MODE" ~doc:"Trace mode: diff, field or inuse.")
+
+let show_configs =
+  Arg.(value & flag & info [ "configs" ] ~doc:"Print every configuration.")
+
+let show_trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the context-requirement trace.")
+
+let dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (Trace_io format).")
+
+let asm_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "asm" ] ~docv:"FILE" ~doc:"Run a textual assembly program instead of a built-in app.")
+
+let cmd =
+  let doc = "run applications on the simulated SHyRA architecture" in
+  Cmd.v
+    (Cmd.info "shyra_run" ~doc)
+    Term.(
+      const run $ app_arg $ arg1 $ arg2 $ mode $ show_configs $ show_trace $ dump
+      $ asm_file)
+
+let () = exit (Cmd.eval' cmd)

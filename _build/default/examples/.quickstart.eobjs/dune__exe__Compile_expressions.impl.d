@@ -1,0 +1,1 @@
+examples/compile_expressions.ml: Expr Hr_core Hr_shyra Hr_util List Printf Program St_opt Sync_cost Trace Tracer

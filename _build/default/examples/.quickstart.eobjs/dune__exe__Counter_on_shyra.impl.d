@@ -1,0 +1,1 @@
+examples/counter_on_shyra.ml: Breakpoints Hr_core Hr_shyra Hr_util Hr_viz List Mt_ga Printf St_opt Sync_cost Trace

@@ -1,0 +1,1 @@
+examples/dag_machine.ml: Array Dag_model Hr_core Hr_util List Printf St_dag_opt String

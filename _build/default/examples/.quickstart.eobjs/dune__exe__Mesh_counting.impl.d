@@ -1,0 +1,1 @@
+examples/mesh_counting.ml: Algos Format Grid Hr_core Hr_rmesh Hr_util Interval_cost Mesh_tracer Mt_ga Printf St_opt Switch_space Sync_cost Task_split Trace Trace_stats

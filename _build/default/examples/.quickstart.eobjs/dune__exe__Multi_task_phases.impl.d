@@ -1,0 +1,1 @@
+examples/multi_task_phases.ml: Hr_core Hr_util Hr_workload Interval_cost List Mt_anneal Mt_ga Mt_greedy Mt_local Printf

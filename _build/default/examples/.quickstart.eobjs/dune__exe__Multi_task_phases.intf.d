@@ -1,0 +1,1 @@
+examples/multi_task_phases.mli:

@@ -1,0 +1,1 @@
+examples/online_policies.ml: Hr_core Hr_util Hr_workload List Online Printf St_opt Switch_space

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hr_core Hypercontext List Printf St_opt String Switch_space Trace

@@ -1,0 +1,38 @@
+(* Online hyperreconfiguration under data-dependent demand.
+
+   The paper notes that runtime demand "might depend on the data and
+   cannot be determined exactly in advance" (§2).  Here a Markov chain
+   drives the workload's phases and four online policies plan without
+   seeing the future; the offline optimum (which does see it) is the
+   yardstick.  Stickier chains = longer phases = easier online life.
+
+   Run with: dune exec examples/online_policies.exe *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+module W = Hr_workload
+
+let () =
+  let space = Switch_space.make 32 in
+  let v = 32 in
+  List.iter
+    (fun self ->
+      let rng = Rng.create 9 in
+      let chain = W.Markov.make_chain rng ~space ~states:4 ~self in
+      let trace = W.Markov.generate rng chain ~space ~n:150 in
+      let offline, _ = St_opt.solve_trace ~v trace in
+      Printf.printf "\nself-transition %.2f (offline optimum %d)\n" self
+        offline.St_opt.cost;
+      Hr_util.Tablefmt.print
+        ~header:[ "policy"; "cost"; "switches"; "vs offline" ]
+        (List.map
+           (fun policy ->
+             let cost, switches = Online.run policy ~v trace in
+             [
+               policy.Online.name;
+               string_of_int cost;
+               string_of_int switches;
+               Printf.sprintf "%.2fx" (Online.competitive_ratio policy ~v trace);
+             ])
+           (Online.all ~v ~universe:32)))
+    [ 0.5; 0.9; 0.98 ]

@@ -1,0 +1,1 @@
+lib/core/bp_analysis.ml: Array Breakpoints Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/bp_analysis.mli: Breakpoints Format

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Breakpoints Interval_cost List St_opt Sync_cost

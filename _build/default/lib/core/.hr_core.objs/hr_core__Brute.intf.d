@@ -1,0 +1,1 @@
+lib/core/brute.mli: Breakpoints Interval_cost St_opt Sync_cost

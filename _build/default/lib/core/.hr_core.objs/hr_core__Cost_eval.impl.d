@@ -1,0 +1,1 @@
+lib/core/cost_eval.ml: Array Hypercontext List

@@ -1,0 +1,1 @@
+lib/core/dag_model.ml: Array Fun Hr_util Interval_cost List Printf

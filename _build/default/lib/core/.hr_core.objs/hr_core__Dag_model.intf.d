@@ -1,0 +1,1 @@
+lib/core/dag_model.mli: Hr_util Interval_cost

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Array Format General_opt Hr_util List Range_union Trace

@@ -1,0 +1,1 @@
+lib/core/general_opt.ml: Array Hr_util List Option Seq Switch_space Trace

@@ -1,0 +1,1 @@
+lib/core/general_opt.mli: Hr_util Trace

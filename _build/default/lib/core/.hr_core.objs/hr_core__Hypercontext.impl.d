@@ -1,0 +1,1 @@
+lib/core/hypercontext.ml: Hr_util List

@@ -1,0 +1,1 @@
+lib/core/hypercontext.mli: Hr_util

@@ -1,0 +1,1 @@
+lib/core/interval_cost.ml: Array Hashtbl Mutex Range_union Task_set

@@ -1,0 +1,1 @@
+lib/core/interval_cost.mli: Task_set Trace

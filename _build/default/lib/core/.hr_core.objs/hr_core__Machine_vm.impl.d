@@ -1,0 +1,1 @@
+lib/core/machine_vm.ml: Array Hr_util Hypercontext List Plan Printf Sync_cost Task_set Trace

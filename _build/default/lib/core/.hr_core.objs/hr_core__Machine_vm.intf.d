@@ -1,0 +1,1 @@
+lib/core/machine_vm.mli: Breakpoints Plan Sync_cost Task_set

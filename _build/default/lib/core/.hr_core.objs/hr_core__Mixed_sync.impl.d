@@ -1,0 +1,1 @@
+lib/core/mixed_sync.ml: Array Breakpoints Format Interval_cost List Sync Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mixed_sync.mli: Breakpoints Format Interval_cost Sync

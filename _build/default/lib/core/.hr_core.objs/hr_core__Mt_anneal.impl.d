@@ -1,0 +1,1 @@
+lib/core/mt_anneal.ml: Breakpoints Hr_evolve Interval_cost Mt_greedy Mt_moves Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_async.ml: Array Breakpoints Float Interval_cost List St_opt

@@ -1,0 +1,1 @@
+lib/core/mt_async.mli: Breakpoints Interval_cost St_opt

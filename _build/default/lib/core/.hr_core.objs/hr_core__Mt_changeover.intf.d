@@ -1,0 +1,1 @@
+lib/core/mt_changeover.mli: Breakpoints Hr_evolve Hr_util Plan Task_set

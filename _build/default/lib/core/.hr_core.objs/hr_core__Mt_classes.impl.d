@@ -1,0 +1,1 @@
+lib/core/mt_classes.ml: Array Breakpoints Interval_cost List Mt_ga Mt_local St_opt Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_classes.mli: Breakpoints Hr_util Interval_cost Sync_cost

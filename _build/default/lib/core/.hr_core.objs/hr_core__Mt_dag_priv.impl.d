@@ -1,0 +1,1 @@
+lib/core/mt_dag_priv.ml: Array Dag_model Interval_cost Printf

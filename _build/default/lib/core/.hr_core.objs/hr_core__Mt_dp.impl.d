@@ -1,0 +1,1 @@
+lib/core/mt_dp.ml: Array Breakpoints Fun Hashtbl Interval_cost List Option Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_dynamic.ml: Array Fun Hr_util List Mt_greedy Mt_local Printf Switch_space Task_split Trace

@@ -1,0 +1,1 @@
+lib/core/mt_dynamic.mli: Hr_util Interval_cost Trace

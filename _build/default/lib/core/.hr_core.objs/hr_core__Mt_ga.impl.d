@@ -1,0 +1,1 @@
+lib/core/mt_ga.ml: Breakpoints Hr_evolve Hr_util Interval_cost List Mt_greedy Mt_moves Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_ga.mli: Breakpoints Hr_evolve Hr_util Interval_cost Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_greedy.ml: Array Breakpoints Interval_cost List Printf St_opt Sync_cost

@@ -1,0 +1,1 @@
+lib/core/mt_greedy.mli: Breakpoints Interval_cost Sync_cost

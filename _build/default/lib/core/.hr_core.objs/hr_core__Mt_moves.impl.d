@@ -1,0 +1,1 @@
+lib/core/mt_moves.ml: Array Fun Hr_util Seq

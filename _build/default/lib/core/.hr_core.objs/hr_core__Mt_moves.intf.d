@@ -1,0 +1,1 @@
+lib/core/mt_moves.mli: Hr_util Seq

@@ -1,0 +1,1 @@
+lib/core/mt_priv.ml: Array Interval_cost List Mt_greedy Mt_local Printf Range_union Switch_space Trace

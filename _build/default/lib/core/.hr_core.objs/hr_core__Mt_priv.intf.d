@@ -1,0 +1,1 @@
+lib/core/mt_priv.mli: Breakpoints Interval_cost Trace

@@ -1,0 +1,1 @@
+lib/core/online.ml: Float Fun Hr_util Hypercontext Printf St_opt Trace

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Breakpoints Hr_util Hypercontext List Printf Sync_cost Task_set Trace

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Breakpoints Hypercontext Sync_cost Task_set

@@ -1,0 +1,1 @@
+lib/core/plan_io.ml: Array Breakpoints Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/range_union.ml: Array Hr_util Printf Trace

@@ -1,0 +1,1 @@
+lib/core/range_union.mli: Hr_util Trace

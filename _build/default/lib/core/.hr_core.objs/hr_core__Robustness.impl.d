@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Array Breakpoints Fun Hr_util Hypercontext List Option Plan Switch_space Task_set Trace

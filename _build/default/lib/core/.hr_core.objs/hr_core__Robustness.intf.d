@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Hr_util Plan Task_set Trace

@@ -1,0 +1,1 @@
+lib/core/split_search.ml: Array Hr_util List Mt_greedy Mt_local Printf Switch_space Task_split Trace

@@ -1,0 +1,1 @@
+lib/core/split_search.mli: Hr_util Interval_cost Trace

@@ -1,0 +1,1 @@
+lib/core/st_changeover.ml: Array Hr_util Hypercontext List Option Printf Switch_space Trace

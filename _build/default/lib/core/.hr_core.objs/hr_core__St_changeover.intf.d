@@ -1,0 +1,1 @@
+lib/core/st_changeover.mli: Hr_util Trace

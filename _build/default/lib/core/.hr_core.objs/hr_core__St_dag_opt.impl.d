@@ -1,0 +1,1 @@
+lib/core/st_dag_opt.ml: Array Dag_model List Printf St_opt

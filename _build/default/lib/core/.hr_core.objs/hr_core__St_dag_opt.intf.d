@@ -1,0 +1,1 @@
+lib/core/st_dag_opt.mli: Dag_model

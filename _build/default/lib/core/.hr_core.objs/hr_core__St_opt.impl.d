@@ -1,0 +1,1 @@
+lib/core/st_opt.ml: Array Interval_cost List Range_union Switch_space Trace

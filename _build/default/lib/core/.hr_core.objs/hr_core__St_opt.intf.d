@@ -1,0 +1,1 @@
+lib/core/st_opt.mli: Hypercontext Interval_cost Trace

@@ -1,0 +1,1 @@
+lib/core/switch_space.ml: Array Format Hashtbl Hr_util Printf

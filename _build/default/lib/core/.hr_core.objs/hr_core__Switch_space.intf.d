@@ -1,0 +1,1 @@
+lib/core/switch_space.mli: Format Hr_util

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Format List

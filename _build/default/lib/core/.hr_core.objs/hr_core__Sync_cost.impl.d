@@ -1,0 +1,1 @@
+lib/core/sync_cost.ml: Array Breakpoints Fun Interval_cost List Printf

@@ -1,0 +1,1 @@
+lib/core/sync_cost.mli: Breakpoints Interval_cost

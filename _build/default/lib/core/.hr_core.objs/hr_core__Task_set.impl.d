@@ -1,0 +1,1 @@
+lib/core/task_set.ml: Array Printf Switch_space Trace

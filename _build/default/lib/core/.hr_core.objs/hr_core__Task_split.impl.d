@@ -1,0 +1,1 @@
+lib/core/task_split.ml: Array Hashtbl Hr_util Interval_cost List Printf Switch_space Task_set Trace

@@ -1,0 +1,1 @@
+lib/core/task_split.mli: Hr_util Interval_cost Task_set Trace

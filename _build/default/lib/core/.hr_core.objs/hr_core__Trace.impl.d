@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Format Hr_util List Printf Switch_space

@@ -1,0 +1,1 @@
+lib/core/trace_io.ml: Array Buffer Fun Hr_util List Printf String Switch_space Trace

@@ -1,0 +1,1 @@
+lib/core/trace_stats.ml: Array Float Format Hr_util List Switch_space Trace

@@ -1,0 +1,1 @@
+lib/core/trace_stats.mli: Format Hr_util Trace

@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Array Hr_util Interval_cost Switch_space Task_set Trace

@@ -1,0 +1,1 @@
+lib/core/weighted.mli: Interval_cost Task_set Trace

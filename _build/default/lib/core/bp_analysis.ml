@@ -1,0 +1,46 @@
+type t = {
+  m : int;
+  n : int;
+  hyper_steps : int;
+  breaks_per_task : int array;
+  mean_block_len : float array;
+  alignment : float;
+  lockstep_columns : int;
+}
+
+let analyze bp =
+  let m = Breakpoints.m bp and n = Breakpoints.n bp in
+  let breaks_per_task = Array.init m (Breakpoints.break_count bp) in
+  let hyper_steps = List.length (Breakpoints.break_columns bp) in
+  let lockstep_columns =
+    List.length
+      (List.filter
+         (fun i ->
+           let rec all j = j >= m || (Breakpoints.is_break bp j i && all (j + 1)) in
+           all 0)
+         (Breakpoints.break_columns bp))
+  in
+  let mean_block_len =
+    Array.map (fun b -> float_of_int n /. float_of_int (max 1 b)) breaks_per_task
+  in
+  let total_breaks = Array.fold_left ( + ) 0 breaks_per_task in
+  {
+    m;
+    n;
+    hyper_steps;
+    breaks_per_task;
+    mean_block_len;
+    alignment =
+      (if hyper_steps = 0 then 1.
+       else float_of_int total_breaks /. float_of_int (m * hyper_steps));
+    lockstep_columns;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hyper-steps=%d breaks=[%s] alignment=%.2f lockstep=%d mean-block=[%s]"
+    t.hyper_steps
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.breaks_per_task)))
+    t.alignment t.lockstep_columns
+    (String.concat ";"
+       (Array.to_list (Array.map (Printf.sprintf "%.1f") t.mean_block_len)))

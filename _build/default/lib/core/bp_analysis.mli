@@ -1,0 +1,27 @@
+(** Diagnostics of multi-task plans.
+
+    Summarizes {e how} a plan hyperreconfigures — the quantities the
+    paper's Fig. 3 discussion reads off its plot: how many partial
+    hyperreconfiguration steps there are, how strongly tasks align
+    their breakpoints (alignment is free under task-parallel max
+    costs), and how long the blocks are per task. *)
+
+type t = {
+  m : int;
+  n : int;
+  hyper_steps : int;  (** columns with at least one break *)
+  breaks_per_task : int array;
+  mean_block_len : float array;
+  alignment : float;
+      (** Σ_j breaks_j / (m · hyper_steps) ∈ (0, 1]: 1 when every
+          hyperreconfiguration step involves every task (full lockstep,
+          the single-task-like extreme), 1/m when no two tasks ever
+          share a step. *)
+  lockstep_columns : int;  (** columns where all m tasks break together *)
+}
+
+(** [analyze bp]. *)
+val analyze : Breakpoints.t -> t
+
+(** [pp] — a one-line summary. *)
+val pp : Format.formatter -> t -> unit

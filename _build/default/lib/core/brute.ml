@@ -1,0 +1,37 @@
+let single ~v ~n ~step_cost =
+  if n < 1 then invalid_arg "Brute.single: n must be >= 1";
+  if n > 20 then invalid_arg "Brute.single: instance too large to enumerate";
+  let best_cost = ref max_int and best_breaks = ref [ 0 ] in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let breaks =
+      0 :: List.filter_map (fun i -> if mask land (1 lsl (i - 1)) <> 0 then Some i else None)
+             (List.init (n - 1) (fun k -> k + 1))
+    in
+    let cost = St_opt.cost_of_breaks ~v ~n ~step_cost breaks in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_breaks := breaks
+    end
+  done;
+  { St_opt.cost = !best_cost; breaks = !best_breaks }
+
+let multi ?params (oracle : Interval_cost.t) =
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let bits = (n - 1) * m in
+  if bits > 24 then invalid_arg "Brute.multi: instance too large to enumerate";
+  let best_cost = ref max_int in
+  let best = ref (Breakpoints.create ~m ~n) in
+  for mask = 0 to (1 lsl bits) - 1 do
+    let raw =
+      Array.init m (fun j ->
+          Array.init n (fun i ->
+              i = 0 || mask land (1 lsl ((j * (n - 1)) + i - 1)) <> 0))
+    in
+    let bp = Breakpoints.of_matrix raw in
+    let cost = Sync_cost.eval ?params oracle bp in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := bp
+    end
+  done;
+  (!best_cost, !best)

@@ -1,0 +1,15 @@
+(** Exhaustive solvers — ground truth for the test suite.
+
+    These enumerate the full breakpoint search space and are only
+    usable for tiny instances; the tests compare {!St_opt}, {!Mt_dp}
+    and the metaheuristics against them. *)
+
+(** [single ~v ~n ~step_cost] enumerates all 2^(n-1) single-task
+    breakpoint patterns.  Raises [Invalid_argument] for [n > 20]. *)
+val single : v:int -> n:int -> step_cost:(int -> int -> int) -> St_opt.result
+
+(** [multi ?params oracle] enumerates all (2^(n-1))^m breakpoint
+    matrices of a fully synchronized multi-task instance and returns a
+    cheapest one with its cost.  Raises [Invalid_argument] when
+    [(n-1)·m > 24]. *)
+val multi : ?params:Sync_cost.params -> Interval_cost.t -> int * Breakpoints.t

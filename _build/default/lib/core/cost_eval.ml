@@ -1,0 +1,22 @@
+type task_run = { v : int; blocks : (int * int) list }
+
+let async_task_time run =
+  List.fold_left
+    (fun acc (cost, len) ->
+      if len < 0 || cost < 0 then invalid_arg "Cost_eval: negative block data";
+      acc + run.v + (cost * len))
+    0 run.blocks
+
+let async_total ~init_global runs =
+  if Array.length runs = 0 then invalid_arg "Cost_eval.async_total: no tasks";
+  init_global
+  + Array.fold_left (fun acc run -> max acc (async_task_time run)) 0 runs
+
+let mt_switch_special_init ~x_loc ~x_priv = x_loc + x_priv
+
+let mt_switch_special_v ~assigned_priv ~f_loc = assigned_priv + f_loc
+
+let changeover_init ~w ~prev ~next = w + Hypercontext.changeover prev next
+
+let sequence_cost ~init ~cost ops =
+  List.fold_left (fun acc (h, len) -> acc + init h + (cost h * len)) 0 ops

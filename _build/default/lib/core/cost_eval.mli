@@ -1,0 +1,52 @@
+(** Direct transcriptions of the §4 multi-task cost formulas.
+
+    These functions evaluate the paper's formulas on explicitly given
+    operation sequences.  They complement {!Sync_cost} (which evaluates
+    breakpoint matrices through the interval oracle): the test suite
+    checks that both agree on union plans, and the asynchronous
+    formulas here are what the non-synchronized machine models use. *)
+
+(** One task's activity between two global hyperreconfigurations: a
+    sequence of local hyperreconfigurations, each followed by a run of
+    ordinary reconfigurations.  [blocks] lists, in order, pairs
+    [(reconf_cost, len)]: the per-step ordinary reconfiguration cost
+    cost(h^loc, h^priv) in force after that local hyperreconfiguration,
+    and the number [|S_{j,i}|] of reconfiguration steps performed in
+    it.  [v] is the task's local hyperreconfiguration cost
+    init(h_j, f^loc_j). *)
+type task_run = { v : int; blocks : (int * int) list }
+
+(** [async_total ~init_global runs] is the General Multi Task model
+    cost (§4.1, model 1):
+
+    {v init(h) + max_j Σ_i (v_j + cost_{i,j} · |S_{j,i}|) v}
+
+    Under the asynchronous (non-synchronized) machine the tasks overlap
+    freely, so the machine-level cost is the maximum over tasks.
+    The MT-DAG (model 2) and MT-Switch (model 3) asynchronous costs are
+    the same formula with their specific [v] and per-step costs, so
+    this single evaluator covers all three. *)
+val async_total : init_global:int -> task_run array -> int
+
+(** [async_task_time run] is one task's own (hyper)reconfiguration time
+    Σ_i (v + cost_i · len_i) — the quantity maximized above. *)
+val async_task_time : task_run -> int
+
+(** [mt_switch_special_init ~x_loc ~x_priv] is the paper's "typical
+    special case" global init cost [w = |X| + |X^priv|] (§4.1, model
+    3, where X is the set of local and X^priv of private global
+    switches). *)
+val mt_switch_special_init : x_loc:int -> x_priv:int -> int
+
+(** [mt_switch_special_v ~assigned_priv ~f_loc] is the special-case
+    local hyperreconfiguration cost [v_j = |h_j| + |f^loc_j|]. *)
+val mt_switch_special_v : assigned_priv:int -> f_loc:int -> int
+
+(** [changeover_init ~w ~prev ~next] is the model variant's
+    hyperreconfiguration cost [w + |prev Δ next|] (§4.1). *)
+val changeover_init : w:int -> prev:Hypercontext.t -> next:Hypercontext.t -> int
+
+(** [sequence_cost ~init ~cost ops] evaluates the single-task general
+    model of §2 on a run [h_1 S_1 … h_r S_r] given as
+    [(h, |S|)] pairs: Σ (init(h_i) + cost(h_i)·|S_i|). *)
+val sequence_cost : init:('h -> int) -> cost:('h -> int) -> ('h * int) list -> int

@@ -1,0 +1,150 @@
+module Bitset = Hr_util.Bitset
+
+type node = { name : string; sat : Bitset.t; cost : int }
+
+type t = {
+  num_contexts : int;
+  w : int;
+  nodes : node array;
+  edges : (int * int) list;
+  preds : int list array;  (* predecessors per node, from the edge list *)
+  by_cost : int array;  (* node ids sorted by ascending cost *)
+}
+
+let check_acyclic n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) edges;
+  let state = Array.make n 0 in
+  (* 0 = unseen, 1 = on stack, 2 = done *)
+  let rec visit v =
+    match state.(v) with
+    | 1 -> invalid_arg "Dag_model.make: precedence relation has a cycle"
+    | 2 -> ()
+    | _ ->
+        state.(v) <- 1;
+        List.iter visit adj.(v);
+        state.(v) <- 2
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done
+
+let make ~num_contexts ~w nodes edges =
+  if num_contexts < 0 then invalid_arg "Dag_model.make: negative context count";
+  if w < 0 then invalid_arg "Dag_model.make: negative w";
+  if Array.length nodes = 0 then invalid_arg "Dag_model.make: no hypercontexts";
+  Array.iteri
+    (fun i nd ->
+      if Bitset.width nd.sat <> num_contexts then
+        invalid_arg (Printf.sprintf "Dag_model.make: node %d sat width mismatch" i);
+      if nd.cost <= 0 then
+        invalid_arg (Printf.sprintf "Dag_model.make: node %d must have cost > 0" i))
+    nodes;
+  let n = Array.length nodes in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Dag_model.make: edge endpoint out of range";
+      let sa = nodes.(a).sat and sb = nodes.(b).sat in
+      if not (Bitset.subset sa sb && not (Bitset.equal sa sb)) then
+        invalid_arg
+          (Printf.sprintf "Dag_model.make: edge (%d,%d) violates h1(C) ⊂ h2(C)" a b);
+      if nodes.(a).cost > nodes.(b).cost then
+        invalid_arg
+          (Printf.sprintf "Dag_model.make: edge (%d,%d) violates cost monotonicity" a b))
+    edges;
+  check_acyclic n edges;
+  let top_exists =
+    Array.exists (fun nd -> Bitset.cardinal nd.sat = num_contexts) nodes
+  in
+  if not top_exists then
+    invalid_arg "Dag_model.make: no hypercontext satisfies every context requirement";
+  let preds = Array.make n [] in
+  List.iter (fun (a, b) -> preds.(b) <- a :: preds.(b)) edges;
+  let by_cost = Array.init n Fun.id in
+  Array.sort (fun a b -> compare nodes.(a).cost nodes.(b).cost) by_cost;
+  { num_contexts; w; nodes = Array.copy nodes; edges; preds; by_cost }
+
+let num_contexts t = t.num_contexts
+let w t = t.w
+let num_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let edges t = t.edges
+
+let satisfies t h c = Bitset.mem t.nodes.(h).sat c
+
+let minimal_satisfying t c =
+  let sat_ids =
+    List.filter (fun h -> satisfies t h c) (List.init (num_nodes t) Fun.id)
+  in
+  (* h is minimal iff no predecessor of h (transitively) also satisfies c.
+     Since sat sets grow along edges, it suffices to check direct
+     predecessors transitively via a reachability walk. *)
+  let rec pred_satisfies h =
+    List.exists (fun p -> satisfies t p c || pred_satisfies p) t.preds.(h)
+  in
+  List.filter (fun h -> not (pred_satisfies h)) sat_ids
+
+let cheapest_for t ids =
+  let need = List.fold_left (fun acc c -> Bitset.add acc c) (Bitset.create t.num_contexts) ids in
+  let rec go k =
+    if k >= Array.length t.by_cost then None
+    else
+      let h = t.by_cost.(k) in
+      if Bitset.subset need t.nodes.(h).sat then Some h else go (k + 1)
+  in
+  go 0
+
+let block_cost_table ?(allowed = fun _ -> true) t seq =
+  let n = Array.length seq in
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= t.num_contexts then
+        invalid_arg (Printf.sprintf "Dag_model: context id out of range at step %d" i))
+    seq;
+  Array.init n (fun lo ->
+      let alive = Array.init (num_nodes t) allowed in
+      let row = Array.make (n - lo) 0 in
+      let restrict hi =
+        for h = 0 to num_nodes t - 1 do
+          if alive.(h) && not (satisfies t h seq.(hi)) then alive.(h) <- false
+        done
+      in
+      let cheapest_alive () =
+        let rec go k =
+          if k >= Array.length t.by_cost then
+            invalid_arg
+              "Dag_model: no (allowed) hypercontext satisfies a block (missing top?)"
+          else if alive.(t.by_cost.(k)) then t.by_cost.(k)
+          else go (k + 1)
+        in
+        go 0
+      in
+      for hi = lo to n - 1 do
+        restrict hi;
+        row.(hi - lo) <- cheapest_alive ()
+      done;
+      row)
+
+let oracle ~v models seqs =
+  let m = Array.length models in
+  if Array.length seqs <> m || Array.length v <> m then
+    invalid_arg "Dag_model.oracle: arity mismatch";
+  if m = 0 then invalid_arg "Dag_model.oracle: no tasks";
+  let n = Array.length seqs.(0) in
+  Array.iter
+    (fun s -> if Array.length s <> n then invalid_arg "Dag_model.oracle: ragged traces")
+    seqs;
+  let tables = Array.init m (fun j -> block_cost_table models.(j) seqs.(j)) in
+  let step_cost j lo hi = models.(j).nodes.(tables.(j).(lo).(hi - lo)).cost in
+  Interval_cost.make ~m ~n ~v ~step_cost
+
+let chain ~num_contexts ~w ~costs ~sats =
+  if Array.length costs <> Array.length sats then
+    invalid_arg "Dag_model.chain: arity mismatch";
+  let nodes =
+    Array.init (Array.length costs) (fun i ->
+        { name = Printf.sprintf "h%d" i; sat = sats.(i); cost = costs.(i) })
+  in
+  let edges = List.init (Array.length costs - 1) (fun i -> (i, i + 1)) in
+  make ~num_contexts ~w nodes edges

@@ -1,0 +1,63 @@
+(** The DAG cost model (paper §2, "DAG model").
+
+    For coarse-grained machines the hypercontexts form a finite set H
+    ordered by computational power through a precedence DAG: an edge
+    (h₁, h₂) means h₁'s context set is strictly contained in h₂'s and
+    cost(h₁) ≤ cost(h₂).  Context requirements come from a finite set C
+    (represented here by integer ids); every hypercontext satisfies a
+    subset of C, and some hypercontext must satisfy all of C.
+    Hyperreconfiguration cost is a constant [w]. *)
+
+(** One hypercontext: the set of context ids it satisfies (a bitset
+    over [0..num_contexts-1]) and its per-step reconfiguration cost. *)
+type node = { name : string; sat : Hr_util.Bitset.t; cost : int }
+
+type t
+
+(** [make ~num_contexts ~w nodes edges] validates and builds the model:
+    - every [sat] has width [num_contexts] and every [cost] is > 0;
+    - for each edge (a, b): [sat a ⊂ sat b] (strict) and
+      [cost a ≤ cost b];
+    - the edge relation is acyclic;
+    - some node satisfies every context id.
+    Raises [Invalid_argument] with a description otherwise. *)
+val make : num_contexts:int -> w:int -> node array -> (int * int) list -> t
+
+(** Accessors. *)
+val num_contexts : t -> int
+
+val w : t -> int
+val num_nodes : t -> int
+val node : t -> int -> node
+val edges : t -> (int * int) list
+
+(** [satisfies t h c] — does node [h] satisfy context id [c]? *)
+val satisfies : t -> int -> int -> bool
+
+(** [minimal_satisfying t c] is c(H): the node ids satisfying [c] that
+    are minimal w.r.t. the precedence DAG (paper §2). *)
+val minimal_satisfying : t -> int -> int list
+
+(** [cheapest_for t ids] is a cheapest node satisfying every context id
+    in [ids], or [None] when no single node covers them (cannot happen
+    for the full set by construction, but callers may pass subsets of a
+    partitioned universe). *)
+val cheapest_for : t -> int list -> int option
+
+(** [block_cost_table ?allowed t seq] precomputes, for the context-id
+    sequence [seq], the cheapest satisfying node of every interval:
+    [table.(lo).(hi-lo)] is the node id.  O(n²·|H|).  [allowed]
+    restricts the candidate nodes (used when a global assignment limits
+    a task's reachable private hypercontexts); raises
+    [Invalid_argument] when a block has no allowed satisfying node. *)
+val block_cost_table : ?allowed:(int -> bool) -> t -> int array -> int array array
+
+(** [oracle ~v models seqs] packages per-task DAG models and context-id
+    sequences as an {!Interval_cost.t} (fully synchronized multi-task
+    DAG machine, §4.1 model 2). *)
+val oracle : v:int array -> t array -> int array array -> Interval_cost.t
+
+(** [chain ~num_contexts ~w ~costs ~sats] convenience constructor for a
+    totally ordered DAG (h₀ ⊂ h₁ ⊂ …), the common "low / medium / good
+    routability" shape from the paper's §3 example. *)
+val chain : num_contexts:int -> w:int -> costs:int array -> sats:Hr_util.Bitset.t array -> t

@@ -1,0 +1,46 @@
+(** Hypercontext descriptor encodings.
+
+    A hyperreconfiguration step must load the information that defines
+    the new hypercontext onto the machine (paper §1-§2); the
+    hyperreconfiguration cost [init(h)] is the size of that descriptor.
+    The paper's models use a constant [w]; this module refines it with
+    three concrete encodings so the harness can study how the encoding
+    choice shifts optimal plans:
+
+    - {!Bitmap}: one bit per switch of the universe — constant
+      [|X|] bits, the paper's [w = |X|] special case;
+    - {!Sparse}: an index list — [(|h| + 1) · ⌈log₂(|X|+1)⌉] bits
+      (count prefix plus one index per available switch);
+    - {!Run_length}: alternating run lengths — [runs · (⌈log₂(|X|+1)⌉ +
+      1)] bits, cheap for clustered hypercontexts.
+
+    Bitmap and Sparse are monotone w.r.t. set inclusion, so
+    {!General_opt.solve_monotone} plans optimally under them;
+    Run_length is not monotone (adding a switch can merge runs), which
+    is exactly the non-monotone regime where the general problem turns
+    hard — the tests exhibit the non-monotonicity. *)
+
+type encoding = Bitmap | Sparse | Run_length
+
+(** [size encoding h] is the descriptor size in bits. *)
+val size : encoding -> Hypercontext.t -> int
+
+(** [best h] is a smallest encoding for [h] with its size. *)
+val best : Hypercontext.t -> encoding * int
+
+(** [monotone encoding] — may the encoding be used with
+    {!General_opt.solve_monotone}? *)
+val monotone : encoding -> bool
+
+(** [plan_cost encoding trace] is the optimal single-task cost when
+    hyperreconfigurations pay the descriptor size of their target
+    hypercontext (and reconfigurations pay [|h|] per step as usual).
+    Uses the monotone DP for monotone encodings and the union-plan DP
+    (optimal among union plans, an upper bound on the true optimum)
+    for {!Run_length}. *)
+val plan_cost : encoding -> Trace.t -> int
+
+(** [name] / [pp]. *)
+val name : encoding -> string
+
+val pp : Format.formatter -> encoding -> unit

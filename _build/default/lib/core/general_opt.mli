@@ -1,0 +1,45 @@
+(** The general cost model (paper §2) and where its hardness lives.
+
+    Under the general model a run h₁S₁…h_rS_r costs
+    Σ (init(h_i) + cost(h_i)·|S_i|) with arbitrary per-hypercontext
+    costs.  The paper (citing [9]) notes that finding optimal
+    (hyper)reconfigurations is NP-complete {e already for a single
+    task} — when the hypercontext set is implicit (all 2^X subsets of
+    the switch set, with cost functions given as oracles).  Two
+    tractable restrictions are implemented:
+
+    - {!solve_explicit}: H is given explicitly as a finite list — the
+      block DP is polynomial, O(n²·|H|);
+    - {!solve_monotone}: H = 2^X but [init] and [cost] are monotone
+      w.r.t. set inclusion — then block unions are optimal
+      hypercontexts and the DP is O(n²) oracle calls.
+
+    {!solve_tiny} enumerates everything (all partitions × all
+    hypercontexts ⊆ X) and is the ground truth used by the tests to
+    demonstrate that {!solve_monotone} can be arbitrarily suboptimal
+    on non-monotone instances — the gap NP-completeness hides in. *)
+
+module Bitset = Hr_util.Bitset
+
+(** An explicit hypercontext: which requirements it satisfies is
+    decided by [sat] (for the switch-style instances,
+    [fun c -> Bitset.subset c h]). *)
+type explicit_hc = { name : string; init : int; cost : int; sat : Bitset.t -> bool }
+
+type result = { cost : int; breaks : int list }
+
+(** [solve_explicit hcs trace] — optimal plan with hypercontexts drawn
+    from the explicit list.  Raises [Invalid_argument] when some block
+    (hence some single requirement) is satisfiable by no hypercontext. *)
+val solve_explicit : explicit_hc array -> Trace.t -> result * int list
+
+(** [solve_monotone ~init ~cost trace] — optimal plan when [init] and
+    [cost] are monotone in ⊆ (not checked); hypercontexts are block
+    unions. *)
+val solve_monotone :
+  init:(Bitset.t -> int) -> cost:(Bitset.t -> int) -> Trace.t -> result
+
+(** [solve_tiny ~init ~cost trace] — exhaustive optimum over all
+    2^|X| hypercontexts and all partitions.  Raises [Invalid_argument]
+    when [|X| > 12] or [n > 10]. *)
+val solve_tiny : init:(Bitset.t -> int) -> cost:(Bitset.t -> int) -> Trace.t -> result

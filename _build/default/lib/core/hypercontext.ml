@@ -1,0 +1,11 @@
+module Bitset = Hr_util.Bitset
+
+type t = Bitset.t
+
+let satisfies h c = Bitset.subset c h
+let satisfies_all h cs = List.for_all (satisfies h) cs
+let cost h = Bitset.cardinal h
+let changeover prev next = Bitset.cardinal (Bitset.symdiff prev next)
+
+let minimal_for cs ~width =
+  List.fold_left (fun acc c -> Bitset.union_into ~into:acc c) (Bitset.create width) cs

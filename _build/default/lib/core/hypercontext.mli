@@ -1,0 +1,28 @@
+(** Hypercontexts for the switch cost model.
+
+    A hypercontext defines the reconfigurable features available after a
+    hyperreconfiguration step; under the switch model it is a subset of
+    the switch universe and its ordinary-reconfiguration cost is its
+    cardinality (paper, §2, Switch model). *)
+
+type t = Hr_util.Bitset.t
+
+(** [satisfies h c] is [true] iff context requirement [c] can be
+    realized within hypercontext [h], i.e. [c ⊆ h]. *)
+val satisfies : t -> Hr_util.Bitset.t -> bool
+
+(** [satisfies_all h cs] checks a whole block of requirements. *)
+val satisfies_all : t -> Hr_util.Bitset.t list -> bool
+
+(** [cost h] is the ordinary-reconfiguration cost while in [h]:
+    cost(h) = |h|. *)
+val cost : t -> int
+
+(** [changeover prev next] is |prev Δ next|, the changeover cost of the
+    model variant where only the difference to the predecessor
+    hypercontext must be loaded (paper, §4.1). *)
+val changeover : t -> t -> int
+
+(** [minimal_for cs ~width] is the minimal hypercontext satisfying all
+    of [cs]: their union. *)
+val minimal_for : Hr_util.Bitset.t list -> width:int -> t

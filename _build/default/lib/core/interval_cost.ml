@@ -1,0 +1,47 @@
+type t = {
+  m : int;
+  n : int;
+  v : int array;
+  step_cost : int -> int -> int -> int;
+}
+
+let make ~m ~n ~v ~step_cost =
+  if m <= 0 then invalid_arg "Interval_cost.make: m must be positive";
+  if n < 0 then invalid_arg "Interval_cost.make: negative n";
+  if Array.length v <> m then invalid_arg "Interval_cost.make: |v| <> m";
+  { m; n; v = Array.copy v; step_cost }
+
+let of_task_set ts =
+  let m = Task_set.num_tasks ts in
+  let n = Task_set.steps ts in
+  let v = Array.init m (fun j -> (Task_set.get ts j).Task_set.v) in
+  let tables =
+    Array.init m (fun j -> Range_union.make (Task_set.get ts j).Task_set.trace)
+  in
+  let step_cost j lo hi = Range_union.size tables.(j) lo hi in
+  make ~m ~n ~v ~step_cost
+
+let of_single ~v trace = of_task_set (Task_set.single ~name:"task" ~v trace)
+
+let memoize t =
+  (* Mutex-protected so memoized oracles stay safe under the parallel
+     GA evaluation (Hr_evolve.Ga with domains > 1). *)
+  let cache = Hashtbl.create 4096 in
+  let lock = Mutex.create () in
+  let step_cost j lo hi =
+    let key = ((j * t.n) + lo) * t.n + hi in
+    Mutex.lock lock;
+    let hit = Hashtbl.find_opt cache key in
+    Mutex.unlock lock;
+    match hit with
+    | Some c -> c
+    | None ->
+        let c = t.step_cost j lo hi in
+        Mutex.lock lock;
+        Hashtbl.replace cache key c;
+        Mutex.unlock lock;
+        c
+  in
+  { t with step_cost }
+
+let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

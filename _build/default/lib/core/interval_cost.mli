@@ -1,0 +1,49 @@
+(** The interval-cost oracle — the abstraction every optimizer targets.
+
+    For all three of the paper's cost models (Switch, DAG, General with
+    explicit H) the following holds: once the hyperreconfiguration
+    points of a task are fixed, the optimal hypercontext of the block
+    of steps [lo..hi] is determined (switch model: the union of the
+    block's requirements; DAG/General: a cheapest hypercontext
+    satisfying every requirement of the block), and the resulting
+    per-step ordinary-reconfiguration cost depends only on [(task, lo,
+    hi)].  An oracle packages those per-block costs together with the
+    partial-hyperreconfiguration costs [v_j], so that breakpoint-space
+    optimizers (exact DP, GA, annealing, greedy, brute force) are
+    written once and work for every model.
+
+    [step_cost j lo hi] must be
+    {ul
+    {- monotone: non-increasing in [lo] and non-decreasing in [hi]
+       (shrinking a block can only shrink its minimal hypercontext);}
+    {- non-negative.}}
+    Constructors in this library guarantee both. *)
+
+type t = {
+  m : int;  (** number of tasks *)
+  n : int;  (** number of synchronized machine steps *)
+  v : int array;  (** [v.(j)]: partial hyperreconfiguration cost of task j *)
+  step_cost : int -> int -> int -> int;
+      (** [step_cost j lo hi]: per-step reconfiguration cost of task [j]
+          while its current hypercontext covers steps [lo..hi]. *)
+}
+
+(** [of_task_set ts] is the MT-Switch oracle: [step_cost j lo hi =
+    |U_j(lo,hi)|].  Precomputes the per-task interval-union tables. *)
+val of_task_set : Task_set.t -> t
+
+(** [of_single ~v trace] is the single-task switch oracle. *)
+val of_single : v:int -> Trace.t -> t
+
+(** [make ~m ~n ~v ~step_cost] builds a custom oracle (used by the DAG
+    and General models). *)
+val make : m:int -> n:int -> v:int array -> step_cost:(int -> int -> int -> int) -> t
+
+(** [memoize t] caches [step_cost] results in a hash table — worthwhile
+    when a stochastic optimizer re-evaluates many plans over the same
+    instance. *)
+val memoize : t -> t
+
+(** [full_cost t j] is [step_cost j 0 (n-1)]: the per-step cost of the
+    never-hyperreconfigure hypercontext of task [j]. *)
+val full_cost : t -> int -> int

@@ -1,0 +1,97 @@
+module Bitset = Hr_util.Bitset
+
+type event = { step : int; hyper_load : int; reconf_load : int }
+
+type run = { total_time : int; events : event list; hyper_ops : int }
+
+(* Per-task runtime state: the hypercontext currently loaded and the
+   plan segments still ahead. *)
+type task_state = {
+  v : int;
+  trace : Trace.t;
+  mutable current : Hypercontext.t option;
+  mutable pending : Plan.segment list;
+}
+
+let execute ?(params = Sync_cost.default_params) ts plan =
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  if Plan.num_tasks plan <> m || Plan.steps plan <> n then
+    Error "machine_vm: plan/instance dimension mismatch"
+  else begin
+    let states =
+      Array.init m (fun j ->
+          let t = Task_set.get ts j in
+          {
+            v = t.Task_set.v;
+            trace = t.Task_set.trace;
+            current = None;
+            pending = Plan.segments plan j;
+          })
+    in
+    let combine mode parts =
+      match mode with
+      | Sync_cost.Task_parallel -> List.fold_left max 0 parts
+      | Sync_cost.Task_sequential -> List.fold_left ( + ) 0 parts
+    in
+    let hyper_ops = ref 0 in
+    let events = ref [] in
+    let error = ref None in
+    let step = ref 0 in
+    while !error = None && !step < n do
+      let i = !step in
+      (* Phase 1: partial hyperreconfigurations scheduled at this step. *)
+      let hyper_parts =
+        Array.to_list states
+        |> List.filter_map (fun st ->
+               match st.pending with
+               | seg :: rest when seg.Plan.lo = i ->
+                   st.current <- Some seg.Plan.hc;
+                   st.pending <- rest;
+                   incr hyper_ops;
+                   Some st.v
+               | _ -> None)
+      in
+      let hyper_load = combine params.Sync_cost.hyper hyper_parts in
+      (* Phase 2: every task reconfigures within its hypercontext. *)
+      let reconf_parts = ref [] in
+      Array.iteri
+        (fun j st ->
+          match st.current with
+          | None ->
+              if !error = None then
+                error := Some (Printf.sprintf "task %d has no hypercontext at step %d" j i)
+          | Some hc ->
+              if not (Hypercontext.satisfies hc (Trace.req st.trace i)) then begin
+                if !error = None then
+                  error :=
+                    Some
+                      (Printf.sprintf
+                         "task %d step %d: requirement escapes the hypercontext" j i)
+              end
+              else reconf_parts := Hypercontext.cost hc :: !reconf_parts)
+        states;
+      if !error = None then begin
+        let reconf_load =
+          (match params.Sync_cost.reconf with
+          | Sync_cost.Task_parallel -> List.fold_left max params.Sync_cost.pub !reconf_parts
+          | Sync_cost.Task_sequential ->
+              List.fold_left ( + ) params.Sync_cost.pub !reconf_parts)
+        in
+        events := { step = i; hyper_load; reconf_load } :: !events;
+        incr step
+      end
+    done;
+    match !error with
+    | Some msg -> Error msg
+    | None ->
+        let events = List.rev !events in
+        let total_time =
+          List.fold_left
+            (fun acc e -> acc + e.hyper_load + e.reconf_load)
+            params.Sync_cost.w events
+        in
+        Ok { total_time; events; hyper_ops = !hyper_ops }
+  end
+
+let execute_breakpoints ?params ts bp =
+  execute ?params ts (Plan.of_breakpoints ts bp)

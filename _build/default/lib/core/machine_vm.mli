@@ -1,0 +1,41 @@
+(** A referee virtual machine for fully synchronized plans.
+
+    Executes a plan step by step against the instance, the way the
+    hardware would: at every machine step each task first performs its
+    partial hyperreconfiguration (when the plan says so), loading [v_j]
+    units of hyperreconfiguration data, then performs its ordinary
+    reconfiguration, loading one unit per switch of its current
+    hypercontext; uploads across tasks overlap (task-parallel) or
+    serialize (task-sequential) per the §4 upload modes, and the
+    machine step lasts as long as its slowest participant.
+
+    The VM is deliberately written as a direct simulation — no shared
+    code with {!Sync_cost} or {!Plan} — so the test suite can use it as
+    an independent referee: for every plan, VM time must equal the
+    closed-form §4.2 cost.  It also enforces validity dynamically,
+    refusing to execute a step whose requirement is not covered by the
+    hypercontext in force (the "reconfiguration into a new context can
+    only be realized when the machine ... satisfies the corresponding
+    context requirement" rule of §2). *)
+
+type event = {
+  step : int;
+  hyper_load : int;  (** duration of the step's hyperreconfiguration phase *)
+  reconf_load : int;  (** duration of the step's reconfiguration phase *)
+}
+
+type run = {
+  total_time : int;
+  events : event list;  (** one per machine step, in order *)
+  hyper_ops : int;  (** partial hyperreconfigurations executed *)
+}
+
+(** [execute ?params ts plan] runs the plan.  Returns [Error msg]
+    (naming task and step) when a requirement escapes its
+    hypercontext; never raises on well-formed inputs. *)
+val execute : ?params:Sync_cost.params -> Task_set.t -> Plan.t -> (run, string) result
+
+(** [execute_breakpoints ?params ts bp] materializes union
+    hypercontexts first. *)
+val execute_breakpoints :
+  ?params:Sync_cost.params -> Task_set.t -> Breakpoints.t -> (run, string) result

@@ -1,0 +1,21 @@
+module Anneal = Hr_evolve.Anneal
+
+type result = { cost : int; bp : Breakpoints.t; evaluations : int }
+
+let solve ?params ?config ?init ~rng oracle =
+  let oracle = Interval_cost.memoize oracle in
+  let init =
+    match init with Some bp -> bp | None -> (Mt_greedy.best ?params oracle).Mt_greedy.bp
+  in
+  let problem =
+    {
+      Anneal.cost = (fun g -> Sync_cost.eval ?params oracle (Breakpoints.of_matrix g));
+      neighbor = Mt_moves.mutate;
+    }
+  in
+  let r = Anneal.run ?config rng problem ~init:(Breakpoints.matrix init) in
+  {
+    cost = r.Anneal.best_cost;
+    bp = Breakpoints.of_matrix r.Anneal.best;
+    evaluations = r.Anneal.evaluations;
+  }

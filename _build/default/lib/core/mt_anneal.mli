@@ -1,0 +1,17 @@
+(** Simulated annealing for the fully synchronized multi-task problem.
+
+    Same genome and fitness as {!Mt_ga}; the neighborhood is the
+    {!Mt_moves.mutate} move distribution.  Included as an ablation
+    baseline against the paper's GA choice. *)
+
+type result = { cost : int; bp : Breakpoints.t; evaluations : int }
+
+(** [solve ?params ?config ?init ~rng oracle] anneals from [init]
+    (default: the best greedy heuristic). *)
+val solve :
+  ?params:Sync_cost.params ->
+  ?config:Hr_evolve.Anneal.config ->
+  ?init:Breakpoints.t ->
+  rng:Hr_util.Rng.t ->
+  Interval_cost.t ->
+  result

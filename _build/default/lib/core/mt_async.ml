@@ -1,0 +1,42 @@
+type result = {
+  cost : int;
+  per_task : St_opt.result array;
+  bottleneck : int;
+}
+
+let solve ?(init_global = 0) (oracle : Interval_cost.t) =
+  let per_task =
+    Array.init oracle.Interval_cost.m (fun j -> St_opt.solve_oracle oracle ~task:j)
+  in
+  let bottleneck = ref 0 in
+  Array.iteri
+    (fun j r ->
+      if r.St_opt.cost > per_task.(!bottleneck).St_opt.cost then bottleneck := j)
+    per_task;
+  {
+    cost = init_global + per_task.(!bottleneck).St_opt.cost;
+    per_task;
+    bottleneck = !bottleneck;
+  }
+
+let eval ?(init_global = 0) (oracle : Interval_cost.t) bp =
+  if
+    Breakpoints.m bp <> oracle.Interval_cost.m
+    || Breakpoints.n bp <> oracle.Interval_cost.n
+  then invalid_arg "Mt_async.eval: plan/instance dimension mismatch";
+  let task_time j =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        acc + oracle.Interval_cost.v.(j)
+        + (oracle.Interval_cost.step_cost j lo hi * (hi - lo + 1)))
+      0
+      (Breakpoints.intervals bp j)
+  in
+  let rec go j acc =
+    if j >= oracle.Interval_cost.m then acc else go (j + 1) (max acc (task_time j))
+  in
+  init_global + go 0 0
+
+let sync_penalty ~sync_cost result =
+  if result.cost = 0 then Float.infinity
+  else float_of_int sync_cost /. float_of_int result.cost

@@ -1,0 +1,35 @@
+(** Planning for non-synchronized (asynchronous) multi-task machines
+    (§4.1).
+
+    On a non-synchronized machine the tasks' reconfiguration times
+    overlap with the other tasks' computation, operations are always
+    task parallel, and the General Multi Task cost is
+
+    {v init(h) + max_j Σ_i ( v_j + cost_{j,i} · |S_{j,i}| ) v}
+
+    — the tasks are {e decoupled}: each task's inner sum is exactly the
+    single-task objective, so the optimal asynchronous plan is just the
+    per-task optimum and the machine-level time is the maximum of the
+    solo optima.  This module packages that observation, making the
+    asynchronous case exactly solvable in O(m·n²), and serves as the
+    comparison point that prices the synchronization barriers of the
+    fully synchronized machine (bench A12). *)
+
+type result = {
+  cost : int;  (** init_global + max over tasks of the solo optimum *)
+  per_task : St_opt.result array;  (** each task's own optimal plan *)
+  bottleneck : int;  (** index of a task attaining the maximum *)
+}
+
+(** [solve ?init_global oracle] — exact. *)
+val solve : ?init_global:int -> Interval_cost.t -> result
+
+(** [eval ?init_global oracle bp] — asynchronous cost of an arbitrary
+    breakpoint matrix (each task's own blocks, no coupling):
+    [init_global + max_j Σ_blocks (v_j + block_cost · len)]. *)
+val eval : ?init_global:int -> Interval_cost.t -> Breakpoints.t -> int
+
+(** [sync_penalty ~sync_cost result] is the ratio
+    [sync_cost / result.cost] — how much the fully synchronized barrier
+    semantics cost over free-running tasks on the same workload. *)
+val sync_penalty : sync_cost:int -> result -> float

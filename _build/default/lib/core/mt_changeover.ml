@@ -1,0 +1,54 @@
+module Ga = Hr_evolve.Ga
+
+type result = { cost : int; bp : Breakpoints.t; plan : Plan.t }
+
+let vs_of ts = Array.map (fun t -> t.Task_set.v) (Task_set.tasks ts)
+
+let cost_of ?(w = 0) ts bp =
+  Plan.cost_changeover (Plan.of_breakpoints ts bp) ~v:(vs_of ts) ~w
+
+let solve ?(w = 0) ?(config = Ga.default_config) ~rng ts =
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  let cost g = cost_of ~w ts (Breakpoints.of_matrix g) in
+  let problem =
+    {
+      Ga.random =
+        (fun rng ->
+          let density = Hr_util.Rng.pick rng [| 0.02; 0.05; 0.1; 0.3 |] in
+          Mt_moves.random rng ~m ~n ~density);
+      cost;
+      crossover = Mt_moves.crossover;
+      mutate = Mt_moves.mutate;
+    }
+  in
+  (* Seed with the plain-model heuristics: the changeover term only
+     shifts where breaks pay off, so those plans are decent starts. *)
+  let oracle = Interval_cost.of_task_set ts in
+  let seeds =
+    List.map
+      (fun e -> Breakpoints.matrix e.Mt_greedy.bp)
+      (Mt_greedy.portfolio oracle)
+  in
+  let r = Ga.run ~config ~seeds rng problem in
+  let bp = Breakpoints.of_matrix r.Ga.best in
+  { cost = r.Ga.best_cost; bp; plan = Plan.of_breakpoints ts bp }
+
+let brute ?(w = 0) ts =
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  let bits = (n - 1) * m in
+  if bits > 20 then invalid_arg "Mt_changeover.brute: instance too large";
+  let best_cost = ref max_int and best = ref (Breakpoints.create ~m ~n) in
+  for mask = 0 to (1 lsl bits) - 1 do
+    let raw =
+      Array.init m (fun j ->
+          Array.init n (fun i ->
+              i = 0 || mask land (1 lsl ((j * (n - 1)) + i - 1)) <> 0))
+    in
+    let bp = Breakpoints.of_matrix raw in
+    let cost = cost_of ~w ts bp in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := bp
+    end
+  done;
+  (!best_cost, !best)

@@ -1,0 +1,33 @@
+(** Multi-task planning under the changeover-cost variant (§4.1).
+
+    Hyperreconfiguring task [j] into hypercontext [h] from its previous
+    hypercontext [h'] costs [v_j + |h Δ h'|]; simultaneous partial
+    hyperreconfigurations combine by max (task-parallel upload).  The
+    per-plan cost is {!Plan.cost_changeover} on union hypercontexts.
+
+    Because the changeover term couples consecutive blocks, the
+    interval-oracle reduction does not apply and no exact polynomial
+    algorithm is known even per task (cf. {!St_changeover}); this
+    module searches breakpoint space with the genetic algorithm and
+    certifies itself against brute force on small instances in the test
+    suite. *)
+
+type result = { cost : int; bp : Breakpoints.t; plan : Plan.t }
+
+(** [solve ?w ?config ~rng ts] minimizes the fully synchronized
+    changeover cost over breakpoint matrices (union hypercontexts).
+    The per-hyperreconfiguration fixed part is each task's [v_j]; [w]
+    is a global constant added once (default 0). *)
+val solve :
+  ?w:int ->
+  ?config:Hr_evolve.Ga.config ->
+  rng:Hr_util.Rng.t ->
+  Task_set.t ->
+  result
+
+(** [cost_of ?w ts bp] evaluates one matrix (union hypercontexts). *)
+val cost_of : ?w:int -> Task_set.t -> Breakpoints.t -> int
+
+(** [brute ?w ts] — exhaustive optimum for tiny instances (raises
+    [Invalid_argument] when [(n-1)·m > 20]). *)
+val brute : ?w:int -> Task_set.t -> int * Breakpoints.t

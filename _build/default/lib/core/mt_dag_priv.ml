@@ -1,0 +1,49 @@
+type task = {
+  name : string;
+  local : Dag_model.t;
+  local_seq : int array;
+  priv_seq : int array;
+}
+
+let check_tasks tasks =
+  if Array.length tasks = 0 then invalid_arg "Mt_dag_priv: no tasks";
+  let n = Array.length tasks.(0).local_seq in
+  Array.iter
+    (fun t ->
+      if Array.length t.local_seq <> n || Array.length t.priv_seq <> n then
+        invalid_arg
+          (Printf.sprintf "Mt_dag_priv: task %s has ragged traces" t.name))
+    tasks;
+  n
+
+let oracle ~v ~priv ?(allowed = fun _ _ -> true) tasks =
+  let m = Array.length tasks in
+  let n = check_tasks tasks in
+  if Array.length v <> m then invalid_arg "Mt_dag_priv.oracle: |v| <> m";
+  let local_tables =
+    Array.map (fun t -> Dag_model.block_cost_table t.local t.local_seq) tasks
+  in
+  let priv_tables =
+    Array.mapi
+      (fun j t -> Dag_model.block_cost_table ~allowed:(allowed j) priv t.priv_seq)
+      tasks
+  in
+  let step_cost j lo hi =
+    let local_node = local_tables.(j).(lo).(hi - lo) in
+    let priv_node = priv_tables.(j).(lo).(hi - lo) in
+    (Dag_model.node tasks.(j).local local_node).Dag_model.cost
+    + (Dag_model.node priv priv_node).Dag_model.cost
+  in
+  Interval_cost.make ~m ~n ~v ~step_cost
+
+let local_only ~v tasks =
+  let m = Array.length tasks in
+  let n = check_tasks tasks in
+  if Array.length v <> m then invalid_arg "Mt_dag_priv.local_only: |v| <> m";
+  let tables =
+    Array.map (fun t -> Dag_model.block_cost_table t.local t.local_seq) tasks
+  in
+  let step_cost j lo hi =
+    (Dag_model.node tasks.(j).local tables.(j).(lo).(hi - lo)).Dag_model.cost
+  in
+  Interval_cost.make ~m ~n ~v ~step_cost

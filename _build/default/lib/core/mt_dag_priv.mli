@@ -1,0 +1,41 @@
+(** The full MT-DAG model (§4.1, model 2): local {e and} private global
+    hypercontext DAGs.
+
+    Each task [j] has its own DAG of local hypercontexts and, in
+    addition, draws a private hypercontext from a DAG shared by all
+    tasks, restricted to what the global hyperreconfiguration assigned
+    to it.  The reconfiguration cost is additive,
+    [cost(h^loc, h^priv) = cost(h^loc) + cost(h^priv)], which satisfies
+    the model's monotonicity inequalities whenever each DAG does.
+
+    With a fixed assignment, a task's cheapest valid pair for a block
+    is the cheapest local node for the block's local ids plus the
+    cheapest {e allowed} private node for its private ids — separable,
+    so the instance is again an {!Interval_cost} oracle and every
+    planner applies. *)
+
+(** One task: its local DAG with its local context-id trace, and its
+    private context-id trace (over the shared private DAG's ids). *)
+type task = {
+  name : string;
+  local : Dag_model.t;
+  local_seq : int array;
+  priv_seq : int array;
+}
+
+(** [oracle ~v ~priv ?allowed tasks] — the fully synchronized oracle.
+    [allowed j node] restricts task [j]'s private hypercontexts to its
+    assignment (default: everything allowed).  [v] are the local
+    hyperreconfiguration costs.  Raises [Invalid_argument] on ragged
+    traces or when some block has no allowed private node (an
+    assignment too small for the demand). *)
+val oracle :
+  v:int array ->
+  priv:Dag_model.t ->
+  ?allowed:(int -> int -> bool) ->
+  task array ->
+  Interval_cost.t
+
+(** [local_only ~v tasks] — the degenerate case without private
+    resources (equals {!Dag_model.oracle}). *)
+val local_only : v:int array -> task array -> Interval_cost.t

@@ -1,0 +1,171 @@
+type outcome = {
+  cost : int;
+  bp : Breakpoints.t;
+  exact : bool;
+  states_explored : int;
+}
+
+type state = {
+  ends : int array;  (* committed block end per task *)
+  costs : int array;  (* per-step cost of the committed block per task *)
+  acc : int;  (* cost accumulated through the current step *)
+  breaks : (int * int) list;  (* (task, step) hyperreconfigurations so far *)
+}
+
+let combine_hyper params vs =
+  match params.Sync_cost.hyper with
+  | Sync_cost.Task_parallel -> List.fold_left max 0 vs
+  | Sync_cost.Task_sequential -> List.fold_left ( + ) 0 vs
+
+let combine_reconf params pub costs =
+  match params.Sync_cost.reconf with
+  | Sync_cost.Task_parallel -> Array.fold_left max pub costs
+  | Sync_cost.Task_sequential -> Array.fold_left ( + ) pub costs
+
+(* Keep, per block-end vector, only the Pareto-optimal (costs, acc)
+   states: with equal ends the future of a state depends only on its
+   per-step costs, so componentwise domination is safe. *)
+let pareto_filter states =
+  let groups = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let key = Array.to_list s.ends in
+      let prev = Option.value (Hashtbl.find_opt groups key) ~default:[] in
+      Hashtbl.replace groups key (s :: prev))
+    states;
+  Hashtbl.fold
+    (fun _ group acc ->
+      (* Dedupe equal (costs, acc) pairs first so that strict-domination
+         filtering below cannot drop two mutually equal states. *)
+      let deduped =
+        List.fold_left
+          (fun kept a ->
+            if List.exists (fun b -> b.acc = a.acc && b.costs = a.costs) kept then
+              kept
+            else a :: kept)
+          [] group
+      in
+      let strictly_dominates b a =
+        b.acc <= a.acc
+        && Array.for_all2 ( <= ) b.costs a.costs
+        && (b.acc < a.acc || b.costs <> a.costs)
+      in
+      let survivors =
+        List.filter
+          (fun a -> not (List.exists (fun b -> strictly_dominates b a) deduped))
+          deduped
+      in
+      List.rev_append survivors acc)
+    groups []
+
+let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
+    (oracle : Interval_cost.t) =
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let sc = oracle.Interval_cost.step_cost and v = oracle.Interval_cost.v in
+  let beam = max_states <> None in
+  (* Exactness needs the full fan-out of n end choices per restarting
+     task; refuse instances whose very first level would not fit. *)
+  if not beam then begin
+    let rec level0 j acc =
+      if j >= m || acc > 2_000_000. then acc else level0 (j + 1) (acc *. float_of_int n)
+    in
+    if level0 0 1. > 2_000_000. then
+      invalid_arg
+        "Mt_dp.solve: instance too large for the exact DP (n^m initial states); \
+         pass ~max_states for a beam search or use Mt_ga/Mt_anneal"
+  end;
+  (* suffix.(i) = Σ_{k=i}^{n-1} (reconf lower bound of step k): each step
+     pays at least the combined per-requirement costs. *)
+  let suffix = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    let step_lb =
+      combine_reconf params params.Sync_cost.pub (Array.init m (fun j -> sc j i i))
+    in
+    suffix.(i) <- suffix.(i + 1) + step_lb
+  done;
+  let explored = ref 0 in
+  let truncated = ref false in
+  let ub = ref (Option.value upper_bound ~default:max_int) in
+  (* End choices for a task restarting at step i.  Exact mode: all of
+     them.  Beam mode: the ends where the block cost jumps to a new
+     value (the distinct-hypercontext frontier) capped at 32 — the beam
+     is heuristic anyway and this keeps the fan-out bounded. *)
+  let end_candidates j i =
+    if not beam then List.init (n - i) (fun k -> i + k)
+    else begin
+      let jumps = ref [ n - 1 ] in
+      let last = ref (-1) in
+      for hi = i to n - 1 do
+        let c = sc j i hi in
+        if c <> !last then begin
+          last := c;
+          if hi <> n - 1 then jumps := hi :: !jumps
+        end
+      done;
+      let all = List.sort_uniq compare !jumps in
+      let len = List.length all in
+      if len <= 32 then all
+      else List.filteri (fun k _ -> k mod ((len / 32) + 1) = 0 || k = len - 1) all
+    end
+  in
+  (* Expand a state across step [i]: tasks whose block ended at [i-1]
+     (for the initial level: all tasks, signalled by ends.(j) = -1)
+     restart with a new block end, then the step's costs are charged. *)
+  let expand_state i s =
+    let restarting = List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id) in
+    let hyper = combine_hyper params (List.map (fun j -> v.(j)) restarting) in
+    let out = ref [] in
+    let rec go rs ends costs breaks =
+      match rs with
+      | [] ->
+          let reconf = combine_reconf params params.Sync_cost.pub costs in
+          let acc = s.acc + hyper + reconf in
+          if acc + suffix.(i + 1) <= !ub then
+            out := { ends; costs; acc; breaks } :: !out
+      | j :: rest ->
+          List.iter
+            (fun hi ->
+              let ends' = Array.copy ends and costs' = Array.copy costs in
+              ends'.(j) <- hi;
+              costs'.(j) <- sc j i hi;
+              go rest ends' costs' ((j, i) :: breaks))
+            (end_candidates j i)
+    in
+    go restarting s.ends s.costs s.breaks;
+    !out
+  in
+  let prune level =
+    let level = pareto_filter level in
+    explored := !explored + List.length level;
+    match max_states with
+    | Some cap when List.length level > cap ->
+        truncated := true;
+        let scored = List.map (fun s -> (s.acc + suffix.(0), s)) level in
+        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+        List.filteri (fun i _ -> i < cap) sorted |> List.map snd
+    | _ -> level
+  in
+  let virtual_start =
+    { ends = Array.make m (-1); costs = Array.make m 0; acc = 0; breaks = [] }
+  in
+  let rec advance i level =
+    if i >= n then level
+    else
+      let level = prune (List.concat_map (expand_state i) level) in
+      advance (i + 1) level
+  in
+  let final = advance 0 [ virtual_start ] in
+  match final with
+  | [] ->
+      (* Can only happen when the given upper bound was unachievable. *)
+      invalid_arg "Mt_dp.solve: upper_bound below the optimum"
+  | s0 :: rest ->
+      let best = List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest in
+      let rows = Array.make m [] in
+      List.iter (fun (j, i) -> rows.(j) <- i :: rows.(j)) best.breaks;
+      {
+        cost = best.acc;
+        bp = Breakpoints.of_rows ~m ~n rows;
+        exact = not !truncated;
+        states_explored = !explored;
+      }

@@ -1,0 +1,47 @@
+(** Exact dynamic program for the fully synchronized multi-task problem
+    (the algorithm behind the paper's Theorem 1).
+
+    States walk the steps left to right.  A task's hypercontext is
+    committed at its hyperreconfiguration step together with the block
+    it will cover (w.l.o.g. the block's minimal hypercontext — the cost
+    terms are monotone), so a state at step [i] is, per task, the pair
+    (per-step cost of the committed block, block end).  Transitions
+    happen exactly at block ends.  Two prunings keep the frontier
+    small without losing exactness:
+
+    - {b Pareto dominance}: among states with identical block-end
+      vectors (identical future option sets), a state is dropped when
+      another has component-wise ≤ per-step costs and ≤ accumulated
+      cost;
+    - {b lower-bound pruning}: a state is dropped when its accumulated
+      cost plus Σ_k max_j step_cost(j,k,k) over the remaining steps
+      exceeds a known upper bound (seeded from the heuristics).
+
+    Worst-case complexity is O(n^m · 2^m · n) states×transitions —
+    polynomial for fixed m, matching the paper's claim — so the solver
+    is meant for small instances and for certifying the metaheuristics;
+    with [max_states] set it degrades gracefully into an inadmissible
+    beam search (reported via [exact = false]). *)
+
+type outcome = {
+  cost : int;
+  bp : Breakpoints.t;
+  exact : bool;  (** [false] when the frontier was beam-truncated *)
+  states_explored : int;
+}
+
+(** [solve ?params ?upper_bound ?max_states oracle] minimizes
+    [Sync_cost.eval ?params].  [upper_bound] (an {e achievable} cost)
+    prunes; pass a heuristic cost to speed the search up.
+    [max_states] bounds the per-step frontier (default: unbounded →
+    exact).  In beam mode the per-task block-end fan-out is also
+    restricted to the cost-jump frontier, so large instances stay
+    tractable at the price of exactness.  Exact mode raises
+    [Invalid_argument] when the initial level (n^m states) would
+    exceed two million — use the beam or a metaheuristic there. *)
+val solve :
+  ?params:Sync_cost.params ->
+  ?upper_bound:int ->
+  ?max_states:int ->
+  Interval_cost.t ->
+  outcome

@@ -1,0 +1,111 @@
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+type epoch = { tasks : (string * Trace.t) list }
+
+type plan = {
+  total_cost : int;
+  epoch_costs : int list;
+  epoch_task_counts : int list;
+}
+
+let default_optimize oracle =
+  let start = (Mt_greedy.best oracle).Mt_greedy.bp in
+  (Mt_local.solve ~init:start oracle).Mt_local.cost
+
+(* Turn one epoch into a fully synchronized instance: each task owns
+   exactly the switches it ever demands during the epoch. *)
+let epoch_instance ~width epoch =
+  (match epoch.tasks with [] -> invalid_arg "Mt_dynamic: epoch with no tasks" | _ -> ());
+  let owned = ref (Bitset.create width) in
+  let parts =
+    List.map
+      (fun (name, trace) ->
+        if Switch_space.size (Trace.space trace) <> width then
+          invalid_arg "Mt_dynamic: fabric width mismatch";
+        if Trace.length trace = 0 then invalid_arg "Mt_dynamic: epoch with no steps";
+        let demand = Trace.total_union trace in
+        if not (Bitset.is_empty (Bitset.inter !owned demand)) then
+          invalid_arg
+            (Printf.sprintf
+               "Mt_dynamic: task %s demands switches owned by another task (local \
+                resources are exclusive)"
+               name);
+        owned := Bitset.union !owned demand;
+        { Task_split.name; mask = demand })
+      epoch.tasks
+  in
+  (* Any leftover fabric is parked in an idle task so the masks
+     partition the universe (it contributes nothing: no demand). *)
+  let leftover = Bitset.diff (Bitset.full width) !owned in
+  let parts =
+    if Bitset.is_empty leftover then parts
+    else parts @ [ { Task_split.name = "(idle)"; mask = leftover } ]
+  in
+  let machine_trace =
+    (* The machine-wide trace: union of the tasks' requirements per
+       step (they are disjoint by construction). *)
+    let n =
+      List.fold_left (fun acc (_, t) -> max acc (Trace.length t)) 0 epoch.tasks
+    in
+    let req i =
+      List.fold_left
+        (fun acc (_, t) ->
+          if i < Trace.length t then Bitset.union acc (Trace.req t i) else acc)
+        (Bitset.create width) epoch.tasks
+    in
+    Trace.make (Trace.space (snd (List.hd epoch.tasks))) (Array.init n req)
+  in
+  Task_split.oracle machine_trace (Array.of_list parts)
+
+let solve ?(optimize = default_optimize) ~w epochs =
+  if w < 0 then invalid_arg "Mt_dynamic.solve: negative w";
+  (match epochs with [] -> invalid_arg "Mt_dynamic.solve: no epochs" | _ -> ());
+  let width =
+    match epochs with
+    | { tasks = (_, t) :: _ } :: _ -> Switch_space.size (Trace.space t)
+    | _ -> invalid_arg "Mt_dynamic.solve: first epoch has no tasks"
+  in
+  let epoch_costs =
+    List.map (fun e -> optimize (epoch_instance ~width e)) epochs
+  in
+  {
+    total_cost = List.fold_left (fun acc c -> acc + w + c) 0 epoch_costs;
+    epoch_costs;
+    epoch_task_counts = List.map (fun e -> List.length e.tasks) epochs;
+  }
+
+let random_epochs rng ~width ~epochs ~steps_per_epoch ~max_tasks =
+  if width < max_tasks then invalid_arg "Mt_dynamic.random_epochs: fabric too small";
+  if epochs < 1 || steps_per_epoch < 1 || max_tasks < 1 then
+    invalid_arg "Mt_dynamic.random_epochs: positive parameters required";
+  let space = Switch_space.make width in
+  List.init epochs (fun e ->
+      let m = Rng.int_in rng 1 max_tasks in
+      (* Disjoint random slices: shuffle the switches, cut into m
+         chunks. *)
+      let order = Array.init width Fun.id in
+      Rng.shuffle rng order;
+      let chunk j =
+        let per = width / m in
+        Array.to_list (Array.sub order (j * per) per)
+      in
+      let tasks =
+        List.init m (fun j ->
+            let mine = chunk j in
+            let arr = Array.of_list mine in
+            let req _ =
+              (* Phased: a sticky active subset of the owned slice. *)
+              let active =
+                List.filter (fun _ -> Rng.chance rng 0.5) (Array.to_list arr)
+              in
+              active
+            in
+            let reqs =
+              List.init steps_per_epoch (fun i ->
+                  ignore i;
+                  List.filter (fun _ -> Rng.chance rng 0.6) (req ()))
+            in
+            (Printf.sprintf "e%d.t%d" e j, Trace.of_lists space reqs))
+      in
+      { tasks })

@@ -1,0 +1,48 @@
+(** Dynamic multi-task environments: tasks arriving and departing.
+
+    The paper's machines run a fixed set of tasks, with {e global}
+    hyperreconfigurations (cost [w], barrier-synchronizing, after which
+    every surviving task must locally hyperreconfigure) re-defining the
+    assignment of resources.  This module models the natural dynamic
+    extension: a timeline of epochs, each with its own set of active
+    tasks; every epoch boundary is a global hyperreconfiguration that
+    re-partitions the fabric's switches among the new task set, and
+    inside an epoch the machine is the usual fully synchronized
+    partially hyperreconfigurable one.
+
+    Switch assignment at an epoch boundary is demand-proportional:
+    every active task receives its own switches (the union of its
+    requirements during the epoch) — a feasibility requirement — and
+    cost accounting then proceeds with the §4.1 special-case
+    [v_j = l_j] on the epoch-local instance. *)
+
+(** One epoch: the tasks (name + machine-wide requirement trace over
+    the epoch's steps, all over the same fabric-wide switch space). *)
+type epoch = { tasks : (string * Trace.t) list }
+
+type plan = {
+  total_cost : int;  (** Σ epochs (w + epoch's optimized local cost) *)
+  epoch_costs : int list;
+  epoch_task_counts : int list;
+}
+
+(** [solve ?optimize ~w epochs] plans each epoch independently
+    ([optimize] defaults to greedy + hill climbing) and charges [w]
+    per epoch boundary.  Raises [Invalid_argument] when two active
+    tasks of one epoch demand the same switch (local resources are
+    exclusively owned, §3), when an epoch has no tasks or no steps, or
+    when epochs disagree on the fabric width. *)
+val solve :
+  ?optimize:(Interval_cost.t -> int) -> w:int -> epoch list -> plan
+
+(** [random_epochs rng ~width ~epochs ~steps_per_epoch ~max_tasks] —
+    a synthetic arrival/departure workload: each epoch activates
+    1..[max_tasks] tasks on disjoint random slices of the fabric with
+    phased local traffic. *)
+val random_epochs :
+  Hr_util.Rng.t ->
+  width:int ->
+  epochs:int ->
+  steps_per_epoch:int ->
+  max_tasks:int ->
+  epoch list

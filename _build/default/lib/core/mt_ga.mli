@@ -1,0 +1,27 @@
+(** Genetic algorithm for the fully synchronized multi-task problem —
+    the method the paper uses for its §6 multi-task results.
+
+    The genome is the m×n breakpoint matrix; given breakpoints, minimal
+    (union) hypercontexts are optimal, so no hypercontext genes are
+    needed.  The population is seeded with the heuristic portfolio
+    ({!Mt_greedy}), including the stacked per-task optima, so the GA
+    can only improve on the best heuristic. *)
+
+type result = {
+  cost : int;
+  bp : Breakpoints.t;
+  evaluations : int;
+  history : (int * int) list;  (** best-so-far cost per improving generation *)
+}
+
+(** [solve ?params ?config ?seeds ~rng oracle] evolves breakpoint
+    matrices minimizing [Sync_cost.eval ?params].  Extra [seeds] are
+    injected into the initial population.  Deterministic for a fixed
+    [rng] seed. *)
+val solve :
+  ?params:Sync_cost.params ->
+  ?config:Hr_evolve.Ga.config ->
+  ?seeds:Breakpoints.t list ->
+  rng:Hr_util.Rng.t ->
+  Interval_cost.t ->
+  result

@@ -1,0 +1,76 @@
+type entry = { name : string; cost : int; bp : Breakpoints.t }
+
+let entry ?params name (oracle : Interval_cost.t) bp =
+  { name; cost = Sync_cost.eval ?params oracle bp; bp }
+
+let never ?params (oracle : Interval_cost.t) =
+  entry ?params "never" oracle
+    (Breakpoints.create ~m:oracle.Interval_cost.m ~n:oracle.Interval_cost.n)
+
+let every_step ?params (oracle : Interval_cost.t) =
+  entry ?params "every-step" oracle
+    (Breakpoints.all ~m:oracle.Interval_cost.m ~n:oracle.Interval_cost.n)
+
+let periodic ?params (oracle : Interval_cost.t) k =
+  entry ?params
+    (Printf.sprintf "period-%d" k)
+    oracle
+    (Breakpoints.periodic ~m:oracle.Interval_cost.m ~n:oracle.Interval_cost.n k)
+
+let best_periodic ?params (oracle : Interval_cost.t) =
+  let n = oracle.Interval_cost.n in
+  let rec go k best =
+    if k > n then best
+    else
+      let cand = periodic ?params oracle k in
+      go (k + 1) (if cand.cost < best.cost then cand else best)
+  in
+  let first = periodic ?params oracle 1 in
+  { (go 2 first) with name = "best-period" }
+
+(* Online look-ahead: task j commits to the union of steps [i, i+w-1]
+   and breaks at the first step whose requirement needs switches beyond
+   the committed block — detected through the oracle as a step-cost
+   increase over the committed window.  We work purely on breakpoints;
+   the final plan is re-costed with exact interval unions. *)
+let window ?params (oracle : Interval_cost.t) w =
+  if w <= 0 then invalid_arg "Mt_greedy.window: w must be positive";
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let sc = oracle.Interval_cost.step_cost in
+  let rows =
+    Array.init m (fun j ->
+        let rec go start i acc =
+          if i >= n then List.rev acc
+          else
+            let window_hi = min (n - 1) (start + w - 1) in
+            if i <= window_hi then go start (i + 1) acc
+            else if
+              (* Steps beyond the window stay in the block while they do
+                 not enlarge its minimal hypercontext. *)
+              sc j start i = sc j start window_hi
+            then go start (i + 1) acc
+            else go i (i + 1) (i :: acc)
+        in
+        go 0 1 [])
+  in
+  entry ?params (Printf.sprintf "window-%d" w) oracle (Breakpoints.of_rows ~m ~n rows)
+
+let per_task_opt ?params (oracle : Interval_cost.t) =
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let rows =
+    Array.init m (fun j -> (St_opt.solve_oracle oracle ~task:j).St_opt.breaks)
+  in
+  entry ?params "per-task-opt" oracle (Breakpoints.of_rows ~m ~n rows)
+
+let portfolio ?params oracle =
+  let windows = List.map (window ?params oracle) [ 2; 4; 8; 16 ] in
+  let entries =
+    never ?params oracle :: every_step ?params oracle :: best_periodic ?params oracle
+    :: per_task_opt ?params oracle :: windows
+  in
+  List.sort (fun a b -> compare a.cost b.cost) entries
+
+let best ?params oracle =
+  match portfolio ?params oracle with
+  | hd :: _ -> hd
+  | [] -> assert false

@@ -1,0 +1,41 @@
+(** Heuristic baselines for the fully synchronized multi-task problem.
+
+    None of these search; they are the comparison points of the
+    ablation benches and the seeds of the metaheuristics. *)
+
+(** A named heuristic outcome. *)
+type entry = { name : string; cost : int; bp : Breakpoints.t }
+
+(** [never oracle] hyperreconfigures only at step 0: every task keeps
+    one hypercontext covering its whole trace. *)
+val never : ?params:Sync_cost.params -> Interval_cost.t -> entry
+
+(** [every_step oracle] hyperreconfigures every task at every step:
+    minimal hypercontexts, maximal hyperreconfiguration overhead. *)
+val every_step : ?params:Sync_cost.params -> Interval_cost.t -> entry
+
+(** [periodic oracle k] breaks every task every [k] steps. *)
+val periodic : ?params:Sync_cost.params -> Interval_cost.t -> int -> entry
+
+(** [best_periodic oracle] scans all periods 1..n and returns the
+    cheapest. *)
+val best_periodic : ?params:Sync_cost.params -> Interval_cost.t -> entry
+
+(** [window oracle w] is the online look-ahead heuristic: each task
+    commits to the union of the next [w] steps and hyperreconfigures
+    when a requirement escapes it (the committed block is then
+    re-costed as its exact interval union, i.e. the plan is evaluated
+    offline like every other plan). *)
+val window : ?params:Sync_cost.params -> Interval_cost.t -> int -> entry
+
+(** [per_task_opt oracle] runs the single-task optimum ({!St_opt})
+    independently on every task and stacks the rows — optimal without
+    coupling, generally suboptimal with it; the strongest cheap seed. *)
+val per_task_opt : ?params:Sync_cost.params -> Interval_cost.t -> entry
+
+(** [portfolio oracle] evaluates all of the above (windows w ∈
+    {2,4,8,16}, plus best period) and returns them sorted by cost. *)
+val portfolio : ?params:Sync_cost.params -> Interval_cost.t -> entry list
+
+(** [best oracle] is the head of {!portfolio}. *)
+val best : ?params:Sync_cost.params -> Interval_cost.t -> entry

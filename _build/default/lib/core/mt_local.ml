@@ -1,0 +1,22 @@
+module Hillclimb = Hr_evolve.Hillclimb
+
+type result = { cost : int; bp : Breakpoints.t; evaluations : int; rounds : int }
+
+let solve ?params ?init ?max_rounds oracle =
+  let oracle = Interval_cost.memoize oracle in
+  let init =
+    match init with Some bp -> bp | None -> (Mt_greedy.best ?params oracle).Mt_greedy.bp
+  in
+  let problem =
+    {
+      Hillclimb.cost = (fun g -> Sync_cost.eval ?params oracle (Breakpoints.of_matrix g));
+      neighbors = Mt_moves.neighbors;
+    }
+  in
+  let r = Hillclimb.run ?max_rounds problem ~init:(Breakpoints.matrix init) in
+  {
+    cost = r.Hillclimb.best_cost;
+    bp = Breakpoints.of_matrix r.Hillclimb.best;
+    evaluations = r.Hillclimb.evaluations;
+    rounds = r.Hillclimb.rounds;
+  }

@@ -1,0 +1,16 @@
+(** Hill climbing on breakpoint matrices.
+
+    First-improvement over the deterministic single-bit-flip
+    neighborhood; cheap, deterministic, and the standard polishing pass
+    applied to metaheuristic results in the benches. *)
+
+type result = { cost : int; bp : Breakpoints.t; evaluations : int; rounds : int }
+
+(** [solve ?params ?init ?max_rounds oracle] climbs from [init]
+    (default: best greedy heuristic) to a 1-flip local optimum. *)
+val solve :
+  ?params:Sync_cost.params ->
+  ?init:Breakpoints.t ->
+  ?max_rounds:int ->
+  Interval_cost.t ->
+  result

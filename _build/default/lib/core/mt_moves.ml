@@ -1,0 +1,96 @@
+module Rng = Hr_util.Rng
+
+type matrix = bool array array
+
+let copy g = Array.map Array.copy g
+
+let dims g = (Array.length g, Array.length g.(0))
+
+let random rng ~m ~n ~density =
+  Array.init m (fun _ -> Array.init n (fun i -> i = 0 || Rng.chance rng density))
+
+let flip rng g =
+  let m, n = dims g in
+  let g = copy g in
+  if n > 1 then begin
+    let j = Rng.int rng m and i = Rng.int_in rng 1 (n - 1) in
+    g.(j).(i) <- not g.(j).(i)
+  end;
+  g
+
+let shift rng g =
+  let m, n = dims g in
+  let g = copy g in
+  if n > 1 then begin
+    let j = Rng.int rng m in
+    let set = ref [] in
+    for i = 1 to n - 1 do
+      if g.(j).(i) then set := i :: !set
+    done;
+    match !set with
+    | [] -> ()
+    | is ->
+        let i = Rng.pick rng (Array.of_list is) in
+        let dir = if Rng.bool rng then 1 else -1 in
+        let i' = i + dir in
+        if i' >= 1 && i' < n && not g.(j).(i') then begin
+          g.(j).(i) <- false;
+          g.(j).(i') <- true
+        end
+  end;
+  g
+
+let align rng g =
+  let m, n = dims g in
+  let g = copy g in
+  if n > 1 then begin
+    let i = Rng.int_in rng 1 (n - 1) in
+    let value =
+      (* Prefer aligning to set when the column is partially set. *)
+      let count = ref 0 in
+      for j = 0 to m - 1 do
+        if g.(j).(i) then incr count
+      done;
+      if !count = 0 then Rng.bool rng else Rng.chance rng 0.7
+    in
+    for j = 0 to m - 1 do
+      g.(j).(i) <- value
+    done
+  end;
+  g
+
+let mutate rng g =
+  let rec go g =
+    let g =
+      match Rng.int rng 4 with
+      | 0 | 1 -> flip rng g
+      | 2 -> shift rng g
+      | _ -> align rng g
+    in
+    if Rng.chance rng 0.4 then go g else g
+  in
+  go g
+
+let crossover rng a b =
+  let m, n = dims a in
+  if Rng.bool rng then
+    (* Row selection: each task's row comes wholesale from one parent. *)
+    Array.init m (fun j -> Array.copy (if Rng.bool rng then a.(j) else b.(j)))
+  else begin
+    (* Column cut: prefix from one parent, suffix from the other. *)
+    let cut = if n = 1 then 0 else Rng.int_in rng 1 (n - 1) in
+    Array.init m (fun j ->
+        Array.init n (fun i -> if i < cut then a.(j).(i) else b.(j).(i)))
+  end
+
+let neighbors g =
+  let m, n = dims g in
+  Seq.concat_map
+    (fun j ->
+      Seq.map
+        (fun i ->
+          let g' = copy g in
+          g'.(j).(i) <- not g'.(j).(i);
+          g')
+        (Seq.init (n - 1) (fun k -> k + 1)))
+    (Seq.init m Fun.id)

@@ -1,0 +1,66 @@
+(** Multi-task planning with private global resources (§3–§4).
+
+    Private global resources (the paper's example: I/O units) are
+    shared between tasks; a {e global} hyperreconfiguration (cost [w],
+    barrier-synchronizing, after which every task must locally
+    hyperreconfigure) fixes both the total amount made available and
+    its assignment to tasks; local hyperreconfigurations then choose,
+    within the assignment, how much is actually reconfigurable.
+
+    Quantitative resources are fungible, so a task's requirement per
+    step is a {e count} [d_{j,i}]; the minimal private part of a block
+    hypercontext is the block's maximum demand, and the MT-Switch
+    per-step cost becomes [|h^loc| + |h^priv|] (§4.1 model 3).  The
+    paper's special case [v_j = |h_j| + |f^loc_j|] ties the local
+    hyperreconfiguration cost to the assignment, which this module
+    honours.
+
+    A global plan is a segmentation of the steps: each segment gets one
+    global hyperreconfiguration whose assignment must cover every
+    task's peak demand inside the segment, subject to
+    Σ_j assigned_j ≤ g_total. *)
+
+type task = {
+  name : string;
+  local_trace : Trace.t;  (** local switch requirements per step *)
+  priv_demand : int array;  (** private-global units needed per step *)
+}
+
+type t
+
+(** [make ~g_total ~w tasks] validates: equal trace lengths, demands
+    non-negative and individually ≤ [g_total]. *)
+val make : g_total:int -> w:int -> task array -> t
+
+(** [peak_demand t j lo hi] is max_{i ∈ [lo,hi]} d_{j,i}. *)
+val peak_demand : t -> int -> int -> int -> int
+
+(** [feasible_assignment t lo hi] is the per-task peak-demand
+    assignment of segment [lo..hi] when its sum fits in [g_total]. *)
+val feasible_assignment : t -> int -> int -> int array option
+
+(** [segment_oracle t lo hi ~assignment] is the {!Interval_cost.t} of
+    one global segment: [step_cost j a b = |U^loc_j(a,b)| + peak_j(a,b)]
+    (step indices relative to the segment), and
+    [v_j = assignment_j + |f^loc_j|]. *)
+val segment_oracle : t -> int -> int -> assignment:int array -> Interval_cost.t
+
+type plan = {
+  cost : int;  (** total including [w] per global hyperreconfiguration *)
+  segments : (int * int * int array) list;
+      (** (lo, hi, assignment) per global segment *)
+  segment_costs : int list;  (** local (hyper)reconfiguration cost per segment *)
+}
+
+(** [solve ?optimize t] segments greedily (extend the current segment
+    while the peak-demand assignment still fits [g_total]) and
+    optimizes each segment's local breakpoints with [optimize]
+    (default: {!Mt_greedy.best} polished by {!Mt_local}).  Raises
+    [Invalid_argument] when even a single step's total demand exceeds
+    [g_total] (no segmentation is feasible). *)
+val solve : ?optimize:(Interval_cost.t -> int * Breakpoints.t) -> t -> plan
+
+(** [num_tasks t] and [steps t]. *)
+val num_tasks : t -> int
+
+val steps : t -> int

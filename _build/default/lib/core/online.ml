@@ -1,0 +1,125 @@
+module Bitset = Hr_util.Bitset
+
+type decision = Keep | Switch_to of Hypercontext.t
+
+type instance = {
+  start : Bitset.t -> Hypercontext.t;
+  step : Hypercontext.t -> Bitset.t -> decision;
+}
+
+type policy = { name : string; fresh : unit -> instance }
+
+let eager =
+  {
+    name = "eager";
+    fresh =
+      (fun () ->
+        {
+          start = Fun.id;
+          step = (fun _hc req -> Switch_to req);
+        });
+  }
+
+let lazy_full ~universe =
+  {
+    name = "lazy-full";
+    fresh =
+      (fun () ->
+        {
+          start = (fun req -> Bitset.union (Bitset.full universe) req);
+          step = (fun _hc _req -> Keep);
+        });
+  }
+
+let rent_or_buy ~v =
+  {
+    name = "rent-or-buy";
+    fresh =
+      (fun () ->
+        let waste = ref 0 in
+        {
+          start = Fun.id;
+          step =
+            (fun hc req ->
+              if not (Hypercontext.satisfies hc req) then begin
+                (* Forced switch: take the union so recent history stays
+                   available (pure per-requirement switching thrashes on
+                   alternating demands). *)
+                waste := 0;
+                Switch_to (Bitset.union hc req)
+              end
+              else begin
+                waste := !waste + (Hypercontext.cost hc - Bitset.cardinal req);
+                if !waste > v then begin
+                  waste := 0;
+                  Switch_to req
+                end
+                else Keep
+              end);
+        });
+  }
+
+let growing ?(reset_factor = 3.0) () =
+  {
+    name = "growing";
+    fresh =
+      (fun () ->
+        let steps = ref 0 and req_sum = ref 0 in
+        let observe req =
+          incr steps;
+          req_sum := !req_sum + Bitset.cardinal req
+        in
+        {
+          start =
+            (fun req ->
+              observe req;
+              req);
+          step =
+            (fun hc req ->
+              observe req;
+              let mean = float_of_int !req_sum /. float_of_int !steps in
+              if not (Hypercontext.satisfies hc req) then
+                Switch_to (Bitset.union hc req)
+              else if float_of_int (Hypercontext.cost hc) > reset_factor *. Float.max 1.0 mean
+              then Switch_to req
+              else Keep);
+        });
+  }
+
+let run policy ~v trace =
+  let n = Trace.length trace in
+  if n = 0 then invalid_arg "Online.run: empty trace";
+  if v < 0 then invalid_arg "Online.run: negative v";
+  let inst = policy.fresh () in
+  let require hc req =
+    if not (Hypercontext.satisfies hc req) then
+      invalid_arg
+        (Printf.sprintf "Online.run: policy %s returned an invalid hypercontext"
+           policy.name);
+    hc
+  in
+  let hc0 = require (inst.start (Trace.req trace 0)) (Trace.req trace 0) in
+  let cost = ref (v + Hypercontext.cost hc0) in
+  let switches = ref 1 in
+  let hc = ref hc0 in
+  for i = 1 to n - 1 do
+    let req = Trace.req trace i in
+    (match inst.step !hc req with
+    | Keep ->
+        (* A Keep that cannot satisfy the requirement is a policy bug. *)
+        hc := require !hc req
+    | Switch_to next ->
+        hc := require next req;
+        incr switches;
+        cost := !cost + v);
+    cost := !cost + Hypercontext.cost !hc
+  done;
+  (!cost, !switches)
+
+let competitive_ratio policy ~v trace =
+  let online, _ = run policy ~v trace in
+  let offline, _ = St_opt.solve_trace ~v trace in
+  float_of_int online /. float_of_int offline.St_opt.cost
+
+let all ~v ~universe =
+  [ eager; lazy_full ~universe; rent_or_buy ~v; growing () ]

@@ -1,0 +1,65 @@
+(** Online hyperreconfiguration policies.
+
+    The paper notes that "the actual demand of a computation during
+    runtime might depend on the data and cannot be determined exactly in
+    advance" — in that regime the planner sees context requirements one
+    at a time and must decide on the spot whether (and into what) to
+    hyperreconfigure.  This module implements classic online policies
+    for the single-task switch model and measures their empirical
+    competitive ratio against the offline optimum ({!St_opt}):
+
+    - {!eager}: hyperreconfigure every step to exactly the current
+      requirement — minimal per-step cost, maximal hyperreconfiguration
+      overhead;
+    - {!lazy_full}: hyperreconfigure once to the full universe — no
+      adaptation at all;
+    - {!rent_or_buy}: keep the current hypercontext and accumulate the
+      {e waste} (per-step cost above the current requirement's own
+      size); once the waste since the last voluntary switch exceeds
+      [v], hyperreconfigure down to the current requirement
+      (ski-rental reasoning — never keep paying much more than a switch
+      would have cost);
+    - {!growing}: grow the hypercontext by union whenever a requirement
+      escapes it; shrink back to the current requirement when the
+      hypercontext exceeds [reset_factor] × the running mean
+      requirement size.
+
+    Any policy {e must} hyperreconfigure when the next requirement is
+    not contained in the current hypercontext (the machine cannot
+    realize the context otherwise); the driver enforces this. *)
+
+type decision = Keep | Switch_to of Hypercontext.t
+
+(** One run's worth of policy state: [start] builds the first
+    hypercontext from the first requirement; [step] sees the current
+    hypercontext and the requirement that must hold {e now}.  Policies
+    may close over mutable state — {!policy} provides a fresh instance
+    per run. *)
+type instance = {
+  start : Hr_util.Bitset.t -> Hypercontext.t;
+  step : Hypercontext.t -> Hr_util.Bitset.t -> decision;
+}
+
+type policy = { name : string; fresh : unit -> instance }
+
+(** The policies described above. *)
+val eager : policy
+
+val lazy_full : universe:int -> policy
+val rent_or_buy : v:int -> policy
+val growing : ?reset_factor:float -> unit -> policy
+
+(** [run policy ~v trace] drives a fresh instance over the trace and
+    returns (total cost, number of hyperreconfigurations).  Cost model:
+    [v] per hyperreconfiguration (including the initial one) plus the
+    in-force hypercontext size per step.  Raises [Invalid_argument]
+    when the policy returns a hypercontext that does not satisfy the
+    pending requirement. *)
+val run : policy -> v:int -> Trace.t -> int * int
+
+(** [competitive_ratio policy ~v trace] is
+    [online cost / offline optimum]. *)
+val competitive_ratio : policy -> v:int -> Trace.t -> float
+
+(** [all ~v ~universe] is the standard policy portfolio. *)
+val all : v:int -> universe:int -> policy list

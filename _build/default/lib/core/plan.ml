@@ -1,0 +1,161 @@
+module Bitset = Hr_util.Bitset
+
+type segment = { lo : int; hi : int; hc : Hypercontext.t }
+
+type t = { segs : segment array array; n : int }
+
+let check_tiling j segs =
+  let rec go expected = function
+    | [] -> expected
+    | { lo; hi; _ } :: rest ->
+        if lo <> expected || hi < lo then
+          invalid_arg
+            (Printf.sprintf "Plan.make: task %d segments do not tile (at step %d)" j
+               expected);
+        go (hi + 1) rest
+  in
+  go 0 segs
+
+let make per_task =
+  if Array.length per_task = 0 then invalid_arg "Plan.make: no tasks";
+  let n = check_tiling 0 per_task.(0) in
+  Array.iteri
+    (fun j segs ->
+      let nj = check_tiling j segs in
+      if nj <> n then invalid_arg "Plan.make: tasks cover different step counts")
+    per_task;
+  if n = 0 then invalid_arg "Plan.make: empty plan";
+  { segs = Array.map Array.of_list per_task; n }
+
+let of_breakpoints ts bp =
+  let m = Task_set.num_tasks ts in
+  let per_task =
+    Array.init m (fun j ->
+        let trace = (Task_set.get ts j).Task_set.trace in
+        List.map
+          (fun (lo, hi) -> { lo; hi; hc = Trace.range_union trace lo hi })
+          (Breakpoints.intervals bp j))
+  in
+  make per_task
+
+let segments t j = Array.to_list t.segs.(j)
+let num_tasks t = Array.length t.segs
+let steps t = t.n
+
+let breakpoints t =
+  let m = num_tasks t and n = t.n in
+  let bp = Array.init m (fun _ -> Array.make n false) in
+  Array.iteri (fun j segs -> Array.iter (fun s -> bp.(j).(s.lo) <- true) segs) t.segs;
+  Breakpoints.of_matrix bp
+
+let hypercontext_at t j i =
+  if i < 0 || i >= t.n then invalid_arg "Plan.hypercontext_at: step out of range";
+  let segs = t.segs.(j) in
+  let rec find k =
+    let s = segs.(k) in
+    if i <= s.hi then s.hc else find (k + 1)
+  in
+  find 0
+
+let validate t ts =
+  if Task_set.num_tasks ts <> num_tasks t || Task_set.steps ts <> t.n then
+    Error "plan/instance dimension mismatch"
+  else
+    let m = num_tasks t in
+    let rec check_task j =
+      if j >= m then Ok ()
+      else
+        let trace = (Task_set.get ts j).Task_set.trace in
+        let bad =
+          Array.to_list t.segs.(j)
+          |> List.find_map (fun s ->
+                 let rec step i =
+                   if i > s.hi then None
+                   else if not (Hypercontext.satisfies s.hc (Trace.req trace i)) then
+                     Some i
+                   else step (i + 1)
+                 in
+                 step s.lo)
+        in
+        match bad with
+        | Some i ->
+            Error
+              (Printf.sprintf
+                 "task %d step %d: requirement not satisfied by hypercontext" j i)
+        | None -> check_task (j + 1)
+    in
+    check_task 0
+
+(* Per-task per-step |h| and break indicators. *)
+let per_step_sizes t =
+  let m = num_tasks t in
+  Array.init m (fun j ->
+      let sizes = Array.make t.n 0 and breaks = Array.make t.n false in
+      Array.iter
+        (fun s ->
+          breaks.(s.lo) <- true;
+          let c = Hypercontext.cost s.hc in
+          for i = s.lo to s.hi do
+            sizes.(i) <- c
+          done)
+        t.segs.(j);
+      (sizes, breaks))
+
+let cost_sync ?(params = Sync_cost.default_params) t ~v =
+  if Array.length v <> num_tasks t then invalid_arg "Plan.cost_sync: |v| mismatch";
+  let data = per_step_sizes t in
+  let m = num_tasks t in
+  let total = ref params.Sync_cost.w in
+  for i = 0 to t.n - 1 do
+    let hyper = ref 0 and reconf = ref params.Sync_cost.pub in
+    for j = 0 to m - 1 do
+      let sizes, breaks = data.(j) in
+      (if breaks.(i) then
+         match params.Sync_cost.hyper with
+         | Sync_cost.Task_parallel -> hyper := max !hyper v.(j)
+         | Sync_cost.Task_sequential -> hyper := !hyper + v.(j));
+      match params.Sync_cost.reconf with
+      | Sync_cost.Task_parallel -> reconf := max !reconf sizes.(i)
+      | Sync_cost.Task_sequential -> reconf := !reconf + sizes.(i)
+    done;
+    total := !total + !hyper + !reconf
+  done;
+  !total
+
+let cost_changeover t ~v ~w =
+  if Array.length v <> num_tasks t then invalid_arg "Plan.cost_changeover: |v| mismatch";
+  let m = num_tasks t in
+  (* Per-step hyper costs including the |h Δ h'| term. *)
+  let hyper_at = Array.make t.n 0 in
+  let sizes = Array.init m (fun _ -> Array.make t.n 0) in
+  Array.iteri
+    (fun j segs ->
+      let width = if Array.length segs = 0 then 0 else Bitset.width segs.(0).hc in
+      let prev = ref (Bitset.create width) in
+      Array.iter
+        (fun s ->
+          let change = Hypercontext.changeover !prev s.hc in
+          hyper_at.(s.lo) <- max hyper_at.(s.lo) (v.(j) + change);
+          prev := s.hc;
+          let c = Hypercontext.cost s.hc in
+          for i = s.lo to s.hi do
+            sizes.(j).(i) <- c
+          done)
+        segs)
+    t.segs;
+  let total = ref w in
+  for i = 0 to t.n - 1 do
+    let reconf = ref 0 in
+    for j = 0 to m - 1 do
+      reconf := max !reconf sizes.(j).(i)
+    done;
+    total := !total + hyper_at.(i) + !reconf
+  done;
+  !total
+
+let with_segment t j k hc =
+  let segs = Array.map Array.copy t.segs in
+  if j < 0 || j >= num_tasks t then invalid_arg "Plan.with_segment: task";
+  if k < 0 || k >= Array.length segs.(j) then invalid_arg "Plan.with_segment: segment";
+  segs.(j).(k) <- { (segs.(j).(k)) with hc };
+  { t with segs }

@@ -1,0 +1,67 @@
+(** Concrete plans: breakpoints plus the chosen hypercontexts.
+
+    {!Breakpoints} fixes only {e when} each task hyperreconfigures; a
+    [Plan.t] also fixes {e into what}.  For the switch model the
+    optimizers always choose the minimal valid hypercontext of each
+    block (the union of its requirements), but plans can carry larger
+    hypercontexts — needed for the changeover-cost variant where
+    enlarging a hypercontext can pay off — so validity and cost are
+    defined for arbitrary hypercontext choices and are cross-checked
+    against the oracle-based {!Sync_cost} in the test suite. *)
+
+type segment = {
+  lo : int;  (** first step covered (a breakpoint of the task) *)
+  hi : int;  (** last step covered, inclusive *)
+  hc : Hypercontext.t;  (** hypercontext in force during [lo..hi] *)
+}
+
+type t
+
+(** [of_breakpoints ts bp] materializes the minimal (union)
+    hypercontexts for every block of every task of [ts]. *)
+val of_breakpoints : Task_set.t -> Breakpoints.t -> t
+
+(** [make segments] builds a plan from per-task segment lists; checks
+    that each task's segments tile [0..n-1] contiguously.  Raises
+    [Invalid_argument] otherwise. *)
+val make : segment list array -> t
+
+(** [segments t j] is task [j]'s segment list in step order. *)
+val segments : t -> int -> segment list
+
+(** [num_tasks t] and [steps t] are the plan dimensions. *)
+val num_tasks : t -> int
+
+val steps : t -> int
+
+(** [breakpoints t] forgets the hypercontexts. *)
+val breakpoints : t -> Breakpoints.t
+
+(** [hypercontext_at t j i] is the hypercontext of task [j] in force at
+    step [i]. *)
+val hypercontext_at : t -> int -> int -> Hypercontext.t
+
+(** [validate t ts] checks the plan against the instance: every
+    requirement of every step must be satisfied by the hypercontext in
+    force ([c_{j,i} ⊆ h_j(i)], paper §2).  Returns [Error msg] naming
+    the first violating (task, step). *)
+val validate : t -> Task_set.t -> (unit, string) result
+
+(** [cost_sync ?params t] evaluates the §4.2 fully synchronized switch
+    cost directly from the concrete hypercontexts (|h| per step,
+    combined across tasks by max or Σ according to [params]).  For
+    union plans this equals [Sync_cost.eval]. *)
+val cost_sync : ?params:Sync_cost.params -> t -> v:int array -> int
+
+(** [cost_changeover t ~v ~w] evaluates the changeover-cost variant
+    (paper §4.1): each partial hyperreconfiguration of task [j] costs
+    [v.(j) + |h Δ h'|] where [h'] is the task's previous hypercontext
+    (the empty set before the first one); combined across tasks by max
+    per step (task-parallel), plus the per-step reconfiguration max as
+    usual; [w] is added once. *)
+val cost_changeover : t -> v:int array -> w:int -> int
+
+(** [with_segment t j k hc] replaces the hypercontext of task [j]'s
+    [k]-th segment (0-based) — the local-search move of the changeover
+    optimizer. *)
+val with_segment : t -> int -> int -> Hypercontext.t -> t

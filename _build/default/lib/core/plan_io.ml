@@ -1,0 +1,55 @@
+let to_string bp =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "plan %d %d\n" (Breakpoints.m bp) (Breakpoints.n bp));
+  for j = 0 to Breakpoints.m bp - 1 do
+    for i = 0 to Breakpoints.n bp - 1 do
+      Buffer.add_char buf (if Breakpoints.is_break bp j i then '#' else '.')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let fail no msg = failwith (Printf.sprintf "Plan_io: line %d: %s" no msg) in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  match lines with
+  | (no, header) :: rows -> (
+      match String.split_on_char ' ' header with
+      | [ "plan"; m_tok; n_tok ] -> (
+          match (int_of_string_opt m_tok, int_of_string_opt n_tok) with
+          | Some m, Some n when m > 0 && n > 0 ->
+              if List.length rows <> m then
+                fail no (Printf.sprintf "expected %d rows, got %d" m (List.length rows));
+              let parse_row (no, line) =
+                if String.length line <> n then
+                  fail no (Printf.sprintf "row has %d cells, expected %d"
+                             (String.length line) n);
+                Array.init n (fun i ->
+                    match line.[i] with
+                    | '#' -> true
+                    | '.' -> false
+                    | c -> fail no (Printf.sprintf "stray character %C" c))
+              in
+              let matrix = Array.of_list (List.map parse_row rows) in
+              (try Breakpoints.of_matrix matrix
+               with Invalid_argument msg -> fail no msg)
+          | _ -> fail no "bad dimensions in header")
+      | _ -> fail no "expected 'plan <m> <n>'")
+  | [] -> failwith "Plan_io: empty input"
+
+let save path bp =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string bp))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,25 @@
+(** Plain-text (de)serialization of breakpoint matrices.
+
+    Format:
+
+    {v
+    plan <m> <n>
+    #..#....   (one row per task: '#' = hyperreconfiguration)
+    #......#
+    v}
+
+    Used by the CLI tools to hand plans between optimizers and
+    evaluators. *)
+
+(** [to_string bp]. *)
+val to_string : Breakpoints.t -> string
+
+(** [of_string s] — raises [Failure] with a line-numbered message on
+    malformed input (wrong dimensions, missing mandatory column 0,
+    stray characters). *)
+val of_string : string -> Breakpoints.t
+
+(** [save path bp] / [load path]. *)
+val save : string -> Breakpoints.t -> unit
+
+val load : string -> Breakpoints.t

@@ -1,0 +1,30 @@
+module Bitset = Hr_util.Bitset
+
+(* sizes.(lo).(hi - lo) = |U(lo,hi)| *)
+type t = { trace : Trace.t; sizes : int array array }
+
+let make trace =
+  let n = Trace.length trace in
+  let sizes =
+    Array.init n (fun lo ->
+        let row = Array.make (n - lo) 0 in
+        let acc = Bitset.copy (Trace.req trace lo) in
+        row.(0) <- Bitset.cardinal acc;
+        for hi = lo + 1 to n - 1 do
+          ignore (Bitset.union_into ~into:acc (Trace.req trace hi));
+          row.(hi - lo) <- Bitset.cardinal acc
+        done;
+        row)
+  in
+  { trace; sizes }
+
+let length t = Trace.length t.trace
+
+let size t lo hi =
+  if lo < 0 || hi >= length t || lo > hi then
+    invalid_arg (Printf.sprintf "Range_union.size: bad range [%d,%d]" lo hi);
+  t.sizes.(lo).(hi - lo)
+
+let union t lo hi = Trace.range_union t.trace lo hi
+
+let trace t = t.trace

@@ -1,0 +1,26 @@
+(** Precomputed interval-union sizes for a trace.
+
+    The switch-model optimizers repeatedly need |U(i,j)|, the number of
+    switches in the union of the requirements of steps [i..j]: that
+    union is the minimal hypercontext valid for a block, and its size
+    is the per-step reconfiguration cost of the block (cost(h) = |h|).
+    This module materializes the triangular size table once in O(n²)
+    bitset unions so each query is O(1). *)
+
+type t
+
+(** [make trace] precomputes the table.  Memory is O(n²) ints. *)
+val make : Trace.t -> t
+
+(** [length t] is the trace length n. *)
+val length : t -> int
+
+(** [size t lo hi] is |U(lo,hi)| for [0 ≤ lo ≤ hi < n]. *)
+val size : t -> int -> int -> int
+
+(** [union t lo hi] recomputes the union bitset itself (O(hi-lo)); use
+    it when reconstructing concrete hypercontexts of a chosen plan. *)
+val union : t -> int -> int -> Hr_util.Bitset.t
+
+(** [trace t] is the underlying trace. *)
+val trace : t -> Trace.t

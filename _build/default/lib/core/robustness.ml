@@ -1,0 +1,113 @@
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+type report = { violations : int; planned_cost : int; actual_cost : int }
+
+let perturb rng trace ~p =
+  if p < 0. || p > 1. then invalid_arg "Robustness.perturb: p out of [0,1]";
+  let space = Trace.space trace in
+  let width = Switch_space.size space in
+  let reqs =
+    Array.map
+      (fun req ->
+        let extra = Bitset.random (fun () -> Rng.float rng) ~width ~density:p in
+        Bitset.union req extra)
+      (Trace.reqs trace)
+  in
+  Trace.make space reqs
+
+let evaluate actual plan =
+  let m = Task_set.num_tasks actual and n = Task_set.steps actual in
+  if Plan.num_tasks plan <> m || Plan.steps plan <> n then
+    invalid_arg "Robustness.evaluate: plan/instance dimension mismatch";
+  let v = Array.init m (fun j -> (Task_set.get actual j).Task_set.v) in
+  (* Walk the plan per task, tracking the (possibly emergency-enlarged)
+     hypercontext in force. *)
+  let violations = ref 0 in
+  let emergency_at = Array.make n 0 in
+  (* per-step max emergency v *)
+  let sizes = Array.make_matrix m n 0 in
+  for j = 0 to m - 1 do
+    let trace = (Task_set.get actual j).Task_set.trace in
+    let current = ref None in
+    let segs = ref (Plan.segments plan j) in
+    for i = 0 to n - 1 do
+      (match !segs with
+      | seg :: rest when seg.Plan.lo = i ->
+          current := Some seg.Plan.hc;
+          segs := rest
+      | _ -> ());
+      let hc = Option.get !current in
+      let req = Trace.req trace i in
+      let hc =
+        if Hypercontext.satisfies hc req then hc
+        else begin
+          incr violations;
+          emergency_at.(i) <- max emergency_at.(i) v.(j);
+          Bitset.union hc req
+        end
+      in
+      current := Some hc;
+      sizes.(j).(i) <- Hypercontext.cost hc
+    done
+  done;
+  (* Planned cost: the §4.2 evaluation of the original plan's
+     hypercontexts on the actual timeline, as if violations were free
+     (the optimistic lower line in the benches). *)
+  let planned_cost =
+    let data = Array.init m (fun j -> Plan.segments plan j) in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let hyper = ref 0 and reconf = ref 0 in
+      for j = 0 to m - 1 do
+        List.iter
+          (fun seg ->
+            if seg.Plan.lo = i then hyper := max !hyper v.(j);
+            if seg.Plan.lo <= i && i <= seg.Plan.hi then
+              reconf := max !reconf (Hypercontext.cost seg.Plan.hc))
+          data.(j)
+      done;
+      total := !total + !hyper + !reconf
+    done;
+    !total
+  in
+  let actual_cost =
+    let total = ref 0 in
+    let bp = Plan.breakpoints plan in
+    for i = 0 to n - 1 do
+      let hyper = ref emergency_at.(i) in
+      let reconf = ref 0 in
+      for j = 0 to m - 1 do
+        if Breakpoints.is_break bp j i then hyper := max !hyper v.(j);
+        reconf := max !reconf sizes.(j).(i)
+      done;
+      total := !total + !hyper + !reconf
+    done;
+    !total
+  in
+  { violations = !violations; planned_cost; actual_cost }
+
+let margin rng plan ~extra ~ts =
+  if extra < 0 then invalid_arg "Robustness.margin: negative margin";
+  let m = Plan.num_tasks plan in
+  let per_task =
+    Array.init m (fun j ->
+        let width =
+          Switch_space.size (Trace.space (Task_set.get ts j).Task_set.trace)
+        in
+        List.map
+          (fun seg ->
+            let hc = ref seg.Plan.hc in
+            let missing =
+              List.filter (fun x -> not (Bitset.mem !hc x)) (List.init width Fun.id)
+            in
+            let arr = Array.of_list missing in
+            let take = min extra (Array.length arr) in
+            Rng.shuffle rng arr;
+            for k = 0 to take - 1 do
+              hc := Bitset.add !hc arr.(k)
+            done;
+            { seg with Plan.hc = !hc })
+          (Plan.segments plan j))
+  in
+  Plan.make per_task

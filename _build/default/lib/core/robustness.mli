@@ -1,0 +1,40 @@
+(** Plan robustness under demand perturbation.
+
+    Plans are computed against a {e predicted} trace, but the paper
+    stresses that actual demand "might depend on the data" (§2) — so a
+    deployed hypercontext schedule meets a perturbed requirement
+    stream.  This module measures what happens then:
+
+    - a {b violation} is a step whose actual requirement is not
+      contained in the hypercontext the plan has in force — the machine
+      must fall back (an emergency hyperreconfiguration to the union of
+      the planned hypercontext and the offending requirement);
+    - {!evaluate} counts violations and prices the fallback run:
+      every violation costs an extra emergency partial
+      hyperreconfiguration ([v_j]) on top of the §4.2 step costs (with
+      the enlarged hypercontext charged from that step to the block
+      end).
+
+    Together with {!perturb} this quantifies the margin-vs-cost
+    tradeoff of planning with inflated hypercontexts. *)
+
+type report = {
+  violations : int;  (** (task, step) pairs escaping the plan *)
+  planned_cost : int;  (** the §4.2 cost of the plan on the actual trace, ignoring violations *)
+  actual_cost : int;  (** including emergency hyperreconfigurations and enlargements *)
+}
+
+(** [perturb rng trace ~p] flips each switch of each requirement into
+    the requirement with probability [p] (additions only — dropped
+    demand never hurts a plan). *)
+val perturb : Hr_util.Rng.t -> Trace.t -> p:float -> Trace.t
+
+(** [evaluate planned_for actual plan] — run [plan] (built for the
+    instance [planned_for]) against the task set [actual] (same
+    dimensions required). *)
+val evaluate : Task_set.t -> Plan.t -> report
+
+(** [margin plan ~extra ts] — enlarge every hypercontext of [plan] by
+    [extra] random unused local switches per task block (a planning
+    margin); used to study margin vs robustness. *)
+val margin : Hr_util.Rng.t -> Plan.t -> extra:int -> ts:Task_set.t -> Plan.t

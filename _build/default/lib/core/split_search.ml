@@ -1,0 +1,67 @@
+module Bitset = Hr_util.Bitset
+
+type unit_mask = { name : string; mask : Bitset.t }
+
+type candidate = { grouping : string list list; cost : int; tasks : int }
+
+let set_partitions xs =
+  if List.length xs > 8 then
+    invalid_arg "Split_search.set_partitions: too many units (Bell-number blowup)";
+  (* Insert each element either into an existing block or as a new
+     block. *)
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map
+          (fun partition ->
+            let with_new = [ x ] :: partition in
+            let into_existing =
+              List.mapi
+                (fun k _ ->
+                  List.mapi
+                    (fun k' block -> if k = k' then x :: block else block)
+                    partition)
+                partition
+            in
+            with_new :: into_existing)
+          (go rest)
+  in
+  go xs
+
+let default_optimize oracle =
+  let start = (Mt_greedy.best oracle).Mt_greedy.bp in
+  (Mt_local.solve ~init:start oracle).Mt_local.cost
+
+let search ?(optimize = default_optimize) trace units =
+  let unit_list = Array.to_list units in
+  let candidates =
+    List.map
+      (fun blocks ->
+        let parts =
+          Array.of_list
+            (List.mapi
+               (fun k block ->
+                 let mask =
+                   List.fold_left
+                     (fun acc u -> Bitset.union acc u.mask)
+                     (Bitset.create (Switch_space.size (Trace.space trace)))
+                     block
+                 in
+                 {
+                   Task_split.name =
+                     (match block with
+                     | [ u ] -> u.name
+                     | _ -> Printf.sprintf "group%d" k);
+                   mask;
+                 })
+               blocks)
+        in
+        let oracle = Task_split.oracle trace parts in
+        {
+          grouping = List.map (List.map (fun u -> u.name)) blocks;
+          cost = optimize oracle;
+          tasks = List.length blocks;
+        })
+      (set_partitions unit_list)
+  in
+  List.sort (fun a b -> compare a.cost b.cost) candidates

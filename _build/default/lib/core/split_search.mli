@@ -1,0 +1,34 @@
+(** Searching for the best task decomposition of a fabric.
+
+    The paper fixes one multi-task split (the four SHyRA units) and one
+    single-task split; but which grouping of the fabric's units into
+    tasks minimizes the (hyper)reconfiguration time is itself a design
+    question.  Given the fabric's atomic units (named switch masks),
+    this module enumerates every set partition of the units — each
+    block becomes one task owning the union of its units' switches,
+    with the special-case v = block size — costs each candidate split,
+    and ranks them. *)
+
+type unit_mask = { name : string; mask : Hr_util.Bitset.t }
+
+type candidate = {
+  grouping : string list list;  (** unit names per task *)
+  cost : int;
+  tasks : int;  (** number of tasks (blocks) *)
+}
+
+(** [set_partitions xs] enumerates all set partitions of [xs] (Bell
+    number many — keep the unit count small; raises [Invalid_argument]
+    above 8 units ≙ 4140 partitions). *)
+val set_partitions : 'a list -> 'a list list list
+
+(** [search ?optimize trace units] evaluates every grouping of [units]
+    on [trace].  [optimize] maps an instance oracle to a plan cost
+    (default: best greedy heuristic polished by hill climbing — cheap
+    and deterministic; pass a GA closure for higher fidelity).
+    Returns candidates sorted by cost. *)
+val search :
+  ?optimize:(Interval_cost.t -> int) ->
+  Trace.t ->
+  unit_mask array ->
+  candidate list

@@ -1,0 +1,149 @@
+module Bitset = Hr_util.Bitset
+
+type result = { cost : int; breaks : int list; hcs : Bitset.t list }
+
+let defaults ?w ?initial trace =
+  let width = Switch_space.size (Trace.space trace) in
+  let w = Option.value w ~default:width in
+  let initial = Option.value initial ~default:(Bitset.create width) in
+  (w, initial)
+
+let blocks_of_breaks ~n breaks =
+  let rec go = function
+    | [] -> invalid_arg "St_changeover: empty breakpoint list"
+    | [ lo ] -> [ (lo, n - 1) ]
+    | lo :: (next :: _ as rest) -> (lo, next - 1) :: go rest
+  in
+  (match breaks with
+  | 0 :: _ -> ()
+  | _ -> invalid_arg "St_changeover: first breakpoint must be 0");
+  go breaks
+
+let cost_of ?w ?initial trace ~breaks ~hcs =
+  let w, initial = defaults ?w ?initial trace in
+  let n = Trace.length trace in
+  let blocks = blocks_of_breaks ~n breaks in
+  if List.length blocks <> List.length hcs then
+    invalid_arg "St_changeover.cost_of: breaks/hcs arity mismatch";
+  let _, total =
+    List.fold_left2
+      (fun (prev, acc) (lo, hi) hc ->
+        for i = lo to hi do
+          if not (Hypercontext.satisfies hc (Trace.req trace i)) then
+            invalid_arg
+              (Printf.sprintf "St_changeover.cost_of: step %d not satisfied" i)
+        done;
+        let c =
+          w + Hypercontext.changeover prev hc + (Hypercontext.cost hc * (hi - lo + 1))
+        in
+        (hc, acc + c))
+      (initial, 0) blocks hcs
+  in
+  total
+
+(* Optimal among union plans: dp.(j).(i) = min cost covering 0..j with
+   last block [i..j] (union hypercontext).  O(n³). *)
+let solve_union ?w ?initial trace =
+  let w, initial = defaults ?w ?initial trace in
+  let n = Trace.length trace in
+  if n = 0 then invalid_arg "St_changeover.solve_union: empty trace";
+  (* unions.(lo).(hi - lo) = U(lo,hi) as a bitset *)
+  let unions =
+    Array.init n (fun lo ->
+        let row = Array.make (n - lo) (Trace.req trace lo) in
+        let acc = ref (Bitset.copy (Trace.req trace lo)) in
+        row.(0) <- !acc;
+        for hi = lo + 1 to n - 1 do
+          acc := Bitset.union_into ~into:(Bitset.copy !acc) (Trace.req trace hi);
+          row.(hi - lo) <- !acc
+        done;
+        row)
+  in
+  let u lo hi = unions.(lo).(hi - lo) in
+  let dp = Array.init n (fun _ -> Array.make n max_int) in
+  let parent = Array.init n (fun _ -> Array.make n (-1)) in
+  (* parent.(j).(i) = start of the previous block, or -1 for the first. *)
+  for j = 0 to n - 1 do
+    for i = 0 to j do
+      let here = u i j in
+      let base = w + (Hypercontext.cost here * (j - i + 1)) in
+      if i = 0 then dp.(j).(i) <- base + Hypercontext.changeover initial here
+      else
+        for k = 0 to i - 1 do
+          if dp.(i - 1).(k) < max_int then begin
+            let c =
+              dp.(i - 1).(k) + base + Hypercontext.changeover (u k (i - 1)) here
+            in
+            if c < dp.(j).(i) then begin
+              dp.(j).(i) <- c;
+              parent.(j).(i) <- k
+            end
+          end
+        done
+    done
+  done;
+  let best_i = ref 0 in
+  for i = 1 to n - 1 do
+    if dp.(n - 1).(i) < dp.(n - 1).(!best_i) then best_i := i
+  done;
+  let rec collect j i acc =
+    if i = 0 then 0 :: acc
+    else collect (i - 1) parent.(j).(i) (i :: acc)
+  in
+  let breaks = collect (n - 1) !best_i [] in
+  let blocks = blocks_of_breaks ~n breaks in
+  let hcs = List.map (fun (lo, hi) -> u lo hi) blocks in
+  { cost = dp.(n - 1).(!best_i); breaks; hcs }
+
+let refine ?w ?initial trace plan =
+  let w, initial = defaults ?w ?initial trace in
+  let n = Trace.length trace in
+  let width = Switch_space.size (Trace.space trace) in
+  let blocks = Array.of_list (blocks_of_breaks ~n plan.breaks) in
+  let hcs = Array.of_list plan.hcs in
+  let nb = Array.length blocks in
+  if Array.length hcs <> nb then invalid_arg "St_changeover.refine: arity mismatch";
+  let neighbor k side = (* hypercontext adjacent to block k *)
+    if side < 0 then if k = 0 then initial else hcs.(k - 1)
+    else if k = nb - 1 then Bitset.create width  (* no successor: Δ not charged *)
+    else hcs.(k + 1)
+  in
+  (* Delta of toggling switch x in block k.  The successor boundary only
+     contributes when k is not the last block. *)
+  let delta k x =
+    let len = snd blocks.(k) - fst blocks.(k) + 1 in
+    let has = Bitset.mem hcs.(k) x in
+    let boundary other present_after =
+      (* Change of |h_k Δ other| when x's membership in h_k flips. *)
+      let in_other = Bitset.mem other x in
+      if present_after = in_other then -1 else 1
+    in
+    let present_after = not has in
+    let d_len = if present_after then len else -len in
+    let d_prev = boundary (neighbor k (-1)) present_after in
+    let d_next = if k = nb - 1 then 0 else boundary (neighbor k 1) present_after in
+    d_len + d_prev + d_next
+  in
+  let union_of k =
+    let lo, hi = blocks.(k) in
+    Trace.range_union trace lo hi
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for k = 0 to nb - 1 do
+      let must_have = union_of k in
+      for x = 0 to width - 1 do
+        let has = Bitset.mem hcs.(k) x in
+        let removable = has && not (Bitset.mem must_have x) in
+        let addable = not has in
+        if (removable || addable) && delta k x < 0 then begin
+          hcs.(k) <- (if has then Bitset.remove hcs.(k) x else Bitset.add hcs.(k) x);
+          improved := true
+        end
+      done
+    done
+  done;
+  let hcs = Array.to_list hcs in
+  let cost = cost_of ~w ~initial trace ~breaks:plan.breaks ~hcs in
+  { plan with cost; hcs }

@@ -1,0 +1,49 @@
+(** Single-task planning under the changeover-cost variant.
+
+    The §4.1 model variant charges a hyperreconfiguration
+    [w + |h Δ h′|] — a fixed part plus the symmetric difference to the
+    predecessor hypercontext, for machines that load only difference
+    information.  Total cost of a plan with blocks B₁…B_r and
+    hypercontexts h₁…h_r (h₀ given, default ∅):
+
+    {v Σ_k ( w + |h_k Δ h_{k-1}| + |h_k|·|B_k| ) v}
+
+    Subtlety: unlike the plain switch model, the minimal (union)
+    hypercontext of a block is {e not} always optimal — carrying a
+    switch through a short block in which it is unused can be cheaper
+    than dropping and re-adding it (a drop+re-add costs 2, carrying
+    costs |B_k|).  The exact optimum over arbitrary hypercontexts is
+    not known to be polynomial; this module provides:
+
+    - {!solve_union}: the optimal plan among union-hypercontext plans,
+      by an O(n³) dynamic program over (last block, previous block);
+    - {!refine}: a local search that adds/removes individual switches
+      to arbitrary blocks, which strictly improves on {!solve_union}
+      on instances like the one above (verified in the tests). *)
+
+type result = {
+  cost : int;
+  breaks : int list;  (** block starts, head = 0 *)
+  hcs : Hr_util.Bitset.t list;  (** hypercontext per block *)
+}
+
+(** [solve_union ?w ?initial trace] — optimal among plans whose
+    hypercontexts are block unions.  [w] defaults to the universe
+    size; [initial] is h₀ (default: empty). *)
+val solve_union : ?w:int -> ?initial:Hr_util.Bitset.t -> Trace.t -> result
+
+(** [refine ?w ?initial trace plan] — hill-climb over single-switch
+    additions/removals on the blocks of [plan] until a local optimum.
+    The result is always valid and never costlier than [plan]. *)
+val refine : ?w:int -> ?initial:Hr_util.Bitset.t -> Trace.t -> result -> result
+
+(** [cost_of ?w ?initial trace ~breaks ~hcs] evaluates an arbitrary
+    changeover plan; raises [Invalid_argument] when a block's
+    hypercontext misses a requirement. *)
+val cost_of :
+  ?w:int ->
+  ?initial:Hr_util.Bitset.t ->
+  Trace.t ->
+  breaks:int list ->
+  hcs:Hr_util.Bitset.t list ->
+  int

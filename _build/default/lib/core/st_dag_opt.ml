@@ -1,0 +1,69 @@
+type result = { cost : int; breaks : int list; nodes : int list }
+
+let solve model seq =
+  let n = Array.length seq in
+  if n = 0 then invalid_arg "St_dag_opt.solve: empty sequence";
+  let table = Dag_model.block_cost_table model seq in
+  let w = Dag_model.w model in
+  let node_cost h = (Dag_model.node model h).Dag_model.cost in
+  let step_cost lo hi = node_cost table.(lo).(hi - lo) in
+  let r = St_opt.solve ~v:w ~n ~step_cost in
+  (* Recover the chosen node of each block. *)
+  let rec blocks = function
+    | [] -> []
+    | [ lo ] -> [ (lo, n - 1) ]
+    | lo :: (next :: _ as rest) -> (lo, next - 1) :: blocks rest
+  in
+  let nodes = List.map (fun (lo, hi) -> table.(lo).(hi - lo)) (blocks r.St_opt.breaks) in
+  { cost = r.St_opt.cost; breaks = r.St_opt.breaks; nodes }
+
+let greedy model seq =
+  let n = Array.length seq in
+  if n = 0 then invalid_arg "St_dag_opt.greedy: empty sequence";
+  let pick c =
+    match Dag_model.cheapest_for model [ c ] with
+    | Some h -> h
+    | None -> invalid_arg "St_dag_opt.greedy: unsatisfiable context"
+  in
+  let rec go i current breaks nodes =
+    if i >= n then (List.rev breaks, List.rev nodes)
+    else if Dag_model.satisfies model current seq.(i) then
+      go (i + 1) current breaks nodes
+    else
+      let h = pick seq.(i) in
+      go (i + 1) h (i :: breaks) (h :: nodes)
+  in
+  let h0 = pick seq.(0) in
+  let breaks, nodes = go 1 h0 [ 0 ] [ h0 ] in
+  let cost =
+    let rec blocks = function
+      | [] -> []
+      | [ lo ] -> [ (lo, n - 1) ]
+      | lo :: (next :: _ as rest) -> (lo, next - 1) :: blocks rest
+    in
+    List.fold_left2
+      (fun acc (lo, hi) h ->
+        acc + Dag_model.w model + ((Dag_model.node model h).Dag_model.cost * (hi - lo + 1)))
+      0 (blocks breaks) nodes
+  in
+  { cost; breaks; nodes }
+
+let cost_of model seq ~breaks ~nodes =
+  let n = Array.length seq in
+  let rec blocks = function
+    | [] -> invalid_arg "St_dag_opt.cost_of: empty breakpoint list"
+    | [ lo ] -> [ (lo, n - 1) ]
+    | lo :: (next :: _ as rest) -> (lo, next - 1) :: blocks rest
+  in
+  let bs = blocks breaks in
+  if List.length bs <> List.length nodes then
+    invalid_arg "St_dag_opt.cost_of: breaks/nodes arity mismatch";
+  List.fold_left2
+    (fun acc (lo, hi) h ->
+      for i = lo to hi do
+        if not (Dag_model.satisfies model h seq.(i)) then
+          invalid_arg
+            (Printf.sprintf "St_dag_opt.cost_of: node %d does not satisfy step %d" h i)
+      done;
+      acc + Dag_model.w model + ((Dag_model.node model h).Dag_model.cost * (hi - lo + 1)))
+    0 bs nodes

@@ -1,0 +1,29 @@
+(** Optimal single-task planning under the DAG cost model.
+
+    Same block dynamic program as {!St_opt} — the DAG model's
+    hyperreconfiguration cost is the constant [w] of the model and the
+    per-step cost of a block is the cost of the cheapest hypercontext
+    node satisfying every requirement of the block.  O(n²·|H|)
+    including the block table. *)
+
+type result = {
+  cost : int;
+  breaks : int list;  (** hyperreconfiguration steps, head = 0 *)
+  nodes : int list;  (** chosen hypercontext node per block, in order *)
+}
+
+(** [solve model seq] plans the context-id sequence [seq] optimally.
+    Raises [Invalid_argument] on empty sequences or out-of-range
+    ids. *)
+val solve : Dag_model.t -> int array -> result
+
+(** [greedy model seq] is the online baseline: start at a cheapest node
+    for the first context and move (paying [w]) to a cheapest node for
+    the current context whenever the current node stops satisfying it.
+    Never better than {!solve}. *)
+val greedy : Dag_model.t -> int array -> result
+
+(** [cost_of model seq ~breaks ~nodes] evaluates an arbitrary plan:
+    Σ blocks (w + cost(node)·len).  Raises when a block's node does not
+    satisfy one of its requirements. *)
+val cost_of : Dag_model.t -> int array -> breaks:int list -> nodes:int list -> int

@@ -1,0 +1,39 @@
+module Bitset = Hr_util.Bitset
+
+type t = { size : int; names : string array; by_name : (string, int) Hashtbl.t }
+
+let make ?names size =
+  if size < 0 then invalid_arg "Switch_space.make: negative size";
+  let names =
+    match names with
+    | None -> Array.init size (Printf.sprintf "x%d")
+    | Some a ->
+        if Array.length a <> size then
+          invalid_arg "Switch_space.make: names length mismatch";
+        Array.copy a
+  in
+  let by_name = Hashtbl.create (max 16 size) in
+  Array.iteri (fun i n -> Hashtbl.replace by_name n i) names;
+  { size; names; by_name }
+
+let size u = u.size
+
+let name u i =
+  if i < 0 || i >= u.size then invalid_arg "Switch_space.name: out of range";
+  u.names.(i)
+
+let index_of_name u s = Hashtbl.find u.by_name s
+
+let empty u = Bitset.create u.size
+let all u = Bitset.full u.size
+let subset u is = Bitset.of_list u.size is
+
+let pp_set u ppf set =
+  let first = ref true in
+  Format.pp_print_char ppf '{';
+  Bitset.iter
+    (fun i ->
+      if !first then first := false else Format.pp_print_string ppf ", ";
+      Format.pp_print_string ppf u.names.(i))
+    set;
+  Format.pp_print_char ppf '}'

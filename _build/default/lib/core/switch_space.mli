@@ -1,0 +1,37 @@
+(** A universe of reconfigurable units ("switches").
+
+    In the paper's switch cost model, both context requirements and
+    hypercontexts are subsets of a fixed set X = \{x_1, …, x_n\} of
+    reconfigurable units.  A [Switch_space.t] fixes that set and gives
+    each unit a printable name (for SHyRA, names identify the
+    configuration bit: ["lut1.3"], ["mux2.b1"], …). *)
+
+type t
+
+(** [make ~names size] is a universe of [size] switches.  When [names]
+    is omitted, switches are named ["x0"], ["x1"], ….  Raises
+    [Invalid_argument] when [names] is given with a different length
+    than [size] or when [size < 0]. *)
+val make : ?names:string array -> int -> t
+
+(** [size u] is the number of switches. *)
+val size : t -> int
+
+(** [name u i] is the name of switch [i]. *)
+val name : t -> int -> string
+
+(** [index_of_name u s] is the switch named [s].
+    Raises [Not_found] when no switch has that name. *)
+val index_of_name : t -> string -> int
+
+(** [empty u] is the empty switch subset over [u]. *)
+val empty : t -> Hr_util.Bitset.t
+
+(** [all u] is the full switch subset over [u]. *)
+val all : t -> Hr_util.Bitset.t
+
+(** [subset u is] is the subset containing the listed switch indices. *)
+val subset : t -> int list -> Hr_util.Bitset.t
+
+(** [pp_set u] prints a switch subset using switch names. *)
+val pp_set : t -> Format.formatter -> Hr_util.Bitset.t -> unit

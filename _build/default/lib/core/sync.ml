@@ -1,0 +1,80 @@
+type resource_class = Private_global | Public_global | Local
+
+type machine_class =
+  | Partially_reconfigurable
+  | Partially_hyperreconfigurable
+  | Restricted_partially_hyperreconfigurable
+
+type sync_mode =
+  | Hypercontext_synchronized
+  | Context_synchronized
+  | Fully_synchronized
+  | Non_synchronized
+
+type upload_mode = Task_parallel | Task_sequential
+
+type machine = {
+  cls : machine_class;
+  sync : sync_mode;
+  resources : resource_class list;
+  hyper_upload : upload_mode;
+  reconf_upload : upload_mode;
+}
+
+let context_synchronized = function
+  | Context_synchronized | Fully_synchronized -> true
+  | Hypercontext_synchronized | Non_synchronized -> false
+
+let hypercontext_synchronized = function
+  | Hypercontext_synchronized | Fully_synchronized -> true
+  | Context_synchronized | Non_synchronized -> false
+
+let public_globals_allowed sync = context_synchronized sync
+
+let validate m =
+  if List.mem Public_global m.resources && not (public_globals_allowed m.sync) then
+    Error
+      "public global resources require a context-synchronized or fully \
+       synchronized machine (a reconfiguration of public resources influences \
+       all tasks)"
+  else if
+    (not (context_synchronized m.sync)) && m.reconf_upload = Task_sequential
+  then Error "non-context-synchronized reconfigurations must be task parallel"
+  else if
+    (not (hypercontext_synchronized m.sync)) && m.hyper_upload = Task_sequential
+  then
+    Error
+      "non-hypercontext-synchronized partial hyperreconfigurations must be task \
+       parallel"
+  else Ok ()
+
+let paper_experiment_machine =
+  {
+    cls = Partially_hyperreconfigurable;
+    sync = Fully_synchronized;
+    resources = [ Local ];
+    hyper_upload = Task_parallel;
+    reconf_upload = Task_parallel;
+  }
+
+let pp_resource_class ppf = function
+  | Private_global -> Format.pp_print_string ppf "private-global"
+  | Public_global -> Format.pp_print_string ppf "public-global"
+  | Local -> Format.pp_print_string ppf "local"
+
+let pp_machine_class ppf = function
+  | Partially_reconfigurable -> Format.pp_print_string ppf "partially-reconfigurable"
+  | Partially_hyperreconfigurable ->
+      Format.pp_print_string ppf "partially-hyperreconfigurable"
+  | Restricted_partially_hyperreconfigurable ->
+      Format.pp_print_string ppf "restricted-partially-hyperreconfigurable"
+
+let pp_sync_mode ppf = function
+  | Hypercontext_synchronized -> Format.pp_print_string ppf "hypercontext-synchronized"
+  | Context_synchronized -> Format.pp_print_string ppf "context-synchronized"
+  | Fully_synchronized -> Format.pp_print_string ppf "fully-synchronized"
+  | Non_synchronized -> Format.pp_print_string ppf "non-synchronized"
+
+let pp_upload_mode ppf = function
+  | Task_parallel -> Format.pp_print_string ppf "task-parallel"
+  | Task_sequential -> Format.pp_print_string ppf "task-sequential"

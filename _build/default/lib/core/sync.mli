@@ -1,0 +1,84 @@
+(** Machine classes, resource classes and synchronization modes (§3).
+
+    This module encodes the paper's taxonomy of multi-task
+    hyperreconfigurable machines and the consistency rules between
+    them; {!validate} rejects configurations the paper rules out (most
+    importantly: public global resources exist only on context- or
+    fully synchronized machines, because reconfiguring them influences
+    every task). *)
+
+(** The three resource classes of §3. *)
+type resource_class =
+  | Private_global
+      (** shared between tasks; amount and per-task assignment defined
+          by the (global) hypercontext — e.g. I/O units *)
+  | Public_global
+      (** usable by all tasks simultaneously, with quality set by the
+          hypercontext — e.g. the switch type of the whole fabric *)
+  | Local
+      (** fixed to one task at initialization; per-task quality set by
+          local hyperreconfigurations *)
+
+(** How far partial operations go without interrupting other tasks. *)
+type machine_class =
+  | Partially_reconfigurable
+      (** subsets of tasks may reconfigure; hyperreconfigurations are
+          all-task only *)
+  | Partially_hyperreconfigurable
+      (** subsets of tasks may locally hyperreconfigure and
+          reconfigure *)
+  | Restricted_partially_hyperreconfigurable
+      (** subsets may locally hyperreconfigure; reconfigurations are
+          all-task only *)
+
+(** Synchronization between tasks (§3): barriers at partial
+    hyperreconfigurations, at reconfigurations, both, or neither. *)
+type sync_mode =
+  | Hypercontext_synchronized
+  | Context_synchronized
+  | Fully_synchronized
+  | Non_synchronized
+
+(** Upload of reconfiguration bits (§4). *)
+type upload_mode = Task_parallel | Task_sequential
+
+(** A machine description to validate. *)
+type machine = {
+  cls : machine_class;
+  sync : sync_mode;
+  resources : resource_class list;
+  hyper_upload : upload_mode;
+  reconf_upload : upload_mode;
+}
+
+(** [context_synchronized m] — does [m] barrier at reconfigurations? *)
+val context_synchronized : sync_mode -> bool
+
+(** [hypercontext_synchronized m] — does [m] barrier at partial
+    hyperreconfigurations? *)
+val hypercontext_synchronized : sync_mode -> bool
+
+(** [public_globals_allowed m] — public global resources require
+    context or full synchronization (§3). *)
+val public_globals_allowed : sync_mode -> bool
+
+(** [validate m] checks the §3/§4 consistency rules:
+    - public global resources on a machine that is not context
+      synchronized;
+    - non-synchronized operations must be task-parallel (§4: "we assume
+      that non-synchronized operations are always executed task
+      parallel").
+    Returns [Error msg] naming the violated rule. *)
+val validate : machine -> (unit, string) result
+
+(** [paper_experiment_machine] is the §6 setting: fully synchronized,
+    partially hyperreconfigurable, local resources only, task-parallel
+    uploads. *)
+val paper_experiment_machine : machine
+
+(** Pretty-printers. *)
+val pp_resource_class : Format.formatter -> resource_class -> unit
+
+val pp_machine_class : Format.formatter -> machine_class -> unit
+val pp_sync_mode : Format.formatter -> sync_mode -> unit
+val pp_upload_mode : Format.formatter -> upload_mode -> unit

@@ -1,0 +1,61 @@
+type upload = Task_parallel | Task_sequential
+
+type params = { w : int; pub : int; hyper : upload; reconf : upload }
+
+let default_params = { w = 0; pub = 0; hyper = Task_parallel; reconf = Task_parallel }
+
+let check (oracle : Interval_cost.t) bp =
+  if Breakpoints.m bp <> oracle.Interval_cost.m || Breakpoints.n bp <> oracle.Interval_cost.n
+  then
+    invalid_arg
+      (Printf.sprintf "Sync_cost: plan is %dx%d but instance is %dx%d"
+         (Breakpoints.m bp) (Breakpoints.n bp) oracle.Interval_cost.m
+         oracle.Interval_cost.n)
+
+(* Per-task, per-step reconfiguration costs: each step inherits the cost
+   of its enclosing block. *)
+let step_reconf_costs (oracle : Interval_cost.t) bp =
+  check oracle bp;
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  Array.init m (fun j ->
+      let out = Array.make n 0 in
+      List.iter
+        (fun (lo, hi) ->
+          let c = oracle.Interval_cost.step_cost j lo hi in
+          for i = lo to hi do
+            out.(i) <- c
+          done)
+        (Breakpoints.intervals bp j);
+      out)
+
+let eval_per_step ?(params = default_params) (oracle : Interval_cost.t) bp =
+  check oracle bp;
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let reconf = step_reconf_costs oracle bp in
+  Array.init n (fun i ->
+      let hyper_cost =
+        let combine acc j =
+          if Breakpoints.is_break bp j i then
+            match params.hyper with
+            | Task_parallel -> max acc oracle.Interval_cost.v.(j)
+            | Task_sequential -> acc + oracle.Interval_cost.v.(j)
+          else acc
+        in
+        List.fold_left combine 0 (List.init m Fun.id)
+      in
+      let reconf_cost =
+        match params.reconf with
+        | Task_parallel ->
+            let rec go j acc = if j >= m then acc else go (j + 1) (max acc reconf.(j).(i)) in
+            go 0 params.pub
+        | Task_sequential ->
+            let rec go j acc = if j >= m then acc else go (j + 1) (acc + reconf.(j).(i)) in
+            go 0 params.pub
+      in
+      (hyper_cost, reconf_cost))
+
+let eval ?(params = default_params) oracle bp =
+  let steps = eval_per_step ~params oracle bp in
+  Array.fold_left (fun acc (h, r) -> acc + h + r) params.w steps
+
+let disabled_cost ?(pub = 0) ~n ~machine_width () = n * (machine_width + pub)

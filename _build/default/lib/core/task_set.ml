@@ -1,0 +1,40 @@
+type task = { name : string; trace : Trace.t; v : int }
+
+type t = { tasks : task array; n : int }
+
+let default_v trace = Switch_space.size (Trace.space trace)
+
+let task ~name ?v trace =
+  let v = match v with Some v -> v | None -> default_v trace in
+  { name; trace; v }
+
+let make tasks =
+  if Array.length tasks = 0 then invalid_arg "Task_set.make: no tasks";
+  let n = Trace.length tasks.(0).trace in
+  Array.iter
+    (fun t ->
+      if Trace.length t.trace <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Task_set.make: task %s has %d steps, expected %d (fully \
+              synchronized machine)"
+             t.name (Trace.length t.trace) n);
+      if t.v < 0 then invalid_arg "Task_set.make: negative v")
+    tasks;
+  { tasks = Array.copy tasks; n }
+
+let num_tasks t = Array.length t.tasks
+let steps t = t.n
+
+let get t j =
+  if j < 0 || j >= num_tasks t then invalid_arg "Task_set.get: task out of range";
+  t.tasks.(j)
+
+let tasks t = Array.copy t.tasks
+
+let total_local_switches t =
+  Array.fold_left
+    (fun acc tk -> acc + Switch_space.size (Trace.space tk.trace))
+    0 t.tasks
+
+let single ~name ?v trace = make [| task ~name ?v trace |]

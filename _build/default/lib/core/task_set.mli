@@ -1,0 +1,49 @@
+(** A fully synchronized multi-task problem instance (local resources).
+
+    [m] tasks run in parallel on a partially hyperreconfigurable
+    machine.  Each task [T_j] owns a fixed set of local switches (its
+    own {!Switch_space.t}), a context-requirement trace of the common
+    length [n] (the machine is fully synchronized, so steps align), and
+    a local hyperreconfiguration cost [v_j].  The paper's typical
+    special case sets [v_j = |f^loc_j|], the number of local switches
+    of the task (§4.1, MT-Switch model). *)
+
+type task = {
+  name : string;
+  trace : Trace.t;  (** local context requirements, one per machine step *)
+  v : int;  (** cost of a partial (local) hyperreconfiguration of this task *)
+}
+
+type t
+
+(** [make tasks] checks that all traces have equal length and [v ≥ 0].
+    Raises [Invalid_argument] otherwise (or on an empty task array). *)
+val make : task array -> t
+
+(** [default_v trace] is the paper's special-case local
+    hyperreconfiguration cost: the size of the task's local switch
+    space. *)
+val default_v : Trace.t -> int
+
+(** [task ~name ?v trace] builds a task, defaulting [v] to
+    {!default_v}. *)
+val task : name:string -> ?v:int -> Trace.t -> task
+
+(** [num_tasks t] is m. *)
+val num_tasks : t -> int
+
+(** [steps t] is n, the common trace length. *)
+val steps : t -> int
+
+(** [get t j] is task [j] (0-based). *)
+val get : t -> int -> task
+
+(** [tasks t] is a fresh array of the tasks. *)
+val tasks : t -> task array
+
+(** [total_local_switches t] is Σ_j |X^loc_j|. *)
+val total_local_switches : t -> int
+
+(** [single ~name ?v trace] is the degenerate single-task instance used
+    to compare against the multi-task split (paper, §6). *)
+val single : name:string -> ?v:int -> Trace.t -> t

@@ -1,0 +1,44 @@
+module Bitset = Hr_util.Bitset
+
+type part = { name : string; mask : Bitset.t }
+
+let check_partition ~width parts =
+  let seen = ref (Bitset.create width) in
+  Array.iter
+    (fun p ->
+      if Bitset.width p.mask <> width then
+        invalid_arg (Printf.sprintf "Task_split: part %s has wrong width" p.name);
+      if not (Bitset.is_empty (Bitset.inter !seen p.mask)) then
+        invalid_arg (Printf.sprintf "Task_split: part %s overlaps another" p.name);
+      seen := Bitset.union !seen p.mask)
+    parts;
+  if Bitset.cardinal !seen <> width then
+    invalid_arg "Task_split: parts do not cover the whole switch universe"
+
+let split trace parts =
+  let space = Trace.space trace in
+  let width = Switch_space.size space in
+  check_partition ~width parts;
+  let tasks =
+    Array.map
+      (fun p ->
+        let bits = Bitset.to_list p.mask in
+        let names = Array.of_list (List.map (Switch_space.name space) bits) in
+        let local_space = Switch_space.make ~names (List.length bits) in
+        let renumber_tbl = Hashtbl.create 64 in
+        List.iteri (fun local global -> Hashtbl.replace renumber_tbl global local) bits;
+        let local_trace =
+          Trace.project trace p.mask ~to_space:local_space
+            ~renumber:(Hashtbl.find renumber_tbl)
+        in
+        Task_set.task ~name:p.name local_trace)
+      parts
+  in
+  Task_set.make tasks
+
+let oracle trace parts = Interval_cost.of_task_set (split trace parts)
+
+let single trace =
+  let space = Trace.space trace in
+  split trace
+    [| { name = "ALL"; mask = Bitset.full (Switch_space.size space) } |]

@@ -1,0 +1,22 @@
+(** Splitting a machine-wide trace into per-task local traces.
+
+    A multi-task hyperreconfigurable machine assigns each configuration
+    bit (switch) of the fabric to exactly one task as a local resource
+    (§3).  Given a machine-wide requirement trace and a named partition
+    of the switch universe, this module builds the fully synchronized
+    {!Task_set.t}: each part gets its own dense local switch space
+    (names preserved) and the paper's special-case local
+    hyperreconfiguration cost [v_j = l_j]. *)
+
+type part = { name : string; mask : Hr_util.Bitset.t }
+
+(** [split trace parts] — raises [Invalid_argument] unless the masks
+    partition the trace's universe exactly. *)
+val split : Trace.t -> part array -> Task_set.t
+
+(** [oracle trace parts] is [Interval_cost.of_task_set (split trace
+    parts)]. *)
+val oracle : Trace.t -> part array -> Interval_cost.t
+
+(** [single trace] — the whole universe as one task. *)
+val single : Trace.t -> Task_set.t

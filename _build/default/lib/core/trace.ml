@@ -1,0 +1,64 @@
+module Bitset = Hr_util.Bitset
+
+type t = { space : Switch_space.t; reqs : Bitset.t array }
+
+let make space reqs =
+  let width = Switch_space.size space in
+  Array.iteri
+    (fun i r ->
+      if Bitset.width r <> width then
+        invalid_arg
+          (Printf.sprintf "Trace.make: requirement %d has width %d, expected %d"
+             i (Bitset.width r) width))
+    reqs;
+  { space; reqs = Array.copy reqs }
+
+let of_lists space reqss =
+  make space (Array.of_list (List.map (Switch_space.subset space) reqss))
+
+let space t = t.space
+let length t = Array.length t.reqs
+
+let req t i =
+  if i < 0 || i >= length t then invalid_arg "Trace.req: step out of range";
+  t.reqs.(i)
+
+let reqs t = Array.copy t.reqs
+
+let check_range t lo hi =
+  if lo < 0 || hi >= length t || lo > hi then
+    invalid_arg (Printf.sprintf "Trace: bad range [%d,%d] (n=%d)" lo hi (length t))
+
+let range_union t lo hi =
+  check_range t lo hi;
+  let acc = Bitset.copy t.reqs.(lo) in
+  let rec go i acc = if i > hi then acc else go (i + 1) (Bitset.union_into ~into:acc t.reqs.(i)) in
+  go (lo + 1) acc
+
+let total_union t =
+  if length t = 0 then Switch_space.empty t.space else range_union t 0 (length t - 1)
+
+let sub t lo hi =
+  check_range t lo hi;
+  { t with reqs = Array.sub t.reqs lo (hi - lo + 1) }
+
+let concat a b =
+  if Switch_space.size a.space <> Switch_space.size b.space then
+    invalid_arg "Trace.concat: universe mismatch";
+  { a with reqs = Array.append a.reqs b.reqs }
+
+let project t keep ~to_space ~renumber =
+  let width = Switch_space.size to_space in
+  let project_one r =
+    Bitset.fold
+      (fun i acc -> if Bitset.mem keep i then Bitset.add acc (renumber i) else acc)
+      r (Bitset.create width)
+  in
+  { space = to_space; reqs = Array.map project_one t.reqs }
+
+let sizes t = Array.map Bitset.cardinal t.reqs
+
+let pp ppf t =
+  Array.iteri
+    (fun i r -> Format.fprintf ppf "%3d: %a@." i (Switch_space.pp_set t.space) r)
+    t.reqs

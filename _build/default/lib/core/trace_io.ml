@@ -1,0 +1,89 @@
+module Bitset = Hr_util.Bitset
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  let space = Trace.space trace in
+  let width = Switch_space.size space in
+  Buffer.add_string buf (Printf.sprintf "trace %d %d\n" width (Trace.length trace));
+  Buffer.add_string buf
+    (String.concat " " (List.init width (Switch_space.name space)) ^ "\n");
+  for i = 0 to Trace.length trace - 1 do
+    Buffer.add_string buf
+      (String.concat " " (List.map string_of_int (Bitset.to_list (Trace.req trace i))));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let fail line msg = failwith (Printf.sprintf "Trace_io: line %d: %s" line msg)
+
+let of_string s =
+  (* Strip comments but keep line numbers; drop trailing blank lines
+     (step lines may legitimately be empty — an empty requirement). *)
+  let content =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l ->
+           let l =
+             match String.index_opt l '#' with
+             | Some k -> String.sub l 0 k
+             | None -> l
+           in
+           (i + 1, String.trim l))
+  in
+  (* Blank lines are skippable only before the header and the names
+     line; step lines are positional because an empty line is a valid
+     (empty) requirement. *)
+  let rec skip_blank = function (_, "") :: rest -> skip_blank rest | l -> l in
+  match skip_blank content with
+  | (no1, header) :: rest -> (
+      match skip_blank rest with
+      | (no2, names_line) :: steps -> (
+      let width, n =
+        match String.split_on_char ' ' header with
+        | [ "trace"; w; n ] -> (
+            match (int_of_string_opt w, int_of_string_opt n) with
+            | Some w, Some n when w >= 0 && n >= 0 -> (w, n)
+            | _ -> fail no1 "bad width/steps in header")
+        | _ -> fail no1 "expected 'trace <width> <steps>'"
+      in
+      let names =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' names_line)
+      in
+      if List.length names <> width then
+        fail no2
+          (Printf.sprintf "expected %d switch names, got %d" width (List.length names));
+      let space = Switch_space.make ~names:(Array.of_list names) width in
+      (* Exactly n positional step lines; anything after must be blank
+         (the trailing newline of the writer). *)
+      let step_lines = List.filteri (fun i _ -> i < n) steps in
+      let excess = List.filteri (fun i _ -> i >= n) steps in
+      if List.length step_lines <> n then
+        fail no2
+          (Printf.sprintf "expected %d step lines, got %d" n (List.length step_lines));
+      (match List.find_opt (fun (_, l) -> l <> "") excess with
+      | Some (no, _) -> fail no "trailing content after the last step"
+      | None -> ());
+      let parse_step (no, line) =
+        let idxs =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+          |> List.map (fun tok ->
+                 match int_of_string_opt tok with
+                 | Some i when i >= 0 && i < width -> i
+                 | _ -> fail no (Printf.sprintf "bad switch index %S" tok))
+        in
+        Bitset.of_list width idxs
+      in
+      Trace.make space (Array.of_list (List.map parse_step step_lines)))
+      | [] -> failwith "Trace_io: truncated input (missing the names line)")
+  | [] -> failwith "Trace_io: truncated input (need a header and a names line)"
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

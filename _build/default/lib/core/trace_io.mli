@@ -1,0 +1,24 @@
+(** Plain-text (de)serialization of context-requirement traces.
+
+    Format (line oriented, ['#'] starts a comment):
+
+    {v
+    trace <width> <steps>
+    <name_0> <name_1> ... <name_{width-1}>     (switch names, one line)
+    <idx> <idx> ...                            (one line per step; may be empty)
+    v}
+
+    The tools in [bin/] use this to pass traces between the simulator
+    and the optimizers. *)
+
+(** [to_string trace] serializes. *)
+val to_string : Trace.t -> string
+
+(** [of_string s] parses; raises [Failure] with a line-numbered message
+    on malformed input. *)
+val of_string : string -> Trace.t
+
+(** [save path trace] / [load path] — file convenience wrappers. *)
+val save : string -> Trace.t -> unit
+
+val load : string -> Trace.t

@@ -1,0 +1,76 @@
+module Bitset = Hr_util.Bitset
+
+type t = {
+  n : int;
+  universe : int;
+  mean_req : float;
+  max_req : int;
+  total_union : int;
+  mean_jaccard : float;
+  phase_count : int;
+}
+
+let jaccard a b =
+  let u = Bitset.cardinal (Bitset.union a b) in
+  if u = 0 then 1.0
+  else float_of_int (Bitset.cardinal (Bitset.inter a b)) /. float_of_int u
+
+let working_set trace ~window =
+  if window <= 0 then invalid_arg "Trace_stats.working_set: window must be positive";
+  let n = Trace.length trace in
+  Array.init n (fun i -> Bitset.cardinal (Trace.range_union trace i (min (n - 1) (i + window - 1))))
+
+let phases trace =
+  let n = Trace.length trace in
+  if n = 0 then []
+  else begin
+    let blocks = ref [] in
+    let lo = ref 0 in
+    let acc = ref (Bitset.copy (Trace.req trace 0)) in
+    let req_sum = ref (Bitset.cardinal (Trace.req trace 0)) in
+    for i = 1 to n - 1 do
+      let r = Trace.req trace i in
+      let grown = Bitset.union !acc r in
+      let len = i - !lo in
+      let mean_req = float_of_int !req_sum /. float_of_int len in
+      (* A step opens a new phase when it would blow the block union up
+         past twice the block's mean requirement size. *)
+      if float_of_int (Bitset.cardinal grown) > 2.0 *. Float.max 1.0 mean_req then begin
+        blocks := (!lo, i - 1) :: !blocks;
+        lo := i;
+        acc := Bitset.copy r;
+        req_sum := Bitset.cardinal r
+      end
+      else begin
+        acc := grown;
+        req_sum := !req_sum + Bitset.cardinal r
+      end
+    done;
+    List.rev ((!lo, n - 1) :: !blocks)
+  end
+
+let analyze trace =
+  let n = Trace.length trace in
+  if n = 0 then invalid_arg "Trace_stats.analyze: empty trace";
+  let sizes = Trace.sizes trace in
+  let jaccards =
+    Array.init (max 0 (n - 1)) (fun i ->
+        jaccard (Trace.req trace i) (Trace.req trace (i + 1)))
+  in
+  {
+    n;
+    universe = Switch_space.size (Trace.space trace);
+    mean_req =
+      float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int n;
+    max_req = Array.fold_left max 0 sizes;
+    total_union = Bitset.cardinal (Trace.total_union trace);
+    mean_jaccard =
+      (if n <= 1 then 1.0
+       else Array.fold_left ( +. ) 0. jaccards /. float_of_int (n - 1));
+    phase_count = List.length (phases trace);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d universe=%d mean|req|=%.1f max=%d union=%d jaccard=%.2f phases=%d" t.n
+    t.universe t.mean_req t.max_req t.total_union t.mean_jaccard t.phase_count

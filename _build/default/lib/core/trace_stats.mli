@@ -1,0 +1,42 @@
+(** Descriptive statistics of context-requirement traces.
+
+    Used by the experiment harness to characterize workloads (the
+    "phases that use only small parts of the reconfiguration potential"
+    the paper's introduction appeals to) and by users to predict
+    whether hyperreconfiguration will pay off before running an
+    optimizer. *)
+
+type t = {
+  n : int;
+  universe : int;  (** switch-universe size *)
+  mean_req : float;  (** average requirement cardinality *)
+  max_req : int;
+  total_union : int;  (** switches ever required *)
+  mean_jaccard : float;
+      (** mean Jaccard similarity of consecutive requirements — close
+          to 1 for loop-structured traces, close to 0 for erratic
+          ones *)
+  phase_count : int;  (** segments found by {!phases} *)
+}
+
+(** [analyze trace] computes the summary (n ≥ 1 required). *)
+val analyze : Trace.t -> t
+
+(** [working_set trace ~window] is, per step, |U(i, min(i+window-1,
+    n-1))| — the sliding working-set curve.  Small plateaus signal
+    phases. *)
+val working_set : Trace.t -> window:int -> int array
+
+(** [phases trace] greedily segments the trace at steps whose
+    requirement would more than double the running block union's size
+    relative to the block's mean requirement — a cheap phase-boundary
+    detector (exact optimization is what {!St_opt} is for; this is
+    descriptive).  Returns inclusive [(lo, hi)] blocks covering the
+    trace. *)
+val phases : Trace.t -> (int * int) list
+
+(** [jaccard a b] is |a∩b| / |a∪b| (1.0 when both empty). *)
+val jaccard : Hr_util.Bitset.t -> Hr_util.Bitset.t -> float
+
+(** [pp] prints a one-line summary. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Heterogeneous switch costs.
+
+    The plain switch model prices every switch at one unit
+    (cost(h) = |h|).  Real fabrics are heterogeneous — a LUT truth-table
+    bit and a wide routing multiplexer bit need not cost the same to
+    (re)load — so this variant prices hypercontexts as
+    cost(h) = Σ_{x ∈ h} weight(x) with positive integer weights.
+    Weighted costs stay monotone in ⊆, so block unions remain optimal
+    hypercontexts and every breakpoint-space optimizer works unchanged
+    through the {!Interval_cost} oracle this module builds. *)
+
+(** [oracle ts ~weights] — the fully synchronized multi-task oracle
+    with per-task weight vectors ([weights.(j).(x)] prices switch [x]
+    of task [j]'s local space); [v_j] is taken as the task's total
+    local weight (the weighted analogue of the paper's [v_j = l_j]).
+    Raises [Invalid_argument] on arity mismatches or non-positive
+    weights. *)
+val oracle : Task_set.t -> weights:int array array -> Interval_cost.t
+
+(** [single ~v trace ~weights] — single-task variant with an explicit
+    hyperreconfiguration cost. *)
+val single : v:int -> Trace.t -> weights:int array -> Interval_cost.t
+
+(** [block_weight trace ~weights lo hi] — the weighted size of the
+    union of steps [lo..hi] (what the oracle charges per step). *)
+val block_weight : Trace.t -> weights:int array -> int -> int -> int

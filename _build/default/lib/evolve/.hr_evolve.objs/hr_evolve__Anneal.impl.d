@@ -1,0 +1,1 @@
+lib/evolve/anneal.ml: Hr_util

@@ -1,0 +1,1 @@
+lib/evolve/anneal.mli: Hr_util

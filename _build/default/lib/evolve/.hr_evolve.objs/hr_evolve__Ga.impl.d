@@ -1,0 +1,1 @@
+lib/evolve/ga.ml: Array Hr_util List

@@ -1,0 +1,1 @@
+lib/evolve/ga.mli: Hr_util

@@ -1,0 +1,1 @@
+lib/evolve/hillclimb.mli: Seq

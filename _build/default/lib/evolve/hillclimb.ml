@@ -1,0 +1,26 @@
+type 'g problem = { cost : 'g -> int; neighbors : 'g -> 'g Seq.t }
+
+type 'g result = { best : 'g; best_cost : int; evaluations : int; rounds : int }
+
+let run ?(max_rounds = max_int) problem ~init =
+  let evaluations = ref 0 in
+  let eval g =
+    incr evaluations;
+    problem.cost g
+  in
+  let rec climb g cost rounds =
+    if rounds >= max_rounds then (g, cost, rounds)
+    else
+      let better =
+        Seq.find_map
+          (fun n ->
+            let c = eval n in
+            if c < cost then Some (n, c) else None)
+          (problem.neighbors g)
+      in
+      match better with
+      | Some (n, c) -> climb n c (rounds + 1)
+      | None -> (g, cost, rounds)
+  in
+  let best, best_cost, rounds = climb init (eval init) 0 in
+  { best; best_cost; evaluations = !evaluations; rounds }

@@ -1,0 +1,17 @@
+(** First-improvement hill climbing over an explicit neighborhood.
+
+    Deterministic given the neighbor enumeration order; used as the
+    cheapest local-search baseline and as a polishing pass after the
+    GA. *)
+
+type 'g problem = {
+  cost : 'g -> int;
+  neighbors : 'g -> 'g Seq.t;  (** finite neighborhood of a genome *)
+}
+
+type 'g result = { best : 'g; best_cost : int; evaluations : int; rounds : int }
+
+(** [run ?max_rounds problem ~init] repeatedly moves to the first
+    strictly improving neighbor until a local optimum (or [max_rounds])
+    is reached. *)
+val run : ?max_rounds:int -> 'g problem -> init:'g -> 'g result

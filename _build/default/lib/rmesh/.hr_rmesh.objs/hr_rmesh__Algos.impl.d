@@ -1,0 +1,1 @@
+lib/rmesh/algos.ml: Array Grid Hr_util List Mesh_tracer Partition Port Printf

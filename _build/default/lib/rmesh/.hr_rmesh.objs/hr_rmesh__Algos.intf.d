@@ -1,0 +1,1 @@
+lib/rmesh/algos.mli: Grid Hr_util Mesh_tracer

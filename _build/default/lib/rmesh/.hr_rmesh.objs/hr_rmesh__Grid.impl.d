@@ -1,0 +1,1 @@
+lib/rmesh/grid.ml: Array Fun List Partition Port

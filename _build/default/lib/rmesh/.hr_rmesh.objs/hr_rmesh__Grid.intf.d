@@ -1,0 +1,1 @@
+lib/rmesh/grid.mli: Partition Port

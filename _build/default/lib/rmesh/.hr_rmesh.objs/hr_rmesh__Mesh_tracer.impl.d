@@ -1,0 +1,1 @@
+lib/rmesh/mesh_tracer.ml: Array Fun Grid Hr_core Hr_util List Partition Printf Switch_space Task_split Trace

@@ -1,0 +1,1 @@
+lib/rmesh/mesh_tracer.mli: Grid Hr_core Hr_util Switch_space Task_split Trace

@@ -1,0 +1,1 @@
+lib/rmesh/partition.ml: Array Format Hashtbl List Port Printf

@@ -1,0 +1,1 @@
+lib/rmesh/partition.mli: Format Port

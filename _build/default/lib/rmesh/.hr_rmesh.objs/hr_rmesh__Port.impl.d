@@ -1,0 +1,1 @@
+lib/rmesh/port.ml: Format Printf

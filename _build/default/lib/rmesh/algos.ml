@@ -1,0 +1,142 @@
+let or_grid n = Grid.create ~rows:1 ~cols:n
+
+let or_config grid = Grid.uniform grid Partition.ew
+
+let logical_or bits =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Algos.logical_or: no bits";
+  let grid = or_grid n in
+  let buses = Grid.resolve grid (or_config grid) in
+  let drivers =
+    List.filteri (fun c _ -> bits.(c)) (List.init n (fun c -> (0, c, Port.E)))
+  in
+  let values = Grid.signals buses ~drivers in
+  Grid.read buses values ~row:0 ~col:0 Port.E
+
+let leftmost_config grid bits =
+  let n = Grid.cols grid in
+  if Array.length bits <> n then invalid_arg "Algos.leftmost_config: arity";
+  let config = Grid.uniform grid Partition.ew in
+  Array.iteri (fun c b -> if b then config.(0).(c) <- Partition.isolated) bits;
+  config
+
+let leftmost_one bits =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Algos.leftmost_one: no bits";
+  let grid = or_grid n in
+  let buses = Grid.resolve grid (leftmost_config grid bits) in
+  (* Every 1-PE drives its east port; a 1-PE reading silence on its
+     west port has no 1 to its west. *)
+  let drivers =
+    List.filteri (fun c _ -> bits.(c)) (List.init n (fun c -> (0, c, Port.E)))
+  in
+  let values = Grid.signals buses ~drivers in
+  let rec scan c =
+    if c >= n then None
+    else if bits.(c) && not (Grid.read buses values ~row:0 ~col:c Port.W) then Some c
+    else scan (c + 1)
+  in
+  scan 0
+
+let counting_grid n = Grid.create ~rows:(n + 1) ~cols:n
+
+let counting_config grid bits =
+  let n = Grid.cols grid in
+  if Array.length bits <> n then invalid_arg "Algos.counting_config: arity";
+  if Grid.rows grid <> n + 1 then
+    invalid_arg "Algos.counting_config: grid must be (n+1) x n";
+  Array.init (n + 1) (fun _r ->
+      Array.init n (fun c -> if bits.(c) then Partition.ws_ne else Partition.ew))
+
+let count_ones bits =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Algos.count_ones: no bits";
+  let grid = counting_grid n in
+  let buses = Grid.resolve grid (counting_config grid bits) in
+  let values = Grid.signals buses ~drivers:[ (0, 0, Port.W) ] in
+  let rec scan r =
+    if r > n then invalid_arg "Algos.count_ones: signal lost (bug)"
+    else if Grid.read buses values ~row:r ~col:(n - 1) Port.E then r
+    else scan (r + 1)
+  in
+  scan 0
+
+let prefix_or bits =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Algos.prefix_or: no bits";
+  let grid = or_grid n in
+  let buses = Grid.resolve grid (leftmost_config grid bits) in
+  (* 1-PEs cut the bus and drive east: a port's west segment carries 1
+     exactly when a 1 lies strictly to its west. *)
+  let drivers =
+    List.filteri (fun c _ -> bits.(c)) (List.init n (fun c -> (0, c, Port.E)))
+  in
+  let values = Grid.signals buses ~drivers in
+  Array.init n (fun c -> Grid.read buses values ~row:0 ~col:c Port.W)
+
+let row_or matrix =
+  let rows = Array.length matrix in
+  if rows = 0 then invalid_arg "Algos.row_or: empty matrix";
+  let cols = Array.length matrix.(0) in
+  if cols = 0 || Array.exists (fun r -> Array.length r <> cols) matrix then
+    invalid_arg "Algos.row_or: ragged matrix";
+  let grid = Grid.create ~rows ~cols in
+  let buses = Grid.resolve grid (Grid.uniform grid Partition.ew) in
+  let drivers =
+    List.concat
+      (List.init rows (fun r ->
+           List.filteri (fun c _ -> matrix.(r).(c))
+             (List.init cols (fun c -> (r, c, Port.E)))))
+  in
+  let values = Grid.signals buses ~drivers in
+  Array.init rows (fun r -> Grid.read buses values ~row:r ~col:0 Port.E)
+
+let broadcast_config grid ~target =
+  if target < 0 || target >= Grid.rows grid then
+    invalid_arg "Algos.broadcast_config: target row out of range";
+  let config = Grid.uniform grid Partition.isolated in
+  for c = 0 to Grid.cols grid - 1 do
+    config.(target).(c) <- Partition.ew
+  done;
+  config
+
+let broadcast_row grid ~target =
+  let buses = Grid.resolve grid (broadcast_config grid ~target) in
+  let values = Grid.signals buses ~drivers:[ (target, 0, Port.E) ] in
+  Array.init (Grid.rows grid) (fun r ->
+      Array.init (Grid.cols grid) (fun c -> Grid.read buses values ~row:r ~col:c Port.E))
+
+let counting_stream ?phase_len ?(active_fraction = 0.4) rng ~bits ~words =
+  if bits < 1 || words < 1 then
+    invalid_arg "Algos.counting_stream: need positive bits/words";
+  let grid = counting_grid bits in
+  let fresh_mask () =
+    let mask = Array.init bits (fun _ -> Hr_util.Rng.chance rng active_fraction) in
+    if Array.for_all not mask then mask.(Hr_util.Rng.int rng bits) <- true;
+    mask
+  in
+  let mask = ref (Array.make bits true) in
+  let program =
+    List.init words (fun i ->
+        (match phase_len with
+        | Some len when len > 0 && i mod len = 0 -> mask := fresh_mask ()
+        | Some len when len <= 0 ->
+            invalid_arg "Algos.counting_stream: phase_len must be positive"
+        | _ -> ());
+        let word =
+          Array.init bits (fun c -> !mask.(c) && Hr_util.Rng.bool rng)
+        in
+        {
+          Mesh_tracer.config = counting_config grid word;
+          label = Printf.sprintf "count%d" i;
+        })
+  in
+  (grid, program)
+
+let rotating_broadcast grid ~steps =
+  if steps < 1 then invalid_arg "Algos.rotating_broadcast: need positive steps";
+  List.init steps (fun i ->
+      {
+        Mesh_tracer.config = broadcast_config grid ~target:(i mod Grid.rows grid);
+        label = Printf.sprintf "bcast%d" i;
+      })

@@ -1,0 +1,71 @@
+(** Classic constant-time reconfigurable-mesh algorithms.
+
+    These are the standard O(1) bus-based primitives (logical OR,
+    leftmost-one, and the (n+1)×n unary counting scheme) — the kind of
+    computation the paper's fully synchronized model targets ("a
+    reconfigurable mesh where a reconfiguration is done at the start of
+    each computational cycle", §4.2).  Each algorithm's configuration
+    is {e data-dependent}, so running a stream of inputs produces a
+    genuine dynamic-reconfiguration trace for the hyperreconfiguration
+    analysis. *)
+
+(** [or_grid n] / [or_config grid] / [logical_or bits] — wired-OR of
+    [n] bits on a 1×n row in one cycle: every PE fuses E–W and the PEs
+    holding 1 drive the shared bus. *)
+val or_grid : int -> Grid.t
+
+val or_config : Grid.t -> Grid.config
+val logical_or : bool array -> bool
+
+(** [leftmost_config grid bits] / [leftmost_one bits] — PEs holding 1
+    cut the row bus and drive east; a 1-PE whose west port stays silent
+    is the leftmost.  Returns [None] when all bits are 0. *)
+val leftmost_config : Grid.t -> bool array -> Grid.config
+
+val leftmost_one : bool array -> int option
+
+(** [counting_grid n] is the (n+1)×n mesh; [counting_config grid bits]
+    routes each 1-column one row down ({!Partition.ws_ne}) and each
+    0-column straight through ({!Partition.ew}); [count_ones bits]
+    injects a signal at the north-west corner and returns the exit row
+    = the number of 1s, in one cycle. *)
+val counting_grid : int -> Grid.t
+
+val counting_config : Grid.t -> bool array -> Grid.config
+val count_ones : bool array -> int
+
+(** [prefix_or bits] — exclusive prefix-OR in one cycle: with the
+    {!leftmost_config} wiring, PE [i]'s west port carries 1 iff some 1
+    lies strictly to its west... for PEs that cut the bus; for fused
+    0-PEs the same segment rule applies, so every PE reads its
+    exclusive prefix. *)
+val prefix_or : bool array -> bool array
+
+(** [row_or matrix] — per-row wired-OR of an R×C boolean matrix in one
+    cycle (every row one bus). *)
+val row_or : bool array array -> bool array
+
+(** [broadcast_config grid ~target] fuses row [target] into one bus and
+    isolates every other PE; [broadcast_row grid ~target] returns the
+    per-PE levels seen when the row head drives the bus. *)
+val broadcast_config : Grid.t -> target:int -> Grid.config
+
+val broadcast_row : Grid.t -> target:int -> bool array array
+
+(** Workload builders for the benches: a stream of counting inputs
+    (one configuration per word — the realistic "reconfigure every
+    cycle" regime) and a rotating row broadcast.  With [phase_len]
+    set, the stream is phase-structured: within each phase only a
+    random [active_fraction] of the columns ever carries a 1, so only
+    those columns' configurations change — the workload shape the
+    paper's hyperreconfiguration argument is about.  Without it every
+    word is uniformly random (the adversarial, structure-free case). *)
+val counting_stream :
+  ?phase_len:int ->
+  ?active_fraction:float ->
+  Hr_util.Rng.t ->
+  bits:int ->
+  words:int ->
+  Grid.t * Mesh_tracer.program
+
+val rotating_broadcast : Grid.t -> steps:int -> Mesh_tracer.program

@@ -1,0 +1,85 @@
+type t = { rows : int; cols : int }
+
+let create ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Grid.create: need at least a 1x1 mesh";
+  { rows; cols }
+
+let rows t = t.rows
+let cols t = t.cols
+
+type config = Partition.t array array
+
+let uniform t p = Array.init t.rows (fun _ -> Array.make t.cols p)
+
+let validate t config =
+  if
+    Array.length config <> t.rows
+    || Array.exists (fun row -> Array.length row <> t.cols) config
+  then invalid_arg "Grid: configuration has wrong dimensions"
+
+(* Port node ids: ((r * cols) + c) * 4 + port index. *)
+type buses = {
+  grid : t;
+  count : int;  (* number of distinct buses *)
+  canonical : int array;  (* node -> dense bus id *)
+}
+
+let node t ~row ~col port = (((row * t.cols) + col) * 4) + Port.index port
+
+let resolve t config =
+  validate t config;
+  let n = t.rows * t.cols * 4 in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      let p = config.(r).(c) in
+      (* Fuse ports within the PE according to its partition. *)
+      List.iter
+        (fun group ->
+          match group with
+          | [] -> ()
+          | first :: rest ->
+              List.iter
+                (fun port -> union (node t ~row:r ~col:c first) (node t ~row:r ~col:c port))
+                rest)
+        (Partition.groups p);
+      (* Wires to the east and south neighbours. *)
+      if c + 1 < t.cols then
+        union (node t ~row:r ~col:c Port.E) (node t ~row:r ~col:(c + 1) Port.W);
+      if r + 1 < t.rows then
+        union (node t ~row:r ~col:c Port.S) (node t ~row:(r + 1) ~col:c Port.N)
+    done
+  done;
+  (* Flatten and assign dense ids. *)
+  let canonical = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let root = find i in
+    if canonical.(root) = -1 then begin
+      canonical.(root) <- !count;
+      incr count
+    end
+  done;
+  let dense = Array.init n (fun i -> canonical.(find i)) in
+  { grid = t; count = !count; canonical = dense }
+
+let bus_id buses ~row ~col port =
+  if row < 0 || row >= buses.grid.rows || col < 0 || col >= buses.grid.cols then
+    invalid_arg "Grid.bus_id: PE out of range";
+  buses.canonical.(node buses.grid ~row ~col port)
+
+let num_buses buses = buses.count
+
+let signals buses ~drivers =
+  let values = Array.make buses.count false in
+  List.iter
+    (fun (row, col, port) -> values.(bus_id buses ~row ~col port) <- true)
+    drivers;
+  values
+
+let read buses values ~row ~col port = values.(bus_id buses ~row ~col port)

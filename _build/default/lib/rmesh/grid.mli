@@ -1,0 +1,46 @@
+(** The reconfigurable-mesh fabric: bus resolution and signalling.
+
+    An R×C grid of PEs; adjacent PEs' facing ports are wired (E of
+    (r,c) to W of (r,c+1), S of (r,c) to N of (r+1,c)).  A
+    configuration assigns every PE a {!Partition.t}; the buses of the
+    configured mesh are the connected components of ports under
+    "fused within a PE" ∪ "wired between neighbours".  Signalling is
+    wired-OR: a bus carries 1 iff some PE drives 1 onto it — the model
+    behind the classic constant-time mesh algorithms. *)
+
+type t
+
+(** [create ~rows ~cols] — both ≥ 1. *)
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+(** A configuration: [config.(r).(c)] is PE (r,c)'s partition. *)
+type config = Partition.t array array
+
+(** [uniform t p] — every PE in partition [p]. *)
+val uniform : t -> Partition.t -> config
+
+(** [validate t config] checks dimensions; raises [Invalid_argument]. *)
+val validate : t -> config -> unit
+
+(** Resolved buses of one configuration. *)
+type buses
+
+(** [resolve t config] computes the connected components. *)
+val resolve : t -> config -> buses
+
+(** [bus_id buses ~row ~col port] — the bus this port belongs to
+    (stable within one [resolve]). *)
+val bus_id : buses -> row:int -> col:int -> Port.t -> int
+
+(** [num_buses buses]. *)
+val num_buses : buses -> int
+
+(** [signals buses ~drivers] — the wired-OR value per bus, given the
+    ports being driven high. *)
+val signals : buses -> drivers:(int * int * Port.t) list -> bool array
+
+(** [read buses values ~row ~col port] — the level this port sees. *)
+val read : buses -> bool array -> row:int -> col:int -> Port.t -> bool

@@ -1,0 +1,116 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+type step = { config : Grid.config; label : string }
+
+type program = step list
+
+let bits_per_pe = 4
+
+let width grid = Grid.rows grid * Grid.cols grid * bits_per_pe
+
+let pe_base grid ~row ~col = ((row * Grid.cols grid) + col) * bits_per_pe
+
+let space grid =
+  let names = Array.make (width grid) "" in
+  for r = 0 to Grid.rows grid - 1 do
+    for c = 0 to Grid.cols grid - 1 do
+      for k = 0 to bits_per_pe - 1 do
+        names.(pe_base grid ~row:r ~col:c + k) <- Printf.sprintf "pe%d,%d.%d" r c k
+      done
+    done
+  done;
+  Switch_space.make ~names (width grid)
+
+let encode grid config =
+  Grid.validate grid config;
+  let bits = ref (Bitset.create (width grid)) in
+  for r = 0 to Grid.rows grid - 1 do
+    for c = 0 to Grid.cols grid - 1 do
+      let code = Partition.code config.(r).(c) in
+      for k = 0 to bits_per_pe - 1 do
+        if code land (1 lsl k) <> 0 then
+          bits := Bitset.add !bits (pe_base grid ~row:r ~col:c + k)
+      done
+    done
+  done;
+  !bits
+
+let field_diff grid prev next =
+  let out = ref (Bitset.create (width grid)) in
+  for r = 0 to Grid.rows grid - 1 do
+    for c = 0 to Grid.cols grid - 1 do
+      if not (Partition.equal prev.(r).(c) next.(r).(c)) then
+        for k = 0 to bits_per_pe - 1 do
+          out := Bitset.add !out (pe_base grid ~row:r ~col:c + k)
+        done
+    done
+  done;
+  !out
+
+let trace ?(mode = `Field) ?initial grid program =
+  let initial =
+    match initial with Some c -> c | None -> Grid.uniform grid Partition.isolated
+  in
+  Grid.validate grid initial;
+  let cfgs = Array.of_list (List.map (fun s -> s.config) program) in
+  let prev i = if i = 0 then initial else cfgs.(i - 1) in
+  let reqs =
+    Array.mapi
+      (fun i cfg ->
+        match mode with
+        | `Field -> field_diff grid (prev i) cfg
+        | `Bit -> Bitset.symdiff (encode grid (prev i)) (encode grid cfg))
+      cfgs
+  in
+  Trace.make (space grid) reqs
+
+let mask_of_pes grid pes =
+  List.fold_left
+    (fun acc (r, c) ->
+      let base = pe_base grid ~row:r ~col:c in
+      List.fold_left (fun acc k -> Bitset.add acc (base + k)) acc
+        (List.init bits_per_pe Fun.id))
+    (Bitset.create (width grid))
+    pes
+
+let row_bands grid ~bands =
+  if bands < 1 || bands > Grid.rows grid then
+    invalid_arg "Mesh_tracer.row_bands: bad band count";
+  let rows = Grid.rows grid and cols = Grid.cols grid in
+  let base = rows / bands and extra = rows mod bands in
+  let parts = ref [] in
+  let start = ref 0 in
+  for b = 0 to bands - 1 do
+    let len = base + if b < extra then 1 else 0 in
+    if len > 0 then begin
+      let rs = List.init len (fun k -> !start + k) in
+      let pes = List.concat_map (fun r -> List.init cols (fun c -> (r, c))) rs in
+      parts :=
+        {
+          Task_split.name = Printf.sprintf "rows%d-%d" !start (!start + len - 1);
+          mask = mask_of_pes grid pes;
+        }
+        :: !parts;
+      start := !start + len
+    end
+  done;
+  Array.of_list (List.rev !parts)
+
+let quadrants grid =
+  let rows = Grid.rows grid and cols = Grid.cols grid in
+  if rows < 2 || cols < 2 then
+    invalid_arg "Mesh_tracer.quadrants: need at least a 2x2 mesh";
+  let rh = (rows + 1) / 2 and ch = (cols + 1) / 2 in
+  let all_pes =
+    List.concat_map (fun r -> List.init cols (fun c -> (r, c))) (List.init rows Fun.id)
+  in
+  let quadrant name keep =
+    { Task_split.name; mask = mask_of_pes grid (List.filter keep all_pes) }
+  in
+  [|
+    quadrant "NW" (fun (r, c) -> r < rh && c < ch);
+    quadrant "NE" (fun (r, c) -> r < rh && c >= ch);
+    quadrant "SW" (fun (r, c) -> r >= rh && c < ch);
+    quadrant "SE" (fun (r, c) -> r >= rh && c >= ch);
+  |]

@@ -1,0 +1,36 @@
+open Hr_core
+
+(** Configuration encoding and requirement-trace extraction for the
+    mesh.
+
+    Each PE's partition code occupies one 4-bit field of the mesh's
+    switch universe (4·R·C configuration bits).  As with SHyRA, a
+    reconfiguration step's context requirement is the set of
+    configuration bits that must be rewritten; [`Field] granularity
+    (rewrite a PE's whole code when it changes) is the primary mode. *)
+
+(** A labelled configuration sequence. *)
+type step = { config : Grid.config; label : string }
+
+type program = step list
+
+(** [space grid] — the mesh's switch universe, bit names
+    ["pe<r>,<c>.<k>"]. *)
+val space : Grid.t -> Switch_space.t
+
+(** [encode grid config] — the configuration as a bitset over
+    {!space}. *)
+val encode : Grid.t -> Grid.config -> Hr_util.Bitset.t
+
+(** [trace ?mode ?initial grid program] — the requirement trace;
+    [`Bit] = changed bits, [`Field] (default) = whole changed PE codes.
+    [initial] defaults to the all-{!Partition.isolated} configuration. *)
+val trace :
+  ?mode:[ `Bit | `Field ] -> ?initial:Grid.config -> Grid.t -> program -> Trace.t
+
+(** [row_bands grid ~bands] — a task split into [bands] horizontal
+    stripes of rows (as equal as possible), named ["rows0-2"] etc. *)
+val row_bands : Grid.t -> bands:int -> Task_split.part array
+
+(** [quadrants grid] — a 4-way task split into the mesh quadrants. *)
+val quadrants : Grid.t -> Task_split.part array

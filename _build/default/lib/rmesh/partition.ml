@@ -1,0 +1,93 @@
+(* A partition is stored as its restricted-growth string over the port
+   order N,E,S,W: an int array [|g N; g E; g S; g W|] where group ids
+   appear in first-use order.  The 15 such strings, sorted
+   lexicographically, define the codes. *)
+
+type t = { code : int; rgs : int array }
+
+let rgs_strings =
+  (* All restricted growth strings of length 4. *)
+  let rec extend prefix maxg acc =
+    if List.length prefix = 4 then List.rev prefix :: acc
+    else
+      let rec try_g g acc =
+        if g > maxg + 1 then acc
+        else try_g (g + 1) (extend (g :: prefix) (max maxg g) acc)
+      in
+      try_g 0 acc
+  in
+  extend [] (-1) [] |> List.map Array.of_list |> List.sort compare
+
+let all =
+  Array.of_list (List.mapi (fun code rgs -> { code; rgs }) rgs_strings)
+
+let () = assert (Array.length all = 15)
+
+let code t = t.code
+
+let of_code i =
+  if i < 0 || i >= 15 then invalid_arg (Printf.sprintf "Partition.of_code: %d" i);
+  all.(i)
+
+let canonicalize raw =
+  (* Renumber group ids into first-use order. *)
+  let mapping = Hashtbl.create 4 in
+  let next = ref 0 in
+  Array.map
+    (fun g ->
+      match Hashtbl.find_opt mapping g with
+      | Some g' -> g'
+      | None ->
+          let g' = !next in
+          incr next;
+          Hashtbl.replace mapping g g';
+          g')
+    raw
+
+let of_rgs rgs =
+  match Array.find_opt (fun t -> t.rgs = rgs) all with
+  | Some t -> t
+  | None -> invalid_arg "Partition: not a canonical partition"
+
+let of_groups gs =
+  let raw = Array.make 4 (-1) in
+  List.iteri
+    (fun gid ports ->
+      List.iter
+        (fun p ->
+          let i = Port.index p in
+          if raw.(i) <> -1 then invalid_arg "Partition.of_groups: duplicate port";
+          raw.(i) <- gid)
+        ports)
+    gs;
+  if Array.exists (( = ) (-1)) raw then
+    invalid_arg "Partition.of_groups: missing port";
+  of_rgs (canonicalize raw)
+
+let groups t =
+  let ngroups = 1 + Array.fold_left max 0 t.rgs in
+  List.init ngroups (fun g ->
+      List.filter (fun p -> t.rgs.(Port.index p) = g) Port.all)
+
+let group_of t p = t.rgs.(Port.index p)
+
+let same_group t a b = group_of t a = group_of t b
+
+let isolated = of_groups [ [ Port.N ]; [ Port.E ]; [ Port.S ]; [ Port.W ] ]
+let all_fused = of_groups [ [ Port.N; Port.E; Port.S; Port.W ] ]
+let ew = of_groups [ [ Port.E; Port.W ]; [ Port.N ]; [ Port.S ] ]
+let ns = of_groups [ [ Port.N; Port.S ]; [ Port.E ]; [ Port.W ] ]
+let ns_ew = of_groups [ [ Port.N; Port.S ]; [ Port.E; Port.W ] ]
+let ws_ne = of_groups [ [ Port.W; Port.S ]; [ Port.N; Port.E ] ]
+let wn_es = of_groups [ [ Port.W; Port.N ]; [ Port.E; Port.S ] ]
+
+let pp ppf t =
+  Format.pp_print_char ppf '[';
+  List.iteri
+    (fun i g ->
+      if i > 0 then Format.pp_print_char ppf '|';
+      List.iter (Port.pp ppf) g)
+    (groups t);
+  Format.pp_print_char ppf ']'
+
+let equal a b = a.code = b.code

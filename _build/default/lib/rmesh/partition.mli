@@ -1,0 +1,60 @@
+(** Port partitions — the internal switch state of one mesh PE.
+
+    A reconfigurable-mesh PE fuses subsets of its four ports into local
+    buses; the 15 set partitions of \{N,E,S,W\} are the possible switch
+    configurations.  Each partition has a canonical 4-bit code
+    (0..14), which is the unit of the mesh's configuration bits the
+    hyperreconfiguration analysis works on. *)
+
+type t
+
+(** [all] — the 15 partitions, indexed by code. *)
+val all : t array
+
+(** [code t] / [of_code i] — the canonical code (0..14).  [of_code]
+    raises [Invalid_argument] outside that range. *)
+val code : t -> int
+
+val of_code : int -> t
+
+(** [of_groups gs] canonicalizes an explicit grouping.  Raises
+    [Invalid_argument] unless [gs] partitions exactly \{N,E,S,W\}. *)
+val of_groups : Port.t list list -> t
+
+(** [groups t] — the partition's blocks, each sorted in N,E,S,W order,
+    blocks ordered by their first port. *)
+val groups : t -> Port.t list list
+
+(** [same_group t a b] — are ports [a] and [b] fused in [t]? *)
+val same_group : t -> Port.t -> Port.t -> bool
+
+(** [group_of t p] — the block index of port [p] within {!groups}. *)
+val group_of : t -> Port.t -> int
+
+(** Common configurations. *)
+val isolated : t
+(** \{N\}\{E\}\{S\}\{W\} — all ports separate. *)
+
+val all_fused : t
+(** \{N,E,S,W\} — one bus through the PE. *)
+
+val ew : t
+(** \{E,W\}\{N\}\{S\} — a horizontal through-wire. *)
+
+val ns : t
+(** \{N,S\}\{E\}\{W\} — a vertical through-wire. *)
+
+val ns_ew : t
+(** \{N,S\}\{E,W\} — crossing wires. *)
+
+val ws_ne : t
+(** \{W,S\}\{N,E\} — the "step down" diagonal used by the classic O(1)
+    counting algorithm. *)
+
+val wn_es : t
+(** \{W,N\}\{E,S\} — the opposite diagonal. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** [equal] — code equality. *)
+val equal : t -> t -> bool

@@ -1,0 +1,17 @@
+type t = N | E | S | W
+
+let all = [ N; E; S; W ]
+
+let index = function N -> 0 | E -> 1 | S -> 2 | W -> 3
+
+let of_index = function
+  | 0 -> N
+  | 1 -> E
+  | 2 -> S
+  | 3 -> W
+  | i -> invalid_arg (Printf.sprintf "Port.of_index: %d" i)
+
+let opposite = function N -> S | S -> N | E -> W | W -> E
+
+let pp ppf t =
+  Format.pp_print_string ppf (match t with N -> "N" | E -> "E" | S -> "S" | W -> "W")

@@ -1,0 +1,19 @@
+(** The four ports of a reconfigurable-mesh processing element. *)
+
+type t = N | E | S | W
+
+(** [all] in the fixed order N, E, S, W. *)
+val all : t list
+
+(** [index t] is the port's position in {!all} (0..3). *)
+val index : t -> int
+
+(** [of_index i] inverts {!index}; raises [Invalid_argument] outside
+    0..3. *)
+val of_index : int -> t
+
+(** [opposite t] is the port a neighbour connects to: N↔S, E↔W. *)
+val opposite : t -> t
+
+(** [pp] prints ["N"], ["E"], ["S"] or ["W"]. *)
+val pp : Format.formatter -> t -> unit

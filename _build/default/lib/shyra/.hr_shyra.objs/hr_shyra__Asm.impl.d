@@ -1,0 +1,1 @@
+lib/shyra/asm.ml: Array Config List Lut Option Program

@@ -1,0 +1,1 @@
+lib/shyra/asm.mli: Config Lut Program

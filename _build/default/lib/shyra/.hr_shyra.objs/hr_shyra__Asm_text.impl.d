@@ -1,0 +1,1 @@
+lib/shyra/asm_text.ml: Asm Fun List Lut Printf String

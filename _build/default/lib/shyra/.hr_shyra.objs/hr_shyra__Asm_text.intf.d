@@ -1,0 +1,1 @@
+lib/shyra/asm_text.mli: Asm

@@ -1,0 +1,1 @@
+lib/shyra/config.ml: Array Format Hr_core Hr_util List Lut Printf

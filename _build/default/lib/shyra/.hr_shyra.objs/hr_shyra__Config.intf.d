@@ -1,0 +1,1 @@
+lib/shyra/config.mli: Format Hr_core Hr_util Lut

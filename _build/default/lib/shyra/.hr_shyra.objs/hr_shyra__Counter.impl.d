@@ -1,0 +1,1 @@
+lib/shyra/counter.ml: Asm Config List Lut Machine Program

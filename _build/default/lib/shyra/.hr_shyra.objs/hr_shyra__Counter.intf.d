@@ -1,0 +1,1 @@
+lib/shyra/counter.mli: Machine Program

@@ -1,0 +1,1 @@
+lib/shyra/counter_compiled.ml: Expr List Machine Program String Word

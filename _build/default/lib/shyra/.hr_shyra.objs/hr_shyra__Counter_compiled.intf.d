@@ -1,0 +1,1 @@
+lib/shyra/counter_compiled.mli: Program

@@ -1,0 +1,1 @@
+lib/shyra/duo.ml: Array Hr_core Hr_util Tracer

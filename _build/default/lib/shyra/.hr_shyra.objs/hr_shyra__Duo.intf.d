@@ -1,0 +1,1 @@
+lib/shyra/duo.mli: Hr_core Program Tracer

@@ -1,0 +1,1 @@
+lib/shyra/expr.ml: Array Asm Config Hashtbl Hr_util List Lut Machine Printf Program

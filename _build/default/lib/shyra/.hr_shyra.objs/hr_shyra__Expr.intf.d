@@ -1,0 +1,1 @@
+lib/shyra/expr.mli: Hr_util Program

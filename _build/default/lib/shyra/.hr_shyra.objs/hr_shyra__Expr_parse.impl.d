@@ -1,0 +1,1 @@
+lib/shyra/expr_parse.ml: Buffer Expr List Printf String

@@ -1,0 +1,1 @@
+lib/shyra/expr_parse.mli: Expr

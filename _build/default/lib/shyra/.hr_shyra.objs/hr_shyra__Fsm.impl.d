@@ -1,0 +1,1 @@
+lib/shyra/fsm.ml: Array Asm Config List Lut Machine Printf Program

@@ -1,0 +1,1 @@
+lib/shyra/fsm.mli: Lut Program

@@ -1,0 +1,1 @@
+lib/shyra/gray.ml: Asm Lut Machine Program

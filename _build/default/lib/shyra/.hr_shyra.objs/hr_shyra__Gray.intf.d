@@ -1,0 +1,1 @@
+lib/shyra/gray.mli: Program

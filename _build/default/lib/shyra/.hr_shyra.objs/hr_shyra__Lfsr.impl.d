@@ -1,0 +1,1 @@
+lib/shyra/lfsr.ml: Asm Fun List Lut Machine Printf Program

@@ -1,0 +1,1 @@
+lib/shyra/lfsr.mli: Program

@@ -1,0 +1,1 @@
+lib/shyra/lut.mli:

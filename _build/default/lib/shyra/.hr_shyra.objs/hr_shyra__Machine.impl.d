@@ -1,0 +1,1 @@
+lib/shyra/machine.ml: Array Config Format List Lut

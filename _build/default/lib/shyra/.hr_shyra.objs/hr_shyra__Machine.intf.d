@@ -1,0 +1,1 @@
+lib/shyra/machine.mli: Config Format

@@ -1,0 +1,1 @@
+lib/shyra/parity.ml: Asm Lut Machine Program

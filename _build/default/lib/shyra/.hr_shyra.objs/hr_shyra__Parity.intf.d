@@ -1,0 +1,1 @@
+lib/shyra/parity.mli: Program

@@ -1,0 +1,1 @@
+lib/shyra/program.ml: Array Config List Machine

@@ -1,0 +1,1 @@
+lib/shyra/program.mli: Config Machine

@@ -1,0 +1,1 @@
+lib/shyra/rule90.ml: Asm Fun List Lut Machine Printf Program

@@ -1,0 +1,1 @@
+lib/shyra/rule90.mli: Program

@@ -1,0 +1,1 @@
+lib/shyra/serial_adder.ml: Asm List Lut Machine Printf Program

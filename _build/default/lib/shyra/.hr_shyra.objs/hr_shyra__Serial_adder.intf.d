@@ -1,0 +1,1 @@
+lib/shyra/serial_adder.mli: Machine Program

@@ -1,0 +1,1 @@
+lib/shyra/tasks.ml: Array Config Hr_core Hr_util List

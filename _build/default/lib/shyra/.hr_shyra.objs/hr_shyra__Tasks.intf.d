@@ -1,0 +1,1 @@
+lib/shyra/tasks.mli: Hr_core Hr_util

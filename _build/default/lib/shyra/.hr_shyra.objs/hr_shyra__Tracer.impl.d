@@ -1,0 +1,1 @@
+lib/shyra/tracer.ml: Array Config Hr_core Program

@@ -1,0 +1,1 @@
+lib/shyra/tracer.mli: Config Hr_core Program

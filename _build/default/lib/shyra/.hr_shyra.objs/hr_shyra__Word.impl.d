@@ -1,0 +1,1 @@
+lib/shyra/word.ml: Array Expr List Printf

@@ -1,0 +1,1 @@
+lib/shyra/word.mli: Expr

@@ -1,0 +1,64 @@
+type instr =
+  | Lut1 of Lut.t
+  | Lut2 of Lut.t
+  | Sel of int * int
+  | Route of int * int option
+  | Commit of string
+
+type pending = {
+  lut1 : Lut.t;
+  lut2 : Lut.t;
+  mux : int array;
+  demux : int array;
+}
+
+let assemble ?(start = Config.power_on) instrs =
+  let pending =
+    ref
+      {
+        lut1 = start.Config.lut1;
+        lut2 = start.Config.lut2;
+        mux = Array.copy start.Config.mux;
+        demux = Array.copy start.Config.demux;
+      }
+  in
+  let dirty = ref false in
+  let out = ref [] in
+  let apply = function
+    | Lut1 t ->
+        pending := { !pending with lut1 = t };
+        dirty := true
+    | Lut2 t ->
+        pending := { !pending with lut2 = t };
+        dirty := true
+    | Sel (line, reg) ->
+        if line < 0 || line > 5 then invalid_arg "Asm: MUX line out of range";
+        let mux = Array.copy !pending.mux in
+        mux.(line) <- reg;
+        pending := { !pending with mux };
+        dirty := true
+    | Route (line, target) ->
+        if line < 0 || line > 1 then invalid_arg "Asm: DeMUX line out of range";
+        let demux = Array.copy !pending.demux in
+        demux.(line) <- Option.value target ~default:Config.no_write;
+        pending := { !pending with demux };
+        dirty := true
+    | Commit label ->
+        let cfg =
+          Config.make ~lut1:!pending.lut1 ~lut2:!pending.lut2 ~mux:!pending.mux
+            ~demux:!pending.demux
+        in
+        out := { Program.cfg; label } :: !out;
+        dirty := false
+  in
+  List.iter apply instrs;
+  if !dirty then invalid_arg "Asm.assemble: trailing instructions without Commit";
+  Program.of_steps (List.rev !out)
+
+let cycle ?lut1 ?lut2 ?(sels = []) ?(routes = []) label =
+  let opt f = function Some x -> [ f x ] | None -> [] in
+  opt (fun t -> Lut1 t) lut1
+  @ opt (fun t -> Lut2 t) lut2
+  @ List.map (fun (line, reg) -> Sel (line, reg)) sels
+  @ List.map (fun (line, target) -> Route (line, target)) routes
+  @ [ Commit label ]

@@ -1,0 +1,32 @@
+(** A tiny assembler for SHyRA programs.
+
+    Instructions mutate a pending configuration; [Commit] emits it as
+    the next cycle.  Fields that no instruction touched {e hold their
+    previous value} — exactly the property that makes real
+    reconfiguration traces sparse and hyperreconfiguration profitable. *)
+
+type instr =
+  | Lut1 of Lut.t  (** load LUT1's truth table *)
+  | Lut2 of Lut.t  (** load LUT2's truth table *)
+  | Sel of int * int  (** [Sel (line, reg)]: MUX line 0..5 reads register [reg] *)
+  | Route of int * int option
+      (** [Route (line, Some reg)]: DeMUX line 0..1 writes [reg];
+          [None] discards the LUT output *)
+  | Commit of string  (** end the cycle, with a label *)
+
+(** [assemble ?start instrs] produces the program.  [start] is the
+    configuration in force before the first instruction (default
+    {!Config.power_on}).  Raises [Invalid_argument] on bad field
+    values, on conflicting DeMUX targets at a [Commit], or on trailing
+    non-committed instructions. *)
+val assemble : ?start:Config.t -> instr list -> Program.t
+
+(** [cycle ?lut1 ?lut2 ?sels ?routes label] is sugar for one cycle's
+    worth of instructions followed by [Commit label]. *)
+val cycle :
+  ?lut1:Lut.t ->
+  ?lut2:Lut.t ->
+  ?sels:(int * int) list ->
+  ?routes:(int * int option) list ->
+  string ->
+  instr list

@@ -1,0 +1,96 @@
+let lut_by_name =
+  [
+    ("ZERO", Lut.zero); ("ONE", Lut.one); ("BUF0", Lut.buf0); ("NOT0", Lut.not0);
+    ("XOR01", Lut.xor01); ("AND01", Lut.and01); ("OR01", Lut.or01);
+    ("XNOR01", Lut.xnor01); ("XOR3", Lut.xor3); ("MAJ3", Lut.maj3);
+    ("EQACC", Lut.eq_acc);
+  ]
+
+let parse_lut tok =
+  match List.assoc_opt (String.uppercase_ascii tok) lut_by_name with
+  | Some l -> Ok l
+  | None -> (
+      match int_of_string_opt tok with
+      | Some v when v >= 0 && v <= 0xFF -> Ok (Lut.of_table v)
+      | _ -> Error (Printf.sprintf "unknown LUT table %S" tok))
+
+let parse_reg tok =
+  if String.length tok = 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 1) with
+    | Some r when r >= 0 && r <= 9 -> Ok r
+    | _ -> Error (Printf.sprintf "bad register %S" tok)
+  else Error (Printf.sprintf "bad register %S" tok)
+
+let parse_line no line =
+  let line =
+    let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+    cut '#' (cut ';' line)
+  in
+  let tokens =
+    String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "")
+  in
+  let err msg = Error (Printf.sprintf "line %d: %s" no msg) in
+  match tokens with
+  | [] -> Ok None
+  | [ "lut1"; t ] -> (
+      match parse_lut t with Ok l -> Ok (Some (Asm.Lut1 l)) | Error e -> err e)
+  | [ "lut2"; t ] -> (
+      match parse_lut t with Ok l -> Ok (Some (Asm.Lut2 l)) | Error e -> err e)
+  | [ "sel"; line_tok; reg_tok ] -> (
+      match (int_of_string_opt line_tok, parse_reg reg_tok) with
+      | Some l, Ok r when l >= 0 && l <= 5 -> Ok (Some (Asm.Sel (l, r)))
+      | Some _, Ok _ -> err "MUX line must be 0..5"
+      | None, _ -> err "bad MUX line"
+      | _, Error e -> err e)
+  | [ "route"; line_tok; "-" ] -> (
+      match int_of_string_opt line_tok with
+      | Some l when l >= 0 && l <= 1 -> Ok (Some (Asm.Route (l, None)))
+      | _ -> err "DeMUX line must be 0..1")
+  | [ "route"; line_tok; reg_tok ] -> (
+      match (int_of_string_opt line_tok, parse_reg reg_tok) with
+      | Some l, Ok r when l >= 0 && l <= 1 -> Ok (Some (Asm.Route (l, Some r)))
+      | Some _, Ok _ -> err "DeMUX line must be 0..1"
+      | None, _ -> err "bad DeMUX line"
+      | _, Error e -> err e)
+  | [ "commit" ] -> Ok (Some (Asm.Commit ""))
+  | [ "commit"; label ] -> Ok (Some (Asm.Commit label))
+  | cmd :: _ -> err (Printf.sprintf "unknown directive %S" cmd)
+
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  let rec go no acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line no line with
+        | Ok None -> go (no + 1) acc rest
+        | Ok (Some i) -> go (no + 1) (i :: acc) rest
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+let parse_exn s = match parse s with Ok p -> p | Error e -> failwith e
+
+let print instrs =
+  let lut_name t =
+    match List.find_opt (fun (_, l) -> Lut.table l = Lut.table t) lut_by_name with
+    | Some (n, _) -> n
+    | None -> Printf.sprintf "0x%02X" (Lut.table t)
+  in
+  let line = function
+    | Asm.Lut1 t -> "lut1 " ^ lut_name t
+    | Asm.Lut2 t -> "lut2 " ^ lut_name t
+    | Asm.Sel (l, r) -> Printf.sprintf "sel %d r%d" l r
+    | Asm.Route (l, None) -> Printf.sprintf "route %d -" l
+    | Asm.Route (l, Some r) -> Printf.sprintf "route %d r%d" l r
+    | Asm.Commit "" -> "commit"
+    | Asm.Commit label -> "commit " ^ label
+  in
+  String.concat "\n" (List.map line instrs) ^ "\n"
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,34 @@
+(** Textual SHyRA assembly.
+
+    A small line-oriented surface syntax for {!Asm} programs so that
+    programs can live in files and be run by [bin/shyra_run]:
+
+    {v
+    # increment bit 0
+    lut1 NOT0        ; load LUT1's table (name or 0xNN)
+    lut2 BUF0
+    sel 0 r0         ; MUX line 0 reads register r0
+    sel 3 r0
+    route 0 r0       ; DeMUX line 0 writes r0
+    route 1 r8
+    commit inc0      ; end the cycle, labelled
+    v}
+
+    ['#'] and [';'] start comments.  Table operands are the mnemonic
+    names of {!Lut} ([NOT0], [XOR01], …) or hexadecimal literals
+    ([0x96]).  Register operands are [r0]..[r9]; [route <line> -]
+    discards the LUT output. *)
+
+(** [parse s] parses a whole source file into instructions.  Returns
+    [Error msg] with a line number on the first syntax error. *)
+val parse : string -> (Asm.instr list, string) result
+
+(** [parse_exn s] raises [Failure] instead. *)
+val parse_exn : string -> Asm.instr list
+
+(** [print instrs] renders instructions back to the surface syntax;
+    [parse (print p) = Ok p] (tested). *)
+val print : Asm.instr list -> string
+
+(** [load path] parses a file. *)
+val load : string -> (Asm.instr list, string) result

@@ -1,0 +1,135 @@
+module Bitset = Hr_util.Bitset
+
+type t = { lut1 : Lut.t; lut2 : Lut.t; mux : int array; demux : int array }
+
+let num_registers = 10
+let width = 48
+let no_write = 0xF
+
+let make ~lut1 ~lut2 ~mux ~demux =
+  if Array.length mux <> 6 then invalid_arg "Config.make: mux must have 6 lines";
+  if Array.length demux <> 2 then invalid_arg "Config.make: demux must have 2 lines";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= num_registers then
+        invalid_arg (Printf.sprintf "Config.make: mux select %d out of range" s))
+    mux;
+  Array.iter
+    (fun d ->
+      if d <> no_write && (d < 0 || d >= num_registers) then
+        invalid_arg (Printf.sprintf "Config.make: demux target %d out of range" d))
+    demux;
+  if demux.(0) <> no_write && demux.(0) = demux.(1) then
+    invalid_arg "Config.make: both DeMUX lines write the same register";
+  { lut1; lut2; mux = Array.copy mux; demux = Array.copy demux }
+
+let power_on =
+  {
+    lut1 = Lut.zero;
+    lut2 = Lut.zero;
+    mux = Array.make 6 0;
+    demux = Array.make 2 no_write;
+  }
+
+let space =
+  let names = Array.make width "" in
+  for b = 0 to 7 do
+    names.(b) <- Printf.sprintf "lut1.%d" b;
+    names.(8 + b) <- Printf.sprintf "lut2.%d" b
+  done;
+  for line = 0 to 1 do
+    for b = 0 to 3 do
+      names.(16 + (4 * line) + b) <- Printf.sprintf "demux%d.%d" line b
+    done
+  done;
+  for line = 0 to 5 do
+    for b = 0 to 3 do
+      names.(24 + (4 * line) + b) <- Printf.sprintf "mux%d.%d" line b
+    done
+  done;
+  Hr_core.Switch_space.make ~names width
+
+let encode c =
+  let bits = ref (Bitset.create width) in
+  let put base nbits value =
+    for b = 0 to nbits - 1 do
+      if value land (1 lsl b) <> 0 then bits := Bitset.add !bits (base + b)
+    done
+  in
+  put 0 8 (Lut.table c.lut1);
+  put 8 8 (Lut.table c.lut2);
+  put 16 4 c.demux.(0);
+  put 20 4 c.demux.(1);
+  for line = 0 to 5 do
+    put (24 + (4 * line)) 4 c.mux.(line)
+  done;
+  !bits
+
+let decode bits =
+  if Bitset.width bits <> width then invalid_arg "Config.decode: wrong width";
+  let get base nbits =
+    let v = ref 0 in
+    for b = 0 to nbits - 1 do
+      if Bitset.mem bits (base + b) then v := !v lor (1 lsl b)
+    done;
+    !v
+  in
+  make
+    ~lut1:(Lut.of_table (get 0 8))
+    ~lut2:(Lut.of_table (get 8 8))
+    ~mux:(Array.init 6 (fun line -> get (24 + (4 * line)) 4))
+    ~demux:[| get 16 4; get 20 4 |]
+
+let diff prev next = Bitset.symdiff (encode prev) (encode next)
+
+(* Field boundaries: (first bit, width). *)
+let fields =
+  [ (0, 8); (8, 8); (16, 4); (20, 4); (24, 4); (28, 4); (32, 4); (36, 4); (40, 4); (44, 4) ]
+
+let field_diff prev next =
+  let bitwise = diff prev next in
+  List.fold_left
+    (fun acc (base, nbits) ->
+      let touched =
+        let rec any b = b < nbits && (Bitset.mem bitwise (base + b) || any (b + 1)) in
+        any 0
+      in
+      if touched then
+        List.fold_left (fun acc b -> Bitset.add acc (base + b)) acc
+          (List.init nbits (fun b -> b))
+      else acc)
+    (Bitset.create width) fields
+
+let in_use c =
+  let bits = ref (Bitset.create width) in
+  let mark base nbits =
+    for b = 0 to nbits - 1 do
+      bits := Bitset.add !bits (base + b)
+    done
+  in
+  mark 16 4;
+  mark 20 4;
+  if c.demux.(0) <> no_write then begin
+    mark 0 8;
+    for line = 0 to 2 do
+      mark (24 + (4 * line)) 4
+    done
+  end;
+  if c.demux.(1) <> no_write then begin
+    mark 8 8;
+    for line = 3 to 5 do
+      mark (24 + (4 * line)) 4
+    done
+  end;
+  !bits
+
+let equal a b =
+  Lut.table a.lut1 = Lut.table b.lut1
+  && Lut.table a.lut2 = Lut.table b.lut2
+  && a.mux = b.mux && a.demux = b.demux
+
+let pp ppf c =
+  let tgt d = if d = no_write then "-" else string_of_int d in
+  Format.fprintf ppf "lut1=%s(%d,%d,%d)->%s lut2=%s(%d,%d,%d)->%s" (Lut.name c.lut1)
+    c.mux.(0) c.mux.(1) c.mux.(2) (tgt c.demux.(0)) (Lut.name c.lut2) c.mux.(3)
+    c.mux.(4) c.mux.(5) (tgt c.demux.(1))

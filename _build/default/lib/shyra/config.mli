@@ -1,0 +1,78 @@
+(** The 48-bit SHyRA configuration word.
+
+    SHyRA (paper Fig. 1) has four reconfigurable units totalling 48
+    configuration bits — exactly the 48 switches of the paper's §6
+    MT-Switch analysis:
+
+    {v
+    bits  0..7   LUT1 truth table                    (task T1, l1 = 8)
+    bits  8..15  LUT2 truth table                    (task T2, l2 = 8)
+    bits 16..23  DeMUX: 2 × 4-bit write target       (task T3, l3 = 8)
+    bits 24..47  MUX:   6 × 4-bit register select    (task T4, l4 = 24)
+    v}
+
+    MUX lines 0–2 feed LUT1's inputs, lines 3–5 feed LUT2's.  A DeMUX
+    target of {!no_write} (0xF) discards the LUT output; otherwise it
+    names the register (0–9) to overwrite. *)
+
+type t = {
+  lut1 : Lut.t;
+  lut2 : Lut.t;
+  mux : int array;  (** 6 register selects, each 0..9 *)
+  demux : int array;  (** 2 write targets, each 0..9 or {!no_write} *)
+}
+
+(** Number of registers in the register file. *)
+val num_registers : int
+
+(** Number of configuration bits (48). *)
+val width : int
+
+(** DeMUX code for "discard the LUT output" (0xF). *)
+val no_write : int
+
+(** [make ~lut1 ~lut2 ~mux ~demux] validates field ranges and that the
+    two DeMUX targets are distinct unless discarded (simultaneous
+    writes to one register are undefined on the hardware). *)
+val make : lut1:Lut.t -> lut2:Lut.t -> mux:int array -> demux:int array -> t
+
+(** [power_on] is the reset configuration: both LUTs constant 0, all
+    MUX lines selecting register 0, both DeMUX lines discarding. *)
+val power_on : t
+
+(** [space] is the 48-switch universe with per-bit names
+    ("lut1.0" … "mux5.3"). *)
+val space : Hr_core.Switch_space.t
+
+(** [encode c] is the 48-bit configuration as a bitset over
+    {!space}. *)
+val encode : t -> Hr_util.Bitset.t
+
+(** [decode bits] inverts {!encode}.  Raises [Invalid_argument] when
+    the bits decode to out-of-range fields. *)
+val decode : Hr_util.Bitset.t -> t
+
+(** [diff prev next] is the set of configuration bits that must be
+    rewritten to go from [prev] to [next] — the context requirement of
+    that reconfiguration step under the paper's switch model. *)
+val diff : t -> t -> Hr_util.Bitset.t
+
+(** [field_diff prev next] is the coarser field-granular requirement:
+    whenever any bit of a field (a LUT table, one MUX select, one DeMUX
+    target) changes, the whole field must be rewritten.  This matches
+    architectures whose reconfiguration port writes whole configuration
+    words, and is the primary trace-extraction mode of the §6
+    reproduction. *)
+val field_diff : t -> t -> Hr_util.Bitset.t
+
+(** [in_use c] is the set of configuration bits belonging to fields
+    that affect behaviour in [c]: all LUT bits of LUTs whose output is
+    written somewhere, the MUX selects feeding those LUTs, and the
+    DeMUX fields.  The alternative, coarser trace-extraction mode. *)
+val in_use : t -> Hr_util.Bitset.t
+
+(** [equal a b] is structural equality. *)
+val equal : t -> t -> bool
+
+(** [pp] prints a compact one-line description. *)
+val pp : Format.formatter -> t -> unit

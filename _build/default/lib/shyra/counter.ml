@@ -1,0 +1,69 @@
+let compare_cycles = 4
+let increment_cycles = 4
+
+let initial_state ~init ~bound =
+  if init < 0 || init > 15 || bound < 0 || bound > 15 then
+    invalid_arg "Counter: init and bound must be 4-bit values";
+  let s = Machine.create () in
+  let s = Machine.write_nibble s 0 init in
+  Machine.write_nibble s 4 bound
+
+(* Equality comparison of r0..r3 against r4..r7 into r8:
+   r8 := (r0 ≡ r4); then r8 := r8 ∧ (rk ≡ r4+k) for k = 1..3. *)
+let compare_phase =
+  Asm.cycle ~lut1:Lut.xnor01 ~sels:[ (0, 0); (1, 4) ] ~routes:[ (0, Some 8); (1, None) ]
+    "cmp0"
+  @ Asm.cycle ~lut1:Lut.eq_acc ~sels:[ (0, 1); (1, 5); (2, 8) ] "cmp1"
+  @ Asm.cycle ~sels:[ (0, 2); (1, 6) ] "cmp2"
+  @ Asm.cycle ~sels:[ (0, 3); (1, 7) ] "cmp3"
+
+(* Ripple increment of r0..r3; the carry ping-pongs r8 → r9 → r8 so a
+   bit's sum and carry can be produced in the same cycle by the two
+   LUTs.  The final carry-out is discarded. *)
+let increment_phase =
+  Asm.cycle ~lut1:Lut.not0 ~lut2:Lut.buf0 ~sels:[ (0, 0); (3, 0) ]
+    ~routes:[ (0, Some 0); (1, Some 8) ]
+    "inc0"
+  @ Asm.cycle ~lut1:Lut.xor01 ~lut2:Lut.and01
+      ~sels:[ (0, 1); (1, 8); (3, 1); (4, 8) ]
+      ~routes:[ (0, Some 1); (1, Some 9) ]
+      "inc1"
+  @ Asm.cycle ~sels:[ (0, 2); (1, 9); (3, 2); (4, 9) ]
+      ~routes:[ (0, Some 2); (1, Some 8) ]
+      "inc2"
+  @ Asm.cycle ~sels:[ (0, 3); (1, 8); (3, 3); (4, 8) ]
+      ~routes:[ (0, Some 3); (1, None) ]
+      "inc3"
+
+type result = { program : Program.t; iterations : int; final : Machine.state }
+
+let build ?(init = 0) ~bound () =
+  let state = ref (initial_state ~init ~bound) in
+  let current = ref Config.power_on in
+  let chunks = ref [] in
+  let run_phase instrs =
+    let prog = Asm.assemble ~start:!current instrs in
+    state := Program.run prog !state;
+    (match List.rev (Program.configs prog) with
+    | last :: _ -> current := last
+    | [] -> ());
+    chunks := prog :: !chunks
+  in
+  let rec loop iterations =
+    run_phase compare_phase;
+    if Machine.get !state 8 then iterations
+    else if iterations >= 16 then
+      (* Unreachable: increment is a bijection mod 16, so equality is
+         always reached within 15 increments. *)
+      assert false
+    else begin
+      run_phase increment_phase;
+      loop (iterations + 1)
+    end
+  in
+  let iterations = loop 0 in
+  let program =
+    List.fold_left (fun acc p -> Program.append p acc) (Program.of_steps [])
+      !chunks
+  in
+  { program; iterations; final = !state }

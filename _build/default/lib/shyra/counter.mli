@@ -1,0 +1,38 @@
+(** The paper's test application: a 4-bit counter with variable upper
+    bound (§6).
+
+    The counter value lives in registers r0..r3 (LSB first) and the
+    bound in r4..r7; both are plain data, loaded by the host before the
+    run.  Because SHyRA's two 3-input LUTs are the only functional
+    units, the design is time-partitioned: each loop iteration is a
+    4-cycle equality comparison (running-equality accumulator in r8)
+    followed — while the values differ — by a 4-cycle ripple increment
+    (carry ping-ponging between r8 and r9).  The halt condition is
+    data-dependent, exactly the "worst case upper bound" situation of
+    §2, so the program is generated while simulating.
+
+    For init = 0 and bound = 10 (the paper's 0000 → 1010 run) the
+    program has 11·4 + 10·4 = 84 reconfiguration steps — the analogue
+    of the paper's n = 110 trace under our own mapping
+    (EXPERIMENTS.md records both). *)
+
+type result = {
+  program : Program.t;  (** every executed cycle, in order *)
+  iterations : int;  (** number of increments performed *)
+  final : Machine.state;  (** register file at halt *)
+}
+
+(** [build ?init ~bound ()] generates and simulates the counter run.
+    [init] (default 0) and [bound] must be 4-bit values.  The counter
+    increments modulo 16 until it equals [bound], so the run always
+    terminates within 15 increments. *)
+val build : ?init:int -> bound:int -> unit -> result
+
+(** [initial_state ~init ~bound] is the host-loaded register file. *)
+val initial_state : init:int -> bound:int -> Machine.state
+
+(** [compare_cycles], [increment_cycles] are the per-phase cycle counts
+    (4 and 4) — exposed for the tests and the experiment harness. *)
+val compare_cycles : int
+
+val increment_cycles : int

@@ -1,0 +1,59 @@
+type result = {
+  program : Program.t;
+  iterations : int;
+  final_value : int;
+  cycles_per_compare : int;
+  cycles_per_increment : int;
+}
+
+let build ?(init = 0) ~bound () =
+  if init < 0 || init > 15 || bound < 0 || bound > 15 then
+    invalid_arg "Counter_compiled: init and bound must be 4-bit values";
+  let value = Word.input "v" ~bits:4 and bound_w = Word.input "b" ~bits:4 in
+  let eq = Expr.compile (Word.equal value bound_w) in
+  let inc = Word.compile (Word.succ value) in
+  let load_word st regs v =
+    List.fold_left
+      (fun st (name, reg) ->
+        let k = int_of_string (String.sub name (String.index name '.' + 1) 1) in
+        Machine.set st reg (v land (1 lsl k) <> 0))
+      st regs
+  in
+  let eq_v_regs = List.filter (fun (n, _) -> n.[0] = 'v') eq.Expr.input_regs in
+  let eq_b_regs = List.filter (fun (n, _) -> n.[0] = 'b') eq.Expr.input_regs in
+  let read_word st regs =
+    List.fold_left
+      (fun acc (k, reg) -> if Machine.get st reg then acc lor (1 lsl k) else acc)
+      0
+      (List.mapi (fun k reg -> (k, reg)) regs)
+  in
+  let chunks = ref [] in
+  let rec loop v iterations =
+    (* Compare phase: host loads value and bound, runs the comparator. *)
+    let st = load_word (Machine.create ()) eq_v_regs v in
+    let st = load_word st eq_b_regs bound in
+    let st = Program.run eq.Expr.program st in
+    chunks := eq.Expr.program :: !chunks;
+    if Machine.get st eq.Expr.result then (v, iterations)
+    else if iterations >= 16 then assert false
+    else begin
+      (* Increment phase: host loads the value, runs succ, reads it
+         back. *)
+      let st = load_word (Machine.create ()) inc.Expr.many_input_regs v in
+      let st = Program.run inc.Expr.many_program st in
+      chunks := inc.Expr.many_program :: !chunks;
+      let v' = read_word st inc.Expr.results in
+      loop v' (iterations + 1)
+    end
+  in
+  let final_value, iterations = loop init 0 in
+  let program =
+    List.fold_left (fun acc p -> Program.append p acc) (Program.of_steps []) !chunks
+  in
+  {
+    program;
+    iterations;
+    final_value;
+    cycles_per_compare = Program.length eq.Expr.program;
+    cycles_per_increment = Program.length inc.Expr.many_program;
+  }

@@ -1,0 +1,22 @@
+(** The paper's counter, built by the compiler instead of by hand.
+
+    The §6 application — count from an initial 4-bit value to a bound —
+    is reconstructed from {!Word} circuits: an equality comparator
+    (value ≟ bound) and an incrementer ([Word.succ]), each jointly
+    compiled once and re-executed every iteration with the host moving
+    the result bits back into the value registers (the same
+    host-orchestrated loop as the hand-written {!Counter}).  Comparing
+    the two mappings' traces quantifies how far an automatic time
+    partitioning lands from the hand-crafted one — the exact question
+    the paper's unpublished n = 110 mapping leaves open. *)
+
+type result = {
+  program : Program.t;  (** all executed cycles *)
+  iterations : int;
+  final_value : int;
+  cycles_per_compare : int;
+  cycles_per_increment : int;
+}
+
+(** [build ?init ~bound ()] — same contract as {!Counter.build}. *)
+val build : ?init:int -> bound:int -> unit -> result

@@ -1,0 +1,25 @@
+module Core = Hr_core
+module Bitset = Hr_util.Bitset
+
+let pad trace ~to_len =
+  let n = Core.Trace.length trace in
+  if n >= to_len then trace
+  else
+    let space = Core.Trace.space trace in
+    let empty = Core.Switch_space.empty space in
+    let reqs =
+      Array.init to_len (fun i -> if i < n then Core.Trace.req trace i else empty)
+    in
+    Core.Trace.make space reqs
+
+let task_set ?mode (name_a, prog_a) (name_b, prog_b) =
+  let ta = Tracer.trace ?mode prog_a and tb = Tracer.trace ?mode prog_b in
+  let n = max (Core.Trace.length ta) (Core.Trace.length tb) in
+  if n = 0 then invalid_arg "Duo.task_set: both programs are empty";
+  Core.Task_set.make
+    [|
+      Core.Task_set.task ~name:name_a (pad ta ~to_len:n);
+      Core.Task_set.task ~name:name_b (pad tb ~to_len:n);
+    |]
+
+let oracle ?mode a b = Core.Interval_cost.of_task_set (task_set ?mode a b)

@@ -1,0 +1,20 @@
+(** Two applications running in parallel as a multi-task machine.
+
+    The multi-task model's natural deployment: two independent SHyRA
+    fabrics, one application each, planned as a fully synchronized
+    two-task instance (each fabric's 48 configuration bits are that
+    task's local switches, v = 48 per the special case).  The shorter
+    program idles (empty requirements — an idle cycle rewrites
+    nothing) until the longer one finishes. *)
+
+(** [task_set ?mode (name_a, prog_a) (name_b, prog_b)] — the two-task
+    instance. *)
+val task_set :
+  ?mode:Tracer.mode -> string * Program.t -> string * Program.t -> Hr_core.Task_set.t
+
+(** [oracle ?mode a b] — its {!Hr_core.Interval_cost.t}. *)
+val oracle :
+  ?mode:Tracer.mode ->
+  string * Program.t ->
+  string * Program.t ->
+  Hr_core.Interval_cost.t

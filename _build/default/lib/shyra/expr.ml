@@ -1,0 +1,400 @@
+type t =
+  | Const of bool
+  | Input of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ^^^ ) a b = Xor (a, b)
+let not_ a = Not a
+let var s = Input s
+
+let rec eval env = function
+  | Const b -> b
+  | Input s -> env s
+  | Not a -> not (eval env a)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+let inputs e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Input s ->
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.replace seen s ();
+          out := s :: !out
+        end
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Xor (a, b) ->
+        go a;
+        go b
+  in
+  go e;
+  List.rev !out
+
+let rec simplify e =
+  match e with
+  | Const _ | Input _ -> e
+  | Not a -> (
+      match simplify a with
+      | Const b -> Const (not b)
+      | Not inner -> inner
+      | a' -> Not a')
+  | And (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const false, _ | _, Const false -> Const false
+      | Const true, x | x, Const true -> x
+      | a', b' -> And (a', b'))
+  | Or (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const true, _ | _, Const true -> Const true
+      | Const false, x | x, Const false -> x
+      | a', b' -> Or (a', b'))
+  | Xor (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const false, x | x, Const false -> x
+      | Const true, x | x, Const true -> simplify (Not x)
+      | a', b' -> Xor (a', b'))
+
+exception Out_of_registers
+
+(* ---- hash-consed DAG ---- *)
+
+type node =
+  | NConst of bool
+  | NInput of string
+  | NNot of int
+  | NAnd of int * int
+  | NOr of int * int
+  | NXor of int * int
+
+let build_dag exprs =
+  let table : (node, int) Hashtbl.t = Hashtbl.create 64 in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let intern node =
+    match Hashtbl.find_opt table node with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.replace table node id;
+        nodes := node :: !nodes;
+        id
+  in
+  let rec go = function
+    | Const b -> intern (NConst b)
+    | Input s -> intern (NInput s)
+    | Not a -> intern (NNot (go a))
+    | And (a, b) ->
+        let x = go a and y = go b in
+        intern (NAnd (min x y, max x y))
+    | Or (a, b) ->
+        let x = go a and y = go b in
+        intern (NOr (min x y, max x y))
+    | Xor (a, b) ->
+        let x = go a and y = go b in
+        intern (NXor (min x y, max x y))
+  in
+  let roots = List.map go exprs in
+  (Array.of_list (List.rev !nodes), roots)
+
+let operands = function
+  | NConst _ | NInput _ -> []
+  | NNot a -> [ a ]
+  | NAnd (a, b) | NOr (a, b) | NXor (a, b) -> [ a; b ]
+
+type compiled = {
+  program : Program.t;
+  result : int;
+  input_regs : (string * int) list;
+  ops : int;
+}
+
+type compiled_many = {
+  many_program : Program.t;
+  results : int list;
+  many_input_regs : (string * int) list;
+  many_ops : int;
+}
+
+(* ---- LUT-3 technology mapping ----
+
+   SHyRA's LUTs have three inputs but the expression operators use at
+   most two, so a post-CSE fusion pass packs single-use subexpressions
+   into their consumer whenever the fused function still has at most
+   three distinct leaf operands (e.g. acc AND (a XNOR b) becomes one
+   LUT — the hand-written counter's EQACC table).  A "lop" is one
+   physical LUT evaluation. *)
+
+type tree = TLeaf of int | TNot of tree | TAnd of tree * tree | TOr of tree * tree | TXor of tree * tree
+
+exception Too_big
+
+type lop = { owner : int;  (* node id whose value this lop produces *)
+             table : Lut.t;
+             args : int array  (* leaf node ids, at most three *) }
+
+let rec eval_tree assignment = function
+  | TLeaf pos -> assignment.(pos)
+  | TNot a -> not (eval_tree assignment a)
+  | TAnd (a, b) -> eval_tree assignment a && eval_tree assignment b
+  | TOr (a, b) -> eval_tree assignment a || eval_tree assignment b
+  | TXor (a, b) -> eval_tree assignment a <> eval_tree assignment b
+
+(* Lower the DAG to lops with greedy fusion.  [uses] counts operand
+   occurrences plus root occurrences, so expandable nodes (single use,
+   not a root) are exactly those whose only consumer is the node being
+   lowered. *)
+let lower nodes roots uses =
+  let n = Array.length nodes in
+  let is_gate id =
+    match nodes.(id) with
+    | NNot _ | NAnd _ | NOr _ | NXor _ -> true
+    | NInput _ | NConst _ -> false
+  in
+  let fused = Array.make n false in
+  let lops = ref [] in
+  (* Per-lop leaf collection with rollback. *)
+  let build_tree id =
+    let leaves = ref [] in
+    let leaf_pos o =
+      match List.assoc_opt o !leaves with
+      | Some pos -> pos
+      | None ->
+          let pos = List.length !leaves in
+          if pos >= 3 then raise Too_big;
+          leaves := !leaves @ [ (o, pos) ];
+          pos
+    in
+    let expanded = ref [] in
+    let rec gate_tree id =
+      match nodes.(id) with
+      | NNot a -> TNot (operand a)
+      | NAnd (a, b) -> TAnd (operand a, operand b)
+      | NOr (a, b) -> TOr (operand a, operand b)
+      | NXor (a, b) -> TXor (operand a, operand b)
+      | NInput _ | NConst _ -> assert false
+    and operand o =
+      if is_gate o && uses.(o) = 1 then begin
+        (* Try to fuse; on overflow fall back to a leaf. *)
+        let saved_leaves = !leaves and saved_expanded = !expanded in
+        try
+          expanded := o :: !expanded;
+          gate_tree o
+        with Too_big ->
+          leaves := saved_leaves;
+          expanded := saved_expanded;
+          TLeaf (leaf_pos o)
+      end
+      else TLeaf (leaf_pos o)
+    in
+    (* A greedy expansion of the first operand can exhaust the three
+       leaf slots and leave none for the second; fall back to the
+       unfused one-level tree (at most two leaves - always fits). *)
+    let plain_tree id =
+      leaves := [];
+      expanded := [];
+      let leaf o = TLeaf (leaf_pos o) in
+      match nodes.(id) with
+      | NNot a -> TNot (leaf a)
+      | NAnd (a, b) -> TAnd (leaf a, leaf b)
+      | NOr (a, b) -> TOr (leaf a, leaf b)
+      | NXor (a, b) -> TXor (leaf a, leaf b)
+      | NInput _ | NConst _ -> assert false
+    in
+    match nodes.(id) with
+    | NConst b -> ((if b then Lut.one else Lut.zero), [||], [])
+    | NInput _ -> assert false
+    | _ ->
+        let tree = try gate_tree id with Too_big -> plain_tree id in
+        let arg_ids = Array.of_list (List.map fst !leaves) in
+        let table =
+          Lut.of_fn (fun i0 i1 i2 ->
+              eval_tree [| i0; i1; i2 |] tree)
+        in
+        (table, arg_ids, !expanded)
+  in
+  (* Consumers have higher ids (post-order interning), so descending
+     order decides fusion before the operand would emit its own lop. *)
+  for id = n - 1 downto 0 do
+    let emit =
+      (not fused.(id))
+      && match nodes.(id) with NInput _ -> false | _ -> true
+    in
+    if emit then begin
+      let table, args, expanded = build_tree id in
+      List.iter (fun o -> fused.(o) <- true) expanded;
+      lops := { owner = id; table; args } :: !lops
+    end
+  done;
+  ignore roots;
+  !lops
+
+let compile_roots exprs =
+  let exprs = List.map simplify exprs in
+  let nodes, roots = build_dag exprs in
+  let n = Array.length nodes in
+  (* Input registers first. *)
+  let names =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left
+          (fun acc s -> if List.mem s acc then acc else acc @ [ s ])
+          acc (inputs e))
+      [] exprs
+  in
+  if List.length names > Config.num_registers then
+    invalid_arg "Expr.compile: more than 10 distinct inputs";
+  let input_regs = List.mapi (fun i s -> (s, i)) names in
+  let reg_of_input s = List.assoc s input_regs in
+  (* Operand uses for the fusion decision. *)
+  let fusion_uses = Array.make n 0 in
+  Array.iter
+    (fun node -> List.iter (fun o -> fusion_uses.(o) <- fusion_uses.(o) + 1) (operands node))
+    nodes;
+  List.iter (fun root -> fusion_uses.(root) <- fusion_uses.(root) + 1) roots;
+  let lops = lower nodes roots fusion_uses in
+  (* Register-allocation uses: one per lop argument occurrence plus one
+     per root occurrence. *)
+  let uses = Array.make n 0 in
+  List.iter
+    (fun l -> Array.iter (fun o -> uses.(o) <- uses.(o) + 1) l.args)
+    lops;
+  List.iter (fun root -> uses.(root) <- uses.(root) + 1) roots;
+  (* Register state. *)
+  let placed = Array.make n (-1) in
+  let free = ref [] in
+  for r = Config.num_registers - 1 downto List.length names do
+    free := r :: !free
+  done;
+  Array.iteri
+    (fun id node ->
+      match node with NInput s -> placed.(id) <- reg_of_input s | _ -> ())
+    nodes;
+  let alloc () =
+    match !free with
+    | r :: rest ->
+        free := rest;
+        r
+    | [] -> raise Out_of_registers
+  in
+  let release r = free := r :: !free in
+  let consume id =
+    uses.(id) <- uses.(id) - 1;
+    if uses.(id) = 0 && placed.(id) >= 0 then release placed.(id)
+  in
+  let pending = ref lops in
+  let ready () =
+    List.filter
+      (fun l -> Array.for_all (fun o -> placed.(o) >= 0) l.args)
+      !pending
+  in
+  let instrs = ref [] in
+  let ops_count = ref 0 in
+  while !pending <> [] do
+    let candidates = ready () in
+    (match candidates with
+    | [] -> invalid_arg "Expr.compile: scheduling stuck (cycle in DAG?)"
+    | _ -> ());
+    let this_cycle = List.filteri (fun i _ -> i < 2) candidates in
+    (* Read operand registers before any release/alloc of this cycle. *)
+    let with_operand_regs =
+      List.map
+        (fun l -> (l, Array.to_list (Array.map (fun o -> placed.(o)) l.args)))
+        this_cycle
+    in
+    (* Consume operands (may release registers for reuse as targets). *)
+    List.iter (fun (l, _) -> Array.iter consume l.args) with_operand_regs;
+    (* Allocate targets and emit. *)
+    let slot_instrs =
+      List.mapi
+        (fun slot (l, operand_regs) ->
+          let target = alloc () in
+          placed.(l.owner) <- target;
+          incr ops_count;
+          let base_sel = if slot = 0 then 0 else 3 in
+          let sels =
+            List.mapi (fun k r -> Asm.Sel (base_sel + k, r)) operand_regs
+          in
+          let lut = if slot = 0 then Asm.Lut1 l.table else Asm.Lut2 l.table in
+          let route = Asm.Route (slot, Some target) in
+          (lut :: sels) @ [ route ])
+        with_operand_regs
+    in
+    let disable_other =
+      if List.length this_cycle = 1 then [ Asm.Route (1, None) ] else []
+    in
+    instrs :=
+      !instrs
+      @ List.concat slot_instrs @ disable_other
+      @ [ Asm.Commit (Printf.sprintf "cyc%d" (List.length !instrs)) ];
+    pending := List.filter (fun l -> not (List.memq l this_cycle)) !pending
+  done;
+  (* Root registers: for bare inputs, their input registers. *)
+  let results =
+    List.map
+      (fun root ->
+        assert (placed.(root) >= 0);
+        placed.(root))
+      roots
+  in
+  (Asm.assemble !instrs, results, input_regs, !ops_count)
+
+let compile expr =
+  let program, results, input_regs, ops = compile_roots [ expr ] in
+  match results with
+  | [ result ] -> { program; result; input_regs; ops }
+  | _ -> assert false
+
+let compile_many exprs =
+  if exprs = [] then invalid_arg "Expr.compile_many: no outputs";
+  let many_program, results, many_input_regs, many_ops = compile_roots exprs in
+  { many_program; results; many_input_regs; many_ops }
+
+let load_inputs env input_regs state =
+  List.fold_left
+    (fun st (name, reg) ->
+      let value =
+        match List.assoc_opt name env with
+        | Some v -> v
+        | None -> raise Not_found
+      in
+      Machine.set st reg value)
+    state input_regs
+
+let run e ~env =
+  let c = compile e in
+  let final =
+    Program.run c.program (load_inputs env c.input_regs (Machine.create ()))
+  in
+  Machine.get final c.result
+
+let run_many es ~env =
+  let c = compile_many es in
+  let final =
+    Program.run c.many_program (load_inputs env c.many_input_regs (Machine.create ()))
+  in
+  List.map (Machine.get final) c.results
+
+let random rng ~inputs:names ~depth =
+  if names = [] then invalid_arg "Expr.random: need at least one input";
+  let arr = Array.of_list names in
+  let rec go depth =
+    if depth <= 0 || Hr_util.Rng.chance rng 0.2 then
+      if Hr_util.Rng.chance rng 0.1 then Const (Hr_util.Rng.bool rng)
+      else Input (Hr_util.Rng.pick rng arr)
+    else
+      match Hr_util.Rng.int rng 4 with
+      | 0 -> Not (go (depth - 1))
+      | 1 -> And (go (depth - 1), go (depth - 1))
+      | 2 -> Or (go (depth - 1), go (depth - 1))
+      | _ -> Xor (go (depth - 1), go (depth - 1))
+  in
+  go depth

@@ -1,0 +1,96 @@
+(** A boolean-expression compiler for SHyRA.
+
+    The paper's test application was "time partitioned" by hand: the
+    counter's logic was cut into cycles of at most two LUT evaluations.
+    This module automates that step for arbitrary boolean expressions:
+
+    + constant folding and identity simplification ({!simplify});
+    + common-subexpression elimination by hash-consing;
+    + LUT-3 technology mapping: single-use subexpressions are fused
+      into their consumer whenever the combined function has at most
+      three distinct leaf operands (e.g. [acc AND (a XNOR b)] becomes
+      one LUT — the hand-written counter's EQACC table), with the
+      fused truth table computed by tabulation;
+    + list scheduling of the operation DAG, two LUT slots per cycle
+      (paired operations read the pre-cycle register file, so any two
+      ready operations may share a cycle);
+    + register allocation over the 10-entry register file with liveness
+      (a register is reclaimed after its value's last use; allocation
+      may reuse an operand's register for the result within the same
+      cycle thanks to read-before-write semantics).
+
+    The emitted {!Program.t} is a genuine reconfiguration workload:
+    every cycle reloads LUT tables, selects and routes, so compiled
+    expression batches feed the hyperreconfiguration benches. *)
+
+type t =
+  | Const of bool
+  | Input of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+(** Convenience constructors. *)
+val ( &&& ) : t -> t -> t
+
+val ( ||| ) : t -> t -> t
+val ( ^^^ ) : t -> t -> t
+val not_ : t -> t
+val var : string -> t
+
+(** [eval env e] — reference semantics; [env] maps input names (raises
+    [Not_found] on unbound names). *)
+val eval : (string -> bool) -> t -> bool
+
+(** [simplify e] — constant folding and involution/identity rules
+    (¬¬x = x, x∧⊤ = x, x⊕⊥ = x, …).  Semantics-preserving (tested);
+    applied automatically by {!compile}, exposed for inspection. *)
+val simplify : t -> t
+
+(** [inputs e] — the distinct input names, in first-occurrence order. *)
+val inputs : t -> string list
+
+exception Out_of_registers
+
+(** Compilation result: run [program] after host-loading each input
+    into its register per [input_regs]; the value ends in register
+    [result]. *)
+type compiled = {
+  program : Program.t;
+  result : int;
+  input_regs : (string * int) list;
+  ops : int;  (** LUT operations after CSE *)
+}
+
+(** [compile e] — raises {!Out_of_registers} when more than 10 values
+    are live at once, and [Invalid_argument] on more than 10 distinct
+    inputs. *)
+val compile : t -> compiled
+
+(** Joint compilation of several outputs: subexpressions shared across
+    outputs (a ripple adder's carry chain, a comparator's partial
+    equalities) are computed once, and all results are live at the end
+    in [results] (one register per output, in order). *)
+type compiled_many = {
+  many_program : Program.t;
+  results : int list;
+  many_input_regs : (string * int) list;
+  many_ops : int;
+}
+
+(** [compile_many es] — same failure modes as {!compile}; additionally
+    all outputs stay live simultaneously, so register pressure is
+    higher. *)
+val compile_many : t list -> compiled_many
+
+(** [run_many es ~env] — compile jointly, execute, read every result. *)
+val run_many : t list -> env:(string * bool) list -> bool list
+
+(** [run e ~env] — compile, load inputs, execute, read the result
+    (test/demo convenience). *)
+val run : t -> env:(string * bool) list -> bool
+
+(** [random rng ~inputs ~depth] — a random expression over the given
+    input names (test/workload generator). *)
+val random : Hr_util.Rng.t -> inputs:string list -> depth:int -> t

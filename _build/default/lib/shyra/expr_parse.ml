@@ -1,0 +1,143 @@
+type token = TId of string | TConst of bool | TNot | TAnd | TOr | TXor | TLparen | TRparen
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '#' ->
+          let rec skip i = if i < n && s.[i] <> '\n' then skip (i + 1) else i in
+          go (skip i) acc
+      | '!' -> go (i + 1) ((i, TNot) :: acc)
+      | '&' -> go (i + 1) ((i, TAnd) :: acc)
+      | '|' -> go (i + 1) ((i, TOr) :: acc)
+      | '^' -> go (i + 1) ((i, TXor) :: acc)
+      | '(' -> go (i + 1) ((i, TLparen) :: acc)
+      | ')' -> go (i + 1) ((i, TRparen) :: acc)
+      | '0' -> go (i + 1) ((i, TConst false) :: acc)
+      | '1' -> go (i + 1) ((i, TConst true) :: acc)
+      | c when is_ident_start c ->
+          let rec stop j = if j < n && is_ident_char s.[j] then stop (j + 1) else j in
+          let j = stop i in
+          go j ((i, TId (String.sub s i (j - i))) :: acc)
+      | c -> Error (Printf.sprintf "position %d: unexpected character %C" i c)
+  in
+  go 0 []
+
+let parse s =
+  match tokenize s with
+  | Error e -> Error e
+  | Ok tokens -> (
+      let rest = ref tokens in
+      let peek () = match !rest with [] -> None | (_, t) :: _ -> Some t in
+      let advance () = match !rest with [] -> () | _ :: r -> rest := r in
+      let fail_at msg =
+        match !rest with
+        | [] -> Error (Printf.sprintf "at end of input: %s" msg)
+        | (pos, _) :: _ -> Error (Printf.sprintf "position %d: %s" pos msg)
+      in
+      let rec expr () =
+        match xor_level () with
+        | Error e -> Error e
+        | Ok left -> (
+            match peek () with
+            | Some TOr -> (
+                advance ();
+                match expr () with
+                | Ok right -> Ok (Expr.Or (left, right))
+                | Error e -> Error e)
+            | _ -> Ok left)
+      and xor_level () =
+        match conj () with
+        | Error e -> Error e
+        | Ok left -> (
+            match peek () with
+            | Some TXor -> (
+                advance ();
+                match xor_level () with
+                | Ok right -> Ok (Expr.Xor (left, right))
+                | Error e -> Error e)
+            | _ -> Ok left)
+      and conj () =
+        match unary () with
+        | Error e -> Error e
+        | Ok left -> (
+            match peek () with
+            | Some TAnd -> (
+                advance ();
+                match conj () with
+                | Ok right -> Ok (Expr.And (left, right))
+                | Error e -> Error e)
+            | _ -> Ok left)
+      and unary () =
+        match peek () with
+        | Some TNot -> (
+            advance ();
+            match unary () with Ok e -> Ok (Expr.Not e) | Error e -> Error e)
+        | Some TLparen -> (
+            advance ();
+            match expr () with
+            | Error e -> Error e
+            | Ok e -> (
+                match peek () with
+                | Some TRparen ->
+                    advance ();
+                    Ok e
+                | _ -> fail_at "expected ')'"))
+        | Some (TConst b) ->
+            advance ();
+            Ok (Expr.Const b)
+        | Some (TId name) ->
+            advance ();
+            Ok (Expr.Input name)
+        | _ -> fail_at "expected an expression"
+      in
+      match expr () with
+      | Error e -> Error e
+      | Ok e -> if !rest = [] then Ok e else fail_at "trailing input")
+
+let parse_exn s = match parse s with Ok e -> e | Error msg -> failwith msg
+
+(* Precedence levels: Or = 0, Xor = 1, And = 2, unary = 3. *)
+let print e =
+  let buf = Buffer.create 64 in
+  let rec go level e =
+    let wrap needed body =
+      if level > needed then begin
+        Buffer.add_char buf '(';
+        body ();
+        Buffer.add_char buf ')'
+      end
+      else body ()
+    in
+    match e with
+    | Expr.Const b -> Buffer.add_char buf (if b then '1' else '0')
+    | Expr.Input s -> Buffer.add_string buf s
+    | Expr.Not a ->
+        Buffer.add_char buf '!';
+        go 3 a
+    | Expr.Or (a, b) ->
+        wrap 0 (fun () ->
+            go 1 a;
+            Buffer.add_string buf " | ";
+            go 0 b)
+    | Expr.Xor (a, b) ->
+        wrap 1 (fun () ->
+            go 2 a;
+            Buffer.add_string buf " ^ ";
+            go 1 b)
+    | Expr.And (a, b) ->
+        wrap 2 (fun () ->
+            go 3 a;
+            Buffer.add_string buf " & ";
+            go 2 b)
+  in
+  go 0 e;
+  Buffer.contents buf

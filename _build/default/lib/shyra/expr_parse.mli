@@ -1,0 +1,24 @@
+(** Parsing boolean expressions from text.
+
+    Grammar (precedence low → high, all binary operators
+    left-associative):
+
+    {v
+    expr   ::= xor ( '|' xor )*
+    xor    ::= conj ( '^' conj )*
+    conj   ::= unary ( '&' unary )*
+    unary  ::= '!' unary | '(' expr ')' | '0' | '1' | ident
+    ident  ::= [A-Za-z_][A-Za-z0-9_.]*
+    v}
+
+    Whitespace is free; ['#'] starts a comment to end of line. *)
+
+(** [parse s] — [Error msg] has a character position. *)
+val parse : string -> (Expr.t, string) result
+
+(** [parse_exn s] raises [Failure]. *)
+val parse_exn : string -> Expr.t
+
+(** [print e] renders with minimal parentheses; [parse (print e)]
+    re-reads to a semantically equal expression (tested). *)
+val print : Expr.t -> string

@@ -1,0 +1,100 @@
+type spec = {
+  num_states : int;
+  next : (Lut.t * Lut.t) array;
+  accept : bool array;
+}
+
+let validate spec =
+  if spec.num_states < 1 || spec.num_states > 4 then
+    invalid_arg "Fsm: num_states must be 1..4";
+  if
+    Array.length spec.next <> spec.num_states
+    || Array.length spec.accept <> spec.num_states
+  then invalid_arg "Fsm: next/accept arity mismatch"
+
+(* LUT input wiring: in0 = input bit (r9), in1 = state bit 0 (r0),
+   in2 = state bit 1 (r1). *)
+let next_state spec state input =
+  let lut0, lut1 = spec.next.(state) in
+  let s0 = state land 1 = 1 and s1 = state land 2 = 2 in
+  let b0 = Lut.eval lut0 input s0 s1 and b1 = Lut.eval lut1 input s0 s1 in
+  let s = (if b0 then 1 else 0) lor if b1 then 2 else 0 in
+  if s >= spec.num_states then
+    invalid_arg (Printf.sprintf "Fsm: transition to state %d out of range" s);
+  s
+
+let reference spec inputs =
+  validate spec;
+  let rec go state = function
+    | [] -> []
+    | i :: rest ->
+        let state' = next_state spec state i in
+        state' :: go state' rest
+  in
+  go 0 inputs
+
+let step_instrs spec ~first state =
+  let lut0, lut1 = spec.next.(state) in
+  let wiring =
+    if first then
+      [
+        Asm.Sel (0, 9); Asm.Sel (1, 0); Asm.Sel (2, 1);
+        Asm.Sel (3, 9); Asm.Sel (4, 0); Asm.Sel (5, 1);
+        Asm.Route (0, Some 0); Asm.Route (1, Some 1);
+      ]
+    else []
+  in
+  wiring @ [ Asm.Lut1 lut0; Asm.Lut2 lut1; Asm.Commit (Printf.sprintf "s%d" state) ]
+
+let run spec inputs =
+  validate spec;
+  let state = ref (Machine.create ()) in
+  let current_cfg = ref Config.power_on in
+  let chunks = ref [] in
+  let accepts = ref [] in
+  let fsm_state = ref 0 in
+  List.iteri
+    (fun idx input ->
+      (* The controller reads the FSM state and reconfigures the LUTs to
+         that state's transition row — self-reconfiguration. *)
+      let instrs = step_instrs spec ~first:(idx = 0) !fsm_state in
+      let prog = Asm.assemble ~start:!current_cfg instrs in
+      (match List.rev (Program.configs prog) with
+      | last :: _ -> current_cfg := last
+      | [] -> ());
+      state := Machine.set !state 9 input;
+      state := Program.run prog !state;
+      chunks := prog :: !chunks;
+      let s =
+        (if Machine.get !state 0 then 1 else 0)
+        lor if Machine.get !state 1 then 2 else 0
+      in
+      if s >= spec.num_states then
+        invalid_arg (Printf.sprintf "Fsm: transition to state %d out of range" s);
+      fsm_state := s;
+      accepts := spec.accept.(s) :: !accepts)
+    inputs;
+  let program =
+    List.fold_left (fun acc p -> Program.append p acc) (Program.of_steps []) !chunks
+  in
+  (program, List.rev !accepts)
+
+let detector_101 =
+  {
+    num_states = 4;
+    next =
+      [|
+        (Lut.buf0, Lut.zero);  (* state 0: 1 -> saw-1, 0 -> start *)
+        (Lut.buf0, Lut.not0);  (* state 1: 1 -> saw-1, 0 -> saw-10 *)
+        (Lut.buf0, Lut.buf0);  (* state 2: 1 -> accept, 0 -> start *)
+        (Lut.buf0, Lut.not0);  (* state 3: like state 1 *)
+      |];
+    accept = [| false; false; false; true |];
+  }
+
+let parity_fsm =
+  {
+    num_states = 2;
+    next = [| (Lut.xor01, Lut.zero); (Lut.xor01, Lut.zero) |];
+    accept = [| false; true |];
+  }

@@ -1,0 +1,43 @@
+(** Self-reconfiguring finite state machines on SHyRA.
+
+    The paper's related work (Köster & Teich, ref. [8]) computes
+    reconfiguration bits on chip to implement {e self-reconfigurable
+    FSMs}: instead of holding the whole transition table in logic, the
+    machine reconfigures the next-state logic to the current state's
+    row between steps.  On SHyRA: the FSM state lives in registers
+    r0..r1 (up to four states), the input bit is host-written into r9
+    each step, and before every step the controller reconfigures LUT1
+    and LUT2 to the current state's next-state functions — a
+    state-dependent (hence data-dependent) reconfiguration trace.
+
+    One FSM step costs one machine cycle; the trace's requirement at a
+    step is whatever the state change forced to be rewritten, so
+    input sequences that dwell in few states yield cheap,
+    phase-structured traces — measured in the benches. *)
+
+(** An FSM over at most 4 states (coded 0..3) with boolean input:
+    [next.(state)] is the pair of next-state bit functions
+    [(bit0 : input -> state_bit0 -> state_bit1 -> bool, bit1 : ...)]
+    represented as LUT tables over (input, s0, s1); [accept] marks
+    accepting states. *)
+type spec = {
+  num_states : int;  (** 1..4 *)
+  next : (Lut.t * Lut.t) array;  (** per current state *)
+  accept : bool array;
+}
+
+(** [detector_101] — the classic "ends with 101" Moore detector
+    (3 states). *)
+val detector_101 : spec
+
+(** [parity_fsm] — 2-state parity tracker (accepts odd number of 1s). *)
+val parity_fsm : spec
+
+(** [run spec inputs] simulates the self-reconfiguring FSM over the
+    input word and returns (program executed, acceptance per step).
+    Raises [Invalid_argument] on malformed specs. *)
+val run : spec -> bool list -> Program.t * bool list
+
+(** [reference spec inputs] — pure-software execution used by the
+    tests: the per-step state sequence. *)
+val reference : spec -> bool list -> int list

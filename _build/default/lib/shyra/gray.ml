@@ -1,0 +1,15 @@
+let build () =
+  Asm.assemble
+    (Asm.cycle ~lut1:Lut.xor01 ~lut2:Lut.xor01
+       ~sels:[ (0, 0); (1, 1); (3, 1); (4, 2) ]
+       ~routes:[ (0, Some 4); (1, Some 5) ]
+       "gray01"
+    @ Asm.cycle ~lut2:Lut.buf0
+        ~sels:[ (0, 2); (1, 3); (3, 3) ]
+        ~routes:[ (0, Some 6); (1, Some 7) ]
+        "gray23")
+
+let run v =
+  if v < 0 || v > 15 then invalid_arg "Gray.run: not a 4-bit value";
+  let s = Machine.write_nibble (Machine.create ()) 0 v in
+  Machine.read_nibble (Program.run (build ()) s) 4

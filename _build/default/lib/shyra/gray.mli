@@ -1,0 +1,11 @@
+(** Binary-to-Gray conversion on SHyRA.
+
+    Converts the 4-bit binary value in r0..r3 into its Gray code in
+    r4..r7 (g_k = b_k ⊕ b_{k+1}, g₃ = b₃) in 2 cycles — both LUTs
+    compute one Gray bit per cycle. *)
+
+(** [build ()] is the 2-cycle program. *)
+val build : unit -> Program.t
+
+(** [run v] converts a 4-bit value and returns its Gray code. *)
+val run : int -> int

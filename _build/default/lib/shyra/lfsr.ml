@@ -1,0 +1,37 @@
+let step_cycles = 3
+
+let step_instrs i =
+  Asm.cycle ~lut1:Lut.xor01 ~lut2:Lut.buf0
+    ~sels:[ (0, 3); (1, 2); (3, 2) ]
+    ~routes:[ (0, Some 8); (1, Some 3) ]
+    (Printf.sprintf "fb%d" i)
+  @ Asm.cycle ~lut1:Lut.buf0 ~sels:[ (0, 1); (3, 1) ]
+      ~routes:[ (0, Some 2); (1, None) ]
+      (Printf.sprintf "sh2_%d" i)
+    (* r0 ← feedback (from r8) and r1 ← old r0 in the same cycle. *)
+  @ Asm.cycle ~sels:[ (0, 8); (3, 0) ] ~routes:[ (0, Some 0); (1, Some 1) ]
+      (Printf.sprintf "sh01_%d" i)
+
+let build ~steps =
+  if steps < 0 then invalid_arg "Lfsr.build: negative step count";
+  Asm.assemble (List.concat_map step_instrs (List.init steps Fun.id))
+
+let check_seed seed =
+  if seed <= 0 || seed > 15 then
+    invalid_arg "Lfsr: seed must be a non-zero 4-bit value"
+
+let run ~seed ~steps =
+  check_seed seed;
+  let s = Machine.write_nibble (Machine.create ()) 0 seed in
+  Machine.read_nibble (Program.run (build ~steps) s) 0
+
+let sequence ~seed ~steps =
+  check_seed seed;
+  let prog = build ~steps:1 in
+  let rec go s k acc =
+    if k = 0 then List.rev acc
+    else
+      let s' = Program.run prog s in
+      go s' (k - 1) (Machine.read_nibble s' 0 :: acc)
+  in
+  go (Machine.write_nibble (Machine.create ()) 0 seed) steps []

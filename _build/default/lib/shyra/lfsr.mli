@@ -1,0 +1,20 @@
+(** 4-bit maximal-length Fibonacci LFSR (x⁴ + x³ + 1) on SHyRA.
+
+    State in r0..r3.  One shift step takes 3 cycles: compute the
+    feedback r3 ⊕ r2 into the scratch register r8 while r3 already
+    takes r2's value, shift the lower bits, then move the feedback into
+    r0.  From any non-zero seed the sequence has period 15. *)
+
+(** [step_cycles] is 3. *)
+val step_cycles : int
+
+(** [build ~steps] is the program performing [steps] shift steps. *)
+val build : steps:int -> Program.t
+
+(** [run ~seed ~steps] executes and returns the final 4-bit state.
+    Raises [Invalid_argument] on a zero or out-of-range seed. *)
+val run : seed:int -> steps:int -> int
+
+(** [sequence ~seed ~steps] is every intermediate state (length
+    [steps]). *)
+val sequence : seed:int -> steps:int -> int list

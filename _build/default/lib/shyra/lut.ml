@@ -1,0 +1,45 @@
+type t = int
+
+let of_table bits =
+  if bits < 0 || bits > 0xFF then invalid_arg "Lut.of_table: not an 8-bit table";
+  bits
+
+let table t = t
+
+let eval t in0 in1 in2 =
+  let idx =
+    (if in0 then 1 else 0) lor (if in1 then 2 else 0) lor if in2 then 4 else 0
+  in
+  (t lsr idx) land 1 = 1
+
+let of_fn f =
+  let bits = ref 0 in
+  for idx = 0 to 7 do
+    let b i = idx land (1 lsl i) <> 0 in
+    if f (b 0) (b 1) (b 2) then bits := !bits lor (1 lsl idx)
+  done;
+  !bits
+
+let zero = of_fn (fun _ _ _ -> false)
+let one = of_fn (fun _ _ _ -> true)
+let buf0 = of_fn (fun a _ _ -> a)
+let not0 = of_fn (fun a _ _ -> not a)
+let xor01 = of_fn (fun a b _ -> a <> b)
+let and01 = of_fn (fun a b _ -> a && b)
+let or01 = of_fn (fun a b _ -> a || b)
+let xnor01 = of_fn (fun a b _ -> a = b)
+let xor3 = of_fn (fun a b c -> (a <> b) <> c)
+let maj3 = of_fn (fun a b c -> (a && b) || (a && c) || (b && c))
+let eq_acc = of_fn (fun a b c -> c && a = b)
+
+let name t =
+  let known =
+    [
+      (zero, "ZERO"); (one, "ONE"); (buf0, "BUF0"); (not0, "NOT0");
+      (xor01, "XOR01"); (and01, "AND01"); (or01, "OR01"); (xnor01, "XNOR01");
+      (xor3, "XOR3"); (maj3, "MAJ3"); (eq_acc, "EQACC");
+    ]
+  in
+  match List.assoc_opt t known with
+  | Some n -> n
+  | None -> Printf.sprintf "0x%02X" t

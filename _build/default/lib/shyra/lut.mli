@@ -1,0 +1,46 @@
+(** Three-input look-up tables.
+
+    A LUT is an 8-bit truth table: output bit [i] of the table is the
+    LUT output for the input combination [i = in0 + 2·in1 + 4·in2].
+    SHyRA has two of them (Fig. 1). *)
+
+type t = private int
+
+(** [of_table bits] validates [0 ≤ bits ≤ 0xFF]. *)
+val of_table : int -> t
+
+(** [table t] is the raw 8-bit table. *)
+val table : t -> int
+
+(** [eval t in0 in1 in2] applies the LUT. *)
+val eval : t -> bool -> bool -> bool -> bool
+
+(** [of_fn f] tabulates an arbitrary boolean function of three
+    inputs. *)
+val of_fn : (bool -> bool -> bool -> bool) -> t
+
+(** Common tables, all ignoring unused inputs:
+    - [zero] / [one]: constants;
+    - [buf0]: passes input 0;
+    - [not0]: negates input 0;
+    - [xor01], [and01], [or01], [xnor01]: two-input gates on
+      inputs 0 and 1;
+    - [xor3]: three-input parity (full-adder sum);
+    - [maj3]: three-input majority (full-adder carry);
+    - [eq_acc]: [in2 ∧ (in0 ≡ in1)] — the running-equality gate of the
+      counter's comparison phase. *)
+val zero : t
+
+val one : t
+val buf0 : t
+val not0 : t
+val xor01 : t
+val and01 : t
+val or01 : t
+val xnor01 : t
+val xor3 : t
+val maj3 : t
+val eq_acc : t
+
+(** [name t] is a mnemonic for known tables ("XOR01", …) or ["0xNN"]. *)
+val name : t -> string

@@ -1,0 +1,51 @@
+type state = bool array (* length 10, index = register *)
+
+let create () = Array.make Config.num_registers false
+
+let of_bits regs =
+  if Array.length regs <> Config.num_registers then
+    invalid_arg "Machine.of_bits: need exactly 10 registers";
+  Array.copy regs
+
+let registers s = Array.copy s
+
+let get s r =
+  if r < 0 || r >= Config.num_registers then invalid_arg "Machine.get: bad register";
+  s.(r)
+
+let set s r b =
+  if r < 0 || r >= Config.num_registers then invalid_arg "Machine.set: bad register";
+  let s' = Array.copy s in
+  s'.(r) <- b;
+  s'
+
+let read_nibble s r0 =
+  if r0 < 0 || r0 + 3 >= Config.num_registers then
+    invalid_arg "Machine.read_nibble: range";
+  let bit i = if s.(r0 + i) then 1 lsl i else 0 in
+  bit 0 lor bit 1 lor bit 2 lor bit 3
+
+let write_nibble s r0 v =
+  if r0 < 0 || r0 + 3 >= Config.num_registers then
+    invalid_arg "Machine.write_nibble: range";
+  if v < 0 || v > 15 then invalid_arg "Machine.write_nibble: not a nibble";
+  let s' = Array.copy s in
+  for i = 0 to 3 do
+    s'.(r0 + i) <- v land (1 lsl i) <> 0
+  done;
+  s'
+
+let step (cfg : Config.t) s =
+  let sel line = s.(cfg.Config.mux.(line)) in
+  let out1 = Lut.eval cfg.Config.lut1 (sel 0) (sel 1) (sel 2) in
+  let out2 = Lut.eval cfg.Config.lut2 (sel 3) (sel 4) (sel 5) in
+  let s' = Array.copy s in
+  if cfg.Config.demux.(0) <> Config.no_write then s'.(cfg.Config.demux.(0)) <- out1;
+  if cfg.Config.demux.(1) <> Config.no_write then s'.(cfg.Config.demux.(1)) <- out2;
+  s'
+
+let run cfgs s = List.fold_left (fun st cfg -> step cfg st) s cfgs
+
+let pp ppf s =
+  Format.pp_print_string ppf "r0..r9=";
+  Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) s

@@ -1,0 +1,42 @@
+(** Cycle-accurate SHyRA simulator.
+
+    One machine cycle (after the cycle's reconfiguration): the MUX
+    reads the six selected registers, both LUTs evaluate
+    combinationally, and the DeMUX writes the two outputs back —
+    reads-before-writes, so a LUT may overwrite one of its own
+    inputs within the same cycle. *)
+
+type state
+
+(** [create ()] is a machine with all ten registers cleared. *)
+val create : unit -> state
+
+(** [of_bits regs] sets the register file (length 10 required). *)
+val of_bits : bool array -> state
+
+(** [registers s] is a copy of the register file. *)
+val registers : state -> bool array
+
+(** [get s r] reads register [r] (0..9). *)
+val get : state -> int -> bool
+
+(** [set s r b] returns a state with register [r] set to [b] — host
+    I/O, not something the fabric can do. *)
+val set : state -> int -> bool -> state
+
+(** [read_nibble s r0] reads registers [r0..r0+3] as a little-endian
+    4-bit value. *)
+val read_nibble : state -> int -> int
+
+(** [write_nibble s r0 v] writes a 4-bit value into registers
+    [r0..r0+3]. *)
+val write_nibble : state -> int -> int -> state
+
+(** [step cfg s] executes one cycle under configuration [cfg]. *)
+val step : Config.t -> state -> state
+
+(** [run cfgs s] folds {!step} over a configuration sequence. *)
+val run : Config.t list -> state -> state
+
+(** [pp] prints the register file as ["r0..r9=0110…"] . *)
+val pp : Format.formatter -> state -> unit

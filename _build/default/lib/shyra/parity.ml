@@ -1,0 +1,16 @@
+let build () =
+  Asm.assemble
+    (Asm.cycle ~lut1:Lut.xor3
+       ~sels:[ (0, 0); (1, 1); (2, 2) ]
+       ~routes:[ (0, Some 8); (1, None) ]
+       "par0"
+    @ Asm.cycle ~sels:[ (0, 3); (1, 4); (2, 8) ] "par1"
+    @ Asm.cycle ~sels:[ (0, 5); (1, 6); (2, 8) ] "par2"
+    @ Asm.cycle ~lut1:Lut.xor01 ~sels:[ (0, 7); (1, 8) ] "par3")
+
+let run bits =
+  if bits < 0 || bits > 0xFF then invalid_arg "Parity.run: not an 8-bit value";
+  let s = Machine.create () in
+  let s = Machine.write_nibble s 0 (bits land 0xF) in
+  let s = Machine.write_nibble s 4 ((bits lsr 4) land 0xF) in
+  Machine.get (Program.run (build ()) s) 8

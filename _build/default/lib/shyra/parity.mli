@@ -1,0 +1,11 @@
+(** 8-bit parity on SHyRA.
+
+    Computes the parity of r0..r7 into r8 in 4 cycles using the
+    3-input parity LUT as a folding accumulator. *)
+
+(** [build ()] is the 4-cycle program. *)
+val build : unit -> Program.t
+
+(** [run bits] loads the 8-bit value into r0..r7, executes, and
+    returns the parity. *)
+val run : int -> bool

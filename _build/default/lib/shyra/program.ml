@@ -1,0 +1,29 @@
+type step = { cfg : Config.t; label : string }
+
+type t = step array
+
+let of_steps steps = Array.of_list steps
+
+let length = Array.length
+
+let step t i =
+  if i < 0 || i >= length t then invalid_arg "Program.step: out of range";
+  t.(i)
+
+let steps t = Array.to_list t
+
+let configs t = Array.to_list (Array.map (fun s -> s.cfg) t)
+
+let append = Array.append
+
+let run t s = Array.fold_left (fun st { cfg; _ } -> Machine.step cfg st) s t
+
+let trajectory t s =
+  let _, acc =
+    Array.fold_left
+      (fun (st, acc) { cfg; _ } ->
+        let st' = Machine.step cfg st in
+        (st', st' :: acc))
+      (s, []) t
+  in
+  List.rev acc

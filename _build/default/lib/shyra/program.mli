@@ -1,0 +1,35 @@
+(** SHyRA programs: labelled configuration sequences.
+
+    A program is executed cycle by cycle; entering cycle [i] is
+    reconfiguration step [i] of the paper's model (the configuration
+    bits that differ from the previous cycle must be rewritten), after
+    which the fabric computes for one cycle. *)
+
+type step = { cfg : Config.t; label : string }
+
+type t
+
+(** [of_steps steps] builds a program (possibly empty). *)
+val of_steps : step list -> t
+
+(** [length t] is the number of cycles. *)
+val length : t -> int
+
+(** [step t i] is cycle [i]. *)
+val step : t -> int -> step
+
+(** [steps t] lists all cycles. *)
+val steps : t -> step list
+
+(** [configs t] lists the configurations only. *)
+val configs : t -> Config.t list
+
+(** [append a b] concatenates programs. *)
+val append : t -> t -> t
+
+(** [run t s] executes all cycles from state [s]. *)
+val run : t -> Machine.state -> Machine.state
+
+(** [trajectory t s] is the state {e after} each cycle (length =
+    [length t]). *)
+val trajectory : t -> Machine.state -> Machine.state list

@@ -1,0 +1,50 @@
+let step_cycles = 8
+
+(* One CA step.  Scratch alternation: cycle t saves old c_t into r8 (t
+   even) or r9 (t odd) while computing c_t' from the previous cell's
+   saved old value and the not-yet-overwritten right neighbour. *)
+let step_instrs k =
+  let scratch t = if t mod 2 = 0 then 8 else 9 in
+  let label t = Printf.sprintf "ca%d_t%d" k t in
+  (* t0: c0' = old c1; save old c0. *)
+  Asm.cycle ~lut1:Lut.buf0 ~lut2:Lut.buf0
+    ~sels:[ (0, 1); (3, 0) ]
+    ~routes:[ (0, Some 0); (1, Some (scratch 0)) ]
+    (label 0)
+  (* t1..t6: c_t' = saved old c_{t-1} XOR old c_{t+1}; save old c_t. *)
+  @ List.concat_map
+      (fun t ->
+        Asm.cycle ~lut1:Lut.xor01 ~lut2:Lut.buf0
+          ~sels:[ (0, scratch (t - 1)); (1, t + 1); (3, t) ]
+          ~routes:[ (0, Some t); (1, Some (scratch t)) ]
+          (label t))
+      [ 1; 2; 3; 4; 5; 6 ]
+  (* t7: c7' = saved old c6 (right boundary is zero). *)
+  @ Asm.cycle ~lut1:Lut.buf0 ~sels:[ (0, scratch 6) ]
+      ~routes:[ (0, Some 7); (1, None) ]
+      (label 7)
+
+let build ~steps =
+  if steps < 0 then invalid_arg "Rule90.build: negative step count";
+  Asm.assemble (List.concat_map step_instrs (List.init steps Fun.id))
+
+let load cells =
+  if cells < 0 || cells > 0xFF then invalid_arg "Rule90: cells must be 8 bits";
+  let s = Machine.create () in
+  let s = Machine.write_nibble s 0 (cells land 0xF) in
+  Machine.write_nibble s 4 ((cells lsr 4) land 0xF)
+
+let read s =
+  Machine.read_nibble s 0 lor (Machine.read_nibble s 4 lsl 4)
+
+let run ~cells ~steps = read (Program.run (build ~steps) (load cells))
+
+let reference ~cells ~steps =
+  if cells < 0 || cells > 0xFF then invalid_arg "Rule90.reference: cells must be 8 bits";
+  let step row =
+    let bit i = if i < 0 || i > 7 then 0 else (row lsr i) land 1 in
+    let rec go i acc = if i > 7 then acc else go (i + 1) (acc lor ((bit (i - 1) lxor bit (i + 1)) lsl i)) in
+    go 0 0
+  in
+  let rec go row k = if k = 0 then row else go (step row) (k - 1) in
+  go cells steps

@@ -1,0 +1,28 @@
+(** Rule 90 elementary cellular automaton on SHyRA.
+
+    Eight cells live in r0..r7 with zero boundary conditions; one CA
+    step computes c_i' = c_{i-1} ⊕ c_{i+1} for all cells.  Since both
+    LUT outputs per cycle are the only compute resources and cells are
+    updated in place, the implementation walks the row left to right
+    keeping the {e old} value of the previous cell in the scratch
+    registers r8/r9 (alternating), taking 8 cycles per CA step.
+
+    The resulting reconfiguration trace is long and highly regular —
+    the periodic-phase shape on which fixed-period hyperreconfiguration
+    heuristics are near-optimal, complementing the counter's
+    irregular two-phase structure in the benches. *)
+
+(** [step_cycles] is 8. *)
+val step_cycles : int
+
+(** [build ~steps] is the program performing [steps] CA steps. *)
+val build : steps:int -> Program.t
+
+(** [run ~cells ~steps] executes from the 8-bit row [cells] and returns
+    the final row.  Raises [Invalid_argument] unless
+    [0 ≤ cells ≤ 0xFF]. *)
+val run : cells:int -> steps:int -> int
+
+(** [reference ~cells ~steps] is the pure-software Rule 90 used by the
+    test suite. *)
+val reference : cells:int -> steps:int -> int

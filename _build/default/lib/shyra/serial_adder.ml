@@ -1,0 +1,37 @@
+let full_adder_cycle k =
+  Asm.cycle ~lut1:Lut.xor3 ~lut2:Lut.maj3
+    ~sels:[ (0, k); (1, 4 + k); (2, 8); (3, k); (4, 4 + k); (5, 8) ]
+    ~routes:[ (0, Some k); (1, Some 8) ]
+    (Printf.sprintf "add%d" k)
+
+let build () =
+  Asm.assemble (List.concat_map full_adder_cycle [ 0; 1; 2; 3 ])
+
+let initial_state ~a ~b =
+  if a < 0 || a > 15 || b < 0 || b > 15 then
+    invalid_arg "Serial_adder: operands must be 4-bit values";
+  let s = Machine.create () in
+  let s = Machine.write_nibble s 0 a in
+  Machine.write_nibble s 4 b
+
+let run ~a ~b =
+  let final = Program.run (build ()) (initial_state ~a ~b) in
+  (Machine.read_nibble final 0, Machine.get final 8)
+
+let sum_program values =
+  match values with
+  | [] -> invalid_arg "Serial_adder.sum_program: empty list"
+  | first :: rest ->
+      let prog = build () in
+      let state = ref (initial_state ~a:first ~b:0) in
+      let total = ref (Program.of_steps []) in
+      List.iter
+        (fun b ->
+          (* Host I/O between additions: load the next operand, clear
+             the carry. *)
+          state := Machine.write_nibble !state 4 b;
+          state := Machine.set !state 8 false;
+          state := Program.run prog !state;
+          total := Program.append !total prog)
+        (0 :: rest);
+      (!total, Machine.read_nibble !state 0)

@@ -1,0 +1,25 @@
+(** Bit-serial 4-bit adder on SHyRA.
+
+    Computes r0..r3 := r0..r3 + r4..r7 (mod 16) with carry-out in r8,
+    one full adder per cycle: LUT1 is the 3-input parity (sum bit) and
+    LUT2 the 3-input majority (carry), both reading the same operand
+    bits plus the running carry in r8.  The host must clear r8 before
+    the program runs ({!initial_state} does). *)
+
+(** [build ()] is the 4-cycle program. *)
+val build : unit -> Program.t
+
+(** [initial_state ~a ~b] loads the operands and clears the carry. *)
+val initial_state : a:int -> b:int -> Machine.state
+
+(** [run ~a ~b] executes one addition and returns (sum mod 16,
+    carry-out). *)
+val run : a:int -> b:int -> int * bool
+
+(** [sum_program values] chains one {!build} program per addition of
+    [values] (the host reloads r4..r7 between additions and clears the
+    carry) and returns the concatenated program — after the first
+    addition every further cycle is configuration-identical, giving the
+    sparsest possible reconfiguration trace.  Raises on an empty
+    list. *)
+val sum_program : int list -> Program.t * int

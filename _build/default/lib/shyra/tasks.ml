@@ -1,0 +1,26 @@
+module Bitset = Hr_util.Bitset
+module Core = Hr_core
+
+type part = { name : string; mask : Bitset.t }
+
+let range lo hi = Bitset.of_list Config.width (List.init (hi - lo + 1) (fun k -> lo + k))
+
+let four_tasks =
+  [|
+    { name = "LUT1"; mask = range 0 7 };
+    { name = "LUT2"; mask = range 8 15 };
+    { name = "DeMUX"; mask = range 16 23 };
+    { name = "MUX"; mask = range 24 47 };
+  |]
+
+let single_task = [| { name = "ALL"; mask = Bitset.full Config.width } |]
+
+let to_core parts =
+  Array.map (fun p -> { Core.Task_split.name = p.name; mask = p.mask }) parts
+
+let split trace parts =
+  if Core.Switch_space.size (Core.Trace.space trace) <> Config.width then
+    invalid_arg "Tasks.split: trace is not over the SHyRA configuration space";
+  Core.Task_split.split trace (to_core parts)
+
+let oracle trace parts = Core.Interval_cost.of_task_set (split trace parts)

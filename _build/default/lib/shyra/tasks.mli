@@ -1,0 +1,29 @@
+(** Task splits of the SHyRA configuration bits.
+
+    The paper's §6 experiment compares the multi-task split — each of
+    the four units is one task: T1 = LUT1 (l₁ = 8), T2 = LUT2 (l₂ = 8),
+    T3 = DeMUX (l₃ = 8), T4 = MUX (l₄ = 24) — against the single-task
+    split where all 48 bits form one task.  All 48 switches are local
+    resources; the special-case local hyperreconfiguration costs are
+    [v_j = l_j] (and [v = 48] for the single task). *)
+
+(** One part of a split: a task name and its bit mask over
+    {!Config.space}. *)
+type part = { name : string; mask : Hr_util.Bitset.t }
+
+(** The four-unit split, in paper order T1..T4. *)
+val four_tasks : part array
+
+(** The single-task split. *)
+val single_task : part array
+
+(** [split trace parts] projects a machine-wide trace (over
+    {!Config.space}) into a fully synchronized {!Hr_core.Task_set.t}:
+    each part gets its own local switch space (bits renumbered densely,
+    names preserved) and [v = ] part size.  Raises [Invalid_argument]
+    when the parts do not partition the 48 bits. *)
+val split : Hr_core.Trace.t -> part array -> Hr_core.Task_set.t
+
+(** [oracle trace parts] is [Interval_cost.of_task_set (split trace
+    parts)]. *)
+val oracle : Hr_core.Trace.t -> part array -> Hr_core.Interval_cost.t

@@ -1,0 +1,14 @@
+type mode = Diff | Field_diff | In_use
+
+let trace ?(mode = Field_diff) ?(initial = Config.power_on) program =
+  let cfgs = Array.of_list (Program.configs program) in
+  let diff_with f =
+    Array.mapi (fun i cfg -> f (if i = 0 then initial else cfgs.(i - 1)) cfg) cfgs
+  in
+  let reqs =
+    match mode with
+    | Diff -> diff_with Config.diff
+    | Field_diff -> diff_with Config.field_diff
+    | In_use -> Array.map Config.in_use cfgs
+  in
+  Hr_core.Trace.make Config.space reqs

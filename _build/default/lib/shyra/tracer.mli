@@ -1,0 +1,24 @@
+(** Context-requirement extraction from SHyRA programs.
+
+    The paper's §6 experiment traces "each reconfiguration step" of the
+    counter run and analyzes the resulting sequence of n requirement
+    sets under the MT-Switch cost model.  Three extraction modes, from
+    finest to coarsest:
+
+    - [Diff]: the requirement of step [i] is the set of configuration
+      bits whose value changes entering cycle [i] — bit-granular
+      reconfiguration;
+    - [Field_diff] (the reproduction's primary mode): whole fields
+      (a LUT table, one MUX select, one DeMUX target) whose content
+      changes — word-granular reconfiguration ports;
+    - [In_use]: all bits of fields that affect behaviour during the
+      cycle (worst-case upper bound, per the paper's remark that
+      data-dependent demands need worst-case requirements). *)
+
+type mode = Diff | Field_diff | In_use
+
+(** [trace ?mode ?initial program] extracts the requirement trace over
+    {!Config.space}.  [initial] is the configuration in force before
+    cycle 0 (default {!Config.power_on}); in the diff modes step 0's
+    requirement is the diff against it. *)
+val trace : ?mode:mode -> ?initial:Config.t -> Program.t -> Hr_core.Trace.t

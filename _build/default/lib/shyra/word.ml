@@ -1,0 +1,82 @@
+type t = Expr.t array
+
+let input name ~bits =
+  if bits < 1 then invalid_arg "Word.input: need at least one bit";
+  Array.init bits (fun k -> Expr.Input (Printf.sprintf "%s.%d" name k))
+
+let const ~bits v =
+  if bits < 1 then invalid_arg "Word.const: need at least one bit";
+  Array.init bits (fun k -> Expr.Const (v land (1 lsl k) <> 0))
+
+let width = Array.length
+
+let check_same a b =
+  if width a <> width b then invalid_arg "Word: width mismatch"
+
+let lognot = Array.map (fun e -> Expr.Not e)
+
+let map2 f a b =
+  check_same a b;
+  Array.map2 f a b
+
+let logand = map2 (fun x y -> Expr.And (x, y))
+let logor = map2 (fun x y -> Expr.Or (x, y))
+let logxor = map2 (fun x y -> Expr.Xor (x, y))
+
+let add a b =
+  check_same a b;
+  let n = width a in
+  let out = Array.make n (Expr.Const false) in
+  let carry = ref (Expr.Const false) in
+  for k = 0 to n - 1 do
+    let x = a.(k) and y = b.(k) and c = !carry in
+    out.(k) <- Expr.(Xor (Xor (x, y), c));
+    carry := Expr.(Or (And (x, y), And (c, Xor (x, y))))
+  done;
+  out
+
+let succ w = add w (const ~bits:(width w) 1)
+
+let equal a b =
+  check_same a b;
+  Array.fold_left
+    (fun acc pairwise -> Expr.And (acc, pairwise))
+    (Expr.Const true)
+    (map2 (fun x y -> Expr.Not (Expr.Xor (x, y))) a b)
+
+let less_than a b =
+  check_same a b;
+  (* MSB-down: a < b iff at the highest differing bit a=0,b=1. *)
+  let n = width a in
+  let rec go k =
+    if k < 0 then Expr.Const false
+    else
+      let ak = a.(k) and bk = b.(k) in
+      Expr.(Or (And (Not ak, bk), And (Not (Xor (ak, bk)), go (k - 1))))
+  in
+  go (n - 1)
+
+let mux sel ~then_ ~else_ =
+  check_same then_ else_;
+  map2 (fun t e -> Expr.(Or (And (sel, t), And (Not sel, e)))) then_ else_
+
+let eval env w =
+  let acc = ref 0 in
+  Array.iteri (fun k e -> if Expr.eval env e then acc := !acc lor (1 lsl k)) w;
+  !acc
+
+let bindings name ~bits v =
+  List.init bits (fun k -> (Printf.sprintf "%s.%d" name k, v land (1 lsl k) <> 0))
+
+let compile_bit w k =
+  if k < 0 || k >= width w then invalid_arg "Word.compile_bit: bit out of range";
+  Expr.compile w.(k)
+
+let compile w = Expr.compile_many (Array.to_list w)
+
+let run w ~env =
+  let bits = Expr.run_many (Array.to_list w) ~env in
+  List.fold_left
+    (fun acc (k, b) -> if b then acc lor (1 lsl k) else acc)
+    0
+    (List.mapi (fun k b -> (k, b)) bits)

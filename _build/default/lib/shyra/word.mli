@@ -1,0 +1,64 @@
+(** Multi-bit words over {!Expr} — combinational arithmetic for the
+    expression compiler.
+
+    A word is an LSB-first vector of boolean expressions.  The
+    constructors build the standard combinational circuits (ripple
+    adder, equality, unsigned comparison, multiplexer); {!eval} gives
+    the reference integer semantics and {!compile_bit} lowers one
+    output bit to a SHyRA program via {!Expr.compile} (SHyRA writes at
+    most two registers per cycle, so multi-output circuits are compiled
+    output-by-output, exactly like the paper's time-partitioned
+    designs). *)
+
+type t = Expr.t array
+
+(** [input name ~bits] — variables [name.0 … name.(bits-1)]. *)
+val input : string -> bits:int -> t
+
+(** [const ~bits v] — [v] truncated to [bits] bits. *)
+val const : bits:int -> int -> t
+
+(** [width w]. *)
+val width : t -> int
+
+(** Bitwise operators (equal widths required; raise
+    [Invalid_argument] otherwise). *)
+val lognot : t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** [add a b] — ripple-carry sum modulo 2^width. *)
+val add : t -> t -> t
+
+(** [succ w] — increment modulo 2^width (the counter's step). *)
+val succ : t -> t
+
+(** [equal a b] — the equality predicate as one expression. *)
+val equal : t -> t -> Expr.t
+
+(** [less_than a b] — unsigned [a < b]. *)
+val less_than : t -> t -> Expr.t
+
+(** [mux sel ~then_ ~else_] — bitwise select. *)
+val mux : Expr.t -> then_:t -> else_:t -> t
+
+(** [eval env w] — the word's integer value under [env]. *)
+val eval : (string -> bool) -> t -> int
+
+(** [bindings name ~bits v] — the environment entries loading integer
+    [v] into {!input}[ name ~bits]. *)
+val bindings : string -> bits:int -> int -> (string * bool) list
+
+(** [compile_bit w k] — lower output bit [k]. *)
+val compile_bit : t -> int -> Expr.compiled
+
+(** [compile w] — lower the whole word jointly: shared structure
+    (e.g. the ripple-carry chain) is computed once, and all output
+    bits are live at the end ([Expr.compiled_many.results], LSB
+    first). *)
+val compile : t -> Expr.compiled_many
+
+(** [run w ~env] — compile jointly, execute, read the integer value. *)
+val run : t -> env:(string * bool) list -> int

@@ -1,0 +1,104 @@
+(** Fixed-width bitsets backed by [int] arrays.
+
+    A bitset value is immutable from the caller's point of view: every
+    operation returns a fresh set.  Width (the number of addressable bit
+    positions) is fixed at creation; operations on sets of different
+    widths raise [Invalid_argument].
+
+    Bitsets are the universal currency of this library: a context
+    requirement, a hypercontext and a configuration diff are all bitsets
+    over a universe of reconfigurable units ("switches"). *)
+
+type t
+
+(** [create width] is the empty set over positions [0 .. width-1]. *)
+val create : int -> t
+
+(** [width s] is the number of addressable positions of [s]. *)
+val width : t -> int
+
+(** [is_empty s] is [true] iff no bit of [s] is set. *)
+val is_empty : t -> bool
+
+(** [mem s i] tests bit [i].  Raises [Invalid_argument] when [i] is out
+    of range. *)
+val mem : t -> int -> bool
+
+(** [add s i] is [s] with bit [i] set. *)
+val add : t -> int -> t
+
+(** [remove s i] is [s] with bit [i] cleared. *)
+val remove : t -> int -> t
+
+(** [singleton width i] is the set over [width] positions containing
+    exactly [i]. *)
+val singleton : int -> int -> t
+
+(** [full width] is the set with all [width] bits set. *)
+val full : int -> t
+
+(** [of_list width is] is the set of all positions in [is]. *)
+val of_list : int -> int list -> t
+
+(** [to_list s] is the sorted list of set positions. *)
+val to_list : t -> int list
+
+(** [union a b] is [a ∪ b]. *)
+val union : t -> t -> t
+
+(** [inter a b] is [a ∩ b]. *)
+val inter : t -> t -> t
+
+(** [diff a b] is [a \ b]. *)
+val diff : t -> t -> t
+
+(** [symdiff a b] is the symmetric difference [a Δ b] — the changeover
+    measure of the paper's cost-model variant. *)
+val symdiff : t -> t -> t
+
+(** [cardinal s] is the number of set bits (the switch-model cost of a
+    hypercontext [s]). *)
+val cardinal : t -> int
+
+(** [subset a b] is [true] iff [a ⊆ b]. *)
+val subset : t -> t -> bool
+
+(** [equal a b] is structural equality. *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order compatible with [equal]. *)
+val compare : t -> t -> int
+
+(** [hash s] is a hash compatible with [equal]. *)
+val hash : t -> int
+
+(** [fold f s init] folds [f] over the set positions in increasing
+    order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [iter f s] applies [f] to each set position in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [union_into ~into s] destructively unions [s] into the internal
+    buffer [into] and returns [into].  Only for tight inner loops that
+    own [into]; [into] must have been produced by {!copy}. *)
+val union_into : into:t -> t -> t
+
+(** [copy s] is a physically fresh copy of [s] (safe target for
+    {!union_into}). *)
+val copy : t -> t
+
+(** [random rng ~width ~density] is a random subset where each bit is
+    set with probability [density]; [rng] supplies the randomness as a
+    [unit -> float] in [0,1). *)
+val random : (unit -> float) -> width:int -> density:float -> t
+
+(** [pp] prints as ["{1,4,7}"]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_bits] prints as a 0/1 string, least significant position
+    first. *)
+val pp_bits : Format.formatter -> t -> unit
+
+(** [to_string s] is [Format.asprintf "%a" pp s]. *)
+val to_string : t -> string

@@ -1,0 +1,46 @@
+let num_domains () = max 1 (Domain.recommended_domain_count ())
+
+let chunk_bounds ~chunks n =
+  (* Contiguous, balanced chunks covering 0..n-1. *)
+  let base = n / chunks and extra = n mod chunks in
+  let rec go k start acc =
+    if k = chunks then List.rev acc
+    else
+      let len = base + if k < extra then 1 else 0 in
+      if len = 0 then go (k + 1) start acc
+      else go (k + 1) (start + len) ((start, start + len - 1) :: acc)
+  in
+  go 0 0 []
+
+let iter_chunks ?domains f n =
+  let workers = min (Option.value domains ~default:(num_domains ())) (max 1 n) in
+  if n <= 0 then ()
+  else if workers <= 1 then f 0 (n - 1)
+  else
+    let bounds = chunk_bounds ~chunks:workers n in
+    let handles =
+      List.map (fun (lo, hi) -> Domain.spawn (fun () -> f lo hi)) bounds
+    in
+    (* Join all domains even if one raised, then re-raise the first
+       failure. *)
+    let results =
+      List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles
+    in
+    List.iter (function Error e -> raise e | Ok () -> ()) results
+
+let map_array ?domains f arr =
+  let n = Array.length arr in
+  let workers = Option.value domains ~default:(num_domains ()) in
+  if n = 0 then [||]
+  else if workers <= 1 || n < 4 then Array.map f arr
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    (* Index 0 is already computed above; workers fill the rest. *)
+    iter_chunks ~domains:workers
+      (fun lo hi ->
+        for i = max 1 lo to hi do
+          out.(i) <- f arr.(i)
+        done)
+      n;
+    out
+  end

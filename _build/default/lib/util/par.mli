@@ -1,0 +1,21 @@
+(** Minimal multicore helpers (OCaml 5 domains).
+
+    The optimizers' fitness evaluations are pure, so they parallelize
+    embarrassingly; this module provides a deterministic parallel map —
+    the result is elementwise identical to the sequential map, whatever
+    the scheduling. *)
+
+(** [num_domains ()] is the recommended worker count
+    ([Domain.recommended_domain_count], at least 1). *)
+val num_domains : unit -> int
+
+(** [map_array ?domains f arr] maps [f] over [arr] using up to
+    [domains] worker domains (default {!num_domains}).  Falls back to
+    the plain sequential map for [domains <= 1] or short arrays.  [f]
+    must be pure/thread-safe: it runs concurrently on several domains.
+    Exceptions raised by [f] are re-raised in the caller. *)
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [iter_chunks ?domains f n] runs [f lo hi] over a partition of
+    [0..n-1] into contiguous chunks, one chunk per domain. *)
+val iter_chunks : ?domains:int -> (int -> int -> unit) -> int -> unit

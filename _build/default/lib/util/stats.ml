@@ -1,0 +1,49 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let m = mean xs in
+  let n = float_of_int (Array.length xs) in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+  sqrt (ss /. n)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.;
+  }
+
+let of_ints xs = Array.map float_of_int xs
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f med=%.2f max=%.2f" s.n
+    s.mean s.stddev s.min s.median s.max

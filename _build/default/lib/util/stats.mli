@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+(** Summary of a sample. *)
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+(** [summarize xs] computes a {!summary}.  Raises [Invalid_argument] on
+    an empty array. *)
+val summarize : float array -> summary
+
+(** [mean xs] is the arithmetic mean; raises on empty input. *)
+val mean : float array -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float array -> float
+
+(** [percentile xs p] is the [p]-th percentile (0 ≤ p ≤ 100) using
+    linear interpolation between closest ranks. *)
+val percentile : float array -> float -> float
+
+(** [of_ints xs] converts for convenience. *)
+val of_ints : int array -> float array
+
+(** [pp_summary] prints ["n=… mean=… sd=… min=… med=… max=…"]. *)
+val pp_summary : Format.formatter -> summary -> unit

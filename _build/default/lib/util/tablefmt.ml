@@ -1,0 +1,62 @@
+type align = Left | Right
+
+let looks_numeric cell =
+  cell <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = '%')
+       cell
+
+let pad align w cell =
+  let missing = w - String.length cell in
+  if missing <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ cell
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Tablefmt.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+    rows;
+  let col_align =
+    match aligns with
+    | Some a when List.length a = ncols -> fun c _ -> List.nth a c
+    | Some _ -> invalid_arg "Tablefmt.render: aligns arity mismatch"
+    | None ->
+        (* Default: right-align a column iff all its body cells look numeric. *)
+        let numeric = Array.make ncols true in
+        List.iter
+          (List.iteri (fun c cell -> if not (looks_numeric cell) then numeric.(c) <- false))
+          rows;
+        fun c _ -> if numeric.(c) && rows <> [] then Right else Left
+  in
+  let line row ~is_header =
+    row
+    |> List.mapi (fun c cell ->
+           let a = if is_header then Left else col_align c cell in
+           pad a widths.(c) cell)
+    |> String.concat "  "
+  in
+  let sep =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  let body = List.map (fun r -> line r ~is_header:false) rows in
+  String.concat "\n" (line header ~is_header:true :: sep :: body)
+
+let print ?aligns ~header rows =
+  print_endline (render ?aligns ~header rows)
+
+let rule width = String.make width '-'
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" bar title bar

@@ -1,0 +1,24 @@
+(** Aligned plain-text tables for the experiment harness.
+
+    The bench executable prints every reproduced paper table through this
+    module so the output stays machine-greppable and diffable. *)
+
+(** Column alignment. *)
+type align = Left | Right
+
+(** [render ~header rows] lays out [rows] under [header] with columns
+    padded to the widest cell.  All rows must have the same arity as the
+    header; raises [Invalid_argument] otherwise.  Numeric-looking cells
+    are right-aligned unless [aligns] overrides the default. *)
+val render : ?aligns:align list -> header:string list -> string list list -> string
+
+(** [print ~header rows] renders and prints to stdout with a trailing
+    newline. *)
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+(** [rule width] is a horizontal rule of [-] characters. *)
+val rule : int -> string
+
+(** [section title] prints a prominent section banner to stdout, used to
+    delimit experiment outputs. *)
+val section : string -> unit

@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/viz/figures.ml: Array Ascii Breakpoints Buffer Hr_core Hr_util List Plan Printf String Switch_space Sync_cost Task_set Trace

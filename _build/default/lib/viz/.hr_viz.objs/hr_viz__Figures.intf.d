@@ -1,0 +1,1 @@
+lib/viz/figures.mli: Breakpoints Hr_core Hr_util Interval_cost Sync_cost Task_set

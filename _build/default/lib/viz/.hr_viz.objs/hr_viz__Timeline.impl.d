@@ -1,0 +1,1 @@
+lib/viz/timeline.ml: Array Ascii Breakpoints Buffer Hr_core Interval_cost List Printf String Sync_cost

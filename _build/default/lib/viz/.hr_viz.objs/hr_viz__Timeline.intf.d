@@ -1,0 +1,1 @@
+lib/viz/timeline.mli: Breakpoints Hr_core Interval_cost

@@ -1,0 +1,33 @@
+let ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let heat_char ~max_value v =
+  if max_value <= 0 then ramp.(0)
+  else
+    let v = max 0 (min v max_value) in
+    let idx = (v * (Array.length ramp - 1) + (max_value / 2)) / max_value in
+    ramp.(idx)
+
+let sparkline ~max_value vs =
+  String.init (Array.length vs) (fun i -> heat_char ~max_value vs.(i))
+
+let bar ~width ~max_value v =
+  if width <= 0 then ""
+  else if max_value <= 0 then String.make width ' '
+  else
+    let filled = max 0 (min width (v * width / max_value)) in
+    String.make filled '#' ^ String.make (width - filled) ' '
+
+let bool_row cells =
+  String.init (Array.length cells) (fun i -> if cells.(i) then '#' else '.')
+
+let chunked ~width s =
+  if width <= 0 then invalid_arg "Ascii.chunked: width must be positive";
+  let len = String.length s in
+  let rec go start acc =
+    if start >= len then List.rev acc
+    else
+      let chunk_len = min width (len - start) in
+      let line = Printf.sprintf "%4d| %s" start (String.sub s start chunk_len) in
+      go (start + width) (line :: acc)
+  in
+  if len = 0 then [] else go 0 []

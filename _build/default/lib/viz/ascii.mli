@@ -1,0 +1,22 @@
+(** Plain-text chart primitives for the experiment harness. *)
+
+(** [bar ~width ~max_value v] renders a horizontal bar scaled to
+    [width] characters. *)
+val bar : width:int -> max_value:int -> int -> string
+
+(** [sparkline ~max_value vs] maps values to the eight block heights
+    [" ▁▂▃▄▅▆▇█"]-style using ASCII [" .:-=+*#%@"] so the output stays
+    7-bit clean. *)
+val sparkline : max_value:int -> int array -> string
+
+(** [heat_char ~max_value v] is the single sparkline character for
+    [v]. *)
+val heat_char : max_value:int -> int -> char
+
+(** [bool_row cells] renders ['#'] / ['.'] per flag — the Fig. 3
+    idiom. *)
+val bool_row : bool array -> string
+
+(** [chunked ~width s] splits a long row string into lines of at most
+    [width] characters, prefixing each chunk with its start index. *)
+val chunked : width:int -> string -> string list

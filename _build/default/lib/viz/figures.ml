@@ -1,0 +1,119 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let buffer_add_rows buf rows =
+  List.iter
+    (fun (label, row) ->
+      List.iter
+        (fun line -> Buffer.add_string buf (Printf.sprintf "%-6s %s\n" label line))
+        (Ascii.chunked ~width:100 row))
+    rows
+
+let hypercontexts_per_step ts bp =
+  let plan = Plan.of_breakpoints ts bp in
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  Array.init m (fun j -> Array.init n (fun i -> Plan.hypercontext_at plan j i))
+
+let fig2 ts bp =
+  let hcs = hypercontexts_per_step ts bp in
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "hypercontext occupancy per task (darker = more switches available)\n";
+  let rows =
+    List.concat
+      (List.init m (fun j ->
+           let task = Task_set.get ts j in
+           let width = Switch_space.size (Trace.space task.Task_set.trace) in
+           let sizes = Array.map Bitset.cardinal hcs.(j) in
+           let heat = Ascii.sparkline ~max_value:width sizes in
+           let marks =
+             String.init n (fun i -> if Breakpoints.is_break bp j i then '^' else ' ')
+           in
+           [ (task.Task_set.name, heat); ("", marks) ]))
+  in
+  buffer_add_rows buf rows;
+  Buffer.contents buf
+
+let fig2_units ts bp ~unit_masks =
+  if Task_set.num_tasks ts <> 1 then
+    invalid_arg "Figures.fig2_units: expects the single-task split";
+  let hcs = (hypercontexts_per_step ts bp).(0) in
+  let n = Task_set.steps ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "single task: per-unit share of the hypercontext (darker = more of the \
+     unit's switches available)\n";
+  let rows =
+    List.map
+      (fun (name, mask) ->
+        let total = Bitset.cardinal mask in
+        let sizes =
+          Array.map (fun hc -> Bitset.cardinal (Bitset.inter hc mask)) hcs
+        in
+        (name, Ascii.sparkline ~max_value:total sizes))
+      unit_masks
+    @ [
+        ( "",
+          String.init n (fun i -> if Breakpoints.is_break bp 0 i then '^' else ' ') );
+      ]
+  in
+  buffer_add_rows buf rows;
+  Buffer.contents buf
+
+let fig3 ts bp =
+  let m = Task_set.num_tasks ts in
+  let cols = Breakpoints.break_columns bp in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "partial hyperreconfigurations (%d hyperreconfiguration steps; # = \
+        hyperreconfiguration, . = no-op)\n"
+       (List.length cols));
+  for j = 0 to m - 1 do
+    let row =
+      Array.of_list (List.map (fun i -> Breakpoints.is_break bp j i) cols)
+    in
+    let name = (Task_set.get ts j).Task_set.name in
+    Buffer.add_string buf (Printf.sprintf "%-6s %s\n" name (Ascii.bool_row row))
+  done;
+  Buffer.contents buf
+
+let fig2_paper ts bp =
+  let hcs = hypercontexts_per_step ts bp in
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "per task and step: # = in use, + = available but unused, . = not available\n";
+  let rows =
+    List.concat
+      (List.init m (fun j ->
+           let task = Task_set.get ts j in
+           let row =
+             String.init n (fun i ->
+                 let hc = hcs.(j).(i) in
+                 let used = Trace.req task.Task_set.trace i in
+                 let avail = Bitset.cardinal hc in
+                 if avail = 0 then '.'
+                 else if 2 * Bitset.cardinal used >= avail then '#'
+                 else '+')
+           in
+           let marks =
+             String.init n (fun i -> if Breakpoints.is_break bp j i then '^' else ' ')
+           in
+           [ (task.Task_set.name, row); ("", marks) ]))
+  in
+  buffer_add_rows buf rows;
+  Buffer.contents buf
+
+let cost_series ?params oracle bp =
+  let steps = Sync_cost.eval_per_step ?params oracle bp in
+  let totals = Array.map (fun (h, r) -> h + r) steps in
+  let max_value = Array.fold_left max 1 totals in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "per-step cost (max %d, darker = costlier)\n" max_value);
+  List.iter
+    (fun line -> Buffer.add_string buf (line ^ "\n"))
+    (Ascii.chunked ~width:100 (Ascii.sparkline ~max_value totals));
+  Buffer.contents buf

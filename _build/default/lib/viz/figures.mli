@@ -1,0 +1,44 @@
+open Hr_core
+
+(** Text renderings of the paper's figures.
+
+    Fig. 2 shows, per unit and per step, how much of the unit is
+    available in the current hypercontext, with the
+    hyperreconfiguration instants marked; Fig. 3 shows which tasks
+    perform a partial hyperreconfiguration at each hyperreconfiguration
+    step. *)
+
+(** [fig2 ts bp] renders one Fig. 2 panel for the plan [bp] over the
+    instance [ts]: per task a heat row (hypercontext size / local
+    switches, using the sparkline ramp) and a marker row of
+    hyperreconfiguration instants ([^]). *)
+val fig2 : Task_set.t -> Breakpoints.t -> string
+
+(** [fig2_units ts bp ~unit_masks] — the single-task variant of Fig. 2:
+    the one task's hypercontext is broken down per unit ([unit_masks]
+    gives name and bit mask of each unit within the task's local
+    space), showing which units' switches the hypercontext keeps
+    available. *)
+val fig2_units :
+  Task_set.t -> Breakpoints.t -> unit_masks:(string * Hr_util.Bitset.t) list -> string
+
+(** [fig3 ts bp] renders Fig. 3: one row per task, one column per
+    machine step at which {e some} task hyperreconfigures; ['#'] =
+    partial hyperreconfiguration, ['.'] = no-hyperreconfiguration
+    operation. *)
+val fig3 : Task_set.t -> Breakpoints.t -> string
+
+(** [fig2_paper ts bp] renders Fig. 2 with the paper's exact
+    three-state legend, per task and step:
+    ['#'] = switch(es) of the task in use by this step's requirement,
+    ['+'] = available in the hypercontext but unused this step,
+    ['.'] = not available in the current hypercontext.  One row per
+    task shows the dominant state of its switches (use / idle /
+    unavailable fractions collapse to the majority for a single-char
+    cell), plus a ['^'] marker row for hyperreconfiguration
+    instants. *)
+val fig2_paper : Task_set.t -> Breakpoints.t -> string
+
+(** [cost_series ?params oracle bp] renders the per-step total cost
+    series (H_i + R_i) as a chunked sparkline. *)
+val cost_series : ?params:Sync_cost.params -> Interval_cost.t -> Breakpoints.t -> string

@@ -1,0 +1,66 @@
+open Hr_core
+
+type t = {
+  m : int;
+  n : int;
+  step_duration : int array;  (* H_i + R_i per step *)
+  task_busy : int array array;  (* per task, per step: own work *)
+}
+
+let make (oracle : Interval_cost.t) bp =
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let per_step = Sync_cost.eval_per_step oracle bp in
+  let reconf = Sync_cost.step_reconf_costs oracle bp in
+  let task_busy =
+    Array.init m (fun j ->
+        Array.init n (fun i ->
+            let hyper =
+              if Breakpoints.is_break bp j i then oracle.Interval_cost.v.(j) else 0
+            in
+            hyper + reconf.(j).(i)))
+  in
+  {
+    m;
+    n;
+    step_duration = Array.map (fun (h, r) -> h + r) per_step;
+    task_busy;
+  }
+
+let machine_time t = Array.fold_left ( + ) 0 t.step_duration
+
+let busy t = Array.map (Array.fold_left ( + ) 0) t.task_busy
+
+let utilization t =
+  let total = machine_time t in
+  busy t
+  |> Array.map (fun b ->
+         if total = 0 then 0. else float_of_int b /. float_of_int total)
+
+let bottleneck t =
+  let b = busy t in
+  let best = ref 0 in
+  Array.iteri (fun j v -> if v > b.(!best) then best := j) b;
+  !best
+
+let render ?names t =
+  let name j =
+    match names with
+    | Some ns when j < Array.length ns -> ns.(j)
+    | _ -> Printf.sprintf "T%d" (j + 1)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "port occupancy per task and step (darker = busier share of the step)\n";
+  let u = utilization t in
+  for j = 0 to t.m - 1 do
+    let row =
+      String.init t.n (fun i ->
+          Ascii.heat_char ~max_value:(max 1 t.step_duration.(i)) t.task_busy.(j).(i))
+    in
+    List.iter
+      (fun line -> Buffer.add_string buf (Printf.sprintf "%-6s %s\n" (name j) line))
+      (Ascii.chunked ~width:100 row);
+    Buffer.add_string buf
+      (Printf.sprintf "%-6s utilization %.0f%%\n" "" (100. *. u.(j)))
+  done;
+  Buffer.contents buf

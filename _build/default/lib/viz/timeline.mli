@@ -1,0 +1,35 @@
+open Hr_core
+
+(** Per-task busy/idle analysis of a fully synchronized plan.
+
+    On a task-parallel fully synchronized machine every step lasts as
+    long as its slowest participant (the max terms of §4.2); the other
+    tasks' reconfiguration ports idle for the difference.  This module
+    computes, per task, the busy time (own hyperreconfiguration +
+    reconfiguration bits) against the machine time (the per-step
+    maxima), yielding the utilization profile that explains {e why} the
+    MUX task dominates the paper's experiment, and renders a Gantt-like
+    ASCII strip. *)
+
+type t
+
+(** [make oracle bp] analyzes the plan. *)
+val make : Interval_cost.t -> Breakpoints.t -> t
+
+(** [machine_time t] is the §4.2 total — equal to
+    [Sync_cost.eval oracle bp]. *)
+val machine_time : t -> int
+
+(** [busy t] is each task's own total (hyper)reconfiguration work. *)
+val busy : t -> int array
+
+(** [utilization t] is [busy / machine_time] per task, in [0, 1]. *)
+val utilization : t -> float array
+
+(** [bottleneck t] is the index of the busiest task. *)
+val bottleneck : t -> int
+
+(** [render ?names t] draws one row per task: at each step, a heat
+    character for the fraction of the step's duration the task is
+    busy. *)
+val render : ?names:string array -> t -> string

@@ -1,0 +1,1 @@
+lib/workload/dag_gen.ml: Array Dag_model Fun Hr_core Hr_util List Printf

@@ -1,0 +1,1 @@
+lib/workload/dag_gen.mli: Dag_model Hr_core Hr_util

@@ -1,0 +1,1 @@
+lib/workload/markov.ml: Array Float Hr_core Hr_util List Printf Switch_space Trace

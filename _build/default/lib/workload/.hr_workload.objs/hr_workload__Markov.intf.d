@@ -1,0 +1,1 @@
+lib/workload/markov.mli: Hr_core Hr_util Switch_space Trace

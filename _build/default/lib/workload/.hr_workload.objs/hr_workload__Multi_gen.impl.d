@@ -1,0 +1,1 @@
+lib/workload/multi_gen.ml: Array Hr_core Hr_util List Printf Switch_space Synthetic Task_set Trace

@@ -1,0 +1,1 @@
+lib/workload/multi_gen.mli: Hr_core Hr_util Task_set

@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Array Hr_core Hr_util Switch_space Trace

@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Hr_core Trace

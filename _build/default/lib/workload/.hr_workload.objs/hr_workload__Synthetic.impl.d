@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Fun Hr_core Hr_util List Switch_space Trace

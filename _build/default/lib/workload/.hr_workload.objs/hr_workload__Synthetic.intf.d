@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Hr_core Hr_util Switch_space Trace

@@ -1,0 +1,97 @@
+open Hr_core
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+type spec = {
+  layers : int;
+  per_layer : int;
+  num_contexts : int;
+  w : int;
+  n : int;
+  phase_len : int;
+}
+
+let default_spec =
+  { layers = 4; per_layer = 3; num_contexts = 12; w = 10; n = 100; phase_len = 10 }
+
+let instance rng spec =
+  if spec.layers < 1 || spec.per_layer < 1 then
+    invalid_arg "Dag_gen.instance: need at least one layer and node";
+  if spec.num_contexts < 1 || spec.n < 1 || spec.phase_len < 1 then
+    invalid_arg "Dag_gen.instance: positive num_contexts/n/phase_len required";
+  if spec.w < 0 then invalid_arg "Dag_gen.instance: negative w";
+  let nc = spec.num_contexts in
+  (* Layer 0: small random context sets; each deeper node strictly
+     extends one node per parent layer, so edges are valid.  The last
+     layer is completed to the full context set (the mandatory top). *)
+  let nodes = ref [] and edges = ref [] in
+  let id = ref 0 in
+  let add name sat cost =
+    nodes := { Dag_model.name; sat; cost } :: !nodes;
+    incr id;
+    !id - 1
+  in
+  let random_sat ~at_least =
+    let s = Bitset.random (fun () -> Rng.float rng) ~width:nc ~density:0.25 in
+    Bitset.union s at_least
+  in
+  let grow sat =
+    (* Add 1-3 fresh contexts; cap at the full set. *)
+    let missing =
+      List.filter (fun c -> not (Bitset.mem sat c)) (List.init nc Fun.id)
+    in
+    match missing with
+    | [] -> sat
+    | _ ->
+        let arr = Array.of_list missing in
+        let k = min (Array.length arr) (1 + Rng.int rng 3) in
+        let rec pick j acc =
+          if j = k then acc else pick (j + 1) (Bitset.add acc (Rng.pick rng arr))
+        in
+        pick 0 sat
+  in
+  let layer0 =
+    List.init spec.per_layer (fun k ->
+        let sat = random_sat ~at_least:(Bitset.singleton nc (Rng.int rng nc)) in
+        let cost = 1 + Bitset.cardinal sat + Rng.int rng 3 in
+        add (Printf.sprintf "L0.%d" k) sat cost)
+  in
+  let rec build_layer l prev =
+    if l >= spec.layers then prev
+    else
+      let is_last = l = spec.layers - 1 in
+      let layer =
+        List.map
+          (fun parent ->
+            let pnode = List.nth (List.rev !nodes) parent in
+            let sat =
+              if is_last then Bitset.full nc else grow pnode.Dag_model.sat
+            in
+            (* Strict growth is required for edge validity; when grow
+               cannot extend (already full), skip the edge. *)
+            let cost = pnode.Dag_model.cost + 1 + Bitset.cardinal (Bitset.diff sat pnode.Dag_model.sat) in
+            let child = add (Printf.sprintf "L%d.%d" l parent) sat cost in
+            if not (Bitset.equal sat pnode.Dag_model.sat) then
+              edges := (parent, child) :: !edges;
+            child)
+          prev
+      in
+      build_layer (l + 1) layer
+  in
+  ignore (build_layer 1 layer0);
+  let node_arr = Array.of_list (List.rev !nodes) in
+  let model = Dag_model.make ~num_contexts:nc ~w:spec.w node_arr !edges in
+  (* Phased trace: each phase draws from the context set of one random
+     node, so phases are coherent and satisfiable cheaply. *)
+  let trace = Array.make spec.n 0 in
+  let i = ref 0 in
+  while !i < spec.n do
+    let node = node_arr.(Rng.int rng (Array.length node_arr)) in
+    let choices = Array.of_list (Bitset.to_list node.Dag_model.sat) in
+    let len = min (spec.n - !i) (max 1 (spec.phase_len + Rng.int_in rng (-2) 2)) in
+    for _ = 1 to len do
+      trace.(!i) <- Rng.pick rng choices;
+      incr i
+    done
+  done;
+  (model, trace)

@@ -1,0 +1,22 @@
+open Hr_core
+
+(** Random DAG-model instances for the coarse-grained benches.
+
+    Builds layered hypercontext DAGs: context sets grow (by union) and
+    costs grow monotonically along the layers, so the {!Dag_model}
+    validity invariants hold by construction, and a random context-id
+    trace that phases through "cheap" and "expensive" demands. *)
+
+type spec = {
+  layers : int;  (** depth of the DAG (≥ 1) *)
+  per_layer : int;  (** nodes per layer (≥ 1) *)
+  num_contexts : int;  (** size of the context-requirement set C *)
+  w : int;  (** hyperreconfiguration cost *)
+  n : int;  (** trace length *)
+  phase_len : int;  (** trace phase length *)
+}
+
+val default_spec : spec
+
+(** [instance rng spec] is a valid model plus a satisfiable trace. *)
+val instance : Hr_util.Rng.t -> spec -> Dag_model.t * int array

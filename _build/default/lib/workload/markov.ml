@@ -1,0 +1,86 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+type state = { active : Bitset.t; density : float }
+
+type chain = { states : state array; transition : float array array }
+
+let make_chain rng ~space ~states ~self =
+  if states < 1 then invalid_arg "Markov.make_chain: need at least one state";
+  if self < 0. || self > 1. then invalid_arg "Markov.make_chain: self out of [0,1]";
+  let width = Switch_space.size space in
+  let state _ =
+    let active = Bitset.random (fun () -> Rng.float rng) ~width ~density:0.35 in
+    let active =
+      if Bitset.is_empty active && width > 0 then Bitset.add active (Rng.int rng width)
+      else active
+    in
+    { active; density = 0.3 +. (0.5 *. Rng.float rng) }
+  in
+  let spread = if states = 1 then 0. else (1. -. self) /. float_of_int (states - 1) in
+  let transition =
+    Array.init states (fun i ->
+        Array.init states (fun j ->
+            if states = 1 then 1. else if i = j then self else spread))
+  in
+  { states = Array.init states state; transition }
+
+let validate chain =
+  let k = Array.length chain.states in
+  if k = 0 then Error "no states"
+  else if Array.length chain.transition <> k then Error "transition row count"
+  else
+    let bad_row =
+      Array.to_list chain.transition
+      |> List.mapi (fun i row -> (i, row))
+      |> List.find_opt (fun (_, row) ->
+             Array.length row <> k
+             || Array.exists (fun p -> p < 0.) row
+             || Float.abs (Array.fold_left ( +. ) 0. row -. 1.) > 1e-6)
+    in
+    match bad_row with
+    | Some (i, _) -> Error (Printf.sprintf "row %d is not a distribution" i)
+    | None -> Ok ()
+
+let next_state rng chain current =
+  let row = chain.transition.(current) in
+  let u = Rng.float rng in
+  let rec pick i acc =
+    if i >= Array.length row - 1 then i
+    else
+      let acc = acc +. row.(i) in
+      if u < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.
+
+let walk rng chain ~n =
+  let rec go state k acc =
+    if k = 0 then List.rev acc
+    else go (next_state rng chain state) (k - 1) (state :: acc)
+  in
+  go 0 n []
+
+let generate rng chain ~space ~n =
+  (match validate chain with
+  | Error e -> invalid_arg ("Markov.generate: " ^ e)
+  | Ok () -> ());
+  if n < 1 then invalid_arg "Markov.generate: n must be positive";
+  let width = Switch_space.size space in
+  let req state =
+    Bitset.fold
+      (fun x acc -> if Rng.chance rng state.density then Bitset.add acc x else acc)
+      state.active (Bitset.create width)
+  in
+  let reqs =
+    List.map (fun s -> req chain.states.(s)) (walk rng chain ~n)
+  in
+  Trace.make space (Array.of_list reqs)
+
+let dwell_times rng chain ~n =
+  let states = walk rng chain ~n in
+  let rec runs current len = function
+    | [] -> [ len ]
+    | s :: rest -> if s = current then runs current (len + 1) rest else len :: runs s 1 rest
+  in
+  match states with [] -> [] | s :: rest -> runs s 1 rest

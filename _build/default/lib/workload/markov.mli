@@ -1,0 +1,40 @@
+open Hr_core
+
+(** Markov-modulated workloads.
+
+    Phase transitions in real computations are not scheduled; they
+    happen stochastically.  This generator drives the context
+    requirements with a hidden Markov chain over phase states: each
+    state has its own active switch subset and density, and a
+    state-transition matrix governs dwell times.  High self-transition
+    probability produces long, St_opt-friendly phases; a near-uniform
+    matrix degenerates to the adversarial uniform trace. *)
+
+type state = {
+  active : Hr_util.Bitset.t;  (** switches this phase may touch *)
+  density : float;  (** per-step probability of each active switch *)
+}
+
+type chain = {
+  states : state array;
+  transition : float array array;  (** row-stochastic matrix *)
+}
+
+(** [make_chain rng ~space ~states ~self] — random phase states over
+    [space] with self-transition probability [self] and the remaining
+    mass spread uniformly.  Raises on [states < 1] or [self] outside
+    [0,1]. *)
+val make_chain :
+  Hr_util.Rng.t -> space:Switch_space.t -> states:int -> self:float -> chain
+
+(** [validate chain] checks stochasticity (rows sum to 1 ± 1e-6) and
+    dimensions. *)
+val validate : chain -> (unit, string) result
+
+(** [generate rng chain ~space ~n] — an [n]-step trace starting in
+    state 0. *)
+val generate : Hr_util.Rng.t -> chain -> space:Switch_space.t -> n:int -> Trace.t
+
+(** [dwell_times rng chain ~n] — the sequence of phase lengths of one
+    [n]-step realization (for workload characterization tests). *)
+val dwell_times : Hr_util.Rng.t -> chain -> n:int -> int list

@@ -1,0 +1,77 @@
+open Hr_core
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+type spec = {
+  m : int;
+  n : int;
+  local_sizes : int array;
+  phase_len : int;
+  active_fraction : float;
+  density : float;
+}
+
+let default_spec =
+  {
+    m = 4;
+    n = 120;
+    local_sizes = [| 8; 8; 8; 24 |];
+    phase_len = 12;
+    active_fraction = 0.4;
+    density = 0.5;
+  }
+
+let validate spec =
+  if spec.m <= 0 || spec.n <= 0 then invalid_arg "Multi_gen: m and n must be positive";
+  if Array.length spec.local_sizes <> spec.m then
+    invalid_arg "Multi_gen: local_sizes arity mismatch";
+  if spec.phase_len <= 0 then invalid_arg "Multi_gen: phase_len must be positive"
+
+(* Build one task's trace from a list of phase boundaries. *)
+let task_of_boundaries rng spec j boundaries =
+  let space = Switch_space.make spec.local_sizes.(j) in
+  let phases =
+    List.map
+      (fun len ->
+        Synthetic.phase rng ~space ~len ~active_fraction:spec.active_fraction
+          ~density:spec.density)
+      boundaries
+  in
+  Task_set.task ~name:(Printf.sprintf "T%d" (j + 1)) (Synthetic.phased rng space phases)
+
+(* Cut n steps into phases of roughly phase_len. *)
+let schedule rng ~n ~phase_len ~jitter =
+  let rec go remaining acc =
+    if remaining <= 0 then List.rev acc
+    else
+      let len =
+        let base = phase_len + if jitter then Rng.int_in rng (-2) 2 else 0 in
+        min remaining (max 1 base)
+      in
+      go (remaining - len) (len :: acc)
+  in
+  go n []
+
+let independent rng spec =
+  validate spec;
+  Task_set.make
+    (Array.init spec.m (fun j ->
+         let boundaries = schedule rng ~n:spec.n ~phase_len:spec.phase_len ~jitter:true in
+         task_of_boundaries rng spec j boundaries))
+
+let correlated rng spec =
+  validate spec;
+  let boundaries = schedule rng ~n:spec.n ~phase_len:spec.phase_len ~jitter:false in
+  Task_set.make
+    (Array.init spec.m (fun j -> task_of_boundaries rng spec j boundaries))
+
+let priv_demands rng ts ~g_peak =
+  if g_peak < 0 then invalid_arg "Multi_gen.priv_demands: negative peak";
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  Array.init m (fun j ->
+      let trace = (Task_set.get ts j).Task_set.trace in
+      let width = Switch_space.size (Trace.space trace) in
+      Array.init n (fun i ->
+          let used = Bitset.cardinal (Trace.req trace i) in
+          let scaled = if width = 0 then 0 else used * g_peak / width in
+          min g_peak (scaled + if Rng.chance rng 0.2 then 1 else 0)))

@@ -1,0 +1,34 @@
+open Hr_core
+
+(** Synthetic fully synchronized multi-task instances.
+
+    Each task gets its own local switch space and a phased trace; the
+    [correlated] variant aligns phase boundaries across tasks (the
+    friendly case for partial hyperreconfiguration — tasks can
+    hyperreconfigure in lockstep and share the max-ed cost), while
+    [independent] staggers them. *)
+
+type spec = {
+  m : int;  (** number of tasks *)
+  n : int;  (** steps *)
+  local_sizes : int array;  (** switches per task, length m *)
+  phase_len : int;  (** nominal phase length *)
+  active_fraction : float;
+  density : float;
+}
+
+(** [default_spec] — 4 tasks of 8/8/8/24 switches (the SHyRA split),
+    120 steps, phases of 12. *)
+val default_spec : spec
+
+(** [independent rng spec] — per-task phase schedules with random
+    offsets. *)
+val independent : Hr_util.Rng.t -> spec -> Task_set.t
+
+(** [correlated rng spec] — one shared phase schedule for all tasks. *)
+val correlated : Hr_util.Rng.t -> spec -> Task_set.t
+
+(** [with_priv_demand rng ts ~g_peak] wraps a task set into a
+    {!Mt_priv.t}-ready demand profile: per-task integer demands that
+    follow each task's requirement sizes, scaled to peak [g_peak]. *)
+val priv_demands : Hr_util.Rng.t -> Task_set.t -> g_peak:int -> int array array

@@ -1,0 +1,30 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let stretch trace ~factor =
+  if factor < 1 then invalid_arg "Replay.stretch: factor must be >= 1";
+  let n = Trace.length trace in
+  Trace.make (Trace.space trace)
+    (Array.init (n * factor) (fun i -> Trace.req trace (i / factor)))
+
+let repeat trace ~times =
+  if times < 1 then invalid_arg "Replay.repeat: times must be >= 1";
+  let n = Trace.length trace in
+  Trace.make (Trace.space trace)
+    (Array.init (n * times) (fun i -> Trace.req trace (i mod n)))
+
+let interleave a b =
+  let space = Trace.space a in
+  if Switch_space.size space <> Switch_space.size (Trace.space b) then
+    invalid_arg "Replay.interleave: universe mismatch";
+  let na = Trace.length a and nb = Trace.length b in
+  let len = max na nb in
+  let empty = Switch_space.empty space in
+  let pick t n i = if i < n then Trace.req t i else empty in
+  Trace.make space
+    (Array.init (2 * len) (fun i ->
+         if i mod 2 = 0 then pick a na (i / 2) else pick b nb (i / 2)))
+
+let reverse trace =
+  let n = Trace.length trace in
+  Trace.make (Trace.space trace) (Array.init n (fun i -> Trace.req trace (n - 1 - i)))

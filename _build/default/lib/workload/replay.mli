@@ -1,0 +1,32 @@
+open Hr_core
+
+(** Trace transformations — deriving workload variants from measured
+    traces.
+
+    Real evaluations rarely stop at one trace; these combinators derive
+    controlled variants of a measured trace (e.g. the SHyRA counter's)
+    so sweeps can vary one property at a time: temporal stretching
+    (slower phase turnover), interleaving (context switching between
+    two computations on one fabric), and repetition. *)
+
+(** [stretch trace ~factor] repeats every step [factor] times —
+    phases get proportionally longer while the union structure is
+    unchanged.  Hyperreconfiguration amortizes better on stretched
+    traces. *)
+val stretch : Trace.t -> factor:int -> Trace.t
+
+(** [repeat trace ~times] concatenates the trace with itself —
+    loop-structured workloads. *)
+val repeat : Trace.t -> times:int -> Trace.t
+
+(** [interleave a b] alternates steps of [a] and [b] (same universe
+    required; the shorter trace pads with empty requirements) — the
+    adversarial context-switching shape: every plan must keep both
+    computations' working sets available or hyperreconfigure twice per
+    period. *)
+val interleave : Trace.t -> Trace.t -> Trace.t
+
+(** [reverse trace] — plans cost the same on reversed traces under the
+    switch model (the objective is time-symmetric); a property the
+    tests exploit. *)
+val reverse : Trace.t -> Trace.t

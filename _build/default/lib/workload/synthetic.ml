@@ -1,0 +1,61 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+type phase = { len : int; active : Bitset.t; density : float }
+
+let random_subset_of rng active density =
+  Bitset.fold
+    (fun i acc -> if Rng.chance rng density then Bitset.add acc i else acc)
+    active
+    (Bitset.create (Bitset.width active))
+
+let phase rng ~space ~len ~active_fraction ~density =
+  if len <= 0 then invalid_arg "Synthetic.phase: non-positive length";
+  let width = Switch_space.size space in
+  let active = Bitset.random (fun () -> Rng.float rng) ~width ~density:active_fraction in
+  (* Guarantee a non-trivial phase: activate at least one switch. *)
+  let active =
+    if Bitset.is_empty active && width > 0 then Bitset.add active (Rng.int rng width)
+    else active
+  in
+  { len; active; density }
+
+let phased rng space phases =
+  if phases = [] then invalid_arg "Synthetic.phased: no phases";
+  let reqs =
+    List.concat_map
+      (fun p ->
+        if p.len <= 0 then invalid_arg "Synthetic.phased: non-positive phase length";
+        List.init p.len (fun _ -> random_subset_of rng p.active p.density))
+      phases
+  in
+  Trace.make space (Array.of_list reqs)
+
+let uniform rng space ~n ~density =
+  if n <= 0 then invalid_arg "Synthetic.uniform: n must be positive";
+  let width = Switch_space.size space in
+  Trace.make space
+    (Array.init n (fun _ -> Bitset.random (fun () -> Rng.float rng) ~width ~density))
+
+let bursty rng space ~n ~idle_density ~burst_density ~burst_len ~burst_every =
+  if n <= 0 then invalid_arg "Synthetic.bursty: n must be positive";
+  if burst_every <= 0 || burst_len <= 0 then
+    invalid_arg "Synthetic.bursty: burst shape must be positive";
+  let width = Switch_space.size space in
+  let req i =
+    let in_burst = i mod burst_every < burst_len in
+    let density = if in_burst then burst_density else idle_density in
+    Bitset.random (fun () -> Rng.float rng) ~width ~density
+  in
+  Trace.make space (Array.init n req)
+
+let ramp rng space ~n =
+  if n <= 0 then invalid_arg "Synthetic.ramp: n must be positive";
+  let width = Switch_space.size space in
+  let req i =
+    let limit = max 1 (width * (i + 1) / n) in
+    let prefix = Bitset.of_list width (List.init limit Fun.id) in
+    random_subset_of rng prefix 0.5
+  in
+  Trace.make space (Array.init n req)

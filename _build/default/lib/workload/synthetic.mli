@@ -1,0 +1,55 @@
+open Hr_core
+
+(** Synthetic single-task context-requirement traces.
+
+    The paper motivates hyperreconfiguration with computations that
+    "typically consist of different phases that use only small parts of
+    the whole reconfiguration potential"; {!phased} generates exactly
+    that structure.  The other generators provide contrasting shapes
+    for the ablation benches.  All generators are deterministic given
+    the {!Hr_util.Rng.t}. *)
+
+(** One phase of a phased workload. *)
+type phase = {
+  len : int;  (** number of reconfiguration steps *)
+  active : Hr_util.Bitset.t;  (** switches touched during the phase *)
+  density : float;  (** per-step probability of each active switch *)
+}
+
+(** [phase rng ~space ~len ~active_fraction ~density] draws a random
+    phase: an [active_fraction] subset of the universe, used with
+    [density]. *)
+val phase :
+  Hr_util.Rng.t ->
+  space:Switch_space.t ->
+  len:int ->
+  active_fraction:float ->
+  density:float ->
+  phase
+
+(** [phased rng space phases] concatenates per-phase random
+    requirements.  Raises on an empty phase list or non-positive
+    lengths. *)
+val phased : Hr_util.Rng.t -> Switch_space.t -> phase list -> Trace.t
+
+(** [uniform rng space ~n ~density] — every step an independent random
+    subset; the adversarial, phase-free shape where
+    hyperreconfiguration helps least. *)
+val uniform : Hr_util.Rng.t -> Switch_space.t -> n:int -> density:float -> Trace.t
+
+(** [bursty rng space ~n ~idle_density ~burst_density ~burst_len
+    ~burst_every] — a quiet background with periodic dense bursts. *)
+val bursty :
+  Hr_util.Rng.t ->
+  Switch_space.t ->
+  n:int ->
+  idle_density:float ->
+  burst_density:float ->
+  burst_len:int ->
+  burst_every:int ->
+  Trace.t
+
+(** [ramp rng space ~n] — requirements drawn from a prefix of the
+    universe that grows linearly from one switch to all of them;
+    exercises crossover behaviour of the planners. *)
+val ramp : Hr_util.Rng.t -> Switch_space.t -> n:int -> Trace.t

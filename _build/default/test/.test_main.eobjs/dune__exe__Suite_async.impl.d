@@ -1,0 +1,1 @@
+test/suite_async.ml: Alcotest Breakpoints Fun Hr_core Hr_shyra Hr_util Hr_workload Interval_cost List Mt_async Mt_moves Printf QCheck2 St_opt Switch_space Sync_cost Trace Trace_stats Tutil

@@ -1,0 +1,1 @@
+test/suite_bitset.ml: Alcotest Hr_util List QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/suite_changeover.ml: Alcotest Hr_core Hr_evolve Hr_util List Mt_changeover Plan Printf QCheck2 St_changeover Switch_space Task_set Trace Tutil

@@ -1,0 +1,1 @@
+test/suite_classes.ml: Alcotest Array Breakpoints Fun Hr_core Hr_util Interval_cost List Mt_classes Mt_dp Switch_space Sync_cost Task_set Trace Trace_io Tutil

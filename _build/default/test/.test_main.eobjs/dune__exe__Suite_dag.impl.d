@@ -1,0 +1,1 @@
+test/suite_dag.ml: Alcotest Brute Dag_model Hr_core Hr_util Hr_workload Mt_dp St_dag_opt St_opt

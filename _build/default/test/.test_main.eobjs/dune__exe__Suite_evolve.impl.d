@@ -1,0 +1,1 @@
+test/suite_evolve.ml: Alcotest Array Hr_evolve Hr_util List Seq

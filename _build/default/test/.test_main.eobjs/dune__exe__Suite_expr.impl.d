@@ -1,0 +1,1 @@
+test/suite_expr.ml: Alcotest Array Astring Counter Counter_compiled Duo Expr Expr_parse Gray Hr_core Hr_shyra Hr_util Hr_viz List Printf Program QCheck2 QCheck_alcotest Rule90 String Tutil Word

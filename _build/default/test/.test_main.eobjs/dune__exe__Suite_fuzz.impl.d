@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Alcotest Array Astring Breakpoints Fun Grid Hr_core Hr_rmesh Hr_shyra Hr_util List Mt_moves Partition Plan_io Port Printf QCheck2 Trace Tutil

@@ -1,0 +1,1 @@
+test/suite_general.ml: Alcotest General_opt Hr_core Hr_util St_opt Switch_space Trace Tutil

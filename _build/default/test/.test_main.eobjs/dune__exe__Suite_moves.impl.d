@@ -1,0 +1,1 @@
+test/suite_moves.ml: Array Hr_core Hr_util Interval_cost List Mt_moves Printf QCheck2 QCheck_alcotest Tutil

@@ -1,0 +1,1 @@
+test/suite_mt.ml: Alcotest Breakpoints Brute Hr_core Hr_evolve Hr_util Interval_cost List Mt_anneal Mt_dp Mt_ga Mt_greedy Mt_local Printf QCheck2 Switch_space Sync_cost Task_set Trace Tutil

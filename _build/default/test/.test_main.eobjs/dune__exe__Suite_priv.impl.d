@@ -1,0 +1,1 @@
+test/suite_priv.ml: Alcotest Array Cost_eval Hr_core Interval_cost List Mt_priv Switch_space Trace

@@ -1,0 +1,1 @@
+test/suite_rmesh.ml: Alcotest Algos Array Grid Hr_core Hr_rmesh Hr_util List Mesh_tracer Partition Port Printf

@@ -1,0 +1,1 @@
+test/suite_robust.ml: Alcotest Array Breakpoints Hr_core Hr_util Hr_workload Interval_cost Mt_moves Plan Printf QCheck2 Robustness St_opt Switch_space Sync_cost Task_set Trace Tutil

@@ -1,0 +1,1 @@
+test/suite_shyra.ml: Alcotest Array Asm Config Counter Gray Hr_core Hr_shyra Hr_util Lfsr List Lut Machine Parity Program Rule90 Serial_adder Tasks Tracer

@@ -1,0 +1,1 @@
+test/suite_st_opt.ml: Alcotest Breakpoints Brute Fun Hr_core Hr_util List Plan Range_union St_opt Switch_space Task_set Trace Tutil

@@ -1,0 +1,1 @@
+test/suite_sync_cost.ml: Alcotest Array Breakpoints Cost_eval Fun Hr_core Hr_util Interval_cost List Mt_moves Plan Printf QCheck2 Range_union St_opt Switch_space Sync_cost Task_set Trace Tutil

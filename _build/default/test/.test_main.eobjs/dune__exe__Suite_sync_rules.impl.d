@@ -1,0 +1,1 @@
+test/suite_sync_rules.ml: Alcotest Format Hr_core Result String Sync

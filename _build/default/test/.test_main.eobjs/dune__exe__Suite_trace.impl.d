@@ -1,0 +1,1 @@
+test/suite_trace.ml: Alcotest Breakpoints Fun Hr_core Hr_util Hypercontext List Range_union Switch_space Task_set Trace

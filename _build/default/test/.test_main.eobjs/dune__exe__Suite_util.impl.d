@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Fun Hr_util List String

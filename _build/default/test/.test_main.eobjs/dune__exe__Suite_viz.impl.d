@@ -1,0 +1,1 @@
+test/suite_viz.ml: Alcotest Ascii Astring Breakpoints Figures Hr_core Hr_util Hr_viz Interval_cost List String Switch_space Task_set Trace Tutil

@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Dag_gen Dag_model Hr_core Hr_util Hr_workload Multi_gen Printf Range_union Replay St_opt Switch_space Synthetic Task_set Trace

@@ -1,0 +1,1 @@
+test/tutil.ml: Array Hr_core Hr_util Interval_cost List Printf QCheck2 QCheck_alcotest String Switch_space Task_set Trace

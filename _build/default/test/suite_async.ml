@@ -1,0 +1,139 @@
+(* Mt_async (non-synchronized machines) and Trace_stats. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let qcheck_async_is_max_of_solos =
+  Tutil.prop "async optimum = max of per-task optima"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let r = Mt_async.solve ~init_global:5 oracle in
+      let solos =
+        List.init oracle.Interval_cost.m (fun j ->
+            (St_opt.solve_oracle oracle ~task:j).St_opt.cost)
+      in
+      r.Mt_async.cost = 5 + List.fold_left max 0 solos
+      && List.nth solos r.Mt_async.bottleneck = List.fold_left max 0 solos)
+
+let qcheck_async_eval_lower_bounded_by_solve =
+  Tutil.prop "async eval of any plan >= async optimum"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:4)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let rng = Hr_util.Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.3)
+      in
+      Mt_async.eval oracle bp >= (Mt_async.solve oracle).Mt_async.cost)
+
+let qcheck_async_no_worse_than_sync =
+  (* Evaluating the same plan: the async machine overlaps everything the
+     sync machine serializes per step, so async eval <= sync eval (with
+     w = pub = 0, task-parallel). *)
+  Tutil.prop "async eval <= sync eval on the same plan"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:4)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let rng = Hr_util.Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.3)
+      in
+      Mt_async.eval oracle bp <= Sync_cost.eval oracle bp)
+
+let test_async_single_task_reduces () =
+  let space = Switch_space.make 4 in
+  let trace = Trace.of_lists space [ [ 0 ]; [ 1 ]; [ 2; 3 ] ] in
+  let oracle = Interval_cost.of_single ~v:2 trace in
+  let async = Mt_async.solve oracle in
+  let solo, _ = St_opt.solve_trace ~v:2 trace in
+  check int "same" solo.St_opt.cost async.Mt_async.cost
+
+(* ---- Trace_stats ---- *)
+
+let space8 = Switch_space.make 8
+
+let test_stats_basics () =
+  let trace = Trace.of_lists space8 [ [ 0; 1 ]; [ 0; 1 ]; [ 5 ] ] in
+  let s = Trace_stats.analyze trace in
+  check int "n" 3 s.Trace_stats.n;
+  check int "universe" 8 s.Trace_stats.universe;
+  check int "max req" 2 s.Trace_stats.max_req;
+  check int "total union" 3 s.Trace_stats.total_union;
+  check (Alcotest.float 1e-9) "mean req" (5. /. 3.) s.Trace_stats.mean_req
+
+let test_jaccard () =
+  let a = Bitset.of_list 8 [ 0; 1 ] and b = Bitset.of_list 8 [ 1; 2 ] in
+  check (Alcotest.float 1e-9) "1/3" (1. /. 3.) (Trace_stats.jaccard a b);
+  check (Alcotest.float 1e-9) "empty" 1.0
+    (Trace_stats.jaccard (Bitset.create 8) (Bitset.create 8));
+  check (Alcotest.float 1e-9) "identical" 1.0 (Trace_stats.jaccard a a)
+
+let test_working_set () =
+  let trace = Trace.of_lists space8 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  Alcotest.(check (array int)) "window 2" [| 2; 2; 2; 1 |]
+    (Trace_stats.working_set trace ~window:2);
+  Alcotest.(check (array int)) "window 1" [| 1; 1; 1; 1 |]
+    (Trace_stats.working_set trace ~window:1)
+
+let test_phases_detects_boundary () =
+  (* Clean two-phase trace: working sets {0,1} then {6,7}. *)
+  let trace =
+    Trace.of_lists space8 [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 6; 7 ]; [ 6 ]; [ 7 ] ]
+  in
+  let ps = Trace_stats.phases trace in
+  Alcotest.(check bool) "found >= 2 phases" true (List.length ps >= 2);
+  (* Phases tile the trace. *)
+  let covered = List.concat_map (fun (lo, hi) -> List.init (hi - lo + 1) (( + ) lo)) ps in
+  Alcotest.(check (list int)) "tiling" [ 0; 1; 2; 3; 4; 5 ] covered
+
+let qcheck_phases_always_tile =
+  Tutil.prop "phases tile every trace"
+    (Tutil.gen_st_instance ~max_n:20 ~max_width:6)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let ps = Trace_stats.phases trace in
+      let covered =
+        List.concat_map (fun (lo, hi) -> List.init (hi - lo + 1) (( + ) lo)) ps
+      in
+      covered = List.init (Trace.length trace) Fun.id)
+
+let test_counter_trace_is_loop_structured () =
+  (* The counter's field-diff trace must look regular: high consecutive
+     Jaccard similarity relative to a uniform random trace. *)
+  let run = Hr_shyra.Counter.build ~init:0 ~bound:10 () in
+  let counter = Hr_shyra.Tracer.trace run.Hr_shyra.Counter.program in
+  let random =
+    Hr_workload.Synthetic.uniform (Hr_util.Rng.create 3)
+      (Trace.space counter) ~n:(Trace.length counter) ~density:0.4
+  in
+  let sc = Trace_stats.analyze counter and sr = Trace_stats.analyze random in
+  Alcotest.(check bool) "more regular than random" true
+    (sc.Trace_stats.mean_jaccard > sr.Trace_stats.mean_jaccard +. 0.1)
+
+let tests =
+  [
+    qcheck_async_is_max_of_solos;
+    qcheck_async_eval_lower_bounded_by_solve;
+    qcheck_async_no_worse_than_sync;
+    Alcotest.test_case "async m=1" `Quick test_async_single_task_reduces;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "jaccard" `Quick test_jaccard;
+    Alcotest.test_case "working set" `Quick test_working_set;
+    Alcotest.test_case "phase boundary" `Quick test_phases_detects_boundary;
+    qcheck_phases_always_tile;
+    Alcotest.test_case "counter regularity" `Quick test_counter_trace_is_loop_structured;
+  ]

@@ -1,0 +1,151 @@
+(* Changeover-cost variant: union DP correctness and the
+   carrying-a-switch refinement. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let space4 = Switch_space.make 4
+
+let test_cost_of_hand_example () =
+  (* One block {0,1} over 3 steps from empty start, w=2:
+     2 + |{0,1} Δ ∅| + 2*3 = 2 + 2 + 6 = 10 *)
+  let trace = Trace.of_lists space4 [ [ 0 ]; [ 1 ]; [ 0 ] ] in
+  check int "one block" 10
+    (St_changeover.cost_of ~w:2 trace ~breaks:[ 0 ] ~hcs:[ Bitset.of_list 4 [ 0; 1 ] ])
+
+let test_cost_of_validates () =
+  let trace = Trace.of_lists space4 [ [ 0 ]; [ 1 ] ] in
+  Alcotest.check_raises "missing switch"
+    (Invalid_argument "St_changeover.cost_of: step 1 not satisfied") (fun () ->
+      ignore
+        (St_changeover.cost_of ~w:1 trace ~breaks:[ 0 ] ~hcs:[ Bitset.of_list 4 [ 0 ] ]))
+
+let brute_force_union_plans ~w ~initial trace =
+  (* Enumerate all breakpoint sets; hypercontexts = block unions. *)
+  let n = Trace.length trace in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let breaks =
+      0
+      :: List.filter_map
+           (fun i -> if mask land (1 lsl (i - 1)) <> 0 then Some i else None)
+           (List.init (n - 1) (fun k -> k + 1))
+    in
+    let rec blocks = function
+      | [] -> []
+      | [ lo ] -> [ (lo, n - 1) ]
+      | lo :: (next :: _ as rest) -> (lo, next - 1) :: blocks rest
+    in
+    let hcs = List.map (fun (lo, hi) -> Trace.range_union trace lo hi) (blocks breaks) in
+    let c = St_changeover.cost_of ~w ~initial trace ~breaks ~hcs in
+    if c < !best then best := c
+  done;
+  !best
+
+let qcheck_union_dp_optimal =
+  Tutil.prop "changeover union DP matches brute force"
+    (Tutil.gen_st_instance ~max_n:8 ~max_width:4)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let w = inst.Tutil.v in
+      let initial = Bitset.create inst.Tutil.width in
+      let dp = St_changeover.solve_union ~w ~initial trace in
+      let brute = brute_force_union_plans ~w ~initial trace in
+      dp.St_changeover.cost = brute
+      && dp.St_changeover.cost
+         = St_changeover.cost_of ~w ~initial trace ~breaks:dp.St_changeover.breaks
+             ~hcs:dp.St_changeover.hcs)
+
+let test_carrying_beats_union () =
+  (* Switch 0 is needed before and after a single expensive middle step
+     {1..5}.  Every optimal union plan isolates the middle step and pays
+     |{0} Δ {1..5}| = 6 on both boundaries (total 22); carrying switch 0
+     through the middle block costs its length (1) but saves 2 on the
+     changeovers, reaching 21 — strictly better than {e any} union plan.
+     This is the documented regime where minimal hypercontexts stop
+     being optimal under changeover costs. *)
+  let space6 = Switch_space.make 6 in
+  let trace =
+    Trace.of_lists space6 [ [ 0 ]; [ 0 ]; [ 1; 2; 3; 4; 5 ]; [ 0 ]; [ 0 ] ]
+  in
+  let union = St_changeover.solve_union ~w:0 trace in
+  let refined = St_changeover.refine ~w:0 trace union in
+  check int "union best is 22" 22 union.St_changeover.cost;
+  check int "refined reaches 21" 21 refined.St_changeover.cost
+
+let qcheck_refine_never_hurts =
+  Tutil.prop "refine never increases cost and stays valid"
+    (Tutil.gen_st_instance ~max_n:10 ~max_width:5)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let w = inst.Tutil.v in
+      let union = St_changeover.solve_union ~w trace in
+      let refined = St_changeover.refine ~w trace union in
+      refined.St_changeover.cost <= union.St_changeover.cost
+      && refined.St_changeover.cost
+         = St_changeover.cost_of ~w trace ~breaks:refined.St_changeover.breaks
+             ~hcs:refined.St_changeover.hcs)
+
+let test_initial_hypercontext_counts () =
+  (* Starting from a hypercontext that already contains the needed
+     switch removes the first changeover. *)
+  let trace = Trace.of_lists space4 [ [ 0 ] ] in
+  let from_empty = St_changeover.solve_union ~w:1 trace in
+  let from_loaded =
+    St_changeover.solve_union ~w:1 ~initial:(Bitset.of_list 4 [ 0 ]) trace
+  in
+  check int "empty start" (1 + 1 + 1) from_empty.St_changeover.cost;
+  check int "warm start" (1 + 0 + 1) from_loaded.St_changeover.cost
+
+(* ---- multi-task changeover (Mt_changeover) ---- *)
+
+let qcheck_mt_changeover_ga_vs_brute =
+  Tutil.prop "multi-task changeover GA >= brute, evaluates consistently"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:2 ~max_n:5 ~max_width:3)
+       (QCheck2.Gen.int_bound 500))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let ts = Tutil.task_set_of_instance inst in
+      let brute_cost, _ = Mt_changeover.brute ~w:1 ts in
+      let config =
+        { Hr_evolve.Ga.default_config with Hr_evolve.Ga.generations = 60; population = 16 }
+      in
+      let r = Mt_changeover.solve ~w:1 ~config ~rng:(Hr_util.Rng.create seed) ts in
+      r.Mt_changeover.cost >= brute_cost
+      && Mt_changeover.cost_of ~w:1 ts r.Mt_changeover.bp = r.Mt_changeover.cost)
+
+let test_mt_changeover_m1_matches_single () =
+  (* With one task, Mt_changeover.brute must match the single-task
+     union DP. *)
+  let trace = Trace.of_lists space4 [ [ 0 ]; [ 1 ]; [ 0; 2 ]; [ 2 ] ] in
+  let ts = Task_set.single ~name:"t" ~v:2 trace in
+  (* Mt_changeover charges v_j + |change| per hyperreconfiguration (plus
+     a global w once); St_changeover charges w + |change| per block.
+     With v = St's w and Mt's global w = 0 the objectives coincide. *)
+  let brute_cost, _ = Mt_changeover.brute ~w:0 ts in
+  let dp = St_changeover.solve_union ~w:2 trace in
+  check int "same optimum" dp.St_changeover.cost brute_cost
+
+let test_mt_changeover_prefers_aligned_breaks () =
+  let ts = Tutil.sample_task_set () in
+  let r = Mt_changeover.solve ~w:1 ~rng:(Hr_util.Rng.create 4) ts in
+  Alcotest.(check bool) "valid plan" true (Plan.validate r.Mt_changeover.plan ts = Ok ())
+
+let tests =
+  [
+    Alcotest.test_case "hand example" `Quick test_cost_of_hand_example;
+    qcheck_mt_changeover_ga_vs_brute;
+    Alcotest.test_case "mt changeover m=1" `Quick test_mt_changeover_m1_matches_single;
+    Alcotest.test_case "mt changeover plan valid" `Quick test_mt_changeover_prefers_aligned_breaks;
+    Alcotest.test_case "cost_of validates" `Quick test_cost_of_validates;
+    qcheck_union_dp_optimal;
+    Alcotest.test_case "carrying beats union" `Quick test_carrying_beats_union;
+    qcheck_refine_never_hurts;
+    Alcotest.test_case "warm initial hypercontext" `Quick test_initial_hypercontext_counts;
+  ]

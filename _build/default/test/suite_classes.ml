@@ -1,0 +1,153 @@
+(* Machine-class planners (Mt_classes) and trace serialization
+   (Trace_io). *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* Brute force over uniform-column matrices only. *)
+let brute_all_task ?params (oracle : Interval_cost.t) =
+  let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let row = Array.init n (fun i -> i = 0 || mask land (1 lsl (i - 1)) <> 0) in
+    let bp = Breakpoints.of_matrix (Array.init m (fun _ -> Array.copy row)) in
+    best := min !best (Sync_cost.eval ?params oracle bp)
+  done;
+  !best
+
+let qcheck_all_task_optimal =
+  Tutil.prop "solve_all_task matches uniform brute force"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let r = Mt_classes.solve_all_task oracle in
+      r.Mt_classes.cost = brute_all_task oracle
+      && Sync_cost.eval oracle r.Mt_classes.bp = r.Mt_classes.cost)
+
+let qcheck_all_task_sequential_modes =
+  Tutil.prop "solve_all_task exact under sequential uploads"
+    (Tutil.gen_mt_instance ~max_m:2 ~max_n:7 ~max_width:3)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let params =
+        {
+          Sync_cost.w = 0;
+          pub = 2;
+          hyper = Sync_cost.Task_sequential;
+          reconf = Sync_cost.Task_sequential;
+        }
+      in
+      let r = Mt_classes.solve_all_task ~params oracle in
+      r.Mt_classes.cost = brute_all_task ~params oracle)
+
+let qcheck_partial_never_worse =
+  Tutil.prop "unconstrained optimum <= all-task optimum"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let all_task = Mt_classes.solve_all_task oracle in
+      let exact = Mt_dp.solve oracle in
+      exact.Mt_dp.cost <= all_task.Mt_classes.cost)
+
+let test_partial_strictly_better_sometimes () =
+  (* Under task-parallel uploads the hyperreconfiguration term is the
+     max of the v_j over the tasks that actually break, so the all-task
+     class only loses when the v_j are heterogeneous: here task A
+     (v = 2) needs frequent breaks while task B (v = 30) never wants
+     any — forcing B to join every break makes each column cost 30.
+     Unconstrained optimum: 40 (columns 0/2/4, B only at 0); all-task
+     optimum: 48 (never break again after step 0). *)
+  let s = Switch_space.make 6 in
+  let ts =
+    Task_set.make
+      [|
+        Task_set.task ~name:"A" ~v:2
+          (Trace.of_lists s [ [ 0 ]; [ 0 ]; [ 2 ]; [ 2 ]; [ 4 ]; [ 4 ] ]);
+        Task_set.task ~name:"B" ~v:30
+          (Trace.of_lists s [ [ 1 ]; [ 1 ]; [ 1 ]; [ 1 ]; [ 1 ]; [ 1 ] ]);
+      |]
+  in
+  let oracle = Interval_cost.of_task_set ts in
+  let all_task = Mt_classes.solve_all_task oracle in
+  let exact = Mt_dp.solve oracle in
+  check int "unconstrained optimum" 40 exact.Mt_dp.cost;
+  check int "all-task optimum" 48 all_task.Mt_classes.cost
+
+let test_advantage_ordering () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let all_task, partial = Mt_classes.advantage ~rng:(Rng.create 3) oracle in
+  Alcotest.(check bool) "partial <= all-task" true (partial <= all_task)
+
+let test_combined_oracle_values () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let combined = Mt_classes.combined_oracle oracle in
+  check int "m=1" 1 combined.Interval_cost.m;
+  check int "v = max" 3 combined.Interval_cost.v.(0);
+  (* step cost = max over tasks *)
+  check int "step cost"
+    (max (oracle.Interval_cost.step_cost 0 0 2) (oracle.Interval_cost.step_cost 1 0 2))
+    (combined.Interval_cost.step_cost 0 0 2)
+
+(* ---- Trace_io ---- *)
+
+let qcheck_trace_roundtrip =
+  Tutil.prop "Trace_io roundtrips"
+    (Tutil.gen_st_instance ~max_n:12 ~max_width:6)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let trace' = Trace_io.of_string (Trace_io.to_string trace) in
+      Trace.length trace' = Trace.length trace
+      && List.for_all
+           (fun i ->
+             Hr_util.Bitset.equal (Trace.req trace i) (Trace.req trace' i))
+           (List.init (Trace.length trace) Fun.id))
+
+let test_trace_io_preserves_names () =
+  let space = Switch_space.make ~names:[| "alpha"; "beta" |] 2 in
+  let trace = Trace.of_lists space [ [ 0 ]; [ 1; 0 ] ] in
+  let trace' = Trace_io.of_string (Trace_io.to_string trace) in
+  check Alcotest.string "name" "beta" (Switch_space.name (Trace.space trace') 1)
+
+let test_trace_io_comments_and_empty_steps () =
+  let s = "# a comment\ntrace 3 2\na b c\n0 2   # trailing comment\n\n" in
+  let trace = Trace_io.of_string s in
+  check int "n" 2 (Trace.length trace);
+  Alcotest.(check (list int)) "step 0" [ 0; 2 ]
+    (Hr_util.Bitset.to_list (Trace.req trace 0));
+  Alcotest.(check (list int)) "step 1 empty" []
+    (Hr_util.Bitset.to_list (Trace.req trace 1))
+
+let test_trace_io_errors () =
+  let expect_failure s =
+    match Trace_io.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "accepted malformed input %S" s
+  in
+  expect_failure "trace x 2\na b\n1\n2";
+  expect_failure "trace 2 1\na\n0";
+  expect_failure "trace 2 2\na b\n0";
+  expect_failure "trace 2 1\na b\n7";
+  expect_failure ""
+
+let tests =
+  [
+    qcheck_all_task_optimal;
+    qcheck_all_task_sequential_modes;
+    qcheck_partial_never_worse;
+    Alcotest.test_case "partial strictly better" `Quick test_partial_strictly_better_sometimes;
+    Alcotest.test_case "advantage ordering" `Quick test_advantage_ordering;
+    Alcotest.test_case "combined oracle" `Quick test_combined_oracle_values;
+    qcheck_trace_roundtrip;
+    Alcotest.test_case "trace io names" `Quick test_trace_io_preserves_names;
+    Alcotest.test_case "trace io comments" `Quick test_trace_io_comments_and_empty_steps;
+    Alcotest.test_case "trace io errors" `Quick test_trace_io_errors;
+  ]

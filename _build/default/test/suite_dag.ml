@@ -1,0 +1,155 @@
+(* Dag_model validity rules and St_dag_opt optimality. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* A 3-level routability chain over 4 context ids:
+   low {0} cost 1 -> medium {0,1,2} cost 3 -> good {0,1,2,3} cost 6. *)
+let chain3 ~w =
+  Dag_model.chain ~num_contexts:4 ~w
+    ~costs:[| 1; 3; 6 |]
+    ~sats:
+      [|
+        Bitset.of_list 4 [ 0 ];
+        Bitset.of_list 4 [ 0; 1; 2 ];
+        Bitset.full 4;
+      |]
+
+let test_chain_structure () =
+  let m = chain3 ~w:5 in
+  check int "nodes" 3 (Dag_model.num_nodes m);
+  Alcotest.(check bool) "low satisfies 0" true (Dag_model.satisfies m 0 0);
+  Alcotest.(check bool) "low misses 3" false (Dag_model.satisfies m 0 3);
+  Alcotest.(check (list int)) "minimal for 0" [ 0 ] (Dag_model.minimal_satisfying m 0);
+  Alcotest.(check (list int)) "minimal for 1" [ 1 ] (Dag_model.minimal_satisfying m 1);
+  Alcotest.(check (list int)) "minimal for 3" [ 2 ] (Dag_model.minimal_satisfying m 3)
+
+let test_cheapest_for () =
+  let m = chain3 ~w:5 in
+  check (Alcotest.option int) "cheapest {0}" (Some 0) (Dag_model.cheapest_for m [ 0 ]);
+  check (Alcotest.option int) "cheapest {1}" (Some 1) (Dag_model.cheapest_for m [ 1 ]);
+  check (Alcotest.option int) "cheapest {0;3}" (Some 2) (Dag_model.cheapest_for m [ 0; 3 ])
+
+let test_make_rejects_bad_edge () =
+  let nodes =
+    [|
+      { Dag_model.name = "a"; sat = Bitset.of_list 2 [ 0 ]; cost = 5 };
+      { Dag_model.name = "b"; sat = Bitset.full 2; cost = 3 };
+    |]
+  in
+  Alcotest.check_raises "cost must grow"
+    (Invalid_argument "Dag_model.make: edge (0,1) violates cost monotonicity")
+    (fun () -> ignore (Dag_model.make ~num_contexts:2 ~w:1 nodes [ (0, 1) ]))
+
+let test_make_rejects_non_strict_containment () =
+  let nodes =
+    [|
+      { Dag_model.name = "a"; sat = Bitset.full 2; cost = 1 };
+      { Dag_model.name = "b"; sat = Bitset.full 2; cost = 2 };
+    |]
+  in
+  Alcotest.check_raises "strict subset required"
+    (Invalid_argument "Dag_model.make: edge (0,1) violates h1(C) \xE2\x8A\x82 h2(C)")
+    (fun () -> ignore (Dag_model.make ~num_contexts:2 ~w:1 nodes [ (0, 1) ]))
+
+let test_make_rejects_cycle () =
+  (* A cycle cannot have strictly growing context sets, so it is always
+     rejected — on the containment rule at the latest. *)
+  let nodes =
+    [|
+      { Dag_model.name = "a"; sat = Bitset.of_list 2 [ 0 ]; cost = 1 };
+      { Dag_model.name = "top"; sat = Bitset.full 2; cost = 2 };
+    |]
+  in
+  match Dag_model.make ~num_contexts:2 ~w:1 nodes [ (0, 1); (1, 0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cyclic precedence accepted"
+
+let test_make_requires_top () =
+  let nodes = [| { Dag_model.name = "a"; sat = Bitset.of_list 2 [ 0 ]; cost = 1 } |] in
+  Alcotest.check_raises "no top"
+    (Invalid_argument "Dag_model.make: no hypercontext satisfies every context requirement")
+    (fun () -> ignore (Dag_model.make ~num_contexts:2 ~w:1 nodes []))
+
+let test_dag_dp_prefers_cheap_phases () =
+  let m = chain3 ~w:2 in
+  (* Phase of context 0 then a phase needing the top. *)
+  let seq = [| 0; 0; 0; 3; 3 |] in
+  let r = St_dag_opt.solve m seq in
+  Alcotest.(check (list int)) "split at phase" [ 0; 3 ] r.St_dag_opt.breaks;
+  Alcotest.(check (list int)) "nodes low,top" [ 0; 2 ] r.St_dag_opt.nodes;
+  check int "cost" (2 + (1 * 3) + 2 + (6 * 2)) r.St_dag_opt.cost
+
+let test_dag_dp_merges_when_w_large () =
+  let m = chain3 ~w:100 in
+  let seq = [| 0; 0; 0; 3; 3 |] in
+  let r = St_dag_opt.solve m seq in
+  Alcotest.(check (list int)) "one block" [ 0 ] r.St_dag_opt.breaks;
+  check int "cost" (100 + (6 * 5)) r.St_dag_opt.cost
+
+let test_greedy_never_better () =
+  let rng = Rng.create 23 in
+  for seed = 0 to 20 do
+    ignore seed;
+    let model, seq =
+      Hr_workload.Dag_gen.instance rng
+        { Hr_workload.Dag_gen.default_spec with Hr_workload.Dag_gen.n = 40 }
+    in
+    let opt = St_dag_opt.solve model seq in
+    let greedy = St_dag_opt.greedy model seq in
+    if greedy.St_dag_opt.cost < opt.St_dag_opt.cost then
+      Alcotest.failf "greedy %d beat optimal %d" greedy.St_dag_opt.cost
+        opt.St_dag_opt.cost;
+    (* Both plans must re-evaluate to their claimed costs. *)
+    let recost r =
+      St_dag_opt.cost_of model seq ~breaks:r.St_dag_opt.breaks ~nodes:r.St_dag_opt.nodes
+    in
+    check int "opt recost" opt.St_dag_opt.cost (recost opt);
+    check int "greedy recost" greedy.St_dag_opt.cost (recost greedy)
+  done
+
+let test_dag_dp_vs_oracle_st_opt () =
+  (* The DAG oracle + generic single-task DP must agree with
+     St_dag_opt. *)
+  let rng = Rng.create 7 in
+  let model, seq =
+    Hr_workload.Dag_gen.instance rng
+      { Hr_workload.Dag_gen.default_spec with Hr_workload.Dag_gen.n = 30 }
+  in
+  let direct = St_dag_opt.solve model seq in
+  let oracle = Dag_model.oracle ~v:[| Dag_model.w model |] [| model |] [| seq |] in
+  let via_oracle = St_opt.solve_oracle oracle ~task:0 in
+  check int "same optimum" direct.St_dag_opt.cost via_oracle.St_opt.cost
+
+let test_mt_dag_exact () =
+  (* Two tasks with their own chains; exact DP through the oracle must
+     match brute force. *)
+  let m1 = chain3 ~w:2 in
+  let m2 =
+    Dag_model.chain ~num_contexts:2 ~w:3 ~costs:[| 2; 4 |]
+      ~sats:[| Bitset.of_list 2 [ 1 ]; Bitset.full 2 |]
+  in
+  let seqs = [| [| 0; 1; 3; 0 |]; [| 1; 0; 1; 1 |] |] in
+  let oracle = Dag_model.oracle ~v:[| 2; 3 |] [| m1; m2 |] seqs in
+  let brute_cost, _ = Brute.multi oracle in
+  let dp = Mt_dp.solve oracle in
+  check int "exact = brute" brute_cost dp.Mt_dp.cost
+
+let tests =
+  [
+    Alcotest.test_case "chain structure" `Quick test_chain_structure;
+    Alcotest.test_case "cheapest_for" `Quick test_cheapest_for;
+    Alcotest.test_case "rejects bad edge" `Quick test_make_rejects_bad_edge;
+    Alcotest.test_case "rejects non-strict" `Quick test_make_rejects_non_strict_containment;
+    Alcotest.test_case "rejects cycle" `Quick test_make_rejects_cycle;
+    Alcotest.test_case "requires top" `Quick test_make_requires_top;
+    Alcotest.test_case "dp prefers cheap phases" `Quick test_dag_dp_prefers_cheap_phases;
+    Alcotest.test_case "dp merges when w large" `Quick test_dag_dp_merges_when_w_large;
+    Alcotest.test_case "greedy never better" `Quick test_greedy_never_better;
+    Alcotest.test_case "dp via oracle" `Quick test_dag_dp_vs_oracle_st_opt;
+    Alcotest.test_case "multi-task dag exact" `Quick test_mt_dag_exact;
+  ]

@@ -1,0 +1,115 @@
+(* Generic metaheuristic engines on a transparent toy problem:
+   minimize the number of set bits in a boolean genome. *)
+
+module Ga = Hr_evolve.Ga
+module Anneal = Hr_evolve.Anneal
+module Hillclimb = Hr_evolve.Hillclimb
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let genome_len = 24
+
+let onemax_problem =
+  {
+    Ga.random = (fun rng -> Array.init genome_len (fun _ -> Rng.bool rng));
+    cost = (fun g -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 g);
+    crossover =
+      (fun rng a b -> Array.init genome_len (fun i -> if Rng.bool rng then a.(i) else b.(i)));
+    mutate =
+      (fun rng g ->
+        let g = Array.copy g in
+        let i = Rng.int rng genome_len in
+        g.(i) <- not g.(i);
+        g);
+  }
+
+let test_ga_solves_onemax () =
+  let config = { Ga.default_config with Ga.generations = 300; population = 30 } in
+  let r = Ga.run ~config (Rng.create 3) onemax_problem in
+  check int "optimum found" 0 r.Ga.best_cost
+
+let test_ga_seeds_injected () =
+  (* Seeding with the optimum makes generation 0 optimal already. *)
+  let config = { Ga.default_config with Ga.generations = 1; population = 8 } in
+  let seeds = [ Array.make genome_len false ] in
+  let r = Ga.run ~config ~seeds (Rng.create 1) onemax_problem in
+  check int "optimal from seed" 0 r.Ga.best_cost
+
+let test_ga_patience_stops_early () =
+  let config =
+    { Ga.default_config with Ga.generations = 10_000; population = 8; patience = Some 5 }
+  in
+  let seeds = [ Array.make genome_len false ] in
+  let r = Ga.run ~config ~seeds (Rng.create 1) onemax_problem in
+  (* 8 initial evals + at most (5+1) generations of <= 8 children. *)
+  Alcotest.(check bool) "stopped early" true (r.Ga.evaluations <= 8 + (6 * 8))
+
+let test_ga_history_ends_at_best () =
+  let config = { Ga.default_config with Ga.generations = 100; population = 16 } in
+  let r = Ga.run ~config (Rng.create 9) onemax_problem in
+  match List.rev r.Ga.history with
+  | (_, last) :: _ -> check int "history tail = best" r.Ga.best_cost last
+  | [] -> Alcotest.fail "empty history"
+
+let test_ga_validates_config () =
+  Alcotest.check_raises "population" (Invalid_argument "Ga.run: population must be >= 2")
+    (fun () ->
+      ignore (Ga.run ~config:{ Ga.default_config with Ga.population = 1 } (Rng.create 0) onemax_problem))
+
+let anneal_problem =
+  { Anneal.cost = onemax_problem.Ga.cost; neighbor = onemax_problem.Ga.mutate }
+
+let test_anneal_improves () =
+  let init = Array.make genome_len true in
+  let config = { Anneal.default_config with Anneal.steps = 5000 } in
+  let r = Anneal.run ~config (Rng.create 4) anneal_problem ~init in
+  Alcotest.(check bool) "improved a lot" true (r.Anneal.best_cost <= 4);
+  check int "eval count"
+    (5000 + 1)
+    r.Anneal.evaluations
+
+let test_anneal_restarts_counted () =
+  let init = Array.make genome_len true in
+  let config = { Anneal.default_config with Anneal.steps = 100; restarts = 3 } in
+  let r = Anneal.run ~config (Rng.create 4) anneal_problem ~init in
+  check int "3 restarts worth of evals" (3 * 101) r.Anneal.evaluations
+
+let test_hillclimb_exact_on_onemax () =
+  (* The 1-flip neighborhood solves onemax exactly. *)
+  let neighbors g =
+    Seq.init genome_len (fun i ->
+        let g' = Array.copy g in
+        g'.(i) <- not g'.(i);
+        g')
+  in
+  let problem = { Hillclimb.cost = onemax_problem.Ga.cost; neighbors } in
+  let r = Hillclimb.run problem ~init:(Array.make genome_len true) in
+  check int "optimum" 0 r.Hillclimb.best_cost;
+  check int "rounds = bits flipped" genome_len r.Hillclimb.rounds
+
+let test_hillclimb_max_rounds () =
+  let neighbors g =
+    Seq.init genome_len (fun i ->
+        let g' = Array.copy g in
+        g'.(i) <- not g'.(i);
+        g')
+  in
+  let problem = { Hillclimb.cost = onemax_problem.Ga.cost; neighbors } in
+  let r = Hillclimb.run ~max_rounds:3 problem ~init:(Array.make genome_len true) in
+  check int "stopped at 3" 3 r.Hillclimb.rounds;
+  check int "partial progress" (genome_len - 3) r.Hillclimb.best_cost
+
+let tests =
+  [
+    Alcotest.test_case "ga solves onemax" `Quick test_ga_solves_onemax;
+    Alcotest.test_case "ga seeds" `Quick test_ga_seeds_injected;
+    Alcotest.test_case "ga patience" `Quick test_ga_patience_stops_early;
+    Alcotest.test_case "ga history tail" `Quick test_ga_history_ends_at_best;
+    Alcotest.test_case "ga config validation" `Quick test_ga_validates_config;
+    Alcotest.test_case "anneal improves" `Quick test_anneal_improves;
+    Alcotest.test_case "anneal restarts" `Quick test_anneal_restarts_counted;
+    Alcotest.test_case "hillclimb exact" `Quick test_hillclimb_exact_on_onemax;
+    Alcotest.test_case "hillclimb max rounds" `Quick test_hillclimb_max_rounds;
+  ]

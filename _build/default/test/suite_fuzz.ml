@@ -1,0 +1,154 @@
+(* Fuzzing: random SHyRA programs and random mesh configurations must
+   uphold the structural invariants, and Plan_io round-trips. *)
+
+open Hr_core
+module Shyra = Hr_shyra
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+(* Generator of syntactically valid random instruction streams. *)
+let gen_program =
+  let open QCheck2.Gen in
+  let gen_lut = map Shyra.Lut.of_table (int_bound 255) in
+  let gen_instr =
+    oneof
+      [
+        map (fun l -> Shyra.Asm.Lut1 l) gen_lut;
+        map (fun l -> Shyra.Asm.Lut2 l) gen_lut;
+        map2 (fun l r -> Shyra.Asm.Sel (l, r)) (int_bound 5) (int_bound 9);
+        map2
+          (fun l r -> Shyra.Asm.Route (l, if r = 10 then None else Some r))
+          (int_bound 1) (int_bound 10);
+      ]
+  in
+  (* Cycles of a few instructions each, each ending in a commit. *)
+  list_size (int_range 1 12)
+    (map2
+       (fun instrs k -> instrs @ [ Shyra.Asm.Commit (Printf.sprintf "c%d" k) ])
+       (list_size (int_bound 6) gen_instr)
+       (int_bound 99))
+  |> map List.concat
+
+let show_program instrs = Shyra.Asm_text.print instrs
+
+(* Route collisions are rejected by Config.make at commit time; a fuzzed
+   stream may legitimately produce them, so assembly either succeeds or
+   raises that specific error. *)
+let try_assemble instrs =
+  match Shyra.Asm.assemble instrs with
+  | program -> Some program
+  | exception Invalid_argument msg
+    when Astring.String.is_infix ~affix:"DeMUX" msg ->
+      None
+
+let prop_fuzz_asm_invariants =
+  Tutil.prop "fuzzed programs assemble, run and trace consistently" gen_program
+    show_program
+    (fun instrs ->
+      match try_assemble instrs with
+      | None -> true
+      | Some program ->
+          let n = Shyra.Program.length program in
+          let commits =
+            List.length
+              (List.filter (function Shyra.Asm.Commit _ -> true | _ -> false) instrs)
+          in
+          (* One cycle per commit. *)
+          n = commits
+          && (* The machine never corrupts register-file arity. *)
+          Array.length (Shyra.Machine.registers (Shyra.Program.run program (Shyra.Machine.create ()))) = 10
+          && (* Trace extraction: diff ⊆ field-diff at every step, widths
+                are the configuration width. *)
+          (let diff = Shyra.Tracer.trace ~mode:Shyra.Tracer.Diff program in
+           let field = Shyra.Tracer.trace ~mode:Shyra.Tracer.Field_diff program in
+           List.for_all
+             (fun i ->
+               Bitset.subset (Trace.req diff i) (Trace.req field i)
+               && Bitset.width (Trace.req diff i) = 48)
+             (List.init n Fun.id))
+          && (* Text round-trip preserves the program. *)
+          (match Shyra.Asm_text.parse (Shyra.Asm_text.print instrs) with
+          | Ok reparsed -> reparsed = instrs
+          | Error _ -> false))
+
+let prop_fuzz_mesh_buses =
+  (* Random mesh configurations: bus ids are total, stable under
+     re-resolution, and respect PE-internal fusing and neighbour
+     wiring. *)
+  Tutil.prop "fuzzed mesh configurations resolve consistently"
+    QCheck2.Gen.(
+      triple (int_range 1 5) (int_range 1 5)
+        (pair (int_bound 10_000) (int_bound 10_000)))
+    (fun (r, c, (s1, s2)) -> Printf.sprintf "rows=%d cols=%d seeds=%d,%d" r c s1 s2)
+    (fun (rows, cols, (s1, _)) ->
+      let open Hr_rmesh in
+      let rng = Rng.create s1 in
+      let grid = Grid.create ~rows ~cols in
+      let config =
+        Array.init rows (fun _ ->
+            Array.init cols (fun _ -> Partition.of_code (Rng.int rng 15)))
+      in
+      let buses = Grid.resolve grid config in
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          (* Fused ports share a bus; unfused ports may or may not
+             (they can reconnect through neighbours). *)
+          List.iter
+            (fun group ->
+              match group with
+              | first :: rest ->
+                  List.iter
+                    (fun p ->
+                      if
+                        Grid.bus_id buses ~row:r ~col:c p
+                        <> Grid.bus_id buses ~row:r ~col:c first
+                      then ok := false)
+                    rest
+              | [] -> ())
+            (Partition.groups config.(r).(c));
+          (* Neighbour wiring. *)
+          if
+            c + 1 < cols
+            && Grid.bus_id buses ~row:r ~col:c Port.E
+               <> Grid.bus_id buses ~row:r ~col:(c + 1) Port.W
+          then ok := false;
+          if
+            r + 1 < rows
+            && Grid.bus_id buses ~row:r ~col:c Port.S
+               <> Grid.bus_id buses ~row:(r + 1) ~col:c Port.N
+          then ok := false
+        done
+      done;
+      (* Bus count is within bounds. *)
+      !ok
+      && Grid.num_buses buses >= 1
+      && Grid.num_buses buses <= rows * cols * 4)
+
+let prop_plan_io_roundtrip =
+  Tutil.prop "Plan_io roundtrips"
+    QCheck2.Gen.(triple (int_range 1 5) (int_range 1 12) (int_bound 10_000))
+    (fun (m, n, seed) -> Printf.sprintf "m=%d n=%d seed=%d" m n seed)
+    (fun (m, n, seed) ->
+      let rng = Rng.create seed in
+      let bp = Breakpoints.of_matrix (Mt_moves.random rng ~m ~n ~density:0.4) in
+      Breakpoints.equal bp (Plan_io.of_string (Plan_io.to_string bp)))
+
+let test_plan_io_errors () =
+  let bad =
+    [ ""; "plan 1 2\n.#"; "plan 2 2\n#."; "plan 1 2\n#x"; "plan 1 3\n##" ]
+  in
+  List.iter
+    (fun s ->
+      match Plan_io.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    bad
+
+let tests =
+  [
+    prop_fuzz_asm_invariants;
+    prop_fuzz_mesh_buses;
+    prop_plan_io_roundtrip;
+    Alcotest.test_case "plan io errors" `Quick test_plan_io_errors;
+  ]

@@ -1,0 +1,127 @@
+(* General cost model: explicit-H DP, monotone DP, and the
+   non-monotone gap that exhibits where the hardness lives. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let space3 = Switch_space.make 3
+
+let test_explicit_basic () =
+  (* Two hypercontexts: cheap one satisfies only small requirements,
+     expensive one everything. *)
+  let hcs =
+    [|
+      {
+        General_opt.name = "small";
+        init = 2;
+        cost = 1;
+        sat = (fun c -> Bitset.subset c (Bitset.of_list 3 [ 0 ]));
+      };
+      { General_opt.name = "big"; init = 4; cost = 3; sat = (fun _ -> true) };
+    |]
+  in
+  let trace = Trace.of_lists space3 [ [ 0 ]; [ 0 ]; [ 1; 2 ]; [ 0 ]; [ 0 ] ] in
+  let r, chosen = General_opt.solve_explicit hcs trace in
+  (* small(2 steps) + big(1) + small(2): (2+2) + (4+3) + (2+2) = 15;
+     the runner-ups are [big for the whole tail] = 17 and
+     [big everywhere] = 4 + 15 = 19, so the optimum is unique. *)
+  check int "cost" 15 r.General_opt.cost;
+  Alcotest.(check (list int)) "chosen" [ 0; 1; 0 ] chosen;
+  Alcotest.(check (list int)) "breaks" [ 0; 2; 3 ] r.General_opt.breaks
+
+let test_explicit_unsatisfiable () =
+  let hcs =
+    [|
+      {
+        General_opt.name = "only0";
+        init = 1;
+        cost = 1;
+        sat = (fun c -> Bitset.subset c (Bitset.of_list 3 [ 0 ]));
+      };
+    |]
+  in
+  let trace = Trace.of_lists space3 [ [ 1 ] ] in
+  Alcotest.check_raises "unsatisfiable"
+    (Invalid_argument
+       "General_opt: some context requirement is satisfiable by no hypercontext")
+    (fun () -> ignore (General_opt.solve_explicit hcs trace))
+
+let test_monotone_matches_switch_model () =
+  (* With init = const v and cost = cardinal, the monotone general DP
+     is exactly the switch model DP. *)
+  let trace = Trace.of_lists space3 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1 ] ] in
+  let v = 3 in
+  let mono =
+    General_opt.solve_monotone ~init:(fun _ -> v) ~cost:Bitset.cardinal trace
+  in
+  let st, _ = St_opt.solve_trace ~v trace in
+  check int "agree" st.St_opt.cost mono.General_opt.cost
+
+let qcheck_monotone_matches_switch =
+  Tutil.prop "monotone general DP = switch DP"
+    (Tutil.gen_st_instance ~max_n:10 ~max_width:5)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let mono =
+        General_opt.solve_monotone
+          ~init:(fun _ -> inst.Tutil.v)
+          ~cost:Bitset.cardinal trace
+      in
+      let st, _ = St_opt.solve_trace ~v:inst.Tutil.v trace in
+      mono.General_opt.cost = st.St_opt.cost)
+
+let qcheck_tiny_never_worse_than_monotone =
+  (* solve_tiny searches a superset of solve_monotone's plans. *)
+  Tutil.prop "exhaustive optimum <= monotone optimum"
+    (Tutil.gen_st_instance ~max_n:6 ~max_width:4)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let init _ = inst.Tutil.v and cost = Bitset.cardinal in
+      let tiny = General_opt.solve_tiny ~init ~cost trace in
+      let mono = General_opt.solve_monotone ~init ~cost trace in
+      tiny.General_opt.cost <= mono.General_opt.cost)
+
+let qcheck_tiny_equals_monotone_when_monotone =
+  (* For genuinely monotone costs the exhaustive optimum uses unions,
+     so both must agree. *)
+  Tutil.prop "exhaustive = monotone for monotone costs"
+    (Tutil.gen_st_instance ~max_n:5 ~max_width:4)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let init h = inst.Tutil.v + Bitset.cardinal h and cost = Bitset.cardinal in
+      let tiny = General_opt.solve_tiny ~init ~cost trace in
+      let mono = General_opt.solve_monotone ~init ~cost trace in
+      tiny.General_opt.cost = mono.General_opt.cost)
+
+let test_non_monotone_gap () =
+  (* A non-monotone cost function where the union-based plan is
+     suboptimal: cost() rewards one specific *larger* hypercontext.
+     This is the regime where the implicit general problem is
+     NP-complete and union-restricted reasoning breaks down. *)
+  let full = Bitset.full 3 in
+  let cost h = if Bitset.equal h full then 1 else Bitset.cardinal h + 1 in
+  let init _ = 2 in
+  let trace = Trace.of_lists space3 [ [ 0 ]; [ 1 ] ] in
+  (* Unions: block {0},{1} separately: 2+2 + 2+2 = 8; merged union {0,1}:
+     2 + 3*2 = 8.  Exhaustive can pick the full set: 2 + 1*2 = 4. *)
+  let mono = General_opt.solve_monotone ~init ~cost trace in
+  let tiny = General_opt.solve_tiny ~init ~cost trace in
+  check int "monotone stuck at 8" 8 mono.General_opt.cost;
+  check int "exhaustive finds 4" 4 tiny.General_opt.cost
+
+let tests =
+  [
+    Alcotest.test_case "explicit basic" `Quick test_explicit_basic;
+    Alcotest.test_case "explicit unsatisfiable" `Quick test_explicit_unsatisfiable;
+    Alcotest.test_case "monotone = switch" `Quick test_monotone_matches_switch_model;
+    qcheck_monotone_matches_switch;
+    qcheck_tiny_never_worse_than_monotone;
+    qcheck_tiny_equals_monotone_when_monotone;
+    Alcotest.test_case "non-monotone gap" `Quick test_non_monotone_gap;
+  ]

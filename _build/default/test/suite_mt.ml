@@ -1,0 +1,214 @@
+(* Multi-task optimizers: exact DP vs brute force, metaheuristic
+   sanity, heuristic baselines. *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let qcheck_mt_dp_matches_brute =
+  Tutil.prop "Mt_dp matches Brute.multi"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let brute_cost, _ = Brute.multi oracle in
+      let dp = Mt_dp.solve oracle in
+      dp.Mt_dp.exact && dp.Mt_dp.cost = brute_cost
+      && Sync_cost.eval oracle dp.Mt_dp.bp = dp.Mt_dp.cost)
+
+let qcheck_mt_dp_sequential_modes =
+  Tutil.prop "Mt_dp exact under sequential uploads"
+    (Tutil.gen_mt_instance ~max_m:2 ~max_n:5 ~max_width:3)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let params =
+        {
+          Sync_cost.w = 0;
+          pub = 1;
+          hyper = Sync_cost.Task_sequential;
+          reconf = Sync_cost.Task_sequential;
+        }
+      in
+      let brute_cost, _ = Brute.multi ~params oracle in
+      let dp = Mt_dp.solve ~params oracle in
+      dp.Mt_dp.cost = brute_cost)
+
+let qcheck_mt_dp_with_upper_bound =
+  Tutil.prop "Mt_dp with heuristic upper bound stays exact"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let ub = (Mt_greedy.best oracle).Mt_greedy.cost in
+      let brute_cost, _ = Brute.multi oracle in
+      (Mt_dp.solve ~upper_bound:ub oracle).Mt_dp.cost = brute_cost)
+
+let qcheck_ga_never_beats_exact =
+  Tutil.prop "GA cost >= exact and is consistent"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let exact = (Mt_dp.solve oracle).Mt_dp.cost in
+      let config =
+        { Hr_evolve.Ga.default_config with Hr_evolve.Ga.generations = 40; population = 16 }
+      in
+      let ga = Mt_ga.solve ~config ~rng:(Rng.create seed) oracle in
+      ga.Mt_ga.cost >= exact
+      && Sync_cost.eval oracle ga.Mt_ga.bp = ga.Mt_ga.cost)
+
+let test_ga_finds_optimum_on_phased_instance () =
+  (* Crisp two-phase instance where the optimum is the phase split; the
+     GA must find it (it is seeded with per-task optima). *)
+  let space = Switch_space.make 6 in
+  let mk l = Trace.of_lists space l in
+  let ts =
+    Task_set.make
+      [|
+        Task_set.task ~name:"A" ~v:2
+          (mk [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 4 ]; [ 5 ]; [ 4; 5 ] ]);
+        Task_set.task ~name:"B" ~v:2
+          (mk [ [ 2 ]; [ 2 ]; [ 3 ]; [ 0 ]; [ 0 ]; [ 1 ] ]);
+      |]
+  in
+  let oracle = Interval_cost.of_task_set ts in
+  let exact = Mt_dp.solve oracle in
+  let ga = Mt_ga.solve ~rng:(Rng.create 1) oracle in
+  check int "ga = exact" exact.Mt_dp.cost ga.Mt_ga.cost
+
+let test_ga_deterministic_given_seed () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let config =
+    { Hr_evolve.Ga.default_config with Hr_evolve.Ga.generations = 30; population = 12 }
+  in
+  let a = Mt_ga.solve ~config ~rng:(Rng.create 5) oracle in
+  let b = Mt_ga.solve ~config ~rng:(Rng.create 5) oracle in
+  check int "same cost" a.Mt_ga.cost b.Mt_ga.cost;
+  Alcotest.(check bool) "same plan" true (Breakpoints.equal a.Mt_ga.bp b.Mt_ga.bp)
+
+let test_ga_history_monotone () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let ga = Mt_ga.solve ~rng:(Rng.create 2) oracle in
+  let costs = List.map snd ga.Mt_ga.history in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly improving history" true (decreasing costs)
+
+let qcheck_anneal_and_local_sane =
+  Tutil.prop "anneal/local >= exact, <= their init"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:2 ~max_n:5 ~max_width:4)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let oracle = Tutil.oracle_of_instance inst in
+      let exact = (Mt_dp.solve oracle).Mt_dp.cost in
+      let init = Mt_greedy.best oracle in
+      let config = { Hr_evolve.Anneal.default_config with Hr_evolve.Anneal.steps = 500 } in
+      let a = Mt_anneal.solve ~config ~rng:(Rng.create seed) oracle in
+      let l = Mt_local.solve oracle in
+      a.Mt_anneal.cost >= exact
+      && a.Mt_anneal.cost <= init.Mt_greedy.cost
+      && l.Mt_local.cost >= exact
+      && l.Mt_local.cost <= init.Mt_greedy.cost)
+
+let test_local_reaches_flip_optimum () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let r = Mt_local.solve oracle in
+  (* No single flip may improve the result. *)
+  let base = r.Mt_local.cost in
+  let m = Breakpoints.m r.Mt_local.bp and n = Breakpoints.n r.Mt_local.bp in
+  for j = 0 to m - 1 do
+    for i = 1 to n - 1 do
+      let flipped =
+        Breakpoints.set r.Mt_local.bp j i (not (Breakpoints.is_break r.Mt_local.bp j i))
+      in
+      if Sync_cost.eval oracle flipped < base then
+        Alcotest.failf "flip (%d,%d) improves a 'local optimum'" j i
+    done
+  done
+
+let test_greedy_portfolio_sorted_and_valid () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let entries = Mt_greedy.portfolio oracle in
+  let costs = List.map (fun e -> e.Mt_greedy.cost) entries in
+  Alcotest.(check bool) "sorted" true (costs = List.sort compare costs);
+  List.iter
+    (fun e ->
+      check int ("recost " ^ e.Mt_greedy.name)
+        (Sync_cost.eval oracle e.Mt_greedy.bp)
+        e.Mt_greedy.cost)
+    entries
+
+let test_greedy_never_and_every () =
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let never = Mt_greedy.never oracle in
+  check int "never breaks once per task" 1 (Breakpoints.break_count never.Mt_greedy.bp 0);
+  let every = Mt_greedy.every_step oracle in
+  check int "every-step breaks n times" (Task_set.steps ts)
+    (Breakpoints.break_count every.Mt_greedy.bp 0)
+
+let qcheck_window_heuristic_valid =
+  Tutil.prop "window heuristic produces evaluable plans"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let oracle = Tutil.oracle_of_instance inst in
+      List.for_all
+        (fun w ->
+          let e = Mt_greedy.window oracle w in
+          Sync_cost.eval oracle e.Mt_greedy.bp = e.Mt_greedy.cost)
+        [ 1; 2; 3 ])
+
+let test_mt_dp_beam_reports_inexact () =
+  (* A beam of 1 state must still produce a valid plan but may flag
+     inexactness. *)
+  let ts = Tutil.sample_task_set () in
+  let oracle = Interval_cost.of_task_set ts in
+  let r = Mt_dp.solve ~max_states:1 oracle in
+  check int "cost still consistent" (Sync_cost.eval oracle r.Mt_dp.bp) r.Mt_dp.cost;
+  let exact = Mt_dp.solve oracle in
+  Alcotest.(check bool) "beam >= exact" true (r.Mt_dp.cost >= exact.Mt_dp.cost)
+
+let test_mt_dp_single_step () =
+  (* n=1: everything must break at step 0; cost = max v + max req. *)
+  let s = Switch_space.make 3 in
+  let ts =
+    Task_set.make
+      [|
+        Task_set.task ~name:"A" ~v:4 (Trace.of_lists s [ [ 0; 1 ] ]);
+        Task_set.task ~name:"B" ~v:1 (Trace.of_lists s [ [ 2 ] ]);
+      |]
+  in
+  let r = Mt_dp.solve (Interval_cost.of_task_set ts) in
+  check int "cost" (4 + 2) r.Mt_dp.cost
+
+let tests =
+  [
+    qcheck_mt_dp_matches_brute;
+    qcheck_mt_dp_sequential_modes;
+    qcheck_mt_dp_with_upper_bound;
+    qcheck_ga_never_beats_exact;
+    Alcotest.test_case "ga finds phased optimum" `Quick test_ga_finds_optimum_on_phased_instance;
+    Alcotest.test_case "ga deterministic" `Quick test_ga_deterministic_given_seed;
+    Alcotest.test_case "ga history monotone" `Quick test_ga_history_monotone;
+    qcheck_anneal_and_local_sane;
+    Alcotest.test_case "local is 1-flip optimal" `Quick test_local_reaches_flip_optimum;
+    Alcotest.test_case "greedy portfolio" `Quick test_greedy_portfolio_sorted_and_valid;
+    Alcotest.test_case "greedy never/every" `Quick test_greedy_never_and_every;
+    qcheck_window_heuristic_valid;
+    Alcotest.test_case "mt_dp beam" `Quick test_mt_dp_beam_reports_inexact;
+    Alcotest.test_case "mt_dp single step" `Quick test_mt_dp_single_step;
+  ]

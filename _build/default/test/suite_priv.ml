@@ -1,0 +1,113 @@
+(* Private-global resource planning (Mt_priv). *)
+
+open Hr_core
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let space2 = Switch_space.make 2
+
+let mk_task name reqs demand =
+  {
+    Mt_priv.name;
+    local_trace = Trace.of_lists space2 reqs;
+    priv_demand = Array.of_list demand;
+  }
+
+let test_peak_demand () =
+  let t =
+    Mt_priv.make ~g_total:10 ~w:5
+      [| mk_task "A" [ [ 0 ]; [ 1 ]; [ 0 ] ] [ 1; 4; 2 ] |]
+  in
+  check int "peak [0,2]" 4 (Mt_priv.peak_demand t 0 0 2);
+  check int "peak [2,2]" 2 (Mt_priv.peak_demand t 0 2 2)
+
+let test_feasible_assignment () =
+  let t =
+    Mt_priv.make ~g_total:5 ~w:1
+      [|
+        mk_task "A" [ [ 0 ]; [ 0 ] ] [ 3; 1 ];
+        mk_task "B" [ [ 1 ]; [ 1 ] ] [ 2; 4 ];
+      |]
+  in
+  (* Whole range: peaks 3 and 4 = 7 > 5 -> infeasible. *)
+  check
+    (Alcotest.option (Alcotest.array int))
+    "whole range infeasible" None
+    (Mt_priv.feasible_assignment t 0 1);
+  check
+    (Alcotest.option (Alcotest.array int))
+    "first step feasible" (Some [| 3; 2 |])
+    (Mt_priv.feasible_assignment t 0 0)
+
+let test_segmentation_respects_budget () =
+  let t =
+    Mt_priv.make ~g_total:5 ~w:1
+      [|
+        mk_task "A" [ [ 0 ]; [ 0 ]; [ 0 ]; [ 0 ] ] [ 3; 1; 1; 1 ];
+        mk_task "B" [ [ 1 ]; [ 1 ]; [ 1 ]; [ 1 ] ] [ 2; 4; 1; 1 ];
+      |]
+  in
+  let plan = Mt_priv.solve t in
+  (* Step 1 breaks the budget (3+4 > 5), so a new segment must start
+     there. *)
+  Alcotest.(check bool) "multiple segments" true (List.length plan.Mt_priv.segments > 1);
+  List.iter
+    (fun (lo, hi, a) ->
+      check int "assignment = peaks sum <= g"
+        1 (if Array.fold_left ( + ) 0 a <= 5 then 1 else 0);
+      Alcotest.(check bool) "range sane" true (lo <= hi))
+    plan.Mt_priv.segments;
+  (* Segments must tile [0, n). *)
+  let covered =
+    List.concat_map
+      (fun (lo, hi, _) -> List.init (hi - lo + 1) (fun k -> lo + k))
+      plan.Mt_priv.segments
+  in
+  Alcotest.(check (list int)) "tiling" [ 0; 1; 2; 3 ] (List.sort compare covered)
+
+let test_single_segment_when_feasible () =
+  let t =
+    Mt_priv.make ~g_total:10 ~w:7
+      [|
+        mk_task "A" [ [ 0 ]; [ 0 ] ] [ 1; 2 ];
+        mk_task "B" [ [ 1 ]; [ 1 ] ] [ 3; 3 ];
+      |]
+  in
+  let plan = Mt_priv.solve t in
+  check int "one segment" 1 (List.length plan.Mt_priv.segments);
+  (* Exactly one global hyperreconfiguration cost w. *)
+  let local = List.fold_left ( + ) 0 plan.Mt_priv.segment_costs in
+  check int "total = w + local" (7 + local) plan.Mt_priv.cost
+
+let test_oracle_adds_priv_to_step_cost () =
+  let t =
+    Mt_priv.make ~g_total:10 ~w:1 [| mk_task "A" [ [ 0 ]; [ 0; 1 ] ] [ 2; 3 ] |]
+  in
+  let oracle = Mt_priv.segment_oracle t 0 1 ~assignment:[| 3 |] in
+  (* |U_loc(0,1)| = 2, peak demand = 3 -> 5. *)
+  check int "combined step cost" 5 (oracle.Interval_cost.step_cost 0 0 1);
+  check int "v = assigned + |floc|" (3 + 2) oracle.Interval_cost.v.(0)
+
+let test_rejects_impossible_demand () =
+  Alcotest.check_raises "demand over g_total"
+    (Invalid_argument "Mt_priv.make: task A demands 7 > g_total=5") (fun () ->
+      ignore (Mt_priv.make ~g_total:5 ~w:1 [| mk_task "A" [ [ 0 ] ] [ 7 ] |]))
+
+let test_paper_io_example () =
+  (* The paper's running example: 12 I/O units in total, 5 assigned to
+     task 1, of which a local hyperreconfiguration makes only 3
+     reconfigurable.  Check the special-case cost v_j = |h_j| +
+     |f_loc_j|. *)
+  check int "v for task 1" (5 + 8) (Cost_eval.mt_switch_special_v ~assigned_priv:5 ~f_loc:8)
+
+let tests =
+  [
+    Alcotest.test_case "peak demand" `Quick test_peak_demand;
+    Alcotest.test_case "feasible assignment" `Quick test_feasible_assignment;
+    Alcotest.test_case "segmentation budget" `Quick test_segmentation_respects_budget;
+    Alcotest.test_case "single segment" `Quick test_single_segment_when_feasible;
+    Alcotest.test_case "oracle priv costs" `Quick test_oracle_adds_priv_to_step_cost;
+    Alcotest.test_case "impossible demand" `Quick test_rejects_impossible_demand;
+    Alcotest.test_case "paper I/O example" `Quick test_paper_io_example;
+  ]

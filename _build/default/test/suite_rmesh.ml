@@ -1,0 +1,216 @@
+(* Reconfigurable mesh: partitions, bus resolution, the classic O(1)
+   algorithms, trace extraction and task splits. *)
+
+open Hr_rmesh
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_partition_count_and_codes () =
+  check int "15 partitions" 15 (Array.length Partition.all);
+  Array.iteri
+    (fun i p -> check int (Printf.sprintf "code %d" i) i (Partition.code p))
+    Partition.all;
+  for i = 0 to 14 do
+    check bool "of_code roundtrip" true
+      (Partition.equal (Partition.of_code i) Partition.all.(i))
+  done
+
+let test_partition_groups () =
+  Alcotest.(check int) "isolated: 4 groups" 4 (List.length (Partition.groups Partition.isolated));
+  Alcotest.(check int) "fused: 1 group" 1 (List.length (Partition.groups Partition.all_fused));
+  check bool "ew fuses E,W" true (Partition.same_group Partition.ew Port.E Port.W);
+  check bool "ew splits N" false (Partition.same_group Partition.ew Port.N Port.E);
+  check bool "ws_ne" true
+    (Partition.same_group Partition.ws_ne Port.W Port.S
+    && Partition.same_group Partition.ws_ne Port.N Port.E
+    && not (Partition.same_group Partition.ws_ne Port.W Port.N))
+
+let test_partition_of_groups_validation () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Partition.of_groups: duplicate port") (fun () ->
+      ignore (Partition.of_groups [ [ Port.N; Port.N ]; [ Port.E ]; [ Port.S ]; [ Port.W ] ]));
+  Alcotest.check_raises "missing" (Invalid_argument "Partition.of_groups: missing port")
+    (fun () -> ignore (Partition.of_groups [ [ Port.N ] ]))
+
+let test_partition_of_groups_order_insensitive () =
+  let a = Partition.of_groups [ [ Port.W; Port.E ]; [ Port.S ]; [ Port.N ] ] in
+  check bool "same as ew" true (Partition.equal a Partition.ew)
+
+let test_bus_straight_wire () =
+  (* 1x3 all-EW: one horizontal bus through all six E/W ports, plus
+     isolated N/S stubs. *)
+  let grid = Grid.create ~rows:1 ~cols:3 in
+  let buses = Grid.resolve grid (Grid.uniform grid Partition.ew) in
+  let b00 = Grid.bus_id buses ~row:0 ~col:0 Port.E in
+  check int "west end joins" b00 (Grid.bus_id buses ~row:0 ~col:0 Port.W);
+  check int "east end joins" b00 (Grid.bus_id buses ~row:0 ~col:2 Port.E);
+  check bool "N stub separate" true (Grid.bus_id buses ~row:0 ~col:1 Port.N <> b00)
+
+let test_bus_cut () =
+  let grid = Grid.create ~rows:1 ~cols:3 in
+  let config = Grid.uniform grid Partition.ew in
+  config.(0).(1) <- Partition.isolated;
+  let buses = Grid.resolve grid config in
+  let west = Grid.bus_id buses ~row:0 ~col:0 Port.E in
+  let east = Grid.bus_id buses ~row:0 ~col:2 Port.W in
+  check bool "bus is cut" true (west <> east);
+  (* The cut PE's W port still belongs to the western segment. *)
+  check int "W side reaches cut" west (Grid.bus_id buses ~row:0 ~col:1 Port.W)
+
+let test_bus_vertical () =
+  let grid = Grid.create ~rows:3 ~cols:1 in
+  let buses = Grid.resolve grid (Grid.uniform grid Partition.ns) in
+  check int "vertical bus" (Grid.bus_id buses ~row:0 ~col:0 Port.S)
+    (Grid.bus_id buses ~row:2 ~col:0 Port.N)
+
+let test_signals_wired_or () =
+  let grid = Grid.create ~rows:1 ~cols:4 in
+  let buses = Grid.resolve grid (Grid.uniform grid Partition.ew) in
+  let values = Grid.signals buses ~drivers:[ (0, 2, Port.E) ] in
+  check bool "driven" true (Grid.read buses values ~row:0 ~col:0 Port.E);
+  let silent = Grid.signals buses ~drivers:[] in
+  check bool "silent" false (Grid.read buses silent ~row:0 ~col:0 Port.E)
+
+let bits_of_int ~n v = Array.init n (fun i -> v land (1 lsl i) <> 0)
+
+let test_or_exhaustive () =
+  for v = 0 to 255 do
+    let bits = bits_of_int ~n:8 v in
+    if Algos.logical_or bits <> (v <> 0) then Alcotest.failf "or of %d wrong" v
+  done
+
+let test_leftmost_exhaustive () =
+  for v = 0 to 255 do
+    let bits = bits_of_int ~n:8 v in
+    let expected =
+      let rec go i = if i >= 8 then None else if bits.(i) then Some i else go (i + 1) in
+      go 0
+    in
+    if Algos.leftmost_one bits <> expected then Alcotest.failf "leftmost of %d wrong" v
+  done
+
+let test_count_exhaustive () =
+  for v = 0 to 255 do
+    let bits = bits_of_int ~n:8 v in
+    let expected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+    let got = Algos.count_ones bits in
+    if got <> expected then Alcotest.failf "count of %d: got %d expected %d" v got expected
+  done
+
+let test_broadcast () =
+  let grid = Grid.create ~rows:4 ~cols:5 in
+  let seen = Algos.broadcast_row grid ~target:2 in
+  for r = 0 to 3 do
+    for c = 0 to 4 do
+      let expected = r = 2 in
+      if seen.(r).(c) <> expected then Alcotest.failf "broadcast at (%d,%d)" r c
+    done
+  done
+
+let test_encode_decode_bits () =
+  let grid = Grid.create ~rows:2 ~cols:2 in
+  let config = Grid.uniform grid Partition.isolated in
+  config.(1).(0) <- Partition.ns_ew;
+  let bits = Mesh_tracer.encode grid config in
+  (* PE (1,0) is the third PE: bits 8..11 hold its code. *)
+  let code = Partition.code Partition.ns_ew in
+  for k = 0 to 3 do
+    check bool
+      (Printf.sprintf "bit %d" k)
+      (code land (1 lsl k) <> 0)
+      (Bitset.mem bits (8 + k))
+  done
+
+let test_trace_field_mode () =
+  let grid = Grid.create ~rows:1 ~cols:3 in
+  let c1 = Grid.uniform grid Partition.ew in
+  let c2 = Grid.uniform grid Partition.ew in
+  c2.(0).(1) <- Partition.isolated;
+  let program =
+    [ { Mesh_tracer.config = c1; label = "a" }; { Mesh_tracer.config = c2; label = "b" } ]
+  in
+  let trace = Mesh_tracer.trace ~initial:c1 grid program in
+  check int "step 0 no change" 0 (Bitset.cardinal (Hr_core.Trace.req trace 0));
+  (* Step 1 rewrites exactly PE (0,1)'s 4-bit field. *)
+  Alcotest.(check (list int)) "step 1 field" [ 4; 5; 6; 7 ]
+    (Bitset.to_list (Hr_core.Trace.req trace 1))
+
+let test_trace_bit_mode_subset () =
+  let rng = Rng.create 11 in
+  let grid, program = Algos.counting_stream rng ~bits:4 ~words:10 in
+  let bit_trace = Mesh_tracer.trace ~mode:`Bit grid program in
+  let field_trace = Mesh_tracer.trace ~mode:`Field grid program in
+  for i = 0 to 9 do
+    if
+      not
+        (Bitset.subset (Hr_core.Trace.req bit_trace i) (Hr_core.Trace.req field_trace i))
+    then Alcotest.failf "bit mode not a subset at %d" i
+  done
+
+let test_row_bands_partition () =
+  let grid = Grid.create ~rows:5 ~cols:3 in
+  let parts = Mesh_tracer.row_bands grid ~bands:2 in
+  check int "2 bands" 2 (Array.length parts);
+  let total =
+    Array.fold_left (fun acc p -> acc + Bitset.cardinal p.Hr_core.Task_split.mask) 0 parts
+  in
+  check int "cover all bits" (5 * 3 * 4) total
+
+let test_quadrants_partition () =
+  let grid = Grid.create ~rows:4 ~cols:4 in
+  let parts = Mesh_tracer.quadrants grid in
+  check int "4 quadrants" 4 (Array.length parts);
+  Array.iter
+    (fun p -> check int p.Hr_core.Task_split.name (4 * 4) (Bitset.cardinal p.Hr_core.Task_split.mask))
+    parts
+
+let test_counting_stream_analysis_end_to_end () =
+  (* The full pipeline on the second architecture: stream trace ->
+     task split -> single vs multi optimization ordering. *)
+  let rng = Rng.create 42 in
+  let grid, program =
+    Algos.counting_stream ~phase_len:8 ~active_fraction:0.3 rng ~bits:6 ~words:24
+  in
+  let trace = Mesh_tracer.trace grid program in
+  let n = Hr_core.Trace.length trace in
+  check int "one step per word" 24 n;
+  let width = Hr_core.Switch_space.size (Hr_core.Trace.space trace) in
+  let disabled = Hr_core.Sync_cost.disabled_cost ~n ~machine_width:width () in
+  let single =
+    Hr_core.St_opt.solve_oracle
+      (Hr_core.Interval_cost.of_task_set (Hr_core.Task_split.single trace))
+      ~task:0
+  in
+  let oracle =
+    Hr_core.Task_split.oracle trace (Mesh_tracer.row_bands grid ~bands:3)
+  in
+  let multi = Hr_core.Mt_local.solve oracle in
+  Alcotest.(check bool) "single < disabled" true (single.Hr_core.St_opt.cost < disabled);
+  Alcotest.(check bool) "multi <= single" true
+    (multi.Hr_core.Mt_local.cost <= single.Hr_core.St_opt.cost)
+
+let tests =
+  [
+    Alcotest.test_case "partition count" `Quick test_partition_count_and_codes;
+    Alcotest.test_case "partition groups" `Quick test_partition_groups;
+    Alcotest.test_case "partition validation" `Quick test_partition_of_groups_validation;
+    Alcotest.test_case "partition order-insensitive" `Quick test_partition_of_groups_order_insensitive;
+    Alcotest.test_case "bus straight wire" `Quick test_bus_straight_wire;
+    Alcotest.test_case "bus cut" `Quick test_bus_cut;
+    Alcotest.test_case "bus vertical" `Quick test_bus_vertical;
+    Alcotest.test_case "wired-or signals" `Quick test_signals_wired_or;
+    Alcotest.test_case "or exhaustive" `Quick test_or_exhaustive;
+    Alcotest.test_case "leftmost exhaustive" `Quick test_leftmost_exhaustive;
+    Alcotest.test_case "count exhaustive" `Quick test_count_exhaustive;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "encode bits" `Quick test_encode_decode_bits;
+    Alcotest.test_case "trace field mode" `Quick test_trace_field_mode;
+    Alcotest.test_case "trace bit subset" `Quick test_trace_bit_mode_subset;
+    Alcotest.test_case "row bands" `Quick test_row_bands_partition;
+    Alcotest.test_case "quadrants" `Quick test_quadrants_partition;
+    Alcotest.test_case "counting pipeline" `Quick test_counting_stream_analysis_end_to_end;
+  ]

@@ -1,0 +1,107 @@
+(* Robustness analysis: perturbation, violations, margins. *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_perturb_only_adds () =
+  let trace = (Tutil.sample_task_set () |> fun ts -> (Task_set.get ts 0).Task_set.trace) in
+  let noisy = Robustness.perturb (Rng.create 3) trace ~p:0.3 in
+  for i = 0 to Trace.length trace - 1 do
+    if not (Bitset.subset (Trace.req trace i) (Trace.req noisy i)) then
+      Alcotest.failf "perturbation dropped demand at %d" i
+  done
+
+let test_no_noise_no_violations () =
+  let ts = Tutil.sample_task_set () in
+  let bp = Breakpoints.of_rows ~m:2 ~n:5 [| [ 2 ]; [ 3 ] |] in
+  let plan = Plan.of_breakpoints ts bp in
+  let r = Robustness.evaluate ts plan in
+  check int "no violations" 0 r.Robustness.violations;
+  check int "actual = planned" r.Robustness.planned_cost r.Robustness.actual_cost;
+  (* And both equal the closed-form cost. *)
+  check int "matches Sync_cost" (Sync_cost.eval (Interval_cost.of_task_set ts) bp)
+    r.Robustness.actual_cost
+
+let test_violation_detected_and_priced () =
+  let space = Switch_space.make 4 in
+  let planned = Trace.of_lists space [ [ 0 ]; [ 0 ] ] in
+  let actual_trace = Trace.of_lists space [ [ 0 ]; [ 0; 3 ] ] in
+  let planned_ts = Task_set.single ~name:"t" ~v:2 planned in
+  let actual_ts = Task_set.single ~name:"t" ~v:2 actual_trace in
+  let plan = Plan.of_breakpoints planned_ts (Breakpoints.create ~m:1 ~n:2) in
+  let r = Robustness.evaluate actual_ts plan in
+  check int "one violation" 1 r.Robustness.violations;
+  (* planned: v + |{0}| * 2 = 4; actual: step0 2+1, step1 emergency 2 +
+     |{0,3}| = 2+2 -> 3 + 4 = 7. *)
+  check int "planned" 4 r.Robustness.planned_cost;
+  check int "actual" 7 r.Robustness.actual_cost
+
+let qcheck_noisy_traces_cost_more =
+  Tutil.prop "violations never make the run cheaper than planned"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:5)
+       (QCheck2.Gen.int_bound 5000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let ts = Tutil.task_set_of_instance inst in
+      let rng = Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.3)
+      in
+      let plan = Plan.of_breakpoints ts bp in
+      (* Perturb every task's trace. *)
+      let noisy_ts =
+        Task_set.make
+          (Array.map
+             (fun t ->
+               { t with Task_set.trace = Robustness.perturb rng t.Task_set.trace ~p:0.2 })
+             (Task_set.tasks ts))
+      in
+      let r = Robustness.evaluate noisy_ts plan in
+      (* Note: a violation's extra cost can be masked by another task's
+         larger per-step max, so only the forward implication holds. *)
+      r.Robustness.actual_cost >= r.Robustness.planned_cost
+      && (r.Robustness.violations > 0
+         || r.Robustness.actual_cost = r.Robustness.planned_cost))
+
+let test_margin_reduces_violations () =
+  let rng = Rng.create 7 in
+  let space = Switch_space.make 16 in
+  let trace =
+    Hr_workload.Synthetic.phased rng space
+      [
+        Hr_workload.Synthetic.phase rng ~space ~len:20 ~active_fraction:0.3 ~density:0.5;
+        Hr_workload.Synthetic.phase rng ~space ~len:20 ~active_fraction:0.3 ~density:0.5;
+      ]
+  in
+  let ts = Task_set.single ~name:"t" trace in
+  let r, _ = St_opt.solve_trace trace in
+  let bp = Breakpoints.of_rows ~m:1 ~n:(Trace.length trace) [| r.St_opt.breaks |] in
+  let plan = Plan.of_breakpoints ts bp in
+  let noisy =
+    Task_set.single ~name:"t" (Robustness.perturb (Rng.create 8) trace ~p:0.15)
+  in
+  let bare = Robustness.evaluate noisy plan in
+  let padded = Robustness.margin (Rng.create 9) plan ~extra:8 ~ts in
+  let padded_r = Robustness.evaluate noisy padded in
+  Alcotest.(check bool)
+    (Printf.sprintf "margin helps (%d -> %d violations)" bare.Robustness.violations
+       padded_r.Robustness.violations)
+    true
+    (padded_r.Robustness.violations <= bare.Robustness.violations);
+  Alcotest.(check bool) "bare plan is violated at all" true
+    (bare.Robustness.violations > 0)
+
+let tests =
+  [
+    Alcotest.test_case "perturb adds only" `Quick test_perturb_only_adds;
+    Alcotest.test_case "clean run" `Quick test_no_noise_no_violations;
+    Alcotest.test_case "violation priced" `Quick test_violation_detected_and_priced;
+    qcheck_noisy_traces_cost_more;
+    Alcotest.test_case "margin helps" `Quick test_margin_reduces_violations;
+  ]

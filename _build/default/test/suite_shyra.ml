@@ -1,0 +1,332 @@
+(* SHyRA simulator and application correctness. *)
+
+open Hr_shyra
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_lut_tables () =
+  check int "xor table" 0x66 (Lut.table Lut.xor01);
+  check int "and table" 0x88 (Lut.table Lut.and01);
+  check int "not table" 0x55 (Lut.table Lut.not0);
+  check int "buf table" 0xAA (Lut.table Lut.buf0);
+  check int "xnor table" 0x99 (Lut.table Lut.xnor01);
+  check int "xor3 table" 0x96 (Lut.table Lut.xor3);
+  check int "maj3 table" 0xE8 (Lut.table Lut.maj3)
+
+let test_lut_eval () =
+  check bool "xor3 101" false (Lut.eval Lut.xor3 true false true);
+  check bool "xor3 111" true (Lut.eval Lut.xor3 true true true);
+  check bool "maj3 110" true (Lut.eval Lut.maj3 true true false);
+  check bool "maj3 100" false (Lut.eval Lut.maj3 true false false);
+  check bool "eq_acc eq" true (Lut.eval Lut.eq_acc true true true);
+  check bool "eq_acc neq" false (Lut.eval Lut.eq_acc true false true);
+  check bool "eq_acc acc0" false (Lut.eval Lut.eq_acc true true false)
+
+let test_lut_of_fn_roundtrip () =
+  for table = 0 to 255 do
+    let lut = Lut.of_table table in
+    let rebuilt = Lut.of_fn (Lut.eval lut) in
+    if Lut.table rebuilt <> table then
+      Alcotest.failf "of_fn/eval roundtrip broken for table 0x%02X" table
+  done
+
+let test_config_encode_decode_roundtrip () =
+  let cfg =
+    Config.make ~lut1:Lut.xor01 ~lut2:Lut.maj3 ~mux:[| 3; 1; 4; 1; 5; 9 |]
+      ~demux:[| 2; 6 |]
+  in
+  let cfg' = Config.decode (Config.encode cfg) in
+  check bool "roundtrip" true (Config.equal cfg cfg')
+
+let test_config_power_on_roundtrip () =
+  let cfg' = Config.decode (Config.encode Config.power_on) in
+  check bool "power-on roundtrip" true (Config.equal Config.power_on cfg')
+
+let test_config_width () =
+  check int "48 bits" 48 Config.width;
+  check int "space size" 48 (Hr_core.Switch_space.size Config.space)
+
+let test_config_rejects_conflicting_demux () =
+  Alcotest.check_raises "demux conflict" (Invalid_argument "Config.make: both DeMUX lines write the same register")
+    (fun () ->
+      ignore (Config.make ~lut1:Lut.zero ~lut2:Lut.zero ~mux:(Array.make 6 0) ~demux:[| 3; 3 |]))
+
+let test_config_rejects_bad_mux () =
+  Alcotest.check_raises "mux range" (Invalid_argument "Config.make: mux select 10 out of range")
+    (fun () ->
+      ignore
+        (Config.make ~lut1:Lut.zero ~lut2:Lut.zero ~mux:[| 10; 0; 0; 0; 0; 0 |]
+           ~demux:[| Config.no_write; Config.no_write |]))
+
+let test_config_diff_is_bitwise () =
+  let a =
+    Config.make ~lut1:Lut.zero ~lut2:Lut.zero ~mux:(Array.make 6 0)
+      ~demux:[| Config.no_write; Config.no_write |]
+  in
+  (* Changing one MUX select from 0 to 1 flips exactly one bit. *)
+  let b =
+    Config.make ~lut1:Lut.zero ~lut2:Lut.zero ~mux:[| 1; 0; 0; 0; 0; 0 |]
+      ~demux:[| Config.no_write; Config.no_write |]
+  in
+  check int "single-bit diff" 1 (Bitset.cardinal (Config.diff a b));
+  check int "self diff empty" 0 (Bitset.cardinal (Config.diff a a))
+
+let test_machine_step_reads_before_writes () =
+  (* LUT1 negates r0 into r0 while LUT2 buffers r0 into r8: both must
+     see the pre-cycle value of r0. *)
+  let cfg =
+    Config.make ~lut1:Lut.not0 ~lut2:Lut.buf0 ~mux:[| 0; 0; 0; 0; 0; 0 |]
+      ~demux:[| 0; 8 |]
+  in
+  let s = Machine.set (Machine.create ()) 0 true in
+  let s' = Machine.step cfg s in
+  check bool "r0 negated" false (Machine.get s' 0);
+  check bool "r8 got old r0" true (Machine.get s' 8)
+
+let test_machine_nibble_roundtrip () =
+  let s = Machine.write_nibble (Machine.create ()) 4 13 in
+  check int "nibble" 13 (Machine.read_nibble s 4);
+  check int "other regs untouched" 0 (Machine.read_nibble s 0)
+
+let test_counter_counts_to_bound () =
+  let r = Counter.build ~init:0 ~bound:10 () in
+  check int "iterations" 10 r.Counter.iterations;
+  check int "final value" 10 (Machine.read_nibble r.Counter.final 0);
+  check bool "eq flag" true (Machine.get r.Counter.final 8);
+  (* 11 comparisons + 10 increments, 4 cycles each *)
+  check int "cycles" 84 (Program.length r.Counter.program)
+
+let test_counter_all_bounds () =
+  for bound = 0 to 15 do
+    let r = Counter.build ~init:0 ~bound () in
+    if r.Counter.iterations <> bound then
+      Alcotest.failf "bound %d: took %d increments" bound r.Counter.iterations;
+    if Machine.read_nibble r.Counter.final 0 <> bound then
+      Alcotest.failf "bound %d: wrong final value" bound
+  done
+
+let test_counter_wraps_modulo_16 () =
+  (* init > bound: the counter wraps through 15 and reaches the bound. *)
+  let r = Counter.build ~init:12 ~bound:3 () in
+  check int "iterations with wrap" 7 r.Counter.iterations;
+  check int "final" 3 (Machine.read_nibble r.Counter.final 0)
+
+let test_counter_init_equals_bound () =
+  let r = Counter.build ~init:5 ~bound:5 () in
+  check int "no increments" 0 r.Counter.iterations;
+  check int "only one compare phase" Counter.compare_cycles
+    (Program.length r.Counter.program)
+
+let test_adder_exhaustive () =
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let sum, carry = Serial_adder.run ~a ~b in
+      if sum <> (a + b) mod 16 then Alcotest.failf "%d+%d: sum %d" a b sum;
+      if carry <> (a + b >= 16) then Alcotest.failf "%d+%d: carry wrong" a b
+    done
+  done
+
+let test_adder_sum_program () =
+  let prog, total = Serial_adder.sum_program [ 3; 4; 5 ] in
+  check int "total" 12 total;
+  check int "cycles" (3 * 4) (Program.length prog)
+
+let test_lfsr_period_15 () =
+  for seed = 1 to 15 do
+    let seen = Lfsr.sequence ~seed ~steps:15 in
+    let final = List.nth seen 14 in
+    if final <> seed then Alcotest.failf "seed %d: period not 15" seed;
+    let distinct = List.sort_uniq compare seen in
+    if List.length distinct <> 15 then
+      Alcotest.failf "seed %d: only %d distinct states" seed (List.length distinct);
+    if List.mem 0 seen then Alcotest.failf "seed %d: reached all-zero state" seed
+  done
+
+let test_lfsr_matches_reference () =
+  (* Reference software LFSR: b0' = b3 xor b2 (incoming), left shift. *)
+  let reference s =
+    let b i = (s lsr i) land 1 in
+    let fb = b 3 lxor b 2 in
+    ((s lsl 1) land 0xF) lor fb
+  in
+  let rec check_steps s k =
+    if k > 0 then begin
+      let expected = reference s in
+      let got = Lfsr.run ~seed:s ~steps:1 in
+      if got <> expected then Alcotest.failf "state %d: got %d expected %d" s got expected;
+      check_steps expected (k - 1)
+    end
+  in
+  check_steps 1 20
+
+let test_parity_exhaustive () =
+  for v = 0 to 255 do
+    let expected =
+      let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+      pop v mod 2 = 1
+    in
+    if Parity.run v <> expected then Alcotest.failf "parity of %d wrong" v
+  done
+
+let test_gray_exhaustive () =
+  for v = 0 to 15 do
+    let expected = v lxor (v lsr 1) in
+    let got = Gray.run v in
+    if got <> expected then Alcotest.failf "gray(%d): got %d expected %d" v got expected
+  done
+
+let test_rule90_matches_reference () =
+  for cells = 0 to 255 do
+    for steps = 0 to 4 do
+      let got = Rule90.run ~cells ~steps in
+      let expected = Rule90.reference ~cells ~steps in
+      if got <> expected then
+        Alcotest.failf "rule90 cells=%d steps=%d: got %d expected %d" cells steps got
+          expected
+    done
+  done
+
+let test_rule90_cycle_count () =
+  check int "8 cycles per step" (8 * 5) (Program.length (Rule90.build ~steps:5));
+  check int "step_cycles" 8 Rule90.step_cycles
+
+let test_rule90_known_pattern () =
+  (* A single centre cell spreads as the Sierpinski triangle:
+     00010000 -> 00101000 -> 01000100 (with xor boundaries). *)
+  check int "one step" 0b00101000 (Rule90.run ~cells:0b00010000 ~steps:1);
+  check int "two steps" 0b01000100 (Rule90.run ~cells:0b00010000 ~steps:2)
+
+let test_asm_hold_semantics () =
+  (* A cycle that sets nothing emits a configuration identical to the
+     previous one. *)
+  let prog =
+    Asm.assemble
+      (Asm.cycle ~lut1:Lut.xor01 ~sels:[ (0, 1) ] ~routes:[ (0, Some 2) ] "a"
+      @ Asm.cycle "b")
+  in
+  match Program.configs prog with
+  | [ c1; c2 ] -> check bool "held" true (Config.equal c1 c2)
+  | _ -> Alcotest.fail "expected two cycles"
+
+let test_asm_rejects_trailing () =
+  Alcotest.check_raises "trailing"
+    (Invalid_argument "Asm.assemble: trailing instructions without Commit")
+    (fun () -> ignore (Asm.assemble [ Asm.Lut1 Lut.zero ]))
+
+let test_tracer_diff_mode () =
+  let prog =
+    Asm.assemble
+      (Asm.cycle ~lut1:Lut.xor01 ~sels:[ (0, 1) ] ~routes:[ (0, Some 2) ] "a"
+      @ Asm.cycle "b"
+      @ Asm.cycle ~lut1:Lut.and01 "c")
+  in
+  let trace = Tracer.trace ~mode:Tracer.Diff prog in
+  check int "3 steps" 3 (Hr_core.Trace.length trace);
+  check int "step 1 diff empty" 0 (Bitset.cardinal (Hr_core.Trace.req trace 1));
+  (* step 2 changes only LUT1 bits: XOR(0x66) -> AND(0x88) differs in 6 bits *)
+  check int "step 2 diff" 6 (Bitset.cardinal (Hr_core.Trace.req trace 2));
+  Bitset.iter
+    (fun b -> if b > 7 then Alcotest.fail "diff escaped LUT1 field")
+    (Hr_core.Trace.req trace 2)
+
+let test_tracer_field_diff_mode () =
+  let prog =
+    Asm.assemble
+      (Asm.cycle ~lut1:Lut.xor01 ~sels:[ (0, 1) ] ~routes:[ (0, Some 2) ] "a"
+      @ Asm.cycle "b"
+      @ Asm.cycle ~lut1:Lut.and01 "c")
+  in
+  let trace = Tracer.trace ~mode:Tracer.Field_diff prog in
+  (* Step 2 rewrites the whole 8-bit LUT1 table, nothing else. *)
+  check int "step 2 field diff" 8 (Bitset.cardinal (Hr_core.Trace.req trace 2));
+  check int "step 1 empty" 0 (Bitset.cardinal (Hr_core.Trace.req trace 1));
+  (* Step 0 touches LUT1 (8) + mux0 (4) + demux0 (4). *)
+  check int "step 0 fields" 16 (Bitset.cardinal (Hr_core.Trace.req trace 0));
+  (* Field diff is always a superset of the bit diff. *)
+  let bitwise = Tracer.trace ~mode:Tracer.Diff prog in
+  for i = 0 to 2 do
+    if not (Bitset.subset (Hr_core.Trace.req bitwise i) (Hr_core.Trace.req trace i))
+    then Alcotest.failf "field diff not a superset at step %d" i
+  done
+
+let test_tracer_in_use_mode () =
+  let prog =
+    Asm.assemble (Asm.cycle ~lut1:Lut.xor01 ~sels:[ (0, 1) ] ~routes:[ (0, Some 2) ] "a")
+  in
+  let trace = Tracer.trace ~mode:Tracer.In_use prog in
+  let req = Hr_core.Trace.req trace 0 in
+  (* LUT1 (8) + mux lines 0-2 (12) + both demux fields (8) = 28 bits *)
+  check int "in-use size" 28 (Bitset.cardinal req)
+
+let test_tasks_split_partition () =
+  let r = Counter.build ~init:0 ~bound:5 () in
+  let trace = Tracer.trace r.Counter.program in
+  let ts = Tasks.split trace Tasks.four_tasks in
+  check int "4 tasks" 4 (Hr_core.Task_set.num_tasks ts);
+  check int "same steps" (Hr_core.Trace.length trace) (Hr_core.Task_set.steps ts);
+  let sizes =
+    Array.map
+      (fun t ->
+        Hr_core.Switch_space.size (Hr_core.Trace.space t.Hr_core.Task_set.trace))
+      (Hr_core.Task_set.tasks ts)
+  in
+  Alcotest.(check (array int)) "local sizes" [| 8; 8; 8; 24 |] sizes;
+  (* Default v_j = l_j, the paper's special case. *)
+  let vs = Array.map (fun t -> t.Hr_core.Task_set.v) (Hr_core.Task_set.tasks ts) in
+  Alcotest.(check (array int)) "v = local size" [| 8; 8; 8; 24 |] vs
+
+let test_tasks_split_preserves_bits () =
+  (* The per-task requirement sizes at each step must sum to the
+     machine-wide requirement size. *)
+  let r = Counter.build ~init:0 ~bound:7 () in
+  let trace = Tracer.trace r.Counter.program in
+  let ts = Tasks.split trace Tasks.four_tasks in
+  let n = Hr_core.Trace.length trace in
+  for i = 0 to n - 1 do
+    let whole = Bitset.cardinal (Hr_core.Trace.req trace i) in
+    let parts =
+      Array.fold_left
+        (fun acc t ->
+          acc + Bitset.cardinal (Hr_core.Trace.req t.Hr_core.Task_set.trace i))
+        0 (Hr_core.Task_set.tasks ts)
+    in
+    if whole <> parts then Alcotest.failf "step %d: %d vs %d" i whole parts
+  done
+
+let tests =
+  [
+    Alcotest.test_case "lut tables" `Quick test_lut_tables;
+    Alcotest.test_case "lut eval" `Quick test_lut_eval;
+    Alcotest.test_case "lut of_fn roundtrip" `Quick test_lut_of_fn_roundtrip;
+    Alcotest.test_case "config encode/decode" `Quick test_config_encode_decode_roundtrip;
+    Alcotest.test_case "config power-on roundtrip" `Quick test_config_power_on_roundtrip;
+    Alcotest.test_case "config width" `Quick test_config_width;
+    Alcotest.test_case "config demux conflict" `Quick test_config_rejects_conflicting_demux;
+    Alcotest.test_case "config mux range" `Quick test_config_rejects_bad_mux;
+    Alcotest.test_case "config diff bitwise" `Quick test_config_diff_is_bitwise;
+    Alcotest.test_case "machine read-before-write" `Quick test_machine_step_reads_before_writes;
+    Alcotest.test_case "machine nibbles" `Quick test_machine_nibble_roundtrip;
+    Alcotest.test_case "counter 0->10" `Quick test_counter_counts_to_bound;
+    Alcotest.test_case "counter all bounds" `Quick test_counter_all_bounds;
+    Alcotest.test_case "counter wraps" `Quick test_counter_wraps_modulo_16;
+    Alcotest.test_case "counter trivial" `Quick test_counter_init_equals_bound;
+    Alcotest.test_case "adder exhaustive" `Quick test_adder_exhaustive;
+    Alcotest.test_case "adder sum program" `Quick test_adder_sum_program;
+    Alcotest.test_case "lfsr period 15" `Quick test_lfsr_period_15;
+    Alcotest.test_case "lfsr reference" `Quick test_lfsr_matches_reference;
+    Alcotest.test_case "parity exhaustive" `Quick test_parity_exhaustive;
+    Alcotest.test_case "gray exhaustive" `Quick test_gray_exhaustive;
+    Alcotest.test_case "rule90 reference" `Quick test_rule90_matches_reference;
+    Alcotest.test_case "rule90 cycles" `Quick test_rule90_cycle_count;
+    Alcotest.test_case "rule90 sierpinski" `Quick test_rule90_known_pattern;
+    Alcotest.test_case "asm hold semantics" `Quick test_asm_hold_semantics;
+    Alcotest.test_case "asm trailing" `Quick test_asm_rejects_trailing;
+    Alcotest.test_case "tracer diff" `Quick test_tracer_diff_mode;
+    Alcotest.test_case "tracer field diff" `Quick test_tracer_field_diff_mode;
+    Alcotest.test_case "tracer in-use" `Quick test_tracer_in_use_mode;
+    Alcotest.test_case "tasks split" `Quick test_tasks_split_partition;
+    Alcotest.test_case "tasks bits preserved" `Quick test_tasks_split_preserves_bits;
+  ]

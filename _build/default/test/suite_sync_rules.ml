@@ -1,0 +1,60 @@
+(* The §3 taxonomy rules encoded in Sync. *)
+
+open Hr_core
+
+let ok = Alcotest.(check bool)
+
+let machine ?(cls = Sync.Partially_hyperreconfigurable) ?(sync = Sync.Fully_synchronized)
+    ?(resources = [ Sync.Local ]) ?(hyper = Sync.Task_parallel)
+    ?(reconf = Sync.Task_parallel) () =
+  { Sync.cls; sync; resources; hyper_upload = hyper; reconf_upload = reconf }
+
+let test_paper_machine_valid () =
+  ok "paper machine" true (Sync.validate Sync.paper_experiment_machine = Ok ())
+
+let test_public_requires_context_sync () =
+  let bad = machine ~sync:Sync.Non_synchronized ~resources:[ Sync.Public_global ] () in
+  ok "rejected" true (Result.is_error (Sync.validate bad));
+  let bad2 =
+    machine ~sync:Sync.Hypercontext_synchronized ~resources:[ Sync.Public_global ] ()
+  in
+  ok "rejected hc-sync" true (Result.is_error (Sync.validate bad2));
+  let good = machine ~sync:Sync.Context_synchronized ~resources:[ Sync.Public_global ] () in
+  ok "accepted ctx-sync" true (Sync.validate good = Ok ());
+  let good2 = machine ~sync:Sync.Fully_synchronized ~resources:[ Sync.Public_global ] () in
+  ok "accepted fully-sync" true (Sync.validate good2 = Ok ())
+
+let test_non_sync_must_be_parallel () =
+  let bad = machine ~sync:Sync.Non_synchronized ~reconf:Sync.Task_sequential () in
+  ok "sequential reconf rejected" true (Result.is_error (Sync.validate bad));
+  let bad2 = machine ~sync:Sync.Context_synchronized ~hyper:Sync.Task_sequential () in
+  (* Context-synchronized machines are not hypercontext-synchronized, so
+     sequential hyper upload is rejected. *)
+  ok "sequential hyper rejected" true (Result.is_error (Sync.validate bad2));
+  let good = machine ~sync:Sync.Fully_synchronized ~hyper:Sync.Task_sequential () in
+  ok "sequential ok when synchronized" true (Sync.validate good = Ok ())
+
+let test_mode_predicates () =
+  ok "fully is ctx" true (Sync.context_synchronized Sync.Fully_synchronized);
+  ok "fully is hc" true (Sync.hypercontext_synchronized Sync.Fully_synchronized);
+  ok "ctx not hc" false (Sync.hypercontext_synchronized Sync.Context_synchronized);
+  ok "hc not ctx" false (Sync.context_synchronized Sync.Hypercontext_synchronized);
+  ok "non neither" false
+    (Sync.context_synchronized Sync.Non_synchronized
+    || Sync.hypercontext_synchronized Sync.Non_synchronized)
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a %a %a %a" Sync.pp_machine_class
+      Sync.Partially_hyperreconfigurable Sync.pp_sync_mode Sync.Fully_synchronized
+      Sync.pp_resource_class Sync.Private_global Sync.pp_upload_mode Sync.Task_parallel
+  in
+  ok "printable" true (String.length s > 0)
+
+let tests =
+  [
+    Alcotest.test_case "paper machine" `Quick test_paper_machine_valid;
+    Alcotest.test_case "public needs ctx sync" `Quick test_public_requires_context_sync;
+    Alcotest.test_case "non-sync parallel only" `Quick test_non_sync_must_be_parallel;
+    Alcotest.test_case "mode predicates" `Quick test_mode_predicates;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

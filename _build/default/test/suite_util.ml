@@ -1,0 +1,127 @@
+(* Rng determinism, Stats, Tablefmt. *)
+
+module Rng = Hr_util.Rng
+module Stats = Hr_util.Stats
+module Tablefmt = Hr_util.Tablefmt
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check int "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 3 in
+    if v < -3 || v > 3 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_uniformity () =
+  (* Coarse sanity: 6000 draws over 6 buckets, each within ±25 %. *)
+  let rng = Rng.create 11 in
+  let buckets = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Rng.int rng 6 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 750 || c > 1250 then Alcotest.failf "bucket %d has %d" i c)
+    buckets
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 5 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 5 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "independent streams" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4. |] in
+  check int "n" 4 s.Stats.n;
+  check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean;
+  check (Alcotest.float 1e-9) "median" 2.5 s.Stats.median;
+  check (Alcotest.float 1e-9) "min" 1. s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 4. s.Stats.max
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  check (Alcotest.float 1e-9) "p0" 10. (Stats.percentile xs 0.);
+  check (Alcotest.float 1e-9) "p50" 30. (Stats.percentile xs 50.);
+  check (Alcotest.float 1e-9) "p100" 50. (Stats.percentile xs 100.);
+  check (Alcotest.float 1e-9) "p25" 20. (Stats.percentile xs 25.)
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "constant" 0. (Stats.stddev [| 5.; 5.; 5. |]);
+  check (Alcotest.float 1e-9) "spread" 2. (Stats.stddev [| 2.; 6.; 2.; 6. |])
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_tablefmt_alignment () =
+  let out =
+    Tablefmt.render ~header:[ "name"; "cost" ]
+      [ [ "alpha"; "12" ]; [ "b"; "345" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check int "4 lines" 4 (List.length lines);
+  (* Numeric column is right-aligned. *)
+  Alcotest.(check bool) "right aligned" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 3))
+
+let test_tablefmt_arity_check () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Tablefmt.render: row 0 has 1 cells, expected 2") (fun () ->
+      ignore (Tablefmt.render ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_different_seeds;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty_raises;
+    Alcotest.test_case "tablefmt alignment" `Quick test_tablefmt_alignment;
+    Alcotest.test_case "tablefmt arity" `Quick test_tablefmt_arity_check;
+  ]

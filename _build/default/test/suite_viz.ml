@@ -1,0 +1,82 @@
+(* Ascii primitives and figure renderers. *)
+
+open Hr_core
+open Hr_viz
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+let test_heat_char_extremes () =
+  check (Alcotest.char) "zero" ' ' (Ascii.heat_char ~max_value:10 0);
+  check (Alcotest.char) "max" '@' (Ascii.heat_char ~max_value:10 10);
+  check (Alcotest.char) "clamped" '@' (Ascii.heat_char ~max_value:10 99)
+
+let test_sparkline_length () =
+  check string "line" "  @" (Ascii.sparkline ~max_value:4 [| 0; 0; 4 |])
+
+let test_bar () =
+  check string "half" "##  " (Ascii.bar ~width:4 ~max_value:10 5);
+  check string "full" "####" (Ascii.bar ~width:4 ~max_value:10 10);
+  check string "empty" "    " (Ascii.bar ~width:4 ~max_value:10 0)
+
+let test_bool_row () =
+  check string "row" "#.#" (Ascii.bool_row [| true; false; true |])
+
+let test_chunked () =
+  let lines = Ascii.chunked ~width:4 "abcdefghij" in
+  check int "3 chunks" 3 (List.length lines);
+  check string "first" "   0| abcd" (List.hd lines)
+
+let fixture () =
+  let ts = Tutil.sample_task_set () in
+  let bp = Breakpoints.of_rows ~m:2 ~n:5 [| [ 2 ]; [ 3 ] |] in
+  (ts, bp)
+
+let test_fig2_shape () =
+  let ts, bp = fixture () in
+  let out = Figures.fig2 ts bp in
+  (* Header + (heat + marker) per task. *)
+  check int "lines" 5 (List.length (String.split_on_char '\n' (String.trim out)));
+  Alcotest.(check bool) "mentions task A" true
+    (Astring.String.is_infix ~affix:"A" out)
+
+let test_fig3_counts_break_columns () =
+  let ts, bp = fixture () in
+  let out = Figures.fig3 ts bp in
+  Alcotest.(check bool) "3 hyper steps" true
+    (Astring.String.is_infix ~affix:"(3 hyperreconfiguration steps" out);
+  (* Task A breaks at 0 and 2 of columns [0;2;3] -> "##." *)
+  Alcotest.(check bool) "row A" true (Astring.String.is_infix ~affix:"##." out);
+  Alcotest.(check bool) "row B" true (Astring.String.is_infix ~affix:"#.#" out)
+
+let test_fig2_units_single_task () =
+  let space = Switch_space.make 4 in
+  let trace = Trace.of_lists space [ [ 0 ]; [ 1 ]; [ 2; 3 ] ] in
+  let ts = Task_set.single ~name:"ALL" trace in
+  let bp = Breakpoints.of_rows ~m:1 ~n:3 [| [ 2 ] |] in
+  let masks =
+    [ ("lo", Hr_util.Bitset.of_list 4 [ 0; 1 ]); ("hi", Hr_util.Bitset.of_list 4 [ 2; 3 ]) ]
+  in
+  let out = Figures.fig2_units ts bp ~unit_masks:masks in
+  Alcotest.(check bool) "has unit rows" true
+    (Astring.String.is_infix ~affix:"lo" out && Astring.String.is_infix ~affix:"hi" out)
+
+let test_cost_series_smoke () =
+  let ts, bp = fixture () in
+  let oracle = Interval_cost.of_task_set ts in
+  let out = Figures.cost_series oracle bp in
+  Alcotest.(check bool) "non-empty" true (String.length out > 10)
+
+let tests =
+  [
+    Alcotest.test_case "heat char" `Quick test_heat_char_extremes;
+    Alcotest.test_case "sparkline" `Quick test_sparkline_length;
+    Alcotest.test_case "bar" `Quick test_bar;
+    Alcotest.test_case "bool row" `Quick test_bool_row;
+    Alcotest.test_case "chunked" `Quick test_chunked;
+    Alcotest.test_case "fig2 shape" `Quick test_fig2_shape;
+    Alcotest.test_case "fig3 columns" `Quick test_fig3_counts_break_columns;
+    Alcotest.test_case "fig2 units" `Quick test_fig2_units_single_task;
+    Alcotest.test_case "cost series" `Quick test_cost_series_smoke;
+  ]

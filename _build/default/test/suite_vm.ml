@@ -1,0 +1,205 @@
+(* Machine_vm referee, Split_search, SHyRA FSM. *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* ---- Machine_vm as an independent referee ---- *)
+
+let qcheck_vm_matches_sync_cost =
+  Tutil.prop "VM execution time = Sync_cost.eval"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:3 ~max_n:8 ~max_width:4)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let ts = Tutil.task_set_of_instance inst in
+      let oracle = Interval_cost.of_task_set ts in
+      let rng = Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.3)
+      in
+      match Machine_vm.execute_breakpoints ts bp with
+      | Error _ -> false
+      | Ok run ->
+          run.Machine_vm.total_time = Sync_cost.eval oracle bp
+          && List.length run.Machine_vm.events = inst.Tutil.n)
+
+let qcheck_vm_matches_under_all_upload_modes =
+  Tutil.prop "VM agrees with Sync_cost in every upload mode"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:2 ~max_n:6 ~max_width:3)
+       (QCheck2.Gen.int_bound 1000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let ts = Tutil.task_set_of_instance inst in
+      let oracle = Interval_cost.of_task_set ts in
+      let rng = Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.3)
+      in
+      List.for_all
+        (fun (hyper, reconf) ->
+          let params = { Sync_cost.w = 3; pub = 1; hyper; reconf } in
+          match Machine_vm.execute_breakpoints ~params ts bp with
+          | Error _ -> false
+          | Ok run -> run.Machine_vm.total_time = Sync_cost.eval ~params oracle bp)
+        [
+          (Sync_cost.Task_parallel, Sync_cost.Task_parallel);
+          (Sync_cost.Task_parallel, Sync_cost.Task_sequential);
+          (Sync_cost.Task_sequential, Sync_cost.Task_parallel);
+          (Sync_cost.Task_sequential, Sync_cost.Task_sequential);
+        ])
+
+let test_vm_rejects_invalid_plan () =
+  let space = Switch_space.make 4 in
+  let trace = Trace.of_lists space [ [ 0 ]; [ 3 ] ] in
+  let ts = Task_set.single ~name:"t" trace in
+  (* Hand-build a plan whose hypercontext misses step 1's switch. *)
+  let plan =
+    Plan.make [| [ { Plan.lo = 0; hi = 1; hc = Bitset.of_list 4 [ 0 ] } ] |]
+  in
+  match Machine_vm.execute ts plan with
+  | Error msg ->
+      Alcotest.(check bool) "names the step" true
+        (Astring.String.is_infix ~affix:"step 1" msg)
+  | Ok _ -> Alcotest.fail "invalid plan executed"
+
+let test_vm_counts_hyper_ops () =
+  let ts = Tutil.sample_task_set () in
+  let bp = Breakpoints.of_rows ~m:2 ~n:5 [| [ 2 ]; [ 3 ] |] in
+  match Machine_vm.execute_breakpoints ts bp with
+  | Ok run -> check int "4 partial hyperreconfigurations" 4 run.Machine_vm.hyper_ops
+  | Error e -> Alcotest.fail e
+
+(* ---- Split_search ---- *)
+
+let test_set_partitions_bell_numbers () =
+  check int "B3" 5 (List.length (Split_search.set_partitions [ 1; 2; 3 ]));
+  check int "B4" 15 (List.length (Split_search.set_partitions [ 1; 2; 3; 4 ]));
+  check int "B1" 1 (List.length (Split_search.set_partitions [ 1 ]));
+  check int "B0" 1 (List.length (Split_search.set_partitions []))
+
+let test_set_partitions_are_partitions () =
+  let xs = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun blocks ->
+      let flat = List.concat blocks |> List.sort compare in
+      if flat <> xs then Alcotest.fail "not a partition";
+      if List.exists (( = ) []) blocks then Alcotest.fail "empty block")
+    (Split_search.set_partitions xs)
+
+let test_split_search_on_counter () =
+  (* The finest split can only help under max-coupling with v_j = l_j,
+     so the best candidate must cost <= the single-task (coarsest)
+     grouping. *)
+  let run = Hr_shyra.Counter.build ~init:0 ~bound:5 () in
+  let trace = Hr_shyra.Tracer.trace run.Hr_shyra.Counter.program in
+  let units =
+    Array.map
+      (fun p -> { Split_search.name = p.Hr_shyra.Tasks.name; mask = p.Hr_shyra.Tasks.mask })
+      Hr_shyra.Tasks.four_tasks
+  in
+  let ranked = Split_search.search trace units in
+  check int "15 candidates" 15 (List.length ranked);
+  let best = List.hd ranked in
+  let coarsest =
+    List.find (fun c -> c.Split_search.tasks = 1) ranked
+  in
+  Alcotest.(check bool) "best <= single group" true
+    (best.Split_search.cost <= coarsest.Split_search.cost);
+  (* Ranking is sorted. *)
+  let costs = List.map (fun c -> c.Split_search.cost) ranked in
+  Alcotest.(check bool) "sorted" true (costs = List.sort compare costs)
+
+(* ---- FSM ---- *)
+
+let software_detector inputs =
+  (* ends-with-101 reference on raw input lists *)
+  let step (_, b, c) i = (b, c, i) in
+  let rec go window acc = function
+    | [] -> List.rev acc
+    | i :: rest ->
+        let window = step window i in
+        let accept = window = (true, false, true) in
+        go window (accept :: acc) rest
+  in
+  go (false, false, false) [] inputs
+
+let test_fsm_detector_matches_software () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let inputs = List.init 24 (fun _ -> Rng.bool rng) in
+    let _, accepts = Hr_shyra.Fsm.run Hr_shyra.Fsm.detector_101 inputs in
+    if accepts <> software_detector inputs then
+      Alcotest.fail "detector disagrees with software reference"
+  done
+
+let test_fsm_reference_matches_hardware () =
+  let rng = Rng.create 6 in
+  let inputs = List.init 40 (fun _ -> Rng.bool rng) in
+  let states = Hr_shyra.Fsm.reference Hr_shyra.Fsm.detector_101 inputs in
+  let _, accepts = Hr_shyra.Fsm.run Hr_shyra.Fsm.detector_101 inputs in
+  let expected = List.map (fun s -> s = 3) states in
+  Alcotest.(check (list bool)) "accept sequences agree" expected accepts
+
+let test_fsm_parity () =
+  let inputs = [ true; true; true; false; true ] in
+  let _, accepts = Hr_shyra.Fsm.run Hr_shyra.Fsm.parity_fsm inputs in
+  Alcotest.(check (list bool)) "parity trace" [ true; false; true; true; false ] accepts
+
+let test_fsm_trace_is_state_dependent () =
+  (* Dwelling in one state produces empty reconfiguration diffs. *)
+  let inputs = List.init 10 (fun _ -> false) in
+  (* all-zero input keeps the 101-detector bouncing between s0 only *)
+  let program, _ = Hr_shyra.Fsm.run Hr_shyra.Fsm.detector_101 inputs in
+  let trace = Hr_shyra.Tracer.trace ~mode:Hr_shyra.Tracer.Diff program in
+  let sizes = Trace.sizes trace in
+  (* After the first configuration, staying in s0 changes nothing. *)
+  for i = 1 to 9 do
+    if sizes.(i) <> 0 then Alcotest.failf "step %d should be diff-free" i
+  done
+
+(* ---- extra mesh primitives ---- *)
+
+let test_prefix_or_exhaustive () =
+  for v = 0 to 255 do
+    let bits = Array.init 8 (fun i -> v land (1 lsl i) <> 0) in
+    let got = Hr_rmesh.Algos.prefix_or bits in
+    let expected =
+      let acc = ref false in
+      Array.map
+        (fun b ->
+          let r = !acc in
+          acc := !acc || b;
+          r)
+        bits
+    in
+    if got <> expected then Alcotest.failf "prefix_or of %d wrong" v
+  done
+
+let test_row_or () =
+  let m = [| [| false; true; false |]; [| false; false; false |]; [| true; true; true |] |] in
+  Alcotest.(check (array bool)) "row or" [| true; false; true |] (Hr_rmesh.Algos.row_or m)
+
+let tests =
+  [
+    qcheck_vm_matches_sync_cost;
+    qcheck_vm_matches_under_all_upload_modes;
+    Alcotest.test_case "vm rejects invalid" `Quick test_vm_rejects_invalid_plan;
+    Alcotest.test_case "vm hyper ops" `Quick test_vm_counts_hyper_ops;
+    Alcotest.test_case "bell numbers" `Quick test_set_partitions_bell_numbers;
+    Alcotest.test_case "partitions valid" `Quick test_set_partitions_are_partitions;
+    Alcotest.test_case "split search counter" `Quick test_split_search_on_counter;
+    Alcotest.test_case "fsm detector" `Quick test_fsm_detector_matches_software;
+    Alcotest.test_case "fsm reference" `Quick test_fsm_reference_matches_hardware;
+    Alcotest.test_case "fsm parity" `Quick test_fsm_parity;
+    Alcotest.test_case "fsm state-dependent trace" `Quick test_fsm_trace_is_state_dependent;
+    Alcotest.test_case "prefix or" `Quick test_prefix_or_exhaustive;
+    Alcotest.test_case "row or" `Quick test_row_or;
+  ]

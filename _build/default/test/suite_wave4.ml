@@ -1,0 +1,206 @@
+(* Asm_text parser/printer, Bp_analysis, Mt_dag_priv, plus the
+   consolidated differential battery. *)
+
+open Hr_core
+module Shyra = Hr_shyra
+module Rng = Hr_util.Rng
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* ---- Asm_text ---- *)
+
+let sample_source =
+  {|
+# increment bit 0
+lut1 NOT0        ; invert
+lut2 BUF0
+sel 0 r0
+sel 3 r0
+route 0 r0
+route 1 r8
+commit inc0
+lut1 0x96
+route 1 -
+commit
+|}
+
+let test_asm_text_parses () =
+  match Shyra.Asm_text.parse sample_source with
+  | Error e -> Alcotest.fail e
+  | Ok instrs ->
+      check int "10 instructions" 10 (List.length instrs);
+      (* It must assemble to a 2-cycle program. *)
+      check int "2 cycles" 2 (Shyra.Program.length (Shyra.Asm.assemble instrs))
+
+let test_asm_text_roundtrip () =
+  let instrs = Shyra.Asm_text.parse_exn sample_source in
+  let printed = Shyra.Asm_text.print instrs in
+  let reparsed = Shyra.Asm_text.parse_exn printed in
+  Alcotest.(check bool) "roundtrip" true (instrs = reparsed)
+
+let test_asm_text_counter_program_roundtrip () =
+  (* Print+reparse an entire generated program's instruction stream:
+     recover instructions from a Counter build via config diffs is
+     overkill; instead round-trip the raw cycle helper output. *)
+  let instrs =
+    Shyra.Asm.cycle ~lut1:Shyra.Lut.xor3 ~lut2:Shyra.Lut.maj3
+      ~sels:[ (0, 1); (1, 5); (2, 8) ]
+      ~routes:[ (0, Some 1); (1, None) ]
+      "add1"
+  in
+  let reparsed = Shyra.Asm_text.parse_exn (Shyra.Asm_text.print instrs) in
+  Alcotest.(check bool) "roundtrip" true (instrs = reparsed);
+  (* And both assemble identically. *)
+  let p1 = Shyra.Asm.assemble instrs and p2 = Shyra.Asm.assemble reparsed in
+  Alcotest.(check bool) "same program" true
+    (List.for_all2 Shyra.Config.equal (Shyra.Program.configs p1)
+       (Shyra.Program.configs p2))
+
+let test_asm_text_errors () =
+  let bad = [ "lut1 FROB"; "sel 9 r0"; "sel 0 r12"; "route 5 r0"; "warble" ] in
+  List.iter
+    (fun src ->
+      match Shyra.Asm_text.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    bad
+
+let test_asm_text_executes () =
+  (* The sample's first cycle inverts r0 and saves the old value. *)
+  let instrs = Shyra.Asm_text.parse_exn "lut1 NOT0\nlut2 BUF0\nsel 0 r0\nsel 3 r0\nroute 0 r0\nroute 1 r8\ncommit t\n" in
+  let program = Shyra.Asm.assemble instrs in
+  let s = Shyra.Machine.set (Shyra.Machine.create ()) 0 true in
+  let s' = Shyra.Program.run program s in
+  Alcotest.(check bool) "r0 inverted" false (Shyra.Machine.get s' 0);
+  Alcotest.(check bool) "r8 = old r0" true (Shyra.Machine.get s' 8)
+
+(* ---- Bp_analysis ---- *)
+
+let test_bp_analysis_values () =
+  let bp = Breakpoints.of_rows ~m:2 ~n:6 [| [ 2; 4 ]; [ 2 ] |] in
+  let a = Bp_analysis.analyze bp in
+  check int "hyper steps" 3 a.Bp_analysis.hyper_steps;
+  Alcotest.(check (array int)) "breaks" [| 3; 2 |] a.Bp_analysis.breaks_per_task;
+  check int "lockstep columns" 2 a.Bp_analysis.lockstep_columns;
+  check (Alcotest.float 1e-9) "alignment" (5. /. 6.) a.Bp_analysis.alignment
+
+let test_bp_analysis_extremes () =
+  let lockstep = Breakpoints.periodic ~m:3 ~n:8 2 in
+  check (Alcotest.float 1e-9) "full lockstep" 1.0
+    (Bp_analysis.analyze lockstep).Bp_analysis.alignment;
+  let solo = Breakpoints.of_rows ~m:2 ~n:4 [| [ 1 ]; [ 2 ] |] in
+  (* columns 0(both),1(A),2(B): alignment = 4 / (2*3) *)
+  check (Alcotest.float 1e-9) "staggered" (4. /. 6.)
+    (Bp_analysis.analyze solo).Bp_analysis.alignment
+
+(* ---- Mt_dag_priv ---- *)
+
+let chain2 ~w =
+  Dag_model.chain ~num_contexts:2 ~w ~costs:[| 1; 4 |]
+    ~sats:[| Bitset.of_list 2 [ 0 ]; Bitset.full 2 |]
+
+let mk_task name local_seq priv_seq =
+  { Mt_dag_priv.name; local = chain2 ~w:2; local_seq; priv_seq }
+
+let test_dag_priv_additive_costs () =
+  let priv = chain2 ~w:3 in
+  let t = mk_task "a" [| 0; 1 |] [| 1; 0 |] in
+  let oracle = Mt_dag_priv.oracle ~v:[| 2 |] ~priv [| t |] in
+  (* Block [0,1]: local needs top (cost 4), priv needs top (cost 4). *)
+  check int "block cost" 8 (oracle.Interval_cost.step_cost 0 0 1);
+  (* Block [0,0]: local id 0 -> cheap 1; priv id 1 -> top 4. *)
+  check int "first step" 5 (oracle.Interval_cost.step_cost 0 0 0)
+
+let test_dag_priv_assignment_restricts () =
+  let priv = chain2 ~w:3 in
+  let t = mk_task "a" [| 0 |] [| 0 |] in
+  (* Disallow the cheap private node: the top must be used. *)
+  let allowed _ node = node <> 0 in
+  let oracle = Mt_dag_priv.oracle ~v:[| 2 |] ~priv ~allowed [| t |] in
+  check int "forced expensive priv" (1 + 4) (oracle.Interval_cost.step_cost 0 0 0)
+
+let test_dag_priv_unsatisfiable_assignment () =
+  let priv = chain2 ~w:3 in
+  let t = mk_task "a" [| 0 |] [| 1 |] in
+  match Mt_dag_priv.oracle ~v:[| 2 |] ~priv ~allowed:(fun _ node -> node = 0) [| t |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "assignment smaller than demand accepted"
+
+let test_dag_priv_local_only_matches_dag_oracle () =
+  let t1 = mk_task "a" [| 0; 1; 0 |] [| 0; 0; 0 |] in
+  let t2 = mk_task "b" [| 1; 0; 0 |] [| 0; 0; 0 |] in
+  let via_priv = Mt_dag_priv.local_only ~v:[| 2; 3 |] [| t1; t2 |] in
+  let via_dag =
+    Dag_model.oracle ~v:[| 2; 3 |]
+      [| t1.Mt_dag_priv.local; t2.Mt_dag_priv.local |]
+      [| t1.Mt_dag_priv.local_seq; t2.Mt_dag_priv.local_seq |]
+  in
+  for j = 0 to 1 do
+    for lo = 0 to 2 do
+      for hi = lo to 2 do
+        if
+          via_priv.Interval_cost.step_cost j lo hi
+          <> via_dag.Interval_cost.step_cost j lo hi
+        then Alcotest.failf "mismatch (%d,%d,%d)" j lo hi
+      done
+    done
+  done
+
+let test_dag_priv_exact_dp_runs () =
+  let priv = chain2 ~w:3 in
+  let tasks =
+    [| mk_task "a" [| 0; 1; 0; 0 |] [| 0; 0; 1; 0 |];
+       mk_task "b" [| 1; 0; 0; 1 |] [| 0; 1; 0; 0 |] |]
+  in
+  let oracle = Mt_dag_priv.oracle ~v:[| 2; 2 |] ~priv tasks in
+  let brute_cost, _ = Brute.multi oracle in
+  let dp = Mt_dp.solve oracle in
+  check int "exact = brute" brute_cost dp.Mt_dp.cost
+
+(* ---- consolidated differential battery ---- *)
+
+let qcheck_differential_battery =
+  Tutil.prop "all evaluators agree on random plans"
+    (QCheck2.Gen.pair
+       (Tutil.gen_mt_instance ~max_m:4 ~max_n:10 ~max_width:5)
+       (QCheck2.Gen.int_bound 5000))
+    (fun (inst, seed) -> Tutil.show_mt_instance inst ^ Printf.sprintf " seed=%d" seed)
+    (fun (inst, seed) ->
+      let ts = Tutil.task_set_of_instance inst in
+      let oracle = Interval_cost.of_task_set ts in
+      let rng = Rng.create seed in
+      let bp =
+        Breakpoints.of_matrix
+          (Mt_moves.random rng ~m:inst.Tutil.m ~n:inst.Tutil.n ~density:0.35)
+      in
+      let v = Array.map (fun t -> t.Task_set.v) (Task_set.tasks ts) in
+      let a = Sync_cost.eval oracle bp in
+      let b = Plan.cost_sync (Plan.of_breakpoints ts bp) ~v in
+      let c =
+        match Machine_vm.execute_breakpoints ts bp with
+        | Ok run -> run.Machine_vm.total_time
+        | Error _ -> -1
+      in
+      let d = Mixed_sync.eval ~mode:Mixed_sync.Fully_synchronized oracle bp in
+      let e = Mt_async.eval oracle bp in
+      let f = Mixed_sync.eval ~mode:Mixed_sync.Non_synchronized oracle bp in
+      a = b && b = c && c = d && e = f && e <= a)
+
+let tests =
+  [
+    Alcotest.test_case "asm_text parses" `Quick test_asm_text_parses;
+    Alcotest.test_case "asm_text roundtrip" `Quick test_asm_text_roundtrip;
+    Alcotest.test_case "asm_text cycle roundtrip" `Quick test_asm_text_counter_program_roundtrip;
+    Alcotest.test_case "asm_text errors" `Quick test_asm_text_errors;
+    Alcotest.test_case "asm_text executes" `Quick test_asm_text_executes;
+    Alcotest.test_case "bp analysis values" `Quick test_bp_analysis_values;
+    Alcotest.test_case "bp analysis extremes" `Quick test_bp_analysis_extremes;
+    Alcotest.test_case "dag priv additive" `Quick test_dag_priv_additive_costs;
+    Alcotest.test_case "dag priv assignment" `Quick test_dag_priv_assignment_restricts;
+    Alcotest.test_case "dag priv unsatisfiable" `Quick test_dag_priv_unsatisfiable_assignment;
+    Alcotest.test_case "dag priv local-only" `Quick test_dag_priv_local_only_matches_dag_oracle;
+    Alcotest.test_case "dag priv exact dp" `Quick test_dag_priv_exact_dp_runs;
+    qcheck_differential_battery;
+  ]
