@@ -30,6 +30,12 @@ let all_modes = [ Shyra.Tracer.Diff; Shyra.Tracer.Field_diff; Shyra.Tracer.In_us
 
 let ga_seed = 2004
 
+(* All PHC solving below goes through the registry: build a Problem,
+   name a backend.  Model-specific analyses (DAG nodes, changeover,
+   private globals, online policies, ...) keep their own modules. *)
+let solve ?params ?mode name oracle =
+  Solver_registry.solve ~seed:ga_seed name (Problem.make ?params ?mode oracle)
+
 (* ------------------------------------------------------------------ *)
 (* F1: the SHyRA architecture (paper Fig. 1).                          *)
 
@@ -99,12 +105,8 @@ type headline = {
   mode : Shyra.Tracer.mode;
   n : int;
   disabled : int;
-  single_cost : int;
-  single_breaks : int;
-  single_bp : Breakpoints.t;
-  multi_cost : int;
-  multi_steps : int;
-  multi_bp : Breakpoints.t;
+  single : Solution.t;
+  multi : Solution.t;
   lower_bound : int;  (* max over tasks of the solo optimum *)
 }
 
@@ -112,31 +114,17 @@ let headline_for mode =
   let trace = counter_trace mode in
   let n = Trace.length trace in
   let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
-  let single_oracle = Shyra.Tasks.oracle trace Shyra.Tasks.single_task in
-  let single = St_opt.solve_oracle single_oracle ~task:0 in
-  let single_bp = Breakpoints.of_rows ~m:1 ~n [| single.St_opt.breaks |] in
-  let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
-  let polished = Mt_local.solve ~init:ga.Mt_ga.bp oracle in
+  let single = solve "st-dp" (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) in
+  let problem = Problem.make (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
+  let multi = Solver_registry.solve ~seed:ga_seed "ga-polish" problem in
   let lower_bound =
     (* Each task must pay at least its own solo optimum; the max-coupled
        machine can never beat the costliest solo task. *)
     List.fold_left max 0
-      (List.init oracle.Interval_cost.m (fun j ->
-           (St_opt.solve_oracle oracle ~task:j).St_opt.cost))
+      (List.init (Problem.m problem) (fun j ->
+           (Solver_registry.solve "st-dp" (Problem.task problem j)).Solution.cost))
   in
-  {
-    mode;
-    n;
-    disabled;
-    single_cost = single.St_opt.cost;
-    single_breaks = List.length single.St_opt.breaks;
-    single_bp;
-    multi_cost = polished.Mt_local.cost;
-    multi_steps = List.length (Breakpoints.break_columns polished.Mt_local.bp);
-    multi_bp = polished.Mt_local.bp;
-    lower_bound;
-  }
+  { mode; n; disabled; single; multi; lower_bound }
 
 let headlines = lazy (List.map headline_for all_modes)
 
@@ -157,14 +145,14 @@ let fig2 () =
   in
   let single_ts = Shyra.Tasks.split trace Shyra.Tasks.single_task in
   Printf.printf "-- single task case (optimal plan, %d hyperreconfigurations) --\n"
-    h.single_breaks;
-  print_string (Hr_viz.Figures.fig2_units single_ts h.single_bp ~unit_masks);
+    (List.length (Solution.task_breaks h.single 0));
+  print_string (Hr_viz.Figures.fig2_units single_ts h.single.Solution.bp ~unit_masks);
   let multi_ts = Shyra.Tasks.split trace Shyra.Tasks.four_tasks in
   Printf.printf "\n-- multiple task case (GA plan, %d partial hyperreconfiguration steps) --\n"
-    h.multi_steps;
-  print_string (Hr_viz.Figures.fig2 multi_ts h.multi_bp);
+    (Solution.num_break_steps h.multi);
+  print_string (Hr_viz.Figures.fig2 multi_ts h.multi.Solution.bp);
   Printf.printf "\n-- same plan, the paper's exact legend --\n";
-  print_string (Hr_viz.Figures.fig2_paper multi_ts h.multi_bp)
+  print_string (Hr_viz.Figures.fig2_paper multi_ts h.multi.Solution.bp)
 
 (* ------------------------------------------------------------------ *)
 (* F3: which tasks hyperreconfigure at each partial step.              *)
@@ -174,8 +162,9 @@ let fig3 () =
   let h = primary () in
   let trace = counter_trace h.mode in
   let multi_ts = Shyra.Tasks.split trace Shyra.Tasks.four_tasks in
-  print_string (Hr_viz.Figures.fig3 multi_ts h.multi_bp);
-  Format.printf "plan shape: %a@." Bp_analysis.pp (Bp_analysis.analyze h.multi_bp);
+  print_string (Hr_viz.Figures.fig3 multi_ts h.multi.Solution.bp);
+  Format.printf "plan shape: %a@." Bp_analysis.pp
+    (Bp_analysis.analyze h.multi.Solution.bp);
   Printf.printf
     "\npaper: 50 partial hyperreconfiguration steps; since l1 = l2 = l3 and\n\
      hyperreconfigurations are task parallel, either all four tasks or\n\
@@ -197,15 +186,15 @@ let t1 () =
           [ "disabled"; string_of_int h.disabled; "100.0%"; "0" ];
           [
             "single task (optimal)";
-            string_of_int h.single_cost;
-            pct h.single_cost h.disabled;
-            string_of_int h.single_breaks;
+            string_of_int h.single.Solution.cost;
+            pct h.single.Solution.cost h.disabled;
+            string_of_int (List.length (Solution.task_breaks h.single 0));
           ];
           [
             "four tasks (GA+polish)";
-            string_of_int h.multi_cost;
-            pct h.multi_cost h.disabled;
-            string_of_int h.multi_steps;
+            string_of_int h.multi.Solution.cost;
+            pct h.multi.Solution.cost h.disabled;
+            string_of_int (Solution.num_break_steps h.multi);
           ];
           [
             "four tasks lower bound";
@@ -228,30 +217,30 @@ let a1 () =
   section "A1  optimizer comparison (four-task counter instance, field-diff)";
   let h = primary () in
   let trace = counter_trace h.mode in
-  let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let heuristics =
+  let problem = Problem.make (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
+  let sols =
     List.map
-      (fun e -> (e.Mt_greedy.name, e.Mt_greedy.cost))
-      (Mt_greedy.portfolio oracle)
+      (fun s -> Solver.solve ~seed:ga_seed s problem)
+      (Solver_registry.applicable problem)
   in
-  let local = Mt_local.solve oracle in
-  let anneal = Mt_anneal.solve ~rng:(Rng.create ga_seed) oracle in
-  let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
   let rows =
-    heuristics
-    @ [
-        ("hill-climbing", local.Mt_local.cost);
-        ("simulated annealing", anneal.Mt_anneal.cost);
-        ("genetic algorithm", ga.Mt_ga.cost);
-        ("lower bound (max solo)", h.lower_bound);
-      ]
+    List.map
+      (fun sol ->
+        [
+          sol.Solution.solver;
+          Solver.kind_name (Solver_registry.find_exn sol.Solution.solver).Solver.kind;
+          string_of_int sol.Solution.cost;
+        ])
+      sols
+    @ [ [ "lower bound (max solo)"; "-"; string_of_int h.lower_bound ] ]
   in
-  T.print ~header:[ "method"; "cost" ]
-    (List.map (fun (n, c) -> [ n; string_of_int c ]) rows);
-  if ga.Mt_ga.cost = h.lower_bound then
+  T.print ~header:[ "solver"; "kind"; "cost" ] rows;
+  let best = Solution.best sols in
+  if best.Solution.cost = h.lower_bound then
     Printf.printf
-      "\nthe GA meets the per-task lower bound, so its plan is provably optimal\n\
+      "\n%s meets the per-task lower bound, so its plan is provably optimal\n\
        for this instance.\n"
+      best.Solution.solver
 
 (* ------------------------------------------------------------------ *)
 (* A2: sensitivity to the hyperreconfiguration cost v.                 *)
@@ -271,19 +260,16 @@ let a2 () =
     List.map
       (fun (num, den) ->
         let single_ts = scale_v num den (Shyra.Tasks.split trace Shyra.Tasks.single_task) in
-        let single =
-          St_opt.solve_oracle (Interval_cost.of_task_set single_ts) ~task:0
-        in
+        let single = solve "st-dp" (Interval_cost.of_task_set single_ts) in
         let multi_ts = scale_v num den (Shyra.Tasks.split trace Shyra.Tasks.four_tasks) in
-        let oracle = Interval_cost.of_task_set multi_ts in
-        let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+        let ga = solve "ga" (Interval_cost.of_task_set multi_ts) in
         [
           Printf.sprintf "%g" (float_of_int num /. float_of_int den);
-          string_of_int single.St_opt.cost;
-          string_of_int (List.length single.St_opt.breaks);
-          string_of_int ga.Mt_ga.cost;
-          string_of_int (List.length (Breakpoints.break_columns ga.Mt_ga.bp));
-          pct ga.Mt_ga.cost disabled;
+          string_of_int single.Solution.cost;
+          string_of_int (List.length (Solution.task_breaks single 0));
+          string_of_int ga.Solution.cost;
+          string_of_int (Solution.num_break_steps ga);
+          pct ga.Solution.cost disabled;
         ])
       [ (1, 8); (1, 4); (1, 2); (1, 1); (2, 1); (4, 1) ]
   in
@@ -312,18 +298,17 @@ let a3 () =
             in
             let gen = if correlated then W.Multi_gen.correlated else W.Multi_gen.independent in
             let ts = gen (Rng.create 7) spec in
-            let oracle = Interval_cost.of_task_set ts in
             let disabled =
               Sync_cost.disabled_cost ~n:96
                 ~machine_width:(Task_set.total_local_switches ts) ()
             in
-            let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+            let ga = solve "ga" (Interval_cost.of_task_set ts) in
             [
               (if correlated then "correlated" else "independent");
               string_of_int m;
               string_of_int disabled;
-              string_of_int ga.Mt_ga.cost;
-              pct ga.Mt_ga.cost disabled;
+              string_of_int ga.Solution.cost;
+              pct ga.Solution.cost disabled;
             ])
           [ 1; 2; 4; 6 ])
       [ true; false ]
@@ -405,8 +390,8 @@ let a6 () =
     List.map
       (fun (hname, hyper, rname, reconf) ->
         let params = { Sync_cost.default_params with Sync_cost.hyper; reconf } in
-        let ga = Mt_ga.solve ~params ~rng:(Rng.create ga_seed) oracle in
-        [ hname; rname; string_of_int ga.Mt_ga.cost ])
+        let ga = solve ~params "ga" oracle in
+        [ hname; rname; string_of_int ga.Solution.cost ])
       [
         ("parallel", Sync_cost.Task_parallel, "parallel", Sync_cost.Task_parallel);
         ("parallel", Sync_cost.Task_parallel, "sequential", Sync_cost.Task_sequential);
@@ -469,25 +454,27 @@ let a8 () =
   let trace = counter_trace Shyra.Tracer.Field_diff in
   let prefix = Trace.sub trace 0 13 in
   let oracle = Shyra.Tasks.oracle prefix Shyra.Tasks.four_tasks in
-  let ub = (Mt_greedy.best oracle).Mt_greedy.cost in
-  let exact = Mt_dp.solve ~upper_bound:ub oracle in
-  let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+  let exact = solve "mt-dp" oracle in
+  let ga = solve "ga" oracle in
+  let states =
+    Option.value (List.assoc_opt "states" exact.Solution.stats) ~default:"-"
+  in
   T.print
     ~header:[ "solver"; "cost"; "exact"; "states explored" ]
     [
       [
-        "Mt_dp (Theorem 1)";
-        string_of_int exact.Mt_dp.cost;
-        string_of_bool exact.Mt_dp.exact;
-        string_of_int exact.Mt_dp.states_explored;
+        "mt-dp (Theorem 1)";
+        string_of_int exact.Solution.cost;
+        string_of_bool exact.Solution.exact;
+        states;
       ];
-      [ "Mt_ga"; string_of_int ga.Mt_ga.cost; "-"; "-" ];
+      [ "ga"; string_of_int ga.Solution.cost; "-"; "-" ];
     ];
-  if ga.Mt_ga.cost = exact.Mt_dp.cost then
+  if ga.Solution.cost = exact.Solution.cost then
     print_string "\nthe GA matches the exact optimum on the 14-step prefix.\n"
   else
-    Printf.printf "\nGA gap on the prefix: %d vs exact %d.\n" ga.Mt_ga.cost
-      exact.Mt_dp.cost
+    Printf.printf "\nGA gap on the prefix: %d vs exact %d.\n" ga.Solution.cost
+      exact.Solution.cost
 
 (* ------------------------------------------------------------------ *)
 (* A9: the three machine classes of §3.                                *)
@@ -545,15 +532,15 @@ let a10 () =
   let trace = counter_trace Shyra.Tracer.Field_diff in
   let ts = Shyra.Tasks.split trace Shyra.Tasks.four_tasks in
   let oracle = Interval_cost.of_task_set ts in
-  let plain = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+  let plain = solve "ga" oracle in
   let change = Mt_changeover.solve ~rng:(Rng.create ga_seed) ts in
-  let plain_under_changeover = Mt_changeover.cost_of ts plain.Mt_ga.bp in
+  let plain_under_changeover = Mt_changeover.cost_of ts plain.Solution.bp in
   T.print
     ~header:[ "plan optimized for"; "plain cost"; "changeover cost" ]
     [
       [
         "plain model";
-        string_of_int plain.Mt_ga.cost;
+        string_of_int plain.Solution.cost;
         string_of_int plain_under_changeover;
       ];
       [
@@ -588,19 +575,16 @@ let a11 () =
         let trace = Shyra.Tracer.trace program in
         let n = Trace.length trace in
         let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
-        let single =
-          St_opt.solve_oracle (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) ~task:0
-        in
-        let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-        let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+        let single = solve "st-dp" (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) in
+        let ga = solve "ga" (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
         [
           name;
           string_of_int n;
           string_of_int disabled;
-          string_of_int single.St_opt.cost;
-          pct single.St_opt.cost disabled;
-          string_of_int ga.Mt_ga.cost;
-          pct ga.Mt_ga.cost disabled;
+          string_of_int single.Solution.cost;
+          pct single.Solution.cost disabled;
+          string_of_int ga.Solution.cost;
+          pct ga.Solution.cost disabled;
         ])
       apps
   in
@@ -620,14 +604,14 @@ let a12 () =
   let rows =
     List.map
       (fun (name, oracle) ->
-        let async = Mt_async.solve oracle in
-        let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
-        let sync = (Mt_local.solve ~init:ga.Mt_ga.bp oracle).Mt_local.cost in
+        let async = solve ~mode:Mixed_sync.Non_synchronized "async-opt" oracle in
+        let sync = (solve "ga-polish" oracle).Solution.cost in
         [
           name;
-          string_of_int async.Mt_async.cost;
+          string_of_int async.Solution.cost;
           string_of_int sync;
-          Printf.sprintf "%.2fx" (Mt_async.sync_penalty ~sync_cost:sync async);
+          Printf.sprintf "%.2fx"
+            (float_of_int sync /. float_of_int (max 1 async.Solution.cost));
         ])
       [
         ( "counter (field-diff)",
@@ -673,13 +657,13 @@ let a13 () =
   section "A13 synchronization modes on the same plan (paper §3)";
   let trace = counter_trace Shyra.Tracer.Field_diff in
   let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+  let ga = solve "ga" oracle in
   let rows =
     List.map
       (fun mode ->
         [
           Format.asprintf "%a" Mixed_sync.pp_mode mode;
-          string_of_int (Mixed_sync.eval ~mode oracle ga.Mt_ga.bp);
+          string_of_int (Mixed_sync.eval ~mode oracle ga.Solution.bp);
         ])
       [
         Mixed_sync.Non_synchronized;
@@ -767,7 +751,7 @@ let a16 () =
   let h = primary () in
   let trace = counter_trace h.mode in
   let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let tl = Hr_viz.Timeline.make oracle h.multi_bp in
+  let tl = Hr_viz.Timeline.make oracle h.multi.Solution.bp in
   print_string
     (Hr_viz.Timeline.render ~names:[| "LUT1"; "LUT2"; "DeMUX"; "MUX" |] tl);
   Printf.printf
@@ -801,19 +785,19 @@ let a17 () =
         let width = Switch_space.size (Trace.space trace) in
         let disabled = Sync_cost.disabled_cost ~n ~machine_width:width () in
         let single =
-          St_opt.solve_oracle
-            (Interval_cost.of_task_set (Task_split.single trace))
-            ~task:0
+          solve "st-dp" (Interval_cost.of_task_set (Task_split.single trace))
         in
-        let oracle = Task_split.oracle trace (M.Mesh_tracer.row_bands grid ~bands:3) in
-        let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+        let ga =
+          solve "ga" (Task_split.oracle trace (M.Mesh_tracer.row_bands grid ~bands:3))
+        in
         [
           name;
           Printf.sprintf "%dx%d" (M.Grid.rows grid) (M.Grid.cols grid);
           string_of_int n;
           string_of_int disabled;
-          Printf.sprintf "%d (%s)" single.St_opt.cost (pct single.St_opt.cost disabled);
-          Printf.sprintf "%d (%s)" ga.Mt_ga.cost (pct ga.Mt_ga.cost disabled);
+          Printf.sprintf "%d (%s)" single.Solution.cost
+            (pct single.Solution.cost disabled);
+          Printf.sprintf "%d (%s)" ga.Solution.cost (pct ga.Solution.cost disabled);
         ])
       workloads
   in
@@ -870,18 +854,17 @@ let a19 () =
         let trace = Shyra.Tracer.trace program in
         let n = Trace.length trace in
         let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
-        let single =
-          St_opt.solve_oracle (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) ~task:0
-        in
-        let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-        let multi = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+        let single = solve "st-dp" (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) in
+        let multi = solve "ga" (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
         [
           name;
           string_of_int n;
           Printf.sprintf "%.2f"
             (Trace_stats.analyze trace).Trace_stats.mean_jaccard;
-          Printf.sprintf "%d (%s)" single.St_opt.cost (pct single.St_opt.cost disabled);
-          Printf.sprintf "%d (%s)" multi.Mt_ga.cost (pct multi.Mt_ga.cost disabled);
+          Printf.sprintf "%d (%s)" single.Solution.cost
+            (pct single.Solution.cost disabled);
+          Printf.sprintf "%d (%s)" multi.Solution.cost
+            (pct multi.Solution.cost disabled);
         ])
       [ ("dwelling input", dwell); ("random input", random) ]
   in
@@ -945,14 +928,15 @@ let a21 () =
                 (weight j))
             (Task_set.tasks ts)
         in
-        let oracle = Weighted.oracle ts ~weights in
-        let local = Mt_local.solve oracle in
+        let problem = Problem.make (Weighted.oracle ts ~weights) in
+        let local = Solver_registry.solve ~seed:ga_seed "hill-climb" problem in
         let solos =
-          List.init 4 (fun j -> (St_opt.solve_oracle oracle ~task:j).St_opt.cost)
+          List.init 4 (fun j ->
+              (Solver_registry.solve "st-dp" (Problem.task problem j)).Solution.cost)
         in
         [
           name;
-          string_of_int local.Mt_local.cost;
+          string_of_int local.Solution.cost;
           string_of_int (List.fold_left max 0 solos);
         ])
       weight_sets
@@ -975,14 +959,16 @@ let a22 () =
         let chain = W.Markov.make_chain rng ~space ~states:4 ~self in
         let trace = W.Markov.generate rng chain ~space ~n:120 in
         let stats = Trace_stats.analyze trace in
-        let single, _ = St_opt.solve_trace ~v:48 trace in
+        let single =
+          Solver_registry.solve "st-dp" (Problem.of_trace ~v:48 trace)
+        in
         let disabled = Sync_cost.disabled_cost ~n:120 ~machine_width:48 () in
         [
           Printf.sprintf "%.2f" self;
           Printf.sprintf "%.1f" stats.Trace_stats.mean_req;
           Printf.sprintf "%.2f" stats.Trace_stats.mean_jaccard;
-          string_of_int single.St_opt.cost;
-          pct single.St_opt.cost disabled;
+          string_of_int single.Solution.cost;
+          pct single.Solution.cost disabled;
         ])
       [ 0.25; 0.5; 0.8; 0.9; 0.95; 0.99 ]
   in
@@ -1040,11 +1026,8 @@ let a24 () =
   let trace = Shyra.Tracer.trace program in
   let n = Trace.length trace in
   let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
-  let single =
-    St_opt.solve_oracle (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) ~task:0
-  in
-  let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let multi = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+  let single = solve "st-dp" (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) in
+  let multi = solve "ga" (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
   T.print
     ~header:[ "quantity"; "value" ]
     [
@@ -1053,11 +1036,13 @@ let a24 () =
       [ "disabled"; string_of_int disabled ];
       [
         "single task (optimal)";
-        Printf.sprintf "%d (%s)" single.St_opt.cost (pct single.St_opt.cost disabled);
+        Printf.sprintf "%d (%s)" single.Solution.cost
+          (pct single.Solution.cost disabled);
       ];
       [
         "four tasks (GA)";
-        Printf.sprintf "%d (%s)" multi.Mt_ga.cost (pct multi.Mt_ga.cost disabled);
+        Printf.sprintf "%d (%s)" multi.Solution.cost
+          (pct multi.Solution.cost disabled);
       ];
     ];
   Printf.printf
@@ -1076,14 +1061,14 @@ let a25 () =
         let oracle = Shyra.Duo.oracle a b in
         let n = oracle.Interval_cost.n in
         let disabled = Sync_cost.disabled_cost ~n ~machine_width:96 () in
-        let plan = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
-        let async = Mt_async.solve oracle in
+        let plan = solve "ga" oracle in
+        let async = solve ~mode:Mixed_sync.Non_synchronized "async-opt" oracle in
         [
           name;
           string_of_int n;
           string_of_int disabled;
-          Printf.sprintf "%d (%s)" plan.Mt_ga.cost (pct plan.Mt_ga.cost disabled);
-          string_of_int async.Mt_async.cost;
+          Printf.sprintf "%d (%s)" plan.Solution.cost (pct plan.Solution.cost disabled);
+          string_of_int async.Solution.cost;
         ])
       [
         ( "counter + rule90",
@@ -1113,17 +1098,14 @@ let a26 () =
     let trace = Shyra.Tracer.trace program in
     let n = Trace.length trace in
     let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
-    let single =
-      St_opt.solve_oracle (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) ~task:0
-    in
-    let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-    let multi = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
+    let single = solve "st-dp" (Shyra.Tasks.oracle trace Shyra.Tasks.single_task) in
+    let multi = solve "ga" (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
     [
       name;
       string_of_int n;
       string_of_int disabled;
-      Printf.sprintf "%d (%s)" single.St_opt.cost (pct single.St_opt.cost disabled);
-      Printf.sprintf "%d (%s)" multi.Mt_ga.cost (pct multi.Mt_ga.cost disabled);
+      Printf.sprintf "%d (%s)" single.Solution.cost (pct single.Solution.cost disabled);
+      Printf.sprintf "%d (%s)" multi.Solution.cost (pct multi.Solution.cost disabled);
     ]
   in
   T.print
@@ -1148,9 +1130,8 @@ let a27 () =
   section "A27 plan robustness under demand noise (data-dependent demands)";
   let trace = counter_trace Shyra.Tracer.Field_diff in
   let ts = Shyra.Tasks.split trace Shyra.Tasks.four_tasks in
-  let oracle = Interval_cost.of_task_set ts in
-  let ga = Mt_ga.solve ~rng:(Rng.create ga_seed) oracle in
-  let plan = Plan.of_breakpoints ts ga.Mt_ga.bp in
+  let ga = solve "ga" (Interval_cost.of_task_set ts) in
+  let plan = Plan.of_breakpoints ts ga.Solution.bp in
   let rows =
     List.concat_map
       (fun p ->
@@ -1187,6 +1168,42 @@ let a27 () =
      robustness for a modest steady-state premium - the worst-case-upper-bound\n\
      guidance of the paper's section 2, quantified.\n"
 
+(* ------------------------------------------------------------------ *)
+(* A28: racing the registry on parallel domains.                       *)
+
+let a28 () =
+  section "A28 solver race: all applicable backends on parallel domains";
+  let trace = counter_trace Shyra.Tracer.Field_diff in
+  let problem = Problem.make (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
+  let sequential =
+    List.map
+      (fun s -> Solver.solve ~seed:ga_seed s problem)
+      (Solver_registry.applicable problem)
+  in
+  let winner = Solver_registry.race ~seed:ga_seed problem in
+  T.print ~header:[ "solver"; "cost"; "exact" ]
+    (List.map
+       (fun sol ->
+         [
+           sol.Solution.solver;
+           string_of_int sol.Solution.cost;
+           (if sol.Solution.exact then "yes" else "no");
+         ])
+       sequential);
+  let best_seq = Solution.best sequential in
+  Format.printf "@.race winner (%d contestants, %d domains): %a@."
+    (List.length sequential)
+    (Hr_util.Par.num_domains ())
+    Solution.pp winner;
+  if winner.Solution.cost = best_seq.Solution.cost then
+    Printf.printf
+      "the race reproduces the best sequential backend exactly — per-solver\n\
+       RNGs are derived from the seed and the solver name, so racing changes\n\
+       wall-clock time, never results.\n"
+  else
+    Printf.printf "MISMATCH: race %d vs sequential best %d (%s)\n"
+      winner.Solution.cost best_seq.Solution.cost best_seq.Solution.solver
+
 let run_all () =
   fig1 ();
   t0 ();
@@ -1219,4 +1236,5 @@ let run_all () =
   a24 ();
   a25 ();
   a26 ();
-  a27 ()
+  a27 ();
+  a28 ()

@@ -100,6 +100,65 @@ let test_mesh_resolve =
         in
         fun () -> Hr_rmesh.Grid.resolve grid config))
 
+(* The oracle caches behind Problem.make: the dense precomputed tables
+   (lock-free reads) vs the Mutex-guarded memoizer, under a query storm
+   on one domain and spread across all domains — the access pattern of
+   Solver.race.  Both caches are built and prewarmed before staging, so
+   steady-state lookups are what is measured. *)
+let oracle_cache_tests =
+  let base =
+    lazy
+      (let spec = { W.Multi_gen.default_spec with W.Multi_gen.m = 4; n = 96 } in
+       Interval_cost.of_task_set (W.Multi_gen.correlated (Rng.create 21) spec))
+  in
+  let queries =
+    lazy
+      (let o = Lazy.force base in
+       let m = o.Interval_cost.m and n = o.Interval_cost.n in
+       let rng = Rng.create 22 in
+       Array.init 4096 (fun _ ->
+           let j = Rng.int rng m in
+           let lo = Rng.int rng n in
+           let hi = lo + Rng.int rng (n - lo) in
+           (j, lo, hi)))
+  in
+  let prewarm o =
+    let m = o.Interval_cost.m and n = o.Interval_cost.n in
+    for j = 0 to m - 1 do
+      for lo = 0 to n - 1 do
+        for hi = lo to n - 1 do
+          ignore (o.Interval_cost.step_cost j lo hi)
+        done
+      done
+    done;
+    o
+  in
+  let storm ~domains o =
+    let qs = Lazy.force queries in
+    let sc = o.Interval_cost.step_cost in
+    let burn lo hi =
+      let acc = ref 0 in
+      for i = lo to hi do
+        let j, l, h = qs.(i) in
+        acc := !acc + sc j l h
+      done;
+      ignore !acc
+    in
+    if domains <= 1 then burn 0 (Array.length qs - 1)
+    else Hr_util.Par.iter_chunks ~domains burn (Array.length qs)
+  in
+  List.map
+    (fun (name, cache, domains) ->
+      let cached = lazy (prewarm (cache (Lazy.force base))) in
+      Test.make ~name:(Printf.sprintf "interval_cost/%s" name)
+        (Staged.stage (fun () -> storm ~domains (Lazy.force cached))))
+    [
+      ("mutex-memoize-1dom", Interval_cost.memoize, 1);
+      ("dense-precompute-1dom", Interval_cost.precompute ?max_cells:None, 1);
+      ("mutex-memoize-4dom", Interval_cost.memoize, 4);
+      ("dense-precompute-4dom", Interval_cost.precompute ?max_cells:None, 4);
+    ]
+
 (* The referee VM (differential oracle of the §4.2 formulas). *)
 let test_vm =
   Test.make ~name:"machine_vm/counter-4task"
@@ -116,7 +175,7 @@ let test_vm =
 
 let all_tests =
   Test.make_grouped ~name:"hyperreconf"
-    [
+    ([
       test_shyra_sim;
       test_st_opt;
       test_sync_eval;
@@ -128,6 +187,7 @@ let all_tests =
       test_mesh_resolve;
       test_vm;
     ]
+  @ oracle_cache_tests)
 
 let run () =
   Hr_util.Tablefmt.section "microbenchmarks (bechamel)";

@@ -1,9 +1,11 @@
 (* CLI: optimize (hyper)reconfiguration plans for a workload.
 
    Workloads: the SHyRA counter trace (the paper's experiment) or
-   synthetic multi-task phased workloads.  Optimizers: the greedy
-   portfolio, hill climbing, simulated annealing, the genetic
-   algorithm, and (when the instance is small enough) the exact DP. *)
+   synthetic multi-task phased workloads.  Solvers are resolved by name
+   through Solver_registry: any registered backend, "portfolio" (run
+   every applicable backend and tabulate), "race" (run them on parallel
+   domains and keep the best), "eval" (referee a saved plan) or "list"
+   (show the registry). *)
 
 open Cmdliner
 open Hr_core
@@ -31,89 +33,100 @@ let file_oracle path =
   let ts = Task_set.single ~name:"trace" trace in
   (Interval_cost.of_task_set ts, ts)
 
+(* Old method names from before the registry, kept as aliases. *)
+let alias = function
+  | "local" -> "hill-climb"
+  | "exact" -> "mt-dp"
+  | s -> s
+
+let list_registry () =
+  Hr_util.Tablefmt.print ~header:[ "solver"; "kind"; "description" ]
+    (List.map
+       (fun s ->
+         [ s.Solver.name; Solver.kind_name s.Solver.kind; s.Solver.doc ])
+       (Solver_registry.all ()))
+
 let run workload mode split seed m n correlated method_ seed_opt show_figures
     trace_file plan_file =
-  let tracer_mode =
-    match mode with
-    | "diff" -> Shyra.Tracer.Diff
-    | "inuse" -> Shyra.Tracer.In_use
-    | _ -> Shyra.Tracer.Field_diff
-  in
-  let oracle, ts =
-    match workload with
-    | "counter" -> counter_oracle tracer_mode split
-    | "synthetic" -> synthetic_oracle seed m n correlated
-    | "file" -> (
-        match trace_file with
-        | Some path -> file_oracle path
-        | None -> failwith "workload 'file' needs --trace-file")
-    | s -> failwith (Printf.sprintf "unknown workload %S (counter|synthetic|file)" s)
-  in
-  let rng = Rng.create seed_opt in
-  let result_rows =
-    match method_ with
-    | "portfolio" ->
-        List.map
-          (fun e -> (e.Mt_greedy.name, e.Mt_greedy.cost, Some e.Mt_greedy.bp))
-          (Mt_greedy.portfolio oracle)
-    | "local" ->
-        let r = Mt_local.solve oracle in
-        [ ("hill-climbing", r.Mt_local.cost, Some r.Mt_local.bp) ]
-    | "anneal" ->
-        let r = Mt_anneal.solve ~rng oracle in
-        [ ("annealing", r.Mt_anneal.cost, Some r.Mt_anneal.bp) ]
-    | "ga" ->
-        let r = Mt_ga.solve ~rng oracle in
-        [ ("genetic-algorithm", r.Mt_ga.cost, Some r.Mt_ga.bp) ]
-    | "exact" ->
-        let ub = (Mt_greedy.best oracle).Mt_greedy.cost in
-        let r = Mt_dp.solve ~upper_bound:ub oracle in
-        [ ((if r.Mt_dp.exact then "exact-dp" else "beam-dp"), r.Mt_dp.cost, Some r.Mt_dp.bp) ]
-    | "eval" -> (
-        match plan_file with
-        | None -> failwith "method 'eval' needs --plan-file"
-        | Some path -> (
-            let bp = Plan_io.load path in
-            match Machine_vm.execute_breakpoints ts bp with
-            | Ok vm_run ->
-                [ ("saved plan (referee VM)", vm_run.Machine_vm.total_time, Some bp) ]
-            | Error e -> failwith ("invalid plan: " ^ e)))
-    | s ->
-        failwith
-          (Printf.sprintf "unknown method %S (portfolio|local|anneal|ga|exact|eval)" s)
-  in
-  Option.iter
-    (fun path ->
-      match result_rows with
-      | (_, _, Some bp) :: _ when method_ <> "eval" ->
-          Plan_io.save path bp;
-          Printf.printf "plan written to %s\n" path
-      | _ -> ())
-    (if method_ = "eval" then None else plan_file);
-  let disabled =
-    Sync_cost.disabled_cost ~n:oracle.Interval_cost.n
-      ~machine_width:(Task_set.total_local_switches ts) ()
-  in
-  Printf.printf "instance: m=%d n=%d, disabled-baseline cost %d\n"
-    oracle.Interval_cost.m oracle.Interval_cost.n disabled;
-  Hr_util.Tablefmt.print ~header:[ "method"; "cost"; "% of disabled" ]
-    (List.map
-       (fun (name, cost, _) ->
-         [
-           name;
-           string_of_int cost;
-           Printf.sprintf "%.1f" (100. *. float_of_int cost /. float_of_int disabled);
-         ])
-       result_rows);
-  (if show_figures then
-     match result_rows with
-     | (_, _, Some bp) :: _ ->
-         print_newline ();
-         print_string (Hr_viz.Figures.fig2 ts bp);
-         print_newline ();
-         print_string (Hr_viz.Figures.fig3 ts bp)
-     | _ -> ());
-  0
+  let method_ = alias method_ in
+  if method_ = "list" then begin
+    list_registry ();
+    0
+  end
+  else begin
+    let tracer_mode =
+      match mode with
+      | "diff" -> Shyra.Tracer.Diff
+      | "inuse" -> Shyra.Tracer.In_use
+      | _ -> Shyra.Tracer.Field_diff
+    in
+    let oracle, ts =
+      match workload with
+      | "counter" -> counter_oracle tracer_mode split
+      | "synthetic" -> synthetic_oracle seed m n correlated
+      | "file" -> (
+          match trace_file with
+          | Some path -> file_oracle path
+          | None -> failwith "workload 'file' needs --trace-file")
+      | s -> failwith (Printf.sprintf "unknown workload %S (counter|synthetic|file)" s)
+    in
+    let problem = Problem.make oracle in
+    let sols =
+      match method_ with
+      | "portfolio" ->
+          List.map
+            (fun s -> Solver.solve ~seed:seed_opt s problem)
+            (Solver_registry.applicable problem)
+      | "race" -> [ Solver_registry.race ~seed:seed_opt problem ]
+      | "eval" -> (
+          match plan_file with
+          | None -> failwith "method 'eval' needs --plan-file"
+          | Some path -> (
+              let bp = Plan_io.load path in
+              match Machine_vm.execute_breakpoints ts bp with
+              | Ok vm_run ->
+                  [
+                    Solution.make ~solver:"saved plan (referee VM)"
+                      ~cost:vm_run.Machine_vm.total_time bp;
+                  ]
+              | Error e -> failwith ("invalid plan: " ^ e)))
+      | name -> [ Solver_registry.solve ~seed:seed_opt name problem ]
+    in
+    Option.iter
+      (fun path ->
+        match sols with
+        | best :: _ when method_ <> "eval" ->
+            Plan_io.save path best.Solution.bp;
+            Printf.printf "plan written to %s\n" path
+        | _ -> ())
+      (if method_ = "eval" then None else plan_file);
+    let disabled =
+      Sync_cost.disabled_cost ~n:oracle.Interval_cost.n
+        ~machine_width:(Task_set.total_local_switches ts) ()
+    in
+    Format.printf "instance: %a, disabled-baseline cost %d@." Problem.pp problem
+      disabled;
+    Hr_util.Tablefmt.print ~header:[ "solver"; "cost"; "exact"; "% of disabled" ]
+      (List.map
+         (fun sol ->
+           [
+             sol.Solution.solver;
+             string_of_int sol.Solution.cost;
+             (if sol.Solution.exact then "yes" else "no");
+             Printf.sprintf "%.1f"
+               (100. *. float_of_int sol.Solution.cost /. float_of_int disabled);
+           ])
+         sols);
+    (if show_figures then
+       match sols with
+       | best :: _ ->
+           print_newline ();
+           print_string (Hr_viz.Figures.fig2 ts best.Solution.bp);
+           print_newline ();
+           print_string (Hr_viz.Figures.fig3 ts best.Solution.bp)
+       | _ -> ());
+    0
+  end
 
 let workload =
   Arg.(value & pos 0 string "counter" & info [] ~docv:"WORKLOAD" ~doc:"counter or synthetic.")
@@ -134,7 +147,14 @@ let correlated =
   Arg.(value & flag & info [ "correlated" ] ~doc:"Correlate phase boundaries across tasks.")
 
 let method_ =
-  Arg.(value & opt string "portfolio" & info [ "method" ] ~doc:"portfolio, local, anneal, ga or exact.")
+  Arg.(
+    value
+    & opt string "portfolio"
+    & info [ "method" ]
+        ~doc:
+          "A registered solver name (see --method list), or: portfolio (all \
+           applicable solvers), race (parallel race, best wins), eval (referee \
+           a saved plan), list (show the registry).")
 
 let seed_opt = Arg.(value & opt int 2004 & info [ "seed" ] ~doc:"Optimizer RNG seed.")
 
@@ -163,4 +183,9 @@ let cmd =
       const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
       $ seed_opt $ show_figures $ trace_file $ plan_file)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "hropt: %s\n" msg;
+      exit 2

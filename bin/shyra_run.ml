@@ -58,7 +58,17 @@ let build_from_file path =
         ( program,
           Format.asprintf "program %s: final state %a" path Shyra.Machine.pp final )
 
-let run app arg1 arg2 mode show_configs show_trace dump asm_file =
+(* Resolve [name] through the solver registry and print the optimized
+   plan for the program's single-task trace. *)
+let optimize_trace ~mode ~solver program =
+  let trace = Shyra.Tracer.trace ~mode program in
+  let problem = Problem.of_trace trace in
+  let sol = Solver_registry.solve solver problem in
+  Format.printf "optimized (%a): %a@." Problem.pp problem Solution.pp sol;
+  Printf.printf "hyperreconfigure before steps: %s\n"
+    (String.concat ", " (List.map string_of_int (Solution.break_steps sol)))
+
+let run app arg1 arg2 mode show_configs show_trace dump optimize asm_file =
   match
     ( (match asm_file with
       | Some path -> build_from_file path
@@ -90,6 +100,7 @@ let run app arg1 arg2 mode show_configs show_trace dump asm_file =
           (Hr_util.Stats.summarize (Hr_util.Stats.of_ints sizes));
         Format.printf "%a" Trace.pp trace
       end;
+      Option.iter (fun solver -> optimize_trace ~mode ~solver program) optimize;
       0
 
 let app_arg =
@@ -116,6 +127,15 @@ let dump =
     & opt (some string) None
     & info [ "dump" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (Trace_io format).")
 
+let optimize =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "optimize" ] ~docv:"SOLVER"
+        ~doc:
+          "Optimize the traced run as a single-task PHC instance with the named \
+           registered solver (e.g. st-dp); see hropt --method list.")
+
 let asm_file =
   Arg.(
     value
@@ -128,6 +148,11 @@ let cmd =
     (Cmd.info "shyra_run" ~doc)
     Term.(
       const run $ app_arg $ arg1 $ arg2 $ mode $ show_configs $ show_trace $ dump
-      $ asm_file)
+      $ optimize $ asm_file)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "shyra_run: %s\n" msg;
+      exit 2

@@ -25,25 +25,26 @@ let () =
   let disabled = Sync_cost.disabled_cost ~n ~machine_width:Shyra.Config.width () in
   Printf.printf "disabled hyperreconfiguration: cost %d\n" disabled;
 
-  (* 3. Single-task machine: optimal plan. *)
-  let single_oracle = Shyra.Tasks.oracle trace Shyra.Tasks.single_task in
-  let single = St_opt.solve_oracle single_oracle ~task:0 in
+  (* 3. Single-task machine: optimal plan via the registered exact DP. *)
+  let single =
+    Solver_registry.solve "st-dp"
+      (Problem.make (Shyra.Tasks.oracle trace Shyra.Tasks.single_task))
+  in
   Printf.printf "single task (optimal DP):      cost %d (%.1f%%), %d hyperreconfigurations\n"
-    single.St_opt.cost
-    (100. *. float_of_int single.St_opt.cost /. float_of_int disabled)
-    (List.length single.St_opt.breaks);
+    single.Solution.cost
+    (100. *. float_of_int single.Solution.cost /. float_of_int disabled)
+    (List.length (Solution.task_breaks single 0));
 
-  (* 4. Multi-task machine: the paper's genetic algorithm. *)
-  let oracle = Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks in
-  let rng = Hr_util.Rng.create 2004 in
-  let ga = Mt_ga.solve ~rng oracle in
-  let hyper_steps = List.length (Breakpoints.break_columns ga.Mt_ga.bp) in
+  (* 4. Multi-task machine: the paper's genetic algorithm, resolved from
+     the registry by name. *)
+  let problem = Problem.make (Shyra.Tasks.oracle trace Shyra.Tasks.four_tasks) in
+  let ga = Solver_registry.solve ~seed:2004 "ga" problem in
   Printf.printf "four tasks (genetic algorithm): cost %d (%.1f%%), %d partial hyperreconfiguration steps\n"
-    ga.Mt_ga.cost
-    (100. *. float_of_int ga.Mt_ga.cost /. float_of_int disabled)
-    hyper_steps;
+    ga.Solution.cost
+    (100. *. float_of_int ga.Solution.cost /. float_of_int disabled)
+    (Solution.num_break_steps ga);
 
   (* 5. Show which tasks hyperreconfigure when (the paper's Fig. 3). *)
   let ts = Shyra.Tasks.split trace Shyra.Tasks.four_tasks in
   print_newline ();
-  print_string (Hr_viz.Figures.fig3 ts ga.Mt_ga.bp)
+  print_string (Hr_viz.Figures.fig3 ts ga.Solution.bp)

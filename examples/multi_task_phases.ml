@@ -1,10 +1,10 @@
 (* Multi-task planning on a synthetic phased workload.
 
    Four tasks (with the SHyRA-like 8/8/8/24 local switch split) run
-   phase-structured computations.  We compare the heuristic portfolio,
-   hill climbing, simulated annealing and the genetic algorithm on the
-   correlated workload (shared phase boundaries — the friendly case for
-   partial hyperreconfiguration) and on the independent one.
+   phase-structured computations.  Every solver the registry deems
+   applicable is run on the correlated workload (shared phase
+   boundaries — the friendly case for partial hyperreconfiguration)
+   and on the independent one.
 
    Run with: dune exec examples/multi_task_phases.exe *)
 
@@ -13,19 +13,16 @@ module Rng = Hr_util.Rng
 module W = Hr_workload
 
 let optimize name oracle =
-  let rng = Rng.create 99 in
+  let problem = Problem.make oracle in
   let rows =
-    [
-      ("never", (Mt_greedy.never oracle).Mt_greedy.cost);
-      ("every-step", (Mt_greedy.every_step oracle).Mt_greedy.cost);
-      ("best heuristic", (Mt_greedy.best oracle).Mt_greedy.cost);
-      ("hill climbing", (Mt_local.solve oracle).Mt_local.cost);
-      ("annealing", (Mt_anneal.solve ~rng:(Rng.copy rng) oracle).Mt_anneal.cost);
-      ("genetic algorithm", (Mt_ga.solve ~rng oracle).Mt_ga.cost);
-    ]
+    List.map
+      (fun s ->
+        let sol = Solver.solve ~seed:99 s problem in
+        (sol.Solution.solver, sol.Solution.cost))
+      (Solver_registry.applicable problem)
   in
   Printf.printf "\n%s\n" name;
-  Hr_util.Tablefmt.print ~header:[ "method"; "cost" ]
+  Hr_util.Tablefmt.print ~header:[ "solver"; "cost" ]
     (List.map (fun (m, c) -> [ m; string_of_int c ]) rows)
 
 let () =

@@ -21,18 +21,23 @@ let () =
       ]
   in
   (* v is the hyperreconfiguration cost; the switch-model default is the
-     universe size (all switch states must be (un)loaded). *)
-  let result, hypercontexts = St_opt.solve_trace ~v:4 trace in
-  Printf.printf "optimal cost: %d\n" result.St_opt.cost;
+     universe size (all switch states must be (un)loaded).  The problem
+     descriptor is handed to a solver picked from the registry by name —
+     "st-dp" is the exact single-task DP. *)
+  let problem = Problem.of_trace ~v:4 trace in
+  let sol = Solver_registry.solve "st-dp" problem in
+  Printf.printf "optimal cost: %d (certified exact: %b)\n" sol.Solution.cost
+    sol.Solution.exact;
+  let breaks = Solution.task_breaks sol 0 in
   Printf.printf "hyperreconfigure at steps: %s\n"
-    (String.concat ", " (List.map string_of_int result.St_opt.breaks));
+    (String.concat ", " (List.map string_of_int breaks));
   List.iteri
     (fun k hc ->
       Format.printf "block %d hypercontext: %a (reconfiguration costs %d per step)@."
         k (Switch_space.pp_set space) hc (Hypercontext.cost hc))
-    hypercontexts;
+    (St_opt.plan_of_breaks trace breaks);
   (* Baseline: keep every switch available the whole time. *)
   let never = 4 + (Switch_space.size space * Trace.length trace) in
   Printf.printf "never hyperreconfiguring would cost: %d\n" never;
   Printf.printf "saving: %.1f%%\n"
-    (100. *. (1. -. (float_of_int result.St_opt.cost /. float_of_int never)))
+    (100. *. (1. -. (float_of_int sol.Solution.cost /. float_of_int never)))

@@ -1,5 +1,9 @@
 (** Exhaustive solvers — ground truth for the test suite.
 
+    The multi-task enumerator is registered in {!Solver_registry} as
+    ["brute"]; new call sites should prefer the registry (see
+    [docs/solvers.md]).
+
     These enumerate the full breakpoint search space and are only
     usable for tiny instances; the tests compare {!St_opt}, {!Mt_dp}
     and the metaheuristics against them. *)

@@ -44,4 +44,28 @@ let memoize t =
   in
   { t with step_cost }
 
+let default_max_cells = 16_000_000
+
+let precompute ?(max_cells = default_max_cells) t =
+  if t.n = 0 then t
+  else if t.m * t.n * t.n > max_cells then memoize t
+  else begin
+    (* One flat triangular-ish table per task: lock-free reads, so the
+       same oracle can be shared by solvers racing on several domains
+       without the Mutex round-trip of [memoize]. *)
+    let n = t.n in
+    let tabs =
+      Array.init t.m (fun j ->
+          let tab = Array.make (n * n) 0 in
+          for lo = 0 to n - 1 do
+            for hi = lo to n - 1 do
+              tab.((lo * n) + hi) <- t.step_cost j lo hi
+            done
+          done;
+          tab)
+    in
+    let step_cost j lo hi = tabs.(j).((lo * n) + hi) in
+    { t with step_cost }
+  end
+
 let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

@@ -39,10 +39,21 @@ val of_single : v:int -> Trace.t -> t
     and General models). *)
 val make : m:int -> n:int -> v:int array -> step_cost:(int -> int -> int -> int) -> t
 
-(** [memoize t] caches [step_cost] results in a hash table — worthwhile
-    when a stochastic optimizer re-evaluates many plans over the same
-    instance. *)
+(** [memoize t] caches [step_cost] results in a Mutex-protected hash
+    table — the fallback cache for instances too large for
+    {!precompute}.  Prefer {!precompute}: it is lock-free. *)
 val memoize : t -> t
+
+(** [precompute ?max_cells t] materializes every [step_cost j lo hi]
+    into dense per-task arrays in O(m·n²) oracle calls.  Queries become
+    lock-free O(1) array reads, safe to share across domains (used by
+    {!Solver.race} and the parallel metaheuristics), and strictly
+    cheaper than the Mutex hash path of {!memoize}.  When the table
+    would exceed [max_cells] ints (default 16M) it falls back to
+    {!memoize}.  Idempotent up to a cheap table copy — {!Problem.make}
+    calls it once per instance so every registered solver shares the
+    same tables. *)
+val precompute : ?max_cells:int -> t -> t
 
 (** [full_cost t j] is [step_cost j 0 (n-1)]: the per-step cost of the
     never-hyperreconfigure hypercontext of task [j]. *)

@@ -3,7 +3,7 @@ module Anneal = Hr_evolve.Anneal
 type result = { cost : int; bp : Breakpoints.t; evaluations : int }
 
 let solve ?params ?config ?init ~rng oracle =
-  let oracle = Interval_cost.memoize oracle in
+  let oracle = Interval_cost.precompute oracle in
   let init =
     match init with Some bp -> bp | None -> (Mt_greedy.best ?params oracle).Mt_greedy.bp
   in

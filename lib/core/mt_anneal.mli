@@ -1,5 +1,8 @@
 (** Simulated annealing for the fully synchronized multi-task problem.
 
+    Registered in {!Solver_registry} as ["anneal"]; new call sites
+    should prefer the registry (see [docs/solvers.md]).
+
     Same genome and fitness as {!Mt_ga}; the neighborhood is the
     {!Mt_moves.mutate} move distribution.  Included as an ablation
     baseline against the paper's GA choice. *)

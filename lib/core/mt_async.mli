@@ -1,6 +1,9 @@
 (** Planning for non-synchronized (asynchronous) multi-task machines
     (§4.1).
 
+    Registered in {!Solver_registry} as ["async-opt"]; new call sites
+    should prefer the registry (see [docs/solvers.md]).
+
     On a non-synchronized machine the tasks' reconfiguration times
     overlap with the other tasks' computation, operations are always
     task parallel, and the General Multi Task cost is

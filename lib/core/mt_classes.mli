@@ -1,5 +1,9 @@
 (** Planning under the paper's three machine classes (§3).
 
+    The all-task planner is registered in {!Solver_registry} as
+    ["all-task"]; new call sites should prefer the registry (see
+    [docs/solvers.md]).
+
     On a fully synchronized machine the classes differ in which
     breakpoint matrices are admissible:
 

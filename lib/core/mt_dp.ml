@@ -166,6 +166,9 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
       {
         cost = best.acc;
         bp = Breakpoints.of_rows ~m ~n rows;
-        exact = not !truncated;
+        (* Beam mode also restricts the per-task block-end fan-out (see
+           end_candidates), so it must never claim exactness — even on
+           runs where the frontier itself was not truncated. *)
+        exact = not beam && not !truncated;
         states_explored = !explored;
       }

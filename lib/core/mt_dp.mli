@@ -1,6 +1,10 @@
 (** Exact dynamic program for the fully synchronized multi-task problem
     (the algorithm behind the paper's Theorem 1).
 
+    Registered in {!Solver_registry} as ["mt-dp"] (exact) and
+    ["mt-beam"] (beam search); new call sites should prefer the
+    registry (see [docs/solvers.md]).
+
     States walk the steps left to right.  A task's hypercontext is
     committed at its hyperreconfiguration step together with the block
     it will cover (w.l.o.g. the block's minimal hypercontext — the cost
@@ -26,7 +30,10 @@
 type outcome = {
   cost : int;
   bp : Breakpoints.t;
-  exact : bool;  (** [false] when the frontier was beam-truncated *)
+  exact : bool;
+      (** [false] whenever [max_states] was given: the beam restricts
+          both the frontier and the block-end fan-out, so a beam run is
+          never a certificate even when nothing was truncated *)
   states_explored : int;
 }
 

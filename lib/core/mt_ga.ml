@@ -9,7 +9,7 @@ type result = {
 }
 
 let solve ?params ?(config = Ga.default_config) ?(seeds = []) ~rng oracle =
-  let oracle = Interval_cost.memoize oracle in
+  let oracle = Interval_cost.precompute oracle in
   let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
   let cost g = Sync_cost.eval ?params oracle (Breakpoints.of_matrix g) in
   let problem =

@@ -1,6 +1,10 @@
 (** Genetic algorithm for the fully synchronized multi-task problem —
     the method the paper uses for its §6 multi-task results.
 
+    Registered in {!Solver_registry} as ["ga"] and (with a local-search
+    polish) ["ga-polish"]; new call sites should prefer the registry
+    (see [docs/solvers.md]).
+
     The genome is the m×n breakpoint matrix; given breakpoints, minimal
     (union) hypercontexts are optimal, so no hypercontext genes are
     needed.  The population is seeded with the heuristic portfolio

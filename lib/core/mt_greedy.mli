@@ -1,7 +1,11 @@
 (** Heuristic baselines for the fully synchronized multi-task problem.
 
     None of these search; they are the comparison points of the
-    ablation benches and the seeds of the metaheuristics. *)
+    ablation benches and the seeds of the metaheuristics.
+
+    The portfolio ({!best}) is registered in {!Solver_registry} as
+    ["greedy"]; new call sites should prefer the registry (see
+    [docs/solvers.md]). *)
 
 (** A named heuristic outcome. *)
 type entry = { name : string; cost : int; bp : Breakpoints.t }

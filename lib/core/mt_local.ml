@@ -3,7 +3,7 @@ module Hillclimb = Hr_evolve.Hillclimb
 type result = { cost : int; bp : Breakpoints.t; evaluations : int; rounds : int }
 
 let solve ?params ?init ?max_rounds oracle =
-  let oracle = Interval_cost.memoize oracle in
+  let oracle = Interval_cost.precompute oracle in
   let init =
     match init with Some bp -> bp | None -> (Mt_greedy.best ?params oracle).Mt_greedy.bp
   in

@@ -1,5 +1,8 @@
 (** Hill climbing on breakpoint matrices.
 
+    Registered in {!Solver_registry} as ["hill-climb"]; new call sites
+    should prefer the registry (see [docs/solvers.md]).
+
     First-improvement over the deterministic single-bit-flip
     neighborhood; cheap, deterministic, and the standard polishing pass
     applied to metaheuristic results in the benches. *)

@@ -1,0 +1,91 @@
+(** A first-class PHC problem instance — the single descriptor every
+    registered solver consumes.
+
+    The paper's problem family is the product
+    {e cost model} × {e machine class} (§3) × {e synchronization mode}
+    (§3/§4) × {e upload parameters} (§4.2).  A [Problem.t] pins one
+    point of that product:
+
+    - the cost model enters through the {!Interval_cost.t} oracle
+      (switch model via {!Interval_cost.of_task_set}, DAG model via
+      {!of_dag}, weighted/general-monotone via their own oracle
+      constructors);
+    - the machine class restricts the admissible breakpoint matrices;
+    - the synchronization mode selects the objective evaluator
+      ({!Sync_cost.eval} or {!Mixed_sync.eval});
+    - {!Sync_cost.params} carries [w], [pub] and the upload modes.
+
+    [make] runs {!Interval_cost.precompute} once, so every solver that
+    touches the problem — including several racing in parallel —
+    shares the same lock-free dense oracle tables. *)
+
+(** The §3 machine classes.  [All_task] admits only uniform-column
+    matrices (hyperreconfigure all tasks or none); [Partial] is
+    unconstrained; [Restricted] (per-task hyperreconfigurations,
+    all-task reconfigurations) coincides with [Partial] on the fully
+    synchronized cost model, which is where this library evaluates
+    it. *)
+type machine_class = All_task | Partial | Restricted
+
+type t = {
+  oracle : Interval_cost.t;  (** precomputed — shared by all solvers *)
+  params : Sync_cost.params;
+  mode : Mixed_sync.mode;
+  machine_class : machine_class;
+}
+
+(** [make ?params ?mode ?machine_class ?precompute oracle].  Defaults:
+    {!Sync_cost.default_params}, [Fully_synchronized], [Partial],
+    [precompute = true].  Raises [Invalid_argument] when a
+    non-fully-synchronized mode is combined with parameters
+    {!Mixed_sync} cannot evaluate (nonzero [w], sequential uploads, or
+    [pub > 0] outside the context-synchronized and fully synchronized
+    modes). *)
+val make :
+  ?params:Sync_cost.params ->
+  ?mode:Mixed_sync.mode ->
+  ?machine_class:machine_class ->
+  ?precompute:bool ->
+  Interval_cost.t ->
+  t
+
+(** [of_task_set ?params ?mode ?machine_class ts] — the MT-Switch
+    instance of a task set. *)
+val of_task_set :
+  ?params:Sync_cost.params ->
+  ?mode:Mixed_sync.mode ->
+  ?machine_class:machine_class ->
+  Task_set.t ->
+  t
+
+(** [of_trace ?v ?params trace] — the single-task switch instance ([v]
+    defaults to the universe size, the paper's [w = |X|] case). *)
+val of_trace : ?v:int -> ?params:Sync_cost.params -> Trace.t -> t
+
+(** [of_dag ?params model seq] — the single-task DAG-model instance:
+    per-block costs are the cheapest satisfying node's cost and the
+    hyperreconfiguration cost is the model's constant [w].
+    O(n²·|H|) table build. *)
+val of_dag : ?params:Sync_cost.params -> Dag_model.t -> int array -> t
+
+(** [task t j] is the single-task subproblem of task [j] (same
+    parameters; class and mode degenerate for m = 1).  The sub-oracle
+    reads the parent's precomputed tables — no rebuild. *)
+val task : t -> int -> t
+
+val m : t -> int
+val n : t -> int
+
+(** [eval t bp] is the objective: {!Sync_cost.eval} for the fully
+    synchronized mode, {!Mixed_sync.eval} otherwise.  Every
+    {!Solution.t} returned through {!Solver.solve} has its cost
+    recomputed by this function, so costs are comparable across
+    backends by construction. *)
+val eval : t -> Breakpoints.t -> int
+
+(** [admissible t bp] — does the machine class admit the matrix?
+    ([All_task] requires uniform columns.) *)
+val admissible : t -> Breakpoints.t -> bool
+
+(** [pp] prints a one-line instance summary. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  solver : string;
+  cost : int;
+  bp : Breakpoints.t;
+  exact : bool;
+  stats : (string * string) list;
+}
+
+let make ~solver ?(exact = false) ?(stats = []) ~cost bp =
+  { solver; cost; bp; exact; stats }
+
+let task_breaks t j =
+  List.map fst (Breakpoints.intervals t.bp j)
+
+let break_steps t = Breakpoints.break_columns t.bp
+
+let num_break_steps t = List.length (break_steps t)
+
+let best = function
+  | [] -> invalid_arg "Solution.best: empty list"
+  | s0 :: rest ->
+      List.fold_left
+        (fun b s ->
+          if s.cost < b.cost || (s.cost = b.cost && s.exact && not b.exact) then s
+          else b)
+        s0 rest
+
+let pp fmt t =
+  Format.fprintf fmt "%s: cost %d (%s), %d break steps" t.solver t.cost
+    (if t.exact then "exact" else "heuristic")
+    (num_break_steps t)

@@ -1,0 +1,47 @@
+(** The uniform result type of every registered PHC solver.
+
+    Whatever backend produced it — exact DP, metaheuristic, greedy
+    baseline — a solution is a breakpoint matrix together with its cost
+    under the problem's objective ({!Problem.eval}), an exactness
+    certificate, and free-form solver statistics.  Call-site code
+    (CLIs, benches, examples) works on this type only, never on the
+    per-module result records. *)
+
+type t = {
+  solver : string;  (** registry name of the backend that produced it *)
+  cost : int;  (** total cost under {!Problem.eval} *)
+  bp : Breakpoints.t;
+  exact : bool;
+      (** [true] when the backend certifies optimality for the problem
+          (its class, mode and parameters) *)
+  stats : (string * string) list;
+      (** solver-reported extras, e.g. [("evaluations", "1234")] *)
+}
+
+(** [make ~solver ?exact ?stats ~cost bp] — [exact] defaults to
+    [false], [stats] to []. *)
+val make :
+  solver:string ->
+  ?exact:bool ->
+  ?stats:(string * string) list ->
+  cost:int ->
+  Breakpoints.t ->
+  t
+
+(** [task_breaks t j] is task [j]'s hyperreconfiguration steps,
+    ascending (head = 0). *)
+val task_breaks : t -> int -> int list
+
+(** [break_steps t] is the sorted list of steps at which at least one
+    task hyperreconfigures. *)
+val break_steps : t -> int list
+
+(** [num_break_steps t] is [List.length (break_steps t)]. *)
+val num_break_steps : t -> int
+
+(** [best sols] is a cheapest solution; on cost ties an exact one wins,
+    then the earliest in the list.  Raises [Invalid_argument] on []. *)
+val best : t list -> t
+
+(** [pp] prints ["<solver>: cost <c> (exact|heuristic), <k> break steps"]. *)
+val pp : Format.formatter -> t -> unit

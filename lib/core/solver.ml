@@ -1,0 +1,55 @@
+module Rng = Hr_util.Rng
+module Par = Hr_util.Par
+
+type kind = Exact | Heuristic | Stochastic
+
+type t = {
+  name : string;
+  kind : kind;
+  doc : string;
+  handles : Problem.t -> bool;
+  run : rng:Rng.t -> Problem.t -> Solution.t;
+}
+
+let make ~name ~kind ~doc ~handles run = { name; kind; doc; handles; run }
+
+let kind_name = function
+  | Exact -> "exact"
+  | Heuristic -> "heuristic"
+  | Stochastic -> "stochastic"
+
+let default_seed = 2004
+
+let rng_for ~seed t = Rng.create (seed lxor Hashtbl.hash t.name)
+
+let solve ?rng ?(seed = default_seed) t problem =
+  if not (t.handles problem) then
+    invalid_arg
+      (Printf.sprintf "Solver.solve: %S does not handle this instance" t.name);
+  let rng = match rng with Some rng -> rng | None -> rng_for ~seed t in
+  let sol = t.run ~rng problem in
+  if not (Problem.admissible problem sol.Solution.bp) then
+    invalid_arg
+      (Printf.sprintf "Solver.solve: %S returned an inadmissible matrix" t.name);
+  {
+    sol with
+    Solution.solver = t.name;
+    cost = Problem.eval problem sol.Solution.bp;
+  }
+
+let race_all ?domains ?(seed = default_seed) solvers problem =
+  let applicable = List.filter (fun s -> s.handles problem) solvers in
+  let sols =
+    Par.map_array ?domains
+      (fun s ->
+        match solve ~seed s problem with
+        | sol -> Some sol
+        | exception Invalid_argument _ -> None)
+      (Array.of_list applicable)
+  in
+  List.filter_map Fun.id (Array.to_list sols)
+
+let race ?domains ?seed solvers problem =
+  match race_all ?domains ?seed solvers problem with
+  | [] -> invalid_arg "Solver.race: no applicable solver produced a solution"
+  | sols -> Solution.best sols

@@ -1,0 +1,72 @@
+(** The uniform solver interface: [solve : Problem.t -> Solution.t].
+
+    A solver packages a backend (exact DP, metaheuristic, greedy
+    baseline) behind a name, a capability predicate, and a uniform
+    entry point.  {!Solver_registry} holds the built-in backends;
+    [race] runs several of them in parallel on OCaml 5 domains and
+    returns the best solution.
+
+    Determinism: stochastic backends draw from an {!Hr_util.Rng.t}
+    derived with {!rng_for} from a base seed and the solver's name, so
+    racing N solvers in parallel returns exactly the solution the best
+    of the N sequential runs would have produced — scheduling cannot
+    leak into results. *)
+
+type kind =
+  | Exact  (** certifies optimality whenever [Solution.exact] is set *)
+  | Heuristic  (** deterministic, no optimality certificate *)
+  | Stochastic  (** rng-driven search *)
+
+type t = {
+  name : string;
+  kind : kind;
+  doc : string;  (** one-line description for tables / --method list *)
+  handles : Problem.t -> bool;
+      (** capability predicate: instance size limits, machine class,
+          synchronization mode *)
+  run : rng:Hr_util.Rng.t -> Problem.t -> Solution.t;
+      (** the backend; called only on problems it [handles] *)
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  doc:string ->
+  handles:(Problem.t -> bool) ->
+  (rng:Hr_util.Rng.t -> Problem.t -> Solution.t) ->
+  t
+
+val kind_name : kind -> string
+
+(** The seed used when no rng/seed is supplied anywhere: 2004, the
+    paper's year, matching the benches. *)
+val default_seed : int
+
+(** [rng_for ~seed t] is the deterministic per-solver stream used by
+    both {!solve} (default rng) and {!race} — equal seeds give every
+    backend the same stream whether it runs alone or in a race. *)
+val rng_for : seed:int -> t -> Hr_util.Rng.t
+
+(** [solve ?rng ?seed t problem] checks [t.handles problem], runs the
+    backend, stamps the solver name and recomputes the cost with
+    {!Problem.eval} so costs are uniform across backends.  Raises
+    [Invalid_argument] when the solver does not handle the problem or
+    returns an inadmissible matrix.  [rng] wins over [seed]; the
+    default is [rng_for ~seed:default_seed]. *)
+val solve : ?rng:Hr_util.Rng.t -> ?seed:int -> t -> Problem.t -> Solution.t
+
+(** [race ?domains ?seed solvers problem] filters [solvers] down to
+    those that handle [problem], runs them in parallel on up to
+    [domains] domains ({!Hr_util.Par}), and returns the best solution
+    ({!Solution.best}: cheapest, exact wins ties).  Backends that raise
+    [Invalid_argument] are dropped from the race.  Deterministic for a
+    fixed [seed] (default {!default_seed}).  Raises [Invalid_argument]
+    when no solver applies or every applicable one failed. *)
+val race :
+  ?domains:int -> ?seed:int -> t list -> Problem.t -> Solution.t
+
+(** [race_all ?domains ?seed solvers problem] is [race] returning every
+    applicable backend's solution (in [solvers] order, failures
+    dropped) — for tables comparing the field. *)
+val race_all :
+  ?domains:int -> ?seed:int -> t list -> Problem.t -> Solution.t list

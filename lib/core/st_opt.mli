@@ -1,5 +1,8 @@
 (** Optimal single-task (hyper)reconfiguration planning.
 
+    Registered in {!Solver_registry} as ["st-dp"]; new call sites
+    should prefer the registry (see [docs/solvers.md]).
+
     This is the polynomial algorithm for the single-task switch model
     that the paper inherits from [9] ("Partition into Hypercontexts")
     and uses to compute the optimal single-task costs in §6: partition

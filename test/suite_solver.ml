@@ -1,0 +1,271 @@
+(* The Problem/Solver layer and the registry: lookups, capability
+   predicates, cost consistency across backends, exactness claims
+   cross-checked against brute force, and the determinism of the
+   parallel solver race. *)
+
+open Hr_core
+module Rng = Hr_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let sample_problem () = Problem.of_task_set (Tutil.sample_task_set ())
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry lookups.                                                   *)
+
+let test_registry_names () =
+  let names = Solver_registry.names () in
+  List.iter
+    (fun n ->
+      check bool (Printf.sprintf "%s registered" n) true (List.mem n names))
+    [ "st-dp"; "all-task"; "mt-dp"; "mt-beam"; "greedy"; "hill-climb";
+      "anneal"; "ga"; "ga-polish"; "brute"; "async-opt"; "mode-climb" ];
+  check bool "find hit" true (Solver_registry.find "ga" <> None);
+  check bool "find miss" true (Solver_registry.find "no-such-solver" = None);
+  check int "all() agrees with names()"
+    (List.length names)
+    (List.length (Solver_registry.all ()))
+
+let test_find_exn_unknown () =
+  match Solver_registry.find_exn "no-such-solver" with
+  | exception Invalid_argument msg ->
+      check bool "message lists known names" true (contains msg "st-dp")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_register_duplicate () =
+  let ga = Solver_registry.find_exn "ga" in
+  (match Solver_registry.register ga with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration must raise");
+  (* Re-registering the same solver with ~override is allowed. *)
+  Solver_registry.register ~override:true ga
+
+let test_capability_predicates () =
+  let p = sample_problem () in
+  let applicable =
+    List.map (fun s -> s.Solver.name) (Solver_registry.applicable p)
+  in
+  (* m = 2, so the single-task DP must be filtered out; the
+     fully-synchronized backends must all be present. *)
+  check bool "st-dp filtered out" false (List.mem "st-dp" applicable);
+  check bool "mode-climb filtered out" false (List.mem "mode-climb" applicable);
+  List.iter
+    (fun n -> check bool (n ^ " applicable") true (List.mem n applicable))
+    [ "mt-dp"; "brute"; "ga"; "greedy" ];
+  (* Solving with an inapplicable solver is refused. *)
+  match Solver.solve (Solver_registry.find_exn "st-dp") p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "st-dp on an m=2 instance must raise"
+
+let test_mode_routing () =
+  let ts = Tutil.sample_task_set () in
+  let async = Problem.of_task_set ~mode:Mixed_sync.Non_synchronized ts in
+  let names =
+    List.map (fun s -> s.Solver.name) (Solver_registry.applicable async)
+  in
+  check bool "async-opt handles non-sync" true (List.mem "async-opt" names);
+  check bool "ga refuses non-sync" false (List.mem "ga" names);
+  let inter = Problem.of_task_set ~mode:Mixed_sync.Context_synchronized ts in
+  let names =
+    List.map (fun s -> s.Solver.name) (Solver_registry.applicable inter)
+  in
+  check bool "mode-climb handles intermediate modes" true
+    (List.mem "mode-climb" names)
+
+(* ------------------------------------------------------------------ *)
+(* Solution helpers.                                                   *)
+
+let test_solution_best_prefers_exact () =
+  let bp = Breakpoints.create ~m:1 ~n:3 in
+  let mk solver exact cost = Solution.make ~solver ~exact ~cost bp in
+  let best =
+    Solution.best [ mk "a" false 10; mk "b" true 10; mk "c" false 12 ]
+  in
+  check bool "exact wins cost ties" true (best.Solution.solver = "b");
+  let best = Solution.best [ mk "a" false 9; mk "b" true 10 ] in
+  check bool "but cost dominates" true (best.Solution.solver = "a");
+  match Solution.best [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "best [] must raise"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend invariants on random instances.                       *)
+
+let qcheck_st_dp_matches_st_opt =
+  Tutil.prop "registry st-dp == St_opt on single-task instances"
+    (Tutil.gen_st_instance ~max_n:10 ~max_width:5)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let sol =
+        Solver_registry.solve "st-dp" (Problem.of_trace ~v:inst.Tutil.v trace)
+      in
+      let r, _ = St_opt.solve_trace ~v:inst.Tutil.v trace in
+      sol.Solution.cost = r.St_opt.cost
+      && Solution.task_breaks sol 0 = r.St_opt.breaks
+      && sol.Solution.exact)
+
+let qcheck_costs_consistent_and_bounded =
+  Tutil.prop "every backend: cost = Problem.eval bp, >= brute optimum; exact claims match brute"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:5 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let problem = Problem.of_task_set (Tutil.task_set_of_instance inst) in
+      let optimum = (Solver_registry.solve "brute" problem).Solution.cost in
+      List.for_all
+        (fun s ->
+          let sol = Solver.solve ~seed:7 s problem in
+          sol.Solution.cost = Problem.eval problem sol.Solution.bp
+          && sol.Solution.cost >= optimum
+          && ((not sol.Solution.exact) || sol.Solution.cost = optimum))
+        (Solver_registry.applicable problem))
+
+let qcheck_race_equals_best_sequential =
+  Tutil.prop "race == best sequential backend"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:5 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let problem = Problem.of_task_set (Tutil.task_set_of_instance inst) in
+      let names = [ "greedy"; "hill-climb"; "all-task" ] in
+      let raced = Solver_registry.race ~domains:2 ~seed:11 ~names problem in
+      let best_seq =
+        Solution.best
+          (List.map (fun n -> Solver_registry.solve ~seed:11 n problem) names)
+      in
+      raced.Solution.cost = best_seq.Solution.cost)
+
+let qcheck_precompute_transparent =
+  Tutil.prop "Interval_cost.precompute preserves every query"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:6 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let raw = Tutil.oracle_of_instance inst in
+      let dense = Interval_cost.precompute raw in
+      let ok = ref true in
+      for j = 0 to raw.Interval_cost.m - 1 do
+        for lo = 0 to raw.Interval_cost.n - 1 do
+          for hi = lo to raw.Interval_cost.n - 1 do
+            if
+              dense.Interval_cost.step_cost j lo hi
+              <> raw.Interval_cost.step_cost j lo hi
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let qcheck_beam_bounded_below_by_exact =
+  Tutil.prop "mt-beam >= mt-dp and never claims exactness"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:5 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let problem = Problem.of_task_set (Tutil.task_set_of_instance inst) in
+      let beam = Solver_registry.solve "mt-beam" problem in
+      let exact = Solver_registry.solve "mt-dp" problem in
+      beam.Solution.cost >= exact.Solution.cost
+      && (not beam.Solution.exact)
+      && exact.Solution.exact)
+
+let test_beam_truncation_stays_inexact () =
+  (* Even a beam wide enough that the frontier is never truncated must
+     not claim exactness: the block-end fan-out is restricted too. *)
+  let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let beam = Mt_dp.solve ~max_states:1_000_000 oracle in
+  check bool "wide beam still inexact" false beam.Mt_dp.exact;
+  let tight = Mt_dp.solve ~max_states:1 oracle in
+  check bool "tight beam inexact" false tight.Mt_dp.exact;
+  check int "tight beam cost consistent"
+    (Sync_cost.eval oracle tight.Mt_dp.bp)
+    tight.Mt_dp.cost
+
+let test_race_on_counter_like_instance () =
+  (* A deterministic mid-size instance solved by every applicable
+     backend, sequentially and racing: identical winners. *)
+  let spec =
+    {
+      Hr_workload.Multi_gen.default_spec with
+      Hr_workload.Multi_gen.m = 3;
+      n = 24;
+      local_sizes = [| 8; 8; 24 |];
+    }
+  in
+  let ts = Hr_workload.Multi_gen.correlated (Rng.create 3) spec in
+  let problem = Problem.of_task_set ts in
+  let sols =
+    List.map
+      (fun s -> Solver.solve ~seed:5 s problem)
+      (Solver_registry.applicable problem)
+  in
+  check bool "at least two backends raced" true (List.length sols >= 2);
+  let raced = Solver.race ~seed:5 (Solver_registry.applicable problem) problem in
+  check int "race equals best sequential"
+    (Solution.best sols).Solution.cost raced.Solution.cost
+
+let test_all_task_exact_only_for_all_task_class () =
+  let ts = Tutil.sample_task_set () in
+  let partial = Solver_registry.solve "all-task" (Problem.of_task_set ts) in
+  check bool "heuristic for partial class" false partial.Solution.exact;
+  let constrained =
+    Solver_registry.solve "all-task"
+      (Problem.of_task_set ~machine_class:Problem.All_task ts)
+  in
+  check bool "exact for all-task class" true constrained.Solution.exact;
+  check bool "uniform columns"
+    true
+    (Problem.admissible
+       (Problem.of_task_set ~machine_class:Problem.All_task ts)
+       constrained.Solution.bp)
+
+let test_async_opt_matches_mt_async () =
+  let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let sol =
+    Solver_registry.solve "async-opt"
+      (Problem.make ~mode:Mixed_sync.Non_synchronized oracle)
+  in
+  let r = Mt_async.solve oracle in
+  check int "cost" r.Mt_async.cost sol.Solution.cost;
+  check bool "exact" true sol.Solution.exact
+
+let test_mode_climb_no_worse_than_stacked_solos () =
+  let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let problem = Problem.make ~mode:Mixed_sync.Hypercontext_synchronized oracle in
+  let sol = Solver_registry.solve "mode-climb" problem in
+  let stacked =
+    let m = Problem.m problem and n = Problem.n problem in
+    Breakpoints.of_rows ~m ~n
+      (Array.init m (fun j -> (St_opt.solve_oracle oracle ~task:j).St_opt.breaks))
+  in
+  check bool "descent never degrades its init" true
+    (sol.Solution.cost <= Problem.eval problem stacked)
+
+let tests =
+  [
+    Alcotest.test_case "registry names" `Quick test_registry_names;
+    Alcotest.test_case "find_exn unknown" `Quick test_find_exn_unknown;
+    Alcotest.test_case "duplicate registration" `Quick test_register_duplicate;
+    Alcotest.test_case "capability predicates" `Quick test_capability_predicates;
+    Alcotest.test_case "mode routing" `Quick test_mode_routing;
+    Alcotest.test_case "Solution.best tie-breaking" `Quick
+      test_solution_best_prefers_exact;
+    qcheck_st_dp_matches_st_opt;
+    qcheck_costs_consistent_and_bounded;
+    qcheck_race_equals_best_sequential;
+    qcheck_precompute_transparent;
+    qcheck_beam_bounded_below_by_exact;
+    Alcotest.test_case "beam never claims exact" `Quick
+      test_beam_truncation_stays_inexact;
+    Alcotest.test_case "race on mid-size instance" `Quick
+      test_race_on_counter_like_instance;
+    Alcotest.test_case "all-task exactness scoping" `Quick
+      test_all_task_exact_only_for_all_task_class;
+    Alcotest.test_case "async-opt == Mt_async" `Quick test_async_opt_matches_mt_async;
+    Alcotest.test_case "mode-climb vs stacked solos" `Quick
+      test_mode_climb_no_worse_than_stacked_solos;
+  ]

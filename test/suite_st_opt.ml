@@ -113,6 +113,39 @@ let qcheck_dp_no_worse_than_heuristics =
       in
       dp.St_opt.cost <= never && dp.St_opt.cost <= every)
 
+let qcheck_bounded_matches_brute =
+  Tutil.prop "solve_bounded matches bounded brute force"
+    (Tutil.gen_st_instance ~max_n:9 ~max_width:5)
+    Tutil.show_st_instance
+    (fun inst ->
+      let trace = Tutil.trace_of_st inst in
+      let ru = Range_union.make trace in
+      let step_cost lo hi = Range_union.size ru lo hi in
+      let n = Trace.length trace in
+      let v = inst.Tutil.v in
+      List.for_all
+        (fun max_blocks ->
+          let r = St_opt.solve_bounded ~v ~n ~step_cost ~max_blocks in
+          (* Enumerate every plan with at most [max_blocks] blocks: step
+             0 always breaks; each later step may or may not. *)
+          let best = ref max_int in
+          let rec go i breaks count =
+            if count <= max_blocks then
+              if i = n then begin
+                let cost = St_opt.cost_of_breaks ~v ~n ~step_cost (List.rev breaks) in
+                if cost < !best then best := cost
+              end
+              else begin
+                go (i + 1) (i :: breaks) (count + 1);
+                go (i + 1) breaks count
+              end
+          in
+          go 1 [ 0 ] 1;
+          List.length r.St_opt.breaks <= max_blocks
+          && St_opt.cost_of_breaks ~v ~n ~step_cost r.St_opt.breaks = r.St_opt.cost
+          && r.St_opt.cost = !best)
+        [ 1; 2; 3; n ])
+
 let tests =
   [
     Alcotest.test_case "one block when v huge" `Quick test_single_block_when_v_huge;
@@ -124,4 +157,5 @@ let tests =
     qcheck_dp_optimal;
     qcheck_plan_valid;
     qcheck_dp_no_worse_than_heuristics;
+    qcheck_bounded_matches_brute;
   ]

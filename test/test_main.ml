@@ -7,6 +7,7 @@ let () =
       ("st_opt", Suite_st_opt.tests);
       ("sync_cost", Suite_sync_cost.tests);
       ("mt", Suite_mt.tests);
+      ("solver", Suite_solver.tests);
       ("dag", Suite_dag.tests);
       ("general", Suite_general.tests);
       ("changeover", Suite_changeover.tests);
