@@ -189,6 +189,26 @@ let all_tests =
     ]
   @ oracle_cache_tests)
 
+(* The solver-racing harness under a deadline, reported through the
+   structured telemetry layer — the same table hropt --telemetry feeds
+   to JSON, so harness regressions (a backend suddenly blowing its
+   budget, oracle-cache thrash) show up next to the kernel numbers. *)
+let run_race_telemetry () =
+  Hr_util.Tablefmt.section "solver race telemetry (200 ms deadline)";
+  let spec = { W.Multi_gen.default_spec with W.Multi_gen.m = 4; n = 96 } in
+  let ts = W.Multi_gen.correlated (Rng.create 21) spec in
+  let problem = Problem.of_task_set ts in
+  let deadline_ms = 200 in
+  let t0 = Hr_util.Budget.now_ms () in
+  let reports =
+    Solver_registry.run_all
+      ~budget:(Hr_util.Budget.of_deadline_ms deadline_ms)
+      problem
+  in
+  let total_ms = Hr_util.Budget.now_ms () -. t0 in
+  let t = Telemetry.make ~label:"bench-race" ~deadline_ms ~problem ~total_ms reports in
+  Format.printf "%a" Telemetry.pp t
+
 let run () =
   Hr_util.Tablefmt.section "microbenchmarks (bechamel)";
   let ols =
@@ -223,4 +243,5 @@ let run () =
            else Printf.sprintf "%.0f ns" ns
          in
          [ name; human ])
-       rows)
+       rows);
+  run_race_telemetry ()

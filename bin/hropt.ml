@@ -5,10 +5,15 @@
    through Solver_registry: any registered backend, "portfolio" (run
    every applicable backend and tabulate), "race" (run them on parallel
    domains and keep the best), "eval" (referee a saved plan) or "list"
-   (show the registry). *)
+   (show the registry).
+
+   --deadline-ms bounds any solver run with a cooperative budget
+   (best-so-far answers, marked inexact); --telemetry FILE dumps the
+   structured per-solver report as JSON (schema in docs/solvers.md). *)
 
 open Cmdliner
 open Hr_core
+module Budget = Hr_util.Budget
 module Rng = Hr_util.Rng
 module Shyra = Hr_shyra
 module W = Hr_workload
@@ -17,7 +22,10 @@ let counter_oracle mode split =
   let run = Shyra.Counter.build ~init:0 ~bound:10 () in
   let trace = Shyra.Tracer.trace ~mode run.Shyra.Counter.program in
   let parts =
-    if split = "single" then Shyra.Tasks.single_task else Shyra.Tasks.four_tasks
+    match split with
+    | "single" -> Shyra.Tasks.single_task
+    | "four" -> Shyra.Tasks.four_tasks
+    | s -> failwith (Printf.sprintf "unknown split %S (single|four)" s)
   in
   (Shyra.Tasks.oracle trace parts, Shyra.Tasks.split trace parts)
 
@@ -42,12 +50,12 @@ let alias = function
 let list_registry () =
   Hr_util.Tablefmt.print ~header:[ "solver"; "kind"; "description" ]
     (List.map
-       (fun s ->
+       (fun (s : Solver.t) ->
          [ s.Solver.name; Solver.kind_name s.Solver.kind; s.Solver.doc ])
        (Solver_registry.all ()))
 
-let run workload mode split seed m n correlated method_ seed_opt show_figures
-    trace_file plan_file =
+let run workload mode split seed m n correlated method_ seed_opt deadline_ms
+    telemetry_file show_figures trace_file plan_file =
   let method_ = alias method_ in
   if method_ = "list" then begin
     list_registry ();
@@ -57,8 +65,9 @@ let run workload mode split seed m n correlated method_ seed_opt show_figures
     let tracer_mode =
       match mode with
       | "diff" -> Shyra.Tracer.Diff
+      | "field" -> Shyra.Tracer.Field_diff
       | "inuse" -> Shyra.Tracer.In_use
-      | _ -> Shyra.Tracer.Field_diff
+      | s -> failwith (Printf.sprintf "unknown trace mode %S (diff|field|inuse)" s)
     in
     let oracle, ts =
       match workload with
@@ -71,13 +80,24 @@ let run workload mode split seed m n correlated method_ seed_opt show_figures
       | s -> failwith (Printf.sprintf "unknown workload %S (counter|synthetic|file)" s)
     in
     let problem = Problem.make oracle in
-    let sols =
+    let budget () =
+      match deadline_ms with
+      | None -> Budget.unlimited
+      | Some ms -> Budget.of_deadline_ms ms
+    in
+    let t0 = Budget.now_ms () in
+    (* One report per executed solver, so --telemetry covers every
+       method uniformly. *)
+    let reports =
       match method_ with
       | "portfolio" ->
           List.map
-            (fun s -> Solver.solve ~seed:seed_opt s problem)
+            (fun s -> Solver.solve_report ~seed:seed_opt ~budget:(budget ()) s problem)
             (Solver_registry.applicable problem)
-      | "race" -> [ Solver_registry.race ~seed:seed_opt problem ]
+      | "race" ->
+          snd
+            (Solver_registry.race_report ~seed:seed_opt ~budget:(budget ())
+               problem)
       | "eval" -> (
           match plan_file with
           | None -> failwith "method 'eval' needs --plan-file"
@@ -86,40 +106,92 @@ let run workload mode split seed m n correlated method_ seed_opt show_figures
               match Machine_vm.execute_breakpoints ts bp with
               | Ok vm_run ->
                   [
-                    Solution.make ~solver:"saved plan (referee VM)"
-                      ~cost:vm_run.Machine_vm.total_time bp;
+                    {
+                      Solver.solver = "saved plan (referee VM)";
+                      kind = Solver.Heuristic;
+                      outcome = Solver.Finished;
+                      wall_ms = 0.;
+                      solution =
+                        Some
+                          (Solution.make ~solver:"saved plan (referee VM)"
+                             ~cost:vm_run.Machine_vm.total_time bp);
+                    };
                   ]
               | Error e -> failwith ("invalid plan: " ^ e)))
-      | name -> [ Solver_registry.solve ~seed:seed_opt name problem ]
+      | name ->
+          [ Solver.solve_report ~seed:seed_opt ~budget:(budget ())
+              (Solver_registry.find_exn name)
+              problem ]
     in
+    let total_ms = Budget.now_ms () -. t0 in
+    let sols = List.filter_map (fun r -> r.Solver.solution) reports in
+    (* Surface crashes: contained in the race, but never silent. *)
+    List.iter
+      (fun r ->
+        match r.Solver.outcome with
+        | Solver.Crashed e ->
+            Printf.eprintf "hropt: solver %s crashed: %s\n" r.Solver.solver
+              (Printexc.to_string e)
+        | _ -> ())
+      reports;
+    if sols = [] then failwith "no solver produced a solution";
+    (* The saved plan is the best solution, not the registry-order
+       head: under --method portfolio those differ whenever an exact
+       backend is beaten to the front of the list. *)
+    let best = Solution.best sols in
     Option.iter
       (fun path ->
-        match sols with
-        | best :: _ when method_ <> "eval" ->
-            Plan_io.save path best.Solution.bp;
-            Printf.printf "plan written to %s\n" path
-        | _ -> ())
-      (if method_ = "eval" then None else plan_file);
+        if method_ <> "eval" then begin
+          Plan_io.save path best.Solution.bp;
+          Printf.printf "plan written to %s (%s, cost %d)\n" path
+            best.Solution.solver best.Solution.cost
+        end)
+      plan_file;
     let disabled =
       Sync_cost.disabled_cost ~n:oracle.Interval_cost.n
         ~machine_width:(Task_set.total_local_switches ts) ()
     in
     Format.printf "instance: %a, disabled-baseline cost %d@." Problem.pp problem
       disabled;
-    Hr_util.Tablefmt.print ~header:[ "solver"; "cost"; "exact"; "% of disabled" ]
+    Hr_util.Tablefmt.print
+      ~header:[ "solver"; "cost"; "exact"; "% of disabled"; "wall ms"; "outcome" ]
       (List.map
-         (fun sol ->
-           [
-             sol.Solution.solver;
-             string_of_int sol.Solution.cost;
-             (if sol.Solution.exact then "yes" else "no");
-             Printf.sprintf "%.1f"
-               (100. *. float_of_int sol.Solution.cost /. float_of_int disabled);
-           ])
-         sols);
+         (fun r ->
+           match r.Solver.solution with
+           | Some sol ->
+               [
+                 sol.Solution.solver;
+                 string_of_int sol.Solution.cost;
+                 (if sol.Solution.exact then "yes"
+                  else if sol.Solution.cut_off then "cut off"
+                  else "no");
+                 Printf.sprintf "%.1f"
+                   (100. *. float_of_int sol.Solution.cost /. float_of_int disabled);
+                 Printf.sprintf "%.1f" r.Solver.wall_ms;
+                 Solver.outcome_name r.Solver.outcome;
+               ]
+           | None ->
+               [
+                 r.Solver.solver;
+                 "-";
+                 "-";
+                 "-";
+                 Printf.sprintf "%.1f" r.Solver.wall_ms;
+                 Solver.outcome_name r.Solver.outcome;
+               ])
+         reports);
+    Option.iter
+      (fun path ->
+        let t =
+          Telemetry.make ~label:method_ ?deadline_ms ~seed:seed_opt ~problem
+            ~total_ms reports
+        in
+        Telemetry.save path t;
+        Printf.printf "telemetry written to %s\n" path)
+      telemetry_file;
     (if show_figures then
        match sols with
-       | best :: _ ->
+       | _ :: _ ->
            print_newline ();
            print_string (Hr_viz.Figures.fig2 ts best.Solution.bp);
            print_newline ();
@@ -129,7 +201,10 @@ let run workload mode split seed m n correlated method_ seed_opt show_figures
   end
 
 let workload =
-  Arg.(value & pos 0 string "counter" & info [] ~docv:"WORKLOAD" ~doc:"counter or synthetic.")
+  Arg.(
+    value
+    & pos 0 string "counter"
+    & info [] ~docv:"WORKLOAD" ~doc:"counter, synthetic or file.")
 
 let mode =
   Arg.(value & opt string "field" & info [ "mode" ] ~doc:"Counter trace mode: diff, field, inuse.")
@@ -158,6 +233,25 @@ let method_ =
 
 let seed_opt = Arg.(value & opt int 2004 & info [ "seed" ] ~doc:"Optimizer RNG seed.")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Cooperative wall-clock budget per solver run.  Iterative backends \
+           return their best-so-far plan (marked inexact) when it expires; \
+           instantaneous backends ignore it.")
+
+let telemetry_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Write per-solver telemetry (wall-clock, outcome, iterations, \
+           oracle-cache stats) as JSON to $(docv).")
+
 let show_figures =
   Arg.(value & flag & info [ "figures" ] ~doc:"Render Fig.2/Fig.3-style views of the best plan.")
 
@@ -181,11 +275,22 @@ let cmd =
   Cmd.v (Cmd.info "hropt" ~doc)
     Term.(
       const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
-      $ seed_opt $ show_figures $ trace_file $ plan_file)
+      $ seed_opt $ deadline_ms $ telemetry_file $ show_figures $ trace_file
+      $ plan_file)
+
+(* cmdliner spells single-char options "-m"/"-n"; accept the "--m"/
+   "--n" spelling too (it cannot be a prefix of another option, but
+   cmdliner's prefix matching refuses it as ambiguous with --method /
+   --mode). *)
+let argv =
+  Array.map
+    (function "--m" -> "-m" | "--n" -> "-n" | a -> a)
+    Sys.argv
 
 let () =
-  match Cmd.eval' ~catch:false cmd with
+  match Cmd.eval' ~catch:false ~argv cmd with
   | code -> exit code
-  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg
+              | Solver.Rejected msg) ->
       Printf.eprintf "hropt: %s\n" msg;
       exit 2

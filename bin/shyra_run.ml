@@ -59,14 +59,22 @@ let build_from_file path =
           Format.asprintf "program %s: final state %a" path Shyra.Machine.pp final )
 
 (* Resolve [name] through the solver registry and print the optimized
-   plan for the program's single-task trace. *)
+   plan for the program's single-task trace, with wall-clock timing. *)
 let optimize_trace ~mode ~solver program =
   let trace = Shyra.Tracer.trace ~mode program in
   let problem = Problem.of_trace trace in
-  let sol = Solver_registry.solve solver problem in
-  Format.printf "optimized (%a): %a@." Problem.pp problem Solution.pp sol;
-  Printf.printf "hyperreconfigure before steps: %s\n"
-    (String.concat ", " (List.map string_of_int (Solution.break_steps sol)))
+  let r = Solver.solve_report (Solver_registry.find_exn solver) problem in
+  match r.Solver.solution with
+  | Some sol ->
+      Format.printf "optimized (%a): %a@." Problem.pp problem Solution.pp sol;
+      Printf.printf "solver %s: %.1f ms, %s\n" r.Solver.solver r.Solver.wall_ms
+        (Solver.outcome_name r.Solver.outcome);
+      Printf.printf "hyperreconfigure before steps: %s\n"
+        (String.concat ", " (List.map string_of_int (Solution.break_steps sol)))
+  | None -> (
+      match r.Solver.outcome with
+      | Solver.Crashed e -> raise e
+      | _ -> failwith "solver produced no solution")
 
 let run app arg1 arg2 mode show_configs show_trace dump optimize asm_file =
   match
@@ -153,6 +161,7 @@ let cmd =
 let () =
   match Cmd.eval' ~catch:false cmd with
   | code -> exit code
-  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg
+              | Solver.Rejected msg) ->
       Printf.eprintf "shyra_run: %s\n" msg;
       exit 2

@@ -1,15 +1,43 @@
+type cache =
+  | Direct
+  | Memoized of { hits : int Atomic.t; misses : int Atomic.t }
+  | Dense of { cells : int; build_ms : float }
+
+type cache_stats = {
+  kind : string;
+  hits : int;
+  misses : int;
+  cells : int;
+  build_ms : float;
+}
+
 type t = {
   m : int;
   n : int;
   v : int array;
   step_cost : int -> int -> int -> int;
+  cache : cache;
 }
+
+let cache_stats t =
+  match t.cache with
+  | Direct -> { kind = "direct"; hits = 0; misses = 0; cells = 0; build_ms = 0. }
+  | Memoized { hits; misses } ->
+      {
+        kind = "memoize";
+        hits = Atomic.get hits;
+        misses = Atomic.get misses;
+        cells = Atomic.get misses;
+        build_ms = 0.;
+      }
+  | Dense { cells; build_ms } ->
+      { kind = "dense"; hits = 0; misses = 0; cells; build_ms }
 
 let make ~m ~n ~v ~step_cost =
   if m <= 0 then invalid_arg "Interval_cost.make: m must be positive";
   if n < 0 then invalid_arg "Interval_cost.make: negative n";
   if Array.length v <> m then invalid_arg "Interval_cost.make: |v| <> m";
-  { m; n; v = Array.copy v; step_cost }
+  { m; n; v = Array.copy v; step_cost; cache = Direct }
 
 let of_task_set ts =
   let m = Task_set.num_tasks ts in
@@ -28,21 +56,25 @@ let memoize t =
      GA evaluation (Hr_evolve.Ga with domains > 1). *)
   let cache = Hashtbl.create 4096 in
   let lock = Mutex.create () in
+  let hits = Atomic.make 0 and misses = Atomic.make 0 in
   let step_cost j lo hi =
     let key = ((j * t.n) + lo) * t.n + hi in
     Mutex.lock lock;
     let hit = Hashtbl.find_opt cache key in
     Mutex.unlock lock;
     match hit with
-    | Some c -> c
+    | Some c ->
+        Atomic.incr hits;
+        c
     | None ->
+        Atomic.incr misses;
         let c = t.step_cost j lo hi in
         Mutex.lock lock;
         Hashtbl.replace cache key c;
         Mutex.unlock lock;
         c
   in
-  { t with step_cost }
+  { t with step_cost; cache = Memoized { hits; misses } }
 
 let default_max_cells = 16_000_000
 
@@ -53,6 +85,7 @@ let precompute ?(max_cells = default_max_cells) t =
     (* One flat triangular-ish table per task: lock-free reads, so the
        same oracle can be shared by solvers racing on several domains
        without the Mutex round-trip of [memoize]. *)
+    let t0 = Hr_util.Budget.now_ms () in
     let n = t.n in
     let tabs =
       Array.init t.m (fun j ->
@@ -65,7 +98,13 @@ let precompute ?(max_cells = default_max_cells) t =
           tab)
     in
     let step_cost j lo hi = tabs.(j).((lo * n) + hi) in
-    { t with step_cost }
+    {
+      t with
+      step_cost;
+      cache =
+        Dense
+          { cells = t.m * n * n; build_ms = Hr_util.Budget.now_ms () -. t0 };
+    }
   end
 
 let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

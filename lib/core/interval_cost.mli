@@ -19,6 +19,10 @@
     {- non-negative.}}
     Constructors in this library guarantee both. *)
 
+(** How (and whether) the oracle caches [step_cost] queries — carried
+    by the oracle so the solver telemetry can report cache behavior. *)
+type cache
+
 type t = {
   m : int;  (** number of tasks *)
   n : int;  (** number of synchronized machine steps *)
@@ -26,7 +30,25 @@ type t = {
   step_cost : int -> int -> int -> int;
       (** [step_cost j lo hi]: per-step reconfiguration cost of task [j]
           while its current hypercontext covers steps [lo..hi]. *)
+  cache : cache;
 }
+
+(** A telemetry snapshot of the oracle's cache.  [kind] is ["direct"]
+    (no cache), ["memoize"] (Mutex hash table; [hits]/[misses] count
+    queries, [cells] = distinct cached entries = misses) or ["dense"]
+    ([cells] = m·n² precomputed table cells, built in [build_ms]
+    wall-clock milliseconds; lookups are uncounted array reads). *)
+type cache_stats = {
+  kind : string;
+  hits : int;
+  misses : int;
+  cells : int;
+  build_ms : float;
+}
+
+(** [cache_stats t] — counters are cumulative over the oracle's
+    lifetime and safe to read while other domains query it. *)
+val cache_stats : t -> cache_stats
 
 (** [of_task_set ts] is the MT-Switch oracle: [step_cost j lo hi =
     |U_j(lo,hi)|].  Precomputes the per-task interval-union tables. *)

@@ -1,8 +1,8 @@
 module Anneal = Hr_evolve.Anneal
 
-type result = { cost : int; bp : Breakpoints.t; evaluations : int }
+type result = { cost : int; bp : Breakpoints.t; evaluations : int; cut_off : bool }
 
-let solve ?params ?config ?init ~rng oracle =
+let solve ?params ?config ?init ?(budget = Hr_util.Budget.unlimited) ~rng oracle =
   let oracle = Interval_cost.precompute oracle in
   let init =
     match init with Some bp -> bp | None -> (Mt_greedy.best ?params oracle).Mt_greedy.bp
@@ -13,9 +13,10 @@ let solve ?params ?config ?init ~rng oracle =
       neighbor = Mt_moves.mutate;
     }
   in
-  let r = Anneal.run ?config rng problem ~init:(Breakpoints.matrix init) in
+  let r = Anneal.run ?config ~budget rng problem ~init:(Breakpoints.matrix init) in
   {
     cost = r.Anneal.best_cost;
     bp = Breakpoints.of_matrix r.Anneal.best;
     evaluations = r.Anneal.evaluations;
+    cut_off = r.Anneal.cut_off;
   }

@@ -7,14 +7,22 @@
     {!Mt_moves.mutate} move distribution.  Included as an ablation
     baseline against the paper's GA choice. *)
 
-type result = { cost : int; bp : Breakpoints.t; evaluations : int }
+type result = {
+  cost : int;
+  bp : Breakpoints.t;
+  evaluations : int;
+  cut_off : bool;  (** the budget expired before the schedule completed *)
+}
 
-(** [solve ?params ?config ?init ~rng oracle] anneals from [init]
-    (default: the best greedy heuristic). *)
+(** [solve ?params ?config ?init ?budget ~rng oracle] anneals from
+    [init] (default: the best greedy heuristic).  The [budget] is
+    polled every few annealing steps; on exhaustion the best-so-far
+    plan is returned with [cut_off = true]. *)
 val solve :
   ?params:Sync_cost.params ->
   ?config:Hr_evolve.Anneal.config ->
   ?init:Breakpoints.t ->
+  ?budget:Hr_util.Budget.t ->
   rng:Hr_util.Rng.t ->
   Interval_cost.t ->
   result

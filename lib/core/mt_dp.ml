@@ -3,6 +3,8 @@ type outcome = {
   bp : Breakpoints.t;
   exact : bool;
   states_explored : int;
+  truncations : int;
+  cut_off : bool;
 }
 
 type state = {
@@ -59,7 +61,7 @@ let pareto_filter states =
     groups []
 
 let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
-    (oracle : Interval_cost.t) =
+    ?(budget = Hr_util.Budget.unlimited) (oracle : Interval_cost.t) =
   let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
   let sc = oracle.Interval_cost.step_cost and v = oracle.Interval_cost.v in
   let beam = max_states <> None in
@@ -85,6 +87,8 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
   done;
   let explored = ref 0 in
   let truncated = ref false in
+  let truncations = ref 0 in
+  let cut = ref false in
   let ub = ref (Option.value upper_bound ~default:max_int) in
   (* End choices for a task restarting at step i.  Exact mode: all of
      them.  Beam mode: the ends where the block cost jumps to a new
@@ -140,6 +144,7 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
     match max_states with
     | Some cap when List.length level > cap ->
         truncated := true;
+        incr truncations;
         let scored = List.map (fun s -> (s.acc + suffix.(0), s)) level in
         let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
         List.filteri (fun i _ -> i < cap) sorted |> List.map snd
@@ -148,8 +153,44 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
   let virtual_start =
     { ends = Array.make m (-1); costs = Array.make m 0; acc = 0; breaks = [] }
   in
+  (* Budget cut-off: finish a state deterministically by giving every
+     task that restarts from step [i] onwards the run-to-the-end block.
+     O(n·m), always admissible, never exact. *)
+  let rec finish_cheaply i s =
+    if i >= n then s
+    else begin
+      let restarting =
+        List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id)
+      in
+      let hyper = combine_hyper params (List.map (fun j -> v.(j)) restarting) in
+      let ends = Array.copy s.ends and costs = Array.copy s.costs in
+      let breaks = ref s.breaks in
+      List.iter
+        (fun j ->
+          ends.(j) <- n - 1;
+          costs.(j) <- sc j i (n - 1);
+          breaks := (j, i) :: !breaks)
+        restarting;
+      let reconf = combine_reconf params params.Sync_cost.pub costs in
+      finish_cheaply (i + 1)
+        { ends; costs; acc = s.acc + hyper + reconf; breaks = !breaks }
+    end
+  in
   let rec advance i level =
     if i >= n then level
+    else if Hr_util.Budget.exhausted budget then begin
+      (* Polled once per DP level.  Collapse the frontier to its most
+         promising state and complete it cheaply: a best-so-far plan in
+         O(n·m) instead of the remaining exponential expansion. *)
+      cut := true;
+      match level with
+      | [] -> []
+      | s0 :: rest ->
+          let best =
+            List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest
+          in
+          [ finish_cheaply i best ]
+    end
     else
       let level = prune (List.concat_map (expand_state i) level) in
       advance (i + 1) level
@@ -168,7 +209,10 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
         bp = Breakpoints.of_rows ~m ~n rows;
         (* Beam mode also restricts the per-task block-end fan-out (see
            end_candidates), so it must never claim exactness — even on
-           runs where the frontier itself was not truncated. *)
-        exact = not beam && not !truncated;
+           runs where the frontier itself was not truncated.  A budget
+           cut-off likewise forfeits the certificate. *)
+        exact = (not beam) && (not !truncated) && not !cut;
         states_explored = !explored;
+        truncations = !truncations;
+        cut_off = !cut;
       }

@@ -31,24 +31,34 @@ type outcome = {
   cost : int;
   bp : Breakpoints.t;
   exact : bool;
-      (** [false] whenever [max_states] was given: the beam restricts
+      (** [false] whenever [max_states] was given (the beam restricts
           both the frontier and the block-end fan-out, so a beam run is
-          never a certificate even when nothing was truncated *)
+          never a certificate even when nothing was truncated) or the
+          budget cut the run off *)
   states_explored : int;
+  truncations : int;
+      (** number of DP levels whose frontier was cut to [max_states] —
+          the beam-pressure telemetry counter (0 in exact mode) *)
+  cut_off : bool;  (** the budget expired before the DP completed *)
 }
 
-(** [solve ?params ?upper_bound ?max_states oracle] minimizes
+(** [solve ?params ?upper_bound ?max_states ?budget oracle] minimizes
     [Sync_cost.eval ?params].  [upper_bound] (an {e achievable} cost)
     prunes; pass a heuristic cost to speed the search up.
     [max_states] bounds the per-step frontier (default: unbounded →
     exact).  In beam mode the per-task block-end fan-out is also
     restricted to the cost-jump frontier, so large instances stay
-    tractable at the price of exactness.  Exact mode raises
+    tractable at the price of exactness.  The [budget] (default
+    {!Hr_util.Budget.unlimited}) is polled once per DP level; on
+    exhaustion the most promising frontier state is completed
+    deterministically in O(n·m) (remaining tasks run to the end) and
+    returned with [cut_off = true], [exact = false].  Exact mode raises
     [Invalid_argument] when the initial level (n^m states) would
     exceed two million — use the beam or a metaheuristic there. *)
 val solve :
   ?params:Sync_cost.params ->
   ?upper_bound:int ->
   ?max_states:int ->
+  ?budget:Hr_util.Budget.t ->
   Interval_cost.t ->
   outcome

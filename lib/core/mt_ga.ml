@@ -6,9 +6,11 @@ type result = {
   bp : Breakpoints.t;
   evaluations : int;
   history : (int * int) list;
+  cut_off : bool;
 }
 
-let solve ?params ?(config = Ga.default_config) ?(seeds = []) ~rng oracle =
+let solve ?params ?(config = Ga.default_config) ?(seeds = [])
+    ?(budget = Hr_util.Budget.unlimited) ~rng oracle =
   let oracle = Interval_cost.precompute oracle in
   let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
   let cost g = Sync_cost.eval ?params oracle (Breakpoints.of_matrix g) in
@@ -27,10 +29,11 @@ let solve ?params ?(config = Ga.default_config) ?(seeds = []) ~rng oracle =
     List.map (fun e -> Breakpoints.matrix e.Mt_greedy.bp) (Mt_greedy.portfolio ?params oracle)
   in
   let seeds = List.map Breakpoints.matrix seeds @ heuristic_seeds in
-  let r = Ga.run ~config ~seeds rng problem in
+  let r = Ga.run ~config ~seeds ~budget rng problem in
   {
     cost = r.Ga.best_cost;
     bp = Breakpoints.of_matrix r.Ga.best;
     evaluations = r.Ga.evaluations;
     history = r.Ga.history;
+    cut_off = r.Ga.cut_off;
   }

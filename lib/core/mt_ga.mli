@@ -16,16 +16,21 @@ type result = {
   bp : Breakpoints.t;
   evaluations : int;
   history : (int * int) list;  (** best-so-far cost per improving generation *)
+  cut_off : bool;  (** the budget expired before the GA converged *)
 }
 
-(** [solve ?params ?config ?seeds ~rng oracle] evolves breakpoint
-    matrices minimizing [Sync_cost.eval ?params].  Extra [seeds] are
-    injected into the initial population.  Deterministic for a fixed
-    [rng] seed. *)
+(** [solve ?params ?config ?seeds ?budget ~rng oracle] evolves
+    breakpoint matrices minimizing [Sync_cost.eval ?params].  Extra
+    [seeds] are injected into the initial population.  The [budget] is
+    polled between generations; on exhaustion the best individual so
+    far is returned with [cut_off = true] (the heuristic-seeded initial
+    population guarantees a valid plan even under an expired budget).
+    Deterministic for a fixed [rng] seed and an unlimited budget. *)
 val solve :
   ?params:Sync_cost.params ->
   ?config:Hr_evolve.Ga.config ->
   ?seeds:Breakpoints.t list ->
+  ?budget:Hr_util.Budget.t ->
   rng:Hr_util.Rng.t ->
   Interval_cost.t ->
   result

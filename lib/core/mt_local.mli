@@ -7,13 +7,22 @@
     neighborhood; cheap, deterministic, and the standard polishing pass
     applied to metaheuristic results in the benches. *)
 
-type result = { cost : int; bp : Breakpoints.t; evaluations : int; rounds : int }
+type result = {
+  cost : int;
+  bp : Breakpoints.t;
+  evaluations : int;
+  rounds : int;
+  cut_off : bool;  (** the budget expired before a local optimum *)
+}
 
-(** [solve ?params ?init ?max_rounds oracle] climbs from [init]
-    (default: best greedy heuristic) to a 1-flip local optimum. *)
+(** [solve ?params ?init ?max_rounds ?budget oracle] climbs from
+    [init] (default: best greedy heuristic) to a 1-flip local optimum.
+    The [budget] is polled per neighbor evaluation; on exhaustion the
+    current matrix is returned with [cut_off = true]. *)
 val solve :
   ?params:Sync_cost.params ->
   ?init:Breakpoints.t ->
   ?max_rounds:int ->
+  ?budget:Hr_util.Budget.t ->
   Interval_cost.t ->
   result

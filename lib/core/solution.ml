@@ -3,11 +3,12 @@ type t = {
   cost : int;
   bp : Breakpoints.t;
   exact : bool;
+  cut_off : bool;
   stats : (string * string) list;
 }
 
-let make ~solver ?(exact = false) ?(stats = []) ~cost bp =
-  { solver; cost; bp; exact; stats }
+let make ~solver ?(exact = false) ?(cut_off = false) ?(stats = []) ~cost bp =
+  { solver; cost; bp; exact = exact && not cut_off; cut_off; stats }
 
 let task_breaks t j =
   List.map fst (Breakpoints.intervals t.bp j)
@@ -27,5 +28,7 @@ let best = function
 
 let pp fmt t =
   Format.fprintf fmt "%s: cost %d (%s), %d break steps" t.solver t.cost
-    (if t.exact then "exact" else "heuristic")
+    (if t.exact then "exact"
+     else if t.cut_off then "cut off"
+     else "heuristic")
     (num_break_steps t)

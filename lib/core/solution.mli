@@ -13,16 +13,22 @@ type t = {
   bp : Breakpoints.t;
   exact : bool;
       (** [true] when the backend certifies optimality for the problem
-          (its class, mode and parameters) *)
+          (its class, mode and parameters); never [true] together with
+          [cut_off] *)
+  cut_off : bool;
+      (** [true] when the backend's {!Hr_util.Budget.t} expired and
+          this is its best-so-far plan, not its converged answer *)
   stats : (string * string) list;
       (** solver-reported extras, e.g. [("evaluations", "1234")] *)
 }
 
-(** [make ~solver ?exact ?stats ~cost bp] — [exact] defaults to
-    [false], [stats] to []. *)
+(** [make ~solver ?exact ?cut_off ?stats ~cost bp] — [exact] and
+    [cut_off] default to [false], [stats] to [].  A cut-off solution is
+    forced inexact whatever [exact] says. *)
 val make :
   solver:string ->
   ?exact:bool ->
+  ?cut_off:bool ->
   ?stats:(string * string) list ->
   cost:int ->
   Breakpoints.t ->
@@ -43,5 +49,5 @@ val num_break_steps : t -> int
     then the earliest in the list.  Raises [Invalid_argument] on []. *)
 val best : t list -> t
 
-(** [pp] prints ["<solver>: cost <c> (exact|heuristic), <k> break steps"]. *)
+(** [pp] prints ["<solver>: cost <c> (exact|heuristic|cut off), <k> break steps"]. *)
 val pp : Format.formatter -> t -> unit

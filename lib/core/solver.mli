@@ -6,11 +6,27 @@
     [race] runs several of them in parallel on OCaml 5 domains and
     returns the best solution.
 
+    {b Budgets.}  Every entry point takes an optional cooperative
+    {!Hr_util.Budget.t}.  Iterative backends (GA, annealing, hill
+    climbing, the beam/exact DP) poll it between iterations and return
+    their best-so-far solution with [Solution.cut_off = true] (and
+    [exact = false]) when it expires; instantaneous backends ignore it.
+    See [docs/solvers.md] for the per-backend contract.
+
+    {b Failure containment.}  Capability and admissibility violations
+    raise the typed {!Rejected} — never a bare [Invalid_argument] — so
+    a genuine solver crash (an out-of-bounds [Array.get], a [Failure])
+    is distinguishable from an instance the solver simply refuses.  The
+    racing harness ({!run_all}/{!race_report}) contains every exception
+    as a per-solver {!report} instead of dropping the contestant.
+
     Determinism: stochastic backends draw from an {!Hr_util.Rng.t}
     derived with {!rng_for} from a base seed and the solver's name, so
     racing N solvers in parallel returns exactly the solution the best
     of the N sequential runs would have produced — scheduling cannot
-    leak into results. *)
+    leak into results.  (Under a finite budget, cut-off points depend
+    on machine speed, so only the unlimited-budget race is bit-for-bit
+    reproducible.) *)
 
 type kind =
   | Exact  (** certifies optimality whenever [Solution.exact] is set *)
@@ -24,16 +40,22 @@ type t = {
   handles : Problem.t -> bool;
       (** capability predicate: instance size limits, machine class,
           synchronization mode *)
-  run : rng:Hr_util.Rng.t -> Problem.t -> Solution.t;
-      (** the backend; called only on problems it [handles] *)
+  run : budget:Hr_util.Budget.t -> rng:Hr_util.Rng.t -> Problem.t -> Solution.t;
+      (** the backend; called only on problems it [handles].  Backends
+          that cannot stop early may ignore [budget]. *)
 }
+
+(** Raised by {!solve} when the solver does not handle the instance or
+    returned an inadmissible matrix — the {e typed} rejection channel,
+    distinct from any exception a buggy backend might raise. *)
+exception Rejected of string
 
 val make :
   name:string ->
   kind:kind ->
   doc:string ->
   handles:(Problem.t -> bool) ->
-  (rng:Hr_util.Rng.t -> Problem.t -> Solution.t) ->
+  (budget:Hr_util.Budget.t -> rng:Hr_util.Rng.t -> Problem.t -> Solution.t) ->
   t
 
 val kind_name : kind -> string
@@ -47,26 +69,100 @@ val default_seed : int
     backend the same stream whether it runs alone or in a race. *)
 val rng_for : seed:int -> t -> Hr_util.Rng.t
 
-(** [solve ?rng ?seed t problem] checks [t.handles problem], runs the
-    backend, stamps the solver name and recomputes the cost with
-    {!Problem.eval} so costs are uniform across backends.  Raises
-    [Invalid_argument] when the solver does not handle the problem or
-    returns an inadmissible matrix.  [rng] wins over [seed]; the
-    default is [rng_for ~seed:default_seed]. *)
-val solve : ?rng:Hr_util.Rng.t -> ?seed:int -> t -> Problem.t -> Solution.t
+(** [solve ?rng ?seed ?budget t problem] checks [t.handles problem],
+    runs the backend under [budget] (default unlimited), stamps the
+    solver name and recomputes the cost with {!Problem.eval} so costs
+    are uniform across backends.  Raises {!Rejected} when the solver
+    does not handle the problem or returns an inadmissible matrix.
+    [rng] wins over [seed]; the default is [rng_for ~seed:default_seed]. *)
+val solve :
+  ?rng:Hr_util.Rng.t ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t ->
+  Problem.t ->
+  Solution.t
 
-(** [race ?domains ?seed solvers problem] filters [solvers] down to
-    those that handle [problem], runs them in parallel on up to
-    [domains] domains ({!Hr_util.Par}), and returns the best solution
-    ({!Solution.best}: cheapest, exact wins ties).  Backends that raise
-    [Invalid_argument] are dropped from the race.  Deterministic for a
-    fixed [seed] (default {!default_seed}).  Raises [Invalid_argument]
-    when no solver applies or every applicable one failed. *)
+(** {1 The execution harness} *)
+
+(** What happened to one contestant. *)
+type outcome =
+  | Finished  (** ran to its natural termination *)
+  | Cut_off  (** budget expired; [solution] is its best-so-far *)
+  | Crashed of exn
+      (** the backend raised — contained, reported, never masked.
+          ({!Rejected} from an inadmissible result lands here too: in a
+          pre-filtered race it is a solver bug, not a capability
+          mismatch.) *)
+
+type report = {
+  solver : string;
+  kind : kind;
+  outcome : outcome;
+  wall_ms : float;  (** wall clock of this contestant's [solve] *)
+  solution : Solution.t option;
+      (** [Some] for [Finished]/[Cut_off], [None] for [Crashed] *)
+}
+
+(** ["finished" | "cut-off" | "crashed"] — stable strings, used by the
+    telemetry JSON schema. *)
+val outcome_name : outcome -> string
+
+(** [solve_report ?rng ?seed ?budget t problem] is {!solve} with crash
+    containment and wall-clock measurement: every exception — typed
+    rejection included — becomes a [Crashed] report. *)
+val solve_report :
+  ?rng:Hr_util.Rng.t ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t ->
+  Problem.t ->
+  report
+
+(** [run_all ?domains ?seed ?budget solvers problem] filters [solvers]
+    down to those whose capability predicate accepts [problem], runs
+    them in parallel on up to [domains] domains ({!Hr_util.Par}) under
+    a shared [budget], and returns one {!report} per contestant, in
+    [solvers] order — crashes and cut-offs included, nothing dropped. *)
+val run_all :
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t list ->
+  Problem.t ->
+  report list
+
+(** [race_report ?domains ?seed ?budget solvers problem] is {!run_all}
+    plus the verdict: the best surviving solution ({!Solution.best}:
+    cheapest, exact wins ties) together with every report.  Raises
+    [Invalid_argument] — naming the crashed contestants — when no
+    applicable solver produced a solution. *)
+val race_report :
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t list ->
+  Problem.t ->
+  Solution.t * report list
+
+(** [race ?domains ?seed ?budget solvers problem] is [race_report]
+    without the reports. *)
 val race :
-  ?domains:int -> ?seed:int -> t list -> Problem.t -> Solution.t
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t list ->
+  Problem.t ->
+  Solution.t
 
-(** [race_all ?domains ?seed solvers problem] is [race] returning every
-    applicable backend's solution (in [solvers] order, failures
-    dropped) — for tables comparing the field. *)
+(** [race_all ?domains ?seed ?budget solvers problem] is every
+    surviving contestant's solution (in [solvers] order, crashed ones
+    absent) — for tables comparing the field.  Prefer {!run_all} when
+    you need to know {e why} a contestant is missing. *)
 val race_all :
-  ?domains:int -> ?seed:int -> t list -> Problem.t -> Solution.t list
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  t list ->
+  Problem.t ->
+  Solution.t list

@@ -29,17 +29,27 @@ let applicable problem =
   List.filter (fun s -> s.Solver.handles problem) (all ())
 
 let exact_for problem =
-  List.filter (fun s -> s.Solver.kind = Solver.Exact) (applicable problem)
+  List.filter
+    (fun (s : Solver.t) -> s.Solver.kind = Solver.Exact)
+    (applicable problem)
 
-let solve ?rng ?seed name problem = Solver.solve ?rng ?seed (find_exn name) problem
+let solve ?rng ?seed ?budget name problem =
+  Solver.solve ?rng ?seed ?budget (find_exn name) problem
 
-let race ?domains ?seed ?names:wanted problem =
-  let solvers =
-    match wanted with
-    | None -> applicable problem
-    | Some names -> List.map find_exn names
-  in
-  Solver.race ?domains ?seed solvers problem
+let resolve_contestants problem = function
+  | None -> applicable problem
+  | Some names -> List.map find_exn names
+
+let run_all ?domains ?seed ?budget ?names:wanted problem =
+  Solver.run_all ?domains ?seed ?budget (resolve_contestants problem wanted)
+    problem
+
+let race_report ?domains ?seed ?budget ?names:wanted problem =
+  Solver.race_report ?domains ?seed ?budget (resolve_contestants problem wanted)
+    problem
+
+let race ?domains ?seed ?budget ?names:wanted problem =
+  Solver.race ?domains ?seed ?budget (resolve_contestants problem wanted) problem
 
 (* ------------------------------------------------------------------ *)
 (* Built-in backends.                                                  *)
@@ -59,7 +69,7 @@ let st_dp =
   Solver.make ~name:"st-dp" ~kind:Solver.Exact
     ~doc:"single-task O(n^2) DP of [9] (exact)"
     ~handles:(fun p -> sized p && Problem.m p = 1 && p.Problem.params.Sync_cost.pub = 0)
-    (fun ~rng:_ p ->
+    (fun ~budget:_ ~rng:_ p ->
       let r = St_opt.solve_oracle p.Problem.oracle ~task:0 in
       let bp = Breakpoints.of_rows ~m:1 ~n:(Problem.n p) [| r.St_opt.breaks |] in
       Solution.make ~solver:"st-dp" ~exact:true
@@ -70,7 +80,7 @@ let all_task =
   Solver.make ~name:"all-task" ~kind:Solver.Exact
     ~doc:"combined single-task DP; exact for the all-task machine class"
     ~handles:(fun p -> sized p && fully p)
-    (fun ~rng:_ p ->
+    (fun ~budget:_ ~rng:_ p ->
       let r = Mt_classes.solve_all_task ~params:p.Problem.params p.Problem.oracle in
       Solution.make ~solver:"all-task"
         ~exact:(p.Problem.machine_class = Problem.All_task)
@@ -78,24 +88,30 @@ let all_task =
           [ ("shared-breaks", string_of_int (List.length r.Mt_classes.breaks)) ]
         ~cost:r.Mt_classes.cost r.Mt_classes.bp)
 
+let dp_stats (r : Mt_dp.outcome) =
+  [
+    ("states", string_of_int r.Mt_dp.states_explored);
+    ("truncations", string_of_int r.Mt_dp.truncations);
+  ]
+
 let mt_dp =
   Solver.make ~name:"mt-dp" ~kind:Solver.Exact
     ~doc:"exact multi-task DP (Theorem 1), n^m <= 2e6"
     ~handles:(fun p -> sized p && fully p && partial p && dp_fan_out_ok p)
-    (fun ~rng:_ p ->
+    (fun ~budget ~rng:_ p ->
       let params = p.Problem.params in
       let ub = (Mt_greedy.best ~params p.Problem.oracle).Mt_greedy.cost in
-      let r = Mt_dp.solve ~params ~upper_bound:ub p.Problem.oracle in
+      let r = Mt_dp.solve ~params ~upper_bound:ub ~budget p.Problem.oracle in
       Solution.make ~solver:"mt-dp" ~exact:r.Mt_dp.exact
-        ~stats:[ ("states", string_of_int r.Mt_dp.states_explored) ]
-        ~cost:r.Mt_dp.cost r.Mt_dp.bp)
+        ~cut_off:r.Mt_dp.cut_off ~stats:(dp_stats r) ~cost:r.Mt_dp.cost
+        r.Mt_dp.bp)
 
 let brute =
   Solver.make ~name:"brute" ~kind:Solver.Exact
     ~doc:"exhaustive enumeration, (n-1)*m <= 18"
     ~handles:(fun p ->
       sized p && fully p && partial p && (Problem.n p - 1) * Problem.m p <= 18)
-    (fun ~rng:_ p ->
+    (fun ~budget:_ ~rng:_ p ->
       let cost, bp = Brute.multi ~params:p.Problem.params p.Problem.oracle in
       Solution.make ~solver:"brute" ~exact:true ~cost bp)
 
@@ -103,20 +119,20 @@ let mt_beam =
   Solver.make ~name:"mt-beam" ~kind:Solver.Heuristic
     ~doc:"beam-truncated multi-task DP (256 states), m <= 6"
     ~handles:(fun p -> sized p && fully p && partial p && Problem.m p <= 6)
-    (fun ~rng:_ p ->
+    (fun ~budget ~rng:_ p ->
       let params = p.Problem.params in
       (* No upper bound: the beam's restricted block-end fan-out can make
          a heuristic bound unreachable, which would empty the frontier. *)
-      let r = Mt_dp.solve ~params ~max_states:256 p.Problem.oracle in
+      let r = Mt_dp.solve ~params ~max_states:256 ~budget p.Problem.oracle in
       Solution.make ~solver:"mt-beam" ~exact:r.Mt_dp.exact
-        ~stats:[ ("states", string_of_int r.Mt_dp.states_explored) ]
-        ~cost:r.Mt_dp.cost r.Mt_dp.bp)
+        ~cut_off:r.Mt_dp.cut_off ~stats:(dp_stats r) ~cost:r.Mt_dp.cost
+        r.Mt_dp.bp)
 
 let greedy =
   Solver.make ~name:"greedy" ~kind:Solver.Heuristic
     ~doc:"best of the greedy heuristic portfolio"
     ~handles:(fun p -> sized p && fully p && partial p)
-    (fun ~rng:_ p ->
+    (fun ~budget:_ ~rng:_ p ->
       let e = Mt_greedy.best ~params:p.Problem.params p.Problem.oracle in
       Solution.make ~solver:"greedy"
         ~stats:[ ("heuristic", e.Mt_greedy.name) ]
@@ -126,9 +142,9 @@ let hill_climb =
   Solver.make ~name:"hill-climb" ~kind:Solver.Heuristic
     ~doc:"first-improvement bit-flip descent from the best heuristic"
     ~handles:(fun p -> sized p && fully p && partial p)
-    (fun ~rng:_ p ->
-      let r = Mt_local.solve ~params:p.Problem.params p.Problem.oracle in
-      Solution.make ~solver:"hill-climb"
+    (fun ~budget ~rng:_ p ->
+      let r = Mt_local.solve ~params:p.Problem.params ~budget p.Problem.oracle in
+      Solution.make ~solver:"hill-climb" ~cut_off:r.Mt_local.cut_off
         ~stats:
           [
             ("evaluations", string_of_int r.Mt_local.evaluations);
@@ -140,9 +156,9 @@ let anneal =
   Solver.make ~name:"anneal" ~kind:Solver.Stochastic
     ~doc:"simulated annealing over breakpoint matrices"
     ~handles:(fun p -> sized p && fully p && partial p)
-    (fun ~rng p ->
-      let r = Mt_anneal.solve ~params:p.Problem.params ~rng p.Problem.oracle in
-      Solution.make ~solver:"anneal"
+    (fun ~budget ~rng p ->
+      let r = Mt_anneal.solve ~params:p.Problem.params ~budget ~rng p.Problem.oracle in
+      Solution.make ~solver:"anneal" ~cut_off:r.Mt_anneal.cut_off
         ~stats:[ ("evaluations", string_of_int r.Mt_anneal.evaluations) ]
         ~cost:r.Mt_anneal.cost r.Mt_anneal.bp)
 
@@ -150,9 +166,9 @@ let ga =
   Solver.make ~name:"ga" ~kind:Solver.Stochastic
     ~doc:"genetic algorithm (the paper's Section 6 method)"
     ~handles:(fun p -> sized p && fully p && partial p)
-    (fun ~rng p ->
-      let r = Mt_ga.solve ~params:p.Problem.params ~rng p.Problem.oracle in
-      Solution.make ~solver:"ga"
+    (fun ~budget ~rng p ->
+      let r = Mt_ga.solve ~params:p.Problem.params ~budget ~rng p.Problem.oracle in
+      Solution.make ~solver:"ga" ~cut_off:r.Mt_ga.cut_off
         ~stats:[ ("evaluations", string_of_int r.Mt_ga.evaluations) ]
         ~cost:r.Mt_ga.cost r.Mt_ga.bp)
 
@@ -160,11 +176,12 @@ let ga_polish =
   Solver.make ~name:"ga-polish" ~kind:Solver.Stochastic
     ~doc:"genetic algorithm polished by hill climbing"
     ~handles:(fun p -> sized p && fully p && partial p)
-    (fun ~rng p ->
+    (fun ~budget ~rng p ->
       let params = p.Problem.params in
-      let g = Mt_ga.solve ~params ~rng p.Problem.oracle in
-      let r = Mt_local.solve ~params ~init:g.Mt_ga.bp p.Problem.oracle in
+      let g = Mt_ga.solve ~params ~budget ~rng p.Problem.oracle in
+      let r = Mt_local.solve ~params ~init:g.Mt_ga.bp ~budget p.Problem.oracle in
       Solution.make ~solver:"ga-polish"
+        ~cut_off:(g.Mt_ga.cut_off || r.Mt_local.cut_off)
         ~stats:
           [
             ( "evaluations",
@@ -176,7 +193,7 @@ let async_opt =
   Solver.make ~name:"async-opt" ~kind:Solver.Exact
     ~doc:"per-task solo optima; exact for the non-synchronized mode"
     ~handles:(fun p -> sized p && p.Problem.mode = Mixed_sync.Non_synchronized)
-    (fun ~rng:_ p ->
+    (fun ~budget:_ ~rng:_ p ->
       let r = Mt_async.solve p.Problem.oracle in
       let rows = Array.map (fun s -> s.St_opt.breaks) r.Mt_async.per_task in
       let bp = Breakpoints.of_rows ~m:(Problem.m p) ~n:(Problem.n p) rows in
@@ -188,7 +205,7 @@ let mode_climb =
   Solver.make ~name:"mode-climb" ~kind:Solver.Heuristic
     ~doc:"bit-flip descent on Problem.eval (intermediate sync modes)"
     ~handles:(fun p -> sized p && (not (fully p)) && partial p)
-    (fun ~rng:_ p ->
+    (fun ~budget ~rng:_ p ->
       let o = p.Problem.oracle in
       let m = Problem.m p and n = Problem.n p in
       let rows =
@@ -198,22 +215,27 @@ let mode_climb =
       let cost = ref (Problem.eval p !bp) in
       let rounds = ref 0 in
       let improved = ref true in
-      while !improved && !rounds < 50 do
+      let cut = ref false in
+      (* Budget polled once per task row: a row is m·n Problem.eval
+         calls at most, well under a millisecond-scale deadline. *)
+      while !improved && !rounds < 50 && not !cut do
         improved := false;
         incr rounds;
         for j = 0 to m - 1 do
-          for i = 1 to n - 1 do
-            let cand = Breakpoints.set !bp j i (not (Breakpoints.is_break !bp j i)) in
-            let c = Problem.eval p cand in
-            if c < !cost then begin
-              bp := cand;
-              cost := c;
-              improved := true
-            end
-          done
+          if Hr_util.Budget.exhausted budget then cut := true;
+          if not !cut then
+            for i = 1 to n - 1 do
+              let cand = Breakpoints.set !bp j i (not (Breakpoints.is_break !bp j i)) in
+              let c = Problem.eval p cand in
+              if c < !cost then begin
+                bp := cand;
+                cost := c;
+                improved := true
+              end
+            done
         done
       done;
-      Solution.make ~solver:"mode-climb"
+      Solution.make ~solver:"mode-climb" ~cut_off:!cut
         ~stats:[ ("rounds", string_of_int !rounds) ]
         ~cost:!cost !bp)
 

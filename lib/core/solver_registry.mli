@@ -50,12 +50,44 @@ val applicable : Problem.t -> Solver.t list
     "which exact solvers handle this instance size?" *)
 val exact_for : Problem.t -> Solver.t list
 
-(** [solve ?rng ?seed name problem] = [Solver.solve (find_exn name)]. *)
+(** [solve ?rng ?seed ?budget name problem] =
+    [Solver.solve (find_exn name)]. *)
 val solve :
-  ?rng:Hr_util.Rng.t -> ?seed:int -> string -> Problem.t -> Solution.t
+  ?rng:Hr_util.Rng.t ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  string ->
+  Problem.t ->
+  Solution.t
 
-(** [race ?domains ?seed ?names problem] races the named solvers
-    (default: every applicable registered solver) and returns the best
-    solution.  See {!Solver.race}. *)
+(** [race ?domains ?seed ?budget ?names problem] races the named
+    solvers (default: every applicable registered solver) under a
+    shared cooperative budget and returns the best solution.  See
+    {!Solver.race}. *)
 val race :
-  ?domains:int -> ?seed:int -> ?names:string list -> Problem.t -> Solution.t
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  ?names:string list ->
+  Problem.t ->
+  Solution.t
+
+(** [race_report] is {!race} plus one {!Solver.report} per contestant
+    (wall-clock, outcome, solution) — the input to {!Telemetry.make}. *)
+val race_report :
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  ?names:string list ->
+  Problem.t ->
+  Solution.t * Solver.report list
+
+(** [run_all] races without picking a winner: every contestant's
+    report, crashes and cut-offs included.  See {!Solver.run_all}. *)
+val run_all :
+  ?domains:int ->
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  ?names:string list ->
+  Problem.t ->
+  Solver.report list

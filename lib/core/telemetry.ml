@@ -1,0 +1,224 @@
+(* Structured observability for solver runs: who ran, how long, how it
+   ended, what the oracle cache did — exportable as JSON and printable
+   as a table.  No external JSON dependency: the emitter below covers
+   the subset this schema needs. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let buffer_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec buffer_add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then
+        (* %.17g round-trips; %.3f is plenty for milliseconds and far
+           more readable. *)
+        Buffer.add_string buf (Printf.sprintf "%.3f" f)
+      else Buffer.add_string buf "null"
+  | String s -> buffer_add_json_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          buffer_add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          buffer_add_json_string buf k;
+          Buffer.add_char buf ':';
+          buffer_add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  buffer_add_json buf j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  label : string;
+  problem : string;
+  m : int;
+  n : int;
+  seed : int;
+  deadline_ms : int option;
+  total_ms : float;
+  oracle : Interval_cost.cache_stats;
+  reports : Solver.report list;
+  winner : string option;
+}
+
+let schema_version = "hyperreconf.telemetry/1"
+
+(* The conventional per-backend work counters, in precedence order:
+   whichever a solver reports first is its "iterations". *)
+let iteration_keys = [ "evaluations"; "states"; "rounds" ]
+
+let iterations (sol : Solution.t) =
+  List.fold_left
+    (fun acc key ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          Option.bind
+            (List.assoc_opt key sol.Solution.stats)
+            int_of_string_opt)
+    None iteration_keys
+
+let make ?(label = "race") ?deadline_ms ?(seed = Solver.default_seed)
+    ~problem ~total_ms reports =
+  let winner =
+    match List.filter_map (fun r -> r.Solver.solution) reports with
+    | [] -> None
+    | sols -> Some (Solution.best sols).Solution.solver
+  in
+  {
+    label;
+    problem = Format.asprintf "%a" Problem.pp problem;
+    m = Problem.m problem;
+    n = Problem.n problem;
+    seed;
+    deadline_ms;
+    total_ms;
+    oracle = Interval_cost.cache_stats problem.Problem.oracle;
+    reports;
+    winner;
+  }
+
+let report_to_json (r : Solver.report) =
+  let base =
+    [
+      ("name", String r.Solver.solver);
+      ("kind", String (Solver.kind_name r.Solver.kind));
+      ("outcome", String (Solver.outcome_name r.Solver.outcome));
+      ("wall_ms", Float r.Solver.wall_ms);
+    ]
+  in
+  let detail =
+    match r.Solver.outcome with
+    | Solver.Crashed e -> [ ("error", String (Printexc.to_string e)) ]
+    | Solver.Finished | Solver.Cut_off -> []
+  in
+  let solution =
+    match r.Solver.solution with
+    | None -> []
+    | Some sol ->
+        [
+          ("cost", Int sol.Solution.cost);
+          ("exact", Bool sol.Solution.exact);
+          ("cut_off", Bool sol.Solution.cut_off);
+          ( "iterations",
+            match iterations sol with Some i -> Int i | None -> Null );
+          ( "stats",
+            Obj (List.map (fun (k, v) -> (k, String v)) sol.Solution.stats) );
+        ]
+  in
+  Obj (base @ detail @ solution)
+
+let oracle_to_json (o : Interval_cost.cache_stats) =
+  Obj
+    [
+      ("kind", String o.Interval_cost.kind);
+      ("hits", Int o.Interval_cost.hits);
+      ("misses", Int o.Interval_cost.misses);
+      ("cells", Int o.Interval_cost.cells);
+      ("build_ms", Float o.Interval_cost.build_ms);
+    ]
+
+let to_json t =
+  Obj
+    [
+      ("schema", String schema_version);
+      ("label", String t.label);
+      ( "instance",
+        Obj [ ("m", Int t.m); ("n", Int t.n); ("summary", String t.problem) ] );
+      ("seed", Int t.seed);
+      ( "deadline_ms",
+        match t.deadline_ms with Some ms -> Int ms | None -> Null );
+      ("total_ms", Float t.total_ms);
+      ("oracle_cache", oracle_to_json t.oracle);
+      ("solvers", List (List.map report_to_json t.reports));
+      ("winner", match t.winner with Some w -> String w | None -> Null);
+    ]
+
+let to_string t = json_to_string (to_json t)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* ------------------------------------------------------------------ *)
+
+let pp fmt t =
+  let row (r : Solver.report) =
+    let cost, iters =
+      match r.Solver.solution with
+      | Some sol ->
+          ( string_of_int sol.Solution.cost,
+            match iterations sol with Some i -> string_of_int i | None -> "-" )
+      | None -> ("-", "-")
+    in
+    let outcome =
+      match r.Solver.outcome with
+      | Solver.Crashed e -> "crashed: " ^ Printexc.to_string e
+      | o -> Solver.outcome_name o
+    in
+    [
+      r.Solver.solver;
+      Printf.sprintf "%.1f" r.Solver.wall_ms;
+      outcome;
+      cost;
+      iters;
+    ]
+  in
+  Format.fprintf fmt "%s: %s, seed %d%s, %.1f ms total" t.label t.problem
+    t.seed
+    (match t.deadline_ms with
+    | Some ms -> Printf.sprintf ", deadline %d ms" ms
+    | None -> "")
+    t.total_ms;
+  Format.pp_print_newline fmt ();
+  Format.fprintf fmt "oracle cache: %s, %d hits / %d misses, %d cells@."
+    t.oracle.Interval_cost.kind t.oracle.Interval_cost.hits
+    t.oracle.Interval_cost.misses t.oracle.Interval_cost.cells;
+  Format.pp_print_string fmt
+    (Hr_util.Tablefmt.render
+       ~header:[ "solver"; "wall ms"; "outcome"; "cost"; "iterations" ]
+       (List.map row t.reports));
+  Format.pp_print_newline fmt ();
+  (match t.winner with
+  | Some w -> Format.fprintf fmt "winner: %s@." w
+  | None -> Format.fprintf fmt "winner: none@.")

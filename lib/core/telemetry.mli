@@ -1,0 +1,91 @@
+(** Structured telemetry for solver executions.
+
+    One {!t} describes one optimization run — a race, a portfolio, or a
+    single solve: the instance, the seed and deadline, one
+    {!Solver.report} per contestant (wall-clock, outcome, cost,
+    iteration counters), the oracle-cache statistics
+    ({!Interval_cost.cache_stats}: memoizer hits/misses or dense
+    precompute cell counts), and the winner.  It serializes to a stable
+    JSON document (schema {!schema_version}) consumed by the CI smoke
+    test and external dashboards, and pretty-prints as a table for
+    humans.
+
+    JSON schema (see [docs/solvers.md] for the field-by-field
+    contract):
+
+    {v
+    { "schema": "hyperreconf.telemetry/1",
+      "label": "race", "seed": 2004, "deadline_ms": 200 | null,
+      "instance": { "m": 4, "n": 96, "summary": "m=4 n=96 partial ..." },
+      "total_ms": 87.2,
+      "oracle_cache": { "kind": "dense" | "memoize" | "direct",
+                        "hits": 0, "misses": 0, "cells": 36864,
+                        "build_ms": 1.9 },
+      "solvers": [ { "name": "ga", "kind": "stochastic",
+                     "outcome": "finished" | "cut-off" | "crashed",
+                     "wall_ms": 81.0,
+                     "error": "...",            (* crashed only *)
+                     "cost": 1234, "exact": false, "cut_off": true,
+                     "iterations": 4096 | null,
+                     "stats": { "evaluations": "4096", ... } } ],
+      "winner": "mt-dp" | null }
+    v} *)
+
+(** A minimal JSON document — just enough for the telemetry schema; no
+    external dependency. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(** [json_to_string j] — compact one-line rendering with a trailing
+    newline; strings are escaped per RFC 8259. *)
+val json_to_string : json -> string
+
+type t = {
+  label : string;  (** e.g. ["race"], ["portfolio"], a solver name *)
+  problem : string;  (** {!Problem.pp} of the instance *)
+  m : int;
+  n : int;
+  seed : int;
+  deadline_ms : int option;  (** the --deadline-ms knob, when set *)
+  total_ms : float;  (** end-to-end wall clock of the whole run *)
+  oracle : Interval_cost.cache_stats;
+  reports : Solver.report list;
+  winner : string option;  (** best surviving solver, [None] if all crashed *)
+}
+
+(** ["hyperreconf.telemetry/1"] — bump on breaking schema changes. *)
+val schema_version : string
+
+(** [iterations sol] extracts the backend's work counter from
+    [sol.stats]: the first of ["evaluations"], ["states"], ["rounds"]
+    that parses as an integer. *)
+val iterations : Solution.t -> int option
+
+(** [make ?label ?deadline_ms ?seed ~problem ~total_ms reports]
+    assembles a record; the winner is recomputed from the surviving
+    reports with {!Solution.best}. *)
+val make :
+  ?label:string ->
+  ?deadline_ms:int ->
+  ?seed:int ->
+  problem:Problem.t ->
+  total_ms:float ->
+  Solver.report list ->
+  t
+
+val to_json : t -> json
+
+val to_string : t -> string
+
+(** [save path t] writes {!to_string} to [path] (truncating). *)
+val save : string -> t -> unit
+
+(** [pp] prints the human-facing view: a summary line, the oracle-cache
+    line, the per-solver table, and the winner. *)
+val pp : Format.formatter -> t -> unit

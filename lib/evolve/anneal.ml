@@ -6,14 +6,16 @@ type config = { steps : int; t_start : float; t_end : float; restarts : int }
 
 let default_config = { steps = 20_000; t_start = 20.0; t_end = 0.05; restarts = 1 }
 
-type 'g result = { best : 'g; best_cost : int; evaluations : int }
+type 'g result = { best : 'g; best_cost : int; evaluations : int; cut_off : bool }
 
-let run ?(config = default_config) rng problem ~init =
+let run ?(config = default_config) ?(budget = Hr_util.Budget.unlimited) rng
+    problem ~init =
   if config.steps < 1 then invalid_arg "Anneal.run: steps must be >= 1";
   if config.t_end <= 0. || config.t_start < config.t_end then
     invalid_arg "Anneal.run: need t_start >= t_end > 0";
   if config.restarts < 1 then invalid_arg "Anneal.run: restarts must be >= 1";
   let evaluations = ref 0 in
+  let cut = ref false in
   let eval g =
     incr evaluations;
     problem.cost g
@@ -22,35 +24,45 @@ let run ?(config = default_config) rng problem ~init =
     (* Geometric factor so that t_start * factor^steps = t_end. *)
     exp (log (config.t_end /. config.t_start) /. float_of_int config.steps)
   in
+  (* The budget is polled every [poll_mask + 1] steps — frequent enough
+     for millisecond deadlines, cheap enough to vanish in the noise of
+     a cost evaluation. *)
+  let poll_mask = 0x3f in
   let one_restart () =
     let current = ref init and current_cost = ref (eval init) in
     let best = ref init and best_cost = ref !current_cost in
     let temp = ref config.t_start in
-    for _ = 1 to config.steps do
-      let cand = problem.neighbor rng !current in
-      let cand_cost = eval cand in
-      let delta = cand_cost - !current_cost in
-      let accept =
-        delta <= 0 || Rng.float rng < exp (-.float_of_int delta /. !temp)
-      in
-      if accept then begin
-        current := cand;
-        current_cost := cand_cost;
-        if cand_cost < !best_cost then begin
-          best := cand;
-          best_cost := cand_cost
-        end
+    let step = ref 0 in
+    while !step < config.steps && not !cut do
+      if !step land poll_mask = 0 && Hr_util.Budget.exhausted budget then
+        cut := true
+      else begin
+        let cand = problem.neighbor rng !current in
+        let cand_cost = eval cand in
+        let delta = cand_cost - !current_cost in
+        let accept =
+          delta <= 0 || Rng.float rng < exp (-.float_of_int delta /. !temp)
+        in
+        if accept then begin
+          current := cand;
+          current_cost := cand_cost;
+          if cand_cost < !best_cost then begin
+            best := cand;
+            best_cost := cand_cost
+          end
+        end;
+        temp := !temp *. cooling
       end;
-      temp := !temp *. cooling
+      incr step
     done;
     (!best, !best_cost)
   in
   let rec go k (bg, bc) =
-    if k = 0 then (bg, bc)
+    if k = 0 || !cut then (bg, bc)
     else
       let g, c = one_restart () in
       go (k - 1) (if c < bc then (g, c) else (bg, bc))
   in
   let g0, c0 = one_restart () in
   let best, best_cost = go (config.restarts - 1) (g0, c0) in
-  { best; best_cost; evaluations = !evaluations }
+  { best; best_cost; evaluations = !evaluations; cut_off = !cut }

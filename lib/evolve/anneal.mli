@@ -19,8 +19,23 @@ type config = {
 
 val default_config : config
 
-type 'g result = { best : 'g; best_cost : int; evaluations : int }
+type 'g result = {
+  best : 'g;
+  best_cost : int;
+  evaluations : int;
+  cut_off : bool;  (** stopped by the budget, not by running out of steps *)
+}
 
-(** [run ?config rng problem ~init] anneals from [init].  Deterministic
-    for a fixed [rng] seed. *)
-val run : ?config:config -> Hr_util.Rng.t -> 'g problem -> init:'g -> 'g result
+(** [run ?config ?budget rng problem ~init] anneals from [init].  The
+    [budget] (default {!Hr_util.Budget.unlimited}) is polled every few
+    annealing steps; on exhaustion the best-so-far genome is returned
+    with [cut_off = true] ([init] is always evaluated first, so a
+    result exists even under an expired budget).  Deterministic for a
+    fixed [rng] seed and an unlimited budget. *)
+val run :
+  ?config:config ->
+  ?budget:Hr_util.Budget.t ->
+  Hr_util.Rng.t ->
+  'g problem ->
+  init:'g ->
+  'g result

@@ -33,11 +33,13 @@ type 'g result = {
   best_cost : int;
   evaluations : int;
   history : (int * int) list;
+  cut_off : bool;
 }
 
 type 'g scored = { genome : 'g; score : int }
 
-let run ?(config = default_config) ?(seeds = []) rng problem =
+let run ?(config = default_config) ?(seeds = [])
+    ?(budget = Hr_util.Budget.unlimited) rng problem =
   if config.population < 2 then invalid_arg "Ga.run: population must be >= 2";
   if config.tournament < 1 then invalid_arg "Ga.run: tournament must be >= 1";
   if config.elitism < 0 || config.elitism >= config.population then
@@ -66,9 +68,17 @@ let run ?(config = default_config) ?(seeds = []) rng problem =
   let history = ref [ (0, !best.score) ] in
   let stale = ref 0 in
   let gen = ref 1 in
+  let cut = ref false in
   let continue_ () =
-    !gen <= config.generations
-    && match config.patience with None -> true | Some p -> !stale < p
+    (* Budget polled once per generation: coarse enough to be free,
+       fine enough that a cut-off lands within one generation's work. *)
+    if Hr_util.Budget.exhausted budget then begin
+      cut := true;
+      false
+    end
+    else
+      !gen <= config.generations
+      && match config.patience with None -> true | Some p -> !stale < p
   in
   while continue_ () do
     let tournament_pick () =
@@ -113,4 +123,5 @@ let run ?(config = default_config) ?(seeds = []) rng problem =
     best_cost = !best.score;
     evaluations = !evaluations;
     history = List.rev !history;
+    cut_off = !cut;
   }

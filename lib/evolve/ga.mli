@@ -39,9 +39,23 @@ type 'g result = {
   evaluations : int;  (** number of [cost] calls *)
   history : (int * int) list;
       (** (generation, best-so-far cost) at every improvement, ascending *)
+  cut_off : bool;
+      (** [true] when the run stopped because its {!Hr_util.Budget.t}
+          expired rather than by generations/patience *)
 }
 
-(** [run ?config ?seeds rng problem] evolves a population initialized
-    from [seeds] (injected verbatim) padded with [problem.random]
-    individuals.  Deterministic for a given [rng] seed. *)
-val run : ?config:config -> ?seeds:'g list -> Hr_util.Rng.t -> 'g problem -> 'g result
+(** [run ?config ?seeds ?budget rng problem] evolves a population
+    initialized from [seeds] (injected verbatim) padded with
+    [problem.random] individuals.  The [budget] (default
+    {!Hr_util.Budget.unlimited}) is polled between generations: on
+    exhaustion the run returns its best-so-far with [cut_off = true].
+    The initial population is always evaluated, so the result is
+    meaningful even under an already-expired budget.  Deterministic for
+    a given [rng] seed and an unlimited budget. *)
+val run :
+  ?config:config ->
+  ?seeds:'g list ->
+  ?budget:Hr_util.Budget.t ->
+  Hr_util.Rng.t ->
+  'g problem ->
+  'g result

@@ -1,10 +1,24 @@
 type 'g problem = { cost : 'g -> int; neighbors : 'g -> 'g Seq.t }
 
-type 'g result = { best : 'g; best_cost : int; evaluations : int; rounds : int }
+type 'g result = {
+  best : 'g;
+  best_cost : int;
+  evaluations : int;
+  rounds : int;
+  cut_off : bool;
+}
 
-let run ?(max_rounds = max_int) problem ~init =
+exception Out_of_budget
+
+let run ?(max_rounds = max_int) ?(budget = Hr_util.Budget.unlimited) problem
+    ~init =
   let evaluations = ref 0 in
+  let cut = ref false in
+  (* Polled per neighbor evaluation: a single descent round scans up to
+     the whole neighborhood, which for large instances is far coarser
+     than a millisecond-scale deadline. *)
   let eval g =
+    if Hr_util.Budget.exhausted budget then raise_notrace Out_of_budget;
     incr evaluations;
     problem.cost g
   in
@@ -12,15 +26,25 @@ let run ?(max_rounds = max_int) problem ~init =
     if rounds >= max_rounds then (g, cost, rounds)
     else
       let better =
-        Seq.find_map
-          (fun n ->
-            let c = eval n in
-            if c < cost then Some (n, c) else None)
-          (problem.neighbors g)
+        try
+          Seq.find_map
+            (fun n ->
+              let c = eval n in
+              if c < cost then Some (n, c) else None)
+            (problem.neighbors g)
+        with Out_of_budget ->
+          cut := true;
+          None
       in
       match better with
       | Some (n, c) -> climb n c (rounds + 1)
       | None -> (g, cost, rounds)
   in
-  let best, best_cost, rounds = climb init (eval init) 0 in
-  { best; best_cost; evaluations = !evaluations; rounds }
+  (* The initial evaluation is unconditional so a best-so-far always
+     exists, even under an already-expired budget. *)
+  let init_cost =
+    incr evaluations;
+    problem.cost init
+  in
+  let best, best_cost, rounds = climb init init_cost 0 in
+  { best; best_cost; evaluations = !evaluations; rounds; cut_off = !cut }

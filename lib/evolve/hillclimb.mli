@@ -9,9 +9,23 @@ type 'g problem = {
   neighbors : 'g -> 'g Seq.t;  (** finite neighborhood of a genome *)
 }
 
-type 'g result = { best : 'g; best_cost : int; evaluations : int; rounds : int }
+type 'g result = {
+  best : 'g;
+  best_cost : int;
+  evaluations : int;
+  rounds : int;
+  cut_off : bool;  (** stopped by the budget, not at a local optimum *)
+}
 
-(** [run ?max_rounds problem ~init] repeatedly moves to the first
-    strictly improving neighbor until a local optimum (or [max_rounds])
-    is reached. *)
-val run : ?max_rounds:int -> 'g problem -> init:'g -> 'g result
+(** [run ?max_rounds ?budget problem ~init] repeatedly moves to the
+    first strictly improving neighbor until a local optimum (or
+    [max_rounds]) is reached.  The [budget] (default
+    {!Hr_util.Budget.unlimited}) is polled per neighbor evaluation; on
+    exhaustion the current genome is returned with [cut_off = true]
+    ([init] is always evaluated, so a result exists regardless). *)
+val run :
+  ?max_rounds:int ->
+  ?budget:Hr_util.Budget.t ->
+  'g problem ->
+  init:'g ->
+  'g result

@@ -1,0 +1,17 @@
+type t = No_limit | Deadline_ms of float (* absolute, Unix epoch ms *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let unlimited = No_limit
+
+let of_deadline_ms ms = Deadline_ms (now_ms () +. float_of_int ms)
+
+let exhausted = function
+  | No_limit -> false
+  | Deadline_ms d -> now_ms () >= d
+
+let remaining_ms = function
+  | No_limit -> infinity
+  | Deadline_ms d -> Float.max 0. (d -. now_ms ())
+
+let is_limited = function No_limit -> false | Deadline_ms _ -> true

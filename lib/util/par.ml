@@ -34,13 +34,31 @@ let map_array ?domains f arr =
   if n = 0 then [||]
   else if workers <= 1 || n < 4 then Array.map f arr
   else begin
-    let out = Array.make n (f arr.(0)) in
-    (* Index 0 is already computed above; workers fill the rest. *)
-    iter_chunks ~domains:workers
-      (fun lo hi ->
-        for i = max 1 lo to hi do
-          out.(i) <- f arr.(i)
-        done)
-      n;
-    out
+    (* Every application of [f] — including index 0 — happens on a
+       worker domain: each chunk maps its slice into a fresh array and
+       the caller only blits.  Seeding the output with [f arr.(0)] on
+       the caller domain would serialize the first element before any
+       worker starts (turning a race's wall-clock into first + max of
+       the rest). *)
+    let bounds = chunk_bounds ~chunks:(min workers n) n in
+    let handles =
+      List.map
+        (fun (lo, hi) ->
+          (lo, Domain.spawn (fun () -> Array.init (hi - lo + 1) (fun k -> f arr.(lo + k)))))
+        bounds
+    in
+    (* Join all domains even if one raised, then re-raise the first
+       failure. *)
+    let results =
+      List.map (fun (lo, h) -> try Ok (lo, Domain.join h) with e -> Error e) handles
+    in
+    let parts =
+      List.map (function Error e -> raise e | Ok part -> part) results
+    in
+    match parts with
+    | [] -> [||]
+    | (_, first) :: _ ->
+        let out = Array.make n first.(0) in
+        List.iter (fun (lo, part) -> Array.blit part 0 out lo (Array.length part)) parts;
+        out
   end

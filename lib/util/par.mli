@@ -13,7 +13,11 @@ val num_domains : unit -> int
     [domains] worker domains (default {!num_domains}).  Falls back to
     the plain sequential map for [domains <= 1] or short arrays.  [f]
     must be pure/thread-safe: it runs concurrently on several domains.
-    Exceptions raised by [f] are re-raised in the caller. *)
+    In the parallel regime every application of [f] — index 0 included
+    — runs on a worker domain, exactly once per element; the caller
+    never evaluates [f] itself, so the wall clock is the max over
+    chunks, not first-element + max.  Exceptions raised by [f] are
+    re-raised in the caller. *)
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [iter_chunks ?domains f n] runs [f lo hi] over a partition of

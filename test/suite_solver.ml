@@ -59,9 +59,13 @@ let test_capability_predicates () =
   List.iter
     (fun n -> check bool (n ^ " applicable") true (List.mem n applicable))
     [ "mt-dp"; "brute"; "ga"; "greedy" ];
-  (* Solving with an inapplicable solver is refused. *)
+  (* Solving with an inapplicable solver is refused with the typed
+     rejection, not a bare Invalid_argument a crash could hide behind. *)
   match Solver.solve (Solver_registry.find_exn "st-dp") p with
-  | exception Invalid_argument _ -> ()
+  | exception Solver.Rejected msg ->
+      check bool "rejection names the solver" true (contains msg "st-dp")
+  | exception e ->
+      Alcotest.fail ("expected Solver.Rejected, got " ^ Printexc.to_string e)
   | _ -> Alcotest.fail "st-dp on an m=2 instance must raise"
 
 let test_mode_routing () =
@@ -245,6 +249,122 @@ let test_mode_climb_no_worse_than_stacked_solos () =
   check bool "descent never degrades its init" true
     (sol.Solution.cost <= Problem.eval problem stacked)
 
+(* ------------------------------------------------------------------ *)
+(* The execution harness: plan export, crash containment, budgets.     *)
+
+let test_portfolio_plan_export_saves_best () =
+  (* The exported plan must be the best solution, not the head of the
+     registry-ordered list — the former hropt bug. *)
+  let problem = sample_problem () in
+  let sols =
+    List.map
+      (fun s -> Solver.solve ~seed:5 s problem)
+      (Solver_registry.applicable problem)
+  in
+  let best = Solution.best sols in
+  let head = List.hd sols in
+  check bool "best is no worse than the registry head" true
+    (best.Solution.cost <= head.Solution.cost);
+  let path = Filename.temp_file "hr_plan" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Plan_io.save path best.Solution.bp;
+      let loaded = Plan_io.load path in
+      check int "round-tripped plan evaluates to the best cost"
+        best.Solution.cost
+        (Problem.eval problem loaded))
+
+let crashing_solver =
+  Solver.make ~name:"crash-test" ~kind:Solver.Heuristic
+    ~doc:"deliberately crashes (test fixture)"
+    ~handles:(fun _ -> true)
+    (fun ~budget:_ ~rng:_ _ -> failwith "synthetic crash")
+
+let test_race_surfaces_crash_and_still_wins () =
+  let problem = sample_problem () in
+  let contestants =
+    [ crashing_solver; Solver_registry.find_exn "greedy";
+      Solver_registry.find_exn "mt-dp" ]
+  in
+  let reports = Solver.run_all ~seed:5 contestants problem in
+  check int "one report per contestant" (List.length contestants)
+    (List.length reports);
+  (let r = List.hd reports in
+   check bool "crash is reported, not masked" true
+     (match r.Solver.outcome with
+     | Solver.Crashed (Failure msg) -> contains msg "synthetic crash"
+     | _ -> false);
+   check bool "crashed contestant has no solution" true
+     (r.Solver.solution = None));
+  let sol, _ = Solver.race_report ~seed:5 contestants problem in
+  let direct = Solver_registry.solve ~seed:5 "mt-dp" problem in
+  check int "race winner is the best survivor, deterministically"
+    direct.Solution.cost sol.Solution.cost;
+  (* All contestants crashing is an error naming the casualties. *)
+  match Solver.race_report ~seed:5 [ crashing_solver ] problem with
+  | exception Invalid_argument msg ->
+      check bool "error names the crashed solver" true
+        (contains msg "crash-test")
+  | _ -> Alcotest.fail "an all-crash race must raise"
+
+let test_map_array_applies_f_once_per_index () =
+  let n = 9 in
+  let counts = Array.init n (fun _ -> Atomic.make 0) in
+  let out =
+    Hr_util.Par.map_array ~domains:3
+      (fun i ->
+        Atomic.incr counts.(i);
+        i * i)
+      (Array.init n Fun.id)
+  in
+  Array.iteri
+    (fun i c ->
+      check int (Printf.sprintf "f applied exactly once to index %d" i) 1
+        (Atomic.get c))
+    counts;
+  Array.iteri (fun i y -> check int "result" (i * i) y) out
+
+let test_deadline_cutoff_returns_admissible_best_so_far () =
+  let problem = sample_problem () in
+  List.iter
+    (fun name ->
+      let budget = Hr_util.Budget.of_deadline_ms 0 in
+      let sol = Solver_registry.solve ~seed:5 ~budget name problem in
+      check bool (name ^ ": cut off") true sol.Solution.cut_off;
+      check bool (name ^ ": never exact when cut off") false sol.Solution.exact;
+      check bool (name ^ ": admissible") true
+        (Problem.admissible problem sol.Solution.bp);
+      check int (name ^ ": cost consistent")
+        (Problem.eval problem sol.Solution.bp)
+        sol.Solution.cost)
+    [ "ga"; "anneal"; "hill-climb"; "mt-beam"; "mt-dp"; "ga-polish" ];
+  (* An expired budget shows up as a Cut_off outcome in reports too. *)
+  let r =
+    Solver.solve_report ~seed:5
+      ~budget:(Hr_util.Budget.of_deadline_ms 0)
+      (Solver_registry.find_exn "ga") problem
+  in
+  check bool "report outcome is cut-off" true (r.Solver.outcome = Solver.Cut_off)
+
+let test_telemetry_json_shape () =
+  let problem = sample_problem () in
+  let contestants = [ crashing_solver; Solver_registry.find_exn "greedy" ] in
+  let reports = Solver.run_all ~seed:5 contestants problem in
+  let t =
+    Telemetry.make ~label:"test" ~deadline_ms:250 ~seed:5 ~problem
+      ~total_ms:1.5 reports
+  in
+  check bool "winner is the survivor" true (t.Telemetry.winner = Some "greedy");
+  let s = Telemetry.to_string t in
+  List.iter
+    (fun sub ->
+      check bool (Printf.sprintf "json contains %S" sub) true (contains s sub))
+    [
+      Telemetry.schema_version; "\"deadline_ms\":250"; "\"outcome\":\"crashed\"";
+      "\"error\":"; "\"winner\":\"greedy\""; "\"oracle_cache\":";
+    ]
+
 let tests =
   [
     Alcotest.test_case "registry names" `Quick test_registry_names;
@@ -268,4 +388,13 @@ let tests =
     Alcotest.test_case "async-opt == Mt_async" `Quick test_async_opt_matches_mt_async;
     Alcotest.test_case "mode-climb vs stacked solos" `Quick
       test_mode_climb_no_worse_than_stacked_solos;
+    Alcotest.test_case "portfolio plan export saves the best plan" `Quick
+      test_portfolio_plan_export_saves_best;
+    Alcotest.test_case "race contains and surfaces crashes" `Quick
+      test_race_surfaces_crash_and_still_wins;
+    Alcotest.test_case "Par.map_array applies f once per index" `Quick
+      test_map_array_applies_f_once_per_index;
+    Alcotest.test_case "deadline cut-off stays admissible" `Quick
+      test_deadline_cutoff_returns_admissible_best_so_far;
+    Alcotest.test_case "telemetry JSON shape" `Quick test_telemetry_json_shape;
   ]
