@@ -1,0 +1,107 @@
+(* CLI: the differential conformance harness.
+
+   hrcheck --cases N --seed S [--solver NAME]... [--deadline-ms D]
+           [--corpus DIR] [--failure-out FILE]
+
+   Replays the persisted failure corpus, generates N random Problem
+   instances spanning the paper's cost-model x mode x class x upload
+   product space, runs every registered backend on each, and evaluates
+   the metamorphic-invariant catalogue (lib/check).  Failures are
+   greedily shrunk before reporting; exit status 1 flags any
+   violation.  See docs/TESTING.md. *)
+
+open Cmdliner
+module Check = Hr_check
+
+let run cases seed solvers deadline_ms corpus_dir failure_out =
+  let solvers =
+    match solvers with
+    | [] -> Hr_core.Solver_registry.all ()
+    | names -> List.map Hr_core.Solver_registry.find_exn names
+  in
+  let corpus =
+    match corpus_dir with
+    | None -> []
+    | Some dir ->
+        List.filter_map
+          (fun (file, loaded) ->
+            match loaded with
+            | Ok case -> Some (file, case)
+            | Error msg ->
+                Printf.eprintf "hrcheck: skipping corpus entry %s: %s\n" file msg;
+                None)
+          (Check.Corpus.load_dir dir)
+  in
+  let summary, failures =
+    Check.Runner.run ~solvers ?deadline_ms ~corpus ~log:print_endline ~cases ~seed
+      ()
+  in
+  Printf.printf "%d case(s), seed %d%s\n" (Check.Runner.cases_run summary) seed
+    (match deadline_ms with
+    | Some ms -> Printf.sprintf ", deadline %d ms per solve" ms
+    | None -> "");
+  print_string (Check.Runner.table summary);
+  print_newline ();
+  List.iter (fun f -> Format.printf "@.%a@." Check.Runner.pp_failure f) failures;
+  (match (failures, failure_out) with
+  | f :: _, Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Check.Case.to_string f.Check.Runner.shrunk));
+      Printf.printf "first shrunk counterexample written to %s\n" path
+  | _ -> ());
+  if failures = [] then begin
+    print_endline "all invariants hold";
+    0
+  end
+  else begin
+    Printf.printf "%d invariant violation(s)\n" (List.length failures);
+    1
+  end
+
+let cases =
+  Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases to generate.")
+
+let seed =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"S" ~doc:"Base seed: generator stream and per-case solver seeds derive from it.")
+
+let solvers =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:"Check only this registered solver (repeatable).  Default: the whole registry.")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"D"
+        ~doc:"Cooperative budget per solve; cut-off plans must still uphold every invariant.")
+
+let corpus_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Replay every *.json case in $(docv) before random generation.")
+
+let failure_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "failure-out" ] ~docv:"FILE"
+        ~doc:"Write the first shrunk counterexample to $(docv) (CI uploads it as an artifact).")
+
+let cmd =
+  let doc = "differential conformance harness for the PHC solver registry" in
+  Cmd.v (Cmd.info "hrcheck" ~doc)
+    Term.(const run $ cases $ seed $ solvers $ deadline_ms $ corpus_dir $ failure_out)
+
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "hrcheck: %s\n" msg;
+      exit 2

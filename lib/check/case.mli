@@ -1,0 +1,68 @@
+(** Serializable conformance-test cases.
+
+    A [Case.t] is a plain-data description of one point of the paper's
+    problem family — cost model (switch / weighted-switch / DAG),
+    {!Hr_core.Sync_cost.params}, synchronization mode and machine
+    class — from which a fresh {!Hr_core.Problem.t} can be built at any
+    time.  Unlike [Problem.t] (which holds closures and precomputed
+    tables) a case is pure data: the generator produces it, the
+    shrinker edits it, and the corpus stores it as JSON
+    (schema {!schema_version}) so failing instances replay across
+    sessions. *)
+
+(** Which oracle constructor the case exercises.
+
+    - [Switch]: {!Hr_core.Interval_cost.of_task_set} on a task set
+      built from [reqs.(j)] (per step, the required switch indices of
+      task [j] over a local space of [widths.(j)] switches) with
+      explicit hyperreconfiguration costs [vs].
+    - [Weighted]: {!Hr_core.Weighted.oracle} with per-switch positive
+      [weights] (the task's [v_j] is its total local weight).
+    - [Dag]: a single-task chain DAG ({!Hr_core.Dag_model.chain}) of
+      [Array.length costs] hypercontexts, node [k] satisfying context
+      ids [0 .. sat_sizes.(k) - 1] (strictly increasing, last
+      [= num_contexts]), evaluated on the context-id sequence [seq]. *)
+type oracle_spec =
+  | Switch of { widths : int array; vs : int array; reqs : int list list array }
+  | Weighted of {
+      widths : int array;
+      reqs : int list list array;
+      weights : int array array;
+    }
+  | Dag of {
+      num_contexts : int;
+      w : int;
+      costs : int array;
+      sat_sizes : int array;
+      seq : int array;
+    }
+
+type t = {
+  spec : oracle_spec;
+  params : Hr_core.Sync_cost.params;
+  mode : Hr_core.Mixed_sync.mode;
+  machine_class : Hr_core.Problem.machine_class;
+}
+
+(** ["hyperreconf.case/1"] — bump on breaking format changes. *)
+val schema_version : string
+
+val m : t -> int
+val n : t -> int
+
+(** [problem t] builds the instance (precomputed oracle).  Raises
+    [Invalid_argument] on an inconsistent case — {!of_string} validates
+    enough that loaded corpus cases never do. *)
+val problem : t -> Hr_core.Problem.t
+
+(** [summary t] is a one-line description (model, m, n, class, mode,
+    params) for failure reports and tables. *)
+val summary : t -> string
+
+val to_json : t -> Hr_core.Telemetry.json
+val of_json : Hr_core.Telemetry.json -> (t, string) result
+
+(** [to_string] / [of_string] — the JSON corpus format. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

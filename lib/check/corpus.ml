@@ -1,0 +1,30 @@
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (Case.of_string contents)
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      let files =
+        List.filter (fun f -> Filename.check_suffix f ".json") (Array.to_list entries)
+      in
+      List.map
+        (fun f -> (f, load_file (Filename.concat dir f)))
+        (List.sort compare files)
+
+let save ~dir ~name case =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Case.to_string case));
+  path

@@ -1,0 +1,19 @@
+(** The persisted failure corpus.
+
+    Every shrunk counterexample the harness finds can be saved as a
+    [*.json] file (the {!Case} format) and is replayed — before any
+    random generation — on every subsequent run, so once-found bugs
+    stay found.  The repository keeps its corpus in [test/corpus/]. *)
+
+(** [load_file path] reads one case; [Error] on unreadable files or
+    malformed cases (message includes [path]). *)
+val load_file : string -> (Case.t, string) result
+
+(** [load_dir dir] loads every [*.json] in [dir], sorted by filename
+    for deterministic replay order.  Unreadable entries load as
+    [Error]; a missing or empty directory is simply [[]]. *)
+val load_dir : string -> (string * (Case.t, string) result) list
+
+(** [save ~dir ~name case] writes [case] to [dir/name.json] (creating
+    [dir] if needed) and returns the path. *)
+val save : dir:string -> name:string -> Case.t -> string

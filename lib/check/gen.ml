@@ -1,0 +1,93 @@
+open Hr_core
+module Rng = Hr_util.Rng
+
+type profile = {
+  max_m : int;
+  max_n : int;
+  max_width : int;
+  large_fraction : float;
+}
+
+let default_profile = { max_m = 3; max_n = 6; max_width = 5; large_fraction = 0.08 }
+
+(* Skew toward small values: pick the min of two uniform draws. *)
+let small_int rng lo hi = lo + min (Rng.int rng (hi - lo + 1)) (Rng.int rng (hi - lo + 1))
+
+let gen_reqs rng ~m ~n ~widths =
+  Array.init m (fun j ->
+      List.init n (fun _ ->
+          List.filter (fun _ -> Rng.chance rng 0.35) (List.init widths.(j) Fun.id)))
+
+let gen_machine_class rng =
+  match Rng.int rng 6 with
+  | 0 | 1 | 2 -> Problem.Partial
+  | 3 | 4 -> Problem.All_task
+  | _ -> Problem.Restricted
+
+let gen_mode rng =
+  match Rng.int rng 6 with
+  | 0 | 1 | 2 -> Mixed_sync.Fully_synchronized
+  | 3 -> Mixed_sync.Hypercontext_synchronized
+  | 4 -> Mixed_sync.Context_synchronized
+  | _ -> Mixed_sync.Non_synchronized
+
+(* Parameters compatible with the drawn mode (Problem.make's rules):
+   outside full synchronization w = 0 and uploads are task-parallel,
+   and pub > 0 additionally needs context synchronization. *)
+let gen_params rng mode =
+  match mode with
+  | Mixed_sync.Fully_synchronized ->
+      {
+        Sync_cost.w = small_int rng 0 3;
+        pub = small_int rng 0 2;
+        hyper = (if Rng.chance rng 0.25 then Sync_cost.Task_sequential else Sync_cost.Task_parallel);
+        reconf = (if Rng.chance rng 0.25 then Sync_cost.Task_sequential else Sync_cost.Task_parallel);
+      }
+  | Mixed_sync.Context_synchronized ->
+      { Sync_cost.default_params with Sync_cost.pub = small_int rng 0 2 }
+  | Mixed_sync.Hypercontext_synchronized | Mixed_sync.Non_synchronized ->
+      Sync_cost.default_params
+
+let gen_spec rng profile ~large =
+  let max_m = if large then profile.max_m + 2 else profile.max_m in
+  let max_n = if large then profile.max_n + 8 else profile.max_n in
+  match Rng.int rng 10 with
+  | 0 | 1 ->
+      (* Chain-DAG model (single task — Problem.of_dag's shape). *)
+      let num_contexts = Rng.int_in rng 1 4 in
+      let levels = Rng.int_in rng 1 num_contexts in
+      let sat_sizes =
+        (* [levels] distinct sizes in 1..num_contexts, the last being
+           num_contexts so some hypercontext satisfies everything. *)
+        let pool = Array.init (num_contexts - 1) (fun i -> i + 1) in
+        Rng.shuffle rng pool;
+        let chosen = Array.sub pool 0 (levels - 1) in
+        Array.sort compare chosen;
+        Array.append chosen [| num_contexts |]
+      in
+      let costs = Array.init levels (fun _ -> Rng.int_in rng 1 6) in
+      Array.sort compare costs;
+      let n = small_int rng 1 max_n in
+      let seq = Array.init n (fun _ -> Rng.int rng num_contexts) in
+      Case.Dag { num_contexts; w = small_int rng 0 4; costs; sat_sizes; seq }
+  | 2 | 3 ->
+      let m = small_int rng 1 max_m in
+      let n = small_int rng 1 max_n in
+      let widths = Array.init m (fun _ -> Rng.int_in rng 1 profile.max_width) in
+      let weights =
+        Array.map (fun w -> Array.init w (fun _ -> Rng.int_in rng 1 4)) widths
+      in
+      Case.Weighted { widths; reqs = gen_reqs rng ~m ~n ~widths; weights }
+  | _ ->
+      let m = small_int rng 1 max_m in
+      let n = small_int rng 1 max_n in
+      let widths = Array.init m (fun _ -> Rng.int_in rng 1 profile.max_width) in
+      let vs = Array.init m (fun _ -> small_int rng 0 6) in
+      Case.Switch { widths; vs; reqs = gen_reqs rng ~m ~n ~widths }
+
+let case ?(profile = default_profile) rng =
+  let large = Rng.chance rng profile.large_fraction in
+  let mode = gen_mode rng in
+  let params = gen_params rng mode in
+  let machine_class = gen_machine_class rng in
+  { Case.spec = gen_spec rng profile ~large; params; mode; machine_class }

@@ -1,0 +1,32 @@
+(** Seeded random generator of conformance cases.
+
+    Draws a {!Case.t} spanning the paper's product space — oracle
+    constructor (switch / weighted / chain-DAG), upload parameters
+    ([w], [pub], task-parallel vs task-sequential), all four
+    {!Hr_core.Mixed_sync.mode}s and all three machine classes — while
+    skewing the size distribution toward instances where
+    {!Hr_core.Brute.solve} is feasible, so the differential invariants
+    have ground truth on most cases (a small [large_fraction] of draws
+    exceed it on purpose, to exercise the skip paths).
+
+    All randomness flows through the supplied {!Hr_util.Rng.t}: equal
+    seeds reproduce equal case streams, which is how the CLI's
+    [--seed] replays a failing run. *)
+
+type profile = {
+  max_m : int;  (** task-count ceiling for the tiny regime (>= 1) *)
+  max_n : int;  (** step-count ceiling for the tiny regime (>= 1) *)
+  max_width : int;  (** local switch-space ceiling (>= 1) *)
+  large_fraction : float;
+      (** probability of drawing an instance beyond the brute-feasible
+          regime (solvers still run; brute-backed invariants skip) *)
+}
+
+(** m <= 3, n <= 6, width <= 5, 8% large — every tiny draw satisfies
+    [Brute.feasible ~max_bits:16]. *)
+val default_profile : profile
+
+(** [case ?profile rng] draws one case.  The result always satisfies
+    {!Case.of_string} ∘ {!Case.to_string} = identity and builds a valid
+    {!Hr_core.Problem.t}. *)
+val case : ?profile:profile -> Hr_util.Rng.t -> Case.t

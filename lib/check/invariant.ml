@@ -1,0 +1,158 @@
+open Hr_core
+
+type verdict = Pass | Fail of string | Skip of string
+
+type ctx = {
+  case : Case.t;
+  problem : Problem.t;
+  solver : Solver.t;
+  solution : Solution.t;
+  optimum : int option;
+  seed : int;
+}
+
+type t = { name : string; doc : string; check : ctx -> verdict }
+
+let admissible =
+  {
+    name = "admissible";
+    doc = "returned plan is admissible for the machine class";
+    check =
+      (fun ctx ->
+        if Problem.admissible ctx.problem ctx.solution.Solution.bp then Pass
+        else Fail "plan violates the machine class");
+  }
+
+let cost_consistent =
+  {
+    name = "cost-eval";
+    doc = "reported cost = Problem.eval of the returned plan";
+    check =
+      (fun ctx ->
+        let c = Problem.eval ctx.problem ctx.solution.Solution.bp in
+        if c = ctx.solution.Solution.cost then Pass
+        else
+          Fail
+            (Printf.sprintf "reported %d but the plan evaluates to %d"
+               ctx.solution.Solution.cost c));
+  }
+
+let bounded_below =
+  {
+    name = "ge-brute";
+    doc = "no solution beats the brute-force optimum";
+    check =
+      (fun ctx ->
+        match ctx.optimum with
+        | None -> Skip "brute infeasible"
+        | Some opt ->
+            if ctx.solution.Solution.cost >= opt then Pass
+            else
+              Fail
+                (Printf.sprintf "cost %d below the optimum %d — brute or solver wrong"
+                   ctx.solution.Solution.cost opt));
+  }
+
+let exact_optimal =
+  {
+    name = "exact-brute";
+    doc = "exact claims match the brute-force optimum";
+    check =
+      (fun ctx ->
+        match ctx.optimum with
+        | None -> Skip "brute infeasible"
+        | Some opt ->
+            if not ctx.solution.Solution.exact then Skip "inexact result"
+            else if ctx.solution.Solution.cost = opt then Pass
+            else
+              Fail
+                (Printf.sprintf "claims exact at cost %d, optimum is %d"
+                   ctx.solution.Solution.cost opt));
+  }
+
+(* Uniformly scaling every cost source — step costs, v_j, w, pub — by k
+   scales any fixed plan's cost by exactly k: every mode's objective is
+   a sum/max composition of those parameters. *)
+let scale_factor = 3
+
+let scale_problem k (p : Problem.t) =
+  let o = p.Problem.oracle in
+  let oracle =
+    Interval_cost.make ~m:o.Interval_cost.m ~n:o.Interval_cost.n
+      ~v:(Array.map (fun v -> k * v) o.Interval_cost.v)
+      ~step_cost:(fun j lo hi -> k * o.Interval_cost.step_cost j lo hi)
+  in
+  let params =
+    {
+      p.Problem.params with
+      Sync_cost.w = k * p.Problem.params.Sync_cost.w;
+      pub = k * p.Problem.params.Sync_cost.pub;
+    }
+  in
+  Problem.make ~params ~mode:p.Problem.mode ~machine_class:p.Problem.machine_class
+    ~precompute:false oracle
+
+let scale_linear =
+  {
+    name = "scale-mono";
+    doc = "cost scales linearly under uniform oracle scaling";
+    check =
+      (fun ctx ->
+        let scaled = scale_problem scale_factor ctx.problem in
+        let c = Problem.eval scaled ctx.solution.Solution.bp in
+        let expected = scale_factor * ctx.solution.Solution.cost in
+        if c = expected then Pass
+        else
+          Fail
+            (Printf.sprintf "x%d-scaled oracle evaluates the plan to %d, expected %d"
+               scale_factor c expected));
+  }
+
+let cutoff_safe =
+  {
+    name = "cutoff-safe";
+    doc = "an exhausted budget still yields an admissible, consistent plan";
+    check =
+      (fun ctx ->
+        let budget = Hr_util.Budget.of_deadline_ms 0 in
+        match Solver.solve ~seed:ctx.seed ~budget ctx.solver ctx.problem with
+        | exception e ->
+            Fail ("raised under an exhausted budget: " ^ Printexc.to_string e)
+        | sol ->
+            if not (Problem.admissible ctx.problem sol.Solution.bp) then
+              Fail "cut-off plan violates the machine class"
+            else if Problem.eval ctx.problem sol.Solution.bp <> sol.Solution.cost then
+              Fail "cut-off plan's cost is not Problem.eval of its matrix"
+            else if sol.Solution.cut_off && sol.Solution.exact then
+              Fail "claims exactness while cut off"
+            else Pass);
+  }
+
+let plan_roundtrip =
+  {
+    name = "plan-io";
+    doc = "the plan survives a Plan_io round-trip";
+    check =
+      (fun ctx ->
+        let bp = ctx.solution.Solution.bp in
+        match Plan_io.of_string (Plan_io.to_string bp) with
+        | exception Failure msg -> Fail ("round-trip rejected the plan: " ^ msg)
+        | bp' ->
+            if Breakpoints.equal bp bp' then Pass
+            else Fail "round-tripped plan differs");
+  }
+
+let all =
+  [
+    admissible;
+    cost_consistent;
+    bounded_below;
+    exact_optimal;
+    scale_linear;
+    cutoff_safe;
+    plan_roundtrip;
+  ]
+
+let verdict_name = function Pass -> "pass" | Fail _ -> "fail" | Skip _ -> "skip"
+
+let find name = List.find_opt (fun i -> i.name = name) all

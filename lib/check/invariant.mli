@@ -1,0 +1,62 @@
+(** The metamorphic-invariant catalogue.
+
+    Every invariant inspects one (case, solver, solution) triple — the
+    solution produced by an unlimited-budget {!Hr_core.Solver.solve} —
+    plus the brute-force optimum when {!Hr_core.Brute.feasible} made
+    ground truth available, and returns a {!verdict}.  [Skip] means the
+    invariant does not apply (e.g. no ground truth, or an inexact
+    result for an exactness check) — it is never a pass in disguise;
+    the runner tabulates skips separately so a solver silently dodging
+    a column is visible.
+
+    To add an invariant when introducing a new solver, append a [t] to
+    {!all} (see [docs/TESTING.md] for the recipe). *)
+
+type verdict = Pass | Fail of string | Skip of string
+
+type ctx = {
+  case : Case.t;
+  problem : Hr_core.Problem.t;  (** built once per case, shared *)
+  solver : Hr_core.Solver.t;
+  solution : Hr_core.Solution.t;  (** unlimited-budget solve result *)
+  optimum : int option;  (** {!Hr_core.Brute.solve} cost, when feasible *)
+  seed : int;  (** the seed [solution] was solved with *)
+}
+
+type t = {
+  name : string;  (** short stable column label *)
+  doc : string;
+  check : ctx -> verdict;
+}
+
+(** Returned plan is admissible for the case's machine class. *)
+val admissible : t
+
+(** Reported cost equals {!Hr_core.Problem.eval} of the returned plan. *)
+val cost_consistent : t
+
+(** No solution beats the brute-force optimum. *)
+val bounded_below : t
+
+(** A solution claiming [exact] costs exactly the optimum. *)
+val exact_optimal : t
+
+(** Scaling every oracle entry, [v_j], [w] and [pub] by k scales the
+    plan's evaluated cost by exactly k (the cost formulae are linear in
+    the cost parameters). *)
+val scale_linear : t
+
+(** Re-solving under an exhausted budget still yields an admissible,
+    cost-consistent plan that never claims exactness when cut off. *)
+val cutoff_safe : t
+
+(** The plan survives a {!Hr_core.Plan_io} round-trip unchanged. *)
+val plan_roundtrip : t
+
+(** The catalogue, in table-column order. *)
+val all : t list
+
+val verdict_name : verdict -> string
+
+(** [find name] looks an invariant up in {!all}. *)
+val find : string -> t option

@@ -1,0 +1,218 @@
+open Hr_core
+module Rng = Hr_util.Rng
+
+type failure = {
+  source : string;
+  solver : string;
+  invariant : string;
+  detail : string;
+  seed : int;
+  case : Case.t;
+  shrunk : Case.t;
+}
+
+(* The pseudo-invariant column recording whether Solver.solve itself
+   succeeded (a crash or typed rejection of a capable solver is a
+   conformance failure in its own right). *)
+let solve_column = "solve"
+
+type cell = { mutable pass : int; mutable fail : int; mutable skip : int }
+
+type summary = {
+  solver_names : string list;
+  invariant_names : string list;
+  cells : (string * string, cell) Hashtbl.t;
+  mutable cases : int;
+}
+
+let cell summary solver invariant =
+  let key = (solver, invariant) in
+  match Hashtbl.find_opt summary.cells key with
+  | Some c -> c
+  | None ->
+      let c = { pass = 0; fail = 0; skip = 0 } in
+      Hashtbl.add summary.cells key c;
+      c
+
+let cases_run s = s.cases
+
+let failed s = Hashtbl.fold (fun _ c acc -> acc || c.fail > 0) s.cells false
+
+(* Brute ground truth is only consulted below 2^16 evaluations — the
+   generator's tiny regime always qualifies. *)
+let ground_truth_bits = 16
+
+let optimum_of problem =
+  if Brute.feasible ~max_bits:ground_truth_bits problem then
+    Some (fst (Brute.solve problem))
+  else None
+
+let budget_of deadline_ms =
+  match deadline_ms with
+  | None -> Hr_util.Budget.unlimited
+  | Some ms -> Hr_util.Budget.of_deadline_ms ms
+
+(* Evaluate one (case, solver) pair: Error on solve crash, otherwise
+   the per-invariant verdicts. *)
+let eval_solver ~invariants ~deadline_ms ~seed case problem optimum solver =
+  match Solver.solve ~seed ~budget:(budget_of deadline_ms) solver problem with
+  | exception e -> Error (Printexc.to_string e)
+  | solution ->
+      let ctx = { Invariant.case; problem; solver; solution; optimum; seed } in
+      Ok (List.map (fun (inv : Invariant.t) -> (inv, inv.Invariant.check ctx)) invariants)
+
+(* Does this exact (solver, invariant) failure still reproduce on a
+   reduced case?  The shrinker's predicate. *)
+let still_fails ~invariant ~deadline_ms ~seed solver case =
+  match Case.problem case with
+  | exception _ -> false
+  | problem ->
+      if not (solver.Solver.handles problem) then false
+      else (
+        let optimum = optimum_of problem in
+        match
+          eval_solver ~invariants:Invariant.all ~deadline_ms ~seed case problem
+            optimum solver
+        with
+        | Error _ -> invariant = solve_column
+        | Ok verdicts ->
+            List.exists
+              (fun ((inv : Invariant.t), v) ->
+                inv.Invariant.name = invariant
+                && match v with Invariant.Fail _ -> true | _ -> false)
+              verdicts)
+
+let check_case ?solvers ?(invariants = Invariant.all) ?deadline_ms ~seed case =
+  let solvers = match solvers with Some s -> s | None -> Solver_registry.all () in
+  match Case.problem case with
+  | exception e -> [ ("-", "build", Printexc.to_string e) ]
+  | problem ->
+      let optimum = optimum_of problem in
+      List.concat_map
+        (fun (s : Solver.t) ->
+          if not (s.Solver.handles problem) then []
+          else
+            match eval_solver ~invariants ~deadline_ms ~seed case problem optimum s with
+            | Error e -> [ (s.Solver.name, solve_column, e) ]
+            | Ok verdicts ->
+                List.filter_map
+                  (fun ((inv : Invariant.t), v) ->
+                    match v with
+                    | Invariant.Fail detail ->
+                        Some (s.Solver.name, inv.Invariant.name, detail)
+                    | Invariant.Pass | Invariant.Skip _ -> None)
+                  verdicts)
+        solvers
+
+let run ?solvers ?(invariants = Invariant.all) ?(profile = Gen.default_profile)
+    ?deadline_ms ?(corpus = []) ?(log = ignore) ~cases ~seed () =
+  let solvers = match solvers with Some s -> s | None -> Solver_registry.all () in
+  let summary =
+    {
+      solver_names = List.map (fun (s : Solver.t) -> s.Solver.name) solvers;
+      invariant_names =
+        solve_column :: List.map (fun (i : Invariant.t) -> i.Invariant.name) invariants;
+      cells = Hashtbl.create 64;
+      cases = 0;
+    }
+  in
+  let failures = ref [] in
+  let record_failure ~source ~solver ~invariant ~detail ~solver_seed case =
+    let shrunk =
+      Shrink.shrink
+        ~still_fails:(still_fails ~invariant ~deadline_ms ~seed:solver_seed solver)
+        case
+    in
+    failures :=
+      {
+        source;
+        solver = solver.Solver.name;
+        invariant;
+        detail;
+        seed = solver_seed;
+        case;
+        shrunk;
+      }
+      :: !failures
+  in
+  let run_case ~source ~solver_seed case =
+    summary.cases <- summary.cases + 1;
+    match Case.problem case with
+    | exception e ->
+        (* Generator and corpus validation should make this impossible;
+           surface it loudly rather than skipping silently. *)
+        log
+          (Printf.sprintf "%s: case does not build a problem: %s" source
+             (Printexc.to_string e))
+    | problem ->
+        let optimum = optimum_of problem in
+        List.iter
+          (fun (s : Solver.t) ->
+            if s.Solver.handles problem then (
+              match
+                eval_solver ~invariants ~deadline_ms ~seed:solver_seed case problem
+                  optimum s
+              with
+              | Error detail ->
+                  (cell summary s.Solver.name solve_column).fail <-
+                    (cell summary s.Solver.name solve_column).fail + 1;
+                  record_failure ~source ~solver:s ~invariant:solve_column ~detail
+                    ~solver_seed case
+              | Ok verdicts ->
+                  (cell summary s.Solver.name solve_column).pass <-
+                    (cell summary s.Solver.name solve_column).pass + 1;
+                  List.iter
+                    (fun ((inv : Invariant.t), verdict) ->
+                      let c = cell summary s.Solver.name inv.Invariant.name in
+                      match verdict with
+                      | Invariant.Pass -> c.pass <- c.pass + 1
+                      | Invariant.Skip _ -> c.skip <- c.skip + 1
+                      | Invariant.Fail detail ->
+                          c.fail <- c.fail + 1;
+                          record_failure ~source ~solver:s
+                            ~invariant:inv.Invariant.name ~detail ~solver_seed case)
+                    verdicts))
+          solvers
+  in
+  List.iteri
+    (fun k (label, case) ->
+      run_case ~source:(Printf.sprintf "corpus %s" label) ~solver_seed:(seed + k) case)
+    corpus;
+  let ncorpus = List.length corpus in
+  if ncorpus > 0 then log (Printf.sprintf "replayed %d corpus case(s)" ncorpus);
+  let rng = Rng.create seed in
+  for k = 0 to cases - 1 do
+    let case = Gen.case ~profile (Rng.split rng) in
+    run_case ~source:(Printf.sprintf "case #%d" k) ~solver_seed:(seed + ncorpus + k) case;
+    if (k + 1) mod 100 = 0 then
+      log (Printf.sprintf "%d/%d cases, %d failure(s)" (k + 1) cases
+             (List.length !failures))
+  done;
+  (summary, List.rev !failures)
+
+let table summary =
+  let header = "solver" :: summary.invariant_names in
+  let rows =
+    List.map
+      (fun solver ->
+        solver
+        :: List.map
+             (fun invariant ->
+               match Hashtbl.find_opt summary.cells (solver, invariant) with
+               | None -> "-"
+               | Some { pass; fail; skip } ->
+                   if fail > 0 then Printf.sprintf "%dF/%dP" fail pass
+                   else if pass = 0 && skip > 0 then "-"
+                   else string_of_int pass)
+             summary.invariant_names)
+      summary.solver_names
+  in
+  Hr_util.Tablefmt.render ~header rows
+
+let pp_failure fmt f =
+  Format.fprintf fmt "%s: solver %s violated %S (seed %d)@." f.source f.solver
+    f.invariant f.seed;
+  Format.fprintf fmt "  %s@." f.detail;
+  Format.fprintf fmt "  found:  %s@." (Case.summary f.case);
+  Format.fprintf fmt "  shrunk: %s@." (Case.summary f.shrunk);
+  Format.fprintf fmt "  replay: %s" (String.trim (Case.to_string f.shrunk))

@@ -1,0 +1,68 @@
+(** The differential conformance runner.
+
+    Replays the corpus, generates random cases, solves each with every
+    capable registered backend, evaluates the {!Invariant} catalogue,
+    tallies a per-solver/per-invariant table, and greedily shrinks
+    every failure before reporting it.  This is the engine behind the
+    [hrcheck] CLI and the fuzz suite's conformance property. *)
+
+type failure = {
+  source : string;  (** ["case #17"] or ["corpus <file>"] *)
+  solver : string;
+  invariant : string;  (** an {!Invariant.t} name, or ["solve"] *)
+  detail : string;
+  seed : int;  (** the solver seed that reproduces it *)
+  case : Case.t;  (** the instance as found *)
+  shrunk : Case.t;  (** the greedily reduced instance *)
+}
+
+type summary
+
+(** [check_case ?solvers ?invariants ?deadline_ms ~seed case] runs one
+    case through every capable solver and returns the raw
+    [(solver, invariant, detail)] failures, unshrunk — the cheap entry
+    point for property tests.  [solvers] defaults to the full registry,
+    [invariants] to {!Invariant.all}. *)
+val check_case :
+  ?solvers:Hr_core.Solver.t list ->
+  ?invariants:Invariant.t list ->
+  ?deadline_ms:int ->
+  seed:int ->
+  Case.t ->
+  (string * string * string) list
+
+(** [run ?solvers ?invariants ?profile ?deadline_ms ?corpus ?log ~cases
+    ~seed ()] replays [corpus] (as [(label, case)] pairs), then draws
+    [cases] random cases from {!Gen.case} seeded with [seed].  Each
+    solver's RNG seed is derived from [seed] and the case index, so a
+    reported failure replays from its [seed] alone.  [deadline_ms]
+    bounds every solve with a fresh cooperative budget (the CI smoke
+    uses this).  [log] receives one-line progress messages. *)
+val run :
+  ?solvers:Hr_core.Solver.t list ->
+  ?invariants:Invariant.t list ->
+  ?profile:Gen.profile ->
+  ?deadline_ms:int ->
+  ?corpus:(string * Case.t) list ->
+  ?log:(string -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  summary * failure list
+
+(** [cases_run s] is the number of cases executed (corpus + random). *)
+val cases_run : summary -> int
+
+(** [failed s] is [true] when any cell of the table recorded a
+    failure. *)
+val failed : summary -> bool
+
+(** [table s] renders the per-solver/per-invariant pass table
+    ({!Hr_util.Tablefmt}): a number is the pass count, ["-"] means the
+    pair never applied, ["nF/mP"] flags [n] failures among [m]
+    passes. *)
+val table : summary -> string
+
+(** [pp_failure] prints one failure: location, invariant, detail, and
+    the shrunk case as replayable JSON. *)
+val pp_failure : Format.formatter -> failure -> unit

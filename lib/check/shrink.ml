@@ -1,0 +1,93 @@
+open Hr_core
+
+let drop_index arr j =
+  Array.of_list (List.filteri (fun i _ -> i <> j) (Array.to_list arr))
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* Keep the first [k] steps of every task. *)
+let truncate_spec spec k =
+  match spec with
+  | Case.Switch s -> Case.Switch { s with reqs = Array.map (take k) s.reqs }
+  | Case.Weighted s -> Case.Weighted { s with reqs = Array.map (take k) s.reqs }
+  | Case.Dag s -> Case.Dag { s with seq = Array.sub s.seq 0 k }
+
+let drop_task spec j =
+  match spec with
+  | Case.Switch { widths; vs; reqs } ->
+      Case.Switch
+        { widths = drop_index widths j; vs = drop_index vs j; reqs = drop_index reqs j }
+  | Case.Weighted { widths; reqs; weights } ->
+      Case.Weighted
+        {
+          widths = drop_index widths j;
+          reqs = drop_index reqs j;
+          weights = drop_index weights j;
+        }
+  | Case.Dag _ -> spec
+
+let candidates (case : Case.t) =
+  let m = Case.m case and n = Case.n case in
+  let tasks_dropped =
+    if m <= 1 then []
+    else List.init m (fun j -> { case with Case.spec = drop_task case.Case.spec j })
+  in
+  let halved =
+    if n <= 1 then []
+    else [ { case with Case.spec = truncate_spec case.Case.spec ((n + 1) / 2) } ]
+  in
+  let trimmed =
+    if n <= 1 then []
+    else [ { case with Case.spec = truncate_spec case.Case.spec (n - 1) } ]
+  in
+  let p = case.Case.params in
+  let zeroed_w =
+    if p.Sync_cost.w = 0 then []
+    else [ { case with Case.params = { p with Sync_cost.w = 0 } } ]
+  in
+  let zeroed_pub =
+    if p.Sync_cost.pub = 0 then []
+    else [ { case with Case.params = { p with Sync_cost.pub = 0 } } ]
+  in
+  let zeroed_vs =
+    match case.Case.spec with
+    | Case.Switch s when Array.exists (fun v -> v > 0) s.vs ->
+        [ { case with Case.spec = Case.Switch { s with vs = Array.map (fun _ -> 0) s.vs } } ]
+    | _ -> []
+  in
+  let parallel_uploads =
+    if
+      p.Sync_cost.hyper = Sync_cost.Task_parallel
+      && p.Sync_cost.reconf = Sync_cost.Task_parallel
+    then []
+    else
+      [
+        {
+          case with
+          Case.params =
+            { p with Sync_cost.hyper = Sync_cost.Task_parallel; reconf = Sync_cost.Task_parallel };
+        };
+      ]
+  in
+  let relaxed_class =
+    if case.Case.machine_class = Problem.Partial then []
+    else [ { case with Case.machine_class = Problem.Partial } ]
+  in
+  tasks_dropped @ halved @ trimmed @ zeroed_w @ zeroed_pub @ zeroed_vs
+  @ parallel_uploads @ relaxed_class
+
+let shrink ?(fuel = 500) ~still_fails case =
+  let fuel = ref fuel in
+  let fails c =
+    if !fuel <= 0 then false
+    else begin
+      decr fuel;
+      still_fails c
+    end
+  in
+  let rec go case =
+    match List.find_opt fails (candidates case) with
+    | Some smaller -> go smaller
+    | None -> case
+  in
+  go case

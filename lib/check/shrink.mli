@@ -1,0 +1,17 @@
+(** Greedy case shrinking.
+
+    Before a failure is reported, the runner reduces it: drop a task,
+    halve or trim the step count, zero the upload parameters ([w],
+    [pub], the [v_j]), relax the machine class to partial, make uploads
+    task-parallel — greedily keeping any reduction under which the
+    failure still reproduces.  The result is the small instance a human
+    debugs, and the one persisted to the corpus. *)
+
+(** [candidates case] is the list of one-step reductions of [case],
+    most aggressive first.  Every candidate is a valid case. *)
+val candidates : Case.t -> Case.t list
+
+(** [shrink ?fuel ~still_fails case] greedily applies the first failing
+    candidate until none fails or [fuel] (default 500 predicate calls)
+    runs out.  [still_fails] must be total — exceptions propagate. *)
+val shrink : ?fuel:int -> still_fails:(Case.t -> bool) -> Case.t -> Case.t

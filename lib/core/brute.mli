@@ -17,3 +17,25 @@ val single : v:int -> n:int -> step_cost:(int -> int -> int) -> St_opt.result
     cheapest one with its cost.  Raises [Invalid_argument] when
     [(n-1)·m > 24]. *)
 val multi : ?params:Sync_cost.params -> Interval_cost.t -> int * Breakpoints.t
+
+(** [bits p] is the size of the class-admissible enumeration space of
+    [p] in bits: [(n-1)·m] for the partial/restricted classes, but only
+    [n-1] for the all-task class, whose admissible matrices are exactly
+    the uniform-column ones — one shared row decides the whole
+    matrix. *)
+val bits : Problem.t -> int
+
+(** [feasible ?max_bits p] — can {!solve} enumerate [p]'s admissible
+    space within [2^max_bits] (default 24) evaluations?  The single
+    source of truth for "is brute-force ground truth available", used
+    by the conformance harness and the tests instead of duplicating the
+    size rule. *)
+val feasible : ?max_bits:int -> Problem.t -> bool
+
+(** [solve p] enumerates every class-admissible breakpoint matrix of
+    [p] (uniform-column matrices only for the all-task class) and
+    returns a cheapest one under {!Problem.eval} — so it is exact for
+    {e every} synchronization mode and machine class, not just the
+    fully synchronized one.  Raises [Invalid_argument] when
+    [not (feasible p)]. *)
+val solve : Problem.t -> int * Breakpoints.t

@@ -108,11 +108,10 @@ let mt_dp =
 
 let brute =
   Solver.make ~name:"brute" ~kind:Solver.Exact
-    ~doc:"exhaustive enumeration, (n-1)*m <= 18"
-    ~handles:(fun p ->
-      sized p && fully p && partial p && (Problem.n p - 1) * Problem.m p <= 18)
+    ~doc:"exhaustive enumeration over the class-admissible matrices, <= 2^18"
+    ~handles:(fun p -> sized p && Brute.feasible ~max_bits:18 p)
     (fun ~budget:_ ~rng:_ p ->
-      let cost, bp = Brute.multi ~params:p.Problem.params p.Problem.oracle in
+      let cost, bp = Brute.solve p in
       Solution.make ~solver:"brute" ~exact:true ~cost bp)
 
 let mt_beam =
@@ -192,7 +191,12 @@ let ga_polish =
 let async_opt =
   Solver.make ~name:"async-opt" ~kind:Solver.Exact
     ~doc:"per-task solo optima; exact for the non-synchronized mode"
-    ~handles:(fun p -> sized p && p.Problem.mode = Mixed_sync.Non_synchronized)
+    ~handles:(fun p ->
+      (* Independent per-task rows are inadmissible when the class
+         forces uniform columns. *)
+      sized p
+      && p.Problem.mode = Mixed_sync.Non_synchronized
+      && p.Problem.machine_class <> Problem.All_task)
     (fun ~budget:_ ~rng:_ p ->
       let r = Mt_async.solve p.Problem.oracle in
       let rows = Array.map (fun s -> s.St_opt.breaks) r.Mt_async.per_task in

@@ -46,6 +46,12 @@ type json =
     newline; strings are escaped per RFC 8259. *)
 val json_to_string : json -> string
 
+(** [json_of_string s] parses a JSON document — the inverse of
+    {!json_to_string} (numbers without [./e/E] load as [Int], others as
+    [Float]; [\u] escapes decode to UTF-8).  Used to read telemetry
+    dumps and conformance-corpus cases back; never raises. *)
+val json_of_string : string -> (json, string) result
+
 type t = {
   label : string;  (** e.g. ["race"], ["portfolio"], a solver name *)
   problem : string;  (** {!Problem.pp} of the instance *)

@@ -134,6 +134,26 @@ let prop_plan_io_roundtrip =
       let bp = Breakpoints.of_matrix (Mt_moves.random rng ~m ~n ~density:0.4) in
       Breakpoints.equal bp (Plan_io.of_string (Plan_io.to_string bp)))
 
+(* The conformance generator feeding the full differential harness:
+   every registered backend on every fuzzed case must satisfy the whole
+   invariant catalogue (admissibility, cost consistency, brute
+   agreement, …).  A small count — the exhaustive sweep is the hrcheck
+   CLI's job. *)
+let prop_conformance_harness_clean =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25
+       ~name:"fuzzed conformance cases: all solvers uphold all invariants"
+       ~print:(fun seed ->
+         Hr_check.Case.to_string (Hr_check.Gen.case (Rng.create seed)))
+       QCheck2.Gen.(int_bound 1_000_000)
+       (fun seed ->
+         let case = Hr_check.Gen.case (Rng.create seed) in
+         match Hr_check.Runner.check_case ~seed case with
+         | [] -> true
+         | (solver, invariant, detail) :: _ ->
+             QCheck2.Test.fail_reportf "%s violated %s: %s" solver invariant
+               detail))
+
 let test_plan_io_errors () =
   let bad =
     [ ""; "plan 1 2\n.#"; "plan 2 2\n#."; "plan 1 2\n#x"; "plan 1 3\n##" ]
@@ -150,5 +170,6 @@ let tests =
     prop_fuzz_asm_invariants;
     prop_fuzz_mesh_buses;
     prop_plan_io_roundtrip;
+    prop_conformance_harness_clean;
     Alcotest.test_case "plan io errors" `Quick test_plan_io_errors;
   ]

@@ -237,6 +237,95 @@ let test_async_opt_matches_mt_async () =
   check int "cost" r.Mt_async.cost sol.Solution.cost;
   check bool "exact" true sol.Solution.exact
 
+(* ------------------------------------------------------------------ *)
+(* Brute ground truth: heuristics bounded below, exactness claims      *)
+(* honoured, with and without deadlines.                               *)
+
+let qcheck_heuristics_bounded_by_brute_under_deadlines =
+  Tutil.prop
+    "mt-beam/ga-polish: >= Brute.solve optimum and cost-consistent, also when cut off"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:5 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let problem = Problem.of_task_set (Tutil.task_set_of_instance inst) in
+      let optimum = fst (Brute.solve problem) in
+      List.for_all
+        (fun name ->
+          List.for_all
+            (fun budget ->
+              let sol = Solver_registry.solve ~seed:3 ?budget name problem in
+              sol.Solution.cost >= optimum
+              && sol.Solution.cost = Problem.eval problem sol.Solution.bp
+              && Problem.admissible problem sol.Solution.bp)
+            [ None; Some (Hr_util.Budget.of_deadline_ms 0) ])
+        [ "mt-beam"; "ga-polish"; "greedy" ])
+
+let qcheck_mode_climb_vs_brute_on_intermediate_modes =
+  (* Brute.solve evaluates through Problem.eval, so it is ground truth
+     for the intermediate synchronization modes too — exactly where
+     mode-climb lives. *)
+  Tutil.prop "mode-climb: >= brute optimum on intermediate modes"
+    (Tutil.gen_mt_instance ~max_m:3 ~max_n:4 ~max_width:4)
+    Tutil.show_mt_instance
+    (fun inst ->
+      let ts = Tutil.task_set_of_instance inst in
+      List.for_all
+        (fun mode ->
+          let problem = Problem.of_task_set ~mode ts in
+          let optimum = fst (Brute.solve problem) in
+          let sol = Solver_registry.solve ~seed:3 "mode-climb" problem in
+          let cut =
+            Solver_registry.solve ~seed:3
+              ~budget:(Hr_util.Budget.of_deadline_ms 0) "mode-climb" problem
+          in
+          sol.Solution.cost >= optimum
+          && cut.Solution.cost >= optimum
+          && cut.Solution.cut_off
+          && (not cut.Solution.exact)
+          && cut.Solution.cost = Problem.eval problem cut.Solution.bp)
+        [ Mixed_sync.Hypercontext_synchronized; Mixed_sync.Context_synchronized ])
+
+let test_brute_all_task_class_space () =
+  (* The all-task class collapses the enumeration to one shared row:
+     n=10, m=3 is 2^9, far under the old (n-1)*m = 27-bit wall.  Its
+     optimum must agree with the all-task DP's exact solution. *)
+  let rng = Rng.create 17 in
+  let spec =
+    {
+      Hr_workload.Multi_gen.default_spec with
+      Hr_workload.Multi_gen.m = 3;
+      n = 10;
+      local_sizes = [| 5; 4; 6 |];
+    }
+  in
+  let ts = Hr_workload.Multi_gen.correlated rng spec in
+  let problem = Problem.of_task_set ~machine_class:Problem.All_task ts in
+  check int "bits is n-1, not (n-1)*m" 9 (Brute.bits problem);
+  check bool "brute-feasible" true (Brute.feasible problem);
+  let cost, bp = Brute.solve problem in
+  check bool "brute plan admissible for the class" true
+    (Problem.admissible problem bp);
+  let dp = Solver_registry.solve "all-task" problem in
+  check bool "all-task DP is exact here" true dp.Solution.exact;
+  check int "brute agrees with the exact DP" dp.Solution.cost cost;
+  (* The registry's brute backend now accepts the instance too. *)
+  let reg = Solver_registry.solve "brute" problem in
+  check bool "registry brute exact" true reg.Solution.exact;
+  check int "registry brute cost" cost reg.Solution.cost
+
+let test_async_opt_refuses_all_task_class () =
+  (* Per-task solo optima cannot honour uniform columns: the capability
+     predicate must filter the class out (found by hrcheck). *)
+  let ts = Tutil.sample_task_set () in
+  let p =
+    Problem.of_task_set ~mode:Mixed_sync.Non_synchronized
+      ~machine_class:Problem.All_task ts
+  in
+  let names = List.map (fun s -> s.Solver.name) (Solver_registry.applicable p) in
+  check bool "async-opt filtered out on all-task" false
+    (List.mem "async-opt" names);
+  check bool "brute still applicable" true (List.mem "brute" names)
+
 let test_mode_climb_no_worse_than_stacked_solos () =
   let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
   let problem = Problem.make ~mode:Mixed_sync.Hypercontext_synchronized oracle in
@@ -365,6 +454,63 @@ let test_telemetry_json_shape () =
       "\"error\":"; "\"winner\":\"greedy\""; "\"oracle_cache\":";
     ]
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_telemetry_golden () =
+  (* A fully pinned telemetry document — deterministic solver result,
+     hand-fixed wall clocks, an uncached oracle (the direct cache has
+     no timing-dependent counters) — emitted and compared byte-for-byte
+     against the checked-in expectation.  On a deliberate schema change,
+     the failing test dumps the new document to
+     [/tmp/telemetry_got.json]; review it and replace
+     [test/golden/telemetry.json]. *)
+  let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let problem = Problem.make ~precompute:false oracle in
+  let greedy = Solver_registry.find_exn "greedy" in
+  let sol = Solver.solve ~seed:42 greedy problem in
+  let reports =
+    [
+      {
+        Solver.solver = "greedy";
+        kind = greedy.Solver.kind;
+        outcome = Solver.Finished;
+        wall_ms = 1.25;
+        solution = Some sol;
+      };
+      {
+        Solver.solver = "crash-test";
+        kind = Solver.Heuristic;
+        outcome = Solver.Crashed (Failure "boom");
+        wall_ms = 0.5;
+        solution = None;
+      };
+    ]
+  in
+  let t =
+    Telemetry.make ~label:"golden" ~deadline_ms:200 ~seed:42 ~problem
+      ~total_ms:2.0 reports
+  in
+  let got = Telemetry.to_string t in
+  let expected = read_file "golden/telemetry.json" in
+  if got <> expected then begin
+    let oc = open_out "/tmp/telemetry_got.json" in
+    output_string oc got;
+    close_out oc;
+    Alcotest.failf
+      "telemetry JSON deviates from golden/telemetry.json (new document \
+       dumped to /tmp/telemetry_got.json)"
+  end;
+  (* The new parser inverts the emitter on the same document. *)
+  match Telemetry.json_of_string got with
+  | Error e -> Alcotest.fail ("golden document does not parse: " ^ e)
+  | Ok j ->
+      check bool "parser inverts the emitter" true
+        (Telemetry.json_to_string j = got)
+
 let tests =
   [
     Alcotest.test_case "registry names" `Quick test_registry_names;
@@ -386,6 +532,12 @@ let tests =
     Alcotest.test_case "all-task exactness scoping" `Quick
       test_all_task_exact_only_for_all_task_class;
     Alcotest.test_case "async-opt == Mt_async" `Quick test_async_opt_matches_mt_async;
+    qcheck_heuristics_bounded_by_brute_under_deadlines;
+    qcheck_mode_climb_vs_brute_on_intermediate_modes;
+    Alcotest.test_case "brute collapses the all-task class" `Quick
+      test_brute_all_task_class_space;
+    Alcotest.test_case "async-opt refuses the all-task class" `Quick
+      test_async_opt_refuses_all_task_class;
     Alcotest.test_case "mode-climb vs stacked solos" `Quick
       test_mode_climb_no_worse_than_stacked_solos;
     Alcotest.test_case "portfolio plan export saves the best plan" `Quick
@@ -397,4 +549,5 @@ let tests =
     Alcotest.test_case "deadline cut-off stays admissible" `Quick
       test_deadline_cutoff_returns_admissible_best_so_far;
     Alcotest.test_case "telemetry JSON shape" `Quick test_telemetry_json_shape;
+    Alcotest.test_case "telemetry JSON golden" `Quick test_telemetry_golden;
   ]

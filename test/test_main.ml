@@ -26,6 +26,7 @@ let () =
       ("wave3", Suite_wave3.tests);
       ("wave4", Suite_wave4.tests);
       ("fuzz", Suite_fuzz.tests);
+      ("check", Suite_check.tests);
       ("expr", Suite_expr.tests);
       ("robust", Suite_robust.tests);
     ]
