@@ -1,0 +1,118 @@
+(* Serving-throughput benchmark: the persistent-pool batch path
+   (Batch.run) against the obvious alternative — spawning one fresh
+   domain per solve, the pre-pool behaviour of the racing layer.
+
+   `dune exec bench/serve_bench.exe -- [--instances N] [--seed S]
+   [--out FILE]` solves N tiny synthetic instances (m=2, n=6, width 4 —
+   small enough that per-call domain spawn/join overhead dominates,
+   which is exactly the serving regime hrserve cares about) both ways
+   and writes a hyperreconf.bench/1 JSON summary (default
+   BENCH_serve.json).  Exits non-zero if any batched solve errored. *)
+
+module Budget = Hr_util.Budget
+module Pool = Hr_util.Pool
+module Rng = Hr_util.Rng
+module W = Hr_workload
+open Hr_core
+
+let gen_problems ~count ~seed =
+  Array.init count (fun i ->
+      let spec =
+        {
+          W.Multi_gen.default_spec with
+          W.Multi_gen.m = 2;
+          n = 6;
+          local_sizes = [| 4; 4 |];
+        }
+      in
+      let ts = W.Multi_gen.independent (Rng.create (seed + i)) spec in
+      Problem.make (Interval_cost.of_task_set ts))
+
+(* One fresh domain per request, joined immediately — what serving a
+   stream without a pool looks like. *)
+let baseline_ms ~seed solver problems =
+  let t0 = Budget.now_ms () in
+  Array.iter
+    (fun p ->
+      ignore (Domain.join (Domain.spawn (fun () -> Solver.solve ~seed solver p))))
+    problems;
+  Budget.now_ms () -. t0
+
+let pooled ~seed solver problems =
+  let pool = Pool.create () in
+  let requests =
+    Array.to_list
+      (Array.mapi
+         (fun i p -> Batch.request ~id:(string_of_int i) (fun () -> p))
+         problems)
+  in
+  let t0 = Budget.now_ms () in
+  let batch = Batch.run ~pool ~seed ~solvers:(fun _ -> [ solver ]) requests in
+  let ms = Budget.now_ms () -. t0 in
+  Pool.shutdown pool;
+  (batch, ms)
+
+let parse_args () =
+  let count = ref 1000 and seed = ref 2004 and out = ref "BENCH_serve.json" in
+  let rec go = function
+    | [] -> ()
+    | "--instances" :: v :: rest ->
+        count := int_of_string v;
+        go rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        go rest
+    | "--out" :: v :: rest ->
+        out := v;
+        go rest
+    | a :: _ -> failwith ("serve_bench: unknown argument " ^ a)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!count, !seed, !out)
+
+let () =
+  let count, seed, out = parse_args () in
+  let solver = Solver_registry.find_exn "greedy" in
+  let problems = gen_problems ~count ~seed in
+  (* Warm both paths outside the timed region (domain machinery, minor
+     heap sizing) on a small prefix. *)
+  let warm = Array.sub problems 0 (min 8 count) in
+  ignore (baseline_ms ~seed solver warm);
+  ignore (pooled ~seed solver warm);
+  let base_ms = baseline_ms ~seed solver problems in
+  let batch, pool_ms = pooled ~seed solver problems in
+  let errors =
+    List.length
+      (List.filter
+         (fun r -> Result.is_error r.Batch.outcome)
+         batch.Batch.responses)
+  in
+  let per_s ms = 1000. *. float count /. ms in
+  let speedup = base_ms /. pool_ms in
+  let doc =
+    Telemetry.Obj
+      [
+        ("schema", Telemetry.String "hyperreconf.bench/1");
+        ("bench", Telemetry.String "serve-throughput");
+        ("instances", Telemetry.Int count);
+        ("seed", Telemetry.Int seed);
+        ("baseline_ms", Telemetry.Float base_ms);
+        ("baseline_per_s", Telemetry.Float (per_s base_ms));
+        ("pooled_ms", Telemetry.Float pool_ms);
+        ("pooled_per_s", Telemetry.Float (per_s pool_ms));
+        ("speedup", Telemetry.Float speedup);
+        ("batch", Batch.to_json ~label:"serve-bench" ~results:false batch);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Telemetry.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "serve-throughput: %d instances | per-call spawn %.1f ms (%.0f/s) | pooled \
+     batch %.1f ms (%.0f/s) | speedup %.1fx | summary %s\n"
+    count base_ms (per_s base_ms) pool_ms (per_s pool_ms) speedup out;
+  if errors > 0 then begin
+    Printf.eprintf "serve_bench: %d batched solves errored\n" errors;
+    exit 1
+  end

@@ -18,15 +18,24 @@ module Rng = Hr_util.Rng
 module Shyra = Hr_shyra
 module W = Hr_workload
 
-let counter_oracle mode split =
+(* The closed string enums, parsed strictly (exit 2 on a typo) and
+   eagerly — an unknown --split must fail even under a workload that
+   never consumes it. *)
+let workload_enum = [ ("counter", `Counter); ("synthetic", `Synthetic); ("file", `File) ]
+
+let mode_enum =
+  [
+    ("diff", Shyra.Tracer.Diff);
+    ("field", Shyra.Tracer.Field_diff);
+    ("inuse", Shyra.Tracer.In_use);
+  ]
+
+let split_enum =
+  [ ("single", Shyra.Tasks.single_task); ("four", Shyra.Tasks.four_tasks) ]
+
+let counter_oracle mode parts =
   let run = Shyra.Counter.build ~init:0 ~bound:10 () in
   let trace = Shyra.Tracer.trace ~mode run.Shyra.Counter.program in
-  let parts =
-    match split with
-    | "single" -> Shyra.Tasks.single_task
-    | "four" -> Shyra.Tasks.four_tasks
-    | s -> failwith (Printf.sprintf "unknown split %S (single|four)" s)
-  in
   (Shyra.Tasks.oracle trace parts, Shyra.Tasks.split trace parts)
 
 let synthetic_oracle seed m n correlated =
@@ -62,22 +71,17 @@ let run workload mode split seed m n correlated method_ seed_opt deadline_ms
     0
   end
   else begin
-    let tracer_mode =
-      match mode with
-      | "diff" -> Shyra.Tracer.Diff
-      | "field" -> Shyra.Tracer.Field_diff
-      | "inuse" -> Shyra.Tracer.In_use
-      | s -> failwith (Printf.sprintf "unknown trace mode %S (diff|field|inuse)" s)
-    in
+    let workload = Hr_util.Cli.enum_exn ~what:"workload" workload_enum workload in
+    let tracer_mode = Hr_util.Cli.enum_exn ~what:"trace mode" mode_enum mode in
+    let parts = Hr_util.Cli.enum_exn ~what:"split" split_enum split in
     let oracle, ts =
       match workload with
-      | "counter" -> counter_oracle tracer_mode split
-      | "synthetic" -> synthetic_oracle seed m n correlated
-      | "file" -> (
+      | `Counter -> counter_oracle tracer_mode parts
+      | `Synthetic -> synthetic_oracle seed m n correlated
+      | `File -> (
           match trace_file with
           | Some path -> file_oracle path
           | None -> failwith "workload 'file' needs --trace-file")
-      | s -> failwith (Printf.sprintf "unknown workload %S (counter|synthetic|file)" s)
     in
     let problem = Problem.make oracle in
     let budget () =

@@ -1,0 +1,193 @@
+(* CLI: the batched solve service.
+
+   hrserve [--workers N] [--deadline-ms MS] [--solver NAME]...
+           [--max-queue N] [--seed S] [--summary FILE]
+
+   A JSON-lines request/response loop over stdin/stdout: each input
+   line is a `hyperreconf.case/1` document (the conformance-corpus
+   format), or an envelope {"id": "...", "case": {...}} to choose the
+   response id.  Requests are collected into batches of at most
+   --max-queue and solved on the persistent domain pool (lib/util/pool)
+   with a solver race per instance; one `hyperreconf.result/1` line is
+   written per request, in input order.  Malformed lines and failing
+   solves produce structured error results — the process never dies on
+   a bad request.  Backpressure is the batch boundary: stdin is not
+   read while a full batch is in flight.
+
+   At EOF a `hyperreconf.batch/1` document aggregating every request is
+   written to --summary (and a one-line digest to stderr).  See
+   docs/serving.md. *)
+
+open Cmdliner
+open Hr_core
+module Check = Hr_check
+
+type parsed =
+  | Request of Batch.request
+  | Bad of string * string  (* id, error *)
+
+let parse_line ~id line =
+  match Telemetry.json_of_string line with
+  | Error e -> Bad (id, e)
+  | Ok json ->
+      let id, case_json =
+        match json with
+        | Telemetry.Obj fields when List.mem_assoc "case" fields ->
+            let id =
+              match List.assoc_opt "id" fields with
+              | Some (Telemetry.String s) -> s
+              | Some (Telemetry.Int i) -> string_of_int i
+              | _ -> id
+            in
+            (id, List.assoc "case" fields)
+        | _ -> (id, json)
+      in
+      (match Check.Case.of_json case_json with
+      | Error e -> Bad (id, e)
+      | Ok case ->
+          (* The canonical case JSON is the dedup key: identical
+             instances share one oracle precompute. *)
+          Request
+            (Batch.request ~key:(Check.Case.to_string case) ~id (fun () ->
+                 Check.Case.problem case)))
+
+let solvers_of_names names =
+  match names with
+  | [] -> Solver_registry.applicable
+  | names ->
+      let chosen = List.map Solver_registry.find_exn names in
+      fun problem -> List.filter (fun (s : Solver.t) -> s.Solver.handles problem) chosen
+
+let run workers deadline_ms solver_names max_queue seed summary_file =
+  if max_queue < 1 then failwith "--max-queue must be >= 1";
+  let solvers = solvers_of_names solver_names in
+  let pool = Hr_util.Pool.create ?workers () in
+  let all_responses = ref [] (* reversed *) in
+  let total_ms = ref 0. and shared_builds = ref 0 in
+  let emit (r : Batch.response) =
+    all_responses := r :: !all_responses;
+    print_string (Telemetry.json_to_string (Batch.response_to_json r));
+    flush stdout
+  in
+  let flush_batch pending =
+    (* [pending] is reversed (request order restored here); parse
+       failures already carry their error outcome and skip the pool. *)
+    let batch_requests =
+      List.filter_map (function Request r -> Some r | Bad _ -> None) pending
+    in
+    let batch =
+      Batch.run ~pool ~seed ?deadline_ms ~solvers (List.rev batch_requests)
+    in
+    total_ms := !total_ms +. batch.Batch.total_ms;
+    shared_builds := !shared_builds + batch.Batch.shared_builds;
+    let solved = ref batch.Batch.responses in
+    List.iter
+      (function
+        | Bad (id, e) -> emit (Batch.error_response ~id ("bad request: " ^ e))
+        | Request _ -> (
+            match !solved with
+            | r :: rest ->
+                solved := rest;
+                emit r
+            | [] -> assert false (* one response per request, in order *)))
+      (List.rev pending)
+  in
+  let rec serve pending npending k =
+    match input_line stdin with
+    | exception End_of_file -> if pending <> [] then flush_batch pending
+    | line when String.trim line = "" -> serve pending npending k
+    | line ->
+        let pending = parse_line ~id:(Printf.sprintf "#%d" k) line :: pending in
+        if npending + 1 >= max_queue then begin
+          flush_batch pending;
+          serve [] 0 (k + 1)
+        end
+        else serve pending (npending + 1) (k + 1)
+  in
+  serve [] 0 0;
+  Hr_util.Pool.shutdown pool;
+  let summary =
+    {
+      Batch.responses = List.rev !all_responses;
+      total_ms = !total_ms;
+      workers = Hr_util.Pool.size pool;
+      deadline_ms;
+      shared_builds = !shared_builds;
+    }
+  in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Telemetry.json_to_string (Batch.to_json ~label:"hrserve" summary))))
+    summary_file;
+  let size = List.length summary.Batch.responses in
+  let ok =
+    List.length
+      (List.filter (fun (r : Batch.response) -> Result.is_ok r.Batch.outcome)
+         summary.Batch.responses)
+  in
+  Printf.eprintf "hrserve: %d request(s), %d ok, %d error(s), %.1f ms solving\n"
+    size ok (size - ok) !total_ms;
+  0
+
+let workers =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains in the solve pool (default: the recommended domain count).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Global cooperative budget per batch, carved into fair per-request \
+           slices.  Cut-off results are best-so-far plans, marked inexact.")
+
+let solver_names =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          "Race only this registered solver (repeatable).  Default: every \
+           applicable registered solver.")
+
+let max_queue =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Bounded request queue: at most $(docv) requests are read before the \
+           batch is solved and answered (backpressure on stdin).")
+
+let seed =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"S" ~doc:"Solver RNG base seed.")
+
+let summary_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary" ] ~docv:"FILE"
+        ~doc:"Write the aggregated hyperreconf.batch/1 document to $(docv) at EOF.")
+
+let cmd =
+  let doc = "batched PHC solve service (JSON lines on stdin/stdout)" in
+  Cmd.v (Cmd.info "hrserve" ~doc)
+    Term.(
+      const run $ workers $ deadline_ms $ solver_names $ max_queue $ seed
+      $ summary_file)
+
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "hrserve: %s\n" msg;
+      exit 2

@@ -128,6 +128,42 @@ let cutoff_safe =
             else Pass);
   }
 
+(* The batch service is a pure wrapper: routing a solve through
+   Batch.run (pool scheduling, budget carving, key-dedup cache) must
+   not change the answer.  Both sides run a fresh unlimited-budget
+   solve with the ctx seed — never the ctx solution, which may have
+   been cut off by a wall-clock deadline and would compare flakily. *)
+let batch_matches_single =
+  {
+    name = "batch-single";
+    doc = "Batch.run equals the direct Solver.solve, bit for bit";
+    check =
+      (fun ctx ->
+        let direct = Solver.solve ~seed:ctx.seed ctx.solver ctx.problem in
+        let req =
+          Batch.request ~id:"batch-single" (fun () -> Case.problem ctx.case)
+        in
+        match
+          (Batch.run ~seed:ctx.seed ~solvers:(fun _ -> [ ctx.solver ]) [ req ])
+            .Batch.responses
+        with
+        | [ { Batch.outcome = Ok solved; _ } ] ->
+            let b = solved.Batch.solution in
+            if
+              b.Solution.cost = direct.Solution.cost
+              && b.Solution.exact = direct.Solution.exact
+              && Breakpoints.equal b.Solution.bp direct.Solution.bp
+            then Pass
+            else
+              Fail
+                (Printf.sprintf
+                   "batched solve differs: cost %d/exact %b vs direct cost %d/exact %b"
+                   b.Solution.cost b.Solution.exact direct.Solution.cost
+                   direct.Solution.exact)
+        | [ { Batch.outcome = Error e; _ } ] -> Fail ("batched solve errored: " ^ e)
+        | rs -> Fail (Printf.sprintf "batch returned %d responses for 1 request" (List.length rs)));
+  }
+
 let plan_roundtrip =
   {
     name = "plan-io";
@@ -150,6 +186,7 @@ let all =
     exact_optimal;
     scale_linear;
     cutoff_safe;
+    batch_matches_single;
     plan_roundtrip;
   ]
 

@@ -50,6 +50,13 @@ val scale_linear : t
     cost-consistent plan that never claims exactness when cut off. *)
 val cutoff_safe : t
 
+(** Solving through {!Hr_core.Batch.run} (pool scheduling, budget
+    carving, build-dedup cache) yields exactly the direct
+    {!Hr_core.Solver.solve} answer — same cost, exactness flag and
+    breakpoint matrix.  Both sides solve fresh under an unlimited
+    budget with the ctx seed. *)
+val batch_matches_single : t
+
 (** The plan survives a {!Hr_core.Plan_io} round-trip unchanged. *)
 val plan_roundtrip : t
 

@@ -1,0 +1,202 @@
+module Budget = Hr_util.Budget
+module Pool = Hr_util.Pool
+
+type request = { id : string; key : string option; build : unit -> Problem.t }
+
+let request ?key ~id build = { id; key; build }
+
+type solved = {
+  solution : Solution.t;
+  reports : Solver.report list;
+  m : int;
+  n : int;
+}
+
+type response = { id : string; outcome : (solved, string) result; wall_ms : float }
+
+type t = {
+  responses : response list;
+  total_ms : float;
+  workers : int;
+  deadline_ms : int option;
+  shared_builds : int;
+}
+
+let result_schema_version = "hyperreconf.result/1"
+let batch_schema_version = "hyperreconf.batch/1"
+
+let error_response ?(wall_ms = 0.) ~id msg = { id; outcome = Error msg; wall_ms }
+
+(* Problems are immutable once precomputed, so a cache entry can be
+   shared freely across domains.  Builds happen outside the lock: two
+   requests racing on a fresh key may both build (idempotent — the
+   loser's table is dropped), but distinct keys never serialize on each
+   other's O(m·n²) precompute. *)
+type build_cache = {
+  mu : Mutex.t;
+  table : (string, Problem.t) Hashtbl.t;
+  shared : int Atomic.t;
+}
+
+let build_problem cache req =
+  match req.key with
+  | None -> req.build ()
+  | Some key -> (
+      Mutex.lock cache.mu;
+      let hit = Hashtbl.find_opt cache.table key in
+      Mutex.unlock cache.mu;
+      match hit with
+      | Some problem ->
+          Atomic.incr cache.shared;
+          problem
+      | None ->
+          let problem = req.build () in
+          Mutex.lock cache.mu;
+          let problem =
+            match Hashtbl.find_opt cache.table key with
+            | Some winner ->
+                Atomic.incr cache.shared;
+                winner
+            | None ->
+                Hashtbl.add cache.table key problem;
+                problem
+          in
+          Mutex.unlock cache.mu;
+          problem)
+
+(* Fair-share carving: a request starting with [left] requests still
+   unstarted and [workers] domains serving them gets [workers/left] of
+   the global time left — the share it would receive if the remaining
+   queue were drained in even waves — capped by the global deadline. *)
+let carve ~global ~workers ~left =
+  if not (Budget.is_limited global) then Budget.unlimited
+  else
+    let slice =
+      int_of_float (Budget.remaining_ms global *. float workers /. float (max 1 left))
+    in
+    Budget.earliest global (Budget.of_deadline_ms (max 1 slice))
+
+let run ?pool ?(seed = Solver.default_seed) ?deadline_ms
+    ?(solvers = Solver_registry.applicable) requests =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let workers = Pool.size pool in
+  let global =
+    match deadline_ms with
+    | None -> Budget.unlimited
+    | Some ms -> Budget.of_deadline_ms ms
+  in
+  let cache = { mu = Mutex.create (); table = Hashtbl.create 16; shared = Atomic.make 0 } in
+  let unstarted = Atomic.make (List.length requests) in
+  let t0 = Budget.now_ms () in
+  let solve_one req =
+    let left = max 1 (Atomic.fetch_and_add unstarted (-1)) in
+    let r0 = Budget.now_ms () in
+    let outcome =
+      match
+        let problem = build_problem cache req in
+        let budget = carve ~global ~workers ~left in
+        let solution, reports = Solver.race_report ~seed ~budget (solvers problem) problem in
+        { solution; reports; m = Problem.m problem; n = Problem.n problem }
+      with
+      | solved -> Ok solved
+      | exception e -> Error (Printexc.to_string e)
+    in
+    { id = req.id; outcome; wall_ms = Budget.now_ms () -. r0 }
+  in
+  let arr = Array.of_list requests in
+  (* Per-request chunking granularity: requests vary wildly in cost, so
+     finer chunks (not one per worker) keep the pool balanced. *)
+  let chunks = min (Array.length arr) (workers * 4) in
+  let responses = Array.to_list (Pool.map ~chunks pool solve_one arr) in
+  {
+    responses;
+    total_ms = Budget.now_ms () -. t0;
+    workers;
+    deadline_ms;
+    shared_builds = Atomic.get cache.shared;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON documents.                                                     *)
+
+open Telemetry
+
+let report_to_json (r : Solver.report) =
+  Obj
+    ([
+       ("name", String r.Solver.solver);
+       ("kind", String (Solver.kind_name r.Solver.kind));
+       ("outcome", String (Solver.outcome_name r.Solver.outcome));
+       ("wall_ms", Float r.Solver.wall_ms);
+     ]
+    @ (match r.Solver.outcome with
+      | Solver.Crashed e -> [ ("error", String (Printexc.to_string e)) ]
+      | Solver.Finished | Solver.Cut_off -> [])
+    @
+    match r.Solver.solution with
+    | None -> [ ("cost", Null) ]
+    | Some sol -> [ ("cost", Int sol.Solution.cost) ])
+
+let plan_to_json (solved : solved) =
+  List
+    (List.init solved.m (fun j ->
+         List
+           (List.map (fun i -> Int i) (Solution.task_breaks solved.solution j))))
+
+let response_to_json r =
+  let base =
+    [
+      ("schema", String result_schema_version);
+      ("id", String r.id);
+      ("ok", Bool (Result.is_ok r.outcome));
+      ("wall_ms", Float r.wall_ms);
+    ]
+  in
+  match r.outcome with
+  | Error msg -> Obj (base @ [ ("error", String msg) ])
+  | Ok solved ->
+      let sol = solved.solution in
+      Obj
+        (base
+        @ [
+            ("instance", Obj [ ("m", Int solved.m); ("n", Int solved.n) ]);
+            ("solver", String sol.Solution.solver);
+            ("cost", Int sol.Solution.cost);
+            ("exact", Bool sol.Solution.exact);
+            ("cut_off", Bool sol.Solution.cut_off);
+            ("plan", plan_to_json solved);
+            ("solvers", List (List.map report_to_json solved.reports));
+          ])
+
+let to_json ?(label = "batch") ?(results = true) t =
+  let size = List.length t.responses in
+  let ok =
+    List.length (List.filter (fun r -> Result.is_ok r.outcome) t.responses)
+  in
+  let cut_off =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.outcome with
+           | Ok s -> s.solution.Solution.cut_off
+           | Error _ -> false)
+         t.responses)
+  in
+  Obj
+    ([
+       ("schema", String batch_schema_version);
+       ("label", String label);
+       ("size", Int size);
+       ("ok", Int ok);
+       ("errors", Int (size - ok));
+       ("cut_off", Int cut_off);
+       ("workers", Int t.workers);
+       ("deadline_ms", match t.deadline_ms with Some ms -> Int ms | None -> Null);
+       ("total_ms", Float t.total_ms);
+       ( "throughput_per_s",
+         if t.total_ms > 0. then Float (1000. *. float size /. t.total_ms) else Null );
+       ("shared_builds", Int t.shared_builds);
+     ]
+    @
+    if results then [ ("results", List (List.map response_to_json t.responses)) ]
+    else [])

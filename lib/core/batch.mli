@@ -1,0 +1,103 @@
+(** Batched solving: many instances, one pool, one deadline.
+
+    The serving-side counterpart of {!Solver.race}: take a list of
+    {!request}s, solve each with a (restrictable) solver race on the
+    shared persistent {!Hr_util.Pool}, and return one {!response} per
+    request {e in request order} — errors contained per request as
+    structured results, never as process death.
+
+    {b Layering.}  A request carries a thunk building its
+    {!Problem.t}, not a [Hr_check.Case.t] — [hr_core] sits below
+    [hr_check] in the library graph.  The case-level wiring (parsing
+    [hyperreconf.case/1] documents into requests) lives in
+    [bin/hrserve.ml] and the conformance harness; both funnel through
+    this module.
+
+    {b Oracle sharing.}  Requests may carry a dedup [key] (the serving
+    loop uses the case's canonical JSON).  Requests with equal keys
+    share one problem build — and therefore one
+    {!Interval_cost.precompute} table — instead of rebuilding the dense
+    oracle per request.
+
+    {b Budget carving.}  One batch-global deadline is carved into
+    per-request cooperative budgets: when a request starts, it receives
+    [workers/left] of the remaining global time (its fair share given
+    the requests still queued), capped by the global deadline
+    ({!Hr_util.Budget.earliest}).  With no deadline every request runs
+    unlimited — the bit-for-bit deterministic regime ({!Solver.race}'s
+    determinism contract carries over unchanged).
+
+    {b Determinism.}  Responses are positionally deterministic (the
+    pool's map is elementwise), and under an unlimited budget each
+    response's solution is bit-identical to the sequential
+    [Solver.race_report ~seed] on the same instance. *)
+
+type request = {
+  id : string;  (** echoed back verbatim in the response *)
+  key : string option;  (** dedup key for sharing problem builds *)
+  build : unit -> Problem.t;
+      (** may raise; contained as a per-request error response *)
+}
+
+(** [request ?key ~id build]. *)
+val request : ?key:string -> id:string -> (unit -> Problem.t) -> request
+
+(** A successfully solved request. *)
+type solved = {
+  solution : Solution.t;  (** the race winner *)
+  reports : Solver.report list;  (** one per contestant, {!Solver.run_all} order *)
+  m : int;
+  n : int;
+}
+
+type response = {
+  id : string;
+  outcome : (solved, string) result;
+  wall_ms : float;  (** this request's build + race wall clock *)
+}
+
+(** A completed batch: the input to {!to_json} and the bench. *)
+type t = {
+  responses : response list;  (** in request order *)
+  total_ms : float;
+  workers : int;
+  deadline_ms : int option;
+  shared_builds : int;  (** requests served from the key-dedup cache *)
+}
+
+(** ["hyperreconf.result/1"] / ["hyperreconf.batch/1"] — bump on
+    breaking changes to the corresponding document. *)
+val result_schema_version : string
+
+val batch_schema_version : string
+
+(** [run ?pool ?seed ?deadline_ms ?solvers requests] solves every
+    request (racing [solvers problem] — default
+    {!Solver_registry.applicable} — under its carved budget) on [pool]
+    (default {!Hr_util.Pool.default}).  Anything a request raises —
+    build failure, {!Solver.Rejected}, an all-crash race — becomes its
+    [Error] outcome; other requests are unaffected. *)
+val run :
+  ?pool:Hr_util.Pool.t ->
+  ?seed:int ->
+  ?deadline_ms:int ->
+  ?solvers:(Problem.t -> Solver.t list) ->
+  request list ->
+  t
+
+(** [error_response ~id msg] — a structured failure for requests that
+    never reach {!run} (e.g. a line the serving loop cannot parse). *)
+val error_response : ?wall_ms:float -> id:string -> string -> response
+
+(** [response_to_json r] is the [hyperreconf.result/1] document:
+    [{schema; id; ok; wall_ms}] plus, on success, [instance {m; n}],
+    the winning [solver]/[cost]/[exact]/[cut_off], the [plan] (per-task
+    hyperreconfiguration steps, step 0 included) and a [solvers] array
+    of per-contestant telemetry — or, on failure, [error]. *)
+val response_to_json : response -> Telemetry.json
+
+(** [to_json ?label ?results t] is the [hyperreconf.batch/1] document
+    aggregating the batch: size, ok/error/cut-off counts, workers,
+    deadline, wall clock, throughput (instances/s), shared builds and —
+    unless [results] is [false] — every per-request result document. *)
+val to_json : ?label:string -> ?results:bool -> t -> Telemetry.json

@@ -15,3 +15,8 @@ let remaining_ms = function
   | Deadline_ms d -> Float.max 0. (d -. now_ms ())
 
 let is_limited = function No_limit -> false | Deadline_ms _ -> true
+
+let earliest a b =
+  match (a, b) with
+  | No_limit, t | t, No_limit -> t
+  | Deadline_ms x, Deadline_ms y -> Deadline_ms (Float.min x y)

@@ -32,6 +32,10 @@ val remaining_ms : t -> float
 (** [is_limited t] is [false] exactly for {!unlimited}. *)
 val is_limited : t -> bool
 
+(** [earliest a b] is the budget that expires first — how a per-request
+    slice is capped by a batch-global deadline ({!Hr_core.Batch}). *)
+val earliest : t -> t -> t
+
 (** [now_ms ()] — the wall clock in milliseconds (arbitrary epoch).
     The common timebase for solver telemetry. *)
 val now_ms : unit -> float

@@ -1,0 +1,10 @@
+let enum ~what options s =
+  match List.assoc_opt s options with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "unknown %s %S (expected one of: %s)" what s
+           (String.concat ", " (List.map fst options)))
+
+let enum_exn ~what options s =
+  match enum ~what options s with Ok v -> v | Error msg -> failwith msg

@@ -1,0 +1,16 @@
+(** Strict enum parsing for CLI string options.
+
+    The CLIs accept several closed string enums (trace mode, task
+    split, workload).  Parsing them through [enum_exn] guarantees a
+    typo'd value fails {e eagerly} — at option-validation time, for
+    every workload — with a message listing the accepted values, and
+    exits 2 through the binaries' uniform [Failure] handler instead of
+    surfacing wherever the string happens to be consumed first. *)
+
+(** [enum ~what options s] resolves [s] among [options]; the [Error]
+    names [what], the offending value and every accepted value. *)
+val enum : what:string -> (string * 'a) list -> string -> ('a, string) result
+
+(** [enum_exn] is {!enum}, raising [Failure] on unknown values (the
+    CLIs' exit-2 channel). *)
+val enum_exn : what:string -> (string * 'a) list -> string -> 'a

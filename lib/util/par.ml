@@ -1,64 +1,19 @@
-let num_domains () = max 1 (Domain.recommended_domain_count ())
-
-let chunk_bounds ~chunks n =
-  (* Contiguous, balanced chunks covering 0..n-1. *)
-  let base = n / chunks and extra = n mod chunks in
-  let rec go k start acc =
-    if k = chunks then List.rev acc
-    else
-      let len = base + if k < extra then 1 else 0 in
-      if len = 0 then go (k + 1) start acc
-      else go (k + 1) (start + len) ((start, start + len - 1) :: acc)
-  in
-  go 0 0 []
-
-let iter_chunks ?domains f n =
-  let workers = min (Option.value domains ~default:(num_domains ())) (max 1 n) in
-  if n <= 0 then ()
-  else if workers <= 1 then f 0 (n - 1)
-  else
-    let bounds = chunk_bounds ~chunks:workers n in
-    let handles =
-      List.map (fun (lo, hi) -> Domain.spawn (fun () -> f lo hi)) bounds
-    in
-    (* Join all domains even if one raised, then re-raise the first
-       failure. *)
-    let results =
-      List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles
-    in
-    List.iter (function Error e -> raise e | Ok () -> ()) results
+let num_domains = Pool.num_domains
 
 let map_array ?domains f arr =
   let n = Array.length arr in
   let workers = Option.value domains ~default:(num_domains ()) in
   if n = 0 then [||]
   else if workers <= 1 || n < 4 then Array.map f arr
-  else begin
-    (* Every application of [f] — including index 0 — happens on a
-       worker domain: each chunk maps its slice into a fresh array and
-       the caller only blits.  Seeding the output with [f arr.(0)] on
-       the caller domain would serialize the first element before any
-       worker starts (turning a race's wall-clock into first + max of
-       the rest). *)
-    let bounds = chunk_bounds ~chunks:(min workers n) n in
-    let handles =
-      List.map
-        (fun (lo, hi) ->
-          (lo, Domain.spawn (fun () -> Array.init (hi - lo + 1) (fun k -> f arr.(lo + k)))))
-        bounds
-    in
-    (* Join all domains even if one raised, then re-raise the first
-       failure. *)
-    let results =
-      List.map (fun (lo, h) -> try Ok (lo, Domain.join h) with e -> Error e) handles
-    in
-    let parts =
-      List.map (function Error e -> raise e | Ok part -> part) results
-    in
-    match parts with
-    | [] -> [||]
-    | (_, first) :: _ ->
-        let out = Array.make n first.(0) in
-        List.iter (fun (lo, part) -> Array.blit part 0 out lo (Array.length part)) parts;
-        out
-  end
+  else
+    (* One chunk per requested worker on the shared persistent pool:
+       domain startup was paid once at pool creation, not here.  The
+       caller claims chunks alongside the pool workers, so no
+       application of [f] is serialized ahead of the others. *)
+    Pool.map ~chunks:(min workers n) (Pool.default ()) f arr
+
+let iter_chunks ?domains f n =
+  let workers = min (Option.value domains ~default:(num_domains ())) (max 1 n) in
+  if n <= 0 then ()
+  else if workers <= 1 then f 0 (n - 1)
+  else Pool.iter_chunks ~chunks:workers (Pool.default ()) f n

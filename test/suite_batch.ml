@@ -1,0 +1,216 @@
+(* Batch.run conformance: differential against direct solves on the
+   checked-in corpus, error containment, build dedup, and the
+   hyperreconf.result/1 / hyperreconf.batch/1 golden documents. *)
+
+open Hr_core
+module Check = Hr_check
+module Pool = Hr_util.Pool
+
+let check = Alcotest.check
+
+let corpus_cases () =
+  List.map
+    (fun (name, r) ->
+      match r with
+      | Ok c -> (name, c)
+      | Error e -> Alcotest.failf "corpus %s does not load: %s" name e)
+    (Check.Corpus.load_dir "corpus")
+
+let test_corpus_matches_single () =
+  (* Every corpus case × every applicable solver: routing the solve
+     through Batch.run changes nothing — same cost, exactness flag and
+     breakpoint matrix as the direct Solver.solve. *)
+  List.iter
+    (fun (name, case) ->
+      let problem = Check.Case.problem case in
+      List.iter
+        (fun solver ->
+          let tag = name ^ "/" ^ solver.Solver.name in
+          let direct = Solver.solve ~seed:11 solver problem in
+          let batch =
+            Batch.run ~seed:11
+              ~solvers:(fun _ -> [ solver ])
+              [ Batch.request ~id:tag (fun () -> Check.Case.problem case) ]
+          in
+          match batch.Batch.responses with
+          | [ { Batch.outcome = Ok solved; id; _ } ] ->
+              let b = solved.Batch.solution in
+              check Alcotest.string (tag ^ " id echoed") tag id;
+              check Alcotest.int (tag ^ " cost") direct.Solution.cost
+                b.Solution.cost;
+              check Alcotest.bool (tag ^ " exact") direct.Solution.exact
+                b.Solution.exact;
+              check Alcotest.bool (tag ^ " plan") true
+                (Breakpoints.equal direct.Solution.bp b.Solution.bp)
+          | [ { Batch.outcome = Error e; _ } ] ->
+              Alcotest.failf "%s: batched solve errored: %s" tag e
+          | rs -> Alcotest.failf "%s: %d responses for 1 request" tag (List.length rs))
+        (Solver_registry.applicable problem))
+    (corpus_cases ())
+
+let test_corpus_race_bit_identical () =
+  (* The pooled default race, unlimited budget, equals the sequential
+     single-domain race bit for bit: same winner, cost, plan, and the
+     same per-contestant report roster. *)
+  List.iter
+    (fun (name, case) ->
+      let problem = Check.Case.problem case in
+      let seq_sol, seq_reports =
+        Solver.race_report ~domains:1 ~seed:11
+          (Solver_registry.applicable problem)
+          problem
+      in
+      let batch =
+        Batch.run ~seed:11
+          [ Batch.request ~id:name (fun () -> Check.Case.problem case) ]
+      in
+      match batch.Batch.responses with
+      | [ { Batch.outcome = Ok solved; _ } ] ->
+          let b = solved.Batch.solution in
+          check Alcotest.string (name ^ " winner") seq_sol.Solution.solver
+            b.Solution.solver;
+          check Alcotest.int (name ^ " cost") seq_sol.Solution.cost
+            b.Solution.cost;
+          check Alcotest.bool (name ^ " exact") seq_sol.Solution.exact
+            b.Solution.exact;
+          check Alcotest.bool (name ^ " plan") true
+            (Breakpoints.equal seq_sol.Solution.bp b.Solution.bp);
+          check
+            Alcotest.(list (pair string string))
+            (name ^ " report roster")
+            (List.map
+               (fun (r : Solver.report) ->
+                 (r.Solver.solver, Solver.outcome_name r.Solver.outcome))
+               seq_reports)
+            (List.map
+               (fun (r : Solver.report) ->
+                 (r.Solver.solver, Solver.outcome_name r.Solver.outcome))
+               solved.Batch.reports)
+      | _ -> Alcotest.failf "%s: unexpected batch shape" name)
+    (corpus_cases ())
+
+let sample_build () =
+  Problem.make (Interval_cost.of_task_set (Tutil.sample_task_set ()))
+
+let test_error_containment () =
+  (* A failing build is one structured Error response; its neighbours
+     solve normally and order is preserved. *)
+  let batch =
+    Batch.run ~seed:3
+      [
+        Batch.request ~id:"ok-0" sample_build;
+        Batch.request ~id:"boom" (fun () -> failwith "no such oracle");
+        Batch.request ~id:"ok-2" sample_build;
+      ]
+  in
+  match batch.Batch.responses with
+  | [ a; b; c ] ->
+      check Alcotest.(list string) "request order" [ "ok-0"; "boom"; "ok-2" ]
+        (List.map (fun r -> r.Batch.id) [ a; b; c ]);
+      check Alcotest.bool "first ok" true (Result.is_ok a.Batch.outcome);
+      check Alcotest.bool "third ok" true (Result.is_ok c.Batch.outcome);
+      (match b.Batch.outcome with
+      | Error msg ->
+          check Alcotest.bool "error names the failure" true
+            (Astring.String.is_infix ~affix:"no such oracle" msg)
+      | Ok _ -> Alcotest.fail "failing build must yield an Error response")
+  | rs -> Alcotest.failf "%d responses for 3 requests" (List.length rs)
+
+let test_build_dedup () =
+  (* Equal keys share one problem build; a distinct key does not. *)
+  let req i key = Batch.request ~key ~id:(string_of_int i) sample_build in
+  let batch =
+    Batch.run ~seed:3 [ req 0 "k"; req 1 "k"; req 2 "k"; req 3 "other" ]
+  in
+  check Alcotest.int "two cache hits" 2 batch.Batch.shared_builds;
+  List.iter
+    (fun r -> check Alcotest.bool "all ok" true (Result.is_ok r.Batch.outcome))
+    batch.Batch.responses
+
+(* ------------------------------------------------------------------ *)
+(* Goldens: fully pinned result/batch documents, byte-for-byte.        *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Deterministic solver result + hand-fixed wall clocks, like the
+   telemetry golden: only schema changes can move these bytes. *)
+let pinned_batch () =
+  let oracle = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let problem = Problem.make ~precompute:false oracle in
+  let greedy = Solver_registry.find_exn "greedy" in
+  let sol = Solver.solve ~seed:42 greedy problem in
+  let reports =
+    [
+      {
+        Solver.solver = "greedy";
+        kind = greedy.Solver.kind;
+        outcome = Solver.Finished;
+        wall_ms = 1.25;
+        solution = Some sol;
+      };
+      {
+        Solver.solver = "crash-test";
+        kind = Solver.Heuristic;
+        outcome = Solver.Crashed (Failure "boom");
+        wall_ms = 0.5;
+        solution = None;
+      };
+    ]
+  in
+  let solved =
+    { Batch.solution = sol; reports; m = Problem.m problem; n = Problem.n problem }
+  in
+  {
+    Batch.responses =
+      [
+        { Batch.id = "req-0"; outcome = Ok solved; wall_ms = 1.75 };
+        Batch.error_response ~wall_ms:0.25 ~id:"req-1"
+          "bad request: trailing garbage";
+      ];
+    total_ms = 2.0;
+    workers = 2;
+    deadline_ms = Some 200;
+    shared_builds = 1;
+  }
+
+let check_golden ~golden ~dump got =
+  let expected = try read_file golden with Sys_error _ -> "<missing golden>" in
+  if got <> expected then begin
+    let oc = open_out dump in
+    output_string oc got;
+    close_out oc;
+    Alcotest.failf "document deviates from %s (new document dumped to %s)"
+      golden dump
+  end;
+  (* The telemetry parser inverts the emitter on the same document. *)
+  match Telemetry.json_of_string got with
+  | Error e -> Alcotest.fail ("golden document does not parse: " ^ e)
+  | Ok j ->
+      check Alcotest.bool "parser inverts the emitter" true
+        (Telemetry.json_to_string j = got)
+
+let test_result_golden () =
+  let batch = pinned_batch () in
+  let r = List.hd batch.Batch.responses in
+  check_golden ~golden:"golden/result.json" ~dump:"/tmp/result_got.json"
+    (Telemetry.json_to_string (Batch.response_to_json r))
+
+let test_batch_golden () =
+  check_golden ~golden:"golden/batch.json" ~dump:"/tmp/batch_got.json"
+    (Telemetry.json_to_string (Batch.to_json ~label:"golden" (pinned_batch ())))
+
+let tests =
+  [
+    Alcotest.test_case "corpus: batch = single solve" `Quick
+      test_corpus_matches_single;
+    Alcotest.test_case "corpus: batch race = sequential race" `Quick
+      test_corpus_race_bit_identical;
+    Alcotest.test_case "error containment" `Quick test_error_containment;
+    Alcotest.test_case "build dedup by key" `Quick test_build_dedup;
+    Alcotest.test_case "result/1 golden" `Quick test_result_golden;
+    Alcotest.test_case "batch/1 golden" `Quick test_batch_golden;
+  ]

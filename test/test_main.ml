@@ -27,6 +27,7 @@ let () =
       ("wave4", Suite_wave4.tests);
       ("fuzz", Suite_fuzz.tests);
       ("check", Suite_check.tests);
+      ("batch", Suite_batch.tests);
       ("expr", Suite_expr.tests);
       ("robust", Suite_robust.tests);
     ]
