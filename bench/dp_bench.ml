@@ -1,0 +1,363 @@
+(* DP-engine benchmark: the flat-state Mt_dp engine against the
+   original list-of-records engine it replaced, plus the pooled dense
+   oracle build against a forced-sequential build.
+
+   `dune exec bench/dp_bench.exe -- [--seed S] [--out FILE]` solves one
+   pinned exact workload with both engines, cross-checks that their
+   answers are bit-identical (cost, plan, states explored — the flat
+   engine is a representation change, not an algorithm change), and
+   writes a hyperreconf.bench/1 JSON summary (default BENCH_dp.json).
+   Exits non-zero when the engines disagree. *)
+
+module Budget = Hr_util.Budget
+module Pool = Hr_util.Pool
+module Rng = Hr_util.Rng
+module W = Hr_workload
+open Hr_core
+
+(* The pre-flat-state engine, kept verbatim as the benchmark baseline
+   and differential reference.  Exact mode only — the beam branches are
+   retained so the code stays a faithful copy, but the bench never
+   passes ~max_states. *)
+module Reference = struct
+  type outcome = {
+    cost : int;
+    bp : Breakpoints.t;
+    exact : bool;
+    states_explored : int;
+    truncations : int;
+    cut_off : bool;
+  }
+
+  type state = {
+    ends : int array;
+    costs : int array;
+    acc : int;
+    breaks : (int * int) list;
+  }
+
+  let combine_hyper params vs =
+    match params.Sync_cost.hyper with
+    | Sync_cost.Task_parallel -> List.fold_left max 0 vs
+    | Sync_cost.Task_sequential -> List.fold_left ( + ) 0 vs
+
+  let combine_reconf params pub costs =
+    match params.Sync_cost.reconf with
+    | Sync_cost.Task_parallel -> Array.fold_left max pub costs
+    | Sync_cost.Task_sequential -> Array.fold_left ( + ) pub costs
+
+  let pareto_filter states =
+    let groups = Hashtbl.create 256 in
+    List.iter
+      (fun s ->
+        let key = Array.to_list s.ends in
+        let prev = Option.value (Hashtbl.find_opt groups key) ~default:[] in
+        Hashtbl.replace groups key (s :: prev))
+      states;
+    Hashtbl.fold
+      (fun _ group acc ->
+        let deduped =
+          List.fold_left
+            (fun kept a ->
+              if List.exists (fun b -> b.acc = a.acc && b.costs = a.costs) kept
+              then kept
+              else a :: kept)
+            [] group
+        in
+        let strictly_dominates b a =
+          b.acc <= a.acc
+          && Array.for_all2 ( <= ) b.costs a.costs
+          && (b.acc < a.acc || b.costs <> a.costs)
+        in
+        let survivors =
+          List.filter
+            (fun a -> not (List.exists (fun b -> strictly_dominates b a) deduped))
+            deduped
+        in
+        List.rev_append survivors acc)
+      groups []
+
+  let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
+      ?(budget = Hr_util.Budget.unlimited) (oracle : Interval_cost.t) =
+    let m = oracle.Interval_cost.m and n = oracle.Interval_cost.n in
+    let sc = oracle.Interval_cost.step_cost and v = oracle.Interval_cost.v in
+    let beam = max_states <> None in
+    let suffix = Array.make (n + 1) 0 in
+    for i = n - 1 downto 0 do
+      let step_lb =
+        combine_reconf params params.Sync_cost.pub
+          (Array.init m (fun j -> sc j i i))
+      in
+      suffix.(i) <- suffix.(i + 1) + step_lb
+    done;
+    let explored = ref 0 in
+    let truncated = ref false in
+    let truncations = ref 0 in
+    let cut = ref false in
+    let ub = ref (Option.value upper_bound ~default:max_int) in
+    let end_candidates j i =
+      if not beam then List.init (n - i) (fun k -> i + k)
+      else begin
+        let jumps = ref [ n - 1 ] in
+        let last = ref (-1) in
+        for hi = i to n - 1 do
+          let c = sc j i hi in
+          if c <> !last then begin
+            last := c;
+            if hi <> n - 1 then jumps := hi :: !jumps
+          end
+        done;
+        let all = List.sort_uniq compare !jumps in
+        let len = List.length all in
+        if len <= 32 then all
+        else
+          List.filteri
+            (fun k _ -> k mod ((len / 32) + 1) = 0 || k = len - 1)
+            all
+      end
+    in
+    let expand_state i s =
+      let restarting =
+        List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id)
+      in
+      let hyper = combine_hyper params (List.map (fun j -> v.(j)) restarting) in
+      let out = ref [] in
+      let rec go rs ends costs breaks =
+        match rs with
+        | [] ->
+            let reconf = combine_reconf params params.Sync_cost.pub costs in
+            let acc = s.acc + hyper + reconf in
+            if acc + suffix.(i + 1) <= !ub then
+              out := { ends; costs; acc; breaks } :: !out
+        | j :: rest ->
+            List.iter
+              (fun hi ->
+                let ends' = Array.copy ends and costs' = Array.copy costs in
+                ends'.(j) <- hi;
+                costs'.(j) <- sc j i hi;
+                go rest ends' costs' ((j, i) :: breaks))
+              (end_candidates j i)
+      in
+      go restarting s.ends s.costs s.breaks;
+      !out
+    in
+    let prune level =
+      let level = pareto_filter level in
+      explored := !explored + List.length level;
+      match max_states with
+      | Some cap when List.length level > cap ->
+          truncated := true;
+          incr truncations;
+          let scored = List.map (fun s -> (s.acc + suffix.(0), s)) level in
+          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+          List.filteri (fun i _ -> i < cap) sorted |> List.map snd
+      | _ -> level
+    in
+    let virtual_start =
+      { ends = Array.make m (-1); costs = Array.make m 0; acc = 0; breaks = [] }
+    in
+    let rec finish_cheaply i s =
+      if i >= n then s
+      else begin
+        let restarting =
+          List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id)
+        in
+        let hyper =
+          combine_hyper params (List.map (fun j -> v.(j)) restarting)
+        in
+        let ends = Array.copy s.ends and costs = Array.copy s.costs in
+        let breaks = ref s.breaks in
+        List.iter
+          (fun j ->
+            ends.(j) <- n - 1;
+            costs.(j) <- sc j i (n - 1);
+            breaks := (j, i) :: !breaks)
+          restarting;
+        let reconf = combine_reconf params params.Sync_cost.pub costs in
+        finish_cheaply (i + 1)
+          { ends; costs; acc = s.acc + hyper + reconf; breaks = !breaks }
+      end
+    in
+    let rec advance i level =
+      if i >= n then level
+      else if Hr_util.Budget.exhausted budget then begin
+        cut := true;
+        match level with
+        | [] -> []
+        | s0 :: rest ->
+            let best =
+              List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest
+            in
+            [ finish_cheaply i best ]
+      end
+      else
+        let level = prune (List.concat_map (expand_state i) level) in
+        advance (i + 1) level
+    in
+    let final = advance 0 [ virtual_start ] in
+    match final with
+    | [] -> invalid_arg "Reference.solve: upper_bound below the optimum"
+    | s0 :: rest ->
+        let best =
+          List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest
+        in
+        let rows = Array.make m [] in
+        List.iter (fun (j, i) -> rows.(j) <- i :: rows.(j)) best.breaks;
+        {
+          cost = best.acc;
+          bp = Breakpoints.of_rows ~m ~n rows;
+          exact = (not beam) && (not !truncated) && not !cut;
+          states_explored = !explored;
+          truncations = !truncations;
+          cut_off = !cut;
+        }
+end
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Budget.now_ms () in
+    let r = f () in
+    let ms = Budget.now_ms () -. t0 in
+    if ms < !best then best := ms;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let parse_args () =
+  let seed = ref 2004 and out = ref "BENCH_dp.json" in
+  let rec go = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        go rest
+    | "--out" :: v :: rest ->
+        out := v;
+        go rest
+    | a :: _ -> failwith ("dp_bench: unknown argument " ^ a)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!seed, !out)
+
+(* Pinned exact workload: m=3 keeps n^m under the exact-mode cap while
+   the frontier is still large enough that the Pareto filter dominates
+   the old engine's runtime. *)
+let dp_spec =
+  {
+    W.Multi_gen.default_spec with
+    W.Multi_gen.m = 3;
+    n = 30;
+    local_sizes = [| 8; 8; 8 |];
+  }
+
+(* Oracle-build workload: m=6 so the per-task table builds have real
+   parallelism to mine, n sized so a sequential build takes long enough
+   to time reliably. *)
+let oracle_spec =
+  {
+    W.Multi_gen.default_spec with
+    W.Multi_gen.m = 6;
+    n = 440;
+    local_sizes = [| 8; 8; 8; 8; 8; 24 |];
+  }
+
+let () =
+  let seed, out = parse_args () in
+
+  (* --- flat vs reference DP engine ---------------------------------- *)
+  let ts = W.Multi_gen.independent (Rng.create seed) dp_spec in
+  let oracle = Interval_cost.precompute (Interval_cost.of_task_set ts) in
+  ignore (Mt_dp.solve oracle) (* warm: heap sizing, oracle pages *);
+  let flat, flat_ms = time_best ~reps:3 (fun () -> Mt_dp.solve oracle) in
+  let refr, ref_ms = time_best ~reps:2 (fun () -> Reference.solve oracle) in
+  let agree =
+    refr.Reference.cost = flat.Mt_dp.cost
+    && Breakpoints.equal refr.Reference.bp flat.Mt_dp.bp
+    && refr.Reference.states_explored = flat.Mt_dp.states_explored
+    && refr.Reference.exact && flat.Mt_dp.exact
+    && refr.Reference.truncations = 0
+    && (not refr.Reference.cut_off)
+    && not flat.Mt_dp.cut_off
+  in
+  let per_s states ms = 1000. *. float_of_int states /. ms in
+  let dp_speedup = ref_ms /. flat_ms in
+
+  (* --- pooled vs sequential oracle build ---------------------------- *)
+  let ots = W.Multi_gen.independent (Rng.create (seed + 1)) oracle_spec in
+  let build pool () =
+    Interval_cost.precompute ~pool (Interval_cost.of_task_set ~pool ots)
+  in
+  (* A shut-down pool runs everything caller-side — the documented
+     degraded mode — which forces a sequential build without a separate
+     code path. *)
+  let dead = Pool.create ~workers:1 () in
+  Pool.shutdown dead;
+  let live = Pool.default () in
+  ignore (build live ()) (* warm *);
+  let _, seq_ms = time_best ~reps:2 (build dead) in
+  let pooled_oracle, pooled_ms = time_best ~reps:2 (build live) in
+  let stats = Interval_cost.cache_stats pooled_oracle in
+  let build_speedup = seq_ms /. pooled_ms in
+
+  let doc =
+    Telemetry.Obj
+      [
+        ("schema", Telemetry.String "hyperreconf.bench/1");
+        ("bench", Telemetry.String "dp-engine");
+        ("seed", Telemetry.Int seed);
+        ( "dp",
+          Telemetry.Obj
+            [
+              ("m", Telemetry.Int dp_spec.W.Multi_gen.m);
+              ("n", Telemetry.Int dp_spec.W.Multi_gen.n);
+              ("cost", Telemetry.Int flat.Mt_dp.cost);
+              ("states", Telemetry.Int flat.Mt_dp.states_explored);
+              ("engines_agree", Telemetry.Bool agree);
+              ("reference_ms", Telemetry.Float ref_ms);
+              ("flat_ms", Telemetry.Float flat_ms);
+              ( "reference_states_per_s",
+                Telemetry.Float (per_s refr.Reference.states_explored ref_ms) );
+              ( "flat_states_per_s",
+                Telemetry.Float (per_s flat.Mt_dp.states_explored flat_ms) );
+              ("speedup", Telemetry.Float dp_speedup);
+            ] );
+        ( "oracle_build",
+          Telemetry.Obj
+            [
+              ("m", Telemetry.Int oracle_spec.W.Multi_gen.m);
+              ("n", Telemetry.Int oracle_spec.W.Multi_gen.n);
+              ("cells", Telemetry.Int stats.Interval_cost.cells);
+              ("sequential_ms", Telemetry.Float seq_ms);
+              ("pooled_ms", Telemetry.Float pooled_ms);
+              ("speedup", Telemetry.Float build_speedup);
+              ("build_workers", Telemetry.Int stats.Interval_cost.build_workers);
+              ("build_ms", Telemetry.Float stats.Interval_cost.build_ms);
+              ( "build_seq_ms",
+                Telemetry.Float stats.Interval_cost.build_seq_ms );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Telemetry.json_to_string doc);
+  close_out oc;
+  Printf.printf
+    "dp-engine: m=%d n=%d | reference %.1f ms (%.0f states/s) | flat %.1f ms \
+     (%.0f states/s) | speedup %.1fx\n\
+     oracle-build: m=%d n=%d (%d cells) | sequential %.1f ms | pooled %.1f ms \
+     (%d workers) | speedup %.1fx | summary %s\n"
+    dp_spec.W.Multi_gen.m dp_spec.W.Multi_gen.n ref_ms
+    (per_s refr.Reference.states_explored ref_ms)
+    flat_ms
+    (per_s flat.Mt_dp.states_explored flat_ms)
+    dp_speedup oracle_spec.W.Multi_gen.m oracle_spec.W.Multi_gen.n
+    stats.Interval_cost.cells seq_ms pooled_ms
+    stats.Interval_cost.build_workers build_speedup out;
+  if not agree then begin
+    Printf.eprintf
+      "dp_bench: flat engine deviates from the reference engine (cost %d vs \
+       %d, states %d vs %d)\n"
+      flat.Mt_dp.cost refr.Reference.cost flat.Mt_dp.states_explored
+      refr.Reference.states_explored;
+    exit 1
+  end

@@ -101,10 +101,10 @@ let test_mesh_resolve =
         fun () -> Hr_rmesh.Grid.resolve grid config))
 
 (* The oracle caches behind Problem.make: the dense precomputed tables
-   (lock-free reads) vs the Mutex-guarded memoizer, under a query storm
-   on one domain and spread across all domains — the access pattern of
-   Solver.race.  Both caches are built and prewarmed before staging, so
-   steady-state lookups are what is measured. *)
+   (lock-free reads) vs the sharded lock-free memoizer, under a query
+   storm on one domain and spread across all domains — the access
+   pattern of Solver.race.  Both caches are built and prewarmed before
+   staging, so steady-state lookups are what is measured. *)
 let oracle_cache_tests =
   let base =
     lazy
@@ -153,10 +153,10 @@ let oracle_cache_tests =
       Test.make ~name:(Printf.sprintf "interval_cost/%s" name)
         (Staged.stage (fun () -> storm ~domains (Lazy.force cached))))
     [
-      ("mutex-memoize-1dom", Interval_cost.memoize, 1);
-      ("dense-precompute-1dom", Interval_cost.precompute ?max_cells:None, 1);
-      ("mutex-memoize-4dom", Interval_cost.memoize, 4);
-      ("dense-precompute-4dom", Interval_cost.precompute ?max_cells:None, 4);
+      ("sharded-memoize-1dom", Interval_cost.memoize, 1);
+      ("dense-precompute-1dom", (fun o -> Interval_cost.precompute o), 1);
+      ("sharded-memoize-4dom", Interval_cost.memoize, 4);
+      ("dense-precompute-4dom", (fun o -> Interval_cost.precompute o), 4);
     ]
 
 (* The referee VM (differential oracle of the §4.2 formulas). *)

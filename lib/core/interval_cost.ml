@@ -1,7 +1,18 @@
+module Pool = Hr_util.Pool
+
 type cache =
   | Direct
-  | Memoized of { hits : int Atomic.t; misses : int Atomic.t }
-  | Dense of { cells : int; build_ms : float }
+  | Memoized of {
+      hits : int Atomic.t;
+      misses : int Atomic.t;
+      entries : int Atomic.t;
+    }
+  | Dense of {
+      cells : int;
+      build_ms : float;
+      build_workers : int;
+      build_seq_ms : float;
+    }
 
 type cache_stats = {
   kind : string;
@@ -9,6 +20,8 @@ type cache_stats = {
   misses : int;
   cells : int;
   build_ms : float;
+  build_workers : int;
+  build_seq_ms : float;
 }
 
 type t = {
@@ -21,17 +34,36 @@ type t = {
 
 let cache_stats t =
   match t.cache with
-  | Direct -> { kind = "direct"; hits = 0; misses = 0; cells = 0; build_ms = 0. }
-  | Memoized { hits; misses } ->
+  | Direct ->
+      {
+        kind = "direct";
+        hits = 0;
+        misses = 0;
+        cells = 0;
+        build_ms = 0.;
+        build_workers = 1;
+        build_seq_ms = 0.;
+      }
+  | Memoized { hits; misses; entries } ->
       {
         kind = "memoize";
         hits = Atomic.get hits;
         misses = Atomic.get misses;
-        cells = Atomic.get misses;
+        cells = Atomic.get entries;
         build_ms = 0.;
+        build_workers = 1;
+        build_seq_ms = 0.;
       }
-  | Dense { cells; build_ms } ->
-      { kind = "dense"; hits = 0; misses = 0; cells; build_ms }
+  | Dense { cells; build_ms; build_workers; build_seq_ms } ->
+      {
+        kind = "dense";
+        hits = 0;
+        misses = 0;
+        cells;
+        build_ms;
+        build_workers;
+        build_seq_ms;
+      }
 
 let make ~m ~n ~v ~step_cost =
   if m <= 0 then invalid_arg "Interval_cost.make: m must be positive";
@@ -39,72 +71,134 @@ let make ~m ~n ~v ~step_cost =
   if Array.length v <> m then invalid_arg "Interval_cost.make: |v| <> m";
   { m; n; v = Array.copy v; step_cost; cache = Direct }
 
-let of_task_set ts =
+(* Oracle builds whose dense table would stay below this many cells run
+   sequentially — queue traffic would dominate the row loops. *)
+let parallel_build_cells = 1 lsl 16
+
+let of_task_set ?pool ts =
   let m = Task_set.num_tasks ts in
   let n = Task_set.steps ts in
   let v = Array.init m (fun j -> (Task_set.get ts j).Task_set.v) in
+  let pool =
+    match pool with
+    | Some _ -> pool
+    | None -> if m * n * n >= parallel_build_cells then Some (Pool.default ()) else None
+  in
+  (* Multi-task sets parallelize across tasks; a single task hands the
+     pool down so Range_union parallelizes across its lo rows
+     instead. *)
+  let mk j = Range_union.make ?pool:(if m = 1 then pool else None) (Task_set.get ts j).Task_set.trace in
   let tables =
-    Array.init m (fun j -> Range_union.make (Task_set.get ts j).Task_set.trace)
+    match pool with
+    | Some p when m > 1 -> Pool.map p mk (Array.init m Fun.id)
+    | _ -> Array.init m mk
   in
   let step_cost j lo hi = Range_union.size tables.(j) lo hi in
   make ~m ~n ~v ~step_cost
 
-let of_single ~v trace = of_task_set (Task_set.single ~name:"task" ~v trace)
+let of_single ?pool ~v trace = of_task_set ?pool (Task_set.single ~name:"task" ~v trace)
+
+(* The memoize fallback: a sharded, fixed-capacity, lock-free cache.
+   Each slot is an [Atomic.t] holding an immutable (key, value) pair;
+   inserts publish with a single compare-and-set against the shared
+   empty sentinel, reads are one [Atomic.get] — racing solver domains
+   never serialize on a lock.  A full probe window simply computes
+   without caching (bounded memory; the hot triples win the slots). *)
+let memo_shards = 64
+let memo_slots = 4096 (* per shard; must be a power of two *)
+let memo_probe_limit = 16
 
 let memoize t =
-  (* Mutex-protected so memoized oracles stay safe under the parallel
-     GA evaluation (Hr_evolve.Ga with domains > 1). *)
-  let cache = Hashtbl.create 4096 in
-  let lock = Mutex.create () in
-  let hits = Atomic.make 0 and misses = Atomic.make 0 in
+  let empty = (min_int, 0) in
+  let table = Array.init (memo_shards * memo_slots) (fun _ -> Atomic.make empty) in
+  let hits = Atomic.make 0 and misses = Atomic.make 0 and entries = Atomic.make 0 in
   let step_cost j lo hi =
-    let key = ((j * t.n) + lo) * t.n + hi in
-    Mutex.lock lock;
-    let hit = Hashtbl.find_opt cache key in
-    Mutex.unlock lock;
-    match hit with
-    | Some c ->
-        Atomic.incr hits;
-        c
-    | None ->
+    let key = (((j * t.n) + lo) * t.n) + hi in
+    let h = key * 0x2545F4914F6CDD1D in
+    let base = (h land (memo_shards - 1)) * memo_slots in
+    let slot0 = (h lsr 6) land (memo_slots - 1) in
+    let rec probe k =
+      if k >= memo_probe_limit then begin
         Atomic.incr misses;
-        let c = t.step_cost j lo hi in
-        Mutex.lock lock;
-        Hashtbl.replace cache key c;
-        Mutex.unlock lock;
-        c
+        t.step_cost j lo hi
+      end
+      else begin
+        let slot = table.(base + ((slot0 + k) land (memo_slots - 1))) in
+        let ck, cv = Atomic.get slot in
+        if ck = key then begin
+          Atomic.incr hits;
+          cv
+        end
+        else if ck = min_int then begin
+          Atomic.incr misses;
+          let c = t.step_cost j lo hi in
+          if Atomic.compare_and_set slot empty (key, c) then Atomic.incr entries;
+          c
+        end
+        else probe (k + 1)
+      end
+    in
+    probe 0
   in
-  { t with step_cost; cache = Memoized { hits; misses } }
+  { t with step_cost; cache = Memoized { hits; misses; entries } }
 
 let default_max_cells = 16_000_000
 
-let precompute ?(max_cells = default_max_cells) t =
-  if t.n = 0 then t
-  else if t.m * t.n * t.n > max_cells then memoize t
-  else begin
-    (* One flat triangular-ish table per task: lock-free reads, so the
-       same oracle can be shared by solvers racing on several domains
-       without the Mutex round-trip of [memoize]. *)
-    let t0 = Hr_util.Budget.now_ms () in
-    let n = t.n in
-    let tabs =
-      Array.init t.m (fun j ->
-          let tab = Array.make (n * n) 0 in
-          for lo = 0 to n - 1 do
-            for hi = lo to n - 1 do
-              tab.((lo * n) + hi) <- t.step_cost j lo hi
-            done
-          done;
-          tab)
-    in
-    let step_cost j lo hi = tabs.(j).((lo * n) + hi) in
-    {
-      t with
-      step_cost;
-      cache =
-        Dense
-          { cells = t.m * n * n; build_ms = Hr_util.Budget.now_ms () -. t0 };
-    }
-  end
+let precompute ?(max_cells = default_max_cells) ?pool t =
+  match t.cache with
+  (* Already materialized (or already fallen back): re-densifying would
+     only copy the table.  Short-circuiting keeps per-solve calls
+     (Mt_ga, Mt_local, Mt_anneal under Solver.race) free once
+     Problem.make has built the shared tables. *)
+  | Dense _ -> t
+  | Memoized _ when t.m * t.n * t.n > max_cells -> t
+  | _ when t.n = 0 -> t
+  | _ when t.m * t.n * t.n > max_cells -> memoize t
+  | _ ->
+      (* One flat table: lock-free reads, so the same oracle can be
+         shared by solvers racing on several domains without the
+         sentinel-CAS round of [memoize].  Rows ((task, lo) pairs) are
+         independent, so they build in parallel on the pool; per-chunk
+         wall clocks accumulate into the sequential-equivalent build
+         time reported by {!cache_stats}. *)
+      let n = t.n and m = t.m in
+      let cells = m * n * n in
+      let pool =
+        match pool with
+        | Some _ -> pool
+        | None -> if cells >= parallel_build_cells then Some (Pool.default ()) else None
+      in
+      let t0 = Hr_util.Budget.now_ms () in
+      let tab = Array.make cells 0 in
+      let seq_us = Atomic.make 0 in
+      let fill_rows r_lo r_hi =
+        let c0 = Hr_util.Budget.now_ms () in
+        for r = r_lo to r_hi do
+          let j = r / n and lo = r mod n in
+          let base = (((j * n) + lo) * n) in
+          for hi = lo to n - 1 do
+            tab.(base + hi) <- t.step_cost j lo hi
+          done
+        done;
+        ignore
+          (Atomic.fetch_and_add seq_us
+             (int_of_float ((Hr_util.Budget.now_ms () -. c0) *. 1000.)))
+      in
+      let build_workers =
+        match pool with
+        | Some p ->
+            Pool.iter_chunks ~chunks:(min (m * n) ((Pool.size p + 1) * 4)) p
+              fill_rows (m * n);
+            Pool.size p + 1
+        | None ->
+            fill_rows 0 ((m * n) - 1);
+            1
+      in
+      let step_cost j lo hi = tab.((((j * n) + lo) * n) + hi) in
+      let build_ms = Hr_util.Budget.now_ms () -. t0 in
+      let build_seq_ms =
+        if build_workers = 1 then build_ms else float_of_int (Atomic.get seq_us) /. 1000.
+      in
+      { t with step_cost; cache = Dense { cells; build_ms; build_workers; build_seq_ms } }
 
 let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

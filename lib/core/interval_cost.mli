@@ -34,48 +34,75 @@ type t = {
 }
 
 (** A telemetry snapshot of the oracle's cache.  [kind] is ["direct"]
-    (no cache), ["memoize"] (Mutex hash table; [hits]/[misses] count
-    queries, [cells] = distinct cached entries = misses) or ["dense"]
-    ([cells] = m·n² precomputed table cells, built in [build_ms]
-    wall-clock milliseconds; lookups are uncounted array reads). *)
+    (no cache), ["memoize"] (sharded lock-free cache; [hits]/[misses]
+    count queries, [cells] counts the distinct entries actually
+    resident — {e not} the miss count: a miss that lost its slot race
+    or found its probe window full computes without caching) or
+    ["dense"] ([cells] = m·n² precomputed table cells; lookups are
+    uncounted array reads).
+
+    The build-parallelism fields describe how a dense table was
+    materialized: [build_ms] is the wall-clock build time,
+    [build_workers] the number of domains that participated (pool
+    workers plus the calling domain; 1 for a sequential build), and
+    [build_seq_ms] the sequential-equivalent build time (the summed
+    per-chunk wall clocks — what one domain would have paid), so
+    [build_seq_ms /. build_ms] is the measured build speedup.  For
+    sequential builds [build_seq_ms = build_ms]; for non-dense caches
+    both report their idle defaults (workers 1, 0 ms). *)
 type cache_stats = {
   kind : string;
   hits : int;
   misses : int;
   cells : int;
   build_ms : float;
+  build_workers : int;
+  build_seq_ms : float;
 }
 
 (** [cache_stats t] — counters are cumulative over the oracle's
     lifetime and safe to read while other domains query it. *)
 val cache_stats : t -> cache_stats
 
-(** [of_task_set ts] is the MT-Switch oracle: [step_cost j lo hi =
-    |U_j(lo,hi)|].  Precomputes the per-task interval-union tables. *)
-val of_task_set : Task_set.t -> t
+(** [of_task_set ?pool ts] is the MT-Switch oracle: [step_cost j lo hi =
+    |U_j(lo,hi)|].  Precomputes the per-task interval-union tables —
+    in parallel on [pool] across tasks (and across [lo] rows for
+    single-task sets, via {!Range_union.make}).  Without [pool], large
+    builds (≥ ~64k cells) run on the shared {!Hr_util.Pool.default};
+    small ones stay sequential.  The tables are elementwise identical
+    either way. *)
+val of_task_set : ?pool:Hr_util.Pool.t -> Task_set.t -> t
 
-(** [of_single ~v trace] is the single-task switch oracle. *)
-val of_single : v:int -> Trace.t -> t
+(** [of_single ?pool ~v trace] is the single-task switch oracle. *)
+val of_single : ?pool:Hr_util.Pool.t -> v:int -> Trace.t -> t
 
 (** [make ~m ~n ~v ~step_cost] builds a custom oracle (used by the DAG
     and General models). *)
 val make : m:int -> n:int -> v:int array -> step_cost:(int -> int -> int -> int) -> t
 
-(** [memoize t] caches [step_cost] results in a Mutex-protected hash
-    table — the fallback cache for instances too large for
-    {!precompute}.  Prefer {!precompute}: it is lock-free. *)
+(** [memoize t] caches [step_cost] results in a sharded lock-free table
+    (fixed capacity, compare-and-set inserts, plain atomic reads) — the
+    fallback cache for instances too large for {!precompute}.  Racing
+    solver domains never serialize on a lock; when a shard's probe
+    window is full, queries compute without caching, so memory stays
+    bounded while the hot triples keep their slots.  Prefer
+    {!precompute} whenever the dense table fits. *)
 val memoize : t -> t
 
-(** [precompute ?max_cells t] materializes every [step_cost j lo hi]
-    into dense per-task arrays in O(m·n²) oracle calls.  Queries become
-    lock-free O(1) array reads, safe to share across domains (used by
-    {!Solver.race} and the parallel metaheuristics), and strictly
-    cheaper than the Mutex hash path of {!memoize}.  When the table
-    would exceed [max_cells] ints (default 16M) it falls back to
-    {!memoize}.  Idempotent up to a cheap table copy — {!Problem.make}
-    calls it once per instance so every registered solver shares the
-    same tables. *)
-val precompute : ?max_cells:int -> t -> t
+(** [precompute ?max_cells ?pool t] materializes every
+    [step_cost j lo hi] into one flat dense array in O(m·n²) oracle
+    calls.  Queries become lock-free O(1) array reads, safe to share
+    across domains (used by {!Solver.race} and the parallel
+    metaheuristics).  The independent (task, lo) rows build in parallel
+    on [pool] — defaulting to the shared {!Hr_util.Pool.default} for
+    tables of ≥ ~64k cells, sequential below — and the build records
+    wall/sequential-equivalent times and worker count in
+    {!cache_stats}.  When the table would exceed [max_cells] ints
+    (default 16M) it falls back to {!memoize}.  Idempotent and free on
+    an already-dense (or already-fallen-back) oracle — {!Problem.make}
+    calls it once per instance and every registered solver then shares
+    the same tables. *)
+val precompute : ?max_cells:int -> ?pool:Hr_util.Pool.t -> t -> t
 
 (** [full_cost t j] is [step_cost j 0 (n-1)]: the per-step cost of the
     never-hyperreconfigure hypercontext of task [j]. *)

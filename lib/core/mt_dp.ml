@@ -7,58 +7,70 @@ type outcome = {
   cut_off : bool;
 }
 
-type state = {
-  ends : int array;  (* committed block end per task *)
-  costs : int array;  (* per-step cost of the committed block per task *)
-  acc : int;  (* cost accumulated through the current step *)
-  breaks : (int * int) list;  (* (task, step) hyperreconfigurations so far *)
+(* The flat-state engine.
+
+   A DP level is a structure-of-arrays buffer: state [s] keeps its
+   per-task committed block ends and per-step costs in the slices
+   [s*m .. s*m + m - 1] of two flat int arrays, its accumulated cost in
+   [acc.(s)] and its hyperreconfiguration history in [breaks.(s)]
+   (an immutable list, so levels share tails).  Dominated states are
+   tombstoned via [alive] instead of being moved, which keeps the
+   per-key bucket indices stable. *)
+type level = {
+  mutable ends : int array;
+  mutable costs : int array;
+  mutable acc : int array;
+  mutable breaks : (int * int) list array;
+  mutable alive : bool array;
+  mutable len : int;
 }
 
-let combine_hyper params vs =
-  match params.Sync_cost.hyper with
-  | Sync_cost.Task_parallel -> List.fold_left max 0 vs
-  | Sync_cost.Task_sequential -> List.fold_left ( + ) 0 vs
+let make_level m cap =
+  {
+    ends = Array.make (cap * m) 0;
+    costs = Array.make (cap * m) 0;
+    acc = Array.make cap 0;
+    breaks = Array.make cap [];
+    alive = Array.make cap false;
+    len = 0;
+  }
 
-let combine_reconf params pub costs =
-  match params.Sync_cost.reconf with
-  | Sync_cost.Task_parallel -> Array.fold_left max pub costs
-  | Sync_cost.Task_sequential -> Array.fold_left ( + ) pub costs
+let grow_level m lv =
+  let cap = Array.length lv.acc in
+  let cap' = 2 * cap in
+  let e = Array.make (cap' * m) 0 in
+  Array.blit lv.ends 0 e 0 (cap * m);
+  lv.ends <- e;
+  let c = Array.make (cap' * m) 0 in
+  Array.blit lv.costs 0 c 0 (cap * m);
+  lv.costs <- c;
+  let a = Array.make cap' 0 in
+  Array.blit lv.acc 0 a 0 cap;
+  lv.acc <- a;
+  let b = Array.make cap' [] in
+  Array.blit lv.breaks 0 b 0 cap;
+  lv.breaks <- b;
+  let al = Array.make cap' false in
+  Array.blit lv.alive 0 al 0 cap;
+  lv.alive <- al
 
-(* Keep, per block-end vector, only the Pareto-optimal (costs, acc)
-   states: with equal ends the future of a state depends only on its
-   per-step costs, so componentwise domination is safe. *)
-let pareto_filter states =
-  let groups = Hashtbl.create 256 in
-  List.iter
-    (fun s ->
-      let key = Array.to_list s.ends in
-      let prev = Option.value (Hashtbl.find_opt groups key) ~default:[] in
-      Hashtbl.replace groups key (s :: prev))
-    states;
-  Hashtbl.fold
-    (fun _ group acc ->
-      (* Dedupe equal (costs, acc) pairs first so that strict-domination
-         filtering below cannot drop two mutually equal states. *)
-      let deduped =
-        List.fold_left
-          (fun kept a ->
-            if List.exists (fun b -> b.acc = a.acc && b.costs = a.costs) kept then
-              kept
-            else a :: kept)
-          [] group
-      in
-      let strictly_dominates b a =
-        b.acc <= a.acc
-        && Array.for_all2 ( <= ) b.costs a.costs
-        && (b.acc < a.acc || b.costs <> a.costs)
-      in
-      let survivors =
-        List.filter
-          (fun a -> not (List.exists (fun b -> strictly_dominates b a) deduped))
-          deduped
-      in
-      List.rev_append survivors acc)
-    groups []
+let push_state m lv ~ends ~costs ~acc ~breaks =
+  if lv.len >= Array.length lv.acc then grow_level m lv;
+  let s = lv.len in
+  Array.blit ends 0 lv.ends (s * m) m;
+  Array.blit costs 0 lv.costs (s * m) m;
+  lv.acc.(s) <- acc;
+  lv.breaks.(s) <- breaks;
+  lv.alive.(s) <- true;
+  lv.len <- s + 1;
+  s
+
+(* The cooperative budget is polled every [poll_mask + 1] emitted
+   states, so even one huge level cannot overshoot a deadline by more
+   than a few thousand expansions. *)
+let poll_mask = 4095
+
+exception Cut
 
 let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
     ?(budget = Hr_util.Budget.unlimited) (oracle : Interval_cost.t) =
@@ -76,139 +88,333 @@ let solve ?(params = Sync_cost.default_params) ?upper_bound ?max_states
         "Mt_dp.solve: instance too large for the exact DP (n^m initial states); \
          pass ~max_states for a beam search or use Mt_ga/Mt_anneal"
   end;
+  let hyper_par = params.Sync_cost.hyper = Sync_cost.Task_parallel in
+  let reconf_par = params.Sync_cost.reconf = Sync_cost.Task_parallel in
+  let pub = params.Sync_cost.pub in
+  let combine_reconf costs =
+    if reconf_par then begin
+      let r = ref pub in
+      for t = 0 to m - 1 do
+        if costs.(t) > !r then r := costs.(t)
+      done;
+      !r
+    end
+    else begin
+      let r = ref pub in
+      for t = 0 to m - 1 do
+        r := !r + costs.(t)
+      done;
+      !r
+    end
+  in
   (* suffix.(i) = Σ_{k=i}^{n-1} (reconf lower bound of step k): each step
      pays at least the combined per-requirement costs. *)
   let suffix = Array.make (n + 1) 0 in
   for i = n - 1 downto 0 do
-    let step_lb =
-      combine_reconf params params.Sync_cost.pub (Array.init m (fun j -> sc j i i))
-    in
-    suffix.(i) <- suffix.(i + 1) + step_lb
+    suffix.(i) <- suffix.(i + 1) + combine_reconf (Array.init m (fun j -> sc j i i))
   done;
   let explored = ref 0 in
   let truncated = ref false in
   let truncations = ref 0 in
   let cut = ref false in
-  let ub = ref (Option.value upper_bound ~default:max_int) in
-  (* End choices for a task restarting at step i.  Exact mode: all of
-     them.  Beam mode: the ends where the block cost jumps to a new
-     value (the distinct-hypercontext frontier) capped at 32 — the beam
-     is heuristic anyway and this keeps the fan-out bounded. *)
-  let end_candidates j i =
-    if not beam then List.init (n - i) (fun k -> i + k)
-    else begin
-      let jumps = ref [ n - 1 ] in
-      let last = ref (-1) in
-      for hi = i to n - 1 do
-        let c = sc j i hi in
-        if c <> !last then begin
-          last := c;
-          if hi <> n - 1 then jumps := hi :: !jumps
-        end
+  let ub = Option.value upper_bound ~default:max_int in
+  (* ---- packed state keys ----
+     A state's future depends only on its block-end vector, so Pareto
+     buckets are keyed by it.  Each end is in [-1 .. n-1]; shifted by
+     one it fits [key_bits] bits, and the whole vector packs into one
+     int whenever m·key_bits ≤ 62 — always true on the exact path
+     (n^m ≤ 2·10⁶ bounds m·log₂ n).  Beam instances above the packing
+     limit fall back to a string key. *)
+  let key_bits =
+    let rec bits x = if x = 0 then 0 else 1 + bits (x lsr 1) in
+    max 1 (bits n)
+  in
+  let packable = m * key_bits <= 62 in
+  let ibuckets : (int, int list ref) Hashtbl.t =
+    Hashtbl.create (if packable then 1024 else 1)
+  in
+  let sbuckets : (string, int list ref) Hashtbl.t =
+    Hashtbl.create (if packable then 1 else 1024)
+  in
+  let bucket_of ends =
+    if packable then begin
+      let k = ref 0 in
+      for j = 0 to m - 1 do
+        k := (!k lsl key_bits) lor (ends.(j) + 1)
       done;
-      let all = List.sort_uniq compare !jumps in
-      let len = List.length all in
-      if len <= 32 then all
-      else List.filteri (fun k _ -> k mod ((len / 32) + 1) = 0 || k = len - 1) all
+      match Hashtbl.find_opt ibuckets !k with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add ibuckets !k b;
+          b
+    end
+    else begin
+      let bytes = Bytes.create (m * 8) in
+      for j = 0 to m - 1 do
+        Bytes.set_int64_le bytes (j * 8) (Int64.of_int ends.(j))
+      done;
+      let k = Bytes.unsafe_to_string bytes in
+      match Hashtbl.find_opt sbuckets k with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add sbuckets k b;
+          b
+    end
+  in
+  let reset_buckets () =
+    if packable then Hashtbl.reset ibuckets else Hashtbl.reset sbuckets
+  in
+  (* Incremental Pareto maintenance: a candidate is inserted only if no
+     bucket member weakly dominates it (covers exact duplicates too),
+     and evicts the members it weakly dominates — the surviving set is
+     exactly the Pareto filter of the whole level. *)
+  let live = ref 0 in
+  let insert next sc_ends sc_costs acc_v brk =
+    let bucket = bucket_of sc_ends in
+    let dominated =
+      List.exists
+        (fun s ->
+          next.acc.(s) <= acc_v
+          &&
+          let base = s * m in
+          let rec le t = t >= m || (next.costs.(base + t) <= sc_costs.(t) && le (t + 1)) in
+          le 0)
+        !bucket
+    in
+    if not dominated then begin
+      bucket :=
+        List.filter
+          (fun s ->
+            let dom =
+              acc_v <= next.acc.(s)
+              &&
+              let base = s * m in
+              let rec le t =
+                t >= m || (sc_costs.(t) <= next.costs.(base + t) && le (t + 1))
+              in
+              le 0
+            in
+            if dom then begin
+              next.alive.(s) <- false;
+              decr live
+            end;
+            not dom)
+          !bucket;
+      let s = push_state m next ~ends:sc_ends ~costs:sc_costs ~acc:acc_v ~breaks:brk in
+      bucket := s :: !bucket;
+      incr live
+    end
+  in
+  (* End choices for a task restarting at step i, memoized per
+     (task, step) — every state of a level reuses the same array.
+     Exact mode: all of them (task-independent).  Beam mode: the ends
+     where the block cost jumps to a new value (the
+     distinct-hypercontext frontier) capped at 32 — the beam is
+     heuristic anyway and this keeps the fan-out bounded. *)
+  let exact_cands : int array array = if beam then [||] else Array.make n [||] in
+  let beam_cands : int array array = if beam then Array.make (m * n) [||] else [||] in
+  let beam_jumps j i =
+    let jumps = ref [ n - 1 ] in
+    let last = ref (-1) in
+    for hi = i to n - 1 do
+      let c = sc j i hi in
+      if c <> !last then begin
+        last := c;
+        if hi <> n - 1 then jumps := hi :: !jumps
+      end
+    done;
+    let all = List.sort_uniq compare !jumps in
+    let len = List.length all in
+    if len <= 32 then all
+    else List.filteri (fun k _ -> k mod ((len / 32) + 1) = 0 || k = len - 1) all
+  in
+  let candidates j i =
+    if not beam then begin
+      let c = exact_cands.(i) in
+      if Array.length c > 0 then c
+      else begin
+        let c = Array.init (n - i) (fun k -> i + k) in
+        exact_cands.(i) <- c;
+        c
+      end
+    end
+    else begin
+      let idx = (j * n) + i in
+      let c = beam_cands.(idx) in
+      if Array.length c > 0 then c
+      else begin
+        let c = Array.of_list (beam_jumps j i) in
+        beam_cands.(idx) <- c;
+        c
+      end
     end
   in
   (* Expand a state across step [i]: tasks whose block ended at [i-1]
-     (for the initial level: all tasks, signalled by ends.(j) = -1)
-     restart with a new block end, then the step's costs are charged. *)
-  let expand_state i s =
-    let restarting = List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id) in
-    let hyper = combine_hyper params (List.map (fun j -> v.(j)) restarting) in
-    let out = ref [] in
-    let rec go rs ends costs breaks =
-      match rs with
-      | [] ->
-          let reconf = combine_reconf params params.Sync_cost.pub costs in
-          let acc = s.acc + hyper + reconf in
-          if acc + suffix.(i + 1) <= !ub then
-            out := { ends; costs; acc; breaks } :: !out
-      | j :: rest ->
-          List.iter
-            (fun hi ->
-              let ends' = Array.copy ends and costs' = Array.copy costs in
-              ends'.(j) <- hi;
-              costs'.(j) <- sc j i hi;
-              go rest ends' costs' ((j, i) :: breaks))
-            (end_candidates j i)
+     (for the initial level: all tasks, signalled by end = -1) restart
+     with a new block end, then the step's costs are charged.  The
+     odometer walks the candidate cross-product on two scratch arrays;
+     states are copied only when they survive dominance insertion. *)
+  let sc_ends = Array.make m 0 and sc_costs = Array.make m 0 in
+  let restart_buf = Array.make m 0 in
+  let emitted = ref 0 in
+  let expand cur si i next =
+    let base = si * m in
+    Array.blit cur.ends base sc_ends 0 m;
+    Array.blit cur.costs base sc_costs 0 m;
+    let nrestart = ref 0 in
+    for j = 0 to m - 1 do
+      if sc_ends.(j) = i - 1 then begin
+        restart_buf.(!nrestart) <- j;
+        incr nrestart
+      end
+    done;
+    let nrestart = !nrestart in
+    let hyper = ref 0 in
+    for r = 0 to nrestart - 1 do
+      let vj = v.(restart_buf.(r)) in
+      if hyper_par then begin
+        if vj > !hyper then hyper := vj
+      end
+      else hyper := !hyper + vj
+    done;
+    let brk = ref cur.breaks.(si) in
+    for r = 0 to nrestart - 1 do
+      brk := (restart_buf.(r), i) :: !brk
+    done;
+    let brk = !brk in
+    let acc0 = cur.acc.(si) + !hyper in
+    let bound = suffix.(i + 1) in
+    let rec go r =
+      if r = nrestart then begin
+        incr emitted;
+        if !emitted land poll_mask = 0 && Hr_util.Budget.exhausted budget then
+          raise Cut;
+        let acc_v = acc0 + combine_reconf sc_costs in
+        if acc_v + bound <= ub then insert next sc_ends sc_costs acc_v brk
+      end
+      else begin
+        let j = restart_buf.(r) in
+        let cands = candidates j i in
+        for ci = 0 to Array.length cands - 1 do
+          let hi = cands.(ci) in
+          sc_ends.(j) <- hi;
+          sc_costs.(j) <- sc j i hi;
+          go (r + 1)
+        done
+      end
     in
-    go restarting s.ends s.costs s.breaks;
-    !out
+    go 0
   in
-  let prune level =
-    let level = pareto_filter level in
-    explored := !explored + List.length level;
+  (* Beam truncation: keep the cap most promising live states (lowest
+     accumulated cost, insertion order on ties) and tombstone the
+     rest. *)
+  let truncate next =
     match max_states with
-    | Some cap when List.length level > cap ->
+    | Some cap when !live > cap ->
         truncated := true;
         incr truncations;
-        let scored = List.map (fun s -> (s.acc + suffix.(0), s)) level in
-        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
-        List.filteri (fun i _ -> i < cap) sorted |> List.map snd
-    | _ -> level
-  in
-  let virtual_start =
-    { ends = Array.make m (-1); costs = Array.make m 0; acc = 0; breaks = [] }
+        let order = Array.make !live 0 in
+        let k = ref 0 in
+        for s = 0 to next.len - 1 do
+          if next.alive.(s) then begin
+            order.(!k) <- s;
+            incr k
+          end
+        done;
+        Array.sort
+          (fun a b ->
+            let c = compare next.acc.(a) next.acc.(b) in
+            if c <> 0 then c else compare a b)
+          order;
+        for k = cap to !live - 1 do
+          next.alive.(order.(k)) <- false
+        done;
+        live := cap
+    | _ -> ()
   in
   (* Budget cut-off: finish a state deterministically by giving every
      task that restarts from step [i] onwards the run-to-the-end block.
      O(n·m), always admissible, never exact. *)
-  let rec finish_cheaply i s =
-    if i >= n then s
-    else begin
-      let restarting =
-        List.filter (fun j -> s.ends.(j) = i - 1) (List.init m Fun.id)
-      in
-      let hyper = combine_hyper params (List.map (fun j -> v.(j)) restarting) in
-      let ends = Array.copy s.ends and costs = Array.copy s.costs in
-      let breaks = ref s.breaks in
-      List.iter
-        (fun j ->
+  let finish_cheaply i0 ends costs acc0 breaks0 =
+    let acc = ref acc0 and breaks = ref breaks0 in
+    for i = i0 to n - 1 do
+      let hyper = ref 0 in
+      for j = 0 to m - 1 do
+        if ends.(j) = i - 1 then begin
+          (if hyper_par then begin
+             if v.(j) > !hyper then hyper := v.(j)
+           end
+           else hyper := !hyper + v.(j));
           ends.(j) <- n - 1;
           costs.(j) <- sc j i (n - 1);
-          breaks := (j, i) :: !breaks)
-        restarting;
-      let reconf = combine_reconf params params.Sync_cost.pub costs in
-      finish_cheaply (i + 1)
-        { ends; costs; acc = s.acc + hyper + reconf; breaks = !breaks }
-    end
+          breaks := (j, i) :: !breaks
+        end
+      done;
+      acc := !acc + !hyper + combine_reconf costs
+    done;
+    (!acc, !breaks)
   in
-  let rec advance i level =
-    if i >= n then level
-    else if Hr_util.Budget.exhausted budget then begin
-      (* Polled once per DP level.  Collapse the frontier to its most
-         promising state and complete it cheaply: a best-so-far plan in
-         O(n·m) instead of the remaining exponential expansion. *)
-      cut := true;
-      match level with
-      | [] -> []
-      | s0 :: rest ->
-          let best =
-            List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest
-          in
-          [ finish_cheaply i best ]
-    end
+  let best_live cur =
+    let best = ref (-1) in
+    for s = 0 to cur.len - 1 do
+      if cur.alive.(s) && (!best < 0 || cur.acc.(s) < cur.acc.(!best)) then best := s
+    done;
+    !best
+  in
+  (* Collapse the frontier to its most promising state and complete it
+     cheaply: a best-so-far plan in O(n·m) instead of the remaining
+     exponential expansion. *)
+  let collapse cur i =
+    cut := true;
+    let b = best_live cur in
+    if b < 0 then None
     else
-      let level = prune (List.concat_map (expand_state i) level) in
-      advance (i + 1) level
+      let ends = Array.sub cur.ends (b * m) m in
+      let costs = Array.sub cur.costs (b * m) m in
+      Some (finish_cheaply i ends costs cur.acc.(b) cur.breaks.(b))
   in
-  let final = advance 0 [ virtual_start ] in
-  match final with
-  | [] ->
+  let rec advance i cur next =
+    if i >= n then begin
+      let b = best_live cur in
+      if b < 0 then None else Some (cur.acc.(b), cur.breaks.(b))
+    end
+    else if Hr_util.Budget.exhausted budget then collapse cur i
+    else begin
+      next.len <- 0;
+      reset_buckets ();
+      live := 0;
+      match
+        for si = 0 to cur.len - 1 do
+          if cur.alive.(si) then expand cur si i next
+        done
+      with
+      | () ->
+          explored := !explored + !live;
+          truncate next;
+          advance (i + 1) next cur
+      | exception Cut -> collapse cur i
+    end
+  in
+  let cur = make_level m 1024 and next = make_level m 1024 in
+  for j = 0 to m - 1 do
+    sc_ends.(j) <- -1;
+    sc_costs.(j) <- 0
+  done;
+  ignore (push_state m cur ~ends:sc_ends ~costs:sc_costs ~acc:0 ~breaks:[]);
+  match advance 0 cur next with
+  | None ->
       (* Can only happen when the given upper bound was unachievable. *)
       invalid_arg "Mt_dp.solve: upper_bound below the optimum"
-  | s0 :: rest ->
-      let best = List.fold_left (fun b s -> if s.acc < b.acc then s else b) s0 rest in
+  | Some (cost, breaks) ->
       let rows = Array.make m [] in
-      List.iter (fun (j, i) -> rows.(j) <- i :: rows.(j)) best.breaks;
+      List.iter (fun (j, i) -> rows.(j) <- i :: rows.(j)) breaks;
       {
-        cost = best.acc;
+        cost;
         bp = Breakpoints.of_rows ~m ~n rows;
         (* Beam mode also restricts the per-task block-end fan-out (see
-           end_candidates), so it must never claim exactness — even on
+           [candidates]), so it must never claim exactness — even on
            runs where the frontier itself was not truncated.  A budget
            cut-off likewise forfeits the certificate. *)
         exact = (not beam) && (not !truncated) && not !cut;

@@ -25,7 +25,19 @@
     polynomial for fixed m, matching the paper's claim — so the solver
     is meant for small instances and for certifying the metaheuristics;
     with [max_states] set it degrades gracefully into an inadmissible
-    beam search (reported via [exact = false]). *)
+    beam search (reported via [exact = false]).
+
+    {b Representation.}  The engine stores each DP level as flat
+    struct-of-arrays buffers ([ends] / [costs] packed [m] entries per
+    state, plus accumulated cost, breaks history, and a liveness
+    tombstone), reused across levels.  Dominance buckets are keyed by
+    the block-end vector packed into a single [int] when
+    [m · ⌈log₂ n⌉ ≤ 62] bits — always the case under the exact-mode
+    n^m ≤ 2·10⁶ guard — and fall back to a byte-string key beyond the
+    packing limit (reachable only in beam mode).  Pareto filtering is
+    incremental: each candidate is checked against its bucket on
+    insertion and evicts the members it dominates, replacing the old
+    per-level group-then-scan pass. *)
 
 type outcome = {
   cost : int;
@@ -49,7 +61,9 @@ type outcome = {
     exact).  In beam mode the per-task block-end fan-out is also
     restricted to the cost-jump frontier, so large instances stay
     tractable at the price of exactness.  The [budget] (default
-    {!Hr_util.Budget.unlimited}) is polled once per DP level; on
+    {!Hr_util.Budget.unlimited}) is polled at every DP level and every
+    4096 states emitted within a level — a deadline cuts even a single
+    oversized expansion off promptly; on
     exhaustion the most promising frontier state is completed
     deterministically in O(n·m) (remaining tasks run to the end) and
     returned with [cut_off = true], [exact = false].  Exact mode raises

@@ -34,10 +34,12 @@ type t = {
   machine_class : machine_class;
 }
 
-(** [make ?params ?mode ?machine_class ?precompute oracle].  Defaults:
-    {!Sync_cost.default_params}, [Fully_synchronized], [Partial],
-    [precompute = true].  Raises [Invalid_argument] when a
-    non-fully-synchronized mode is combined with parameters
+(** [make ?params ?mode ?machine_class ?precompute ?pool oracle].
+    Defaults: {!Sync_cost.default_params}, [Fully_synchronized],
+    [Partial], [precompute = true].  [pool] is handed to
+    {!Interval_cost.precompute} so large oracle builds run on a caller
+    pool instead of the shared default.  Raises [Invalid_argument] when
+    a non-fully-synchronized mode is combined with parameters
     {!Mixed_sync} cannot evaluate (nonzero [w], sequential uploads, or
     [pub > 0] outside the context-synchronized and fully synchronized
     modes). *)
@@ -46,15 +48,18 @@ val make :
   ?mode:Mixed_sync.mode ->
   ?machine_class:machine_class ->
   ?precompute:bool ->
+  ?pool:Hr_util.Pool.t ->
   Interval_cost.t ->
   t
 
-(** [of_task_set ?params ?mode ?machine_class ts] — the MT-Switch
-    instance of a task set. *)
+(** [of_task_set ?params ?mode ?machine_class ?pool ts] — the MT-Switch
+    instance of a task set; [pool] parallelizes both the range-union
+    and the dense-table build. *)
 val of_task_set :
   ?params:Sync_cost.params ->
   ?mode:Mixed_sync.mode ->
   ?machine_class:machine_class ->
+  ?pool:Hr_util.Pool.t ->
   Task_set.t ->
   t
 

@@ -3,18 +3,37 @@ module Bitset = Hr_util.Bitset
 (* sizes.(lo).(hi - lo) = |U(lo,hi)| *)
 type t = { trace : Trace.t; sizes : int array array }
 
-let make trace =
+(* Each lo row is an independent prefix-union sweep, so rows can be
+   built in parallel; below this many total cells the queue traffic
+   would dominate the sweeps and the build stays sequential. *)
+let parallel_rows_cells = 1 lsl 14
+
+let make ?pool trace =
   let n = Trace.length trace in
+  let row lo =
+    let r = Array.make (n - lo) 0 in
+    let acc = Bitset.copy (Trace.req trace lo) in
+    r.(0) <- Bitset.cardinal acc;
+    for hi = lo + 1 to n - 1 do
+      ignore (Bitset.union_into ~into:acc (Trace.req trace hi));
+      r.(hi - lo) <- Bitset.cardinal acc
+    done;
+    r
+  in
   let sizes =
-    Array.init n (fun lo ->
-        let row = Array.make (n - lo) 0 in
-        let acc = Bitset.copy (Trace.req trace lo) in
-        row.(0) <- Bitset.cardinal acc;
-        for hi = lo + 1 to n - 1 do
-          ignore (Bitset.union_into ~into:acc (Trace.req trace hi));
-          row.(hi - lo) <- Bitset.cardinal acc
-        done;
-        row)
+    match pool with
+    | Some p when n > 1 && n * n >= parallel_rows_cells ->
+        let sizes = Array.make n [||] in
+        Hr_util.Pool.iter_chunks
+          ~chunks:(min n ((Hr_util.Pool.size p + 1) * 4))
+          p
+          (fun lo hi ->
+            for l = lo to hi do
+              sizes.(l) <- row l
+            done)
+          n;
+        sizes
+    | _ -> Array.init n row
   in
   { trace; sizes }
 

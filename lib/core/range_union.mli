@@ -9,8 +9,11 @@
 
 type t
 
-(** [make trace] precomputes the table.  Memory is O(n²) ints. *)
-val make : Trace.t -> t
+(** [make ?pool trace] precomputes the table.  Memory is O(n²) ints.
+    With [pool] the independent per-[lo] prefix-union rows are built in
+    parallel on the pool (for tables of at least ~16k cells); the
+    resulting table is elementwise identical to the sequential build. *)
+val make : ?pool:Hr_util.Pool.t -> Trace.t -> t
 
 (** [length t] is the trace length n. *)
 val length : t -> int

@@ -321,6 +321,15 @@ let oracle_to_json (o : Interval_cost.cache_stats) =
       ("misses", Int o.Interval_cost.misses);
       ("cells", Int o.Interval_cost.cells);
       ("build_ms", Float o.Interval_cost.build_ms);
+      ("build_workers", Int o.Interval_cost.build_workers);
+      ("build_seq_ms", Float o.Interval_cost.build_seq_ms);
+      ( "build_speedup",
+        (* Measured pooled-build speedup: sequential-equivalent over
+           wall clock.  Null when the build was sequential (nothing to
+           compare) or too fast to time. *)
+        if o.Interval_cost.build_workers > 1 && o.Interval_cost.build_ms > 0. then
+          Float (o.Interval_cost.build_seq_ms /. o.Interval_cost.build_ms)
+        else Null );
     ]
 
 let to_json t =

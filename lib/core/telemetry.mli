@@ -20,7 +20,8 @@
       "total_ms": 87.2,
       "oracle_cache": { "kind": "dense" | "memoize" | "direct",
                         "hits": 0, "misses": 0, "cells": 36864,
-                        "build_ms": 1.9 },
+                        "build_ms": 1.9, "build_workers": 9,
+                        "build_seq_ms": 11.3, "build_speedup": 5.9 | null },
       "solvers": [ { "name": "ga", "kind": "stochastic",
                      "outcome": "finished" | "cut-off" | "crashed",
                      "wall_ms": 81.0,

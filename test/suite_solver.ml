@@ -511,6 +511,145 @@ let test_telemetry_golden () =
       check bool "parser inverts the emitter" true
         (Telemetry.json_to_string j = got)
 
+(* ------------------------------------------------------------------ *)
+(* The flat-state DP engine and the parallel oracle precompute.        *)
+
+let test_memoize_reports_resident_entries () =
+  (* cache_stats.cells must be the number of entries resident in the
+     sharded table, not a copy of the miss counter: 3 repeat queries on
+     one key and 2 on another are 3 hits / 2 misses / 2 cells. *)
+  let oracle =
+    Interval_cost.memoize (Interval_cost.of_task_set (Tutil.sample_task_set ()))
+  in
+  let q lo hi = ignore (oracle.Interval_cost.step_cost 0 lo hi) in
+  q 0 0;
+  q 0 0;
+  q 0 0;
+  q 0 1;
+  q 0 1;
+  let s = Interval_cost.cache_stats oracle in
+  check int "hits" 3 s.Interval_cost.hits;
+  check int "misses" 2 s.Interval_cost.misses;
+  check int "cells = resident entries, not misses" 2 s.Interval_cost.cells
+
+let test_pooled_precompute_matches_sequential () =
+  (* The pooled dense build must be elementwise identical to the
+     sequential one on every (task, lo, hi) query. *)
+  let ts =
+    Hr_workload.Multi_gen.correlated (Rng.create 11)
+      {
+        Hr_workload.Multi_gen.default_spec with
+        m = 3;
+        n = 40;
+        local_sizes = [| 8; 8; 8 |];
+      }
+  in
+  let pool = Hr_util.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Hr_util.Pool.shutdown pool)
+    (fun () ->
+      let pooled =
+        Interval_cost.precompute ~pool (Interval_cost.of_task_set ~pool ts)
+      in
+      let direct = Interval_cost.of_task_set ts in
+      let m = direct.Interval_cost.m and n = direct.Interval_cost.n in
+      for j = 0 to m - 1 do
+        for lo = 0 to n - 1 do
+          for hi = lo to n - 1 do
+            if
+              pooled.Interval_cost.step_cost j lo hi
+              <> direct.Interval_cost.step_cost j lo hi
+            then
+              Alcotest.failf "pooled build deviates at (%d, %d, %d)" j lo hi
+          done
+        done
+      done;
+      let s = Interval_cost.cache_stats pooled in
+      check bool "dense" true (s.Interval_cost.kind = "dense");
+      check int "cells" (m * n * n) s.Interval_cost.cells)
+
+let test_budget_polled_within_dp_level () =
+  (* A 35^4 ~ 1.5M-state initial expansion takes far longer than 1 ms,
+     so a tiny deadline must be caught by the every-4096-emitted-states
+     poll inside the level, not only at level boundaries: the run cuts
+     off before any level completes (states_explored = 0) yet still
+     returns an admissible, cost-consistent plan. *)
+  let ts =
+    Hr_workload.Multi_gen.independent (Rng.create 3)
+      { Hr_workload.Multi_gen.default_spec with m = 4; n = 35 }
+  in
+  let oracle = Interval_cost.precompute (Interval_cost.of_task_set ts) in
+  let out = Mt_dp.solve ~budget:(Hr_util.Budget.of_deadline_ms 1) oracle in
+  check bool "cut off" true out.Mt_dp.cut_off;
+  check bool "never exact when cut off" false out.Mt_dp.exact;
+  check int "no DP level completed" 0 out.Mt_dp.states_explored;
+  check int "cost consistent" (Sync_cost.eval oracle out.Mt_dp.bp)
+    out.Mt_dp.cost
+
+let test_beam_determinism_under_truncation () =
+  (* Beam truncation keeps the lowest-accumulated-cost states with
+     index-order tie-breaking, so two runs over the same instance are
+     bit-identical even under truncation pressure. *)
+  let ts =
+    Hr_workload.Multi_gen.independent (Rng.create 7)
+      { Hr_workload.Multi_gen.default_spec with m = 4; n = 24 }
+  in
+  let oracle = Interval_cost.precompute (Interval_cost.of_task_set ts) in
+  let run () = Mt_dp.solve ~max_states:16 oracle in
+  let a = run () and b = run () in
+  check bool "truncation pressure" true (a.Mt_dp.truncations > 0);
+  check int "same cost" a.Mt_dp.cost b.Mt_dp.cost;
+  check bool "same plan" true (Breakpoints.equal a.Mt_dp.bp b.Mt_dp.bp);
+  check int "same truncations" a.Mt_dp.truncations b.Mt_dp.truncations;
+  check int "same states explored" a.Mt_dp.states_explored
+    b.Mt_dp.states_explored
+
+let test_dp_corpus_golden () =
+  (* The flat-state engine pinned byte-for-byte on the conformance
+     corpus: cost, exactness claim and the full per-task plan of every
+     mt-dp-applicable case.  On a legitimate engine change the failing
+     test dumps the new document to [/tmp/dp_plans_got.json]; review it
+     and replace [test/golden/dp_plans.json]. *)
+  let dp = Solver_registry.find_exn "mt-dp" in
+  let docs =
+    List.filter_map
+      (fun (file, case) ->
+        match case with
+        | Error e -> Alcotest.failf "corpus case %s failed to load: %s" file e
+        | Ok case ->
+            let problem = Hr_check.Case.problem case in
+            if not (dp.Solver.handles problem) then None
+            else
+              let sol = Solver_registry.solve ~seed:0 "mt-dp" problem in
+              let plan =
+                List.init (Problem.m problem) (fun j ->
+                    Telemetry.List
+                      (List.map
+                         (fun i -> Telemetry.Int i)
+                         (Solution.task_breaks sol j)))
+              in
+              Some
+                (Telemetry.Obj
+                   [
+                     ("file", Telemetry.String (Filename.basename file));
+                     ("cost", Telemetry.Int sol.Solution.cost);
+                     ("exact", Telemetry.Bool sol.Solution.exact);
+                     ("plan", Telemetry.List plan);
+                   ]))
+      (Hr_check.Corpus.load_dir "corpus")
+  in
+  check bool "at least one corpus case is mt-dp-applicable" true (docs <> []);
+  let got = Telemetry.json_to_string (Telemetry.List docs) in
+  let expected = read_file "golden/dp_plans.json" in
+  if got <> expected then begin
+    let oc = open_out "/tmp/dp_plans_got.json" in
+    output_string oc got;
+    close_out oc;
+    Alcotest.failf
+      "mt-dp corpus plans deviate from golden/dp_plans.json (new document \
+       dumped to /tmp/dp_plans_got.json)"
+  end
+
 let tests =
   [
     Alcotest.test_case "registry names" `Quick test_registry_names;
@@ -550,4 +689,13 @@ let tests =
       test_deadline_cutoff_returns_admissible_best_so_far;
     Alcotest.test_case "telemetry JSON shape" `Quick test_telemetry_json_shape;
     Alcotest.test_case "telemetry JSON golden" `Quick test_telemetry_golden;
+    Alcotest.test_case "memoize stats report resident entries" `Quick
+      test_memoize_reports_resident_entries;
+    Alcotest.test_case "pooled precompute == sequential" `Quick
+      test_pooled_precompute_matches_sequential;
+    Alcotest.test_case "budget polled within a DP level" `Quick
+      test_budget_polled_within_dp_level;
+    Alcotest.test_case "beam determinism under truncation" `Quick
+      test_beam_determinism_under_truncation;
+    Alcotest.test_case "mt-dp corpus plans golden" `Quick test_dp_corpus_golden;
   ]
