@@ -300,6 +300,51 @@ let () =
   let stats = Interval_cost.cache_stats pooled_oracle in
   let build_speedup = seq_ms /. pooled_ms in
 
+  (* --- persistent table cache: cold build+store vs warm mmap load --- *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dp-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cache = Table_cache.of_dir cache_dir in
+  let cts = W.Multi_gen.independent (Rng.create (seed + 2)) oracle_spec in
+  let cold_oracle, cold_ms =
+    (* One reps: a second pass would be served by the file just stored
+       and no longer measure the cold path. *)
+    time_best ~reps:1 (fun () ->
+        Interval_cost.precompute ~cache (Interval_cost.of_task_set cts))
+  in
+  let key = Option.get cold_oracle.Interval_cost.fingerprint in
+  let dims = (cold_oracle.Interval_cost.m, cold_oracle.Interval_cost.n) in
+  let warm_oracle, warm_ms =
+    time_best ~reps:3 (fun () ->
+        let m, n = dims in
+        match
+          Interval_cost.of_cache cache ~key ~m ~n ~v:cold_oracle.Interval_cost.v
+        with
+        | Some o -> o
+        | None -> failwith "dp_bench: warm table-cache load missed")
+  in
+  (* The mapped table must be elementwise identical to the built one. *)
+  let warm_equal =
+    let m, n = dims in
+    let ok = ref true in
+    for j = 0 to m - 1 do
+      for lo = 0 to n - 1 do
+        for hi = lo to n - 1 do
+          if
+            warm_oracle.Interval_cost.step_cost j lo hi
+            <> cold_oracle.Interval_cost.step_cost j lo hi
+          then ok := false
+        done
+      done
+    done;
+    !ok
+  in
+  let cstats = Table_cache.stats cache in
+  let warm_oracle_stats = Interval_cost.cache_stats warm_oracle in
+  (try Sys.remove (Table_cache.file cache ~key) with Sys_error _ -> ());
+  (try Unix.rmdir cache_dir with Unix.Unix_error _ -> ());
+
   let doc =
     Telemetry.Obj
       [
@@ -336,6 +381,26 @@ let () =
               ( "build_seq_ms",
                 Telemetry.Float stats.Interval_cost.build_seq_ms );
             ] );
+        ( "table_cache",
+          Telemetry.Obj
+            [
+              ("cells", Telemetry.Int warm_oracle_stats.Interval_cost.cells);
+              ( "width_bits",
+                Telemetry.Int warm_oracle_stats.Interval_cost.width_bits );
+              ( "bytes_resident",
+                Telemetry.Int warm_oracle_stats.Interval_cost.bytes_resident );
+              ("cold_ms", Telemetry.Float cold_ms);
+              ("warm_ms", Telemetry.Float warm_ms);
+              ("speedup", Telemetry.Float (cold_ms /. warm_ms));
+              ( "warm_build_ms",
+                (* ≈ 0: the warm path maps the file, no oracle calls. *)
+                Telemetry.Float warm_oracle_stats.Interval_cost.build_ms );
+              ("source", Telemetry.String warm_oracle_stats.Interval_cost.source);
+              ("hits", Telemetry.Int cstats.Table_cache.hits);
+              ("misses", Telemetry.Int cstats.Table_cache.misses);
+              ("stores", Telemetry.Int cstats.Table_cache.stores);
+              ("warm_equal", Telemetry.Bool warm_equal);
+            ] );
       ]
   in
   let oc = open_out out in
@@ -353,6 +418,17 @@ let () =
     dp_speedup oracle_spec.W.Multi_gen.m oracle_spec.W.Multi_gen.n
     stats.Interval_cost.cells seq_ms pooled_ms
     stats.Interval_cost.build_workers build_speedup out;
+  Printf.printf
+    "table-cache: %d cells (%d-bit, %d bytes) | cold %.1f ms | warm %.1f ms \
+     (mmap, %.1fx) | %d hit(s), %d store(s)\n"
+    warm_oracle_stats.Interval_cost.cells
+    warm_oracle_stats.Interval_cost.width_bits
+    warm_oracle_stats.Interval_cost.bytes_resident cold_ms warm_ms
+    (cold_ms /. warm_ms) cstats.Table_cache.hits cstats.Table_cache.stores;
+  if not warm_equal then begin
+    Printf.eprintf "dp_bench: warm-loaded table deviates from the built table\n";
+    exit 1
+  end;
   if not agree then begin
     Printf.eprintf
       "dp_bench: flat engine deviates from the reference engine (cost %d vs \

@@ -7,12 +7,19 @@
    small enough that per-call domain spawn/join overhead dominates,
    which is exactly the serving regime hrserve cares about) both ways
    and writes a hyperreconf.bench/1 JSON summary (default
-   BENCH_serve.json).  Exits non-zero if any batched solve errored. *)
+   BENCH_serve.json).  Exits non-zero if any batched solve errored.
+
+   A second track measures the persistent table cache on the serving
+   path: the same batch of mid-sized switch cases solved cold (dense
+   tables built and stored) and then warm (tables mmap-loaded, the
+   oracle construction skipped entirely); the warm plans must be
+   byte-identical to the cold ones. *)
 
 module Budget = Hr_util.Budget
 module Pool = Hr_util.Pool
 module Rng = Hr_util.Rng
 module W = Hr_workload
+module Check = Hr_check
 open Hr_core
 
 let gen_problems ~count ~seed =
@@ -52,6 +59,63 @@ let pooled ~seed solver problems =
   Pool.shutdown pool;
   (batch, ms)
 
+(* Mid-sized switch cases for the table-cache track: big enough that
+   the O(m·n²) build dominates a solve, small enough that the batch
+   stays sub-second. *)
+let gen_cases ~count ~seed =
+  List.init count (fun i ->
+      let spec =
+        {
+          W.Multi_gen.default_spec with
+          W.Multi_gen.m = 2;
+          n = 48;
+          local_sizes = [| 8; 8 |];
+        }
+      in
+      let ts = W.Multi_gen.independent (Rng.create (seed + 1000 + i)) spec in
+      let m = Task_set.num_tasks ts in
+      let widths =
+        Array.init m (fun j ->
+            Switch_space.size (Trace.space (Task_set.get ts j).Task_set.trace))
+      in
+      let vs = Array.init m (fun j -> (Task_set.get ts j).Task_set.v) in
+      let reqs =
+        Array.init m (fun j ->
+            Array.to_list
+              (Array.map Hr_util.Bitset.to_list
+                 (Trace.reqs (Task_set.get ts j).Task_set.trace)))
+      in
+      {
+        Check.Case.spec = Check.Case.Switch { widths; vs; reqs };
+        params = Sync_cost.default_params;
+        mode = Mixed_sync.Fully_synchronized;
+        machine_class = Problem.Partial;
+      })
+
+let cached_batch ~seed ~cache_dir solver cases =
+  let pool = Pool.create () in
+  let requests =
+    List.mapi
+      (fun i case ->
+        Batch.request ~id:(string_of_int i)
+          ~key:(Digest.to_hex (Digest.string (Check.Case.to_string case)))
+          (fun () -> Check.Case.problem ~cache_dir case))
+      cases
+  in
+  let t0 = Budget.now_ms () in
+  let batch = Batch.run ~pool ~seed ~solvers:(fun _ -> [ solver ]) requests in
+  let ms = Budget.now_ms () -. t0 in
+  Pool.shutdown pool;
+  (batch, ms)
+
+let plans batch =
+  List.map
+    (fun (r : Batch.response) ->
+      match r.Batch.outcome with
+      | Ok s -> Some s.Batch.solution
+      | Error _ -> None)
+    batch.Batch.responses
+
 let parse_args () =
   let count = ref 1000 and seed = ref 2004 and out = ref "BENCH_serve.json" in
   let rec go = function
@@ -89,6 +153,35 @@ let () =
   in
   let per_s ms = 1000. *. float count /. ms in
   let speedup = base_ms /. pool_ms in
+
+  (* --- table-cache track: cold batch, then warm batch --------------- *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cache = Table_cache.of_dir cache_dir in
+  let cases = gen_cases ~count:32 ~seed in
+  let cold_batch, cold_ms = cached_batch ~seed ~cache_dir solver cases in
+  let warm_batch, warm_ms = cached_batch ~seed ~cache_dir solver cases in
+  let cstats = Table_cache.stats cache in
+  let warm_identical =
+    List.for_all2
+      (fun a b ->
+        match (a, b) with
+        | Some (a : Solution.t), Some (b : Solution.t) ->
+            a.Solution.cost = b.Solution.cost
+            && Breakpoints.equal a.Solution.bp b.Solution.bp
+        | None, None -> true
+        | _ -> false)
+      (plans cold_batch) (plans warm_batch)
+  in
+  (try
+     Array.iter
+       (fun e -> try Sys.remove (Filename.concat cache_dir e) with Sys_error _ -> ())
+       (Sys.readdir cache_dir)
+   with Sys_error _ -> ());
+  (try Unix.rmdir cache_dir with Unix.Unix_error _ -> ());
+
   let doc =
     Telemetry.Obj
       [
@@ -102,6 +195,18 @@ let () =
         ("pooled_per_s", Telemetry.Float (per_s pool_ms));
         ("speedup", Telemetry.Float speedup);
         ("batch", Batch.to_json ~label:"serve-bench" ~results:false batch);
+        ( "table_cache",
+          Telemetry.Obj
+            [
+              ("instances", Telemetry.Int (List.length cases));
+              ("cold_ms", Telemetry.Float cold_ms);
+              ("warm_ms", Telemetry.Float warm_ms);
+              ("speedup", Telemetry.Float (cold_ms /. warm_ms));
+              ("hits", Telemetry.Int cstats.Table_cache.hits);
+              ("misses", Telemetry.Int cstats.Table_cache.misses);
+              ("stores", Telemetry.Int cstats.Table_cache.stores);
+              ("warm_identical", Telemetry.Bool warm_identical);
+            ] );
       ]
   in
   let oc = open_out out in
@@ -112,6 +217,15 @@ let () =
     "serve-throughput: %d instances | per-call spawn %.1f ms (%.0f/s) | pooled \
      batch %.1f ms (%.0f/s) | speedup %.1fx | summary %s\n"
     count base_ms (per_s base_ms) pool_ms (per_s pool_ms) speedup out;
+  Printf.printf
+    "table-cache: %d instances | cold %.1f ms | warm %.1f ms (%.1fx) | %d \
+     hit(s), %d store(s)\n"
+    (List.length cases) cold_ms warm_ms (cold_ms /. warm_ms)
+    cstats.Table_cache.hits cstats.Table_cache.stores;
+  if not warm_identical then begin
+    Printf.eprintf "serve_bench: warm-cache plans differ from cold plans\n";
+    exit 1
+  end;
   if errors > 0 then begin
     Printf.eprintf "serve_bench: %d batched solves errored\n" errors;
     exit 1

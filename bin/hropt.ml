@@ -64,8 +64,15 @@ let list_registry () =
        (Solver_registry.all ()))
 
 let run workload mode split seed m n correlated method_ seed_opt deadline_ms
-    telemetry_file show_figures trace_file plan_file =
+    telemetry_file show_figures trace_file plan_file max_table_mb =
   let method_ = alias method_ in
+  (* Parsed as eagerly as the enums: a bad --max-table-mb fails under
+     every workload, not just the ones that build a dense table. *)
+  let max_bytes =
+    Option.map
+      (fun s -> Hr_util.Cli.positive_exn ~what:"--max-table-mb" s * 1024 * 1024)
+      max_table_mb
+  in
   if method_ = "list" then begin
     list_registry ();
     0
@@ -83,7 +90,7 @@ let run workload mode split seed m n correlated method_ seed_opt deadline_ms
           | Some path -> file_oracle path
           | None -> failwith "workload 'file' needs --trace-file")
     in
-    let problem = Problem.make oracle in
+    let problem = Problem.make ?max_bytes oracle in
     let budget () =
       match deadline_ms with
       | None -> Budget.unlimited
@@ -274,13 +281,24 @@ let plan_file =
           "With --method eval: load and referee-evaluate this plan.  With other \
            methods: write the best plan here.")
 
+let max_table_mb =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-table-mb" ] ~docv:"MB"
+        ~doc:
+          "Dense oracle-table memory cap in MiB (a positive integer; default \
+           128).  Over-budget instances degrade to the memory-bounded \
+           memoizer; telemetry reports the chosen cache kind, element width \
+           and resident bytes.")
+
 let cmd =
   let doc = "optimize (hyper)reconfiguration plans" in
   Cmd.v (Cmd.info "hropt" ~doc)
     Term.(
       const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
       $ seed_opt $ deadline_ms $ telemetry_file $ show_figures $ trace_file
-      $ plan_file)
+      $ plan_file $ max_table_mb)
 
 (* cmdliner spells single-char options "-m"/"-n"; accept the "--m"/
    "--n" spelling too (it cannot be a prefix of another option, but

@@ -2,6 +2,7 @@
 
    hrserve [--workers N] [--deadline-ms MS] [--solver NAME]...
            [--max-queue N] [--seed S] [--summary FILE]
+           [--cache-dir DIR] [--max-table-mb MB]
 
    A JSON-lines request/response loop over stdin/stdout: each input
    line is a `hyperreconf.case/1` document (the conformance-corpus
@@ -13,6 +14,13 @@
    solves produce structured error results — the process never dies on
    a bad request.  Backpressure is the batch boundary: stdin is not
    read while a full batch is in flight.
+
+   Oracle reuse is two-level: a process-wide build cache shares
+   problems across batches (not just within one batch), and with
+   --cache-dir the dense tables also persist on disk across server
+   restarts (docs/caching.md).  --max-table-mb caps each instance's
+   dense-table memory; over-budget oracles degrade to the bounded
+   memoizer.
 
    At EOF a `hyperreconf.batch/1` document aggregating every request is
    written to --summary (and a one-line digest to stderr).  See
@@ -26,7 +34,7 @@ type parsed =
   | Request of Batch.request
   | Bad of string * string  (* id, error *)
 
-let parse_line ~id line =
+let parse_line ?max_table_bytes ?cache_dir ~id line =
   match Telemetry.json_of_string line with
   | Error e -> Bad (id, e)
   | Ok json ->
@@ -45,11 +53,17 @@ let parse_line ~id line =
       (match Check.Case.of_json case_json with
       | Error e -> Bad (id, e)
       | Ok case ->
-          (* The canonical case JSON is the dedup key: identical
-             instances share one oracle precompute. *)
+          (* The digest of the canonical case JSON is the in-process
+             dedup key — the same structural-hash scheme the disk cache
+             uses, over the whole problem identity (oracle inputs plus
+             params/mode/class, which change the Problem even when the
+             tables agree).  Identical instances share one build across
+             every batch of the process. *)
           Request
-            (Batch.request ~key:(Check.Case.to_string case) ~id (fun () ->
-                 Check.Case.problem case)))
+            (Batch.request
+               ~key:(Digest.to_hex (Digest.string (Check.Case.to_string case)))
+               ~id (fun () ->
+                 Check.Case.problem ?max_table_bytes ?cache_dir case)))
 
 let solvers_of_names names =
   match names with
@@ -58,10 +72,19 @@ let solvers_of_names names =
       let chosen = List.map Solver_registry.find_exn names in
       fun problem -> List.filter (fun (s : Solver.t) -> s.Solver.handles problem) chosen
 
-let run workers deadline_ms solver_names max_queue seed summary_file =
+let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
+    max_table_mb =
   if max_queue < 1 then failwith "--max-queue must be >= 1";
+  let max_table_bytes =
+    Option.map
+      (fun s -> Hr_util.Cli.positive_exn ~what:"--max-table-mb" s * 1024 * 1024)
+      max_table_mb
+  in
   let solvers = solvers_of_names solver_names in
   let pool = Hr_util.Pool.create ?workers () in
+  (* Outlives every batch: later batches reuse earlier batches'
+     precomputed problems. *)
+  let build_cache = Batch.build_cache () in
   let all_responses = ref [] (* reversed *) in
   let total_ms = ref 0. and shared_builds = ref 0 in
   let emit (r : Batch.response) =
@@ -76,7 +99,8 @@ let run workers deadline_ms solver_names max_queue seed summary_file =
       List.filter_map (function Request r -> Some r | Bad _ -> None) pending
     in
     let batch =
-      Batch.run ~pool ~seed ?deadline_ms ~solvers (List.rev batch_requests)
+      Batch.run ~pool ~seed ?deadline_ms ~solvers ~cache:build_cache
+        (List.rev batch_requests)
     in
     total_ms := !total_ms +. batch.Batch.total_ms;
     shared_builds := !shared_builds + batch.Batch.shared_builds;
@@ -97,7 +121,10 @@ let run workers deadline_ms solver_names max_queue seed summary_file =
     | exception End_of_file -> if pending <> [] then flush_batch pending
     | line when String.trim line = "" -> serve pending npending k
     | line ->
-        let pending = parse_line ~id:(Printf.sprintf "#%d" k) line :: pending in
+        let pending =
+          parse_line ?max_table_bytes ?cache_dir ~id:(Printf.sprintf "#%d" k) line
+          :: pending
+        in
         if npending + 1 >= max_queue then begin
           flush_batch pending;
           serve [] 0 (k + 1)
@@ -115,6 +142,32 @@ let run workers deadline_ms solver_names max_queue seed summary_file =
       shared_builds = !shared_builds;
     }
   in
+  let table_cache_stats =
+    Option.map (fun dir -> Table_cache.stats (Table_cache.of_dir dir)) cache_dir
+  in
+  let extra =
+    [
+      ( "build_cache",
+        Telemetry.Obj
+          [
+            ("problems", Telemetry.Int (Batch.build_cache_size build_cache));
+            ("shared", Telemetry.Int (Batch.build_cache_shared build_cache));
+          ] );
+      ( "table_cache",
+        match (cache_dir, table_cache_stats) with
+        | Some dir, Some s ->
+            Telemetry.Obj
+              [
+                ("dir", Telemetry.String dir);
+                ("hits", Telemetry.Int s.Table_cache.hits);
+                ("misses", Telemetry.Int s.Table_cache.misses);
+                ("stores", Telemetry.Int s.Table_cache.stores);
+                ("invalid", Telemetry.Int s.Table_cache.invalid);
+                ("errors", Telemetry.Int s.Table_cache.errors);
+              ]
+        | _ -> Telemetry.Null );
+    ]
+  in
   Option.iter
     (fun path ->
       let oc = open_out path in
@@ -122,7 +175,7 @@ let run workers deadline_ms solver_names max_queue seed summary_file =
         ~finally:(fun () -> close_out oc)
         (fun () ->
           output_string oc
-            (Telemetry.json_to_string (Batch.to_json ~label:"hrserve" summary))))
+            (Telemetry.json_to_string (Batch.to_json ~label:"hrserve" ~extra summary))))
     summary_file;
   let size = List.length summary.Batch.responses in
   let ok =
@@ -130,8 +183,13 @@ let run workers deadline_ms solver_names max_queue seed summary_file =
       (List.filter (fun (r : Batch.response) -> Result.is_ok r.Batch.outcome)
          summary.Batch.responses)
   in
-  Printf.eprintf "hrserve: %d request(s), %d ok, %d error(s), %.1f ms solving\n"
-    size ok (size - ok) !total_ms;
+  Printf.eprintf "hrserve: %d request(s), %d ok, %d error(s), %.1f ms solving%s\n"
+    size ok (size - ok) !total_ms
+    (match table_cache_stats with
+    | Some s ->
+        Printf.sprintf ", table cache %d hit(s) / %d miss(es) / %d store(s)"
+          s.Table_cache.hits s.Table_cache.misses s.Table_cache.stores
+    | None -> "");
   0
 
 let workers =
@@ -178,12 +236,32 @@ let summary_file =
     & info [ "summary" ] ~docv:"FILE"
         ~doc:"Write the aggregated hyperreconf.batch/1 document to $(docv) at EOF.")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent dense-table cache directory (created if missing): tables \
+           are mmap-loaded from it instead of being rebuilt, and stored into it \
+           after cold builds — reuse survives server restarts.")
+
+let max_table_mb =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-table-mb" ] ~docv:"MB"
+        ~doc:
+          "Per-instance dense-table memory cap in MiB (a positive integer; \
+           default 128).  Instances whose table would exceed it degrade to the \
+           memory-bounded memoizer.")
+
 let cmd =
   let doc = "batched PHC solve service (JSON lines on stdin/stdout)" in
   Cmd.v (Cmd.info "hrserve" ~doc)
     Term.(
       const run $ workers $ deadline_ms $ solver_names $ max_queue $ seed
-      $ summary_file)
+      $ summary_file $ cache_dir $ max_table_mb)
 
 let () =
   match Cmd.eval' ~catch:false cmd with

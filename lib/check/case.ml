@@ -43,25 +43,33 @@ let task_set widths vs reqs =
            ~v:vs.(j)
            (Trace.of_lists (Switch_space.make widths.(j)) reqs.(j))))
 
-let problem t =
-  let oracle =
-    match t.spec with
-    | Switch { widths; vs; reqs } -> Interval_cost.of_task_set (task_set widths vs reqs)
-    | Weighted { widths; reqs; weights } ->
-        (* Weighted.oracle derives each v_j from the task's total local
-           weight, so the task-set vs are placeholders. *)
-        let vs = Array.map (fun _ -> 0) widths in
-        Weighted.oracle (task_set widths vs reqs) ~weights
-    | Dag { num_contexts; w; costs; sat_sizes; seq } ->
-        let sats =
-          Array.map
-            (fun size -> Hr_util.Bitset.of_list num_contexts (List.init size Fun.id))
-            sat_sizes
-        in
-        let model = Dag_model.chain ~num_contexts ~w ~costs ~sats in
-        Dag_model.oracle ~v:[| w |] [| model |] [| seq |]
-  in
-  Problem.make ~params:t.params ~mode:t.mode ~machine_class:t.machine_class oracle
+(* The oracle's partial-hyperreconfiguration costs, derivable from the
+   spec without building the oracle (the cached fast path in [problem]
+   needs them before — instead of — the O(m·n²) construction). *)
+let oracle_v t =
+  match t.spec with
+  | Switch { vs; _ } -> Array.copy vs
+  | Weighted { weights; _ } ->
+      (* Weighted.oracle derives each v_j from the task's total local
+         weight. *)
+      Array.map (Array.fold_left ( + ) 0) weights
+  | Dag { w; _ } -> [| w |]
+
+let build_oracle t =
+  match t.spec with
+  | Switch { widths; vs; reqs } -> Interval_cost.of_task_set (task_set widths vs reqs)
+  | Weighted { widths; reqs; weights } ->
+      (* The task-set vs are placeholders; see [oracle_v]. *)
+      let vs = Array.map (fun _ -> 0) widths in
+      Weighted.oracle (task_set widths vs reqs) ~weights
+  | Dag { num_contexts; w; costs; sat_sizes; seq } ->
+      let sats =
+        Array.map
+          (fun size -> Hr_util.Bitset.of_list num_contexts (List.init size Fun.id))
+          sat_sizes
+      in
+      let model = Dag_model.chain ~num_contexts ~w ~costs ~sats in
+      Dag_model.oracle ~v:[| w |] [| model |] [| seq |]
 
 let model_name t =
   match t.spec with Switch _ -> "switch" | Weighted _ -> "weighted" | Dag _ -> "dag"
@@ -144,6 +152,32 @@ let to_json t =
     ]
 
 let to_string t = json_to_string (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Problem building.                                                   *)
+
+(* The Table_cache key: a digest of the canonical oracle-spec JSON —
+   exactly the oracle inputs, nothing else (params/mode/class do not
+   change the dense tables, so cases differing only there share one
+   table file). *)
+let oracle_key t = Digest.to_hex (Digest.string (json_to_string (spec_to_json t.spec)))
+
+let problem ?max_table_bytes ?cache_dir t =
+  let mk = Problem.make ~params:t.params ~mode:t.mode ~machine_class:t.machine_class in
+  match cache_dir with
+  | None -> mk ?max_bytes:max_table_bytes (build_oracle t)
+  | Some dir -> (
+      let cache = Table_cache.of_dir dir in
+      let key = oracle_key t in
+      (* Warm path: reconstruct the oracle straight from the mapped
+         table.  Even the oracle constructors are O(m·n²) (range-union
+         builds), so a hit must skip them entirely — m, n and v are
+         derivable from the spec in O(input). *)
+      match Interval_cost.of_cache cache ~key ~m:(m t) ~n:(n t) ~v:(oracle_v t) with
+      | Some oracle -> mk oracle
+      | None ->
+          mk ?max_bytes:max_table_bytes ~cache_dir:dir ~cache_key:key
+            (build_oracle t))
 
 (* ------------------------------------------------------------------ *)
 (* JSON decoding with validation.  Everything funnels through [check]

@@ -50,10 +50,22 @@ val schema_version : string
 val m : t -> int
 val n : t -> int
 
-(** [problem t] builds the instance (precomputed oracle).  Raises
-    [Invalid_argument] on an inconsistent case — {!of_string} validates
-    enough that loaded corpus cases never do. *)
-val problem : t -> Hr_core.Problem.t
+(** [problem ?max_table_bytes ?cache_dir t] builds the instance
+    (precomputed oracle).  [max_table_bytes] caps the dense-table
+    memory ({!Hr_core.Problem.make}'s [max_bytes]).  With [cache_dir]
+    the dense table is served from the persistent
+    {!Hr_core.Table_cache} under {!oracle_key} when a valid entry
+    exists — skipping even the oracle construction, so a warm build
+    performs no O(m·n²) work — and stored there after a cold build.
+    Raises [Invalid_argument] on an inconsistent case — {!of_string}
+    validates enough that loaded corpus cases never do. *)
+val problem : ?max_table_bytes:int -> ?cache_dir:string -> t -> Hr_core.Problem.t
+
+(** [oracle_key t] is the persistent-cache key: a hex digest of the
+    canonical oracle-spec JSON (the dense tables are a function of the
+    oracle inputs only, so cases differing in params/mode/class share
+    an entry). *)
+val oracle_key : t -> string
 
 (** [summary t] is a one-line description (model, m, n, class, mode,
     params) for failure reports and tables. *)

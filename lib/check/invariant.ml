@@ -164,6 +164,55 @@ let batch_matches_single =
         | rs -> Fail (Printf.sprintf "batch returned %d responses for 1 request" (List.length rs)));
   }
 
+(* One table-cache directory per hrcheck process, populated lazily: the
+   first case pays a cold build + store, every case (including that one)
+   then solves against the mmap-loaded table and must match the
+   plain in-memory build bit for bit. *)
+let cache_dir =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "hrcheck-table-cache-%d" (Unix.getpid ()))
+     in
+     at_exit (fun () ->
+         match Sys.readdir dir with
+         | entries ->
+             Array.iter
+               (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+               entries;
+             (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+         | exception Sys_error _ -> ());
+     dir)
+
+let cached_matches_fresh =
+  {
+    name = "cache-fresh";
+    doc = "a table-cache-served problem solves identically to a fresh build";
+    check =
+      (fun ctx ->
+        let dir = Lazy.force cache_dir in
+        (* Cold pass: build and persist the dense table (a no-op when an
+           earlier case with the same oracle already stored it). *)
+        ignore (Case.problem ~cache_dir:dir ctx.case);
+        (* Warm pass: must be served from the file. *)
+        let warm = Case.problem ~cache_dir:dir ctx.case in
+        let direct = Solver.solve ~seed:ctx.seed ctx.solver ctx.problem in
+        match Solver.solve ~seed:ctx.seed ctx.solver warm with
+        | exception e -> Fail ("cached problem solve raised: " ^ Printexc.to_string e)
+        | cached ->
+            if
+              cached.Solution.cost = direct.Solution.cost
+              && cached.Solution.exact = direct.Solution.exact
+              && Breakpoints.equal cached.Solution.bp direct.Solution.bp
+            then Pass
+            else
+              Fail
+                (Printf.sprintf
+                   "cache-served solve differs: cost %d/exact %b vs direct cost %d/exact %b"
+                   cached.Solution.cost cached.Solution.exact direct.Solution.cost
+                   direct.Solution.exact));
+  }
+
 let plan_roundtrip =
   {
     name = "plan-io";
@@ -187,6 +236,7 @@ let all =
     scale_linear;
     cutoff_safe;
     batch_matches_single;
+    cached_matches_fresh;
     plan_roundtrip;
   ]
 

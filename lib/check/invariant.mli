@@ -57,6 +57,13 @@ val cutoff_safe : t
     budget with the ctx seed. *)
 val batch_matches_single : t
 
+(** A problem served from the persistent {!Hr_core.Table_cache} (cold
+    store, then warm mmap load via [Case.problem ~cache_dir]) solves
+    identically to the fresh in-memory build — same cost, exactness
+    flag and breakpoint matrix.  Uses one lazily created per-process
+    cache directory, removed at exit. *)
+val cached_matches_fresh : t
+
 (** The plan survives a {!Hr_core.Plan_io} round-trip unchanged. *)
 val plan_roundtrip : t
 

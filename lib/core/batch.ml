@@ -38,6 +38,17 @@ type build_cache = {
   shared : int Atomic.t;
 }
 
+let build_cache () =
+  { mu = Mutex.create (); table = Hashtbl.create 16; shared = Atomic.make 0 }
+
+let build_cache_size cache =
+  Mutex.lock cache.mu;
+  let n = Hashtbl.length cache.table in
+  Mutex.unlock cache.mu;
+  n
+
+let build_cache_shared cache = Atomic.get cache.shared
+
 let build_problem cache req =
   match req.key with
   | None -> req.build ()
@@ -77,7 +88,7 @@ let carve ~global ~workers ~left =
     Budget.earliest global (Budget.of_deadline_ms (max 1 slice))
 
 let run ?pool ?(seed = Solver.default_seed) ?deadline_ms
-    ?(solvers = Solver_registry.applicable) requests =
+    ?(solvers = Solver_registry.applicable) ?cache requests =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let workers = Pool.size pool in
   let global =
@@ -85,7 +96,11 @@ let run ?pool ?(seed = Solver.default_seed) ?deadline_ms
     | None -> Budget.unlimited
     | Some ms -> Budget.of_deadline_ms ms
   in
-  let cache = { mu = Mutex.create (); table = Hashtbl.create 16; shared = Atomic.make 0 } in
+  (* A caller-held cache outlives the run (hrserve passes one per
+     process for cross-batch reuse); [shared_builds] still reports this
+     run's hits only. *)
+  let cache = match cache with Some c -> c | None -> build_cache () in
+  let shared0 = Atomic.get cache.shared in
   let unstarted = Atomic.make (List.length requests) in
   let t0 = Budget.now_ms () in
   let solve_one req =
@@ -113,7 +128,7 @@ let run ?pool ?(seed = Solver.default_seed) ?deadline_ms
     total_ms = Budget.now_ms () -. t0;
     workers;
     deadline_ms;
-    shared_builds = Atomic.get cache.shared;
+    shared_builds = Atomic.get cache.shared - shared0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -168,7 +183,7 @@ let response_to_json r =
             ("solvers", List (List.map report_to_json solved.reports));
           ])
 
-let to_json ?(label = "batch") ?(results = true) t =
+let to_json ?(label = "batch") ?(results = true) ?(extra = []) t =
   let size = List.length t.responses in
   let ok =
     List.length (List.filter (fun r -> Result.is_ok r.outcome) t.responses)
@@ -197,6 +212,7 @@ let to_json ?(label = "batch") ?(results = true) t =
          if t.total_ms > 0. then Float (1000. *. float size /. t.total_ms) else Null );
        ("shared_builds", Int t.shared_builds);
      ]
+    @ extra
     @
     if results then [ ("results", List (List.map response_to_json t.responses)) ]
     else [])

@@ -71,17 +71,39 @@ val result_schema_version : string
 
 val batch_schema_version : string
 
-(** [run ?pool ?seed ?deadline_ms ?solvers requests] solves every
-    request (racing [solvers problem] — default
+(** The key-dedup problem store {!run} shares builds through.  By
+    default each run creates a private one; a caller can instead hold
+    one across runs (hrserve keeps a process-wide cache) so later
+    batches reuse earlier batches' precomputed oracles — in-process
+    reuse keyed on the same structural identity the persistent
+    {!Table_cache} uses on disk.  Thread-safe. *)
+type build_cache
+
+(** [build_cache ()] is a fresh empty store. *)
+val build_cache : unit -> build_cache
+
+(** [build_cache_size c] is the number of distinct problems resident. *)
+val build_cache_size : build_cache -> int
+
+(** [build_cache_shared c] is the lifetime count of requests served
+    from [c] instead of building. *)
+val build_cache_shared : build_cache -> int
+
+(** [run ?pool ?seed ?deadline_ms ?solvers ?cache requests] solves
+    every request (racing [solvers problem] — default
     {!Solver_registry.applicable} — under its carved budget) on [pool]
     (default {!Hr_util.Pool.default}).  Anything a request raises —
     build failure, {!Solver.Rejected}, an all-crash race — becomes its
-    [Error] outcome; other requests are unaffected. *)
+    [Error] outcome; other requests are unaffected.  [cache] (default:
+    a fresh one) dedups problem builds by request key; the result's
+    [shared_builds] counts this run's cache hits only, even on a
+    long-lived cache. *)
 val run :
   ?pool:Hr_util.Pool.t ->
   ?seed:int ->
   ?deadline_ms:int ->
   ?solvers:(Problem.t -> Solver.t list) ->
+  ?cache:build_cache ->
   request list ->
   t
 
@@ -96,8 +118,11 @@ val error_response : ?wall_ms:float -> id:string -> string -> response
     of per-contestant telemetry — or, on failure, [error]. *)
 val response_to_json : response -> Telemetry.json
 
-(** [to_json ?label ?results t] is the [hyperreconf.batch/1] document
-    aggregating the batch: size, ok/error/cut-off counts, workers,
-    deadline, wall clock, throughput (instances/s), shared builds and —
-    unless [results] is [false] — every per-request result document. *)
-val to_json : ?label:string -> ?results:bool -> t -> Telemetry.json
+(** [to_json ?label ?results ?extra t] is the [hyperreconf.batch/1]
+    document aggregating the batch: size, ok/error/cut-off counts,
+    workers, deadline, wall clock, throughput (instances/s), shared
+    builds and — unless [results] is [false] — every per-request result
+    document.  [extra] fields (e.g. hrserve's table-cache stats) are
+    appended after the standard aggregates. *)
+val to_json :
+  ?label:string -> ?results:bool -> ?extra:(string * Telemetry.json) list -> t -> Telemetry.json

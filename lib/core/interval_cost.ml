@@ -1,5 +1,7 @@
 module Pool = Hr_util.Pool
 
+type dense_source = Built | Mapped
+
 type cache =
   | Direct
   | Memoized of {
@@ -8,10 +10,11 @@ type cache =
       entries : int Atomic.t;
     }
   | Dense of {
-      cells : int;
+      table : Flat_table.t;
       build_ms : float;
       build_workers : int;
       build_seq_ms : float;
+      source : dense_source;
     }
 
 type cache_stats = {
@@ -22,6 +25,10 @@ type cache_stats = {
   build_ms : float;
   build_workers : int;
   build_seq_ms : float;
+  width_bits : int;
+  bytes_resident : int;
+  bytes_peak : int;
+  source : string;
 }
 
 type t = {
@@ -30,7 +37,20 @@ type t = {
   v : int array;
   step_cost : int -> int -> int -> int;
   cache : cache;
+  fingerprint : string option;
 }
+
+(* The memoize fallback capacity (see [memoize] below). *)
+let memo_shards = 64
+let memo_slots = 4096 (* per shard; must be a power of two *)
+let memo_probe_limit = 16
+
+(* Heap-accounting estimates for the memoizer: the slot array is
+   [memo_shards * memo_slots] one-word Atomics, and each resident entry
+   additionally boxes a (key, value) pair — 3 words with its header. *)
+let word = Sys.word_size / 8
+let memo_table_bytes = memo_shards * memo_slots * word
+let memo_entry_bytes = 3 * word
 
 let cache_stats t =
   match t.cache with
@@ -43,37 +63,71 @@ let cache_stats t =
         build_ms = 0.;
         build_workers = 1;
         build_seq_ms = 0.;
+        width_bits = 0;
+        bytes_resident = 0;
+        bytes_peak = 0;
+        source = "";
       }
   | Memoized { hits; misses; entries } ->
+      let resident = Atomic.get entries in
       {
         kind = "memoize";
         hits = Atomic.get hits;
         misses = Atomic.get misses;
-        cells = Atomic.get entries;
+        cells = resident;
         build_ms = 0.;
         build_workers = 1;
         build_seq_ms = 0.;
+        width_bits = 64;
+        bytes_resident = memo_table_bytes + (resident * memo_entry_bytes);
+        bytes_peak = memo_table_bytes + (memo_shards * memo_slots * memo_entry_bytes);
+        source = "";
       }
-  | Dense { cells; build_ms; build_workers; build_seq_ms } ->
+  | Dense { table; build_ms; build_workers; build_seq_ms; source } ->
+      let bytes = Flat_table.bytes table in
       {
         kind = "dense";
         hits = 0;
         misses = 0;
-        cells;
+        cells = Flat_table.length table;
         build_ms;
         build_workers;
         build_seq_ms;
+        width_bits = Flat_table.width_bits table;
+        bytes_resident = bytes;
+        bytes_peak = bytes;
+        source = (match source with Built -> "built" | Mapped -> "mmap");
       }
 
 let make ~m ~n ~v ~step_cost =
   if m <= 0 then invalid_arg "Interval_cost.make: m must be positive";
   if n < 0 then invalid_arg "Interval_cost.make: negative n";
   if Array.length v <> m then invalid_arg "Interval_cost.make: |v| <> m";
-  { m; n; v = Array.copy v; step_cost; cache = Direct }
+  { m; n; v = Array.copy v; step_cost; cache = Direct; fingerprint = None }
 
-(* Oracle builds whose dense table would stay below this many cells run
-   sequentially — queue traffic would dominate the row loops. *)
-let parallel_build_cells = 1 lsl 16
+(* The structural hash of a task set: everything the switch-model dense
+   tables are a function of (constructor tag, dimensions, per-task v,
+   local-space width, and every step requirement).  Equal task sets
+   hash equal; any change to a requirement changes the digest. *)
+let task_set_fingerprint ts =
+  let buf = Buffer.create 1024 in
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  Buffer.add_string buf (Printf.sprintf "hyperreconf.oracle/switch/1|m=%d|n=%d" m n);
+  for j = 0 to m - 1 do
+    let task = Task_set.get ts j in
+    Buffer.add_string buf
+      (Printf.sprintf "|task %d v=%d width=%d" j task.Task_set.v
+         (Switch_space.size (Trace.space task.Task_set.trace)));
+    for i = 0 to n - 1 do
+      Buffer.add_char buf ';';
+      Hr_util.Bitset.iter
+        (fun s ->
+          Buffer.add_string buf (string_of_int s);
+          Buffer.add_char buf ',')
+        (Trace.req task.Task_set.trace i)
+    done
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let of_task_set ?pool ts =
   let m = Task_set.num_tasks ts in
@@ -82,7 +136,9 @@ let of_task_set ?pool ts =
   let pool =
     match pool with
     | Some _ -> pool
-    | None -> if m * n * n >= parallel_build_cells then Some (Pool.default ()) else None
+    | None ->
+        if m * n * n >= Flat_table.parallel_build_cells then Some (Pool.default ())
+        else None
   in
   (* Multi-task sets parallelize across tasks; a single task hands the
      pool down so Range_union parallelizes across its lo rows
@@ -94,7 +150,7 @@ let of_task_set ?pool ts =
     | _ -> Array.init m mk
   in
   let step_cost j lo hi = Range_union.size tables.(j) lo hi in
-  make ~m ~n ~v ~step_cost
+  { (make ~m ~n ~v ~step_cost) with fingerprint = Some (task_set_fingerprint ts) }
 
 let of_single ?pool ~v trace = of_task_set ?pool (Task_set.single ~name:"task" ~v trace)
 
@@ -104,10 +160,6 @@ let of_single ?pool ~v trace = of_task_set ?pool (Task_set.single ~name:"task" ~
    empty sentinel, reads are one [Atomic.get] — racing solver domains
    never serialize on a lock.  A full probe window simply computes
    without caching (bounded memory; the hot triples win the slots). *)
-let memo_shards = 64
-let memo_slots = 4096 (* per shard; must be a power of two *)
-let memo_probe_limit = 16
-
 let memoize t =
   let empty = (min_int, 0) in
   let table = Array.init (memo_shards * memo_slots) (fun _ -> Atomic.make empty) in
@@ -142,63 +194,148 @@ let memoize t =
   in
   { t with step_cost; cache = Memoized { hits; misses; entries } }
 
-let default_max_cells = 16_000_000
+(* 128 MiB: the same ceiling the old 16M-cell ([int array], 8 B/cell)
+   default imposed, but now width-aware — a 16-bit table fits 4x the
+   cells in the same budget. *)
+let default_max_bytes = 128 * 1024 * 1024
 
-let precompute ?(max_cells = default_max_cells) ?pool t =
+(* [step_cost] is monotone (non-increasing in lo, non-decreasing in
+   hi), so the largest cell of task j is the full-interval cost — m
+   oracle calls bound every cell and pick the element width.  A
+   non-monotone custom oracle that breaks the bound is caught by the
+   checked table writes and rebuilt at full width. *)
+let value_bound t =
+  let b = ref 0 in
+  for j = 0 to t.m - 1 do
+    b := max !b (t.step_cost j 0 (t.n - 1))
+  done;
+  !b
+
+let width_bytes_for bound = if bound <= 0xFFFF then 2 else if bound <= Int32.to_int Int32.max_int then 4 else 8
+
+let dense_lookup ~n table =
+  let read = Flat_table.reader table in
+  fun j lo hi -> read ((((j * n) + lo) * n) + hi)
+
+let of_table ~m ~n ~v table =
+  if Flat_table.length table <> m * n * n then
+    invalid_arg "Interval_cost.of_table: table size <> m*n*n";
+  {
+    m;
+    n;
+    v = Array.copy v;
+    step_cost = dense_lookup ~n table;
+    cache =
+      Dense { table; build_ms = 0.; build_workers = 1; build_seq_ms = 0.; source = Mapped };
+    fingerprint = None;
+  }
+
+let of_cache cache ~key ~m ~n ~v =
+  if m <= 0 || n < 0 then None
+  else
+    Option.map
+      (fun table -> { (of_table ~m ~n ~v table) with fingerprint = Some key })
+      (Table_cache.load cache ~key ~cells:(m * n * n))
+
+let precompute ?(max_bytes = default_max_bytes) ?cache ?pool t =
   match t.cache with
   (* Already materialized (or already fallen back): re-densifying would
      only copy the table.  Short-circuiting keeps per-solve calls
      (Mt_ga, Mt_local, Mt_anneal under Solver.race) free once
      Problem.make has built the shared tables. *)
   | Dense _ -> t
-  | Memoized _ when t.m * t.n * t.n > max_cells -> t
   | _ when t.n = 0 -> t
-  | _ when t.m * t.n * t.n > max_cells -> memoize t
   | _ ->
-      (* One flat table: lock-free reads, so the same oracle can be
-         shared by solvers racing on several domains without the
-         sentinel-CAS round of [memoize].  Rows ((task, lo) pairs) are
-         independent, so they build in parallel on the pool; per-chunk
-         wall clocks accumulate into the sequential-equivalent build
-         time reported by {!cache_stats}. *)
       let n = t.n and m = t.m in
       let cells = m * n * n in
-      let pool =
-        match pool with
-        | Some _ -> pool
-        | None -> if cells >= parallel_build_cells then Some (Pool.default ()) else None
-      in
-      let t0 = Hr_util.Budget.now_ms () in
-      let tab = Array.make cells 0 in
-      let seq_us = Atomic.make 0 in
-      let fill_rows r_lo r_hi =
-        let c0 = Hr_util.Budget.now_ms () in
-        for r = r_lo to r_hi do
-          let j = r / n and lo = r mod n in
-          let base = (((j * n) + lo) * n) in
-          for hi = lo to n - 1 do
-            tab.(base + hi) <- t.step_cost j lo hi
-          done
-        done;
-        ignore
-          (Atomic.fetch_and_add seq_us
-             (int_of_float ((Hr_util.Budget.now_ms () -. c0) *. 1000.)))
-      in
-      let build_workers =
-        match pool with
-        | Some p ->
-            Pool.iter_chunks ~chunks:(min (m * n) ((Pool.size p + 1) * 4)) p
-              fill_rows (m * n);
-            Pool.size p + 1
+      let bound = value_bound t in
+      if cells * width_bytes_for bound > max_bytes then (
+        (* Over the memory budget: the graceful fall-back ladder ends at
+           the bounded-memory memoizer. *)
+        match t.cache with Memoized _ -> t | _ -> memoize t)
+      else
+        let t0 = Hr_util.Budget.now_ms () in
+        let cached =
+          match (cache, t.fingerprint) with
+          | Some c, Some key -> Table_cache.load c ~key ~cells
+          | _ -> None
+        in
+        match cached with
+        | Some table ->
+            (* mmap hit: the table pages in on demand; no oracle calls. *)
+            let build_ms = Hr_util.Budget.now_ms () -. t0 in
+            {
+              t with
+              step_cost = dense_lookup ~n table;
+              cache =
+                Dense
+                  { table; build_ms; build_workers = 1; build_seq_ms = build_ms; source = Mapped };
+            }
         | None ->
-            fill_rows 0 ((m * n) - 1);
-            1
-      in
-      let step_cost j lo hi = tab.((((j * n) + lo) * n) + hi) in
-      let build_ms = Hr_util.Budget.now_ms () -. t0 in
-      let build_seq_ms =
-        if build_workers = 1 then build_ms else float_of_int (Atomic.get seq_us) /. 1000.
-      in
-      { t with step_cost; cache = Dense { cells; build_ms; build_workers; build_seq_ms } }
+            (* One flat table: lock-free reads, so the same oracle can be
+               shared by solvers racing on several domains without the
+               sentinel-CAS round of [memoize].  Rows ((task, lo) pairs)
+               are independent, so they build in parallel on the pool;
+               per-chunk wall clocks accumulate into the
+               sequential-equivalent build time reported by
+               {!cache_stats}. *)
+            let pool =
+              match pool with
+              | Some _ -> pool
+              | None ->
+                  if cells >= Flat_table.parallel_build_cells then Some (Pool.default ())
+                  else None
+            in
+            let seq_us = Atomic.make 0 in
+            let build max_value =
+              let tab = Flat_table.create ~max_value cells in
+              let write = Flat_table.writer tab in
+              Atomic.set seq_us 0;
+              let fill_rows r_lo r_hi =
+                let c0 = Hr_util.Budget.now_ms () in
+                for r = r_lo to r_hi do
+                  let j = r / n and lo = r mod n in
+                  let base = ((j * n) + lo) * n in
+                  for hi = lo to n - 1 do
+                    write (base + hi) (t.step_cost j lo hi)
+                  done
+                done;
+                ignore
+                  (Atomic.fetch_and_add seq_us
+                     (int_of_float ((Hr_util.Budget.now_ms () -. c0) *. 1000.)))
+              in
+              let build_workers =
+                match pool with
+                | Some p ->
+                    Pool.iter_chunks ~chunks:(min (m * n) ((Pool.size p + 1) * 4)) p
+                      fill_rows (m * n);
+                    Pool.size p + 1
+                | None ->
+                    fill_rows 0 ((m * n) - 1);
+                    1
+              in
+              (tab, build_workers)
+            in
+            let tab, build_workers =
+              (* The monotone bound makes overflow impossible for
+                 law-abiding oracles; a custom oracle that violates
+                 monotonicity trips the checked write and rebuilds at
+                 full width instead of storing a truncated cell. *)
+              try build bound with Flat_table.Overflow _ -> build max_int
+            in
+            (match (cache, t.fingerprint) with
+            | Some c, Some key -> Table_cache.store c ~key tab
+            | _ -> ());
+            let build_ms = Hr_util.Budget.now_ms () -. t0 in
+            let build_seq_ms =
+              if build_workers = 1 then build_ms
+              else float_of_int (Atomic.get seq_us) /. 1000.
+            in
+            {
+              t with
+              step_cost = dense_lookup ~n tab;
+              cache =
+                Dense { table = tab; build_ms; build_workers; build_seq_ms; source = Built };
+            }
 
 let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

@@ -17,7 +17,14 @@
     {- monotone: non-increasing in [lo] and non-decreasing in [hi]
        (shrinking a block can only shrink its minimal hypercontext);}
     {- non-negative.}}
-    Constructors in this library guarantee both. *)
+    Constructors in this library guarantee both.
+
+    Dense tables live out of the OCaml heap in a {!Flat_table.t}
+    (Bigarray storage, element width chosen from the largest cell):
+    zero-copy shareable across {!Hr_util.Pool} domains, invisible to
+    the GC, lock-free O(1) reads.  With a {!Table_cache.t} the tables
+    also persist across processes, addressed by the oracle's structural
+    fingerprint. *)
 
 (** How (and whether) the oracle caches [step_cost] queries — carried
     by the oracle so the solver telemetry can report cache behavior. *)
@@ -31,6 +38,11 @@ type t = {
       (** [step_cost j lo hi]: per-step reconfiguration cost of task [j]
           while its current hypercontext covers steps [lo..hi]. *)
   cache : cache;
+  fingerprint : string option;
+      (** structural hash of the oracle inputs (when the constructor can
+          derive one, e.g. {!of_task_set}): equal inputs have equal
+          fingerprints, so it addresses the persistent
+          {!Table_cache}. *)
 }
 
 (** A telemetry snapshot of the oracle's cache.  [kind] is ["direct"]
@@ -49,7 +61,18 @@ type t = {
     per-chunk wall clocks — what one domain would have paid), so
     [build_seq_ms /. build_ms] is the measured build speedup.  For
     sequential builds [build_seq_ms = build_ms]; for non-dense caches
-    both report their idle defaults (workers 1, 0 ms). *)
+    both report their idle defaults (workers 1, 0 ms).
+
+    The memory fields report residency: [width_bits] is the dense
+    element width from the {!Flat_table} ladder (16/32/64; 64 for the
+    boxed memoizer, 0 for ["direct"]), [bytes_resident] the bytes held
+    now (exact table bytes for ["dense"], an estimate for
+    ["memoize"]), and [bytes_peak] the cache's ceiling (equal to
+    resident for dense tables; the full-capacity estimate for the
+    memoizer).  [source] says where a dense table came from: ["built"]
+    (computed by oracle calls this process) or ["mmap"] (mapped from a
+    {!Table_cache} file — a warm load performs no oracle calls);
+    [""] for non-dense caches. *)
 type cache_stats = {
   kind : string;
   hits : int;
@@ -58,6 +81,10 @@ type cache_stats = {
   build_ms : float;
   build_workers : int;
   build_seq_ms : float;
+  width_bits : int;
+  bytes_resident : int;
+  bytes_peak : int;
+  source : string;
 }
 
 (** [cache_stats t] — counters are cumulative over the oracle's
@@ -67,18 +94,30 @@ val cache_stats : t -> cache_stats
 (** [of_task_set ?pool ts] is the MT-Switch oracle: [step_cost j lo hi =
     |U_j(lo,hi)|].  Precomputes the per-task interval-union tables —
     in parallel on [pool] across tasks (and across [lo] rows for
-    single-task sets, via {!Range_union.make}).  Without [pool], large
-    builds (≥ ~64k cells) run on the shared {!Hr_util.Pool.default};
-    small ones stay sequential.  The tables are elementwise identical
-    either way. *)
+    single-task sets, via {!Range_union.make}).  Without [pool], builds
+    of at least {!Flat_table.parallel_build_cells} cells run on the
+    shared {!Hr_util.Pool.default}; smaller ones stay sequential.  The
+    tables are elementwise identical either way.  The oracle carries
+    {!task_set_fingerprint}[ ts] as its [fingerprint]. *)
 val of_task_set : ?pool:Hr_util.Pool.t -> Task_set.t -> t
 
 (** [of_single ?pool ~v trace] is the single-task switch oracle. *)
 val of_single : ?pool:Hr_util.Pool.t -> v:int -> Trace.t -> t
 
 (** [make ~m ~n ~v ~step_cost] builds a custom oracle (used by the DAG
-    and General models). *)
+    and General models).  Custom oracles carry no [fingerprint], so
+    they never touch a {!Table_cache} (the cache cannot know what the
+    closure depends on); set one with a record update if the inputs
+    are content-addressable. *)
 val make : m:int -> n:int -> v:int array -> step_cost:(int -> int -> int -> int) -> t
+
+(** [task_set_fingerprint ts] is the structural hash (hex MD5) of
+    everything the MT-Switch dense tables are a function of: m, n, each
+    task's [v], local-space width, and every step requirement.  Equal
+    task sets hash equal; any change to any requirement changes the
+    hash.  This is the {!Table_cache} key used by {!of_task_set} /
+    {!precompute}. *)
+val task_set_fingerprint : Task_set.t -> string
 
 (** [memoize t] caches [step_cost] results in a sharded lock-free table
     (fixed capacity, compare-and-set inserts, plain atomic reads) — the
@@ -89,21 +128,60 @@ val make : m:int -> n:int -> v:int array -> step_cost:(int -> int -> int -> int)
     {!precompute} whenever the dense table fits. *)
 val memoize : t -> t
 
-(** [precompute ?max_cells ?pool t] materializes every
-    [step_cost j lo hi] into one flat dense array in O(m·n²) oracle
-    calls.  Queries become lock-free O(1) array reads, safe to share
-    across domains (used by {!Solver.race} and the parallel
-    metaheuristics).  The independent (task, lo) rows build in parallel
-    on [pool] — defaulting to the shared {!Hr_util.Pool.default} for
-    tables of ≥ ~64k cells, sequential below — and the build records
-    wall/sequential-equivalent times and worker count in
-    {!cache_stats}.  When the table would exceed [max_cells] ints
-    (default 16M) it falls back to {!memoize}.  Idempotent and free on
-    an already-dense (or already-fallen-back) oracle — {!Problem.make}
+(** The default [max_bytes] of {!precompute}: 128 MiB, the same ceiling
+    the previous 16M-cell ([int array]) default imposed, but now
+    width-aware — a 16-bit table fits 4x the cells in the same
+    budget. *)
+val default_max_bytes : int
+
+(** [value_bound t] is an upper bound on every [step_cost] cell — by
+    interval monotonicity the largest cell of task [j] is the
+    full-interval cost, so the bound costs [m] oracle calls.  It picks
+    the {!Flat_table} element width before a dense build. *)
+val value_bound : t -> int
+
+(** [precompute ?max_bytes ?cache ?pool t] materializes every
+    [step_cost j lo hi] into one flat dense {!Flat_table.t} in O(m·n²)
+    oracle calls.  Queries become lock-free O(1) reads of out-of-heap
+    storage, safe to share across domains (used by {!Solver.race} and
+    the parallel metaheuristics).  The element width (16/32/64 bits)
+    is picked from {!value_bound}; a custom oracle that violates the
+    documented monotonicity trips the checked writes and transparently
+    rebuilds at full width.
+
+    The independent (task, lo) rows build in parallel on [pool] —
+    defaulting to the shared {!Hr_util.Pool.default} for tables of at
+    least {!Flat_table.parallel_build_cells} cells, sequential below —
+    and the build records wall/sequential-equivalent times and worker
+    count in {!cache_stats}.
+
+    When the table would exceed [max_bytes] (default
+    {!default_max_bytes}) it falls back to {!memoize} — memory-bounded,
+    still lock-free.
+
+    With [cache] and an oracle that carries a [fingerprint], the table
+    is first looked up in the persistent store — a hit [mmap]s the file
+    (no oracle calls, [cache_stats.source = "mmap"]) — and a freshly
+    built table is written back for the next process.
+
+    Idempotent and free on an already-dense oracle — {!Problem.make}
     calls it once per instance and every registered solver then shares
     the same tables. *)
-val precompute : ?max_cells:int -> ?pool:Hr_util.Pool.t -> t -> t
+val precompute :
+  ?max_bytes:int -> ?cache:Table_cache.t -> ?pool:Hr_util.Pool.t -> t -> t
 
-(** [full_cost t j] is [step_cost j 0 (n-1)]: the per-step cost of the
+(** [of_cache cache ~key ~m ~n ~v] constructs a dense oracle directly
+    from a persistent table, skipping the input-side construction
+    entirely (for the switch model even {!of_task_set} is O(m·n²) —
+    the warm path must not pay it).  [None] on any cache miss; on a
+    hit the oracle's [step_cost] reads the mapped table and its
+    [fingerprint] is [key].  The caller asserts that [key] was
+    computed from the same inputs that determine [m], [n] and [v] —
+    e.g. {!Hr_check.Case.oracle_key} derives all four from the case
+    spec. *)
+val of_cache :
+  Table_cache.t -> key:string -> m:int -> n:int -> v:int array -> t option
+
+(** [full_cost t j] is [step_cost t j 0 (n-1)]: the per-step cost of the
     never-hyperreconfigure hypercontext of task [j]. *)
 val full_cost : t -> int -> int

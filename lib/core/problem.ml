@@ -25,13 +25,23 @@ let validate_mode_params mode (params : Sync_cost.params) =
 
 let make ?(params = Sync_cost.default_params)
     ?(mode = Mixed_sync.Fully_synchronized) ?(machine_class = Partial)
-    ?(precompute = true) ?pool oracle =
+    ?(precompute = true) ?max_bytes ?cache_dir ?cache_key ?pool oracle =
   validate_mode_params mode params;
-  let oracle = if precompute then Interval_cost.precompute ?pool oracle else oracle in
+  let oracle =
+    match cache_key with
+    | Some key -> { oracle with Interval_cost.fingerprint = Some key }
+    | None -> oracle
+  in
+  let cache = Option.map Table_cache.of_dir cache_dir in
+  let oracle =
+    if precompute then Interval_cost.precompute ?max_bytes ?cache ?pool oracle
+    else oracle
+  in
   { oracle; params; mode; machine_class }
 
-let of_task_set ?params ?mode ?machine_class ?pool ts =
-  make ?params ?mode ?machine_class ?pool (Interval_cost.of_task_set ?pool ts)
+let of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool ts =
+  make ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool
+    (Interval_cost.of_task_set ?pool ts)
 
 let of_trace ?v ?params trace =
   let v = match v with Some v -> v | None -> Switch_space.size (Trace.space trace) in

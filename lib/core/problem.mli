@@ -34,31 +34,50 @@ type t = {
   machine_class : machine_class;
 }
 
-(** [make ?params ?mode ?machine_class ?precompute ?pool oracle].
-    Defaults: {!Sync_cost.default_params}, [Fully_synchronized],
-    [Partial], [precompute = true].  [pool] is handed to
+(** [make ?params ?mode ?machine_class ?precompute ?max_bytes
+    ?cache_dir ?cache_key ?pool oracle].  Defaults:
+    {!Sync_cost.default_params}, [Fully_synchronized], [Partial],
+    [precompute = true].  [pool] is handed to
     {!Interval_cost.precompute} so large oracle builds run on a caller
-    pool instead of the shared default.  Raises [Invalid_argument] when
-    a non-fully-synchronized mode is combined with parameters
-    {!Mixed_sync} cannot evaluate (nonzero [w], sequential uploads, or
-    [pub > 0] outside the context-synchronized and fully synchronized
-    modes). *)
+    pool instead of the shared default.
+
+    [max_bytes] caps the dense-table memory (default
+    {!Interval_cost.default_max_bytes}); over-budget oracles fall back
+    to the bounded memoizer.  [cache_dir] names a persistent
+    {!Table_cache} directory: the dense table is loaded from it when a
+    valid entry exists (no oracle calls) and stored into it after a
+    fresh build.  The cache key is the oracle's own structural
+    [fingerprint]; [cache_key] overrides it for oracles whose
+    constructor could not derive one (the caller then asserts the key
+    captures every input).
+
+    Raises [Invalid_argument] when a non-fully-synchronized mode is
+    combined with parameters {!Mixed_sync} cannot evaluate (nonzero
+    [w], sequential uploads, or [pub > 0] outside the
+    context-synchronized and fully synchronized modes). *)
 val make :
   ?params:Sync_cost.params ->
   ?mode:Mixed_sync.mode ->
   ?machine_class:machine_class ->
   ?precompute:bool ->
+  ?max_bytes:int ->
+  ?cache_dir:string ->
+  ?cache_key:string ->
   ?pool:Hr_util.Pool.t ->
   Interval_cost.t ->
   t
 
-(** [of_task_set ?params ?mode ?machine_class ?pool ts] — the MT-Switch
-    instance of a task set; [pool] parallelizes both the range-union
-    and the dense-table build. *)
+(** [of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir
+    ?pool ts] — the MT-Switch instance of a task set; [pool]
+    parallelizes both the range-union and the dense-table build;
+    [max_bytes]/[cache_dir] as in {!make} (the cache key is
+    {!Interval_cost.task_set_fingerprint}). *)
 val of_task_set :
   ?params:Sync_cost.params ->
   ?mode:Mixed_sync.mode ->
   ?machine_class:machine_class ->
+  ?max_bytes:int ->
+  ?cache_dir:string ->
   ?pool:Hr_util.Pool.t ->
   Task_set.t ->
   t

@@ -1,49 +1,59 @@
 module Bitset = Hr_util.Bitset
 
-(* sizes.(lo).(hi - lo) = |U(lo,hi)| *)
-type t = { trace : Trace.t; sizes : int array array }
+(* The triangular size table lives in one flat out-of-heap Flat_table:
+   row lo starts at lo*n - lo*(lo-1)/2 and holds |U(lo,hi)| at offset
+   hi - lo.  Cells are width-laddered to the cardinality of the whole
+   trace's union (the largest any interval union can reach), so a
+   typical table costs 2 bytes per cell and is never scanned by the
+   GC. *)
+type t = { trace : Trace.t; n : int; sizes : Flat_table.t; read : int -> int }
 
-(* Each lo row is an independent prefix-union sweep, so rows can be
-   built in parallel; below this many total cells the queue traffic
-   would dominate the sweeps and the build stays sequential. *)
-let parallel_rows_cells = 1 lsl 14
+let tri_base n lo = (lo * n) - (lo * (lo - 1) / 2)
 
 let make ?pool trace =
   let n = Trace.length trace in
+  let cells = n * (n + 1) / 2 in
+  let bound = Bitset.cardinal (Trace.total_union trace) in
+  let sizes = Flat_table.create ~max_value:bound cells in
+  let set = Flat_table.writer sizes in
   let row lo =
-    let r = Array.make (n - lo) 0 in
+    let base = tri_base n lo in
     let acc = Bitset.copy (Trace.req trace lo) in
-    r.(0) <- Bitset.cardinal acc;
+    set base (Bitset.cardinal acc);
     for hi = lo + 1 to n - 1 do
       ignore (Bitset.union_into ~into:acc (Trace.req trace hi));
-      r.(hi - lo) <- Bitset.cardinal acc
-    done;
-    r
+      set (base + hi - lo) (Bitset.cardinal acc)
+    done
   in
-  let sizes =
-    match pool with
-    | Some p when n > 1 && n * n >= parallel_rows_cells ->
-        let sizes = Array.make n [||] in
-        Hr_util.Pool.iter_chunks
-          ~chunks:(min n ((Hr_util.Pool.size p + 1) * 4))
-          p
-          (fun lo hi ->
-            for l = lo to hi do
-              sizes.(l) <- row l
-            done)
-          n;
-        sizes
-    | _ -> Array.init n row
-  in
-  { trace; sizes }
+  (* Each lo row is an independent prefix-union sweep writing disjoint
+     cells, so rows build in parallel; the cutoff is the shared
+     Flat_table.parallel_build_cells constant (below it, queue traffic
+     would dominate the sweeps). *)
+  (match pool with
+  | Some p when n > 1 && cells >= Flat_table.parallel_build_cells ->
+      Hr_util.Pool.iter_chunks
+        ~chunks:(min n ((Hr_util.Pool.size p + 1) * 4))
+        p
+        (fun lo hi ->
+          for l = lo to hi do
+            row l
+          done)
+        n
+  | _ ->
+      for lo = 0 to n - 1 do
+        row lo
+      done);
+  { trace; n; sizes; read = Flat_table.reader sizes }
 
-let length t = Trace.length t.trace
+let length t = t.n
 
 let size t lo hi =
-  if lo < 0 || hi >= length t || lo > hi then
+  if lo < 0 || hi >= t.n || lo > hi then
     invalid_arg (Printf.sprintf "Range_union.size: bad range [%d,%d]" lo hi);
-  t.sizes.(lo).(hi - lo)
+  t.read (tri_base t.n lo + hi - lo)
 
 let union t lo hi = Trace.range_union t.trace lo hi
 
 let trace t = t.trace
+
+let table t = t.sizes

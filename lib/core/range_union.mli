@@ -5,14 +5,22 @@
     union is the minimal hypercontext valid for a block, and its size
     is the per-step reconfiguration cost of the block (cost(h) = |h|).
     This module materializes the triangular size table once in O(n²)
-    bitset unions so each query is O(1). *)
+    bitset unions so each query is O(1).
+
+    The table is a {!Flat_table.t} (out-of-heap Bigarray storage,
+    width-laddered to the trace's total-union cardinality): zero-copy
+    shareable across {!Hr_util.Pool} domains, never scanned by the GC,
+    and typically 2 bytes per cell instead of a boxed word. *)
 
 type t
 
-(** [make ?pool trace] precomputes the table.  Memory is O(n²) ints.
-    With [pool] the independent per-[lo] prefix-union rows are built in
-    parallel on the pool (for tables of at least ~16k cells); the
-    resulting table is elementwise identical to the sequential build. *)
+(** [make ?pool trace] precomputes the table.  Memory is n·(n+1)/2
+    width-laddered cells.  With [pool] the independent per-[lo]
+    prefix-union rows are built in parallel on the pool for tables of
+    at least {!Flat_table.parallel_build_cells} cells — the same
+    threshold {!Interval_cost} uses, so the two layers' decisions
+    cannot drift apart; the resulting table is elementwise identical to
+    the sequential build. *)
 val make : ?pool:Hr_util.Pool.t -> Trace.t -> t
 
 (** [length t] is the trace length n. *)
@@ -27,3 +35,6 @@ val union : t -> int -> int -> Hr_util.Bitset.t
 
 (** [trace t] is the underlying trace. *)
 val trace : t -> Trace.t
+
+(** [table t] is the backing flat table (for memory accounting). *)
+val table : t -> Flat_table.t

@@ -330,6 +330,12 @@ let oracle_to_json (o : Interval_cost.cache_stats) =
         if o.Interval_cost.build_workers > 1 && o.Interval_cost.build_ms > 0. then
           Float (o.Interval_cost.build_seq_ms /. o.Interval_cost.build_ms)
         else Null );
+      ("width_bits", Int o.Interval_cost.width_bits);
+      ("bytes_resident", Int o.Interval_cost.bytes_resident);
+      ("bytes_peak", Int o.Interval_cost.bytes_peak);
+      ( "source",
+        if o.Interval_cost.source = "" then Null
+        else String o.Interval_cost.source );
     ]
 
 let to_json t =
@@ -387,9 +393,14 @@ let pp fmt t =
     | None -> "")
     t.total_ms;
   Format.pp_print_newline fmt ();
-  Format.fprintf fmt "oracle cache: %s, %d hits / %d misses, %d cells@."
-    t.oracle.Interval_cost.kind t.oracle.Interval_cost.hits
-    t.oracle.Interval_cost.misses t.oracle.Interval_cost.cells;
+  Format.fprintf fmt
+    "oracle cache: %s%s, %d hits / %d misses, %d cells (%d-bit, %d bytes)@."
+    t.oracle.Interval_cost.kind
+    (if t.oracle.Interval_cost.source = "" then ""
+     else " [" ^ t.oracle.Interval_cost.source ^ "]")
+    t.oracle.Interval_cost.hits t.oracle.Interval_cost.misses
+    t.oracle.Interval_cost.cells t.oracle.Interval_cost.width_bits
+    t.oracle.Interval_cost.bytes_resident;
   Format.pp_print_string fmt
     (Hr_util.Tablefmt.render
        ~header:[ "solver"; "wall ms"; "outcome"; "cost"; "iterations" ]

@@ -21,7 +21,10 @@
       "oracle_cache": { "kind": "dense" | "memoize" | "direct",
                         "hits": 0, "misses": 0, "cells": 36864,
                         "build_ms": 1.9, "build_workers": 9,
-                        "build_seq_ms": 11.3, "build_speedup": 5.9 | null },
+                        "build_seq_ms": 11.3, "build_speedup": 5.9 | null,
+                        "width_bits": 16, "bytes_resident": 73728,
+                        "bytes_peak": 73728,
+                        "source": "built" | "mmap" | null },
       "solvers": [ { "name": "ga", "kind": "stochastic",
                      "outcome": "finished" | "cut-off" | "crashed",
                      "wall_ms": 81.0,

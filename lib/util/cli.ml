@@ -8,3 +8,12 @@ let enum ~what options s =
 
 let enum_exn ~what options s =
   match enum ~what options s with Ok v -> v | Error msg -> failwith msg
+
+let positive ~what s =
+  match int_of_string_opt s with
+  | Some v when v > 0 -> Ok v
+  | Some v -> Error (Printf.sprintf "%s must be positive, got %d" what v)
+  | None -> Error (Printf.sprintf "%s must be a positive integer, got %S" what s)
+
+let positive_exn ~what s =
+  match positive ~what s with Ok v -> v | Error msg -> failwith msg

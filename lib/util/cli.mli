@@ -14,3 +14,13 @@ val enum : what:string -> (string * 'a) list -> string -> ('a, string) result
 (** [enum_exn] is {!enum}, raising [Failure] on unknown values (the
     CLIs' exit-2 channel). *)
 val enum_exn : what:string -> (string * 'a) list -> string -> 'a
+
+(** [positive ~what s] parses [s] as a strictly positive integer; the
+    [Error] names [what] and the offending value (same eager-failure
+    contract as {!enum}). *)
+val positive : what:string -> string -> (int, string) result
+
+(** [positive_exn] is {!positive}, raising [Failure] (the CLIs' exit-2
+    channel). *)
+val positive_exn : what:string -> string -> int
+

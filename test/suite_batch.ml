@@ -127,6 +127,30 @@ let test_build_dedup () =
     (fun r -> check Alcotest.bool "all ok" true (Result.is_ok r.Batch.outcome))
     batch.Batch.responses
 
+let test_build_cache_across_batches () =
+  (* An explicit build_cache outlives one run (the hrserve pattern): the
+     second batch reuses the first batch's problems, and shared_builds
+     stays a per-run delta rather than a lifetime total. *)
+  let cache = Batch.build_cache () in
+  let req i key = Batch.request ~key ~id:(string_of_int i) sample_build in
+  let first = Batch.run ~seed:3 ~cache [ req 0 "k"; req 1 "k" ] in
+  check Alcotest.int "first run: one hit" 1 first.Batch.shared_builds;
+  check Alcotest.int "one problem resident" 1 (Batch.build_cache_size cache);
+  let second = Batch.run ~seed:3 ~cache [ req 2 "k"; req 3 "k2" ] in
+  check Alcotest.int "second run: hit is per-run" 1 second.Batch.shared_builds;
+  check Alcotest.int "two problems resident" 2 (Batch.build_cache_size cache);
+  check Alcotest.int "lifetime hits accumulate" 2
+    (Batch.build_cache_shared cache);
+  (* Reuse must not change answers: same key, same cost as a fresh solve. *)
+  let fresh = Batch.run ~seed:3 [ req 4 "k" ] in
+  let cost b =
+    match (List.hd b.Batch.responses).Batch.outcome with
+    | Ok s -> s.Batch.solution.Solution.cost
+    | Error e -> Alcotest.failf "batched solve errored: %s" e
+  in
+  check Alcotest.int "cached problem solves identically" (cost fresh)
+    (cost second)
+
 (* ------------------------------------------------------------------ *)
 (* Goldens: fully pinned result/batch documents, byte-for-byte.        *)
 
@@ -211,6 +235,8 @@ let tests =
       test_corpus_race_bit_identical;
     Alcotest.test_case "error containment" `Quick test_error_containment;
     Alcotest.test_case "build dedup by key" `Quick test_build_dedup;
+    Alcotest.test_case "build cache across batches" `Quick
+      test_build_cache_across_batches;
     Alcotest.test_case "result/1 golden" `Quick test_result_golden;
     Alcotest.test_case "batch/1 golden" `Quick test_batch_golden;
   ]

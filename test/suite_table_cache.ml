@@ -1,0 +1,381 @@
+(* Flat Bigarray oracle tables and the persistent content-addressed
+   table cache: width ladder, overflow checking, elementwise identity
+   with the reference in-heap path, memory-budget fallback, on-disk
+   round-trips, corruption/staleness recovery, concurrent writers, and
+   the cache-served Problem path. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+let check = Alcotest.check
+
+(* Fresh private cache directory per test, removed eagerly. *)
+let dir_counter = ref 0
+
+let with_cache_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hr-table-cache-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Sys.readdir dir with
+      | entries ->
+          Array.iter
+            (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+            entries
+      | exception Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Flat_table. *)
+
+let test_width_ladder () =
+  let widths max_value = Flat_table.width_bits (Flat_table.create ~max_value 4) in
+  check Alcotest.int "small values take 16 bits" 16 (widths 0xFFFF);
+  check Alcotest.int "medium values take 32 bits" 32 (widths 0x10000);
+  check Alcotest.int "Int32.max still 32 bits" 32
+    (widths (Int32.to_int Int32.max_int));
+  check Alcotest.int "huge values take 64 bits" 64
+    (widths (Int32.to_int Int32.max_int + 1));
+  let t = Flat_table.create ~max_value:9 5 in
+  check Alcotest.int "bytes = cells * width/8" 10 (Flat_table.bytes t);
+  check Alcotest.int "zero-initialized" 0 (Flat_table.get t 3)
+
+let test_set_get_overflow () =
+  let t = Flat_table.create ~max_value:100 8 in
+  Flat_table.set t 0 0;
+  Flat_table.set t 7 0xFFFF;
+  check Alcotest.int "round-trips" 0xFFFF (Flat_table.get t 7);
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Flat_table.Overflow _ -> true
+  in
+  check Alcotest.bool "16-bit writer rejects 0x10000" true (raises (fun () ->
+      Flat_table.set t 1 0x10000));
+  check Alcotest.bool "writer rejects negatives" true (raises (fun () ->
+      Flat_table.set t 1 (-1)));
+  let t32 = Flat_table.create ~max_value:0x10000 2 in
+  check Alcotest.bool "32-bit writer rejects > Int32.max" true (raises (fun () ->
+      Flat_table.set t32 0 (Int32.to_int Int32.max_int + 1)))
+
+let test_dense_matches_reference () =
+  (* The Bigarray-backed dense oracle must agree cell-for-cell with the
+     reference in-heap computation (the old int-array path): naive
+     bitset unions per (j, lo, hi). *)
+  let ts = Tutil.sample_task_set () in
+  let dense = Interval_cost.precompute (Interval_cost.of_task_set ts) in
+  let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+  for j = 0 to m - 1 do
+    let trace = (Task_set.get ts j).Task_set.trace in
+    for lo = 0 to n - 1 do
+      for hi = lo to n - 1 do
+        let expected = Bitset.cardinal (Trace.range_union trace lo hi) in
+        check Alcotest.int
+          (Printf.sprintf "cell (%d,%d,%d)" j lo hi)
+          expected
+          (dense.Interval_cost.step_cost j lo hi)
+      done
+    done
+  done;
+  let s = Interval_cost.cache_stats dense in
+  check Alcotest.string "dense" "dense" s.Interval_cost.kind;
+  check Alcotest.string "built in-process" "built" s.Interval_cost.source;
+  check Alcotest.int "16-bit cells suffice" 16 s.Interval_cost.width_bits;
+  check Alcotest.int "cells = m*n*n" (m * n * n) s.Interval_cost.cells;
+  check Alcotest.int "resident bytes = 2 per cell" (2 * m * n * n)
+    s.Interval_cost.bytes_resident
+
+let test_range_union_matches_naive () =
+  let inst =
+    {
+      Tutil.m = 1;
+      n = 7;
+      widths = [ 5 ];
+      vs = [ 2 ];
+      reqs = [ [ [ 0 ]; [ 1; 2 ]; []; [ 4 ]; [ 0; 4 ]; [ 3 ]; [ 2 ] ] ];
+    }
+  in
+  let ts = Tutil.task_set_of_instance inst in
+  let trace = (Task_set.get ts 0).Task_set.trace in
+  let ru = Range_union.make trace in
+  for lo = 0 to 6 do
+    for hi = lo to 6 do
+      check Alcotest.int
+        (Printf.sprintf "|U(%d,%d)|" lo hi)
+        (Bitset.cardinal (Trace.range_union trace lo hi))
+        (Range_union.size ru lo hi)
+    done
+  done;
+  check Alcotest.int "triangular table size" (7 * 8 / 2)
+    (Flat_table.length (Range_union.table ru))
+
+let test_max_bytes_fallback () =
+  (* Over the byte budget the oracle degrades to the memoizer instead
+     of allocating the table; stats report the fallback. *)
+  let raw = Interval_cost.of_task_set (Tutil.sample_task_set ()) in
+  let memo = Interval_cost.precompute ~max_bytes:8 raw in
+  let s = Interval_cost.cache_stats memo in
+  check Alcotest.string "fell back to memoize" "memoize" s.Interval_cost.kind;
+  check Alcotest.int "boxed entries are word-sized" 64 s.Interval_cost.width_bits;
+  ignore (memo.Interval_cost.step_cost 0 0 4);
+  let s = Interval_cost.cache_stats memo in
+  check Alcotest.bool "memoizer accounts resident bytes" true
+    (s.Interval_cost.bytes_resident > 0
+    && s.Interval_cost.bytes_peak >= s.Interval_cost.bytes_resident);
+  (* And the fallback answers are still the oracle's. *)
+  for lo = 0 to 4 do
+    for hi = lo to 4 do
+      check Alcotest.int
+        (Printf.sprintf "memoized (%d,%d)" lo hi)
+        (raw.Interval_cost.step_cost 1 lo hi)
+        (memo.Interval_cost.step_cost 1 lo hi)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Table_cache. *)
+
+let fill t =
+  for i = 0 to Flat_table.length t - 1 do
+    Flat_table.set t i (i * 3)
+  done;
+  t
+
+let test_round_trip_widths () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      List.iteri
+        (fun k max_value ->
+          let key = Printf.sprintf "w%d" k in
+          let t = fill (Flat_table.create ~max_value 100) in
+          Table_cache.store cache ~key t;
+          match Table_cache.load cache ~key ~cells:100 with
+          | None -> Alcotest.failf "stored %s does not load" key
+          | Some t' ->
+              check Alcotest.int
+                (key ^ " width preserved")
+                (Flat_table.width_bits t) (Flat_table.width_bits t');
+              check Alcotest.bool (key ^ " elementwise equal") true
+                (Flat_table.equal t t'))
+        [ 1000; 100_000; max_int ];
+      let s = Table_cache.stats cache in
+      check Alcotest.int "3 stores" 3 s.Table_cache.stores;
+      check Alcotest.int "3 hits" 3 s.Table_cache.hits;
+      check Alcotest.int "no misses" 0 s.Table_cache.misses)
+
+let test_miss_absent_and_wrong_cells () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      check Alcotest.bool "absent key misses" true
+        (Table_cache.load cache ~key:"nope" ~cells:10 = None);
+      Table_cache.store cache ~key:"t" (fill (Flat_table.create ~max_value:9 10));
+      check Alcotest.bool "cell-count mismatch misses" true
+        (Table_cache.load cache ~key:"t" ~cells:11 = None);
+      check Alcotest.bool "matching load hits" true
+        (Table_cache.load cache ~key:"t" ~cells:10 <> None);
+      let s = Table_cache.stats cache in
+      check Alcotest.int "cell mismatch counts invalid" 1 s.Table_cache.invalid)
+
+let corrupt_byte path pos =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let test_corrupt_recovery () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      let t = fill (Flat_table.create ~max_value:9 64) in
+      Table_cache.store cache ~key:"c" t;
+      (* Flip a payload byte: the digest check must reject the file. *)
+      corrupt_byte (Table_cache.file cache ~key:"c") 70;
+      check Alcotest.bool "corrupt file misses" true
+        (Table_cache.load cache ~key:"c" ~cells:64 = None);
+      check Alcotest.int "counted invalid" 1
+        (Table_cache.stats cache).Table_cache.invalid;
+      (* The caller's protocol: rebuild and overwrite. *)
+      Table_cache.store cache ~key:"c" t;
+      match Table_cache.load cache ~key:"c" ~cells:64 with
+      | None -> Alcotest.fail "rebuilt entry must load"
+      | Some t' -> check Alcotest.bool "recovered" true (Flat_table.equal t t'))
+
+let test_truncated_recovery () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      let t = fill (Flat_table.create ~max_value:9 64) in
+      Table_cache.store cache ~key:"t" t;
+      let path = Table_cache.file cache ~key:"t" in
+      Unix.truncate path (64 + 40) (* header + partial payload *);
+      check Alcotest.bool "truncated file misses" true
+        (Table_cache.load cache ~key:"t" ~cells:64 = None);
+      Unix.truncate path 10 (* not even a whole header *);
+      check Alcotest.bool "header-less file misses" true
+        (Table_cache.load cache ~key:"t" ~cells:64 = None);
+      check Alcotest.int "both counted invalid" 2
+        (Table_cache.stats cache).Table_cache.invalid)
+
+let test_version_stale () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      let t = fill (Flat_table.create ~max_value:9 16) in
+      Table_cache.store cache ~key:"v" t;
+      (* A format bump changes the 8-byte magic; simulate an old file by
+         rewriting a version digit. *)
+      corrupt_byte (Table_cache.file cache ~key:"v") 7;
+      check Alcotest.bool "stale-version file misses" true
+        (Table_cache.load cache ~key:"v" ~cells:16 = None);
+      check Alcotest.int "counted invalid" 1
+        (Table_cache.stats cache).Table_cache.invalid)
+
+let test_bad_keys_rejected () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      let rejected key =
+        match Table_cache.load cache ~key ~cells:1 with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      in
+      check Alcotest.bool "path traversal rejected" true (rejected "../evil");
+      check Alcotest.bool "slash rejected" true (rejected "a/b");
+      check Alcotest.bool "leading dot rejected" true (rejected ".hidden");
+      check Alcotest.bool "empty rejected" true (rejected "");
+      check Alcotest.bool "plain digest accepted" true
+        (Table_cache.load cache ~key:(String.make 32 'a') ~cells:1 = None))
+
+let test_concurrent_writers () =
+  (* N domains racing to store the same key: temp-file + atomic rename
+     means the survivor is one complete file, never an interleaving. *)
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      let t = fill (Flat_table.create ~max_value:300 4096) in
+      let domains =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 8 do
+                  Table_cache.store cache ~key:"race" t
+                done))
+      in
+      Array.iter Domain.join domains;
+      check Alcotest.int "all stores completed" 32
+        (Table_cache.stats cache).Table_cache.stores;
+      check Alcotest.int "no store errors" 0
+        (Table_cache.stats cache).Table_cache.errors;
+      match Table_cache.load cache ~key:"race" ~cells:4096 with
+      | None -> Alcotest.fail "raced entry must be valid"
+      | Some t' -> check Alcotest.bool "survivor is complete" true
+          (Flat_table.equal t t'))
+
+(* ------------------------------------------------------------------ *)
+(* The cached problem path. *)
+
+let test_problem_cache_dir () =
+  with_cache_dir (fun dir ->
+      let ts = Tutil.sample_task_set () in
+      let cold = Problem.of_task_set ~cache_dir:dir ts in
+      let cold_stats = Interval_cost.cache_stats cold.Problem.oracle in
+      check Alcotest.string "cold build computes" "built"
+        cold_stats.Interval_cost.source;
+      let warm = Problem.of_task_set ~cache_dir:dir ts in
+      let warm_stats = Interval_cost.cache_stats warm.Problem.oracle in
+      check Alcotest.string "warm build maps the file" "mmap"
+        warm_stats.Interval_cost.source;
+      check Alcotest.int "same cells" cold_stats.Interval_cost.cells
+        warm_stats.Interval_cost.cells;
+      check Alcotest.int "same width" cold_stats.Interval_cost.width_bits
+        warm_stats.Interval_cost.width_bits;
+      (* Identical solves, cold vs warm. *)
+      let solver = Solver_registry.find_exn "mt-dp" in
+      let a = Solver.solve ~seed:7 solver cold in
+      let b = Solver.solve ~seed:7 solver warm in
+      check Alcotest.int "same cost" a.Solution.cost b.Solution.cost;
+      check Alcotest.bool "same plan" true
+        (Breakpoints.equal a.Solution.bp b.Solution.bp))
+
+let test_case_warm_path () =
+  (* Case.problem's warm path skips even the oracle construction; the
+     solve must still be identical to the fresh one, for every model. *)
+  with_cache_dir (fun dir ->
+      List.iter
+        (fun (name, r) ->
+          let case =
+            match r with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "corpus %s: %s" name e
+          in
+          let fresh = Hr_check.Case.problem case in
+          ignore (Hr_check.Case.problem ~cache_dir:dir case);
+          let warm = Hr_check.Case.problem ~cache_dir:dir case in
+          let ws = Interval_cost.cache_stats warm.Problem.oracle in
+          if ws.Interval_cost.cells > 0 then
+            check Alcotest.string (name ^ " warm source") "mmap"
+              ws.Interval_cost.source;
+          let solver = List.hd (Solver_registry.applicable fresh) in
+          let a = Solver.solve ~seed:5 solver fresh in
+          let b = Solver.solve ~seed:5 solver warm in
+          check Alcotest.int (name ^ " cost") a.Solution.cost b.Solution.cost;
+          check Alcotest.bool (name ^ " plan") true
+            (Breakpoints.equal a.Solution.bp b.Solution.bp))
+        (Hr_check.Corpus.load_dir "corpus"))
+
+let test_of_cache_miss () =
+  with_cache_dir (fun dir ->
+      let cache = Table_cache.of_dir dir in
+      check Alcotest.bool "of_cache misses on an empty dir" true
+        (Interval_cost.of_cache cache ~key:(String.make 32 'b') ~m:2 ~n:5
+           ~v:[| 1; 2 |]
+        = None))
+
+(* ------------------------------------------------------------------ *)
+(* Cli.positive. *)
+
+let test_cli_positive () =
+  check Alcotest.(result int string) "parses" (Ok 64)
+    (Hr_util.Cli.positive ~what:"--max-table-mb" "64");
+  check Alcotest.bool "rejects zero" true
+    (Result.is_error (Hr_util.Cli.positive ~what:"x" "0"));
+  check Alcotest.bool "rejects negatives" true
+    (Result.is_error (Hr_util.Cli.positive ~what:"x" "-3"));
+  check Alcotest.bool "rejects junk" true
+    (Result.is_error (Hr_util.Cli.positive ~what:"x" "64MB"));
+  match Hr_util.Cli.positive_exn ~what:"--max-table-mb" "abc" with
+  | exception Failure msg ->
+      check Alcotest.bool "message names the option" true
+        (Astring.String.is_infix ~affix:"--max-table-mb" msg)
+  | v -> Alcotest.failf "junk parsed as %d" v
+
+let tests =
+  [
+    Alcotest.test_case "flat table width ladder" `Quick test_width_ladder;
+    Alcotest.test_case "flat table set/get + overflow" `Quick test_set_get_overflow;
+    Alcotest.test_case "dense table = reference unions" `Quick
+      test_dense_matches_reference;
+    Alcotest.test_case "range union = naive unions" `Quick
+      test_range_union_matches_naive;
+    Alcotest.test_case "max_bytes falls back to memoize" `Quick
+      test_max_bytes_fallback;
+    Alcotest.test_case "round trip per width" `Quick test_round_trip_widths;
+    Alcotest.test_case "absent / wrong-cells misses" `Quick
+      test_miss_absent_and_wrong_cells;
+    Alcotest.test_case "corrupt file recovery" `Quick test_corrupt_recovery;
+    Alcotest.test_case "truncated file recovery" `Quick test_truncated_recovery;
+    Alcotest.test_case "stale version misses" `Quick test_version_stale;
+    Alcotest.test_case "invalid keys rejected" `Quick test_bad_keys_rejected;
+    Alcotest.test_case "concurrent writers race safely" `Quick
+      test_concurrent_writers;
+    Alcotest.test_case "Problem.make cache_dir warm = mmap" `Quick
+      test_problem_cache_dir;
+    Alcotest.test_case "Case.problem warm path, whole corpus" `Quick
+      test_case_warm_path;
+    Alcotest.test_case "of_cache misses cleanly" `Quick test_of_cache_miss;
+    Alcotest.test_case "Cli.positive strictness" `Quick test_cli_positive;
+  ]
