@@ -13,7 +13,15 @@
    path: the same batch of mid-sized switch cases solved cold (dense
    tables built and stored) and then warm (tables mmap-loaded, the
    oracle construction skipped entirely); the warm plans must be
-   byte-identical to the cold ones. *)
+   byte-identical to the cold ones.
+
+   A third track drives a real in-process socket server (lib/serve)
+   under sustained load: a cold pass over distinct cases (every oracle
+   built, LRU misses), a warm pass over the same cases (all LRU hits —
+   must be at least 5x the cold throughput), then a repeat-heavy
+   concurrent trace from several client connections.  Per-request
+   latency percentiles and the LRU hit-rate come from the server's own
+   hyperreconf.serve/1 summary. *)
 
 module Budget = Hr_util.Budget
 module Pool = Hr_util.Pool
@@ -62,15 +70,20 @@ let pooled ~seed solver problems =
 (* Mid-sized switch cases for the table-cache track: big enough that
    the O(m·n²) build dominates a solve, small enough that the batch
    stays sub-second. *)
-let gen_cases ~count ~seed =
+let gen_cases ?(n = 48) ?(local = 8) ?density ~count ~seed () =
   List.init count (fun i ->
       let spec =
         {
           W.Multi_gen.default_spec with
           W.Multi_gen.m = 2;
-          n = 48;
-          local_sizes = [| 8; 8 |];
+          n;
+          local_sizes = [| local; local |];
         }
+      in
+      let spec =
+        match density with
+        | Some d -> { spec with W.Multi_gen.density = d }
+        | None -> spec
       in
       let ts = W.Multi_gen.independent (Rng.create (seed + 1000 + i)) spec in
       let m = Task_set.num_tasks ts in
@@ -116,6 +129,107 @@ let plans batch =
       | Error _ -> None)
     batch.Batch.responses
 
+(* --- sustained-load socket track ----------------------------------- *)
+
+module Server = Hr_serve.Server
+
+(* Send every line, half-close, read one response line per request. *)
+let roundtrip path lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let responses = List.map (fun _ -> input_line ic) lines in
+  (try close_in ic with Sys_error _ -> ());
+  responses
+
+let field name = function
+  | Telemetry.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let socket_track ~seed solver =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-bench-%d.sock" (Unix.getpid ()))
+  in
+  (* Wide local spaces with sparse requirements make the O(m·n²·v)
+     oracle build dominate a request (cheap to parse, expensive to
+     build, quick to solve) — the serving regime where the shared LRU
+     pays. *)
+  let cases =
+    gen_cases ~n:192 ~local:2048 ~density:0.02 ~count:8 ~seed:(seed + 5000) ()
+  in
+  let lines = List.map Check.Case.to_string cases in
+  let server =
+    Server.start
+      (Server.config ~max_queue:128 ~seed ~solvers:(fun _ -> [ solver ])
+         ~prefetch:false (`Unix_path path))
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let ok responses =
+    (* cheap check; conformance is the test suite's job *)
+    List.for_all (fun r -> contains r "\"ok\":true") responses
+  in
+  let timed f =
+    let t0 = Budget.now_ms () in
+    let r = f () in
+    (r, Budget.now_ms () -. t0)
+  in
+  (* Cold: every oracle is built.  Warm: same cases, all LRU hits. *)
+  let cold_ok, cold_ms = timed (fun () -> ok (roundtrip path lines)) in
+  let warm_ok, warm_ms = timed (fun () -> ok (roundtrip path lines)) in
+  (* Sustained: a repeat-heavy trace from concurrent connections. *)
+  let nclients = 4 and per_client = 16 in
+  let shard ci =
+    List.init per_client (fun i -> List.nth lines ((ci + (2 * i)) mod 8))
+  in
+  let results = Array.make nclients false in
+  let (), sustained_ms =
+    timed (fun () ->
+        let threads =
+          List.init nclients (fun ci ->
+              Thread.create (fun () -> results.(ci) <- ok (roundtrip path (shard ci))) ())
+        in
+        List.iter Thread.join threads)
+  in
+  let sustained_ok = Array.for_all Fun.id results in
+  let summary = Server.summary_json server in
+  Server.stop server;
+  let n = List.length cases in
+  let sustained_n = nclients * per_client in
+  let doc =
+    Telemetry.Obj
+      [
+        ("instances", Telemetry.Int n);
+        ("cold_ms", Telemetry.Float cold_ms);
+        ("cold_per_s", Telemetry.Float (1000. *. float n /. cold_ms));
+        ("warm_ms", Telemetry.Float warm_ms);
+        ("warm_per_s", Telemetry.Float (1000. *. float n /. warm_ms));
+        ("warm_speedup", Telemetry.Float (cold_ms /. warm_ms));
+        ("sustained_requests", Telemetry.Int sustained_n);
+        ("sustained_clients", Telemetry.Int nclients);
+        ("sustained_ms", Telemetry.Float sustained_ms);
+        ( "sustained_per_s",
+          Telemetry.Float (1000. *. float sustained_n /. sustained_ms) );
+        ( "latency",
+          Option.value (field "latency" summary) ~default:Telemetry.Null );
+        ( "lru_cache",
+          Option.value (field "lru_cache" summary) ~default:Telemetry.Null );
+      ]
+  in
+  (doc, cold_ms /. warm_ms, cold_ok && warm_ok && sustained_ok)
+
 let parse_args () =
   let count = ref 1000 and seed = ref 2004 and out = ref "BENCH_serve.json" in
   let rec go = function
@@ -160,7 +274,7 @@ let () =
       (Printf.sprintf "serve-bench-cache-%d" (Unix.getpid ()))
   in
   let cache = Table_cache.of_dir cache_dir in
-  let cases = gen_cases ~count:32 ~seed in
+  let cases = gen_cases ~count:32 ~seed () in
   let cold_batch, cold_ms = cached_batch ~seed ~cache_dir solver cases in
   let warm_batch, warm_ms = cached_batch ~seed ~cache_dir solver cases in
   let cstats = Table_cache.stats cache in
@@ -181,6 +295,9 @@ let () =
        (Sys.readdir cache_dir)
    with Sys_error _ -> ());
   (try Unix.rmdir cache_dir with Unix.Unix_error _ -> ());
+
+  (* --- sustained-load socket-server track -------------------------- *)
+  let socket_doc, warm_speedup, socket_ok = socket_track ~seed solver in
 
   let doc =
     Telemetry.Obj
@@ -207,6 +324,7 @@ let () =
               ("stores", Telemetry.Int cstats.Table_cache.stores);
               ("warm_identical", Telemetry.Bool warm_identical);
             ] );
+        ("socket_server", socket_doc);
       ]
   in
   let oc = open_out out in
@@ -222,6 +340,29 @@ let () =
      hit(s), %d store(s)\n"
     (List.length cases) cold_ms warm_ms (cold_ms /. warm_ms)
     cstats.Table_cache.hits cstats.Table_cache.stores;
+  (let f name =
+     match field name socket_doc with
+     | Some (Telemetry.Float v) -> v
+     | _ -> 0.
+   in
+   Printf.printf
+     "socket-server: cold %.1f ms | warm %.1f ms (%.1fx) | sustained %.1f ms \
+      (%.0f req/s over %d clients)\n"
+     (f "cold_ms") (f "warm_ms") warm_speedup (f "sustained_ms")
+     (f "sustained_per_s")
+     (match field "sustained_clients" socket_doc with
+     | Some (Telemetry.Int i) -> i
+     | _ -> 0));
+  if not socket_ok then begin
+    Printf.eprintf "serve_bench: socket-server track returned error responses\n";
+    exit 1
+  end;
+  if warm_speedup < 5. then begin
+    Printf.eprintf
+      "serve_bench: warm socket throughput only %.1fx cold (need >= 5x)\n"
+      warm_speedup;
+    exit 1
+  end;
   if not warm_identical then begin
     Printf.eprintf "serve_bench: warm-cache plans differ from cold plans\n";
     exit 1

@@ -1,69 +1,42 @@
 (* CLI: the batched solve service.
 
-   hrserve [--workers N] [--deadline-ms MS] [--solver NAME]...
-           [--max-queue N] [--seed S] [--summary FILE]
-           [--cache-dir DIR] [--max-table-mb MB]
+   hrserve [--stdio | --listen ADDR]
+           [--workers N] [--deadline-ms MS] [--solver NAME]...
+           [--max-queue N] [--max-batch N] [--seed S] [--summary FILE]
+           [--cache-dir DIR] [--max-table-mb MB] [--max-lru-mb MB]
+           [--no-prefetch] [--no-timing]
 
-   A JSON-lines request/response loop over stdin/stdout: each input
-   line is a `hyperreconf.case/1` document (the conformance-corpus
-   format), or an envelope {"id": "...", "case": {...}} to choose the
-   response id.  Requests are collected into batches of at most
-   --max-queue and solved on the persistent domain pool (lib/util/pool)
-   with a solver race per instance; one `hyperreconf.result/1` line is
-   written per request, in input order.  Malformed lines and failing
-   solves produce structured error results — the process never dies on
-   a bad request.  Backpressure is the batch boundary: stdin is not
-   read while a full batch is in flight.
+   Two front-ends over the same JSON-lines protocol (docs/serving.md):
 
-   Oracle reuse is two-level: a process-wide build cache shares
-   problems across batches (not just within one batch), and with
-   --cache-dir the dense tables also persist on disk across server
-   restarts (docs/caching.md).  --max-table-mb caps each instance's
-   dense-table memory; over-budget oracles degrade to the bounded
-   memoizer.
+   - stdio (the default, or --stdio): a request/response loop over
+     stdin/stdout.  Each input line is a `hyperreconf.case/1` document
+     (the conformance-corpus format) or an envelope
+     {"id": ..., "deadline_ms": ..., "case": {...}}; requests are
+     collected into batches of at most --max-queue and solved on the
+     persistent domain pool with a solver race per instance; one
+     `hyperreconf.result/1` line is written per request, in input
+     order.  At EOF a `hyperreconf.batch/1` summary goes to --summary.
 
-   At EOF a `hyperreconf.batch/1` document aggregating every request is
-   written to --summary (and a one-line digest to stderr).  See
-   docs/serving.md. *)
+   - --listen unix:PATH or tcp:HOST:PORT: a long-lived concurrent
+     socket server (lib/serve).  Many clients multiplex onto one pool
+     and one shared LRU oracle cache; past --max-queue queued requests
+     admission sheds load with structured `overloaded` errors; idle
+     workers prewarm likely-next oracles from request history.  On
+     SIGINT/SIGTERM the server drains in-flight work and writes a
+     `hyperreconf.serve/1` summary (latency percentiles, cache
+     hit-rates) to --summary.
+
+   Malformed lines and failing solves produce structured error results
+   — the process never dies on a bad request.  Oracle reuse is
+   two-level: the in-process build cache (byte-budgeted LRU under
+   --max-lru-mb) shares problems across batches and clients, and with
+   --cache-dir the dense tables also persist on disk across restarts
+   (docs/caching.md). *)
 
 open Cmdliner
 open Hr_core
-module Check = Hr_check
-
-type parsed =
-  | Request of Batch.request
-  | Bad of string * string  (* id, error *)
-
-let parse_line ?max_table_bytes ?cache_dir ~id line =
-  match Telemetry.json_of_string line with
-  | Error e -> Bad (id, e)
-  | Ok json ->
-      let id, case_json =
-        match json with
-        | Telemetry.Obj fields when List.mem_assoc "case" fields ->
-            let id =
-              match List.assoc_opt "id" fields with
-              | Some (Telemetry.String s) -> s
-              | Some (Telemetry.Int i) -> string_of_int i
-              | _ -> id
-            in
-            (id, List.assoc "case" fields)
-        | _ -> (id, json)
-      in
-      (match Check.Case.of_json case_json with
-      | Error e -> Bad (id, e)
-      | Ok case ->
-          (* The digest of the canonical case JSON is the in-process
-             dedup key — the same structural-hash scheme the disk cache
-             uses, over the whole problem identity (oracle inputs plus
-             params/mode/class, which change the Problem even when the
-             tables agree).  Identical instances share one build across
-             every batch of the process. *)
-          Request
-            (Batch.request
-               ~key:(Digest.to_hex (Digest.string (Check.Case.to_string case)))
-               ~id (fun () ->
-                 Check.Case.problem ?max_table_bytes ?cache_dir case)))
+module Protocol = Hr_serve.Protocol
+module Server = Hr_serve.Server
 
 let solvers_of_names names =
   match names with
@@ -72,31 +45,54 @@ let solvers_of_names names =
       let chosen = List.map Solver_registry.find_exn names in
       fun problem -> List.filter (fun (s : Solver.t) -> s.Solver.handles problem) chosen
 
-let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
-    max_table_mb =
-  if max_queue < 1 then failwith "--max-queue must be >= 1";
-  let max_table_bytes =
-    Option.map
-      (fun s -> Hr_util.Cli.positive_exn ~what:"--max-table-mb" s * 1024 * 1024)
-      max_table_mb
-  in
-  let solvers = solvers_of_names solver_names in
+let table_cache_json cache_dir =
+  match cache_dir with
+  | None -> (None, Telemetry.Null)
+  | Some dir ->
+      let s = Table_cache.stats (Table_cache.of_dir dir) in
+      ( Some s,
+        Telemetry.Obj
+          [
+            ("dir", Telemetry.String dir);
+            ("hits", Telemetry.Int s.Table_cache.hits);
+            ("misses", Telemetry.Int s.Table_cache.misses);
+            ("stores", Telemetry.Int s.Table_cache.stores);
+            ("invalid", Telemetry.Int s.Table_cache.invalid);
+            ("errors", Telemetry.Int s.Table_cache.errors);
+          ] )
+
+let write_summary path json =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Telemetry.json_to_string json)))
+    path
+
+(* ------------------------------------------------------------------ *)
+(* stdio mode: batch loop over stdin/stdout.                           *)
+
+let run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
+    ~cache_dir ~max_table_bytes ~max_lru_bytes ~timing =
   let pool = Hr_util.Pool.create ?workers () in
   (* Outlives every batch: later batches reuse earlier batches'
-     precomputed problems. *)
-  let build_cache = Batch.build_cache () in
+     precomputed problems, within the LRU byte budget. *)
+  let build_cache = Batch.build_cache ?max_bytes:max_lru_bytes () in
   let all_responses = ref [] (* reversed *) in
   let total_ms = ref 0. and shared_builds = ref 0 in
   let emit (r : Batch.response) =
     all_responses := r :: !all_responses;
-    print_string (Telemetry.json_to_string (Batch.response_to_json r));
+    print_string (Protocol.response_line ~timing r);
     flush stdout
   in
   let flush_batch pending =
     (* [pending] is reversed (request order restored here); parse
        failures already carry their error outcome and skip the pool. *)
     let batch_requests =
-      List.filter_map (function Request r -> Some r | Bad _ -> None) pending
+      List.filter_map
+        (function Protocol.Request r -> Some r | Protocol.Malformed _ -> None)
+        pending
     in
     let batch =
       Batch.run ~pool ~seed ?deadline_ms ~solvers ~cache:build_cache
@@ -107,8 +103,9 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
     let solved = ref batch.Batch.responses in
     List.iter
       (function
-        | Bad (id, e) -> emit (Batch.error_response ~id ("bad request: " ^ e))
-        | Request _ -> (
+        | Protocol.Malformed { id; error } ->
+            emit (Batch.error_response ~id ("bad request: " ^ error))
+        | Protocol.Request _ -> (
             match !solved with
             | r :: rest ->
                 solved := rest;
@@ -122,7 +119,8 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
     | line when String.trim line = "" -> serve pending npending k
     | line ->
         let pending =
-          parse_line ?max_table_bytes ?cache_dir ~id:(Printf.sprintf "#%d" k) line
+          Protocol.parse_line ?max_table_bytes ?cache_dir
+            ~fallback_id:(Printf.sprintf "#%d" k) line
           :: pending
         in
         if npending + 1 >= max_queue then begin
@@ -132,7 +130,8 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
         else serve pending (npending + 1) (k + 1)
   in
   serve [] 0 0;
-  Hr_util.Pool.shutdown pool;
+  (* Snapshot the summary BEFORE the pool goes down: Pool.size and the
+     cache statistics must describe the pool that did the work. *)
   let summary =
     {
       Batch.responses = List.rev !all_responses;
@@ -142,8 +141,16 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
       shared_builds = !shared_builds;
     }
   in
-  let table_cache_stats =
-    Option.map (fun dir -> Table_cache.stats (Table_cache.of_dir dir)) cache_dir
+  let lru_stats = Batch.build_cache_stats build_cache in
+  let table_cache_stats, table_cache = table_cache_json cache_dir in
+  let solve_samples =
+    Array.of_list
+      (List.filter_map
+         (fun (r : Batch.response) ->
+           match r.Batch.outcome with
+           | Ok _ -> Some r.Batch.wall_ms
+           | Error _ -> None)
+         summary.Batch.responses)
   in
   let extra =
     [
@@ -153,30 +160,14 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
             ("problems", Telemetry.Int (Batch.build_cache_size build_cache));
             ("shared", Telemetry.Int (Batch.build_cache_shared build_cache));
           ] );
-      ( "table_cache",
-        match (cache_dir, table_cache_stats) with
-        | Some dir, Some s ->
-            Telemetry.Obj
-              [
-                ("dir", Telemetry.String dir);
-                ("hits", Telemetry.Int s.Table_cache.hits);
-                ("misses", Telemetry.Int s.Table_cache.misses);
-                ("stores", Telemetry.Int s.Table_cache.stores);
-                ("invalid", Telemetry.Int s.Table_cache.invalid);
-                ("errors", Telemetry.Int s.Table_cache.errors);
-              ]
-        | _ -> Telemetry.Null );
+      ("lru_cache", Batch.build_cache_stats_to_json lru_stats);
+      ("latency", Telemetry.latency_summary solve_samples);
+      ("table_cache", table_cache);
     ]
   in
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc
-            (Telemetry.json_to_string (Batch.to_json ~label:"hrserve" ~extra summary))))
-    summary_file;
+  Hr_util.Pool.shutdown pool;
+  write_summary summary_file
+    (Batch.to_json ~label:"hrserve" ~extra summary);
   let size = List.length summary.Batch.responses in
   let ok =
     List.length
@@ -192,6 +183,83 @@ let run workers deadline_ms solver_names max_queue seed summary_file cache_dir
     | None -> "");
   0
 
+(* ------------------------------------------------------------------ *)
+(* Socket mode: long-lived concurrent server.                          *)
+
+let run_socket ~listen ~workers ~deadline_ms ~solvers ~max_queue ~max_batch
+    ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes ~prefetch
+    ~timing =
+  let cfg =
+    Server.config ?workers ?deadline_ms ~max_queue ?max_batch ~seed ~solvers
+      ?max_lru_bytes ?max_table_bytes ?cache_dir ~prefetch ~timing listen
+  in
+  Printf.eprintf "hrserve: listening on %s (max queue %d)\n%!"
+    (Server.listen_to_string listen) max_queue;
+  Server.run cfg ~summary:(fun json ->
+      write_summary summary_file json;
+      let geti k =
+        match json with
+        | Telemetry.Obj fields -> (
+            match List.assoc_opt k fields with
+            | Some (Telemetry.Int i) -> i
+            | _ -> 0)
+        | _ -> 0
+      in
+      Printf.eprintf
+        "hrserve: %d connection(s), %d completed, %d shed, %d error(s), %.1f ms solving\n"
+        (geti "connections") (geti "completed") (geti "shed") (geti "errors")
+        (match json with
+        | Telemetry.Obj fields -> (
+            match List.assoc_opt "solve_ms" fields with
+            | Some (Telemetry.Float f) -> f
+            | _ -> 0.)
+        | _ -> 0.));
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let run stdio listen workers deadline_ms solver_names max_queue max_batch seed
+    summary_file cache_dir max_table_mb max_lru_mb no_prefetch no_timing =
+  if max_queue < 1 then failwith "--max-queue must be >= 1";
+  let mib what = Option.map (fun s -> Hr_util.Cli.positive_exn ~what s * 1024 * 1024) in
+  let max_table_bytes = mib "--max-table-mb" max_table_mb in
+  let max_lru_bytes = mib "--max-lru-mb" max_lru_mb in
+  let solvers = solvers_of_names solver_names in
+  let timing = not no_timing in
+  match listen with
+  | None ->
+      run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
+        ~cache_dir ~max_table_bytes ~max_lru_bytes ~timing
+  | Some addr ->
+      if stdio then failwith "--stdio and --listen are mutually exclusive";
+      let listen =
+        match Server.listen_of_string addr with
+        | Ok l -> l
+        | Error e -> failwith e
+      in
+      run_socket ~listen ~workers ~deadline_ms ~solvers ~max_queue ~max_batch
+        ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes
+        ~prefetch:(not no_prefetch) ~timing
+
+let stdio =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:
+          "Serve the JSON-lines loop over stdin/stdout (the default when \
+           $(b,--listen) is absent).")
+
+let listen =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve concurrently on a socket instead of stdin: $(b,unix:PATH) or \
+           $(b,tcp:HOST:PORT) (empty or * host binds every interface; port 0 \
+           picks a free port).  Stop with SIGINT/SIGTERM — in-flight requests \
+           are drained, then the hyperreconf.serve/1 summary is written.")
+
 let workers =
   Arg.(
     value
@@ -206,7 +274,9 @@ let deadline_ms =
     & info [ "deadline-ms" ] ~docv:"MS"
         ~doc:
           "Global cooperative budget per batch, carved into fair per-request \
-           slices.  Cut-off results are best-so-far plans, marked inexact.")
+           slices.  Cut-off results are best-so-far plans, marked inexact.  \
+           Per-request $(i,deadline_ms) envelope fields tighten (never extend) \
+           this budget.")
 
 let solver_names =
   Arg.(
@@ -223,8 +293,20 @@ let max_queue =
     & opt int 64
     & info [ "max-queue" ] ~docv:"N"
         ~doc:
-          "Bounded request queue: at most $(docv) requests are read before the \
-           batch is solved and answered (backpressure on stdin).")
+          "Bounded request queue.  stdio: at most $(docv) requests are read \
+           before the batch is solved and answered (backpressure on stdin).  \
+           Socket: admission bound — beyond it requests are answered with \
+           structured $(i,overloaded) errors instead of queueing (load \
+           shedding), never dropped.")
+
+let max_batch =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:
+          "Socket mode: at most $(docv) queued requests are drained into one \
+           pool batch (default: $(b,--max-queue)).")
 
 let seed =
   Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"S" ~doc:"Solver RNG base seed.")
@@ -234,7 +316,9 @@ let summary_file =
     value
     & opt (some string) None
     & info [ "summary" ] ~docv:"FILE"
-        ~doc:"Write the aggregated hyperreconf.batch/1 document to $(docv) at EOF.")
+        ~doc:
+          "Write the aggregated summary to $(docv): hyperreconf.batch/1 at EOF \
+           (stdio), hyperreconf.serve/1 at shutdown (socket).")
 
 let cache_dir =
   Arg.(
@@ -256,12 +340,39 @@ let max_table_mb =
            default 128).  Instances whose table would exceed it degrade to the \
            memory-bounded memoizer.")
 
+let max_lru_mb =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-lru-mb" ] ~docv:"MB"
+        ~doc:
+          "Byte budget in MiB for the in-process oracle cache (a positive \
+           integer).  Least-recently-used problems are evicted past it; \
+           default: unbounded, the pre-LRU behaviour.")
+
+let no_prefetch =
+  Arg.(
+    value & flag
+    & info [ "no-prefetch" ]
+        ~doc:
+          "Socket mode: disable idle-worker prewarming of likely-next oracles \
+           predicted from recent request history.")
+
+let no_timing =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:
+          "Zero the wall_ms field of every result (deterministic output for \
+           byte-for-byte comparison across runs and transports).")
+
 let cmd =
-  let doc = "batched PHC solve service (JSON lines on stdin/stdout)" in
+  let doc = "batched PHC solve service (JSON lines on stdin or a socket)" in
   Cmd.v (Cmd.info "hrserve" ~doc)
     Term.(
-      const run $ workers $ deadline_ms $ solver_names $ max_queue $ seed
-      $ summary_file $ cache_dir $ max_table_mb)
+      const run $ stdio $ listen $ workers $ deadline_ms $ solver_names
+      $ max_queue $ max_batch $ seed $ summary_file $ cache_dir $ max_table_mb
+      $ max_lru_mb $ no_prefetch $ no_timing)
 
 let () =
   match Cmd.eval' ~catch:false cmd with

@@ -1,9 +1,14 @@
 module Budget = Hr_util.Budget
 module Pool = Hr_util.Pool
 
-type request = { id : string; key : string option; build : unit -> Problem.t }
+type request = {
+  id : string;
+  key : string option;
+  budget : Budget.t option;
+  build : unit -> Problem.t;
+}
 
-let request ?key ~id build = { id; key; build }
+let request ?key ?budget ~id build = { id; key; budget; build }
 
 type solved = {
   solution : Solution.t;
@@ -31,15 +36,141 @@ let error_response ?(wall_ms = 0.) ~id msg = { id; outcome = Error msg; wall_ms 
    shared freely across domains.  Builds happen outside the lock: two
    requests racing on a fresh key may both build (idempotent — the
    loser's table is dropped), but distinct keys never serialize on each
-   other's O(m·n²) precompute. *)
-type build_cache = {
-  mu : Mutex.t;
-  table : (string, Problem.t) Hashtbl.t;
-  shared : int Atomic.t;
+   other's O(m·n²) precompute.
+
+   The store is a byte-budgeted LRU: entries form a doubly-linked
+   recency list, each charged its dense-table residency
+   (Interval_cost.cache_stats.bytes_resident, floored so even
+   memoizer-backed problems have positive weight), and inserting past
+   [max_bytes] evicts from the cold end.  Without [max_bytes] it
+   degrades to the old unbounded behaviour. *)
+type node = {
+  nkey : string;
+  problem : Problem.t;
+  cost_bytes : int;
+  mutable prev : node option;  (* towards MRU *)
+  mutable next : node option;  (* towards LRU *)
+  mutable prefetched : bool;
 }
 
-let build_cache () =
-  { mu = Mutex.create (); table = Hashtbl.create 16; shared = Atomic.make 0 }
+type build_cache = {
+  mu : Mutex.t;
+  table : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable bytes : int;
+  max_bytes : int option;
+  shared : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  prefetch_builds : int Atomic.t;
+  prefetch_hits : int Atomic.t;
+}
+
+type build_cache_stats = {
+  entries : int;
+  bytes : int;
+  cap_bytes : int option;
+  hits : int;
+  misses : int;
+  evictions : int;
+  prefetch_builds : int;
+  prefetch_hits : int;
+}
+
+let build_cache ?max_bytes () =
+  {
+    mu = Mutex.create ();
+    table = Hashtbl.create 16;
+    mru = None;
+    lru = None;
+    bytes = 0;
+    max_bytes;
+    shared = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    prefetch_builds = Atomic.make 0;
+    prefetch_hits = Atomic.make 0;
+  }
+
+(* A problem's charge against the byte budget: its dense-table (or
+   memoizer-estimate) residency, floored at 1 KiB so empty/direct
+   oracles still have weight and the LRU cannot grow unboundedly on
+   zero-cost entries. *)
+let problem_cost_bytes problem =
+  max 1024 (Interval_cost.cache_stats problem.Problem.oracle).Interval_cost.bytes_resident
+
+(* List surgery, all under [cache.mu]. *)
+let unlink cache node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> cache.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> cache.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front cache node =
+  node.prev <- None;
+  node.next <- cache.mru;
+  (match cache.mru with Some m -> m.prev <- Some node | None -> cache.lru <- Some node);
+  cache.mru <- Some node
+
+(* Evict cold entries until the budget holds; [keep] (the entry being
+   inserted) is never evicted, so a single oversized problem still
+   caches — the budget bounds the tail, not admission. *)
+let enforce_budget cache ~keep =
+  match cache.max_bytes with
+  | None -> ()
+  | Some cap ->
+      let rec go () =
+        if cache.bytes > cap then
+          match cache.lru with
+          | Some victim when victim != keep ->
+              unlink cache victim;
+              Hashtbl.remove cache.table victim.nkey;
+              cache.bytes <- cache.bytes - victim.cost_bytes;
+              Atomic.incr cache.evictions;
+              go ()
+          | _ -> ()
+      in
+      go ()
+
+(* Shared hit bookkeeping: recency bump + counters.  The first hit on a
+   prefetched entry counts once towards [prefetch_hits] — the measure of
+   prewarming that actually paid off. *)
+let touch cache node =
+  unlink cache node;
+  push_front cache node;
+  Atomic.incr cache.shared;
+  if node.prefetched then begin
+    node.prefetched <- false;
+    Atomic.incr cache.prefetch_hits
+  end
+
+let insert cache ~prefetched key problem =
+  match Hashtbl.find_opt cache.table key with
+  | Some winner ->
+      (* Raced: another builder inserted first; adopt its problem. *)
+      touch cache winner;
+      winner.problem
+  | None ->
+      let node =
+        {
+          nkey = key;
+          problem;
+          cost_bytes = problem_cost_bytes problem;
+          prev = None;
+          next = None;
+          prefetched;
+        }
+      in
+      Hashtbl.add cache.table key node;
+      push_front cache node;
+      cache.bytes <- cache.bytes + node.cost_bytes;
+      enforce_budget cache ~keep:node;
+      problem
 
 let build_cache_size cache =
   Mutex.lock cache.mu;
@@ -49,100 +180,188 @@ let build_cache_size cache =
 
 let build_cache_shared cache = Atomic.get cache.shared
 
+let build_cache_mem cache key =
+  Mutex.lock cache.mu;
+  let m = Hashtbl.mem cache.table key in
+  Mutex.unlock cache.mu;
+  m
+
+let build_cache_stats cache =
+  Mutex.lock cache.mu;
+  let entries = Hashtbl.length cache.table and bytes = cache.bytes in
+  Mutex.unlock cache.mu;
+  {
+    entries;
+    bytes;
+    cap_bytes = cache.max_bytes;
+    hits = Atomic.get cache.shared;
+    misses = Atomic.get cache.misses;
+    evictions = Atomic.get cache.evictions;
+    prefetch_builds = Atomic.get cache.prefetch_builds;
+    prefetch_hits = Atomic.get cache.prefetch_hits;
+  }
+
+let build_cache_stats_to_json (s : build_cache_stats) =
+  let total = s.hits + s.misses in
+  Telemetry.Obj
+    [
+      ("entries", Telemetry.Int s.entries);
+      ("bytes", Telemetry.Int s.bytes);
+      ( "max_bytes",
+        match s.cap_bytes with Some b -> Telemetry.Int b | None -> Telemetry.Null );
+      ("hits", Telemetry.Int s.hits);
+      ("misses", Telemetry.Int s.misses);
+      ( "hit_rate",
+        if total = 0 then Telemetry.Null
+        else Telemetry.Float (float s.hits /. float total) );
+      ("evictions", Telemetry.Int s.evictions);
+      ("prefetch_builds", Telemetry.Int s.prefetch_builds);
+      ("prefetch_hits", Telemetry.Int s.prefetch_hits);
+    ]
+
 let build_problem cache req =
   match req.key with
   | None -> req.build ()
   | Some key -> (
       Mutex.lock cache.mu;
       let hit = Hashtbl.find_opt cache.table key in
+      (match hit with Some node -> touch cache node | None -> ());
       Mutex.unlock cache.mu;
       match hit with
-      | Some problem ->
-          Atomic.incr cache.shared;
-          problem
+      | Some node -> node.problem
       | None ->
+          Atomic.incr cache.misses;
           let problem = req.build () in
           Mutex.lock cache.mu;
-          let problem =
-            match Hashtbl.find_opt cache.table key with
-            | Some winner ->
-                Atomic.incr cache.shared;
-                winner
-            | None ->
-                Hashtbl.add cache.table key problem;
-                problem
-          in
+          let problem = insert cache ~prefetched:false key problem in
           Mutex.unlock cache.mu;
           problem)
+
+let prefetch cache ~key build =
+  if build_cache_mem cache key then false
+  else begin
+    (* Build outside the lock, like build_problem: a concurrent request
+       for the same key may win the insert race, in which case this
+       prewarm was redundant but harmless. *)
+    let problem = build () in
+    Mutex.lock cache.mu;
+    let fresh = not (Hashtbl.mem cache.table key) in
+    ignore (insert cache ~prefetched:true key problem);
+    Mutex.unlock cache.mu;
+    if fresh then Atomic.incr cache.prefetch_builds;
+    fresh
+  end
 
 (* Fair-share carving: a request starting with [left] requests still
    unstarted and [workers] domains serving them gets [workers/left] of
    the global time left — the share it would receive if the remaining
-   queue were drained in even waves — capped by the global deadline. *)
+   queue were drained in even waves.  The slice is clamped to the
+   global remaining budget: an exhausted batch hands out exhausted
+   slices (no 1 ms floor), so a cut-off batch cannot overrun its global
+   deadline by a floor-slice per remaining request. *)
+let fair_slice_ms ~remaining_ms ~workers ~left =
+  if remaining_ms <= 0. then 0.
+  else Float.min remaining_ms (remaining_ms *. float workers /. float (max 1 left))
+
 let carve ~global ~workers ~left =
   if not (Budget.is_limited global) then Budget.unlimited
   else
     let slice =
-      int_of_float (Budget.remaining_ms global *. float workers /. float (max 1 left))
+      fair_slice_ms ~remaining_ms:(Budget.remaining_ms global) ~workers ~left
     in
-    Budget.earliest global (Budget.of_deadline_ms (max 1 slice))
+    Budget.earliest global (Budget.of_deadline_ms (int_of_float slice))
+
+let empty ~deadline_ms =
+  { responses = []; total_ms = 0.; workers = 0; deadline_ms; shared_builds = 0 }
 
 let run ?pool ?(seed = Solver.default_seed) ?deadline_ms
     ?(solvers = Solver_registry.applicable) ?cache requests =
-  let pool = match pool with Some p -> p | None -> Pool.default () in
-  let workers = Pool.size pool in
-  let global =
-    match deadline_ms with
-    | None -> Budget.unlimited
-    | Some ms -> Budget.of_deadline_ms ms
-  in
-  (* A caller-held cache outlives the run (hrserve passes one per
-     process for cross-batch reuse); [shared_builds] still reports this
-     run's hits only. *)
-  let cache = match cache with Some c -> c | None -> build_cache () in
-  let shared0 = Atomic.get cache.shared in
-  let unstarted = Atomic.make (List.length requests) in
-  let t0 = Budget.now_ms () in
-  let solve_one req =
-    let left = max 1 (Atomic.fetch_and_add unstarted (-1)) in
-    let r0 = Budget.now_ms () in
-    let outcome =
-      match
-        let problem = build_problem cache req in
-        let budget = carve ~global ~workers ~left in
-        let solution, reports = Solver.race_report ~seed ~budget (solvers problem) problem in
-        { solution; reports; m = Problem.m problem; n = Problem.n problem }
-      with
-      | solved -> Ok solved
-      | exception e -> Error (Printexc.to_string e)
-    in
-    { id = req.id; outcome; wall_ms = Budget.now_ms () -. r0 }
-  in
-  let arr = Array.of_list requests in
-  (* Per-request chunking granularity: requests vary wildly in cost, so
-     finer chunks (not one per worker) keep the pool balanced. *)
-  let chunks = min (Array.length arr) (workers * 4) in
-  let responses = Array.to_list (Pool.map ~chunks pool solve_one arr) in
-  {
-    responses;
-    total_ms = Budget.now_ms () -. t0;
-    workers;
-    deadline_ms;
-    shared_builds = Atomic.get cache.shared - shared0;
-  }
+  match requests with
+  | [] ->
+      (* An all-malformed serving batch reaches here: answer without
+         touching (or lazily creating) the pool. *)
+      empty ~deadline_ms
+  | requests ->
+      let pool = match pool with Some p -> p | None -> Pool.default () in
+      let workers = Pool.size pool in
+      let global =
+        match deadline_ms with
+        | None -> Budget.unlimited
+        | Some ms -> Budget.of_deadline_ms ms
+      in
+      (* A caller-held cache outlives the run (hrserve passes one per
+         process for cross-batch reuse); [shared_builds] still reports
+         this run's hits only. *)
+      let cache = match cache with Some c -> c | None -> build_cache () in
+      let shared0 = Atomic.get cache.shared in
+      (* Requests already resident in the build cache cost ~0 to serve;
+         counting them in the fair share would shrink every real
+         solve's slice for work that never happens. *)
+      let carved (req : request) =
+        match req.key with
+        | Some key when build_cache_mem cache key -> false
+        | _ -> true
+      in
+      let arr = Array.of_list requests in
+      let counted = Array.map carved arr in
+      let unstarted =
+        Atomic.make (Array.fold_left (fun n c -> if c then n + 1 else n) 0 counted)
+      in
+      let t0 = Budget.now_ms () in
+      let solve_one i =
+        let req = arr.(i) in
+        let left =
+          if counted.(i) then max 1 (Atomic.fetch_and_add unstarted (-1))
+          else max 1 (Atomic.get unstarted)
+        in
+        let r0 = Budget.now_ms () in
+        let outcome =
+          match
+            let problem = build_problem cache req in
+            let budget = carve ~global ~workers ~left in
+            (* A per-request deadline layers under the fair share: the
+               request finishes by whichever expires first. *)
+            let budget =
+              match req.budget with
+              | None -> budget
+              | Some b -> Budget.earliest budget b
+            in
+            let solution, reports =
+              Solver.race_report ~seed ~budget (solvers problem) problem
+            in
+            { solution; reports; m = Problem.m problem; n = Problem.n problem }
+          with
+          | solved -> Ok solved
+          | exception e -> Error (Printexc.to_string e)
+        in
+        { id = req.id; outcome; wall_ms = Budget.now_ms () -. r0 }
+      in
+      (* Per-request chunking granularity: requests vary wildly in cost,
+         so finer chunks (not one per worker) keep the pool balanced. *)
+      let chunks = min (Array.length arr) (workers * 4) in
+      let responses =
+        Array.to_list (Pool.map ~chunks pool solve_one (Array.init (Array.length arr) Fun.id))
+      in
+      {
+        responses;
+        total_ms = Budget.now_ms () -. t0;
+        workers;
+        deadline_ms;
+        shared_builds = Atomic.get cache.shared - shared0;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* JSON documents.                                                     *)
 
 open Telemetry
 
-let report_to_json (r : Solver.report) =
+let report_to_json ~timing (r : Solver.report) =
   Obj
     ([
        ("name", String r.Solver.solver);
        ("kind", String (Solver.kind_name r.Solver.kind));
        ("outcome", String (Solver.outcome_name r.Solver.outcome));
-       ("wall_ms", Float r.Solver.wall_ms);
+       ("wall_ms", Float (if timing then r.Solver.wall_ms else 0.));
      ]
     @ (match r.Solver.outcome with
       | Solver.Crashed e -> [ ("error", String (Printexc.to_string e)) ]
@@ -158,13 +377,16 @@ let plan_to_json (solved : solved) =
          List
            (List.map (fun i -> Int i) (Solution.task_breaks solved.solution j))))
 
-let response_to_json r =
+(* [timing:false] renders every wall_ms as 0: the document becomes a
+   pure function of (instance, seed, solvers), so socket-mode and
+   stdio-mode responses can be compared byte for byte. *)
+let response_to_json ?(timing = true) r =
   let base =
     [
       ("schema", String result_schema_version);
       ("id", String r.id);
       ("ok", Bool (Result.is_ok r.outcome));
-      ("wall_ms", Float r.wall_ms);
+      ("wall_ms", Float (if timing then r.wall_ms else 0.));
     ]
   in
   match r.outcome with
@@ -180,7 +402,7 @@ let response_to_json r =
             ("exact", Bool sol.Solution.exact);
             ("cut_off", Bool sol.Solution.cut_off);
             ("plan", plan_to_json solved);
-            ("solvers", List (List.map report_to_json solved.reports));
+            ("solvers", List (List.map (report_to_json ~timing) solved.reports));
           ])
 
 let to_json ?(label = "batch") ?(results = true) ?(extra = []) t =
@@ -214,5 +436,6 @@ let to_json ?(label = "batch") ?(results = true) ?(extra = []) t =
      ]
     @ extra
     @
-    if results then [ ("results", List (List.map response_to_json t.responses)) ]
+    if results then
+      [ ("results", List (List.map (fun r -> response_to_json r) t.responses)) ]
     else [])

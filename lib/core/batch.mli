@@ -35,12 +35,16 @@
 type request = {
   id : string;  (** echoed back verbatim in the response *)
   key : string option;  (** dedup key for sharing problem builds *)
+  budget : Hr_util.Budget.t option;
+      (** per-request deadline, layered under the batch's fair-share
+          carve: the request finishes by whichever expires first *)
   build : unit -> Problem.t;
       (** may raise; contained as a per-request error response *)
 }
 
-(** [request ?key ~id build]. *)
-val request : ?key:string -> id:string -> (unit -> Problem.t) -> request
+(** [request ?key ?budget ~id build]. *)
+val request :
+  ?key:string -> ?budget:Hr_util.Budget.t -> id:string -> (unit -> Problem.t) -> request
 
 (** A successfully solved request. *)
 type solved = {
@@ -76,11 +80,20 @@ val batch_schema_version : string
     one across runs (hrserve keeps a process-wide cache) so later
     batches reuse earlier batches' precomputed oracles — in-process
     reuse keyed on the same structural identity the persistent
-    {!Table_cache} uses on disk.  Thread-safe. *)
+    {!Table_cache} uses on disk.
+
+    The store is a {e byte-budgeted LRU}: each resident problem is
+    charged its dense-table residency
+    ({!Interval_cost.cache_stats}[.bytes_resident], floored at 1 KiB),
+    and inserts past [max_bytes] evict least-recently-used entries —
+    the entry being inserted itself is never evicted, so one oversized
+    problem still caches.  Without [max_bytes] the store is unbounded
+    (the historical behaviour).  Thread-safe. *)
 type build_cache
 
-(** [build_cache ()] is a fresh empty store. *)
-val build_cache : unit -> build_cache
+(** [build_cache ?max_bytes ()] is a fresh empty store holding at most
+    [max_bytes] of dense tables (unbounded when omitted). *)
+val build_cache : ?max_bytes:int -> unit -> build_cache
 
 (** [build_cache_size c] is the number of distinct problems resident. *)
 val build_cache_size : build_cache -> int
@@ -88,6 +101,48 @@ val build_cache_size : build_cache -> int
 (** [build_cache_shared c] is the lifetime count of requests served
     from [c] instead of building. *)
 val build_cache_shared : build_cache -> int
+
+(** [build_cache_mem c key] — is [key] resident right now?  (Recency is
+    not bumped: membership probes — the prefetch planner's resident
+    filter — must not distort the LRU order.) *)
+val build_cache_mem : build_cache -> string -> bool
+
+(** Lifetime counters of a {!build_cache}: residency ([entries],
+    [bytes], the configured [cap_bytes]), traffic ([hits]/[misses] —
+    keyed requests served from / past the store), [evictions], and the
+    prewarming loop's [prefetch_builds] / [prefetch_hits] (prefetched
+    entries later hit by a real request, counted once each). *)
+type build_cache_stats = {
+  entries : int;
+  bytes : int;
+  cap_bytes : int option;
+  hits : int;
+  misses : int;
+  evictions : int;
+  prefetch_builds : int;
+  prefetch_hits : int;
+}
+
+val build_cache_stats : build_cache -> build_cache_stats
+
+(** [build_cache_stats_to_json s] is the summary-document fragment:
+    [{entries; bytes; max_bytes; hits; misses; hit_rate; evictions;
+    prefetch_builds; prefetch_hits}] ([hit_rate] null with no
+    traffic). *)
+val build_cache_stats_to_json : build_cache_stats -> Telemetry.json
+
+(** [prefetch c ~key build] prewarms [key]: builds and inserts the
+    problem if absent ([true]), a no-op if already resident ([false]).
+    The build runs outside the store's lock; racing a concurrent
+    request on the same key is safe (first insert wins). *)
+val prefetch : build_cache -> key:string -> (unit -> Problem.t) -> bool
+
+(** [fair_slice_ms ~remaining_ms ~workers ~left] is the per-request
+    fair share of a global budget with [remaining_ms] left: [workers /
+    left] of the remaining time, clamped to [\[0, remaining_ms\]] — an
+    exhausted budget yields a 0 ms slice, never a floor.  Exposed for
+    the deadline-regression tests. *)
+val fair_slice_ms : remaining_ms:float -> workers:int -> left:int -> float
 
 (** [run ?pool ?seed ?deadline_ms ?solvers ?cache requests] solves
     every request (racing [solvers problem] — default
@@ -97,7 +152,9 @@ val build_cache_shared : build_cache -> int
     [Error] outcome; other requests are unaffected.  [cache] (default:
     a fresh one) dedups problem builds by request key; the result's
     [shared_builds] counts this run's cache hits only, even on a
-    long-lived cache. *)
+    long-lived cache.  Requests already resident in [cache] do not
+    count towards the fair-share [left] (they cost no solve time), and
+    an empty request list short-circuits without touching the pool. *)
 val run :
   ?pool:Hr_util.Pool.t ->
   ?seed:int ->
@@ -111,12 +168,15 @@ val run :
     never reach {!run} (e.g. a line the serving loop cannot parse). *)
 val error_response : ?wall_ms:float -> id:string -> string -> response
 
-(** [response_to_json r] is the [hyperreconf.result/1] document:
-    [{schema; id; ok; wall_ms}] plus, on success, [instance {m; n}],
-    the winning [solver]/[cost]/[exact]/[cut_off], the [plan] (per-task
-    hyperreconfiguration steps, step 0 included) and a [solvers] array
-    of per-contestant telemetry — or, on failure, [error]. *)
-val response_to_json : response -> Telemetry.json
+(** [response_to_json ?timing r] is the [hyperreconf.result/1]
+    document: [{schema; id; ok; wall_ms}] plus, on success,
+    [instance {m; n}], the winning [solver]/[cost]/[exact]/[cut_off],
+    the [plan] (per-task hyperreconfiguration steps, step 0 included)
+    and a [solvers] array of per-contestant telemetry — or, on failure,
+    [error].  [timing:false] (default [true]) renders every [wall_ms]
+    as 0, making the document reproducible byte for byte across
+    runs and transports (hrserve's [--no-timing]). *)
+val response_to_json : ?timing:bool -> response -> Telemetry.json
 
 (** [to_json ?label ?results ?extra t] is the [hyperreconf.batch/1]
     document aggregating the batch: size, ok/error/cut-off counts,

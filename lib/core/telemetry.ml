@@ -248,6 +248,34 @@ type t = {
 
 let schema_version = "hyperreconf.telemetry/1"
 
+(* Latency digest for serving summaries.  Stats.percentile raises on an
+   empty sample — an idle server has one — so the guard lives here, at
+   the telemetry boundary: no samples means null percentiles, not an
+   Invalid_argument escaping through the summary writer. *)
+let latency_summary samples =
+  let n = Array.length samples in
+  if n = 0 then
+    Obj
+      [
+        ("count", Int 0);
+        ("mean_ms", Null);
+        ("p50_ms", Null);
+        ("p95_ms", Null);
+        ("p99_ms", Null);
+        ("max_ms", Null);
+      ]
+  else
+    let p q = Float (Hr_util.Stats.percentile samples q) in
+    Obj
+      [
+        ("count", Int n);
+        ("mean_ms", Float (Hr_util.Stats.mean samples));
+        ("p50_ms", p 50.);
+        ("p95_ms", p 95.);
+        ("p99_ms", p 99.);
+        ("max_ms", Float (Array.fold_left Float.max samples.(0) samples));
+      ]
+
 (* The conventional per-backend work counters, in precedence order:
    whichever a solver reports first is its "iterations". *)
 let iteration_keys = [ "evaluations"; "states"; "rounds" ]

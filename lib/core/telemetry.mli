@@ -72,6 +72,13 @@ type t = {
 (** ["hyperreconf.telemetry/1"] — bump on breaking schema changes. *)
 val schema_version : string
 
+(** [latency_summary samples] is the per-request latency digest used by
+    the serving summaries: [{count; mean_ms; p50_ms; p95_ms; p99_ms;
+    max_ms}] (percentiles via {!Hr_util.Stats.percentile}).  An empty
+    sample — an idle server — reports [count = 0] and null statistics
+    instead of raising. *)
+val latency_summary : float array -> json
+
 (** [iterations sol] extracts the backend's work counter from
     [sol.stats]: the first of ["evaluations"], ["states"], ["rounds"]
     that parses as an integer. *)

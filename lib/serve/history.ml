@@ -1,0 +1,117 @@
+open Hr_core
+
+(* First-order successor model over the recent request stream: for each
+   observed key, how often each other key immediately followed it.
+   Prediction ranks the successors of the most recent key, then falls
+   back to globally-frequent recent keys — the hybrid static/dynamic
+   ranking of Resano et al.'s prefetch scheduling, applied to oracle
+   tables.
+
+   Bounded: at most [capacity] distinct keys are tracked (oldest first
+   observation evicted), and each key keeps at most [capacity]
+   successors.  Thread-safe. *)
+
+type entry = {
+  build : unit -> Problem.t;  (* most recent builder for the key *)
+  mutable freq : int;
+  succ : (string, int) Hashtbl.t;
+}
+
+type t = {
+  mu : Mutex.t;
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for capacity eviction *)
+  mutable last : string option;
+  mutable observed : int;
+}
+
+let create ?(capacity = 256) () =
+  {
+    mu = Mutex.create ();
+    capacity = max 1 capacity;
+    entries = Hashtbl.create 64;
+    order = Queue.create ();
+    last = None;
+    observed = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let observe t ~key build =
+  locked t (fun () ->
+      t.observed <- t.observed + 1;
+      (match Hashtbl.find_opt t.entries key with
+      | Some e -> e.freq <- e.freq + 1
+      | None ->
+          if Hashtbl.length t.entries >= t.capacity then begin
+            (* Evict the oldest tracked key (and dangling queue heads
+               left by earlier evictions). *)
+            let rec pop () =
+              match Queue.take_opt t.order with
+              | Some old when Hashtbl.mem t.entries old ->
+                  Hashtbl.remove t.entries old
+              | Some _ -> pop ()
+              | None -> ()
+            in
+            pop ()
+          end;
+          Hashtbl.add t.entries key
+            { build; freq = 1; succ = Hashtbl.create 4 };
+          Queue.push key t.order);
+      (match t.last with
+      | Some prev when prev <> key -> (
+          match Hashtbl.find_opt t.entries prev with
+          | Some e ->
+              let n = Option.value (Hashtbl.find_opt e.succ key) ~default:0 in
+              if n > 0 || Hashtbl.length e.succ < t.capacity then
+                Hashtbl.replace e.succ key (n + 1)
+          | None -> ())
+      | _ -> ());
+      t.last <- Some key)
+
+let observed t = locked t (fun () -> t.observed)
+
+(* Rank candidates: successors of the last key by transition count
+   first, then any tracked key by global frequency.  [resident] filters
+   keys that need no prewarming. *)
+let predict t ~resident ~limit =
+  if limit <= 0 then []
+  else
+    locked t (fun () ->
+        let seen = Hashtbl.create 8 in
+        let picked = ref [] and npicked = ref 0 in
+        let consider key =
+          if
+            !npicked < limit
+            && (not (Hashtbl.mem seen key))
+            && not (resident key)
+          then begin
+            Hashtbl.add seen key ();
+            match Hashtbl.find_opt t.entries key with
+            | Some e ->
+                picked := (key, e.build) :: !picked;
+                incr npicked
+            | None -> ()
+          end
+        in
+        let by_count tbl =
+          List.sort
+            (fun (_, a) (_, b) -> compare (b : int) a)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+        in
+        (match t.last with
+        | Some last -> (
+            match Hashtbl.find_opt t.entries last with
+            | Some e -> List.iter (fun (k, _) -> consider k) (by_count e.succ)
+            | None -> ())
+        | None -> ());
+        if !npicked < limit then
+          List.iter (fun (k, _) -> consider k)
+            (by_count
+               (let freqs = Hashtbl.create 16 in
+                Hashtbl.iter (fun k e -> Hashtbl.replace freqs k e.freq) t.entries;
+                freqs));
+        List.rev !picked)

@@ -1,0 +1,33 @@
+(** Recent-request history and likely-next oracle prediction — the
+    input to the server's idle-worker prewarming.
+
+    A bounded first-order successor model over the request-key stream:
+    {!observe} records each admitted key (keeping its most recent
+    problem builder), and {!predict} ranks candidate keys to prefetch —
+    successors of the most recently seen key by transition count,
+    falling back to globally frequent keys.  The run-time
+    prefetch-scheduling idea of Resano et al. (PAPERS.md), applied to
+    dense cost tables.  Thread-safe. *)
+
+type t
+
+(** [create ?capacity ()] tracks at most [capacity] (default 256)
+    distinct keys; the oldest-tracked key is evicted beyond that. *)
+val create : ?capacity:int -> unit -> t
+
+(** [observe t ~key build] records one admitted request: bumps [key]'s
+    frequency, the predecessor's transition count, and retains [build]
+    as the key's prewarming thunk. *)
+val observe : t -> key:string -> (unit -> Hr_core.Problem.t) -> unit
+
+(** [observed t] is the number of {!observe} calls. *)
+val observed : t -> int
+
+(** [predict t ~resident ~limit] is up to [limit] [(key, build)]
+    candidates worth prewarming, best first, excluding keys for which
+    [resident key] already holds (the LRU's membership probe). *)
+val predict :
+  t ->
+  resident:(string -> bool) ->
+  limit:int ->
+  (string * (unit -> Hr_core.Problem.t)) list

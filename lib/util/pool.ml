@@ -61,16 +61,27 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+let is_stopped t =
+  Mutex.lock t.mu;
+  let s = t.stopped in
+  Mutex.unlock t.mu;
+  s
+
 let default_pool = ref None
 
 let default () =
   match !default_pool with
-  | Some t -> t
-  | None ->
+  | Some t when not (is_stopped t) -> t
+  | _ ->
+      (* First use, or someone shut the shared pool down: a stopped
+         pool would silently degrade every Par.map_array to caller-side
+         sequential execution, so recreate instead of memoizing it
+         forever. *)
       let t = create () in
       default_pool := Some t;
       (* Workers idle-waiting on the condition would keep the process
-         from shutting down cleanly; join them on exit. *)
+         from shutting down cleanly; join them on exit.  [shutdown] is
+         idempotent, so stacking one handler per recreation is fine. *)
       at_exit (fun () -> shutdown t);
       t
 
@@ -127,8 +138,14 @@ let run_batch t ~nchunks ~(run_chunk : int -> (unit -> unit, exn) result) =
       true
     end
   in
+  (* Submitted tasks go through a cell that is emptied once the batch
+     completes: the caller often drains the cursor itself, and the
+     leftover queue entries would otherwise keep [claim] — and through
+     it [run_chunk], the chunk bounds and the caller's arrays — alive
+     until every worker has popped its stale task. *)
+  let claim_cell = ref claim in
   for _ = 1 to nchunks do
-    submit t (fun () -> ignore (claim ()))
+    submit t (fun () -> ignore (!claim_cell ()))
   done;
   (* Caller helps: claim chunks until the cursor runs dry... *)
   while claim () do
@@ -140,6 +157,9 @@ let run_batch t ~nchunks ~(run_chunk : int -> (unit -> unit, exn) result) =
     Condition.wait done_cond done_mu
   done;
   Mutex.unlock done_mu;
+  (* Batch complete: stale claim-tasks still queued become no-ops and
+     drop their references to this batch's state. *)
+  claim_cell := (fun () -> false);
   (* Lowest failing chunk = lowest failing element index (chunks are
      contiguous and each stops at its first raise): the exception the
      sequential map would have thrown, re-raised exactly once. *)

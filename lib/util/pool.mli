@@ -42,9 +42,17 @@ val create : ?workers:int -> unit -> t
 (** [size t] is the number of worker domains (even after shutdown). *)
 val size : t -> int
 
+(** [is_stopped t] — has {!shutdown} run?  A stopped pool still accepts
+    [map]/[iter_chunks] but executes them caller-side sequentially. *)
+val is_stopped : t -> bool
+
 (** [default ()] is the shared process-wide pool, created on first use
     with {!num_domains} workers and shut down automatically at exit.
-    {!Par.map_array} and {!Par.iter_chunks} run on it. *)
+    {!Par.map_array} and {!Par.iter_chunks} run on it.  If the shared
+    pool has been shut down, a fresh one is created (and registered for
+    shutdown at exit) rather than returning the stopped instance —
+    otherwise every later parallel map would silently run
+    sequentially. *)
 val default : unit -> t
 
 (** [map ?chunks t f arr] — the deterministic parallel map.  [f] must

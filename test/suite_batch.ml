@@ -151,6 +151,125 @@ let test_build_cache_across_batches () =
   check Alcotest.int "cached problem solves identically" (cost fresh)
     (cost second)
 
+let test_lru_eviction_by_bytes () =
+  (* Every sample problem costs at least the 1 KiB accounting floor, so
+     a 1.5 KiB budget holds exactly one problem: inserting a second
+     evicts the least recently used. *)
+  let cache = Batch.build_cache ~max_bytes:1500 () in
+  let req i key = Batch.request ~key ~id:(string_of_int i) sample_build in
+  ignore (Batch.run ~seed:3 ~cache [ req 0 "a" ]);
+  check Alcotest.bool "a resident" true (Batch.build_cache_mem cache "a");
+  ignore (Batch.run ~seed:3 ~cache [ req 1 "b" ]);
+  check Alcotest.bool "b resident" true (Batch.build_cache_mem cache "b");
+  check Alcotest.bool "a evicted" false (Batch.build_cache_mem cache "a");
+  let s = Batch.build_cache_stats cache in
+  check Alcotest.int "one eviction" 1 s.Batch.evictions;
+  check Alcotest.int "one entry resident" 1 s.Batch.entries;
+  check Alcotest.int "two misses" 2 s.Batch.misses
+
+let test_lru_recency_order () =
+  (* A hit refreshes recency: after touching "a", inserting "c" into a
+     two-slot cache evicts "b", not "a". *)
+  let cache = Batch.build_cache ~max_bytes:2500 () in
+  let req i key = Batch.request ~key ~id:(string_of_int i) sample_build in
+  ignore (Batch.run ~seed:3 ~cache [ req 0 "a" ]);
+  ignore (Batch.run ~seed:3 ~cache [ req 1 "b" ]);
+  ignore (Batch.run ~seed:3 ~cache [ req 2 "a" ] (* hit: a becomes MRU *));
+  ignore (Batch.run ~seed:3 ~cache [ req 3 "c" ]);
+  check Alcotest.bool "a kept (recently used)" true
+    (Batch.build_cache_mem cache "a");
+  check Alcotest.bool "b evicted (least recently used)" false
+    (Batch.build_cache_mem cache "b");
+  check Alcotest.bool "c resident" true (Batch.build_cache_mem cache "c");
+  let s = Batch.build_cache_stats cache in
+  check Alcotest.int "one hit" 1 s.Batch.hits;
+  check Alcotest.int "three misses" 3 s.Batch.misses;
+  (* The rendered stats expose the hit rate once there is traffic. *)
+  check Alcotest.bool "hit rate rendered" true
+    (Astring.String.is_infix ~affix:"\"hit_rate\":0.25"
+       (Telemetry.json_to_string (Batch.build_cache_stats_to_json s)))
+
+let test_fair_slice_clamps () =
+  let slice = Alcotest.float 1e-9 in
+  (* Exhausted global budget: the slice is zero, not a 1 ms floor that
+     would overrun the deadline request by request. *)
+  check slice "exhausted budget" 0.
+    (Batch.fair_slice_ms ~remaining_ms:0. ~workers:4 ~left:2);
+  check slice "overrun budget" 0.
+    (Batch.fair_slice_ms ~remaining_ms:(-5.) ~workers:4 ~left:2);
+  (* The fair share: workers/left of what remains... *)
+  check slice "fair share" 50.
+    (Batch.fair_slice_ms ~remaining_ms:100. ~workers:2 ~left:4);
+  (* ...clamped to the remaining budget when workers outnumber the
+     queue... *)
+  check slice "clamped to remaining" 100.
+    (Batch.fair_slice_ms ~remaining_ms:100. ~workers:8 ~left:2);
+  (* ...and safe on a drained queue. *)
+  check slice "empty queue" 100.
+    (Batch.fair_slice_ms ~remaining_ms:100. ~workers:4 ~left:0)
+
+let test_expired_deadline_cuts_off () =
+  (* Regression for the deadline overrun: with the global budget
+     already spent, every remaining request must come back cut off
+     (best-so-far), not claim a fresh floor slice each. *)
+  let mt_dp = Solver_registry.find_exn "mt-dp" in
+  let reqs =
+    List.init 3 (fun i -> Batch.request ~id:(string_of_int i) sample_build)
+  in
+  let batch = Batch.run ~seed:3 ~deadline_ms:0 ~solvers:(fun _ -> [ mt_dp ]) reqs in
+  check Alcotest.int "all answered" 3 (List.length batch.Batch.responses);
+  List.iter
+    (fun (r : Batch.response) ->
+      match r.Batch.outcome with
+      | Ok s ->
+          check Alcotest.bool (r.Batch.id ^ " cut off") true
+            s.Batch.solution.Solution.cut_off
+      | Error e -> Alcotest.failf "%s errored: %s" r.Batch.id e)
+    batch.Batch.responses
+
+let test_per_request_budget_layered () =
+  (* A request-level budget tightens only its own request, even with an
+     unlimited global budget. *)
+  let mt_dp = Solver_registry.find_exn "mt-dp" in
+  let expired =
+    Batch.request ~budget:(Hr_util.Budget.of_deadline_ms 0) ~id:"expired"
+      sample_build
+  in
+  let unbounded = Batch.request ~id:"unbounded" sample_build in
+  let batch =
+    Batch.run ~seed:3 ~solvers:(fun _ -> [ mt_dp ]) [ expired; unbounded ]
+  in
+  match batch.Batch.responses with
+  | [ e; u ] ->
+      let cut (r : Batch.response) =
+        match r.Batch.outcome with
+        | Ok s -> s.Batch.solution.Solution.cut_off
+        | Error msg -> Alcotest.failf "%s errored: %s" r.Batch.id msg
+      in
+      check Alcotest.bool "expired request cut off" true (cut e);
+      check Alcotest.bool "unbounded neighbour unaffected" false (cut u)
+  | rs -> Alcotest.failf "%d responses for 2 requests" (List.length rs)
+
+let test_empty_run_short_circuits () =
+  (* An all-malformed (hence empty) batch must not touch any pool. *)
+  let b = Batch.run ~seed:1 [] in
+  check Alcotest.int "no responses" 0 (List.length b.Batch.responses);
+  check Alcotest.int "no pool consulted" 0 b.Batch.workers;
+  check (Alcotest.float 1e-9) "no time accounted" 0. b.Batch.total_ms
+
+let test_timing_off_zeroes_wall_ms () =
+  let r = Batch.error_response ~wall_ms:1.25 ~id:"x" "boom" in
+  let timed = Telemetry.json_to_string (Batch.response_to_json r) in
+  let zeroed =
+    Telemetry.json_to_string (Batch.response_to_json ~timing:false r)
+  in
+  check Alcotest.bool "timed render keeps wall_ms" true
+    (Astring.String.is_infix ~affix:"\"wall_ms\":1.250" timed);
+  check Alcotest.bool "timing:false zeroes wall_ms" true
+    (Astring.String.is_infix ~affix:"\"wall_ms\":0.000" zeroed);
+  check Alcotest.bool "nothing else changes" true
+    (String.length timed = String.length zeroed)
+
 (* ------------------------------------------------------------------ *)
 (* Goldens: fully pinned result/batch documents, byte-for-byte.        *)
 
@@ -237,6 +356,19 @@ let tests =
     Alcotest.test_case "build dedup by key" `Quick test_build_dedup;
     Alcotest.test_case "build cache across batches" `Quick
       test_build_cache_across_batches;
+    Alcotest.test_case "lru eviction by byte budget" `Quick
+      test_lru_eviction_by_bytes;
+    Alcotest.test_case "lru recency order" `Quick test_lru_recency_order;
+    Alcotest.test_case "fair slice clamps to budget" `Quick
+      test_fair_slice_clamps;
+    Alcotest.test_case "expired deadline cuts off" `Quick
+      test_expired_deadline_cuts_off;
+    Alcotest.test_case "per-request budget layered" `Quick
+      test_per_request_budget_layered;
+    Alcotest.test_case "empty run short-circuits" `Quick
+      test_empty_run_short_circuits;
+    Alcotest.test_case "timing off zeroes wall_ms" `Quick
+      test_timing_off_zeroes_wall_ms;
     Alcotest.test_case "result/1 golden" `Quick test_result_golden;
     Alcotest.test_case "batch/1 golden" `Quick test_batch_golden;
   ]

@@ -224,6 +224,26 @@ let test_pool_shutdown_degrades () =
     "sequential after shutdown" [| 2; 4; 6 |]
     (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |])
 
+let test_pool_is_stopped () =
+  let pool = Pool.create ~workers:2 () in
+  Alcotest.(check bool) "live pool not stopped" false (Pool.is_stopped pool);
+  Pool.shutdown pool;
+  Alcotest.(check bool) "stopped after shutdown" true (Pool.is_stopped pool)
+
+let test_pool_default_recreated_after_shutdown () =
+  (* Regression: the memoized default pool used to be handed out even
+     after its shutdown, silently degrading every later caller to
+     sequential execution for the rest of the process. *)
+  let first = Pool.default () in
+  Pool.shutdown first;
+  let second = Pool.default () in
+  Alcotest.(check bool) "a fresh pool replaces the stopped one" true
+    (first != second);
+  Alcotest.(check bool) "the replacement is live" false (Pool.is_stopped second);
+  Alcotest.(check (array int))
+    "the replacement still computes" [| 2; 4; 6 |]
+    (Pool.map second (fun x -> 2 * x) [| 1; 2; 3 |])
+
 let test_budget_earliest () =
   Alcotest.(check bool)
     "unlimited of unlimited" false
@@ -272,6 +292,9 @@ let tests =
     Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
     Alcotest.test_case "pool iter_chunks covers" `Quick test_pool_iter_chunks_covers;
     Alcotest.test_case "pool shutdown degrades" `Quick test_pool_shutdown_degrades;
+    Alcotest.test_case "pool is_stopped" `Quick test_pool_is_stopped;
+    Alcotest.test_case "pool default recreated after shutdown" `Quick
+      test_pool_default_recreated_after_shutdown;
     Alcotest.test_case "budget earliest" `Quick test_budget_earliest;
     Alcotest.test_case "cli enum strict" `Quick test_cli_enum;
   ]

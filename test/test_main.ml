@@ -28,6 +28,7 @@ let () =
       ("fuzz", Suite_fuzz.tests);
       ("check", Suite_check.tests);
       ("batch", Suite_batch.tests);
+      ("serve", Suite_serve.tests);
       ("table_cache", Suite_table_cache.tests);
       ("expr", Suite_expr.tests);
       ("robust", Suite_robust.tests);
