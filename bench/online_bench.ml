@@ -1,0 +1,164 @@
+(* Online-replanning benchmark: incremental frontier extension against
+   full re-solves on an append-heavy event stream.
+
+   `dune exec bench/online_bench.exe -- [--seed S] [--out FILE]
+   [--results FILE] [--n0 N] [--events E] [--extend-k K]
+   [--min-speedup X]` generates one append-heavy stream (trace growth
+   only — the incremental engine's home turf), replays it under the
+   Full and Incremental strategies of Hr_online.Replan, cross-checks
+   that both land on the same plan event for event (equal cost and
+   bit-identical breakpoints — both sides run the exact online DP, so
+   any divergence is a bug), and writes a hyperreconf.bench/1 JSON
+   summary (default BENCH_online.json).  Exits 1 when the plans
+   diverge or the measured replan speedup falls below the floor
+   (default 2.0x). *)
+
+module Budget = Hr_util.Budget
+module Rng = Hr_util.Rng
+open Hr_core
+module Online = Hr_online
+
+let seq_params =
+  { Sync_cost.default_params with Sync_cost.reconf = Sync_cost.Task_sequential }
+
+let usage = "online_bench [--seed S] [--out FILE] [--results FILE] [--n0 N] [--events E] [--extend-k K] [--min-speedup X]"
+
+let () =
+  let seed = ref 2004
+  and out = ref "BENCH_online.json"
+  and results = ref ""
+  and n0 = ref 140
+  and events = ref 7
+  and extend_k = ref 7
+  and min_speedup = ref 2.0 in
+  let spec =
+    [
+      ("--seed", Arg.Set_int seed, "S stream and solver seed");
+      ("--out", Arg.Set_string out, "FILE JSON summary (default BENCH_online.json)");
+      ("--results", Arg.Set_string results, "FILE write the per-event tables");
+      ("--n0", Arg.Set_int n0, "N initial horizon (default 140)");
+      ("--events", Arg.Set_int events, "E extend events (default 7)");
+      ("--extend-k", Arg.Set_int extend_k, "K steps appended per event (default 7)");
+      ("--min-speedup", Arg.Set_float min_speedup, "X fail below this replan speedup (default 2.0)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let profile =
+    {
+      Online.Events.append_heavy with
+      Online.Events.n0 = !n0;
+      events = !events;
+      extend_k = !extend_k;
+    }
+  in
+  let init, stream =
+    Online.Events.generate (Rng.create !seed) profile
+  in
+  let config strategy =
+    {
+      (Online.Replan.default_config strategy) with
+      Online.Replan.seed = !seed;
+      params = seq_params;
+    }
+  in
+  let replay strategy =
+    Online.Replan.run (config strategy) ~init stream
+  in
+  (* One differential pass: both strategies run the exact online DP, so
+     every event must land on the same cost and the same matrix. *)
+  let full = replay Online.Replan.Full in
+  let inc = replay Online.Replan.Incremental in
+  let diverged = ref false in
+  List.iter2
+    (fun (f : Online.Replan.record) (i : Online.Replan.record) ->
+      if f.Online.Replan.cost <> i.Online.Replan.cost
+         || not (Breakpoints.equal f.Online.Replan.plan i.Online.Replan.plan)
+      then begin
+        Printf.eprintf
+          "online_bench: event %d (%s): full cost %d, incremental cost %d\n"
+          f.Online.Replan.index f.Online.Replan.label f.Online.Replan.cost
+          i.Online.Replan.cost;
+        diverged := true
+      end)
+    full.Online.Replan.records inc.Online.Replan.records;
+  if !diverged then exit 1;
+  if inc.Online.Replan.extensions < !events then begin
+    Printf.eprintf
+      "online_bench: only %d of %d events served incrementally\n"
+      inc.Online.Replan.extensions !events;
+    exit 1
+  end;
+  (* Timing: best of three replays per side, replan time only (the
+     initial solve is identical work on both sides). *)
+  let event_ms run =
+    match run.Online.Replan.records with
+    | [] -> 0.
+    | _ :: events ->
+        List.fold_left (fun a r -> a +. r.Online.Replan.wall_ms) 0. events
+  in
+  let best side =
+    let rec go k best =
+      if k = 0 then best
+      else go (k - 1) (min best (event_ms (replay side)))
+    in
+    go 2 (event_ms (if side = Online.Replan.Full then full else inc))
+  in
+  let full_ms = best Online.Replan.Full
+  and inc_ms = best Online.Replan.Incremental in
+  let speedup = if inc_ms > 0. then full_ms /. inc_ms else infinity in
+  let n_final =
+    match List.rev full.Online.Replan.records with
+    | r :: _ -> r.Online.Replan.n
+    | [] -> 0
+  in
+  let doc =
+    Telemetry.Obj
+      [
+        ("schema", Telemetry.String "hyperreconf.bench/1");
+        ("bench", Telemetry.String "online");
+        ( "workload",
+          Telemetry.Obj
+            [
+              ("profile", Telemetry.String "append-heavy");
+              ("seed", Telemetry.Int !seed);
+              ("tasks", Telemetry.Int (Task_set.num_tasks init));
+              ("n0", Telemetry.Int !n0);
+              ("n_final", Telemetry.Int n_final);
+              ("events", Telemetry.Int !events);
+              ("extend_k", Telemetry.Int !extend_k);
+            ] );
+        ( "replan",
+          Telemetry.Obj
+            [
+              ("full_ms", Telemetry.Float full_ms);
+              ("incremental_ms", Telemetry.Float inc_ms);
+              ("speedup", Telemetry.Float speedup);
+              ("min_speedup", Telemetry.Float !min_speedup);
+              ("extensions", Telemetry.Int inc.Online.Replan.extensions);
+              ("total_cost", Telemetry.Int full.Online.Replan.total_cost);
+              ("final_cost", Telemetry.Int full.Online.Replan.final_cost);
+            ] );
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Telemetry.json_to_string doc);
+  close_out oc;
+  if !results <> "" then begin
+    let oc = open_out !results in
+    output_string oc "-- full --\n";
+    output_string oc (Online.Replan.table full);
+    output_string oc "\n-- incremental --\n";
+    output_string oc (Online.Replan.table inc);
+    output_string oc "\n";
+    close_out oc
+  end;
+  Printf.printf
+    "online replan | m=%d n0=%d -> n=%d | %d extend events (k=%d) | full %.1f \
+     ms | incremental %.1f ms | speedup %.1fx | summary %s\n"
+    (Task_set.num_tasks init) !n0 n_final !events !extend_k full_ms inc_ms
+    speedup !out;
+  if speedup < !min_speedup then begin
+    Printf.eprintf "online_bench: speedup %.2fx below the %.2fx floor\n"
+      speedup !min_speedup;
+    exit 1
+  end

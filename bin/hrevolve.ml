@@ -1,0 +1,292 @@
+(* CLI: the online reconfiguration driver.
+
+   hrevolve [--seed S] [--profile default|append-heavy] [--events N]
+            [--tasks M] [--n0 N] [--strategy NAME]... [--solver NAME]
+            [--deadline-ms D] [--stream FILE] [--stream-out FILE]
+            [--json FILE] [--results FILE] [--assert-equal] [--sweep]
+            [--eta E]...
+
+   Generates (or loads) a task-arrival/departure/trace-growth event
+   stream, replays it under the selected replanning strategies
+   (lib/online), and prints one per-event table per strategy plus a
+   summary.  --assert-equal exits 1 unless the incremental frontier
+   reproduces the full re-solve event for event (equal cost and
+   bit-identical plan).  --sweep runs the eta x tasks x events
+   experiment harness instead.  See docs/online.md. *)
+
+open Cmdliner
+module Online = Hr_online
+
+let seq_params =
+  {
+    Hr_core.Sync_cost.default_params with
+    Hr_core.Sync_cost.reconf = Hr_core.Sync_cost.Task_sequential;
+  }
+
+let load_stream path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Hr_core.Telemetry.json_of_string s with
+  | Error msg -> failwith (path ^ ": " ^ msg)
+  | Ok j -> (
+      match Online.Event.stream_of_json j with
+      | Error msg -> failwith (path ^ ": " ^ msg)
+      | Ok pair -> pair)
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let profile_of_name = function
+  | "default" -> Online.Events.default
+  | "append-heavy" -> Online.Events.append_heavy
+  | p -> failwith (Printf.sprintf "unknown profile %S" p)
+
+let run seed profile events tasks n0 strategies solver deadline_ms stream_in
+    stream_out json_out results_out assert_equal sweep etas =
+  let profile = profile_of_name profile in
+  let profile =
+    {
+      profile with
+      Online.Events.events = Option.value events ~default:profile.Online.Events.events;
+      tasks = Option.value tasks ~default:profile.Online.Events.tasks;
+      n0 = Option.value n0 ~default:profile.Online.Events.n0;
+    }
+  in
+  let base =
+    {
+      (Online.Replan.default_config Online.Replan.Full) with
+      Online.Replan.solver;
+      seed;
+      deadline_ms;
+      params = seq_params;
+    }
+  in
+  if sweep then begin
+    let etas = if etas = [] then [ 0.5; 1.0; 2.0 ] else etas in
+    let sweep = Online.Experiment.run ~profile ~etas ~config:base ~seed () in
+    let table = Online.Experiment.table sweep in
+    print_string table;
+    print_newline ();
+    Option.iter (fun p -> write_file p table) results_out;
+    Option.iter
+      (fun p ->
+        write_file p
+          (Hr_core.Telemetry.json_to_string (Online.Experiment.to_json sweep)))
+      json_out;
+    0
+  end
+  else begin
+    let strategies =
+      let named =
+        List.map
+          (fun s ->
+            match Online.Replan.strategy_of_string s with
+            | Ok st -> st
+            | Error msg -> failwith msg)
+          strategies
+      in
+      let named =
+        if named = [] then Online.Replan.[ Full; Incremental ] else named
+      in
+      if
+        assert_equal
+        && not
+             (List.mem Online.Replan.Full named
+             && List.mem Online.Replan.Incremental named)
+      then Online.Replan.[ Full; Incremental ] @ named
+      else named
+    in
+    let init, stream =
+      match stream_in with
+      | Some path -> load_stream path
+      | None ->
+          Online.Events.generate (Hr_util.Rng.create seed) profile
+    in
+    Option.iter
+      (fun p ->
+        write_file p
+          (Hr_core.Telemetry.json_to_string
+             (Online.Event.stream_to_json ~init stream)))
+      stream_out;
+    Printf.printf "%d task(s), %d step(s), %d event(s), seed %d\n"
+      (Hr_core.Task_set.num_tasks init)
+      (Hr_core.Task_set.steps init)
+      (List.length stream) seed;
+    let runs =
+      List.map
+        (fun strategy ->
+          let r =
+            Online.Replan.run { base with Online.Replan.strategy } ~init stream
+          in
+          (strategy, r))
+        strategies
+    in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (strategy, r) ->
+        Buffer.add_string buf
+          (Printf.sprintf "-- %s --\n"
+             (Online.Replan.strategy_name strategy));
+        Buffer.add_string buf (Online.Replan.table r);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "total %d  final %d  replans %d  extensions %d  %.1f ms\n\n"
+             r.Online.Replan.total_cost r.Online.Replan.final_cost
+             r.Online.Replan.replans r.Online.Replan.extensions
+             r.Online.Replan.total_ms))
+      runs;
+    print_string (Buffer.contents buf);
+    Option.iter (fun p -> write_file p (Buffer.contents buf)) results_out;
+    Option.iter
+      (fun p ->
+        let docs =
+          List.map
+            (fun (strategy, r) ->
+              Online.Replan.to_json
+                { base with Online.Replan.strategy }
+                r)
+            runs
+        in
+        write_file p
+          (Hr_core.Telemetry.json_to_string
+             (Hr_core.Telemetry.Obj [ ("runs", Hr_core.Telemetry.List docs) ])))
+      json_out;
+    if assert_equal then begin
+      let find s = List.assoc s runs in
+      let full = find Online.Replan.Full
+      and inc = find Online.Replan.Incremental in
+      let mismatches =
+        List.filter_map
+          (fun (f, i) ->
+            if
+              f.Online.Replan.cost = i.Online.Replan.cost
+              && Hr_core.Breakpoints.equal f.Online.Replan.plan
+                   i.Online.Replan.plan
+            then None
+            else
+              Some
+                (Printf.sprintf
+                   "event %d (%s): full cost %d, incremental cost %d%s"
+                   f.Online.Replan.index f.Online.Replan.label
+                   f.Online.Replan.cost i.Online.Replan.cost
+                   (if f.Online.Replan.cost = i.Online.Replan.cost then
+                      " (plans differ)"
+                    else "")))
+          (List.combine full.Online.Replan.records inc.Online.Replan.records)
+      in
+      match mismatches with
+      | [] ->
+          Printf.printf "incremental == full across %d event(s)\n"
+            (List.length full.Online.Replan.records - 1);
+          0
+      | ms ->
+          List.iter prerr_endline ms;
+          Printf.eprintf "hrevolve: incremental diverged from full re-solve\n";
+          1
+    end
+    else 0
+  end
+
+let seed =
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"S" ~doc:"Stream generator seed (also the per-replan solver seed).")
+
+let profile =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "profile" ] ~docv:"P"
+        ~doc:"Stream profile: $(b,default) (mixed traffic) or $(b,append-heavy) (pure trace growth).")
+
+let events =
+  Arg.(value & opt (some int) None & info [ "events" ] ~docv:"N" ~doc:"Number of events to generate.")
+
+let tasks =
+  Arg.(value & opt (some int) None & info [ "tasks" ] ~docv:"M" ~doc:"Initial task count.")
+
+let n0 =
+  Arg.(value & opt (some int) None & info [ "n0" ] ~docv:"N" ~doc:"Initial trace horizon.")
+
+let strategies =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:"Replanning strategy (repeatable): $(b,none), $(b,full), $(b,incremental), $(b,warm).  Default: full and incremental.")
+
+let solver =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:"Registered backend to replan with.  Default: automatic (online-dp, then the exact DPs, then heuristics).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"D" ~doc:"Cooperative budget per replan.")
+
+let stream_in =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stream" ] ~docv:"FILE"
+        ~doc:"Load a hyperreconf.stream/1 JSON file instead of generating.")
+
+let stream_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stream-out" ] ~docv:"FILE" ~doc:"Write the event stream as JSON.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write per-event records (or the sweep) as JSON.")
+
+let results_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "results" ] ~docv:"FILE" ~doc:"Write the rendered tables to $(docv).")
+
+let assert_equal =
+  Arg.(
+    value & flag
+    & info [ "assert-equal" ]
+        ~doc:"Exit 1 unless the incremental re-solve matches the full re-solve event for event (requires exact backends; both strategies are added if missing).")
+
+let sweep =
+  Arg.(
+    value & flag
+    & info [ "sweep" ]
+        ~doc:"Run the eta x tasks x events experiment harness over all four strategies.")
+
+let etas =
+  Arg.(
+    value
+    & opt_all float []
+    & info [ "eta" ] ~docv:"E"
+        ~doc:"Cost-weight scaling for --sweep (repeatable).  Default: 0.5 1.0 2.0.")
+
+let cmd =
+  let doc = "online reconfiguration: event streams and incremental replanning" in
+  Cmd.v (Cmd.info "hrevolve" ~doc)
+    Term.(
+      const run $ seed $ profile $ events $ tasks $ n0 $ strategies $ solver
+      $ deadline_ms $ stream_in $ stream_out $ json_out $ results_out
+      $ assert_equal $ sweep $ etas)
+
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "hrevolve: %s\n" msg;
+      exit 2

@@ -227,6 +227,74 @@ let plan_roundtrip =
             else Fail "round-tripped plan differs");
   }
 
+let online_replay =
+  {
+    name = "online-replay";
+    doc = "prefix solve + trace extension matches the one-shot online DP";
+    check =
+      (fun ctx ->
+        match ctx.case.Case.spec with
+        | Case.Weighted _ | Case.Dag _ -> Skip "switch cases only"
+        | Case.Switch { widths; vs; reqs } ->
+            let n = Case.n ctx.case in
+            if n < 2 then Skip "single-step trace"
+            else if
+              not
+                (Online_dp.supports ctx.problem
+                && Online_dp.exact_ok ctx.problem)
+            then Skip "outside the online DP's exact regime"
+            else begin
+              (* Replay the case as a two-event stream: solve the first
+                 half of the trace, then extend to the full horizon.
+                 The incremental frontier must land on the one-shot
+                 answer bit for bit. *)
+              let h = n / 2 in
+              let prefix =
+                {
+                  ctx.case with
+                  Case.spec =
+                    Case.Switch
+                      {
+                        widths;
+                        vs;
+                        reqs =
+                          Array.map
+                            (fun l -> List.filteri (fun i _ -> i < h) l)
+                            reqs;
+                      };
+                }
+              in
+              let inc =
+                Online_dp.extend
+                  (Online_dp.start (Case.problem prefix))
+                  ctx.problem
+              in
+              let one = Online_dp.solution (Online_dp.start ctx.problem) in
+              let sinc = Online_dp.solution inc in
+              if sinc.Solution.cost <> one.Solution.cost then
+                Fail
+                  (Printf.sprintf
+                     "incremental re-solve costs %d, one-shot costs %d"
+                     sinc.Solution.cost one.Solution.cost)
+              else if not (Breakpoints.equal sinc.Solution.bp one.Solution.bp)
+              then Fail "incremental and one-shot plans differ"
+              else if
+                ctx.solution.Solution.exact
+                && ctx.solution.Solution.cost <> sinc.Solution.cost
+              then
+                Fail
+                  (Printf.sprintf
+                     "solver claims exact cost %d, online DP optimum is %d"
+                     ctx.solution.Solution.cost sinc.Solution.cost)
+              else if ctx.solution.Solution.cost < sinc.Solution.cost then
+                Fail
+                  (Printf.sprintf
+                     "solver cost %d beats the exact online DP's %d"
+                     ctx.solution.Solution.cost sinc.Solution.cost)
+              else Pass
+            end);
+  }
+
 let all =
   [
     admissible;
@@ -238,6 +306,7 @@ let all =
     batch_matches_single;
     cached_matches_fresh;
     plan_roundtrip;
+    online_replay;
   ]
 
 let verdict_name = function Pass -> "pass" | Fail _ -> "fail" | Skip _ -> "skip"

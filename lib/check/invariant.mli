@@ -67,6 +67,18 @@ val cached_matches_fresh : t
 (** The plan survives a {!Hr_core.Plan_io} round-trip unchanged. *)
 val plan_roundtrip : t
 
+(** The case replayed as a two-event stream — solve the first half of
+    the trace, then extend to the full horizon with
+    {!Hr_core.Online_dp.extend} — lands on the one-shot
+    {!Hr_core.Online_dp} answer bit for bit (equal cost {e and} equal
+    matrix), and the solver under test never beats that exact cost (an
+    exact solver must match it).  [Skip] outside the online DP's exact
+    regime (switch cases, fully synchronized, task-sequential
+    reconfiguration).  Failing cases shrink through the runner's
+    normal case shrinker, which in particular shortens the trace —
+    i.e. the event list — greedily. *)
+val online_replay : t
+
 (** The catalogue, in table-column order. *)
 val all : t list
 

@@ -44,9 +44,19 @@ let rent_or_buy ~v =
               if not (Hypercontext.satisfies hc req) then begin
                 (* Forced switch: take the union so recent history stays
                    available (pure per-requirement switching thrashes on
-                   alternating demands). *)
-                waste := 0;
-                Switch_to (Bitset.union hc req)
+                   alternating demands).  The union's surplus over the
+                   requirement still counts as waste — otherwise a trace
+                   that escapes the hypercontext every few steps keeps
+                   resetting the meter and the accumulated surplus never
+                   sheds.  Shedding here is free: the switch is paid
+                   anyway. *)
+                let grown = Bitset.union hc req in
+                waste := !waste + (Hypercontext.cost grown - Bitset.cardinal req);
+                if !waste > v then begin
+                  waste := 0;
+                  Switch_to req
+                end
+                else Switch_to grown
               end
               else begin
                 waste := !waste + (Hypercontext.cost hc - Bitset.cardinal req);

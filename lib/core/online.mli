@@ -15,10 +15,13 @@
       adaptation at all;
     - {!rent_or_buy}: keep the current hypercontext and accumulate the
       {e waste} (per-step cost above the current requirement's own
-      size); once the waste since the last voluntary switch exceeds
-      [v], hyperreconfigure down to the current requirement
-      (ski-rental reasoning — never keep paying much more than a switch
-      would have cost);
+      size); once the waste since the last shed exceeds [v],
+      hyperreconfigure down to the current requirement (ski-rental
+      reasoning — never keep paying much more than a switch would have
+      cost).  Forced switches grow the hypercontext by union but keep
+      feeding the waste meter with the union's surplus, shedding to
+      exactly the requirement once it trips — a forced switch pays [v]
+      regardless, so the shed is free;
     - {!growing}: grow the hypercontext by union whenever a requirement
       escapes it; shrink back to the current requirement when the
       hypercontext exceeds [reset_factor] × the running mean

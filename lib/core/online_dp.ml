@@ -1,0 +1,374 @@
+module Budget = Hr_util.Budget
+
+type t = {
+  problem : Problem.t;
+  n_done : int;
+  len : int;
+  starts : int array;  (* len * m: open-block start of each task *)
+  acc : int array;  (* len: cost charged for steps 0 .. n_done-1 *)
+  breaks : (int * int) list array;  (* len: (task, step), latest first *)
+  explored : int;
+  truncations : int;
+  cut : bool;
+  max_states : int option;
+}
+
+let horizon t = t.n_done
+let frontier (t : t) = t.len
+let states_explored t = t.explored
+
+let best_slot (t : t) =
+  let best = ref 0 in
+  for s = 1 to t.len - 1 do
+    if t.acc.(s) < t.acc.(!best) then best := s
+  done;
+  !best
+
+let best_cost t = t.acc.(best_slot t)
+
+let supports p =
+  p.Problem.mode = Mixed_sync.Fully_synchronized
+  && p.Problem.params.Sync_cost.reconf = Sync_cost.Task_sequential
+  && Problem.n p >= 1
+  && Problem.m p <= 12
+
+(* Mirror Mt_dp's exact-mode guard: the frontier holds at most n^m
+   start vectors. *)
+let exact_ok p =
+  let m = Problem.m p and n = float_of_int (Problem.n p) in
+  let rec go j acc =
+    if j >= m || acc > 2_000_000. then acc else go (j + 1) (acc *. n)
+  in
+  go 0 1. <= 2_000_000.
+
+exception Cut
+
+(* Poll the budget every 4096 emitted candidates, like Mt_dp. *)
+let poll_mask = 4095
+
+let combine params v mask m =
+  match (params.Sync_cost.hyper : Sync_cost.upload) with
+  | Task_parallel ->
+      let best = ref 0 in
+      for j = 0 to m - 1 do
+        if mask land (1 lsl j) <> 0 && v.(j) > !best then best := v.(j)
+      done;
+      !best
+  | Task_sequential ->
+      let s = ref 0 in
+      for j = 0 to m - 1 do
+        if mask land (1 lsl j) <> 0 then s := !s + v.(j)
+      done;
+      !s
+
+(* Smallest b with max < 2^b (b >= 1): the per-task field width of the
+   packed start-vector key at a level where starts range over
+   [0..max].  Any injective key works — slot order, and hence
+   determinism, comes from the emission order alone. *)
+let bits_for max =
+  let rec go b = if max < 1 lsl b then b else go (b + 1) in
+  go 1
+
+type level = {
+  mutable s : int array;
+  mutable a : int array;
+  mutable b : (int * int) list array;
+  mutable len : int;
+  mutable cap : int;
+}
+
+let make_level m cap =
+  {
+    s = Array.make (cap * m) 0;
+    a = Array.make cap 0;
+    b = Array.make cap [];
+    len = 0;
+    cap;
+  }
+
+let ensure lv m needed =
+  if needed > lv.cap then begin
+    let cap = max needed (2 * lv.cap) in
+    let s = Array.make (cap * m) 0
+    and a = Array.make cap 0
+    and b = Array.make cap [] in
+    Array.blit lv.s 0 s 0 (lv.len * m);
+    Array.blit lv.a 0 a 0 lv.len;
+    Array.blit lv.b 0 b 0 lv.len;
+    lv.s <- s;
+    lv.a <- a;
+    lv.b <- b;
+    lv.cap <- cap
+  end
+
+(* Run the DP across steps [t.n_done .. upto-1] of [problem] (>= 1:
+   step 0 is laid down by [start]).  The level loop is oblivious to
+   [upto], so a prefix run followed by [extend] performs exactly the
+   computations of a full run — the basis of the bit-identical
+   incremental ≡ full guarantee. *)
+let advance ~budget (t : t) problem ~upto =
+  let m = Problem.m problem in
+  let oracle = problem.Problem.oracle in
+  let sc = oracle.Interval_cost.step_cost in
+  let params = problem.Problem.params in
+  let pub = params.Sync_cost.pub in
+  let masks =
+    if problem.Problem.machine_class = Problem.All_task then
+      [| 0; (1 lsl m) - 1 |]
+    else Array.init (1 lsl m) Fun.id
+  in
+  let nmasks = Array.length masks in
+  let hyper_of = Array.make (1 lsl m) 0 in
+  Array.iter
+    (fun mask -> hyper_of.(mask) <- combine params oracle.Interval_cost.v mask m)
+    masks;
+  let cur = make_level m (max 16 t.len) in
+  Array.blit t.starts 0 cur.s 0 (t.len * m);
+  Array.blit t.acc 0 cur.a 0 t.len;
+  Array.blit t.breaks 0 cur.b 0 t.len;
+  cur.len <- t.len;
+  let nxt = make_level m 1024 in
+  let slots_int : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let slots_str : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Array.make m 0 in
+  let explored = ref t.explored in
+  let truncations = ref t.truncations in
+  let cut = ref t.cut in
+  let emitted = ref 0 in
+  let step_done = ref t.n_done in
+  (try
+     for i = t.n_done to upto - 1 do
+       step_done := i;
+       if Budget.exhausted budget then raise Cut;
+       Hashtbl.reset slots_int;
+       Hashtbl.reset slots_str;
+       nxt.len <- 0;
+       let kb = bits_for i in
+       let packable = m * kb <= 62 in
+       for s = 0 to cur.len - 1 do
+         let base = s * m in
+         for mi = 0 to nmasks - 1 do
+           let mask = masks.(mi) in
+           incr emitted;
+           if !emitted land poll_mask = 0 && Budget.exhausted budget then
+             raise Cut;
+           let chg = ref (pub + hyper_of.(mask)) in
+           for j = 0 to m - 1 do
+             if mask land (1 lsl j) <> 0 then begin
+               scratch.(j) <- i;
+               chg := !chg + sc j i i
+             end
+             else begin
+               let lo = cur.s.(base + j) in
+               scratch.(j) <- lo;
+               chg :=
+                 !chg + ((i - lo + 1) * sc j lo i) - ((i - lo) * sc j lo (i - 1))
+             end
+           done;
+           let acc' = cur.a.(s) + !chg in
+           let ikey = ref 0 and skey = ref "" in
+           if packable then
+             for j = 0 to m - 1 do
+               ikey := (!ikey lsl kb) lor scratch.(j)
+             done
+           else begin
+             let bytes = Bytes.create (m * 4) in
+             for j = 0 to m - 1 do
+               Bytes.set_int32_le bytes (j * 4) (Int32.of_int scratch.(j))
+             done;
+             skey := Bytes.unsafe_to_string bytes
+           end;
+           let existing =
+             if packable then Hashtbl.find_opt slots_int !ikey
+             else Hashtbl.find_opt slots_str !skey
+           in
+           let mk_breaks () =
+             let l = ref cur.b.(s) in
+             for j = 0 to m - 1 do
+               if mask land (1 lsl j) <> 0 then l := (j, i) :: !l
+             done;
+             !l
+           in
+           match existing with
+           | Some sl ->
+               (* Equal start vectors have identical futures: keep the
+                  strictly cheaper one (ties keep the first emission,
+                  for determinism). *)
+               if acc' < nxt.a.(sl) then begin
+                 nxt.a.(sl) <- acc';
+                 nxt.b.(sl) <- mk_breaks ()
+               end
+           | None ->
+               ensure nxt m (nxt.len + 1);
+               let sl = nxt.len in
+               Array.blit scratch 0 nxt.s (sl * m) m;
+               nxt.a.(sl) <- acc';
+               nxt.b.(sl) <- mk_breaks ();
+               if packable then Hashtbl.add slots_int !ikey sl
+               else Hashtbl.add slots_str !skey sl;
+               nxt.len <- sl + 1
+         done
+       done;
+       (match t.max_states with
+       | Some cap when nxt.len > cap ->
+           (* Beam truncation: keep the cheapest [cap] states, ties by
+              insertion index, survivors in insertion order. *)
+           let idx = Array.init nxt.len Fun.id in
+           Array.sort
+             (fun x y ->
+               let c = compare nxt.a.(x) nxt.a.(y) in
+               if c <> 0 then c else compare x y)
+             idx;
+           let keep = Array.sub idx 0 cap in
+           Array.sort compare keep;
+           let s = Array.make (cap * m) 0
+           and a = Array.make cap 0
+           and b = Array.make cap [] in
+           Array.iteri
+             (fun k old ->
+               Array.blit nxt.s (old * m) s (k * m) m;
+               a.(k) <- nxt.a.(old);
+               b.(k) <- nxt.b.(old))
+             keep;
+           nxt.s <- s;
+           nxt.a <- a;
+           nxt.b <- b;
+           nxt.cap <- cap;
+           nxt.len <- cap;
+           incr truncations
+       | _ -> ());
+       explored := !explored + nxt.len;
+       (* Swap the level buffers; nxt is rebuilt next iteration. *)
+       let s = cur.s and a = cur.a and b = cur.b and cap = cur.cap in
+       cur.s <- nxt.s;
+       cur.a <- nxt.a;
+       cur.b <- nxt.b;
+       cur.cap <- nxt.cap;
+       cur.len <- nxt.len;
+       nxt.s <- s;
+       nxt.a <- a;
+       nxt.b <- b;
+       nxt.cap <- cap;
+       nxt.len <- 0;
+       step_done := i + 1
+     done
+   with Cut ->
+     (* Deadline: collapse to the cheapest state at the last completed
+        horizon and fast-forward the remaining steps with no further
+        restarts — cheap, admissible, marked cut off. *)
+     cut := true;
+     let best = ref 0 in
+     for s = 1 to cur.len - 1 do
+       if cur.a.(s) < cur.a.(!best) then best := s
+     done;
+     let b = !best in
+     let starts = Array.sub cur.s (b * m) m in
+     let acc = ref cur.a.(b) in
+     for i = !step_done to upto - 1 do
+       let chg = ref pub in
+       for j = 0 to m - 1 do
+         let lo = starts.(j) in
+         chg := !chg + ((i - lo + 1) * sc j lo i) - ((i - lo) * sc j lo (i - 1))
+       done;
+       acc := !acc + !chg
+     done;
+     Array.blit starts 0 cur.s 0 m;
+     cur.a.(0) <- !acc;
+     cur.b.(0) <- cur.b.(b);
+     cur.len <- 1);
+  {
+    t with
+    problem;
+    n_done = upto;
+    len = cur.len;
+    starts = Array.sub cur.s 0 (cur.len * m);
+    acc = Array.sub cur.a 0 cur.len;
+    breaks = Array.sub cur.b 0 cur.len;
+    explored = !explored;
+    truncations = !truncations;
+    cut = !cut;
+  }
+
+let start ?max_states ?(budget = Budget.unlimited) problem =
+  if not (supports problem) then
+    invalid_arg
+      "Online_dp.start: needs the fully synchronized mode, task-sequential \
+       reconfiguration uploads, and m <= 12";
+  (match max_states with
+  | Some c when c < 1 -> invalid_arg "Online_dp.start: max_states must be >= 1"
+  | _ -> ());
+  if max_states = None && not (exact_ok problem) then
+    invalid_arg
+      "Online_dp.start: exact frontier too large (n^m > 2e6); pass ~max_states";
+  let m = Problem.m problem and n = Problem.n problem in
+  let oracle = problem.Problem.oracle in
+  let params = problem.Problem.params in
+  let v = oracle.Interval_cost.v in
+  (* Step 0: column 0 is all-true — every task restarts. *)
+  let full = (1 lsl m) - 1 in
+  let acc0 = ref (params.Sync_cost.w + params.Sync_cost.pub + combine params v full m) in
+  let breaks0 = ref [] in
+  for j = 0 to m - 1 do
+    acc0 := !acc0 + oracle.Interval_cost.step_cost j 0 0;
+    breaks0 := (j, 0) :: !breaks0
+  done;
+  let t0 =
+    {
+      problem;
+      n_done = 1;
+      len = 1;
+      starts = Array.make m 0;
+      acc = [| !acc0 |];
+      breaks = [| !breaks0 |];
+      explored = 1;
+      truncations = 0;
+      cut = false;
+      max_states;
+    }
+  in
+  if n = 1 then t0 else advance ~budget t0 problem ~upto:n
+
+let extend ?(budget = Budget.unlimited) t problem' =
+  let m = Problem.m t.problem in
+  let fail msg = invalid_arg ("Online_dp.extend: " ^ msg) in
+  if Problem.m problem' <> m then fail "task count changed";
+  if Problem.n problem' < t.n_done then fail "horizon shrank";
+  if not (supports problem') then
+    fail "extended problem is unsupported (mode/uploads/m)";
+  if problem'.Problem.params <> t.problem.Problem.params then
+    fail "parameters changed";
+  if problem'.Problem.machine_class <> t.problem.Problem.machine_class then
+    fail "machine class changed";
+  let v = t.problem.Problem.oracle.Interval_cost.v in
+  if problem'.Problem.oracle.Interval_cost.v <> v then
+    fail "per-task hyperreconfiguration costs changed";
+  if t.max_states = None && not (exact_ok problem') then
+    fail "exact frontier too large (n^m > 2e6) at the new horizon";
+  (* Spot-check the prefix-agreement contract: the appended oracle must
+     cost the old steps exactly as before. *)
+  let old_sc = t.problem.Problem.oracle.Interval_cost.step_cost in
+  let new_sc = problem'.Problem.oracle.Interval_cost.step_cost in
+  let hi = t.n_done - 1 in
+  for j = 0 to m - 1 do
+    if old_sc j 0 hi <> new_sc j 0 hi || old_sc j hi hi <> new_sc j hi hi then
+      fail "oracle disagrees with the prefix (not a trace extension)"
+  done;
+  if Problem.n problem' = t.n_done then { t with problem = problem' }
+  else advance ~budget t problem' ~upto:(Problem.n problem')
+
+let solution t =
+  let best = best_slot t in
+  let m = Problem.m t.problem in
+  let rows = Array.make m [] in
+  List.iter (fun (j, i) -> rows.(j) <- i :: rows.(j)) t.breaks.(best);
+  let bp = Breakpoints.of_rows ~m ~n:t.n_done rows in
+  let cost = Problem.eval t.problem bp in
+  let exact = (not t.cut) && t.max_states = None in
+  Solution.make ~solver:"online-dp" ~exact ~cut_off:t.cut
+    ~stats:
+      [
+        ("states", string_of_int t.explored);
+        ("frontier", string_of_int t.len);
+        ("truncations", string_of_int t.truncations);
+      ]
+    ~cost bp

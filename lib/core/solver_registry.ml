@@ -205,6 +205,12 @@ let async_opt =
         ~stats:[ ("bottleneck-task", string_of_int r.Mt_async.bottleneck) ]
         ~cost:r.Mt_async.cost bp)
 
+let online_dp =
+  Solver.make ~name:"online-dp" ~kind:Solver.Exact
+    ~doc:"incremental block-start DP (extendable frontier); task-sequential reconf"
+    ~handles:(fun p -> sized p && Online_dp.supports p && Online_dp.exact_ok p)
+    (fun ~budget ~rng:_ p -> Online_dp.solution (Online_dp.start ~budget p))
+
 let mode_climb =
   Solver.make ~name:"mode-climb" ~kind:Solver.Heuristic
     ~doc:"bit-flip descent on Problem.eval (intermediate sync modes)"
@@ -258,4 +264,5 @@ let () =
       ga_polish;
       async_opt;
       mode_climb;
+      online_dp;
     ]

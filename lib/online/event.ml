@@ -1,0 +1,318 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+
+type payload =
+  | Arrive of Task_set.task
+  | Depart of string
+  | Demand_change of { task : string; step : int; req : Bitset.t }
+  | Extend_trace of Bitset.t array array
+
+type t = { at : int; payload : payload }
+
+type stream = t list
+
+let schema_version = "hyperreconf.event/1"
+
+let stream_schema_version = "hyperreconf.stream/1"
+
+let kind_name e =
+  match e.payload with
+  | Arrive _ -> "arrive"
+  | Depart _ -> "depart"
+  | Demand_change _ -> "demand-change"
+  | Extend_trace _ -> "extend-trace"
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let find_task tasks name =
+  let rec go j =
+    if j >= Array.length tasks then None
+    else if tasks.(j).Task_set.name = name then Some j
+    else go (j + 1)
+  in
+  go 0
+
+let apply ts e =
+  let tasks = Task_set.tasks ts in
+  let m = Array.length tasks in
+  let n = Task_set.steps ts in
+  match e.payload with
+  | Arrive tk ->
+      if find_task tasks tk.Task_set.name <> None then
+        err "arrive: duplicate task %S" tk.Task_set.name
+      else if Trace.length tk.Task_set.trace <> n then
+        err "arrive: task %S has %d steps, horizon is %d" tk.Task_set.name
+          (Trace.length tk.Task_set.trace)
+          n
+      else if tk.Task_set.v < 0 then err "arrive: task %S has v < 0" tk.Task_set.name
+      else Ok (Task_set.make (Array.append tasks [| tk |]))
+  | Depart name -> (
+      match find_task tasks name with
+      | None -> err "depart: unknown task %S" name
+      | Some _ when m = 1 -> err "depart: %S is the last task" name
+      | Some j ->
+          Ok
+            (Task_set.make
+               (Array.init (m - 1) (fun k ->
+                    if k < j then tasks.(k) else tasks.(k + 1)))))
+  | Demand_change { task; step; req } -> (
+      match find_task tasks task with
+      | None -> err "demand-change: unknown task %S" task
+      | Some j ->
+          let tk = tasks.(j) in
+          let space = Trace.space tk.Task_set.trace in
+          if step < 0 || step >= n then
+            err "demand-change: step %d outside [0, %d)" step n
+          else if Bitset.width req <> Switch_space.size space then
+            err "demand-change: requirement width %d, task %S has %d switches"
+              (Bitset.width req) task
+              (Switch_space.size space)
+          else begin
+            let reqs = Trace.reqs tk.Task_set.trace in
+            reqs.(step) <- req;
+            let tasks = Array.copy tasks in
+            tasks.(j) <- { tk with Task_set.trace = Trace.make space reqs };
+            Ok (Task_set.make tasks)
+          end)
+  | Extend_trace rows ->
+      if Array.length rows <> m then
+        err "extend-trace: %d rows for %d tasks" (Array.length rows) m
+      else
+        let k = if m = 0 then 0 else Array.length rows.(0) in
+        if k < 1 then err "extend-trace: empty extension"
+        else
+          let rec check j =
+            if j >= m then None
+            else if Array.length rows.(j) <> k then
+              Some
+                (Printf.sprintf "extend-trace: row %d has %d steps, row 0 has %d"
+                   j
+                   (Array.length rows.(j))
+                   k)
+            else
+              let space = Trace.space tasks.(j).Task_set.trace in
+              let bad =
+                Array.exists
+                  (fun r -> Bitset.width r <> Switch_space.size space)
+                  rows.(j)
+              in
+              if bad then
+                Some
+                  (Printf.sprintf
+                     "extend-trace: row %d carries a requirement of the wrong \
+                      width"
+                     j)
+              else check (j + 1)
+          in
+          (match check 0 with
+          | Some msg -> Error msg
+          | None ->
+              Ok
+                (Task_set.make
+                   (Array.mapi
+                      (fun j tk ->
+                        let space = Trace.space tk.Task_set.trace in
+                        {
+                          tk with
+                          Task_set.trace =
+                            Trace.concat tk.Task_set.trace
+                              (Trace.make space rows.(j));
+                        })
+                      tasks)))
+
+let fold_stream ~init stream f =
+  let rec go ts last acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+        if e.at < 0 then err "event at t=%d: negative timestamp" e.at
+        else if e.at <= last then
+          err "event at t=%d: timestamps must strictly increase (previous %d)"
+            e.at last
+        else (
+          match apply ts e with
+          | Error msg -> err "event at t=%d (%s): %s" e.at (kind_name e) msg
+          | Ok ts' -> go ts' e.at (f ts' :: acc) rest)
+  in
+  go init (-1) [] stream
+
+let validate ~init stream =
+  match fold_stream ~init stream (fun _ -> ()) with
+  | Ok _ -> Ok ()
+  | Error _ as e -> e
+
+let replay ~init stream = fold_stream ~init stream Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* JSON.                                                               *)
+
+(* [open Telemetry] below shadows [schema_version] with the telemetry
+   document's own — rebind ours first. *)
+let event_schema_version = schema_version
+
+open Telemetry
+
+let json_of_bitset b = List (List.map (fun i -> Int i) (Bitset.to_list b))
+
+let bitset_of_json ~width = function
+  | List l ->
+      let rec go acc = function
+        | [] -> Ok acc
+        | Int i :: rest ->
+            if i < 0 || i >= width then err "switch index %d out of width %d" i width
+            else go (Bitset.add acc i) rest
+        | _ -> Error "requirement entries must be integers"
+      in
+      go (Bitset.create width) l
+  | _ -> Error "requirement must be a list"
+
+let task_to_json tk =
+  Obj
+    [
+      ("name", String tk.Task_set.name);
+      ("v", Int tk.Task_set.v);
+      ("width", Int (Switch_space.size (Trace.space tk.Task_set.trace)));
+      ( "reqs",
+        List
+          (Array.to_list (Array.map json_of_bitset (Trace.reqs tk.Task_set.trace)))
+      );
+    ]
+
+let ( let* ) = Result.bind
+
+let mem name = function
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> err "missing field %S" name)
+  | _ -> err "expected an object with field %S" name
+
+let as_int = function Int i -> Ok i | _ -> Error "expected an integer"
+
+let as_string = function String s -> Ok s | _ -> Error "expected a string"
+
+let as_list = function List l -> Ok l | _ -> Error "expected a list"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let task_of_json j =
+  let* name = Result.bind (mem "name" j) as_string in
+  let* v = Result.bind (mem "v" j) as_int in
+  let* width = Result.bind (mem "width" j) as_int in
+  let* reqs = Result.bind (mem "reqs" j) as_list in
+  if width < 0 then Error "negative width"
+  else
+    let* reqs = map_result (bitset_of_json ~width) reqs in
+    if reqs = [] then Error "task has no steps"
+    else
+      Ok
+        {
+          Task_set.name;
+          v;
+          trace = Trace.make (Switch_space.make width) (Array.of_list reqs);
+        }
+
+let task_set_to_json ts =
+  Obj
+    [ ("tasks", List (Array.to_list (Array.map task_to_json (Task_set.tasks ts)))) ]
+
+let task_set_of_json j =
+  let* tasks = Result.bind (mem "tasks" j) as_list in
+  let* tasks = map_result task_of_json tasks in
+  match Task_set.make (Array.of_list tasks) with
+  | ts -> Ok ts
+  | exception Invalid_argument msg -> Error msg
+
+let to_json e =
+  let base = [ ("schema", String event_schema_version); ("at", Int e.at) ] in
+  let rest =
+    match e.payload with
+    | Arrive tk -> [ ("kind", String "arrive"); ("task", task_to_json tk) ]
+    | Depart name -> [ ("kind", String "depart"); ("task", String name) ]
+    | Demand_change { task; step; req } ->
+        [
+          ("kind", String "demand-change");
+          ("task", String task);
+          ("step", Int step);
+          ("width", Int (Bitset.width req));
+          ("req", json_of_bitset req);
+        ]
+    | Extend_trace rows ->
+        [
+          ("kind", String "extend-trace");
+          ( "widths",
+            List
+              (Array.to_list
+                 (Array.map
+                    (fun row ->
+                      Int (if Array.length row = 0 then 0 else Bitset.width row.(0)))
+                    rows)) );
+          ( "rows",
+            List
+              (Array.to_list
+                 (Array.map
+                    (fun row -> List (Array.to_list (Array.map json_of_bitset row)))
+                    rows)) );
+        ]
+  in
+  Obj (base @ rest)
+
+let of_json j =
+  let* at = Result.bind (mem "at" j) as_int in
+  let* kind = Result.bind (mem "kind" j) as_string in
+  let* payload =
+    match kind with
+    | "arrive" ->
+        let* tk = Result.bind (mem "task" j) task_of_json in
+        Ok (Arrive tk)
+    | "depart" ->
+        let* name = Result.bind (mem "task" j) as_string in
+        Ok (Depart name)
+    | "demand-change" ->
+        let* task = Result.bind (mem "task" j) as_string in
+        let* step = Result.bind (mem "step" j) as_int in
+        let* width = Result.bind (mem "width" j) as_int in
+        let* req = Result.bind (mem "req" j) (bitset_of_json ~width) in
+        Ok (Demand_change { task; step; req })
+    | "extend-trace" ->
+        let* widths = Result.bind (mem "widths" j) as_list in
+        let* widths = map_result as_int widths in
+        let* rows = Result.bind (mem "rows" j) as_list in
+        if List.length rows <> List.length widths then
+          Error "extend-trace: widths/rows arity mismatch"
+        else
+          let* rows =
+            map_result
+              (fun (width, row) ->
+                let* row = as_list row in
+                let* row = map_result (bitset_of_json ~width) row in
+                Ok (Array.of_list row))
+              (List.combine widths rows)
+          in
+          Ok (Extend_trace (Array.of_list rows))
+    | k -> err "unknown event kind %S" k
+  in
+  Ok { at; payload }
+
+let stream_to_json ~init stream =
+  Obj
+    [
+      ("schema", String stream_schema_version);
+      ("init", task_set_to_json init);
+      ("events", List (List.map to_json stream));
+    ]
+
+let stream_of_json j =
+  let* schema = Result.bind (mem "schema" j) as_string in
+  if schema <> stream_schema_version then
+    err "expected schema %S, got %S" stream_schema_version schema
+  else
+    let* init = Result.bind (mem "init" j) task_set_of_json in
+    let* events = Result.bind (mem "events" j) as_list in
+    let* events = map_result of_json events in
+    let* () = validate ~init events in
+    Ok (init, events)

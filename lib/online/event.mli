@@ -1,0 +1,78 @@
+open Hr_core
+
+(** Typed workload events over a running multi-task instance.
+
+    The paper's setting is inherently dynamic — tasks arrive, depart
+    and change their demands on a shared hyperreconfigurable fabric —
+    but every solve in the core library is one-shot over a fixed
+    {!Hr_core.Task_set.t}.  An {!Event.t} captures one change to the
+    running instance; a {!stream} replays a whole history.  The replan
+    driver ({!Replan}) folds a stream over an initial task set,
+    re-solving after each event — incrementally
+    ({!Hr_core.Online_dp.extend}) when the event only appends trace
+    steps, from scratch (optionally warm-started, {!Warm}) otherwise.
+
+    Events serialize to JSON-lines documents (schema
+    {!schema_version}); a whole stream together with its initial task
+    set forms a {!stream_schema_version} document, pinned byte-for-byte
+    under [test/golden/].  See [docs/online.md]. *)
+
+type payload =
+  | Arrive of Task_set.task
+      (** a new task joins; its trace must span the current horizon *)
+  | Depart of string  (** the named task leaves (at least one must stay) *)
+  | Demand_change of { task : string; step : int; req : Hr_util.Bitset.t }
+      (** one requirement of one task is rewritten in place *)
+  | Extend_trace of Hr_util.Bitset.t array array
+      (** per task (in task-set order), the appended requirement rows —
+          equal length [k >= 1]; the horizon grows by [k].  The only
+          event the incremental engine can absorb without a re-solve. *)
+
+type t = { at : int; payload : payload }
+
+(** Events ordered by time; {!validate} enforces strictly increasing
+    non-negative timestamps. *)
+type stream = t list
+
+(** ["hyperreconf.event/1"] / ["hyperreconf.stream/1"]. *)
+val schema_version : string
+
+val stream_schema_version : string
+
+(** [kind_name e] is the stable label: ["arrive" | "depart" |
+    "demand-change" | "extend-trace"]. *)
+val kind_name : t -> string
+
+(** [apply ts e] is the task set after [e], or [Error] explaining the
+    violation: unknown/duplicate task names, a departing last task, a
+    trace of the wrong length, a requirement of the wrong width,
+    mismatched extension arity. *)
+val apply : Task_set.t -> t -> (Task_set.t, string) result
+
+(** [validate ~init stream] checks timestamps and applies every event;
+    first violation wins. *)
+val validate : init:Task_set.t -> stream -> (unit, string) result
+
+(** [replay ~init stream] is the task set after each event (one
+    snapshot per event, init excluded). *)
+val replay : init:Task_set.t -> stream -> (Task_set.t list, string) result
+
+(** {1 JSON} *)
+
+val task_to_json : Task_set.task -> Telemetry.json
+
+val task_of_json : Telemetry.json -> (Task_set.task, string) result
+
+val task_set_to_json : Task_set.t -> Telemetry.json
+
+val task_set_of_json : Telemetry.json -> (Task_set.t, string) result
+
+val to_json : t -> Telemetry.json
+
+val of_json : Telemetry.json -> (t, string) result
+
+(** [stream_to_json ~init stream] is the self-contained
+    {!stream_schema_version} document. *)
+val stream_to_json : init:Task_set.t -> stream -> Telemetry.json
+
+val stream_of_json : Telemetry.json -> (Task_set.t * stream, string) result

@@ -1,0 +1,178 @@
+open Hr_core
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+module Markov = Hr_workload.Markov
+
+type profile = {
+  tasks : int;
+  n0 : int;
+  width : int;
+  events : int;
+  extend_k : int;
+  p_extend : float;
+  p_arrive : float;
+  p_depart : float;
+  p_demand : float;
+  states : int;
+  self : float;
+  max_tasks : int;
+}
+
+let default =
+  {
+    tasks = 2;
+    n0 = 10;
+    width = 5;
+    events = 6;
+    extend_k = 3;
+    p_extend = 0.5;
+    p_arrive = 0.15;
+    p_depart = 0.15;
+    p_demand = 0.2;
+    states = 3;
+    self = 0.8;
+    max_tasks = 4;
+  }
+
+let append_heavy =
+  {
+    default with
+    tasks = 2;
+    n0 = 24;
+    events = 8;
+    extend_k = 6;
+    p_extend = 1.0;
+    p_arrive = 0.;
+    p_depart = 0.;
+    p_demand = 0.;
+  }
+
+(* Per-task generator state: the task's chain and its current position,
+   so extensions continue the same realization. *)
+type source = { name : string; chain : Markov.chain; mutable state : int }
+
+let check_profile p =
+  if p.tasks < 1 then invalid_arg "Events.generate: tasks < 1";
+  if p.n0 < 1 then invalid_arg "Events.generate: n0 < 1";
+  if p.width < 1 then invalid_arg "Events.generate: width < 1";
+  if p.events < 0 then invalid_arg "Events.generate: events < 0";
+  if p.extend_k < 1 then invalid_arg "Events.generate: extend_k < 1";
+  if p.states < 1 then invalid_arg "Events.generate: states < 1";
+  if p.max_tasks < p.tasks then invalid_arg "Events.generate: max_tasks < tasks";
+  if p.p_extend < 0. || p.p_arrive < 0. || p.p_depart < 0. || p.p_demand < 0.
+  then invalid_arg "Events.generate: negative kind weight"
+
+let generate rng profile =
+  check_profile profile;
+  let space = Switch_space.make profile.width in
+  let counter = ref 0 in
+  let fresh_source () =
+    let name = Printf.sprintf "T%d" !counter in
+    incr counter;
+    let chain =
+      Markov.make_chain rng ~space ~states:profile.states ~self:profile.self
+    in
+    { name; chain; state = 0 }
+  in
+  let spawn_task src ~n =
+    let trace, state =
+      Markov.generate_from rng src.chain ~space ~state:src.state ~n
+    in
+    src.state <- state;
+    Task_set.task ~name:src.name trace
+  in
+  let sources = ref (List.init profile.tasks (fun _ -> fresh_source ())) in
+  let init =
+    Task_set.make
+      (Array.of_list (List.map (fun s -> spawn_task s ~n:profile.n0) !sources))
+  in
+  let ts = ref init in
+  let at = ref (-1) in
+  let events = ref [] in
+  for _ = 1 to profile.events do
+    let m = Task_set.num_tasks !ts in
+    let n = Task_set.steps !ts in
+    (* Admissible kinds with their weights, in a fixed order. *)
+    let kinds =
+      [
+        ("extend", profile.p_extend);
+        ("arrive", (if m < profile.max_tasks then profile.p_arrive else 0.));
+        ("depart", (if m > 1 then profile.p_depart else 0.));
+        ("demand", profile.p_demand);
+      ]
+    in
+    let total = List.fold_left (fun a (_, w) -> a +. w) 0. kinds in
+    let kind =
+      if total <= 0. then "extend"
+      else begin
+        let u = Rng.float rng *. total in
+        let rec pick acc = function
+          | [ (k, _) ] -> k
+          | (k, w) :: rest -> if u < acc +. w then k else pick (acc +. w) rest
+          | [] -> "extend"
+        in
+        pick 0. kinds
+      end
+    in
+    at := !at + 1 + Rng.int rng 3;
+    let payload =
+      match kind with
+      | "extend" ->
+          let rows =
+            List.map
+              (fun src ->
+                let trace, state =
+                  Markov.generate_from rng src.chain ~space ~state:src.state
+                    ~n:profile.extend_k
+                in
+                src.state <- state;
+                Trace.reqs trace)
+              !sources
+          in
+          Event.Extend_trace (Array.of_list rows)
+      | "arrive" ->
+          let src = fresh_source () in
+          let tk = spawn_task src ~n in
+          sources := !sources @ [ src ];
+          Event.Arrive tk
+      | "depart" ->
+          let victim = Rng.int rng m in
+          let name = (List.nth !sources victim).name in
+          sources := List.filteri (fun j _ -> j <> victim) !sources;
+          Event.Depart name
+      | _ ->
+          let j = Rng.int rng m in
+          let src = List.nth !sources j in
+          let st = src.chain.Markov.states.(src.state) in
+          let req =
+            Bitset.fold
+              (fun x acc ->
+                if Rng.chance rng st.Markov.density then Bitset.add acc x
+                else acc)
+              st.Markov.active (Bitset.create profile.width)
+          in
+          Event.Demand_change { task = src.name; step = Rng.int rng n; req }
+    in
+    let e = { Event.at = !at; payload } in
+    (match Event.apply !ts e with
+    | Ok ts' -> ts := ts'
+    | Error msg ->
+        (* Generated events are valid by construction. *)
+        invalid_arg ("Events.generate: internal violation: " ^ msg));
+    events := e :: !events
+  done;
+  (init, List.rev !events)
+
+let shrink ~init ~still_fails stream =
+  let valid s = Result.is_ok (Event.validate ~init s) in
+  let rec drop_one seen = function
+    | [] -> None
+    | e :: rest ->
+        let cand = List.rev_append seen rest in
+        if valid cand && still_fails cand then Some cand
+        else drop_one (e :: seen) rest
+  in
+  let rec fixpoint s =
+    match drop_one [] s with Some s' -> fixpoint s' | None -> s
+  in
+  fixpoint stream

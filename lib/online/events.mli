@@ -1,0 +1,50 @@
+open Hr_core
+
+(** Seeded event-stream generator (Markov-modulated).
+
+    Each task's requirements are driven by its own hidden Markov chain
+    over phase states ({!Hr_workload.Markov}); the generator keeps every
+    chain's position so an [Extend_trace] event continues the {e same}
+    realization — the appended steps are statistically seamless, via
+    {!Hr_workload.Markov.generate_from}.  Streams are a pure function
+    of the rng: equal seeds give equal [(init, stream)] pairs, which the
+    property tests and the golden pin rely on. *)
+
+type profile = {
+  tasks : int;  (** initial task count *)
+  n0 : int;  (** initial horizon *)
+  width : int;  (** switches per task *)
+  events : int;  (** number of events to emit *)
+  extend_k : int;  (** steps appended per [Extend_trace] *)
+  p_extend : float;
+  p_arrive : float;
+  p_depart : float;
+  p_demand : float;
+      (** relative kind weights; renormalized over the kinds admissible
+          in the current state (e.g. no departs at one task) *)
+  states : int;  (** Markov phase states per task *)
+  self : float;  (** self-transition probability *)
+  max_tasks : int;  (** arrivals stop here *)
+}
+
+(** Mixed traffic: extends, arrivals, departures and demand changes. *)
+val default : profile
+
+(** Almost pure trace growth — the incremental engine's home turf and
+    the bench's speedup track. *)
+val append_heavy : profile
+
+(** [generate rng profile] is a valid [(init, stream)] pair:
+    {!Event.validate} holds by construction. *)
+val generate : Hr_util.Rng.t -> profile -> Task_set.t * Event.stream
+
+(** [shrink ~init ~still_fails stream] greedily drops events while the
+    stream stays valid for [init] and [still_fails] keeps holding —
+    the counterexample reducer of the differential suite and the
+    [online-replay] hrcheck column.  Returns a (locally) minimal
+    failing stream; [still_fails stream] must be true on entry. *)
+val shrink :
+  init:Task_set.t ->
+  still_fails:(Event.stream -> bool) ->
+  Event.stream ->
+  Event.stream

@@ -1,0 +1,142 @@
+open Hr_core
+
+type point = {
+  eta : float;
+  tasks : int;
+  events : int;
+  strategy : Replan.strategy;
+  total_cost : int;
+  final_cost : int;
+  total_ms : float;
+  replans : int;
+  extensions : int;
+}
+
+type sweep = { seed : int; profile : Events.profile; points : point list }
+
+let scale_v eta v = max 1 (int_of_float (Float.round (eta *. float_of_int v)))
+
+let scale_eta eta ts =
+  Task_set.make
+    (Array.map
+       (fun tk -> { tk with Task_set.v = scale_v eta tk.Task_set.v })
+       (Task_set.tasks ts))
+
+let scale_stream eta stream =
+  List.map
+    (fun e ->
+      match e.Event.payload with
+      | Event.Arrive tk ->
+          {
+            e with
+            Event.payload =
+              Event.Arrive { tk with Task_set.v = scale_v eta tk.Task_set.v };
+          }
+      | _ -> e)
+    stream
+
+let seq_config config =
+  {
+    config with
+    Replan.params =
+      { config.Replan.params with Sync_cost.reconf = Sync_cost.Task_sequential };
+  }
+
+let run ?(profile = Events.default) ?(etas = [ 0.5; 1.0; 2.0 ])
+    ?(tasks = [ 2; 3 ]) ?(events = [ 4; 8 ])
+    ?(strategies =
+      Replan.[ No_reconfig; Full; Incremental; Warm_start ])
+    ?config ~seed () =
+  let base =
+    match config with
+    | Some c -> c
+    | None -> seq_config (Replan.default_config Replan.Full)
+  in
+  let points = ref [] in
+  List.iter
+    (fun eta ->
+      List.iter
+        (fun m0 ->
+          List.iter
+            (fun k ->
+              (* One stream per grid point, shared by every strategy. *)
+              let rng = Hr_util.Rng.create (seed + (1000 * k) + m0) in
+              let init, stream =
+                Events.generate rng { profile with tasks = m0; events = k }
+              in
+              let init = scale_eta eta init
+              and stream = scale_stream eta stream in
+              List.iter
+                (fun strategy ->
+                  let r =
+                    Replan.run { base with Replan.strategy } ~init stream
+                  in
+                  points :=
+                    {
+                      eta;
+                      tasks = m0;
+                      events = k;
+                      strategy;
+                      total_cost = r.Replan.total_cost;
+                      final_cost = r.Replan.final_cost;
+                      total_ms = r.Replan.total_ms;
+                      replans = r.Replan.replans;
+                      extensions = r.Replan.extensions;
+                    }
+                    :: !points)
+                strategies)
+            events)
+        tasks)
+    etas;
+  { seed; profile; points = List.rev !points }
+
+let table sweep =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Printf.sprintf "%.2f" p.eta;
+          string_of_int p.tasks;
+          string_of_int p.events;
+          Replan.strategy_name p.strategy;
+          string_of_int p.total_cost;
+          string_of_int p.final_cost;
+          string_of_int p.replans;
+          string_of_int p.extensions;
+          Printf.sprintf "%.1f" p.total_ms;
+        ])
+      sweep.points
+  in
+  Hr_util.Tablefmt.render
+    ~aligns:
+      Hr_util.Tablefmt.
+        [ Right; Right; Right; Left; Right; Right; Right; Right; Right ]
+    ~header:
+      [
+        "eta"; "tasks"; "events"; "strategy"; "total"; "final"; "replans";
+        "ext"; "ms";
+      ]
+    rows
+
+let to_json (sweep : sweep) =
+  let open Telemetry in
+  let point_json p =
+    Obj
+      [
+        ("eta", Float p.eta);
+        ("tasks", Int p.tasks);
+        ("events", Int p.events);
+        ("strategy", String (Replan.strategy_name p.strategy));
+        ("total_cost", Int p.total_cost);
+        ("final_cost", Int p.final_cost);
+        ("total_ms", Float p.total_ms);
+        ("replans", Int p.replans);
+        ("extensions", Int p.extensions);
+      ]
+  in
+  Obj
+    [
+      ("schema", String "hyperreconf.online-sweep/1");
+      ("seed", Int sweep.seed);
+      ("points", List (List.map point_json sweep.points));
+    ]

@@ -1,0 +1,52 @@
+open Hr_core
+
+(** The event-driven experiment harness.
+
+    Sweeps the replanning strategies over a grid of cost-weight
+    scalings η × initial task counts × event counts.  Each grid point
+    draws one seeded stream ({!Events.generate}), scales every task's
+    hyperreconfiguration cost [v] by η ([max 1 (round (η·v))], applied
+    to the initial tasks {e and} to [Arrive] payloads), and replays the
+    {e same} [(init, stream)] pair under every strategy — so rows are
+    comparable within a point.  Results go to a {!Hr_util.Tablefmt}
+    table and a JSON document (schema ["hyperreconf.online-sweep/1"]). *)
+
+type point = {
+  eta : float;
+  tasks : int;
+  events : int;
+  strategy : Replan.strategy;
+  total_cost : int;
+  final_cost : int;
+  total_ms : float;
+  replans : int;
+  extensions : int;
+}
+
+type sweep = {
+  seed : int;
+  profile : Events.profile;
+  points : point list;
+}
+
+(** [scale_eta eta ts] rescales every task's [v]. *)
+val scale_eta : float -> Task_set.t -> Task_set.t
+
+(** [run ?profile ?etas ?tasks ?events ?strategies ?config ~seed ()].
+    Defaults: profile {!Events.default}, etas [[0.5; 1.0; 2.0]], tasks
+    [[2; 3]], events [[4; 8]], all four strategies, config
+    [Replan.default_config] with task-sequential reconfiguration (the
+    incremental engine's exact regime). *)
+val run :
+  ?profile:Events.profile ->
+  ?etas:float list ->
+  ?tasks:int list ->
+  ?events:int list ->
+  ?strategies:Replan.strategy list ->
+  ?config:Replan.config ->
+  seed:int ->
+  unit ->
+  sweep
+
+val table : sweep -> string
+val to_json : sweep -> Telemetry.json

@@ -1,0 +1,279 @@
+open Hr_core
+module Budget = Hr_util.Budget
+
+type strategy = No_reconfig | Full | Incremental | Warm_start
+
+let strategy_name = function
+  | No_reconfig -> "no-reconfig"
+  | Full -> "full"
+  | Incremental -> "incremental"
+  | Warm_start -> "warm-start"
+
+let strategy_of_string = function
+  | "none" | "no-reconfig" -> Ok No_reconfig
+  | "full" -> Ok Full
+  | "inc" | "incremental" -> Ok Incremental
+  | "warm" | "warm-start" -> Ok Warm_start
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+type config = {
+  strategy : strategy;
+  solver : string option;
+  seed : int;
+  deadline_ms : int option;
+  params : Sync_cost.params;
+  machine_class : Problem.machine_class;
+}
+
+let default_config strategy =
+  {
+    strategy;
+    solver = None;
+    seed = Solver.default_seed;
+    deadline_ms = None;
+    params = Sync_cost.default_params;
+    machine_class = Problem.Partial;
+  }
+
+type record = {
+  index : int;
+  at : int;
+  label : string;
+  m : int;
+  n : int;
+  cost : int;
+  wall_ms : float;
+  solver : string;
+  exact : bool;
+  extended : bool;
+  plan : Breakpoints.t;
+}
+
+type run = {
+  records : record list;
+  total_cost : int;
+  final_cost : int;
+  total_ms : float;
+  replans : int;
+  extensions : int;
+}
+
+let auto_chain = [ "online-dp"; "mt-dp"; "st-dp"; "ga-polish"; "mode-climb" ]
+
+let pick_solver (config : config) problem =
+  match config.solver with
+  | Some name ->
+      let s = Solver_registry.find_exn name in
+      if s.Solver.handles problem then s
+      else
+        invalid_arg
+          (Printf.sprintf "Replan.run: solver %S does not handle the instance"
+             name)
+  | None -> (
+      let from_chain =
+        List.find_map
+          (fun name ->
+            match Solver_registry.find name with
+            | Some s when s.Solver.handles problem -> Some s
+            | _ -> None)
+          auto_chain
+      in
+      match from_chain with
+      | Some s -> s
+      | None -> (
+          match Solver_registry.applicable problem with
+          | s :: _ -> s
+          | [] -> invalid_arg "Replan.run: no applicable solver"))
+
+let run config ~init stream =
+  (match Event.validate ~init stream with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Replan.run: invalid stream: " ^ msg));
+  let budget () =
+    match config.deadline_ms with
+    | None -> Budget.unlimited
+    | Some ms -> Budget.of_deadline_ms ms
+  in
+  let problem_of ts =
+    Problem.of_task_set ~params:config.params
+      ~machine_class:config.machine_class ts
+  in
+  let names ts = Array.map (fun tk -> tk.Task_set.name) (Task_set.tasks ts) in
+  (* Strategy state threaded across events. *)
+  let engine = ref None (* Incremental: live Online_dp frontier *)
+  and prev = ref None (* Warm_start: previous (names, plan) *) in
+  let solve_event ~extendable ts =
+    let problem = problem_of ts in
+    let b = budget () in
+    match config.strategy with
+    | No_reconfig ->
+        let m = Problem.m problem and n = Problem.n problem in
+        let bp = Breakpoints.of_rows ~m ~n (Array.make m []) in
+        (Problem.eval problem bp, bp, "none", false, false)
+    | Full ->
+        let s = pick_solver config problem in
+        let sol = Solver.solve ~seed:config.seed ~budget:b s problem in
+        (sol.Solution.cost, sol.Solution.bp, sol.Solution.solver,
+         sol.Solution.exact, false)
+    | Incremental -> (
+        let cold () =
+          engine := None;
+          if Online_dp.supports problem && Online_dp.exact_ok problem then begin
+            let t = Online_dp.start ~budget:b problem in
+            engine := Some t;
+            let sol = Online_dp.solution t in
+            (sol.Solution.cost, sol.Solution.bp, sol.Solution.solver,
+             sol.Solution.exact, false)
+          end
+          else begin
+            let s = pick_solver config problem in
+            let sol = Solver.solve ~seed:config.seed ~budget:b s problem in
+            (sol.Solution.cost, sol.Solution.bp, sol.Solution.solver,
+             sol.Solution.exact, false)
+          end
+        in
+        match !engine with
+        | Some t when extendable && Online_dp.exact_ok problem ->
+            let t = Online_dp.extend ~budget:b t problem in
+            engine := Some t;
+            let sol = Online_dp.solution t in
+            (sol.Solution.cost, sol.Solution.bp, sol.Solution.solver,
+             sol.Solution.exact, true)
+        | _ -> cold ())
+    | Warm_start ->
+        let s = pick_solver config problem in
+        let prev_plan =
+          match !prev with
+          | None -> None
+          | Some (prev_names, plan) ->
+              let rows =
+                Array.map
+                  (fun name ->
+                    let rec find j =
+                      if j >= Array.length prev_names then None
+                      else if prev_names.(j) = name then Some j
+                      else find (j + 1)
+                    in
+                    find 0)
+                  (names ts)
+              in
+              Some (Warm.remap ~prev:plan ~rows ~n:(Problem.n problem))
+        in
+        let sol, _stats =
+          Warm.solve ~seed:config.seed ~budget:b ?prev:prev_plan s problem
+        in
+        (sol.Solution.cost, sol.Solution.bp, sol.Solution.solver,
+         sol.Solution.exact, false)
+  in
+  let records = ref [] and index = ref 0 in
+  let step ~at ~label ~extendable ts =
+    let t0 = Budget.now_ms () in
+    let cost, plan, solver, exact, extended = solve_event ~extendable ts in
+    let wall_ms = Budget.now_ms () -. t0 in
+    prev := Some (names ts, plan);
+    records :=
+      {
+        index = !index;
+        at;
+        label;
+        m = Task_set.num_tasks ts;
+        n = Task_set.steps ts;
+        cost;
+        wall_ms;
+        solver;
+        exact;
+        extended;
+        plan;
+      }
+      :: !records;
+    incr index
+  in
+  step ~at:(-1) ~label:"init" ~extendable:false init;
+  let ts = ref init in
+  List.iter
+    (fun e ->
+      (match Event.apply !ts e with
+      | Ok ts' -> ts := ts'
+      | Error msg -> invalid_arg ("Replan.run: " ^ msg));
+      let extendable =
+        match e.Event.payload with Event.Extend_trace _ -> true | _ -> false
+      in
+      step ~at:e.Event.at ~label:(Event.kind_name e) ~extendable !ts)
+    stream;
+  let records = List.rev !records in
+  let total_cost = List.fold_left (fun a r -> a + r.cost) 0 records in
+  let final_cost =
+    match List.rev records with r :: _ -> r.cost | [] -> 0
+  in
+  let total_ms = List.fold_left (fun a r -> a +. r.wall_ms) 0. records in
+  let extensions =
+    List.length (List.filter (fun r -> r.extended) records)
+  in
+  {
+    records;
+    total_cost;
+    final_cost;
+    total_ms;
+    replans = List.length records - extensions;
+    extensions;
+  }
+
+let table run =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.index;
+          (if r.at < 0 then "-" else string_of_int r.at);
+          r.label ^ (if r.extended then "+" else "");
+          string_of_int r.m;
+          string_of_int r.n;
+          r.solver;
+          string_of_int r.cost;
+          (if r.exact then "yes" else "no");
+          Printf.sprintf "%.1f" r.wall_ms;
+        ])
+      run.records
+  in
+  Hr_util.Tablefmt.render
+    ~aligns:
+      Hr_util.Tablefmt.
+        [ Right; Right; Left; Right; Right; Left; Right; Left; Right ]
+    ~header:[ "#"; "at"; "event"; "m"; "n"; "solver"; "cost"; "exact"; "ms" ]
+    rows
+
+let to_json config run =
+  let open Telemetry in
+  let record_json r =
+    Obj
+      [
+        ("index", Int r.index);
+        ("at", Int r.at);
+        ("event", String r.label);
+        ("m", Int r.m);
+        ("n", Int r.n);
+        ("cost", Int r.cost);
+        ("wall_ms", Float r.wall_ms);
+        ("solver", String r.solver);
+        ("exact", Bool r.exact);
+        ("extended", Bool r.extended);
+        ( "break_columns",
+          List (List.map (fun c -> Int c) (Breakpoints.break_columns r.plan)) );
+      ]
+  in
+  Obj
+    [
+      ("schema", String "hyperreconf.online/1");
+      ("strategy", String (strategy_name config.strategy));
+      ( "solver",
+        match config.solver with None -> String "auto" | Some s -> String s );
+      ("seed", Int config.seed);
+      ( "deadline_ms",
+        match config.deadline_ms with None -> Null | Some ms -> Int ms );
+      ("records", List (List.map record_json run.records));
+      ("total_cost", Int run.total_cost);
+      ("final_cost", Int run.final_cost);
+      ("total_ms", Float run.total_ms);
+      ("replans", Int run.replans);
+      ("extensions", Int run.extensions);
+    ]

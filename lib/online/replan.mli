@@ -1,0 +1,80 @@
+open Hr_core
+
+(** The online replanning driver.
+
+    Feeds an event stream through a replanning strategy: after the
+    initial solve, every event yields a new plan for the updated
+    instance.  Strategies differ in how much work they reuse:
+
+    - {!No_reconfig} — never hyperreconfigure after step 0 (the lower
+      baseline: zero replanning cost, worst plans);
+    - {!Full} — cold re-solve from scratch after every event;
+    - {!Incremental} — keep the {!Online_dp} frontier alive and
+      {!Online_dp.extend} it on [Extend_trace] events (exact, and
+      differentially pinned bit-identical to {!Full} with the same
+      engine); any other event, or an unsupported instance, falls back
+      to a cold solve and restarts the frontier;
+    - {!Warm_start} — re-solve with {!Warm.solve}, seeding the search
+      from the previous plan (never worse than cold by construction).
+
+    Each replan runs under its own {!Hr_util.Budget.t} when
+    [deadline_ms] is set, so the driver is anytime end to end. *)
+
+type strategy = No_reconfig | Full | Incremental | Warm_start
+
+val strategy_name : strategy -> string
+
+(** Accepts ["none"|"no-reconfig"], ["full"], ["inc"|"incremental"],
+    ["warm"|"warm-start"]. *)
+val strategy_of_string : string -> (strategy, string) result
+
+type config = {
+  strategy : strategy;
+  solver : string option;
+      (** registry name; [None] picks automatically (["online-dp"] →
+          ["mt-dp"] → ["st-dp"] → ["ga-polish"] → ["mode-climb"] →
+          first applicable) *)
+  seed : int;
+  deadline_ms : int option;  (** per-replan budget; [None] = unlimited *)
+  params : Sync_cost.params;
+  machine_class : Problem.machine_class;
+}
+
+val default_config : strategy -> config
+
+(** One row per solve: row 0 is the initial instance, row [i ≥ 1] the
+    instance after event [i]. *)
+type record = {
+  index : int;
+  at : int;  (** event timestamp; [-1] for the initial solve *)
+  label : string;  (** ["init"] or the event kind *)
+  m : int;
+  n : int;
+  cost : int;
+  wall_ms : float;
+  solver : string;
+  exact : bool;
+  extended : bool;  (** served by {!Online_dp.extend} (Incremental only) *)
+  plan : Breakpoints.t;
+}
+
+type run = {
+  records : record list;
+  total_cost : int;  (** Σ record costs — the cost paid across the run *)
+  final_cost : int;
+  total_ms : float;
+  replans : int;  (** cold solves (including the initial one) *)
+  extensions : int;  (** frontier extensions *)
+}
+
+(** [run config ~init stream] validates the stream and replays it.
+    Raises [Invalid_argument] on an invalid stream or an unknown
+    [config.solver]. *)
+val run : config -> init:Task_set.t -> Event.stream -> run
+
+(** Rendered {!Hr_util.Tablefmt} table, one line per record. *)
+val table : run -> string
+
+(** Schema ["hyperreconf.online/1"]: config echo, per-event records
+    (with break columns, not full matrices) and the summary. *)
+val to_json : config -> run -> Telemetry.json

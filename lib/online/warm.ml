@@ -1,0 +1,95 @@
+open Hr_core
+
+type stats = {
+  source : string;
+  cold_cost : int;
+  seed_cost : int option;
+  polished_cost : int option;
+}
+
+let remap ~prev ~rows ~n =
+  let m = Array.length rows in
+  let prev_n = Breakpoints.n prev in
+  let break_rows =
+    Array.map
+      (function
+        | None -> []
+        | Some old ->
+            if old < 0 || old >= Breakpoints.m prev then
+              invalid_arg "Warm.remap: row index out of range"
+            else
+              let row = Breakpoints.row prev old in
+              let acc = ref [] in
+              for i = min (n - 1) (prev_n - 1) downto 1 do
+                if row.(i) then acc := i :: !acc
+              done;
+              !acc)
+      rows
+  in
+  Breakpoints.of_rows ~m ~n break_rows
+
+let solve ?(seed = Solver.default_seed) ?(budget = Hr_util.Budget.unlimited)
+    ?prev solver problem =
+  let cold = Solver.solve ~seed ~budget solver problem in
+  let fits bp =
+    Breakpoints.m bp = Problem.m problem
+    && Breakpoints.n bp = Problem.n problem
+    && Problem.admissible problem bp
+  in
+  match prev with
+  | Some bp when fits bp ->
+      let seed_cost = Problem.eval problem bp in
+      let polished =
+        (* Polish only where the bit-flip neighborhood is sound: the
+           fully synchronized objective on a class that admits
+           non-uniform columns. *)
+        if
+          problem.Problem.mode = Mixed_sync.Fully_synchronized
+          && problem.Problem.machine_class <> Problem.All_task
+        then
+          let r =
+            Mt_local.solve ~params:problem.Problem.params ~init:bp ~budget
+              problem.Problem.oracle
+          in
+          Some (r.Mt_local.bp, Problem.eval problem r.Mt_local.bp)
+        else None
+      in
+      let best_src = ref "cold"
+      and best_cost = ref cold.Solution.cost
+      and best_bp = ref cold.Solution.bp in
+      if seed_cost < !best_cost then begin
+        best_src := "seed";
+        best_cost := seed_cost;
+        best_bp := bp
+      end;
+      (match polished with
+      | Some (pbp, pcost) when pcost < !best_cost ->
+          best_src := "polished";
+          best_cost := pcost;
+          best_bp := pbp
+      | _ -> ());
+      let stats =
+        {
+          source = !best_src;
+          cold_cost = cold.Solution.cost;
+          seed_cost = Some seed_cost;
+          polished_cost = Option.map snd polished;
+        }
+      in
+      let sol =
+        if !best_src = "cold" then
+          { cold with Solution.stats = ("warm-source", "cold") :: cold.Solution.stats }
+        else
+          Solution.make ~solver:solver.Solver.name ~cut_off:cold.Solution.cut_off
+            ~stats:[ ("warm-source", !best_src) ]
+            ~cost:!best_cost !best_bp
+      in
+      (sol, stats)
+  | _ ->
+      ( { cold with Solution.stats = ("warm-source", "cold") :: cold.Solution.stats },
+        {
+          source = "cold";
+          cold_cost = cold.Solution.cost;
+          seed_cost = None;
+          polished_cost = None;
+        } )

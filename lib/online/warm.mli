@@ -1,0 +1,40 @@
+open Hr_core
+
+(** Warm-started re-solving.
+
+    After an event, the previous plan is usually a good plan for the
+    new instance — warm-starting a heuristic from it is the classic
+    reuse-across-configurations idea.  A naive "seed the search with
+    the old plan" offers no guarantee: stochastic trajectories diverge
+    and can end {e worse} than a cold run.  {!solve} therefore
+    guarantees warm ≤ cold {e by construction}: it runs the cold solve
+    (same solver, seed and budget), evaluates the adapted previous
+    plan, polishes that plan with a hill climb where the problem
+    admits one, and returns the cheapest of the three.  The
+    differential suite pins the guarantee for GA, annealing and hill
+    climbing on every corpus stream. *)
+
+type stats = {
+  source : string;  (** which candidate won: ["cold" | "seed" | "polished"] *)
+  cold_cost : int;
+  seed_cost : int option;  (** the adapted previous plan, when admissible *)
+  polished_cost : int option;
+}
+
+(** [remap ~prev ~rows ~n] adapts a previous plan to new dimensions:
+    new-task row [j] copies the breakpoints of old row [rows.(j)]
+    (cropped to the new horizon [n]; appended steps get no breaks), or
+    starts fresh (column 0 only) on [None].  The replan driver builds
+    [rows] by task name. *)
+val remap : prev:Breakpoints.t -> rows:int option array -> n:int -> Breakpoints.t
+
+(** [solve ?seed ?budget ?prev solver problem] — see above.  Without
+    [prev] (or when its dimensions don't fit, or the class rejects it)
+    this is exactly a cold {!Hr_core.Solver.solve}. *)
+val solve :
+  ?seed:int ->
+  ?budget:Hr_util.Budget.t ->
+  ?prev:Breakpoints.t ->
+  Solver.t ->
+  Problem.t ->
+  Solution.t * stats

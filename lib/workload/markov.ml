@@ -54,14 +54,18 @@ let next_state rng chain current =
   in
   pick 0 0.
 
-let walk rng chain ~n =
+let walk_from rng chain ~state ~n =
+  if state < 0 || state >= Array.length chain.states then
+    invalid_arg "Markov.walk_from: state out of range";
   let rec go state k acc =
-    if k = 0 then List.rev acc
+    if k = 0 then (List.rev acc, state)
     else go (next_state rng chain state) (k - 1) (state :: acc)
   in
-  go 0 n []
+  go state n []
 
-let generate rng chain ~space ~n =
+let walk rng chain ~n = fst (walk_from rng chain ~state:0 ~n)
+
+let generate_from rng chain ~space ~state ~n =
   (match validate chain with
   | Error e -> invalid_arg ("Markov.generate: " ^ e)
   | Ok () -> ());
@@ -72,10 +76,11 @@ let generate rng chain ~space ~n =
       (fun x acc -> if Rng.chance rng state.density then Bitset.add acc x else acc)
       state.active (Bitset.create width)
   in
-  let reqs =
-    List.map (fun s -> req chain.states.(s)) (walk rng chain ~n)
-  in
-  Trace.make space (Array.of_list reqs)
+  let states, final = walk_from rng chain ~state ~n in
+  let reqs = List.map (fun s -> req chain.states.(s)) states in
+  (Trace.make space (Array.of_list reqs), final)
+
+let generate rng chain ~space ~n = fst (generate_from rng chain ~space ~state:0 ~n)
 
 let dwell_times rng chain ~n =
   let states = walk rng chain ~n in

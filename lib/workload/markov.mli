@@ -35,6 +35,29 @@ val validate : chain -> (unit, string) result
     state 0. *)
 val generate : Hr_util.Rng.t -> chain -> space:Switch_space.t -> n:int -> Trace.t
 
+(** [walk_from rng chain ~state ~n] — [n] phase states starting (and
+    including) [state], plus the chain position {e after} the walk, so
+    a later call continues the same realization.  Raises on an
+    out-of-range [state].  [walk_from ~state:0] consumes exactly the
+    rng stream of {!generate}'s internal walk. *)
+val walk_from :
+  Hr_util.Rng.t -> chain -> state:int -> n:int -> int list * int
+
+(** [generate_from rng chain ~space ~state ~n] — an [n]-step trace
+    whose first step is drawn in [state], plus the final chain
+    position.  [generate_from ~state:0] draws the identical trace (and
+    rng stream) as {!generate}; feeding the returned position back in
+    appends a statistically seamless continuation — the online
+    event-stream generator ({!Hr_online.Events}) extends task traces
+    this way. *)
+val generate_from :
+  Hr_util.Rng.t ->
+  chain ->
+  space:Switch_space.t ->
+  state:int ->
+  n:int ->
+  Trace.t * int
+
 (** [dwell_times rng chain ~n] — the sequence of phase lengths of one
     [n]-step realization (for workload characterization tests). *)
 val dwell_times : Hr_util.Rng.t -> chain -> n:int -> int list

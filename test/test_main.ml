@@ -32,4 +32,5 @@ let () =
       ("table_cache", Suite_table_cache.tests);
       ("expr", Suite_expr.tests);
       ("robust", Suite_robust.tests);
+      ("online", Suite_online.tests);
     ]
