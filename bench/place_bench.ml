@@ -1,0 +1,193 @@
+(* Placement-solver benchmark: place-shelf vs place-dp vs place-local
+   on a pinned width x task-count sweep of seeded joint instances.
+
+   `dune exec bench/place_bench.exe -- [--seed S] [--cases C]
+   [--out FILE]` draws C random placement instances per sweep point
+   (fabric and oracle both derived from the seed, so every run of a
+   given seed measures the same instances), times the three placement
+   backends on each, cross-checks admissibility of the results —
+   place-dp is exhaustive within its bit budget, so no heuristic may
+   undercut it, and nobody may undercut Place_brute where that is
+   feasible — and writes a hyperreconf.bench/1 JSON summary (default
+   BENCH_place.json).  Exits 1 on any cross-check violation. *)
+
+module Rng = Hr_util.Rng
+module Budget = Hr_util.Budget
+open Hr_core
+module Fabric = Hr_place.Fabric
+module Place_brute = Hr_place.Place_brute
+module Psolvers = Hr_place.Solvers
+
+let usage = "place_bench [--seed S] [--cases C] [--out FILE]"
+
+(* The pinned sweep: (tasks, strip width, horizon). *)
+let sweep = [ (2, 3, 4); (2, 4, 6); (3, 4, 4); (3, 5, 6); (3, 6, 6) ]
+
+(* A random m-task oracle over tiny switch traces. *)
+let random_problem rng ~m ~n =
+  let task j =
+    let width = 2 + Rng.int rng 2 in
+    let space = Switch_space.make width in
+    let steps =
+      List.init n (fun _ ->
+          List.init (Rng.int rng width) (fun _ -> Rng.int rng width)
+          |> List.sort_uniq compare)
+    in
+    Task_set.task
+      ~name:(Printf.sprintf "T%d" j)
+      ~v:(1 + Rng.int rng 4)
+      (Trace.of_lists space steps)
+  in
+  Problem.of_task_set (Task_set.make (Array.init m task))
+
+(* A random valid fabric for the sweep point: sizes 1-2, mostly-full
+   windows, small relocation costs.  Rejection-sampled against
+   Fabric.check (a draw can overload a step); the left-packed
+   everything-resident fabric is the deterministic fallback. *)
+let random_fabric rng ~m ~n ~width =
+  let draw () =
+    {
+      Fabric.width;
+      sizes = Array.init m (fun _ -> 1 + Rng.int rng 2);
+      windows =
+        Array.init m (fun _ ->
+            if Rng.int rng 10 < 6 then (0, n - 1)
+            else
+              let a = Rng.int rng n in
+              (a, min (n - 1) (a + Rng.int rng n)));
+      reloc = Array.init m (fun _ -> Rng.int rng 4);
+    }
+  in
+  let rec go k =
+    if k = 0 then Fabric.full ~m ~n ~width ()
+    else
+      let f = draw () in
+      if Result.is_ok (Fabric.check ~n f) then f else go (k - 1)
+  in
+  go 16
+
+let time_solve solver problem =
+  let t0 = Unix.gettimeofday () in
+  let sol = Solver.solve solver problem in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (sol, ms)
+
+let () =
+  Psolvers.ensure ();
+  let seed = ref 2004 and cases = ref 8 and out = ref "BENCH_place.json" in
+  let spec =
+    [
+      ("--seed", Arg.Set_int seed, "S instance and solver seed (default 2004)");
+      ("--cases", Arg.Set_int cases, "C instances per sweep point (default 8)");
+      ("--out", Arg.Set_string out, "FILE JSON summary (default BENCH_place.json)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let solvers = [ Psolvers.place_shelf; Psolvers.place_dp; Psolvers.place_local ] in
+  let violations = ref 0 in
+  let sweep_json =
+    List.map
+      (fun (m, width, n) ->
+        let rng = Rng.create (!seed + (1000 * m) + (10 * width) + n) in
+        let totals = Hashtbl.create 8 in
+        let add name cost ms exact =
+          let t_ms, t_cost, t_runs, t_exact =
+            Option.value (Hashtbl.find_opt totals name) ~default:(0., 0, 0, 0)
+          in
+          Hashtbl.replace totals name
+            (t_ms +. ms, t_cost + cost, t_runs + 1, t_exact + Bool.to_int exact)
+        in
+        for _ = 1 to !cases do
+          let problem =
+            Hr_place.Joint.attach
+              (random_problem rng ~m ~n)
+              (random_fabric rng ~m ~n ~width)
+          in
+          let brute_opt =
+            if Place_brute.feasible problem then
+              let opt, _, _ = Place_brute.solve problem in
+              Some opt
+            else None
+          in
+          let results =
+            List.filter_map
+              (fun solver ->
+                if solver.Solver.handles problem then begin
+                  let sol, ms = time_solve solver problem in
+                  add solver.Solver.name sol.Solution.cost ms sol.Solution.exact;
+                  if not (Problem.admissible problem sol.Solution.bp) then begin
+                    Printf.eprintf "place_bench: %s returned an inadmissible matrix\n"
+                      solver.Solver.name;
+                    incr violations
+                  end;
+                  (match brute_opt with
+                  | Some opt when sol.Solution.cost < opt ->
+                      Printf.eprintf
+                        "place_bench: %s undercut Place_brute (%d < %d, m=%d W=%d n=%d)\n"
+                        solver.Solver.name sol.Solution.cost opt m width n;
+                      incr violations
+                  | _ -> ());
+                  Some (solver.Solver.name, sol)
+                end
+                else None)
+              solvers
+          in
+          (* place-dp is exhaustive when it runs: it must be the floor. *)
+          match List.assoc_opt "place-dp" results with
+          | None -> ()
+          | Some dp ->
+              List.iter
+                (fun (name, (sol : Solution.t)) ->
+                  if sol.Solution.cost < dp.Solution.cost then begin
+                    Printf.eprintf
+                      "place_bench: %s undercut place-dp (%d < %d, m=%d W=%d n=%d)\n"
+                      name sol.Solution.cost dp.Solution.cost m width n;
+                    incr violations
+                  end)
+                results
+        done;
+        let per_solver =
+          List.filter_map
+            (fun solver ->
+              let name = solver.Solver.name in
+              Option.map
+                (fun (ms, cost, runs, exact) ->
+                  ( name,
+                    Telemetry.Obj
+                      [
+                        ("runs", Telemetry.Int runs);
+                        ("total_ms", Telemetry.Float ms);
+                        ( "mean_cost",
+                          Telemetry.Float (float_of_int cost /. float_of_int runs)
+                        );
+                        ("exact", Telemetry.Int exact);
+                      ] ))
+                (Hashtbl.find_opt totals name))
+            solvers
+        in
+        Telemetry.Obj
+          [
+            ("m", Telemetry.Int m);
+            ("width", Telemetry.Int width);
+            ("n", Telemetry.Int n);
+            ("cases", Telemetry.Int !cases);
+            ("solvers", Telemetry.Obj per_solver);
+          ])
+      sweep
+  in
+  let doc =
+    Telemetry.Obj
+      [
+        ("schema", Telemetry.String "hyperreconf.bench/1");
+        ("bench", Telemetry.String "place");
+        ("seed", Telemetry.Int !seed);
+        ("violations", Telemetry.Int !violations);
+        ("sweep", Telemetry.List sweep_json);
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Telemetry.json_to_string doc);
+  close_out oc;
+  Printf.printf "placement sweep | %d points x %d cases | %d violation(s) | summary %s\n"
+    (List.length sweep) !cases !violations !out;
+  if !violations > 0 then exit 1

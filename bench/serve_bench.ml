@@ -103,6 +103,7 @@ let gen_cases ?(n = 48) ?(local = 8) ?density ~count ~seed () =
         params = Sync_cost.default_params;
         mode = Mixed_sync.Fully_synchronized;
         machine_class = Problem.Partial;
+        place = None;
       })
 
 let cached_batch ~seed ~cache_dir solver cases =

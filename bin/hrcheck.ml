@@ -13,11 +13,17 @@
 open Cmdliner
 module Check = Hr_check
 
-let run cases seed solvers deadline_ms corpus_dir failure_out =
+let run cases seed solvers deadline_ms corpus_dir failure_out place_fraction =
+  Hr_place.Solvers.ensure ();
   let solvers =
     match solvers with
     | [] -> Hr_core.Solver_registry.all ()
     | names -> List.map Hr_core.Solver_registry.find_exn names
+  in
+  let profile =
+    match place_fraction with
+    | None -> Check.Gen.default_profile
+    | Some f -> { Check.Gen.default_profile with Check.Gen.place_fraction = f }
   in
   let corpus =
     match corpus_dir with
@@ -33,8 +39,8 @@ let run cases seed solvers deadline_ms corpus_dir failure_out =
           (Check.Corpus.load_dir dir)
   in
   let summary, failures =
-    Check.Runner.run ~solvers ?deadline_ms ~corpus ~log:print_endline ~cases ~seed
-      ()
+    Check.Runner.run ~solvers ~profile ?deadline_ms ~corpus ~log:print_endline
+      ~cases ~seed ()
   in
   Printf.printf "%d case(s), seed %d%s\n" (Check.Runner.cases_run summary) seed
     (match deadline_ms with
@@ -94,10 +100,22 @@ let failure_out =
     & info [ "failure-out" ] ~docv:"FILE"
         ~doc:"Write the first shrunk counterexample to $(docv) (CI uploads it as an artifact).")
 
+let place_fraction =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "place-fraction" ] ~docv:"F"
+        ~doc:
+          "Probability of attaching a random fabric to a tiny generated case \
+           (placement-aware family).  Default: the generator profile's 0.25; \
+           1.0 makes every tiny draw a placement case.")
+
 let cmd =
   let doc = "differential conformance harness for the PHC solver registry" in
   Cmd.v (Cmd.info "hrcheck" ~doc)
-    Term.(const run $ cases $ seed $ solvers $ deadline_ms $ corpus_dir $ failure_out)
+    Term.(
+      const run $ cases $ seed $ solvers $ deadline_ms $ corpus_dir $ failure_out
+      $ place_fraction)
 
 let () =
   match Cmd.eval' ~catch:false cmd with

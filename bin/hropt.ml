@@ -64,7 +64,8 @@ let list_registry () =
        (Solver_registry.all ()))
 
 let run workload mode split seed m n correlated method_ seed_opt deadline_ms
-    telemetry_file show_figures trace_file plan_file max_table_mb =
+    telemetry_file show_figures trace_file plan_file max_table_mb fabric_width =
+  Hr_place.Solvers.ensure ();
   let method_ = alias method_ in
   (* Parsed as eagerly as the enums: a bad --max-table-mb fails under
      every workload, not just the ones that build a dense table. *)
@@ -91,6 +92,17 @@ let run workload mode split seed m n correlated method_ seed_opt deadline_ms
           | None -> failwith "workload 'file' needs --trace-file")
     in
     let problem = Problem.make ?max_bytes oracle in
+    (* --fabric turns the instance into the placement-aware joint
+       problem: the base backends refuse it and the place-* family
+       takes over. *)
+    let problem =
+      match fabric_width with
+      | None -> problem
+      | Some width ->
+          Hr_place.Joint.attach problem
+            (Hr_place.Fabric.full ~m:oracle.Interval_cost.m
+               ~n:oracle.Interval_cost.n ~width ())
+    in
     let budget () =
       match deadline_ms with
       | None -> Budget.unlimited
@@ -292,13 +304,24 @@ let max_table_mb =
            memoizer; telemetry reports the chosen cache kind, element width \
            and resident bytes.")
 
+let fabric_width =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fabric" ] ~docv:"W"
+        ~doc:
+          "Attach a width-$(docv) placement fabric (every task sized 1, \
+           resident throughout, relocation cost 1) and solve the joint \
+           placement-aware objective — handled by the place-* backends, \
+           refused by the base ones.")
+
 let cmd =
   let doc = "optimize (hyper)reconfiguration plans" in
   Cmd.v (Cmd.info "hropt" ~doc)
     Term.(
       const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
       $ seed_opt $ deadline_ms $ telemetry_file $ show_figures $ trace_file
-      $ plan_file $ max_table_mb)
+      $ plan_file $ max_table_mb $ fabric_width)
 
 (* cmdliner spells single-char options "-m"/"-n"; accept the "--m"/
    "--n" spelling too (it cannot be a prefix of another option, but

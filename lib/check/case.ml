@@ -20,6 +20,7 @@ type t = {
   params : Sync_cost.params;
   mode : Mixed_sync.mode;
   machine_class : Problem.machine_class;
+  place : Hr_place.Fabric.t option;
 }
 
 let case_schema_version = "hyperreconf.case/1"
@@ -84,12 +85,15 @@ let class_name = function
   | Problem.Restricted -> "restricted"
 
 let summary t =
-  Format.asprintf "%s m=%d n=%d %s %a w=%d pub=%d hyper=%s reconf=%s"
+  Format.asprintf "%s m=%d n=%d %s %a w=%d pub=%d hyper=%s reconf=%s%s"
     (model_name t) (m t) (n t)
     (class_name t.machine_class)
     Mixed_sync.pp_mode t.mode t.params.Sync_cost.w t.params.Sync_cost.pub
     (upload_name t.params.Sync_cost.hyper)
     (upload_name t.params.Sync_cost.reconf)
+    (match t.place with
+    | None -> ""
+    | Some f -> " fabric " ^ Hr_place.Fabric.summary f)
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding.                                                      *)
@@ -134,22 +138,42 @@ let mode_name = function
   | Mixed_sync.Context_synchronized -> "context-synchronized"
   | Mixed_sync.Non_synchronized -> "non-synchronized"
 
-let to_json t =
+let fabric_to_json (f : Hr_place.Fabric.t) =
   Obj
     [
-      ("schema", String case_schema_version);
-      ("oracle", spec_to_json t.spec);
-      ( "params",
-        Obj
-          [
-            ("w", Int t.params.Sync_cost.w);
-            ("pub", Int t.params.Sync_cost.pub);
-            ("hyper", String (upload_name t.params.Sync_cost.hyper));
-            ("reconf", String (upload_name t.params.Sync_cost.reconf));
-          ] );
-      ("mode", String (mode_name t.mode));
-      ("machine_class", String (class_name t.machine_class));
+      ("width", Int f.Hr_place.Fabric.width);
+      ("sizes", ints f.Hr_place.Fabric.sizes);
+      ( "windows",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (a, d) -> List [ Int a; Int d ])
+                f.Hr_place.Fabric.windows)) );
+      ("reloc", ints f.Hr_place.Fabric.reloc);
     ]
+
+let to_json t =
+  Obj
+    ([
+       ("schema", String case_schema_version);
+       ("oracle", spec_to_json t.spec);
+       ( "params",
+         Obj
+           [
+             ("w", Int t.params.Sync_cost.w);
+             ("pub", Int t.params.Sync_cost.pub);
+             ("hyper", String (upload_name t.params.Sync_cost.hyper));
+             ("reconf", String (upload_name t.params.Sync_cost.reconf));
+           ] );
+       ("mode", String (mode_name t.mode));
+       ("machine_class", String (class_name t.machine_class));
+     ]
+    @
+    (* The "fabric" field is additive: plain cases serialize exactly as
+       under schema /1 before the placement family existed. *)
+    match t.place with
+    | None -> []
+    | Some f -> [ ("fabric", fabric_to_json f) ])
 
 let to_string t = json_to_string (to_json t)
 
@@ -164,20 +188,26 @@ let oracle_key t = Digest.to_hex (Digest.string (json_to_string (spec_to_json t.
 
 let problem ?max_table_bytes ?cache_dir t =
   let mk = Problem.make ~params:t.params ~mode:t.mode ~machine_class:t.machine_class in
-  match cache_dir with
-  | None -> mk ?max_bytes:max_table_bytes (build_oracle t)
-  | Some dir -> (
-      let cache = Table_cache.of_dir dir in
-      let key = oracle_key t in
-      (* Warm path: reconstruct the oracle straight from the mapped
-         table.  Even the oracle constructors are O(m·n²) (range-union
-         builds), so a hit must skip them entirely — m, n and v are
-         derivable from the spec in O(input). *)
-      match Interval_cost.of_cache cache ~key ~m:(m t) ~n:(n t) ~v:(oracle_v t) with
-      | Some oracle -> mk oracle
-      | None ->
-          mk ?max_bytes:max_table_bytes ~cache_dir:dir ~cache_key:key
-            (build_oracle t))
+  (* The fabric extends the problem after the oracle is built — on the
+     warm cache path too, since the dense tables are fabric-independent. *)
+  let extend p =
+    match t.place with None -> p | Some f -> Hr_place.Joint.attach p f
+  in
+  extend
+    (match cache_dir with
+    | None -> mk ?max_bytes:max_table_bytes (build_oracle t)
+    | Some dir -> (
+        let cache = Table_cache.of_dir dir in
+        let key = oracle_key t in
+        (* Warm path: reconstruct the oracle straight from the mapped
+           table.  Even the oracle constructors are O(m·n²) (range-union
+           builds), so a hit must skip them entirely — m, n and v are
+           derivable from the spec in O(input). *)
+        match Interval_cost.of_cache cache ~key ~m:(m t) ~n:(n t) ~v:(oracle_v t) with
+        | Some oracle -> mk oracle
+        | None ->
+            mk ?max_bytes:max_table_bytes ~cache_dir:dir ~cache_key:key
+              (build_oracle t)))
 
 (* ------------------------------------------------------------------ *)
 (* JSON decoding with validation.  Everything funnels through [check]
@@ -390,7 +420,36 @@ let of_json j =
           (pub = 0 || mode = Mixed_sync.Context_synchronized)
           "pub > 0 needs context or full synchronization"
   in
-  Ok { spec; params = { Sync_cost.w; pub; hyper; reconf }; mode; machine_class }
+  let partial = { spec; params = { Sync_cost.w; pub; hyper; reconf }; mode; machine_class; place = None } in
+  match field "fabric" j with
+  | Error _ -> Ok partial
+  | Ok fj ->
+      let* width = in_field "fabric.width" (Result.bind (field "width" fj) as_int) in
+      let* sizes = in_field "fabric.sizes" (Result.bind (field "sizes" fj) int_array) in
+      let* windows =
+        in_field "fabric.windows"
+          (let* l = Result.bind (field "windows" fj) as_list in
+           let* ws =
+             map_result
+               (fun wj ->
+                 let* pair = Result.bind (as_list wj) (map_result as_int) in
+                 match pair with
+                 | [ a; d ] -> Ok (a, d)
+                 | _ -> Error "window must be a [start, end] pair")
+               l
+           in
+           Ok (Array.of_list ws))
+      in
+      let* reloc = in_field "fabric.reloc" (Result.bind (field "reloc" fj) int_array) in
+      let fabric = { Hr_place.Fabric.width; sizes; windows; reloc } in
+      let* () =
+        in_field "fabric"
+          (let* () =
+             check (Array.length sizes = m partial) "fabric arity <> task count"
+           in
+           Hr_place.Fabric.check ~n:(n partial) fabric)
+      in
+      Ok { partial with place = Some fabric }
 
 let of_string s =
   let* j = json_of_string s in

@@ -42,6 +42,12 @@ type t = {
   params : Hr_core.Sync_cost.params;
   mode : Hr_core.Mixed_sync.mode;
   machine_class : Hr_core.Problem.machine_class;
+  place : Hr_place.Fabric.t option;
+      (** when present, {!problem} attaches the fabric
+          ({!Hr_place.Joint.attach}) so the instance carries the joint
+          placement objective.  Serialized as the additive optional
+          ["fabric"] JSON field — plain cases keep the exact schema-/1
+          byte format. *)
 }
 
 (** ["hyperreconf.case/1"] — bump on breaking format changes. *)

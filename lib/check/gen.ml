@@ -6,9 +6,17 @@ type profile = {
   max_n : int;
   max_width : int;
   large_fraction : float;
+  place_fraction : float;
 }
 
-let default_profile = { max_m = 3; max_n = 6; max_width = 5; large_fraction = 0.08 }
+let default_profile =
+  {
+    max_m = 3;
+    max_n = 6;
+    max_width = 5;
+    large_fraction = 0.08;
+    place_fraction = 0.25;
+  }
 
 (* Skew toward small values: pick the min of two uniform draws. *)
 let small_int rng lo hi = lo + min (Rng.int rng (hi - lo + 1)) (Rng.int rng (hi - lo + 1))
@@ -85,9 +93,53 @@ let gen_spec rng profile ~large =
       let vs = Array.init m (fun _ -> small_int rng 0 6) in
       Case.Switch { widths; vs; reqs = gen_reqs rng ~m ~n ~widths }
 
+(* A random fabric for an m-task, n-step case, skewed so that brute
+   ground truth stays feasible: fabric width at most m + 2, task sizes
+   1-2, short relocation costs.  Drawn fabrics can violate the per-step
+   fit or the DP caps, so each draw is validated and a guaranteed-valid
+   fallback (every task sized 1 on a width-m strip, resident
+   throughout) backstops the retries. *)
+let gen_fabric rng ~m ~n =
+  let fallback =
+    { Hr_place.Fabric.width = m; sizes = Array.make m 1;
+      windows = Array.make m (0, n - 1); reloc = Array.make m 1 }
+  in
+  let draw () =
+    let width = Rng.int_in rng (max 2 m) (m + 2) in
+    let sizes = Array.init m (fun _ -> Rng.int_in rng 1 (min 2 width)) in
+    let windows =
+      Array.init m (fun _ ->
+          if Rng.chance rng 0.6 then (0, n - 1)
+          else
+            let a = Rng.int rng n in
+            let d = a + Rng.int rng (n - a) in
+            (a, d))
+    in
+    let reloc = Array.init m (fun _ -> small_int rng 0 3) in
+    { Hr_place.Fabric.width; sizes; windows; reloc }
+  in
+  let rec try_draws k =
+    if k = 0 then fallback
+    else
+      let f = draw () in
+      match Hr_place.Fabric.check ~n f with Ok () -> f | Error _ -> try_draws (k - 1)
+  in
+  try_draws 8
+
 let case ?(profile = default_profile) rng =
   let large = Rng.chance rng profile.large_fraction in
   let mode = gen_mode rng in
   let params = gen_params rng mode in
   let machine_class = gen_machine_class rng in
-  { Case.spec = gen_spec rng profile ~large; params; mode; machine_class }
+  let spec = gen_spec rng profile ~large in
+  let base = { Case.spec; params; mode; machine_class; place = None } in
+  (* Placement cases stay in the tiny regime (m <= 3) so that both
+     Brute on the joint objective and Place_brute remain feasible for
+     the conformance columns. *)
+  let m = Case.m base and n = Case.n base in
+  let place =
+    if m <= 3 && Rng.chance rng profile.place_fraction then
+      Some (gen_fabric rng ~m ~n)
+    else None
+  in
+  { base with Case.place }

@@ -20,10 +20,15 @@ type profile = {
   large_fraction : float;
       (** probability of drawing an instance beyond the brute-feasible
           regime (solvers still run; brute-backed invariants skip) *)
+  place_fraction : float;
+      (** probability of attaching a random fabric
+          ({!Hr_place.Fabric.t}) to a tiny (m <= 3) draw, turning it
+          into a placement-aware case; fabrics are skewed so
+          {!Hr_place.Place_brute} stays feasible on most of them *)
 }
 
-(** m <= 3, n <= 6, width <= 5, 8% large — every tiny draw satisfies
-    [Brute.feasible ~max_bits:16]. *)
+(** m <= 3, n <= 6, width <= 5, 8% large, 25% placement — every tiny
+    draw satisfies [Brute.feasible ~max_bits:16]. *)
 val default_profile : profile
 
 (** [case ?profile rng] draws one case.  The result always satisfies

@@ -89,8 +89,13 @@ let scale_problem k (p : Problem.t) =
       pub = k * p.Problem.params.Sync_cost.pub;
     }
   in
+  (* An extension scales its own cost sources (relocation costs and the
+     v_j surcharge for placement) — dropping it here would silently
+     weaken scale-mono to the base objective on extended cases. *)
   Problem.make ~params ~mode:p.Problem.mode ~machine_class:p.Problem.machine_class
-    ~precompute:false oracle
+    ~precompute:false
+    ?ext:(Option.map (fun (e : Problem.extension) -> e.Problem.scale k) p.Problem.ext)
+    oracle
 
 let scale_linear =
   {
@@ -234,6 +239,12 @@ let online_replay =
     check =
       (fun ctx ->
         match ctx.case.Case.spec with
+        | _ when ctx.case.Case.place <> None ->
+            (* The online DP solves the base objective; replaying a
+               placement case would compare joint costs against base
+               optima.  (The fabric also can't be truncated to the
+               prefix horizon in general.) *)
+            Skip "placement case"
         | Case.Weighted _ | Case.Dag _ -> Skip "switch cases only"
         | Case.Switch { widths; vs; reqs } ->
             let n = Case.n ctx.case in
@@ -295,6 +306,187 @@ let online_replay =
             end);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Placement columns.  They Skip on plain cases; on placement cases
+   only the place-* solvers run (the base backends' capability
+   predicates refuse extended instances), and each of those reports its
+   witness schedule in the "placement" stat. *)
+
+let with_fabric ctx k =
+  match ctx.case.Case.place with None -> Skip "plain case" | Some f -> k f
+
+let solution_placement ctx =
+  let m = Problem.m ctx.problem and n = Problem.n ctx.problem in
+  match List.assoc_opt "placement" ctx.solution.Solution.stats with
+  | None -> Error "solver reported no \"placement\" stat"
+  | Some s ->
+      Result.map_error
+        (fun e -> Printf.sprintf "unparseable \"placement\" stat: %s" e)
+        (Hr_place.Placement.of_string ~m ~n s)
+
+let place_in_bounds =
+  {
+    name = "place-in-bounds";
+    doc = "reported placement is resident exactly on its windows, within the strip";
+    check =
+      (fun ctx ->
+        with_fabric ctx (fun f ->
+            match solution_placement ctx with
+            | Error e -> Fail e
+            | Ok pl ->
+                let bad = ref None in
+                Array.iteri
+                  (fun j row ->
+                    Array.iteri
+                      (fun i o ->
+                        if !bad = None then
+                          if Hr_place.Fabric.active f j i then begin
+                            if
+                              o < 0
+                              || o + f.Hr_place.Fabric.sizes.(j)
+                                 > f.Hr_place.Fabric.width
+                            then
+                              bad :=
+                                Some
+                                  (Printf.sprintf
+                                     "task %d at offset %d out of the strip at step %d"
+                                     j o i)
+                          end
+                          else if o <> -1 then
+                            bad :=
+                              Some
+                                (Printf.sprintf
+                                   "task %d placed at step %d outside its window" j i))
+                      row)
+                  pl;
+                (match !bad with Some e -> Fail e | None -> Pass)));
+  }
+
+let place_no_overlap =
+  {
+    name = "place-no-overlap";
+    doc = "no two resident regions of the reported placement overlap";
+    check =
+      (fun ctx ->
+        with_fabric ctx (fun f ->
+            match solution_placement ctx with
+            | Error e -> Fail e
+            | Ok pl ->
+                let m = Problem.m ctx.problem and n = Problem.n ctx.problem in
+                let bad = ref None in
+                for i = 0 to n - 1 do
+                  for j = 0 to m - 1 do
+                    for j' = j + 1 to m - 1 do
+                      if
+                        !bad = None
+                        && Hr_place.Fabric.active f j i
+                        && Hr_place.Fabric.active f j' i
+                        && pl.(j).(i) >= 0
+                        && pl.(j').(i) >= 0
+                        && not
+                             (pl.(j).(i) + f.Hr_place.Fabric.sizes.(j)
+                              <= pl.(j').(i)
+                             || pl.(j').(i) + f.Hr_place.Fabric.sizes.(j')
+                                <= pl.(j).(i))
+                      then
+                        bad :=
+                          Some
+                            (Printf.sprintf "tasks %d and %d overlap at step %d" j
+                               j' i)
+                    done
+                  done
+                done;
+                (match !bad with Some e -> Fail e | None -> Pass)));
+  }
+
+let place_reloc_cost =
+  {
+    name = "place-reloc";
+    doc = "extension cost = canonical schedule cost; no witness beats it";
+    check =
+      (fun ctx ->
+        with_fabric ctx (fun f ->
+            let bp = ctx.solution.Solution.bp in
+            let extra =
+              Problem.eval ctx.problem bp - Problem.eval_base ctx.problem bp
+            in
+            let v = ctx.problem.Problem.oracle.Interval_cost.v in
+            match Hr_place.Joint.plan ctx.problem bp with
+            | None -> Fail "extended problem yields no canonical plan"
+            | Some canon ->
+                let ccost = Hr_place.Placement.cost f ~v bp canon in
+                if ccost <> extra then
+                  Fail
+                    (Printf.sprintf
+                       "canonical schedule costs %d but the extension charges %d"
+                       ccost extra)
+                else (
+                  match solution_placement ctx with
+                  | Error e -> Fail e
+                  | Ok pl ->
+                      let pcost = Hr_place.Placement.cost f ~v bp pl in
+                      if pcost < ccost then
+                        Fail
+                          (Printf.sprintf
+                             "reported schedule costs %d, below the strip DP's \
+                              minimum %d — one of them is wrong"
+                             pcost ccost)
+                      else Pass)));
+  }
+
+let place_bounded_below =
+  {
+    name = "place-ge-brute";
+    doc = "no joint solution beats the placement brute force";
+    check =
+      (fun ctx ->
+        with_fabric ctx (fun _ ->
+            if not (Hr_place.Place_brute.feasible ctx.problem) then
+              Skip "place-brute infeasible"
+            else
+              let opt, _, _ = Hr_place.Place_brute.solve ctx.problem in
+              if ctx.solution.Solution.cost >= opt then Pass
+              else
+                Fail
+                  (Printf.sprintf
+                     "cost %d below the joint optimum %d — place-brute or solver \
+                      wrong"
+                     ctx.solution.Solution.cost opt)));
+  }
+
+let place_exact_brute =
+  {
+    name = "place-exact-brute";
+    doc = "exact joint claims match place-brute; place-dp bit-identically";
+    check =
+      (fun ctx ->
+        with_fabric ctx (fun _ ->
+            if not (Hr_place.Place_brute.feasible ctx.problem) then
+              Skip "place-brute infeasible"
+            else
+              let opt, obp, osched = Hr_place.Place_brute.solve ctx.problem in
+              if not ctx.solution.Solution.exact then Skip "inexact result"
+              else if ctx.solution.Solution.cost <> opt then
+                Fail
+                  (Printf.sprintf "claims exact at cost %d, joint optimum is %d"
+                     ctx.solution.Solution.cost opt)
+              else if ctx.solver.Solver.name <> "place-dp" then Pass
+              else if not (Breakpoints.equal ctx.solution.Solution.bp obp) then
+                Fail "place-dp's matrix differs from place-brute's first optimum"
+              else (
+                (* Both sides pick the lex-smallest optimal schedule of
+                   the same matrix: the witnesses must agree byte for
+                   byte. *)
+                match solution_placement ctx with
+                | Error e -> Fail e
+                | Ok pl ->
+                    if
+                      Hr_place.Placement.to_string pl
+                      = Hr_place.Placement.to_string osched
+                    then Pass
+                    else Fail "place-dp's schedule differs from place-brute's")));
+  }
+
 let all =
   [
     admissible;
@@ -307,6 +499,11 @@ let all =
     cached_matches_fresh;
     plan_roundtrip;
     online_replay;
+    place_in_bounds;
+    place_no_overlap;
+    place_reloc_cost;
+    place_bounded_below;
+    place_exact_brute;
   ]
 
 let verdict_name = function Pass -> "pass" | Fail _ -> "fail" | Skip _ -> "skip"

@@ -79,6 +79,36 @@ val plan_roundtrip : t
     i.e. the event list — greedily. *)
 val online_replay : t
 
+(** {2 Placement columns}
+
+    All five [Skip] on plain cases.  On placement cases only the
+    [place-*] backends run (the base backends' capability predicates
+    refuse extended instances); each reports its witness schedule in
+    the ["placement"] stat, which these columns parse and audit. *)
+
+(** The reported schedule is resident exactly on the fabric's windows,
+    each region inside the strip. *)
+val place_in_bounds : t
+
+(** No two resident regions of the reported schedule overlap at any
+    step. *)
+val place_no_overlap : t
+
+(** The extension term of the returned matrix
+    ([Problem.eval - Problem.eval_base]) equals the canonical
+    schedule's {!Hr_place.Placement.cost}, and the solver's own witness
+    schedule never costs less than that minimum. *)
+val place_reloc_cost : t
+
+(** No joint solution beats the {!Hr_place.Place_brute} optimum. *)
+val place_bounded_below : t
+
+(** An exact joint claim costs exactly the {!Hr_place.Place_brute}
+    optimum; [place-dp] must additionally return the bit-identical
+    matrix {e and} witness schedule (both sides resolve ties to the
+    mask-order-first matrix and the lex-smallest schedule). *)
+val place_exact_brute : t
+
 (** The catalogue, in table-column order. *)
 val all : t list
 

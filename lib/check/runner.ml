@@ -39,12 +39,17 @@ let cases_run s = s.cases
 let failed s = Hashtbl.fold (fun _ c acc -> acc || c.fail > 0) s.cells false
 
 (* Brute ground truth is only consulted below 2^16 evaluations — the
-   generator's tiny regime always qualifies. *)
+   generator's tiny regime always qualifies.  On extended (placement)
+   problems every evaluation runs the strip DP, so the cap drops to
+   2^12 to keep a conformance run fast. *)
 let ground_truth_bits = 16
+let ground_truth_bits_ext = 12
 
 let optimum_of problem =
-  if Brute.feasible ~max_bits:ground_truth_bits problem then
-    Some (fst (Brute.solve problem))
+  let max_bits =
+    if Problem.plain problem then ground_truth_bits else ground_truth_bits_ext
+  in
+  if Brute.feasible ~max_bits problem then Some (fst (Brute.solve problem))
   else None
 
 let budget_of deadline_ms =
@@ -83,6 +88,7 @@ let still_fails ~invariant ~deadline_ms ~seed solver case =
               verdicts)
 
 let check_case ?solvers ?(invariants = Invariant.all) ?deadline_ms ~seed case =
+  Hr_place.Solvers.ensure ();
   let solvers = match solvers with Some s -> s | None -> Solver_registry.all () in
   match Case.problem case with
   | exception e -> [ ("-", "build", Printexc.to_string e) ]
@@ -106,6 +112,7 @@ let check_case ?solvers ?(invariants = Invariant.all) ?deadline_ms ~seed case =
 
 let run ?solvers ?(invariants = Invariant.all) ?(profile = Gen.default_profile)
     ?deadline_ms ?(corpus = []) ?(log = ignore) ~cases ~seed () =
+  Hr_place.Solvers.ensure ();
   let solvers = match solvers with Some s -> s | None -> Solver_registry.all () in
   let summary =
     {

@@ -26,20 +26,52 @@ let drop_task spec j =
         }
   | Case.Dag _ -> spec
 
+(* Fabric edits mirroring the spec edits: a case's fabric must keep the
+   spec's arity and horizon or [Case.problem] would raise. *)
+let fabric_drop_task place j =
+  Option.map
+    (fun (f : Hr_place.Fabric.t) ->
+      {
+        f with
+        Hr_place.Fabric.sizes = drop_index f.Hr_place.Fabric.sizes j;
+        windows = drop_index f.Hr_place.Fabric.windows j;
+        reloc = drop_index f.Hr_place.Fabric.reloc j;
+      })
+    place
+
+let fabric_truncate place k =
+  Option.map
+    (fun (f : Hr_place.Fabric.t) ->
+      {
+        f with
+        Hr_place.Fabric.windows =
+          Array.map
+            (fun (a, d) -> (min a (k - 1), min d (k - 1)))
+            f.Hr_place.Fabric.windows;
+      })
+    place
+
 let candidates (case : Case.t) =
   let m = Case.m case and n = Case.n case in
   let tasks_dropped =
     if m <= 1 then []
-    else List.init m (fun j -> { case with Case.spec = drop_task case.Case.spec j })
+    else
+      List.init m (fun j ->
+          {
+            case with
+            Case.spec = drop_task case.Case.spec j;
+            place = fabric_drop_task case.Case.place j;
+          })
   in
-  let halved =
-    if n <= 1 then []
-    else [ { case with Case.spec = truncate_spec case.Case.spec ((n + 1) / 2) } ]
+  let truncated k =
+    {
+      case with
+      Case.spec = truncate_spec case.Case.spec k;
+      place = fabric_truncate case.Case.place k;
+    }
   in
-  let trimmed =
-    if n <= 1 then []
-    else [ { case with Case.spec = truncate_spec case.Case.spec (n - 1) } ]
-  in
+  let halved = if n <= 1 then [] else [ truncated ((n + 1) / 2) ] in
+  let trimmed = if n <= 1 then [] else [ truncated (n - 1) ] in
   let p = case.Case.params in
   let zeroed_w =
     if p.Sync_cost.w = 0 then []
@@ -73,8 +105,37 @@ let candidates (case : Case.t) =
     if case.Case.machine_class = Problem.Partial then []
     else [ { case with Case.machine_class = Problem.Partial } ]
   in
-  tasks_dropped @ halved @ trimmed @ zeroed_w @ zeroed_pub @ zeroed_vs
-  @ parallel_uploads @ relaxed_class
+  (* Placement reductions: drop the fabric entirely (does the failure
+     need the joint objective at all?), then cheapen it — zero
+     relocation costs, unit region sizes, full residency windows. *)
+  let fabric_edits =
+    match case.Case.place with
+    | None -> []
+    | Some f ->
+        let edited g = { case with Case.place = Some g } in
+        [ { case with Case.place = None } ]
+        @ (if Array.exists (fun r -> r > 0) f.Hr_place.Fabric.reloc then
+             [ edited { f with Hr_place.Fabric.reloc = Array.make m 0 } ]
+           else [])
+        @ (if Array.exists (fun s -> s > 1) f.Hr_place.Fabric.sizes then
+             [ edited { f with Hr_place.Fabric.sizes = Array.make m 1 } ]
+           else [])
+        @
+        if Array.exists (fun (a, d) -> (a, d) <> (0, n - 1)) f.Hr_place.Fabric.windows
+        then [ edited { f with Hr_place.Fabric.windows = Array.make m (0, n - 1) } ]
+        else []
+  in
+  (* Spec edits can leave a fabric inconsistent (e.g. clamping windows
+     onto a shorter horizon may overload a step) — such candidates
+     would not build a problem, so filter them out here. *)
+  let valid (c : Case.t) =
+    match c.Case.place with
+    | None -> true
+    | Some f -> Result.is_ok (Hr_place.Fabric.check ~n:(Case.n c) f)
+  in
+  List.filter valid
+    (tasks_dropped @ halved @ trimmed @ fabric_edits @ zeroed_w @ zeroed_pub
+   @ zeroed_vs @ parallel_uploads @ relaxed_class)
 
 let shrink ?(fuel = 500) ~still_fails case =
   let fuel = ref fuel in

@@ -3,9 +3,11 @@
     Before a failure is reported, the runner reduces it: drop a task,
     halve or trim the step count, zero the upload parameters ([w],
     [pub], the [v_j]), relax the machine class to partial, make uploads
-    task-parallel — greedily keeping any reduction under which the
-    failure still reproduces.  The result is the small instance a human
-    debugs, and the one persisted to the corpus. *)
+    task-parallel, and on placement cases drop or simplify the fabric
+    (no fabric, zero relocation costs, unit sizes, full windows) —
+    greedily keeping any reduction under which the failure still
+    reproduces.  The result is the small instance a human debugs, and
+    the one persisted to the corpus. *)
 
 (** [candidates case] is the list of one-step reductions of [case],
     most aggressive first.  Every candidate is a valid case. *)

@@ -1,10 +1,21 @@
 type machine_class = All_task | Partial | Restricted
 
+type ext_data = ..
+
+type extension = {
+  tag : string;
+  data : ext_data;
+  extra_cost : Breakpoints.t -> int;
+  scale : int -> extension;
+  counters : unit -> (string * string) list;
+}
+
 type t = {
   oracle : Interval_cost.t;
   params : Sync_cost.params;
   mode : Mixed_sync.mode;
   machine_class : machine_class;
+  ext : extension option;
 }
 
 let validate_mode_params mode (params : Sync_cost.params) =
@@ -25,7 +36,7 @@ let validate_mode_params mode (params : Sync_cost.params) =
 
 let make ?(params = Sync_cost.default_params)
     ?(mode = Mixed_sync.Fully_synchronized) ?(machine_class = Partial)
-    ?(precompute = true) ?max_bytes ?cache_dir ?cache_key ?pool oracle =
+    ?(precompute = true) ?max_bytes ?cache_dir ?cache_key ?pool ?ext oracle =
   validate_mode_params mode params;
   let oracle =
     match cache_key with
@@ -37,7 +48,11 @@ let make ?(params = Sync_cost.default_params)
     if precompute then Interval_cost.precompute ?max_bytes ?cache ?pool oracle
     else oracle
   in
-  { oracle; params; mode; machine_class }
+  { oracle; params; mode; machine_class; ext }
+
+let plain t = Option.is_none t.ext
+let with_ext t ext = { t with ext = Some ext }
+let without_ext t = { t with ext = None }
 
 let of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool ts =
   make ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool
@@ -62,13 +77,19 @@ let task t j =
       ~step_cost:(fun _ lo hi -> o.Interval_cost.step_cost j lo hi)
   in
   (* The parent tables are already dense; re-densifying a view would
-     only copy them. *)
-  { t with oracle; machine_class = Partial }
+     only copy them.  An extension's extra cost is a function of the
+     full m-row matrix, so the single-task view drops it. *)
+  { t with oracle; machine_class = Partial; ext = None }
 
-let eval t bp =
+let eval_base t bp =
   match t.mode with
   | Mixed_sync.Fully_synchronized -> Sync_cost.eval ~params:t.params t.oracle bp
   | mode -> Mixed_sync.eval ~mode ~pub:t.params.Sync_cost.pub t.oracle bp
+
+let eval t bp =
+  match t.ext with
+  | None -> eval_base t bp
+  | Some e -> eval_base t bp + e.extra_cost bp
 
 let admissible t bp =
   match t.machine_class with
@@ -84,9 +105,10 @@ let admissible t bp =
       cols 0
 
 let pp fmt t =
-  Format.fprintf fmt "m=%d n=%d %s %a" (m t) (n t)
+  Format.fprintf fmt "m=%d n=%d %s %a%s" (m t) (n t)
     (match t.machine_class with
     | All_task -> "all-task"
     | Partial -> "partial"
     | Restricted -> "restricted")
     Mixed_sync.pp_mode t.mode
+    (match t.ext with None -> "" | Some e -> " +" ^ e.tag)

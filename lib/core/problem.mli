@@ -27,11 +27,35 @@
     it. *)
 type machine_class = All_task | Partial | Restricted
 
+(** Extension payloads are an open type: each extension library (e.g.
+    [Hr_place] for placement-aware instances) adds its own constructor
+    so downstream code can recover the concrete data with a pattern
+    match. *)
+type ext_data = ..
+
+(** A problem extension adds a cost term on top of the base objective.
+    [extra_cost bp] must be a {e total}, deterministic function of the
+    matrix alone (>= 0), so that {!eval} stays a pure function of
+    [(t, bp)] — every solver, the brute-force ground truth and the
+    conformance harness then agree on the joint objective by
+    construction.  [scale k] rebuilds the extension with every cost
+    source multiplied by [k] (the linear-scaling invariant relies on
+    it); [counters] exposes telemetry counters (e.g. relocation
+    statistics) accumulated across [extra_cost] calls. *)
+type extension = {
+  tag : string;  (** stable short name, e.g. ["placement"] *)
+  data : ext_data;
+  extra_cost : Breakpoints.t -> int;
+  scale : int -> extension;
+  counters : unit -> (string * string) list;
+}
+
 type t = {
   oracle : Interval_cost.t;  (** precomputed — shared by all solvers *)
   params : Sync_cost.params;
   mode : Mixed_sync.mode;
   machine_class : machine_class;
+  ext : extension option;  (** joint-cost extension, [None] = base PHC *)
 }
 
 (** [make ?params ?mode ?machine_class ?precompute ?max_bytes
@@ -64,8 +88,23 @@ val make :
   ?cache_dir:string ->
   ?cache_key:string ->
   ?pool:Hr_util.Pool.t ->
+  ?ext:extension ->
   Interval_cost.t ->
   t
+
+(** [plain t] — does [t] carry no extension?  Base-PHC solvers use this
+    as a capability guard: their exactness (and even their cost
+    accounting) is stated against {!eval_base}, so they must refuse
+    extended instances rather than silently ignore the extra term. *)
+val plain : t -> bool
+
+(** [with_ext t e] / [without_ext t] attach or strip the extension
+    (tables are shared, nothing is rebuilt).  [without_ext] is how an
+    extension-aware solver obtains the base subproblem to hand to a
+    registered base backend. *)
+val with_ext : t -> extension -> t
+
+val without_ext : t -> t
 
 (** [of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir
     ?pool ts] — the MT-Switch instance of a task set; [pool]
@@ -94,18 +133,25 @@ val of_dag : ?params:Sync_cost.params -> Dag_model.t -> int array -> t
 
 (** [task t j] is the single-task subproblem of task [j] (same
     parameters; class and mode degenerate for m = 1).  The sub-oracle
-    reads the parent's precomputed tables — no rebuild. *)
+    reads the parent's precomputed tables — no rebuild.  Any extension
+    is dropped: its cost term is a function of the full m-row
+    matrix. *)
 val task : t -> int -> t
 
 val m : t -> int
 val n : t -> int
 
 (** [eval t bp] is the objective: {!Sync_cost.eval} for the fully
-    synchronized mode, {!Mixed_sync.eval} otherwise.  Every
+    synchronized mode, {!Mixed_sync.eval} otherwise, plus the
+    extension's [extra_cost] when one is attached.  Every
     {!Solution.t} returned through {!Solver.solve} has its cost
     recomputed by this function, so costs are comparable across
     backends by construction. *)
 val eval : t -> Breakpoints.t -> int
+
+(** [eval_base t bp] is the objective without the extension term
+    (identical to {!eval} on plain problems). *)
+val eval_base : t -> Breakpoints.t -> int
 
 (** [admissible t bp] — does the machine class admit the matrix?
     ([All_task] requires uniform columns.) *)

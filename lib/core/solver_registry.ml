@@ -56,7 +56,13 @@ let race ?domains ?seed ?budget ?names:wanted problem =
 
 let fully p = p.Problem.mode = Mixed_sync.Fully_synchronized
 let partial p = p.Problem.machine_class <> Problem.All_task
-let sized p = Problem.n p >= 1
+
+(* Every built-in backend optimizes (and states exactness against) the
+   base objective, so all of them refuse extended instances: under a
+   joint cost an "exact" base answer would be a wrong claim.
+   Extension-aware solvers (lib/place) register with their own
+   predicates. *)
+let sized p = Problem.plain p && Problem.n p >= 1
 
 (* Mt_dp's exact mode refuses instances whose initial level (n^m
    states) exceeds two million; mirror its guard. *)

@@ -244,6 +244,7 @@ type t = {
   oracle : Interval_cost.cache_stats;
   reports : Solver.report list;
   winner : string option;
+  ext : (string * (string * string) list) option;
 }
 
 let schema_version = "hyperreconf.telemetry/1"
@@ -309,6 +310,10 @@ let make ?(label = "race") ?deadline_ms ?(seed = Solver.default_seed)
     oracle = Interval_cost.cache_stats problem.Problem.oracle;
     reports;
     winner;
+    ext =
+      Option.map
+        (fun (e : Problem.extension) -> (e.Problem.tag, e.Problem.counters ()))
+        problem.Problem.ext;
   }
 
 let report_to_json (r : Solver.report) =
@@ -368,19 +373,34 @@ let oracle_to_json (o : Interval_cost.cache_stats) =
 
 let to_json t =
   Obj
-    [
-      ("schema", String schema_version);
-      ("label", String t.label);
-      ( "instance",
-        Obj [ ("m", Int t.m); ("n", Int t.n); ("summary", String t.problem) ] );
-      ("seed", Int t.seed);
-      ( "deadline_ms",
-        match t.deadline_ms with Some ms -> Int ms | None -> Null );
-      ("total_ms", Float t.total_ms);
-      ("oracle_cache", oracle_to_json t.oracle);
-      ("solvers", List (List.map report_to_json t.reports));
-      ("winner", match t.winner with Some w -> String w | None -> Null);
-    ]
+    ([
+       ("schema", String schema_version);
+       ("label", String t.label);
+       ( "instance",
+         Obj [ ("m", Int t.m); ("n", Int t.n); ("summary", String t.problem) ] );
+       ("seed", Int t.seed);
+       ( "deadline_ms",
+         match t.deadline_ms with Some ms -> Int ms | None -> Null );
+       ("total_ms", Float t.total_ms);
+       ("oracle_cache", oracle_to_json t.oracle);
+       ("solvers", List (List.map report_to_json t.reports));
+       ("winner", match t.winner with Some w -> String w | None -> Null);
+     ]
+    (* Additive: plain problems emit no "extension" field, keeping
+       their documents byte-identical for earlier schema consumers. *)
+    @
+    match t.ext with
+    | None -> []
+    | Some (tag, counters) ->
+        [
+          ( "extension",
+            Obj
+              [
+                ("tag", String tag);
+                ( "counters",
+                  Obj (List.map (fun (k, v) -> (k, String v)) counters) );
+              ] );
+        ])
 
 let to_string t = json_to_string (to_json t)
 

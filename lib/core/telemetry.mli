@@ -67,6 +67,11 @@ type t = {
   oracle : Interval_cost.cache_stats;
   reports : Solver.report list;
   winner : string option;  (** best surviving solver, [None] if all crashed *)
+  ext : (string * (string * string) list) option;
+      (** extension tag + counters of an extended instance (e.g.
+          placement relocation statistics); [None] on plain problems —
+          the JSON document then carries no ["extension"] field, so
+          plain-problem output is byte-identical to before *)
 }
 
 (** ["hyperreconf.telemetry/1"] — bump on breaking schema changes. *)

@@ -1,0 +1,155 @@
+type t = {
+  width : int;
+  sizes : int array;
+  windows : (int * int) array;
+  reloc : int array;
+}
+
+let m t = Array.length t.sizes
+
+let full ~m ~n ~width ?sizes ?reloc () =
+  {
+    width;
+    sizes = (match sizes with Some s -> s | None -> Array.make m 1);
+    windows = Array.make m (0, n - 1);
+    reloc = (match reloc with Some r -> r | None -> Array.make m 1);
+  }
+
+let active t j i =
+  let a, d = t.windows.(j) in
+  a <= i && i <= d
+
+let tasks_at t i =
+  let acc = ref [] in
+  for j = m t - 1 downto 0 do
+    if active t j i then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+let load t i =
+  let total = ref 0 in
+  Array.iter (fun j -> total := !total + t.sizes.(j)) (tasks_at t i);
+  !total
+
+(* All feasible offset vectors of one step, in lexicographic order:
+   offsets are chosen task by task (ascending task index), each
+   ascending from 0, skipping overlaps with the already-chosen prefix.
+   The recursion emits vectors in exactly the order every consumer
+   (strip DP, Place_brute, the local search) relies on for canonical
+   tie-breaking. *)
+let vectors t i =
+  let tasks = tasks_at t i in
+  let k = Array.length tasks in
+  let chosen = Array.make k 0 in
+  let out = ref [] in
+  let overlaps o size upto =
+    let rec go q =
+      if q >= upto then false
+      else
+        let o' = chosen.(q) and s' = t.sizes.(tasks.(q)) in
+        if o < o' + s' && o' < o + size then true else go (q + 1)
+    in
+    go 0
+  in
+  let rec fill q =
+    if q = k then out := Array.copy chosen :: !out
+    else
+      let size = t.sizes.(tasks.(q)) in
+      for o = 0 to t.width - size do
+        if not (overlaps o size q) then begin
+          chosen.(q) <- o;
+          fill (q + 1)
+        end
+      done
+  in
+  fill 0;
+  Array.of_list (List.rev !out)
+
+let max_step_vectors = 64
+let max_transitions = 200_000
+
+let check ~n t =
+  let mm = m t in
+  let err fmt = Printf.ksprintf Result.error fmt in
+  if mm < 1 then err "fabric needs >= 1 task"
+  else if Array.length t.windows <> mm || Array.length t.reloc <> mm then
+    err "fabric arities differ (sizes/windows/reloc)"
+  else if t.width < 1 then err "fabric width must be >= 1"
+  else if Array.exists (fun s -> s < 1 || s > t.width) t.sizes then
+    err "task sizes must be in 1..width"
+  else if Array.exists (fun r -> r < 0) t.reloc then
+    err "relocation costs must be >= 0"
+  else if Array.exists (fun (a, d) -> a < 0 || a > d || d >= n) t.windows then
+    err "windows must satisfy 0 <= a <= d < n"
+  else begin
+    let bad = ref None in
+    let prev = ref 1 in
+    let transitions = ref 0 in
+    for i = 0 to n - 1 do
+      if !bad = None then
+        if load t i > t.width then
+          bad := Some (Printf.sprintf "step %d demands %d of %d slots" i (load t i) t.width)
+        else begin
+          let v = Array.length (vectors t i) in
+          if v > max_step_vectors then
+            bad :=
+              Some
+                (Printf.sprintf "step %d admits %d offset vectors (cap %d)" i v
+                   max_step_vectors)
+          else begin
+            transitions := !transitions + (!prev * v);
+            prev := v;
+            if !transitions > max_transitions then
+              bad :=
+                Some
+                  (Printf.sprintf "strip DP needs > %d transitions" max_transitions)
+          end
+        end
+    done;
+    match !bad with Some msg -> Error msg | None -> Ok ()
+  end
+
+let validate ~n t =
+  match check ~n t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fabric.validate: " ^ msg)
+
+let static_first_fit t =
+  let mm = m t in
+  let offs = Array.make mm 0 in
+  let windows_overlap j j' =
+    let a, d = t.windows.(j) and a', d' = t.windows.(j') in
+    a <= d' && a' <= d
+  in
+  let clash j o j' =
+    windows_overlap j j'
+    && o < offs.(j') + t.sizes.(j')
+    && offs.(j') < o + t.sizes.(j)
+  in
+  let rec place j =
+    if j >= mm then true
+    else
+      let rec try_off o =
+        if o > t.width - t.sizes.(j) then false
+        else
+          let rec any_clash j' = j' < j && (clash j o j' || any_clash (j' + 1)) in
+          if any_clash 0 then try_off (o + 1)
+          else begin
+            offs.(j) <- o;
+            place (j + 1)
+          end
+      in
+      try_off 0
+  in
+  if place 0 then Some offs else None
+
+let scale k t = { t with reloc = Array.map (fun r -> k * r) t.reloc }
+
+let ints arr = String.concat "," (Array.to_list (Array.map string_of_int arr))
+
+let summary t =
+  Printf.sprintf "W=%d sizes=[%s] win=[%s] reloc=[%s]" t.width (ints t.sizes)
+    (String.concat ","
+       (Array.to_list
+          (Array.map (fun (a, d) -> Printf.sprintf "%d-%d" a d) t.windows)))
+    (ints t.reloc)

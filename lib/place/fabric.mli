@@ -1,0 +1,86 @@
+(** The 1-D reconfigurable fabric of the placement-aware problem
+    family.
+
+    A fabric is a strip of [width] slots.  Task [j] occupies a
+    contiguous region of [sizes.(j)] slots while it is resident —
+    during the inclusive step window [windows.(j) = (a_j, d_j)] — and
+    occupies nothing outside it, so regions freed by departing or
+    not-yet-arrived tasks can be reassigned.  Relocating task [j]
+    between consecutive resident steps costs [reloc.(j)] plus a
+    changeover surcharge (see {!Placement} and [docs/placement.md]):
+    the task's partial-hyperreconfiguration cost [v_j] unless the
+    breakpoint matrix already hyperreconfigures it at that step.
+
+    A fabric is pure data — the conformance generator draws it, the
+    shrinker edits it, and the corpus serializes it — and it is
+    validated against a horizon [n] before any solver sees it. *)
+
+type t = {
+  width : int;  (** strip width in slots, >= 1 *)
+  sizes : int array;  (** per-task region size, each >= 1 *)
+  windows : (int * int) array;  (** per-task inclusive residency [a, d] *)
+  reloc : int array;  (** per-task base relocation cost, each >= 0 *)
+}
+
+(** Number of tasks. *)
+val m : t -> int
+
+(** [full ~m ~n ~width ?sizes ?reloc ()] is the everything-resident
+    fabric: every task sized 1 (unless [sizes] is given), resident for
+    the whole horizon, relocation cost 1 (unless [reloc] is given). *)
+val full :
+  m:int -> n:int -> width:int -> ?sizes:int array -> ?reloc:int array -> unit -> t
+
+(** [active t j i] — is task [j] resident at step [i]? *)
+val active : t -> int -> int -> bool
+
+(** [tasks_at t i] — the resident tasks of step [i], ascending. *)
+val tasks_at : t -> int -> int array
+
+(** [load t i] — total slots demanded at step [i]. *)
+val load : t -> int -> int
+
+(** [vectors t i] is every feasible offset assignment of step [i]'s
+    resident tasks, in lexicographic order (offsets listed in
+    {!tasks_at} order, each in [0 .. width - size], pairwise
+    non-overlapping).  A step with no resident tasks has exactly one
+    vector: [[||]].  Every placement algorithm in this library
+    enumerates candidate offsets through this one function, so their
+    tie-breaking orders agree by construction. *)
+val vectors : t -> int -> int array array
+
+(** Validation caps keeping the per-evaluation strip DP (and with it
+    {!Hr_core.Problem.eval} on extended instances) cheap: at most
+    [max_step_vectors] offset vectors per step and at most
+    [max_transitions] vector-pair transitions over the horizon. *)
+val max_step_vectors : int
+
+val max_transitions : int
+
+(** [check ~n t] validates shapes ([sizes], [windows], [reloc] all of
+    one arity >= 1), bounds ([1 <= size <= width],
+    [0 <= a <= d < n], [reloc >= 0]), per-step fit
+    ([load <= width] everywhere, which for a 1-D strip guarantees a
+    feasible left-packed assignment at every step) and the DP caps
+    above. *)
+val check : n:int -> t -> (unit, string) result
+
+(** [validate ~n t] — {!check}, raising [Invalid_argument]. *)
+val validate : n:int -> t -> unit
+
+(** [static_first_fit t] fixes one offset per task for its whole
+    window, greedily in task order at the lowest non-overlapping
+    offset (tasks with disjoint windows may share slots).  [None] when
+    greedy first-fit finds no static assignment — per-step fit does
+    not guarantee one (the classic dynamic-storage-allocation gap), and
+    greedy can also miss one that exists; relocation-free placement is
+    only {e claimed} when it is exhibited. *)
+val static_first_fit : t -> int array option
+
+(** [scale k t] multiplies every relocation cost by [k] (the
+    placement half of the linear-scaling invariant; the [v_j]
+    surcharge scales with the oracle). *)
+val scale : int -> t -> t
+
+(** One-line summary, e.g. ["W=4 sizes=[1,2] win=[0-3,1-2] reloc=[1,0]"]. *)
+val summary : t -> string

@@ -1,0 +1,55 @@
+open Hr_core
+
+type Problem.ext_data += Fabric of Fabric.t
+
+let rec extension fabric ~v ~n =
+  let dp = Strip_dp.build fabric ~v ~n in
+  let evals = Atomic.make 0 in
+  let moving = Atomic.make 0 in
+  let relaxed = Atomic.make 0 in
+  {
+    Problem.tag = "placement";
+    data = Fabric fabric;
+    extra_cost =
+      (fun bp ->
+        Atomic.incr evals;
+        ignore (Atomic.fetch_and_add relaxed (Strip_dp.transitions dp));
+        let c = Strip_dp.min_cost dp bp in
+        if c > 0 then Atomic.incr moving;
+        c);
+    scale =
+      (fun k ->
+        extension (Fabric.scale k fabric) ~v:(Array.map (fun x -> k * x) v) ~n);
+    counters =
+      (fun () ->
+        [
+          ("width", string_of_int fabric.Fabric.width);
+          ("tasks", string_of_int (Fabric.m fabric));
+          ("evals", string_of_int (Atomic.get evals));
+          ("moving_evals", string_of_int (Atomic.get moving));
+          ("dp_transitions", string_of_int (Atomic.get relaxed));
+        ]);
+  }
+
+let attach p fabric =
+  if Fabric.m fabric <> Problem.m p then
+    invalid_arg "Joint.attach: fabric arity differs from the problem";
+  Fabric.validate ~n:(Problem.n p) fabric;
+  Problem.with_ext p
+    (extension fabric ~v:p.Problem.oracle.Interval_cost.v ~n:(Problem.n p))
+
+let fabric_of (p : Problem.t) =
+  match p.Problem.ext with
+  | Some { Problem.data = Fabric f; _ } -> Some f
+  | _ -> None
+
+let dp_of p =
+  Option.map
+    (fun f ->
+      Strip_dp.build f ~v:p.Problem.oracle.Interval_cost.v ~n:(Problem.n p))
+    (fabric_of p)
+
+let min_reloc p bp =
+  match p.Problem.ext with None -> 0 | Some e -> e.Problem.extra_cost bp
+
+let plan p bp = Option.map (fun dp -> Strip_dp.plan dp bp) (dp_of p)

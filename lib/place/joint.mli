@@ -1,0 +1,39 @@
+(** Attaching a fabric to a {!Hr_core.Problem.t} — the placement-aware
+    joint objective.
+
+    [attach p fabric] returns [p] extended so that
+    [Problem.eval p' bp = Problem.eval_base p' bp + min relocation
+    cost of bp] ({!Strip_dp.min_cost}).  The extension is a total
+    function of the matrix, so the joint problem flows through every
+    generic layer — {!Hr_core.Solver.solve} re-stamping,
+    {!Hr_core.Brute} ground truth, batching, caching — unchanged, and
+    base-PHC solvers refuse it via their [Problem.plain] guard.
+
+    Telemetry counters (surfaced through
+    {!Hr_core.Telemetry}'s ["extension"] field): [width], [tasks],
+    [evals] (joint evaluations), [moving_evals] (evaluations whose
+    optimal schedule relocates at least once) and [dp_transitions]
+    (cumulative strip-DP transitions relaxed). *)
+
+type Hr_core.Problem.ext_data += Fabric of Fabric.t
+
+(** [extension fabric ~v ~n] builds the reusable extension record
+    (shared counters; [scale] rebuilds with scaled [reloc] and [v]). *)
+val extension : Fabric.t -> v:int array -> n:int -> Hr_core.Problem.extension
+
+(** [attach p fabric] validates the fabric against [p]'s dimensions
+    and oracle and returns the extended problem.  Raises
+    [Invalid_argument] on arity mismatch or a fabric failing
+    {!Fabric.check}. *)
+val attach : Hr_core.Problem.t -> Fabric.t -> Hr_core.Problem.t
+
+(** The fabric of an extended problem, [None] on plain ones. *)
+val fabric_of : Hr_core.Problem.t -> Fabric.t option
+
+(** [min_reloc p bp] — the extension term alone ([0] on plain
+    problems). *)
+val min_reloc : Hr_core.Problem.t -> Hr_core.Breakpoints.t -> int
+
+(** [plan p bp] — the canonical optimal schedule of [bp]
+    ({!Strip_dp.plan}); [None] on plain problems. *)
+val plan : Hr_core.Problem.t -> Hr_core.Breakpoints.t -> Placement.t option

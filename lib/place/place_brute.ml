@@ -1,0 +1,128 @@
+open Hr_core
+
+let bits p =
+  let m = Problem.m p and n = Problem.n p in
+  match p.Problem.machine_class with
+  | Problem.All_task -> n - 1
+  | Problem.Partial | Problem.Restricted -> (n - 1) * m
+
+let max_mask_bits = 12
+let max_pairs = 1 lsl 22
+
+let feasible p =
+  match Joint.fabric_of p with
+  | None -> false
+  | Some f ->
+      let n = Problem.n p in
+      n >= 1
+      && bits p <= max_mask_bits
+      &&
+      (* Clamped product of per-step schedule choices × matrix count. *)
+      let paths = ref 1 in
+      (try
+         for i = 0 to n - 1 do
+           paths := !paths * Array.length (Fabric.vectors f i);
+           if !paths > max_pairs then raise Exit
+         done
+       with Exit -> ());
+      let masks = 1 lsl bits p in
+      !paths <= max_pairs / masks
+
+let solve p =
+  let f =
+    match Joint.fabric_of p with
+    | Some f -> f
+    | None -> invalid_arg "Place_brute.solve: problem carries no fabric"
+  in
+  if not (feasible p) then
+    invalid_arg "Place_brute.solve: instance too large to enumerate";
+  let m = Problem.m p and n = Problem.n p in
+  let v = p.Problem.oracle.Interval_cost.v in
+  let all_task = p.Problem.machine_class = Problem.All_task in
+  let free = bits p in
+  let vecs = Array.init n (Fabric.vectors f) in
+  let tasks = Array.init n (Fabric.tasks_at f) in
+  (* Per step the tasks resident at both it and its predecessor, with
+     their positions in each step's vectors. *)
+  let common =
+    Array.init n (fun i ->
+        if i = 0 then [||]
+        else
+          Array.of_list
+            (List.filter_map
+               (fun qa ->
+                 let j = tasks.(i - 1).(qa) in
+                 Option.map
+                   (fun qb -> (j, qa, qb))
+                   (Array.find_index (fun j' -> j' = j) tasks.(i)))
+               (List.init (Array.length tasks.(i - 1)) Fun.id)))
+  in
+  let best_cost = ref max_int in
+  let best_bp = ref (Breakpoints.create ~m ~n) in
+  let best_sched = ref [||] in
+  let best_path = Array.make n 0 in
+  let path = Array.make n 0 in
+  for mask = 0 to (1 lsl free) - 1 do
+    let raw =
+      if all_task then
+        let row = Array.init n (fun i -> i = 0 || mask land (1 lsl (i - 1)) <> 0) in
+        Array.init m (fun _ -> Array.copy row)
+      else
+        Array.init m (fun j ->
+            Array.init n (fun i ->
+                i = 0 || mask land (1 lsl ((j * (n - 1)) + i - 1)) <> 0))
+    in
+    let bp = Breakpoints.of_matrix raw in
+    let base = Problem.eval_base p bp in
+    (* Depth-first over schedules in lex order; strict improvement
+       keeps the first optimum, and pruning on [acc >= best] discards
+       only schedules that cannot strictly improve (step costs are
+       non-negative). *)
+    let best_reloc = ref max_int in
+    let rec go i acc =
+      if acc < !best_reloc then
+        if i = n then begin
+          best_reloc := acc;
+          Array.blit path 0 best_path 0 n
+        end
+        else
+          Array.iteri
+            (fun b vb ->
+              let step =
+                if i = 0 then 0
+                else
+                  Array.fold_left
+                    (fun s (j, qa, qb) ->
+                      if vecs.(i - 1).(path.(i - 1)).(qa) <> vb.(qb) then
+                        s + f.Fabric.reloc.(j)
+                        + (if Breakpoints.is_break bp j i then 0 else v.(j))
+                      else s)
+                    0 common.(i)
+              in
+              path.(i) <- b;
+              go (i + 1) (acc + step))
+            vecs.(i)
+    in
+    (* Matrices whose base cost already reaches the incumbent cannot
+       strictly improve the joint cost (relocation is non-negative) —
+       skipping their schedule enumeration preserves the first strict
+       minimum. *)
+    if base < !best_cost then begin
+      go 0 0;
+      let joint = base + !best_reloc in
+      if joint < !best_cost then begin
+        best_cost := joint;
+        best_bp := bp;
+        (* Freeze the winning schedule now — best_path is reused by
+           the next matrix. *)
+        let placement = Array.init m (fun _ -> Array.make n (-1)) in
+        for i = 0 to n - 1 do
+          Array.iteri
+            (fun q j -> placement.(j).(i) <- vecs.(i).(best_path.(i)).(q))
+            tasks.(i)
+        done;
+        best_sched := placement
+      end
+    end
+  done;
+  (!best_cost, !best_bp, !best_sched)

@@ -1,0 +1,21 @@
+(** Exhaustive ground truth for tiny placement instances.
+
+    Enumerates the full joint space — every class-admissible
+    breakpoint matrix (in {!Hr_core.Brute}'s mask order) × every
+    feasible offset schedule (depth-first in {!Fabric.vectors} lex
+    order) — keeping strict improvements only, so the winner is the
+    first (mask-order, then lex-order) joint optimum.  The schedule
+    costing is written directly against the fabric, independent of
+    {!Strip_dp}; agreement between the two (and with [place-dp]) is
+    exactly what the differential tests and the [place-exact-brute]
+    conformance column certify. *)
+
+(** [feasible p] — extended instance small enough to enumerate: at
+    most 2^12 admissible matrices and at most 2^22 (matrix, schedule)
+    pairs. *)
+val feasible : Hr_core.Problem.t -> bool
+
+(** [solve p] = (joint optimum, its matrix, its schedule).  Raises
+    [Invalid_argument] when {!feasible} is false or the problem
+    carries no fabric. *)
+val solve : Hr_core.Problem.t -> int * Hr_core.Breakpoints.t * Placement.t

@@ -1,0 +1,138 @@
+open Hr_core
+
+type t = int array array
+
+let check (f : Fabric.t) ~n (p : t) =
+  let m = Fabric.m f in
+  let err fmt = Printf.ksprintf Result.error fmt in
+  if Array.length p <> m then err "placement has %d rows, fabric has %d tasks" (Array.length p) m
+  else if Array.exists (fun row -> Array.length row <> n) p then
+    err "placement rows must have %d steps" n
+  else begin
+    let bad = ref None in
+    let set msg = if !bad = None then bad := Some msg in
+    for j = 0 to m - 1 do
+      for i = 0 to n - 1 do
+        let o = p.(j).(i) in
+        if Fabric.active f j i then begin
+          if o < 0 || o > f.Fabric.width - f.Fabric.sizes.(j) then
+            set
+              (Printf.sprintf "task %d step %d: offset %d outside 0..%d" j i o
+                 (f.Fabric.width - f.Fabric.sizes.(j)))
+        end
+        else if o <> -1 then
+          set (Printf.sprintf "task %d step %d: placed while not resident" j i)
+      done
+    done;
+    (* Pairwise overlap per step. *)
+    for i = 0 to n - 1 do
+      let tasks = Fabric.tasks_at f i in
+      let k = Array.length tasks in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let j = tasks.(a) and j' = tasks.(b) in
+          let o = p.(j).(i) and o' = p.(j').(i) in
+          if
+            o >= 0 && o' >= 0
+            && o < o' + f.Fabric.sizes.(j')
+            && o' < o + f.Fabric.sizes.(j)
+          then set (Printf.sprintf "tasks %d and %d overlap at step %d" j j' i)
+        done
+      done
+    done;
+    match !bad with Some msg -> Error msg | None -> Ok ()
+  end
+
+let moves (f : Fabric.t) (p : t) =
+  let m = Fabric.m f in
+  let n = if m = 0 then 0 else Array.length p.(0) in
+  let acc = ref [] in
+  for i = n - 1 downto 1 do
+    for j = m - 1 downto 0 do
+      if Fabric.active f j i && Fabric.active f j (i - 1) && p.(j).(i) <> p.(j).(i - 1)
+      then acc := (j, i) :: !acc
+    done
+  done;
+  !acc
+
+let relocations f p = List.length (moves f p)
+
+let cost f ~v bp p =
+  List.fold_left
+    (fun total (j, i) ->
+      total + f.Fabric.reloc.(j) + (if Breakpoints.is_break bp j i then 0 else v.(j)))
+    0 (moves f p)
+
+let of_static (f : Fabric.t) ~n offs =
+  Array.init (Fabric.m f) (fun j ->
+      Array.init n (fun i -> if Fabric.active f j i then offs.(j) else -1))
+
+(* "0:1@0-2;1:0@1-1,2@2-3" — task-major, one run per constant-offset
+   stretch of resident steps. *)
+let to_string (p : t) =
+  let task j row =
+    let n = Array.length row in
+    let runs = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      if row.(!i) < 0 then incr i
+      else begin
+        let lo = !i and o = row.(!i) in
+        while !i < n && row.(!i) = o do
+          incr i
+        done;
+        runs := Printf.sprintf "%d@%d-%d" o lo (!i - 1) :: !runs
+      end
+    done;
+    Printf.sprintf "%d:%s" j
+      (if !runs = [] then "-" else String.concat "," (List.rev !runs))
+  in
+  String.concat ";" (Array.to_list (Array.mapi task p))
+
+let of_string ~m ~n s =
+  let err fmt = Printf.ksprintf Result.error fmt in
+  let p = Array.init m (fun _ -> Array.make n (-1)) in
+  let tasks = String.split_on_char ';' s in
+  if List.length tasks <> m then err "expected %d task entries" m
+  else
+    let parse_run j run =
+      match String.index_opt run '@' with
+      | None -> err "task %d: malformed run %S" j run
+      | Some at -> (
+          let o = String.sub run 0 at in
+          let span = String.sub run (at + 1) (String.length run - at - 1) in
+          match String.index_opt span '-' with
+          | None -> err "task %d: malformed span %S" j span
+          | Some dash -> (
+              let lo = String.sub span 0 dash in
+              let hi = String.sub span (dash + 1) (String.length span - dash - 1) in
+              match
+                (int_of_string_opt o, int_of_string_opt lo, int_of_string_opt hi)
+              with
+              | Some o, Some lo, Some hi when 0 <= lo && lo <= hi && hi < n ->
+                  for i = lo to hi do
+                    p.(j).(i) <- o
+                  done;
+                  Ok ()
+              | _ -> err "task %d: bad run %S" j run))
+    in
+    let parse_task entry =
+      match String.index_opt entry ':' with
+      | None -> err "malformed task entry %S" entry
+      | Some colon -> (
+          let body = String.sub entry (colon + 1) (String.length entry - colon - 1) in
+          match int_of_string_opt (String.sub entry 0 colon) with
+          | Some j when 0 <= j && j < m ->
+              if body = "-" then Ok ()
+              else
+                List.fold_left
+                  (fun acc run -> Result.bind acc (fun () -> parse_run j run))
+                  (Ok ())
+                  (String.split_on_char ',' body)
+          | _ -> err "bad task index in %S" entry)
+    in
+    Result.map
+      (fun () -> p)
+      (List.fold_left
+         (fun acc entry -> Result.bind acc (fun () -> parse_task entry))
+         (Ok ()) tasks)

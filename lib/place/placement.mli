@@ -1,0 +1,45 @@
+(** Placement schedules: where every task sits at every step.
+
+    A schedule is an m×n offset matrix: [offsets.(j).(i)] is the
+    leftmost slot of task [j]'s region at step [i], or [-1] when the
+    task is not resident there.  A {e move} of task [j] at step
+    [i >= 1] is an offset change between two consecutive resident
+    steps; it costs [reloc_j] plus the changeover surcharge [v_j]
+    {e unless} the breakpoint matrix hyperreconfigures task [j] at
+    step [i] (a relocated region is reloaded anyway, so a planned
+    partial hyperreconfiguration absorbs the surcharge).  A task's
+    first placement — at its arrival step — is free, which is how
+    freed regions are reassigned at no cost beyond the mover's own
+    relocation. *)
+
+type t = int array array
+
+(** [check fabric ~n p] validates a schedule: m×n shape, an offset
+    exactly on the resident steps, each within [0 .. width - size],
+    and no two resident regions overlapping at any step. *)
+val check : Fabric.t -> n:int -> t -> (unit, string) result
+
+(** [moves fabric p] lists the [(task, step)] moves, step-major then
+    task-major (ascending). *)
+val moves : Fabric.t -> t -> (int * int) list
+
+(** [relocations fabric p] = number of moves. *)
+val relocations : Fabric.t -> t -> int
+
+(** [cost fabric ~v bp p] is the total relocation cost of the schedule
+    under breakpoint matrix [bp]:
+    [sum over moves (j, i) of reloc_j + (if bp(j,i) then 0 else v_j)]. *)
+val cost : Fabric.t -> v:int array -> Hr_core.Breakpoints.t -> t -> int
+
+(** [of_static fabric ~n offs] expands fixed per-task offsets into a
+    schedule (resident steps only). *)
+val of_static : Fabric.t -> n:int -> int array -> t
+
+(** [to_string p] is a compact stable rendering, task-major runs:
+    ["0:1@0-2;1:0@1-1,2@2-3"] means task 0 at offset 1 for steps 0–2,
+    task 1 at offset 0 for step 1 then offset 2 for steps 2–3.  A task
+    resident nowhere renders as ["j:-"].  [of_string ~m ~n] inverts
+    it. *)
+val to_string : t -> string
+
+val of_string : m:int -> n:int -> string -> (t, string) result

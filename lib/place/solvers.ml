@@ -1,0 +1,366 @@
+open Hr_core
+module Budget = Hr_util.Budget
+
+let fabric_exn p =
+  match Joint.fabric_of p with
+  | Some f -> f
+  | None -> invalid_arg "Hr_place.Solvers: problem carries no fabric"
+
+let placed p = Joint.fabric_of p <> None && Problem.n p >= 1
+
+(* ------------------------------------------------------------------ *)
+(* place-shelf                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shelf_schedule f ~n =
+  let m = Fabric.m f in
+  let sched = Array.init m (fun _ -> Array.make n (-1)) in
+  let prev = Array.make m (-1) in
+  for i = 0 to n - 1 do
+    let tasks = Fabric.tasks_at f i in
+    let fits placed j o =
+      o + f.Fabric.sizes.(j) <= f.Fabric.width
+      && List.for_all
+           (fun (j', o') ->
+             o + f.Fabric.sizes.(j) <= o' || o' + f.Fabric.sizes.(j') <= o)
+           placed
+    in
+    let first_fit placed j =
+      let rec go o =
+        if o + f.Fabric.sizes.(j) > f.Fabric.width then None
+        else if fits placed j o then Some o
+        else go (o + 1)
+      in
+      go 0
+    in
+    let keep_or_fit =
+      let placed = ref [] in
+      Array.for_all
+        (fun j ->
+          let cand =
+            if prev.(j) >= 0 && fits !placed j prev.(j) then Some prev.(j)
+            else first_fit !placed j
+          in
+          match cand with
+          | Some o ->
+              placed := (j, o) :: !placed;
+              sched.(j).(i) <- o;
+              true
+          | None -> false)
+        tasks
+    in
+    if not keep_or_fit then begin
+      (* Fragmentation blocked first-fit: left-pack the whole step from
+         scratch.  Per-step fit (Fabric.check) guarantees this works. *)
+      let off = ref 0 in
+      Array.iter
+        (fun j ->
+          sched.(j).(i) <- !off;
+          off := !off + f.Fabric.sizes.(j))
+        tasks
+    end;
+    Array.iter (fun j -> prev.(j) <- sched.(j).(i)) tasks
+  done;
+  sched
+
+(* The inner base-PHC backend: first registered solver in preference
+   order that handles the fabric-stripped problem.  Exact backends
+   first (each gated by its own capability predicate), then the cheap
+   heuristics. *)
+let inner_preference =
+  [
+    "st-dp";
+    "mt-dp";
+    "async-opt";
+    "online-dp";
+    "all-task";
+    "brute";
+    "greedy";
+    "mode-climb";
+    "hill-climb";
+  ]
+
+let place_shelf =
+  Solver.make ~name:"place-shelf" ~kind:Solver.Heuristic
+    ~doc:"greedy shelf placement, then one base-PHC solve of the plan"
+    ~handles:placed
+    (fun ~budget ~rng p ->
+      let f = fabric_exn p in
+      let n = Problem.n p in
+      let v = p.Problem.oracle.Interval_cost.v in
+      let static = Fabric.static_first_fit f in
+      let placement =
+        match static with
+        | Some offs -> Placement.of_static f ~n offs
+        | None -> shelf_schedule f ~n
+      in
+      let base = Problem.without_ext p in
+      let inner =
+        List.find_map
+          (fun name ->
+            match Solver_registry.find name with
+            | Some s when s.Solver.handles base -> Some s
+            | _ -> None)
+          inner_preference
+      in
+      let inner_name, sol =
+        match inner with
+        | Some s -> (s.Solver.name, Some (Solver.solve ~rng ~budget s base))
+        | None -> ("none", None)
+      in
+      let bp =
+        match sol with
+        | Some s -> s.Solution.bp
+        | None -> Breakpoints.create ~m:(Problem.m p) ~n
+      in
+      (* A static placement never relocates, so the extension term is 0
+         for every matrix and the base optimum is the joint optimum:
+         exactness of the inner solve carries over. *)
+      let exact =
+        Option.is_some static
+        && (match sol with Some s -> s.Solution.exact | None -> false)
+      in
+      let cut_off =
+        match sol with Some s -> s.Solution.cut_off | None -> false
+      in
+      Solution.make ~solver:"place-shelf" ~exact ~cut_off
+        ~stats:
+          [
+            ("inner", inner_name);
+            ("static", string_of_bool (Option.is_some static));
+            ("placement", Placement.to_string placement);
+            ( "relocations",
+              string_of_int (Placement.relocations f placement) );
+            ( "placement_cost",
+              string_of_int (Placement.cost f ~v bp placement) );
+          ]
+        ~cost:(Problem.eval p bp) bp)
+
+(* ------------------------------------------------------------------ *)
+(* place-dp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let place_dp =
+  Solver.make ~name:"place-dp" ~kind:Solver.Exact
+    ~doc:"exact joint optimum: matrix enumeration priced by the strip DP"
+    ~handles:(fun p -> placed p && Brute.feasible ~max_bits:16 p)
+    (fun ~budget ~rng:_ p ->
+      let f = fabric_exn p in
+      let m = Problem.m p and n = Problem.n p in
+      let all_task = p.Problem.machine_class = Problem.All_task in
+      let free = Brute.bits p in
+      let best_cost = ref max_int in
+      let best_bp = ref (Breakpoints.create ~m ~n) in
+      let pruned = ref 0 in
+      let evaluated = ref 0 in
+      let cut = ref false in
+      (* Identical mask order, strict-improvement rule and base-cost
+         prune as Place_brute.solve (and Brute.solve on the joint
+         objective): the winning (cost, matrix) is bit-identical. *)
+      (try
+         for mask = 0 to (1 lsl free) - 1 do
+           if mask land 255 = 0 && mask > 0 && Budget.exhausted budget
+           then begin
+             cut := true;
+             raise Exit
+           end;
+           let raw =
+             if all_task then
+               let row =
+                 Array.init n (fun i ->
+                     i = 0 || mask land (1 lsl (i - 1)) <> 0)
+               in
+               Array.init m (fun _ -> Array.copy row)
+             else
+               Array.init m (fun j ->
+                   Array.init n (fun i ->
+                       i = 0
+                       || mask land (1 lsl ((j * (n - 1)) + i - 1)) <> 0))
+           in
+           let bp = Breakpoints.of_matrix raw in
+           let base = Problem.eval_base p bp in
+           if base >= !best_cost then incr pruned
+           else begin
+             incr evaluated;
+             let joint = base + Joint.min_reloc p bp in
+             if joint < !best_cost then begin
+               best_cost := joint;
+               best_bp := bp
+             end
+           end
+         done
+       with Exit -> ());
+      let placement = Option.get (Joint.plan p !best_bp) in
+      Solution.make ~solver:"place-dp" ~exact:(not !cut) ~cut_off:!cut
+        ~stats:
+          [
+            ("masks", string_of_int (1 lsl free));
+            ("evaluated", string_of_int !evaluated);
+            ("pruned", string_of_int !pruned);
+            ("placement", Placement.to_string placement);
+            ( "relocations",
+              string_of_int (Placement.relocations f placement) );
+          ]
+        ~cost:!best_cost !best_bp)
+
+(* ------------------------------------------------------------------ *)
+(* place-local                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type local_outcome = {
+  cost : int;
+  bp : Breakpoints.t;
+  placement : Placement.t;
+  evaluations : int;
+  rounds : int;
+  cut_off : bool;
+}
+
+let local_search ?init ~budget p =
+  let f = fabric_exn p in
+  let m = Problem.m p and n = Problem.n p in
+  let v = p.Problem.oracle.Interval_cost.v in
+  let dp = Strip_dp.build f ~v ~n in
+  let all_task = p.Problem.machine_class = Problem.All_task in
+  let evals = ref 0 in
+  let cut = ref false in
+  let poll () =
+    if (not !cut) && !evals land 31 = 0 && Budget.exhausted budget then
+      cut := true;
+    !cut
+  in
+  let joint bp pl =
+    incr evals;
+    Problem.eval_base p bp + Placement.cost f ~v bp pl
+  in
+  let bp, pl =
+    match init with
+    | Some (b, q) -> (ref b, ref q)
+    | None ->
+        let b = Breakpoints.create ~m ~n in
+        (ref b, ref (Strip_dp.plan dp b))
+  in
+  let cur = ref (joint !bp !pl) in
+  let try_bp b =
+    let c = joint b !pl in
+    if c < !cur then begin
+      bp := b;
+      cur := c;
+      true
+    end
+    else false
+  in
+  let try_pl q =
+    match Placement.check f ~n q with
+    | Error _ -> false
+    | Ok () ->
+        let c = joint !bp q in
+        if c < !cur then begin
+          pl := q;
+          cur := c;
+          true
+        end
+        else false
+  in
+  let copy_pl () = Array.map Array.copy !pl in
+  let set_range q j lo hi o =
+    for i = lo to hi do
+      q.(j).(i) <- o
+    done
+  in
+  let flip_column i =
+    let b = not (Breakpoints.is_break !bp 0 i) in
+    let rec go j acc =
+      if j >= m then acc else go (j + 1) (Breakpoints.set acc j i b)
+    in
+    go 0 !bp
+  in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && (not (poll ())) && !rounds < 200 do
+    incr rounds;
+    improved := false;
+    (* Re-canonicalize the schedule against the current matrix: the
+       strip DP's plan is optimal for it by construction. *)
+    if try_pl (Strip_dp.plan dp !bp) then improved := true;
+    (* Matrix moves: bit flips (whole columns for the all-task class,
+       keeping the matrix admissible). *)
+    for i = 1 to n - 1 do
+      if not (poll ()) then
+        if all_task then begin
+          if try_bp (flip_column i) then improved := true
+        end
+        else
+          for j = 0 to m - 1 do
+            if not (poll ()) then
+              if
+                try_bp
+                  (Breakpoints.set !bp j i
+                     (not (Breakpoints.is_break !bp j i)))
+              then improved := true
+          done
+    done;
+    (* Placement moves: relocate one task for its whole window, or from
+       some step onward (a suffix split pays one move to dodge later
+       conflicts). *)
+    for j = 0 to m - 1 do
+      let a, d = f.Fabric.windows.(j) in
+      let top = f.Fabric.width - f.Fabric.sizes.(j) in
+      for o = 0 to top do
+        if not (poll ()) then begin
+          if o <> !pl.(j).(a) then begin
+            let q = copy_pl () in
+            set_range q j a d o;
+            if try_pl q then improved := true
+          end;
+          for s = a + 1 to d do
+            if (not (poll ())) && o <> !pl.(j).(s) then begin
+              let q = copy_pl () in
+              set_range q j s d o;
+              if try_pl q then improved := true
+            end
+          done
+        end
+      done
+    done
+  done;
+  (* Always hand back the canonical optimal schedule of the final
+     matrix, so cost = Problem.eval p bp exactly. *)
+  pl := Strip_dp.plan dp !bp;
+  cur := Problem.eval_base p !bp + Placement.cost f ~v !bp !pl;
+  {
+    cost = !cur;
+    bp = !bp;
+    placement = !pl;
+    evaluations = !evals;
+    rounds = !rounds;
+    cut_off = !cut;
+  }
+
+let place_local =
+  Solver.make ~name:"place-local" ~kind:Solver.Heuristic
+    ~doc:"first-improvement descent over joint (matrix, schedule) moves"
+    ~handles:placed
+    (fun ~budget ~rng:_ p ->
+      let f = fabric_exn p in
+      let o = local_search ~budget p in
+      Solution.make ~solver:"place-local" ~cut_off:o.cut_off
+        ~stats:
+          [
+            ("evaluations", string_of_int o.evaluations);
+            ("rounds", string_of_int o.rounds);
+            ("placement", Placement.to_string o.placement);
+            ("relocations", string_of_int (Placement.relocations f o.placement));
+          ]
+        ~cost:o.cost o.bp)
+
+(* ------------------------------------------------------------------ *)
+
+let ensure =
+  let registered =
+    lazy
+      (List.iter
+         (fun s -> Solver_registry.register ~override:true s)
+         [ place_shelf; place_dp; place_local ])
+  in
+  fun () -> Lazy.force registered

@@ -1,0 +1,64 @@
+(** The placement-aware solver backends.
+
+    Three {!Hr_core.Solver.t} values registered (via {!ensure}) in the
+    global {!Hr_core.Solver_registry}, all gated on an attached fabric
+    ({!Joint.fabric_of}) — they refuse plain instances exactly as the
+    base backends refuse extended ones:
+
+    - [place-shelf] (heuristic): greedy shelf placement — one static
+      first-fit offset per task when that exists, else per-step
+      keep-or-first-fit repacking — then one base-PHC solve of the
+      plan.  When the placement is static and the inner backend is
+      exact, the result is exact for the joint objective too
+      (a relocation-free schedule makes the extension term vanish for
+      every matrix).
+    - [place-dp] (exact): enumerates the class-admissible matrices in
+      {!Hr_core.Brute}'s mask order, pricing each with the exact strip
+      DP, keeping strict improvements — bit-identical to
+      {!Place_brute} (and to {!Hr_core.Brute} on the joint objective)
+      by construction.  Applies up to 2^16 matrices; budget-polled,
+      returning its best-so-far plan (marked cut off) on expiry.
+    - [place-local] (heuristic): first-improvement descent over the
+      joint neighbourhood — matrix bit/column flips, whole-window and
+      suffix relocations of one task, and re-canonicalization of the
+      schedule against the current matrix.  Budget-polled and
+      warm-startable through {!local_search}. *)
+
+open Hr_core
+
+val place_shelf : Solver.t
+val place_dp : Solver.t
+val place_local : Solver.t
+
+(** [shelf_schedule fabric ~n] is the greedy shelf schedule: every
+    task keeps its previous offset when still free, else moves to the
+    lowest free offset; a step where fragmentation blocks first-fit is
+    left-packed from scratch.  Always succeeds on a fabric passing
+    {!Fabric.check}. *)
+val shelf_schedule : Fabric.t -> n:int -> Placement.t
+
+type local_outcome = {
+  cost : int;  (** joint cost of [(bp, placement)] *)
+  bp : Breakpoints.t;
+  placement : Placement.t;  (** canonical optimal schedule of [bp] *)
+  evaluations : int;
+  rounds : int;
+  cut_off : bool;
+}
+
+(** [local_search ?init ~budget p] — the [place-local] engine.  [init]
+    warm-starts from a previous joint solution (the matrix must be
+    admissible for [p]'s machine class); by default the search starts
+    from the hyperreconfigure-once matrix and its canonical
+    schedule. *)
+val local_search :
+  ?init:Breakpoints.t * Placement.t ->
+  budget:Hr_util.Budget.t ->
+  Problem.t ->
+  local_outcome
+
+(** Idempotently register the three backends.  Library linking does
+    not run module initializers of otherwise-unreferenced modules, so
+    every entry point that wants placement solvers in the registry
+    calls this explicitly. *)
+val ensure : unit -> unit

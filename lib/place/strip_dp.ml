@@ -1,0 +1,119 @@
+open Hr_core
+
+type trans = { relsum : int; movers : int array }
+
+type t = {
+  fabric : Fabric.t;
+  v : int array;
+  n : int;
+  steps : int array array array;  (* steps.(i) = lex-ordered offset vectors *)
+  tasks : int array array;  (* tasks.(i) = resident tasks of step i *)
+  trans : trans array array array;  (* trans.(i).(a).(b), defined for i >= 1 *)
+  transitions : int;
+}
+
+let build fabric ~v ~n =
+  if Array.length v <> Fabric.m fabric then
+    invalid_arg "Strip_dp.build: v arity differs from the fabric";
+  Fabric.validate ~n fabric;
+  let steps = Array.init n (fun i -> Fabric.vectors fabric i) in
+  let tasks = Array.init n (fun i -> Fabric.tasks_at fabric i) in
+  let transitions = ref 0 in
+  let trans =
+    Array.init n (fun i ->
+        if i = 0 then [||]
+        else begin
+          (* Tasks resident at both steps, with their positions in each
+             step's vector. *)
+          let common = ref [] in
+          Array.iteri
+            (fun qa j ->
+              match Array.find_index (fun j' -> j' = j) tasks.(i) with
+              | Some qb -> common := (j, qa, qb) :: !common
+              | None -> ())
+            tasks.(i - 1);
+          let common = !common in
+          Array.map
+            (fun va ->
+              Array.map
+                (fun vb ->
+                  incr transitions;
+                  let movers = ref [] and relsum = ref 0 in
+                  List.iter
+                    (fun (j, qa, qb) ->
+                      if va.(qa) <> vb.(qb) then begin
+                        movers := j :: !movers;
+                        relsum := !relsum + fabric.Fabric.reloc.(j)
+                      end)
+                    common;
+                  { relsum = !relsum; movers = Array.of_list !movers })
+                steps.(i))
+            steps.(i - 1)
+        end)
+  in
+  { fabric; v; n; steps; tasks; trans; transitions = !transitions }
+
+let transitions t = t.transitions
+
+(* The changeover surcharge of one transition: v_j for every mover the
+   matrix does not hyperreconfigure at this step. *)
+let surcharge t bp i (tr : trans) =
+  Array.fold_left
+    (fun acc j -> if Breakpoints.is_break bp j i then acc else acc + t.v.(j))
+    0 tr.movers
+
+(* Backward sweep: togo.(i).(a) = cheapest relocation cost of steps
+   i..n-1 starting from vector a at step i. *)
+let cost_to_go t bp =
+  let togo = Array.make t.n [||] in
+  togo.(t.n - 1) <- Array.make (Array.length t.steps.(t.n - 1)) 0;
+  for i = t.n - 1 downto 1 do
+    let prev = Array.make (Array.length t.steps.(i - 1)) max_int in
+    Array.iteri
+      (fun a row ->
+        let best = ref max_int in
+        Array.iteri
+          (fun b tr ->
+            let c = tr.relsum + surcharge t bp i tr + togo.(i).(b) in
+            if c < !best then best := c)
+          row;
+        prev.(a) <- !best)
+      t.trans.(i);
+    togo.(i - 1) <- prev
+  done;
+  togo
+
+let min_cost t bp =
+  let togo = cost_to_go t bp in
+  Array.fold_left min max_int togo.(0)
+
+(* Lex-smallest optimal schedule: vectors are stored in lex order, so
+   taking the first consistent choice at every step yields the
+   lexicographically smallest minimizer — the same schedule
+   Place_brute's in-order strict-improvement enumeration keeps. *)
+let plan t bp =
+  let togo = cost_to_go t bp in
+  let m = Fabric.m t.fabric in
+  let p = Array.init m (fun _ -> Array.make t.n (-1)) in
+  let place i a =
+    Array.iteri (fun q j -> p.(j).(i) <- t.steps.(i).(a).(q)) t.tasks.(i)
+  in
+  let first pred arr =
+    let rec go k = if pred arr.(k) k then k else go (k + 1) in
+    go 0
+  in
+  let total = Array.fold_left min max_int togo.(0) in
+  let a = ref (first (fun c _ -> c = total) togo.(0)) in
+  place 0 !a;
+  for i = 1 to t.n - 1 do
+    let want = togo.(i - 1).(!a) in
+    let row = t.trans.(i).(!a) in
+    let b =
+      first
+        (fun tr b -> tr.relsum + surcharge t bp i tr + togo.(i).(b) = want)
+        row
+    in
+    a := b;
+    place i !a
+  done;
+  p

@@ -1,0 +1,38 @@
+(** The placement strip DP: exact minimum relocation cost of a
+    breakpoint matrix, and its canonical optimal schedule.
+
+    For a fixed matrix [bp] the placement subproblem decomposes per
+    step: a state is one feasible offset vector ({!Fabric.vectors}),
+    and the transition from step [i-1] to step [i] charges every task
+    whose offset changes [reloc_j + (bp(j,i) ? 0 : v_j)].  A backward
+    sweep over the (cap-bounded) state space gives the exact minimum;
+    because the joint objective of an extended problem is
+    [base cost + this minimum], {!Hr_core.Problem.eval} stays a total
+    function of the matrix and every generic consumer — solver
+    re-stamping, {!Hr_core.Brute}, the conformance runner — prices
+    placement correctly with no code changes.
+
+    [plan] recovers the {e canonical} optimal schedule: the
+    lexicographically smallest one under {!Fabric.vectors} order
+    (greedy forward choice against the backward cost-to-go table).
+    {!Place_brute} enumerates schedules in the same order with
+    strict-improvement selection, so both sides land on the identical
+    schedule — the bit-identity the conformance column checks. *)
+
+type t
+
+(** [build fabric ~v ~n] precomputes the per-step state spaces and
+    transition tables ([v] is the oracle's per-task partial
+    hyperreconfiguration cost vector).  The fabric must already
+    satisfy {!Fabric.check} for [n]. *)
+val build : Fabric.t -> v:int array -> n:int -> t
+
+(** Static transition count of one evaluation sweep (telemetry). *)
+val transitions : t -> int
+
+(** [min_cost t bp] — exact minimum relocation cost under [bp]. *)
+val min_cost : t -> Hr_core.Breakpoints.t -> int
+
+(** [plan t bp] — the canonical (lex-smallest) optimal schedule;
+    [Placement.cost] of it equals [min_cost t bp]. *)
+val plan : t -> Hr_core.Breakpoints.t -> Placement.t

@@ -124,6 +124,7 @@ let three_task_case () =
     params = Sync_cost.default_params;
     mode = Mixed_sync.Fully_synchronized;
     machine_class = Problem.Partial;
+    place = None;
   }
 
 let test_candidates_are_valid () =
@@ -268,6 +269,7 @@ let planted_case =
     params = Sync_cost.default_params;
     mode = Mixed_sync.Fully_synchronized;
     machine_class = Problem.Partial;
+    place = None;
   }
 
 let test_planted_case_optimum_is_last_mask () =

@@ -1,0 +1,522 @@
+(* The placement-aware family (lib/place): hand-traced evaluator pins,
+   schedule-validity properties, the place-dp vs Place_brute
+   differential with greedy shrinking, never-below-brute and budget
+   cut-off safety for the heuristics, and byte-pinned golden plans. *)
+
+open Hr_core
+module Fabric = Hr_place.Fabric
+module Placement = Hr_place.Placement
+module Strip_dp = Hr_place.Strip_dp
+module Joint = Hr_place.Joint
+module Place_brute = Hr_place.Place_brute
+module Psolvers = Hr_place.Solvers
+module Case = Hr_check.Case
+module Gen = Hr_check.Gen
+module Shrink = Hr_check.Shrink
+module Rng = Hr_util.Rng
+module Budget = Hr_util.Budget
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic instances.                                            *)
+
+(* A tiny m-task oracle over 2-switch traces with chosen v_j; the base
+   cost model is irrelevant to the placement pins, only the v vector
+   and the dimensions matter. *)
+let tiny_problem ?machine_class ~vs ~n () =
+  let s = Switch_space.make 2 in
+  let task j v =
+    Task_set.task
+      ~name:(Printf.sprintf "T%d" j)
+      ~v
+      (Trace.of_lists s (List.init n (fun i -> [ (i + j) mod 2 ])))
+  in
+  Problem.of_task_set ?machine_class
+    (Task_set.make (Array.of_list (List.mapi task vs)))
+
+(* Two full-window tasks filling a width-3 strip: sizes 1+2 = 3, so a
+   step has exactly two offset vectors and every hand computation below
+   is checkable on paper. *)
+let duo_fabric =
+  {
+    Fabric.width = 3;
+    sizes = [| 1; 2 |];
+    windows = [| (0, 2); (0, 2) |];
+    reloc = [| 4; 5 |];
+  }
+
+let duo_problem ?machine_class () =
+  Joint.attach (tiny_problem ?machine_class ~vs:[ 2; 3 ] ~n:3 ()) duo_fabric
+
+(* Region reuse: two size-2 tasks on a width-2 strip with disjoint
+   residency windows — both must occupy the whole strip, legally,
+   because the windows never overlap. *)
+let reuse_fabric =
+  {
+    Fabric.width = 2;
+    sizes = [| 2; 2 |];
+    windows = [| (0, 1); (2, 3) |];
+    reloc = [| 1; 1 |];
+  }
+
+let reuse_problem () =
+  Joint.attach (tiny_problem ~vs:[ 1; 2 ] ~n:4 ()) reuse_fabric
+
+(* Three tasks with staggered windows on a width-4 strip. *)
+let trio_fabric =
+  {
+    Fabric.width = 4;
+    sizes = [| 1; 2; 1 |];
+    windows = [| (0, 3); (0, 2); (1, 3) |];
+    reloc = [| 2; 1; 3 |];
+  }
+
+let trio_problem ?machine_class () =
+  Joint.attach (tiny_problem ?machine_class ~vs:[ 2; 1; 3 ] ~n:4 ()) trio_fabric
+
+(* ------------------------------------------------------------------ *)
+(* Fabric model.                                                       *)
+
+let test_fabric_check () =
+  check bool "duo fabric valid" true (Result.is_ok (Fabric.check ~n:3 duo_fabric));
+  check bool "trio fabric valid" true (Result.is_ok (Fabric.check ~n:4 trio_fabric));
+  (* Step overload: 2 + 2 > 3 on an overlapping step. *)
+  let overloaded = { duo_fabric with Fabric.sizes = [| 2; 2 |] } in
+  check bool "overloaded step rejected" true
+    (Result.is_error (Fabric.check ~n:3 overloaded));
+  (* Window beyond the horizon. *)
+  check bool "window past horizon rejected" true
+    (Result.is_error (Fabric.check ~n:2 duo_fabric));
+  (* Oversized task. *)
+  let wide = { duo_fabric with Fabric.sizes = [| 4; 2 |] } in
+  check bool "task wider than strip rejected" true
+    (Result.is_error (Fabric.check ~n:3 wide))
+
+let test_fabric_vectors_lex () =
+  (* Width 3, sizes 1 and 2: the only packings are task 0 at 0 with
+     task 1 at 1, or task 1 at 0 with task 0 at 2 — in that
+     lexicographic order. *)
+  let vs = Fabric.vectors duo_fabric 0 in
+  check int "two vectors" 2 (Array.length vs);
+  check bool "lex first is [0;1]" true (vs.(0) = [| 0; 1 |]);
+  check bool "lex second is [2;0]" true (vs.(1) = [| 2; 0 |]);
+  (* A step with no resident tasks has exactly the empty vector. *)
+  let late = { duo_fabric with Fabric.windows = [| (0, 0); (0, 0) |] } in
+  let empty = Fabric.vectors late 2 in
+  check int "vacant step has one vector" 1 (Array.length empty);
+  check int "and it is empty" 0 (Array.length empty.(0))
+
+let test_fabric_residency () =
+  check bool "task 2 absent at step 0" true (not (Fabric.active trio_fabric 2 0));
+  check bool "task 1 present at step 2" true (Fabric.active trio_fabric 1 2);
+  check bool "step 0 residents" true (Fabric.tasks_at trio_fabric 0 = [| 0; 1 |]);
+  check int "step 1 load" 4 (Fabric.load trio_fabric 1);
+  check int "step 3 load" 2 (Fabric.load trio_fabric 3)
+
+let test_static_first_fit () =
+  (match Fabric.static_first_fit duo_fabric with
+  | None -> Alcotest.fail "duo fabric has an obvious static fit"
+  | Some offs -> check bool "lowest offsets first" true (offs = [| 0; 1 |]));
+  (* Disjoint windows may share slots: both reuse tasks sit at 0. *)
+  match Fabric.static_first_fit reuse_fabric with
+  | None -> Alcotest.fail "reuse fabric has a static fit"
+  | Some offs -> check bool "windows share the strip" true (offs = [| 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* The placement evaluator, by hand.                                   *)
+
+(* Schedule that voluntarily swaps the two duo tasks at step 1:
+   task 0 goes 0 -> 2, task 1 goes 1 -> 0.  Under a matrix with no
+   break at step 1 each mover pays reloc_j + v_j; a planned
+   hyperreconfiguration at the move step absorbs the surcharge. *)
+let duo_swap () = [| [| 0; 2; 2 |]; [| 1; 0; 0 |] |]
+
+let test_cost_hand_trace () =
+  let v = [| 2; 3 |] in
+  let p = duo_swap () in
+  check bool "swap schedule is valid" true
+    (Result.is_ok (Placement.check duo_fabric ~n:3 p));
+  check bool "moves are (task, step) pairs at step 1" true
+    (Placement.moves duo_fabric p = [ (0, 1); (1, 1) ]);
+  check int "two relocations" 2 (Placement.relocations duo_fabric p);
+  let bp0 = Breakpoints.create ~m:2 ~n:3 in
+  (* No breaks at step 1: (4 + 2) + (5 + 3). *)
+  check int "surcharge paid by both movers" 14 (Placement.cost duo_fabric ~v bp0 p);
+  (* A full break column at step 1 absorbs both surcharges: 4 + 5. *)
+  let bp_col =
+    Breakpoints.set (Breakpoints.set bp0 0 1 true) 1 1 true
+  in
+  check int "break column absorbs surcharges" 9
+    (Placement.cost duo_fabric ~v bp_col p);
+  (* Breaking only task 0 absorbs only its surcharge: 4 + (5 + 3). *)
+  let bp_t0 = Breakpoints.set bp0 0 1 true in
+  check int "per-task absorption" 12 (Placement.cost duo_fabric ~v bp_t0 p);
+  (* The static schedule has no moves, hence no cost, under any bp. *)
+  let static = Placement.of_static duo_fabric ~n:3 [| 0; 1 |] in
+  check int "static schedule costs nothing" 0
+    (Placement.cost duo_fabric ~v bp_col static)
+
+let test_strip_dp_hand_trace () =
+  let dp = Strip_dp.build duo_fabric ~v:[| 2; 3 |] ~n:3 in
+  let bp0 = Breakpoints.create ~m:2 ~n:3 in
+  (* A static fit exists, so the optimum never moves. *)
+  check int "min cost is zero" 0 (Strip_dp.min_cost dp bp0);
+  let plan = Strip_dp.plan dp bp0 in
+  check string "canonical plan is the lex-smallest static one"
+    "0:0@0-2;1:1@0-2" (Placement.to_string plan);
+  check int "plan prices to min_cost" 0
+    (Placement.cost duo_fabric ~v:[| 2; 3 |] bp0 plan);
+  (* Region reuse: disjoint windows, arrival placement free. *)
+  let dp2 = Strip_dp.build reuse_fabric ~v:[| 1; 2 |] ~n:4 in
+  let bp0' = Breakpoints.create ~m:2 ~n:4 in
+  check int "reuse fabric relocates nothing" 0 (Strip_dp.min_cost dp2 bp0');
+  check string "both tasks occupy the freed strip" "0:0@0-1;1:0@2-3"
+    (Placement.to_string (Strip_dp.plan dp2 bp0'))
+
+let test_joint_objective () =
+  let p = duo_problem () in
+  let bp0 = Breakpoints.create ~m:2 ~n:3 in
+  check int "eval = eval_base + min_reloc"
+    (Problem.eval_base p bp0 + Joint.min_reloc p bp0)
+    (Problem.eval p bp0);
+  check int "min_reloc is zero on a statically placeable fabric" 0
+    (Joint.min_reloc p bp0);
+  (match Joint.plan p bp0 with
+  | None -> Alcotest.fail "extended problem must produce a plan"
+  | Some plan ->
+      check string "joint plan is the canonical schedule" "0:0@0-2;1:1@0-2"
+        (Placement.to_string plan));
+  (* The plain projection drops the extension entirely. *)
+  let plain = Problem.without_ext p in
+  check bool "without_ext is plain" true (Problem.plain plain);
+  check int "plain eval is the base objective" (Problem.eval_base p bp0)
+    (Problem.eval plain bp0);
+  check bool "attach refuses an invalid fabric" true
+    (match
+       Joint.attach
+         (tiny_problem ~vs:[ 2; 3 ] ~n:3 ())
+         { duo_fabric with Fabric.sizes = [| 2; 2 |] }
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_placement_round_trip () =
+  List.iter
+    (fun (fabric, n, p) ->
+      let s = Placement.to_string p in
+      match Placement.of_string ~m:(Fabric.m fabric) ~n s with
+      | Error e -> Alcotest.failf "round trip failed on %s: %s" s e
+      | Ok q -> check string "placement string round-trips" s (Placement.to_string q))
+    [
+      (duo_fabric, 3, duo_swap ());
+      (duo_fabric, 3, Placement.of_static duo_fabric ~n:3 [| 0; 1 |]);
+      (reuse_fabric, 4, Placement.of_static reuse_fabric ~n:4 [| 0; 0 |]);
+      (trio_fabric, 4, Psolvers.shelf_schedule trio_fabric ~n:4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedule validity properties on random fabrics.                     *)
+
+let placement_profile =
+  { Gen.default_profile with Gen.place_fraction = 1.; Gen.large_fraction = 0. }
+
+(* Draw placement cases until [want] survive the filter. *)
+let placement_cases ?(filter = fun _ _ -> true) ~seed want =
+  let rng = Rng.create seed in
+  let rec go acc found attempts =
+    if found = want then List.rev acc
+    else if attempts > 500 then
+      Alcotest.failf "only %d/%d placement cases after %d draws" found want
+        attempts
+    else
+      let case = Gen.case ~profile:placement_profile rng in
+      match case.Case.place with
+      | None -> go acc found (attempts + 1)
+      | Some _ ->
+          let problem = Case.problem case in
+          if filter case problem then
+            go ((case, problem) :: acc) (found + 1) (attempts + 1)
+          else go acc found (attempts + 1)
+  in
+  go [] 0 0
+
+let test_schedules_stay_on_fabric () =
+  List.iter
+    (fun ((case : Case.t), problem) ->
+      let fabric = Option.get case.Case.place in
+      let n = Case.n case in
+      (* The shelf schedule is always valid. *)
+      (match Placement.check fabric ~n (Psolvers.shelf_schedule fabric ~n) with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "shelf schedule invalid on %s: %s" (Case.summary case) e);
+      (* So is the canonical DP plan, for matrices of varied shape. *)
+      let bps =
+        [
+          Breakpoints.create ~m:(Case.m case) ~n;
+          Breakpoints.all ~m:(Case.m case) ~n;
+          Breakpoints.periodic ~m:(Case.m case) ~n 2;
+        ]
+      in
+      List.iter
+        (fun bp ->
+          if Problem.admissible problem bp then
+            match Joint.plan problem bp with
+            | None -> Alcotest.fail "placement case lost its extension"
+            | Some plan -> (
+                match Placement.check fabric ~n plan with
+                | Ok () -> ()
+                | Error e ->
+                    Alcotest.failf "DP plan invalid on %s: %s"
+                      (Case.summary case) e))
+        bps)
+    (placement_cases ~seed:1137 20)
+
+let test_plan_prices_to_min_reloc () =
+  List.iter
+    (fun ((case : Case.t), problem) ->
+      let fabric = Option.get case.Case.place in
+      let n = Case.n case in
+      let bp = Breakpoints.create ~m:(Case.m case) ~n in
+      (* The extension term the solvers see is exactly the DP minimum,
+         and the canonical plan is a valid witness of it. *)
+      check int
+        (Printf.sprintf "eval - eval_base = min_reloc on %s" (Case.summary case))
+        (Joint.min_reloc problem bp)
+        (Problem.eval problem bp - Problem.eval_base problem bp);
+      match Joint.plan problem bp with
+      | None -> Alcotest.fail "placement case lost its extension"
+      | Some plan ->
+          check bool "canonical plan valid" true
+            (Result.is_ok (Placement.check fabric ~n plan)))
+    (placement_cases ~seed:2291 20)
+
+(* ------------------------------------------------------------------ *)
+(* place-dp vs Place_brute: bit-identical on a tiny-fabric corpus.     *)
+
+let dp_matches_brute problem =
+  let opt, obp, osched = Place_brute.solve problem in
+  let sol = Solver.solve Psolvers.place_dp problem in
+  sol.Solution.cost = opt
+  && Breakpoints.equal sol.Solution.bp obp
+  && List.assoc_opt "placement" sol.Solution.stats
+     = Some (Placement.to_string osched)
+  && sol.Solution.exact
+
+let test_place_dp_differential () =
+  let feasible _case problem =
+    Psolvers.place_dp.Solver.handles problem && Place_brute.feasible problem
+  in
+  let cases = placement_cases ~filter:feasible ~seed:90210 30 in
+  List.iter
+    (fun ((case : Case.t), problem) ->
+      if not (dp_matches_brute problem) then begin
+        (* Shrink before reporting, exactly like the harness would. *)
+        let still_fails c =
+          match c.Case.place with
+          | None -> false
+          | Some _ -> (
+              match Case.problem c with
+              | exception _ -> false
+              | p ->
+                  Psolvers.place_dp.Solver.handles p
+                  && Place_brute.feasible p
+                  && not (dp_matches_brute p))
+        in
+        let shrunk = Shrink.shrink ~still_fails case in
+        Alcotest.failf "place-dp deviates from Place_brute on %s\nshrunk: %s"
+          (Case.summary case) (Case.to_string shrunk)
+      end)
+    cases;
+  check int "differential corpus size" 30 (List.length cases)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics: never below brute, and safe under a dead budget.        *)
+
+let solution_placement (case : Case.t) (sol : Solution.t) =
+  match List.assoc_opt "placement" sol.Solution.stats with
+  | None -> Alcotest.failf "%s reported no placement" sol.Solution.solver
+  | Some s -> (
+      match Placement.of_string ~m:(Case.m case) ~n:(Case.n case) s with
+      | Error e -> Alcotest.failf "unparseable placement from %s: %s" sol.Solution.solver e
+      | Ok p -> p)
+
+let test_heuristics_never_below_brute () =
+  let feasible _case problem = Place_brute.feasible problem in
+  List.iter
+    (fun ((case : Case.t), problem) ->
+      let opt, _, _ = Place_brute.solve problem in
+      List.iter
+        (fun solver ->
+          if solver.Solver.handles problem then begin
+            let sol = Solver.solve solver problem in
+            if sol.Solution.cost < opt then
+              Alcotest.failf "%s undercut the exhaustive optimum on %s (%d < %d)"
+                solver.Solver.name (Case.summary case) sol.Solution.cost opt;
+            if sol.Solution.exact && sol.Solution.cost <> opt then
+              Alcotest.failf "%s claims exactness at %d (optimum %d) on %s"
+                solver.Solver.name sol.Solution.cost opt (Case.summary case);
+            let fabric = Option.get case.Case.place in
+            let placement = solution_placement case sol in
+            (match Placement.check fabric ~n:(Case.n case) placement with
+            | Ok () -> ()
+            | Error e ->
+                Alcotest.failf "%s reported an invalid placement on %s: %s"
+                  solver.Solver.name (Case.summary case) e);
+            check bool
+              (Printf.sprintf "%s matrix admissible" solver.Solver.name)
+              true
+              (Problem.admissible problem sol.Solution.bp)
+          end)
+        [ Psolvers.place_shelf; Psolvers.place_dp; Psolvers.place_local ])
+    (placement_cases ~filter:feasible ~seed:4242 10)
+
+let test_budget_cut_off_safety () =
+  let dead = Budget.of_deadline_ms 0 in
+  let problem = trio_problem () in
+  let opt, _, _ = Place_brute.solve problem in
+  List.iter
+    (fun solver ->
+      let sol = Solver.solve ~budget:dead solver problem in
+      check bool
+        (Printf.sprintf "%s cut-off plan admissible" solver.Solver.name)
+        true
+        (Problem.admissible problem sol.Solution.bp);
+      check int
+        (Printf.sprintf "%s cut-off cost restamped by eval" solver.Solver.name)
+        (Problem.eval problem sol.Solution.bp)
+        sol.Solution.cost;
+      if sol.Solution.cost < opt then
+        Alcotest.failf "%s undercut the optimum under a dead budget"
+          solver.Solver.name;
+      if sol.Solution.cut_off && sol.Solution.exact then
+        Alcotest.failf "%s claims exactness despite a cut-off" solver.Solver.name)
+    [ Psolvers.place_shelf; Psolvers.place_dp; Psolvers.place_local ]
+
+let test_local_warm_start () =
+  let problem = trio_problem () in
+  let fabric = trio_fabric in
+  let bp0 = Breakpoints.create ~m:3 ~n:4 in
+  let shelf = Psolvers.shelf_schedule fabric ~n:4 in
+  let init_cost =
+    Problem.eval_base problem bp0 + Placement.cost fabric ~v:[| 2; 1; 3 |] bp0 shelf
+  in
+  let out =
+    Psolvers.local_search ~init:(bp0, shelf) ~budget:Budget.unlimited problem
+  in
+  check bool "warm start never worse than its seed" true (out.Psolvers.cost <= init_cost);
+  check int "warm-started cost agrees with eval"
+    (Problem.eval problem out.Psolvers.bp)
+    out.Psolvers.cost;
+  check bool "warm-started placement valid" true
+    (Result.is_ok (Placement.check fabric ~n:4 out.Psolvers.placement))
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+let test_registry_and_guards () =
+  Psolvers.ensure ();
+  List.iter
+    (fun name ->
+      match Solver_registry.find name with
+      | None -> Alcotest.failf "%s not registered" name
+      | Some _ -> ())
+    [ "place-shelf"; "place-dp"; "place-local" ];
+  (* Base solvers refuse extended problems; placement solvers refuse
+     plain ones. *)
+  let extended = duo_problem () in
+  let plain = Problem.without_ext extended in
+  List.iter
+    (fun solver ->
+      if Problem.plain extended then Alcotest.fail "duo problem lost its fabric";
+      check bool
+        (Printf.sprintf "%s refuses plain problems" solver.Solver.name)
+        false
+        (solver.Solver.handles plain))
+    [ Psolvers.place_shelf; Psolvers.place_dp; Psolvers.place_local ];
+  match Solver_registry.find "st-dp" with
+  | None -> ()
+  | Some st ->
+      check bool "base solver refuses the extended problem" false
+        (st.Solver.handles extended)
+
+(* ------------------------------------------------------------------ *)
+(* Golden plans.                                                       *)
+
+let golden_entries () =
+  Psolvers.ensure ();
+  let instances =
+    [
+      ("duo", duo_problem ());
+      ("reuse", reuse_problem ());
+      ("trio", trio_problem ());
+    ]
+  in
+  List.concat_map
+    (fun (name, problem) ->
+      List.filter_map
+        (fun solver ->
+          if not (solver.Solver.handles problem) then None
+          else
+            let sol = Solver.solve solver problem in
+            let placement =
+              Option.value ~default:"?"
+                (List.assoc_opt "placement" sol.Solution.stats)
+            in
+            Some
+              (Telemetry.Obj
+                 [
+                   ("instance", Telemetry.String name);
+                   ("solver", Telemetry.String sol.Solution.solver);
+                   ("cost", Telemetry.Int sol.Solution.cost);
+                   ("exact", Telemetry.Bool sol.Solution.exact);
+                   ("placement", Telemetry.String placement);
+                 ]))
+        [ Psolvers.place_shelf; Psolvers.place_dp; Psolvers.place_local ])
+    instances
+
+let test_golden_plans () =
+  let got = Telemetry.json_to_string (Telemetry.List (golden_entries ())) ^ "\n" in
+  let path = "golden/place_plans.json" in
+  let expected =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error _ -> "<missing golden>"
+  in
+  if got <> expected then begin
+    let dump = "/tmp/place_plans_got.json" in
+    let oc = open_out dump in
+    output_string oc got;
+    close_out oc;
+    Alcotest.failf "plans deviate from %s (new document dumped to %s)" path dump
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    Alcotest.test_case "fabric check" `Quick test_fabric_check;
+    Alcotest.test_case "fabric vectors lex order" `Quick test_fabric_vectors_lex;
+    Alcotest.test_case "fabric residency" `Quick test_fabric_residency;
+    Alcotest.test_case "static first fit" `Quick test_static_first_fit;
+    Alcotest.test_case "cost hand trace" `Quick test_cost_hand_trace;
+    Alcotest.test_case "strip DP hand trace" `Quick test_strip_dp_hand_trace;
+    Alcotest.test_case "joint objective" `Quick test_joint_objective;
+    Alcotest.test_case "placement round trip" `Quick test_placement_round_trip;
+    Alcotest.test_case "schedules stay on fabric" `Quick test_schedules_stay_on_fabric;
+    Alcotest.test_case "plan prices to min_reloc" `Quick test_plan_prices_to_min_reloc;
+    Alcotest.test_case "place-dp matches brute" `Quick test_place_dp_differential;
+    Alcotest.test_case "heuristics never below brute" `Quick
+      test_heuristics_never_below_brute;
+    Alcotest.test_case "budget cut-off safety" `Quick test_budget_cut_off_safety;
+    Alcotest.test_case "local warm start" `Quick test_local_warm_start;
+    Alcotest.test_case "registry and guards" `Quick test_registry_and_guards;
+    Alcotest.test_case "golden plans" `Quick test_golden_plans;
+  ]

@@ -33,4 +33,5 @@ let () =
       ("expr", Suite_expr.tests);
       ("robust", Suite_robust.tests);
       ("online", Suite_online.tests);
+      ("place", Suite_place.tests);
     ]
