@@ -345,6 +345,61 @@ let () =
   (try Sys.remove (Table_cache.file cache ~key) with Sys_error _ -> ());
   (try Unix.rmdir cache_dir with Unix.Unix_error _ -> ());
 
+  (* --- large-n sparse-oracle track ---------------------------------- *)
+  (* The point of the sparse rung: instances whose dense tables are
+     outright infeasible (m=4, n=50000 projects to m·n²·3 = 30 GB)
+     build in well under a second, hold linear memory, and solve end to
+     end.  Plus a paired small instance where both rungs are feasible,
+     checked for elementwise and whole-plan agreement. *)
+  let large_m = 4 and large_n = 50_000 in
+  let lts = W.Large_gen.task_set ~seed:(seed + 3) ~steps:large_n ~tasks:large_m () in
+  let sparse_oracle, sparse_build_ms =
+    time_best ~reps:1 (fun () ->
+        Interval_cost.of_task_set ~policy:Interval_cost.Sparse lts)
+  in
+  let dense_projected_bytes = large_m * large_n * large_n * 3 in
+  let greedy, greedy_ms =
+    time_best ~reps:1 (fun () -> Mt_greedy.best sparse_oracle)
+  in
+  (* Snapshot AFTER the solve so the query counter reflects it. *)
+  let sstats = Interval_cost.cache_stats sparse_oracle in
+  let dts = W.Large_gen.task_set ~seed:(seed + 3) ~steps:large_n ~tasks:1 () in
+  let dp_oracle = Interval_cost.of_task_set ~policy:Interval_cost.Sparse dts in
+  let dp_sol, dp_ms =
+    time_best ~reps:1 (fun () ->
+        Mt_dp.solve ~budget:(Budget.of_deadline_ms 2000) dp_oracle)
+  in
+  (* Paired rung-agreement instance: small enough that the dense tables
+     are cheap, large enough that disagreement would surface. *)
+  let pts = W.Large_gen.task_set ~seed:(seed + 4) ~steps:1200 ~tasks:3 () in
+  let dense_p = Interval_cost.of_task_set ~policy:Interval_cost.Dense pts in
+  let sparse_p = Interval_cost.of_task_set ~policy:Interval_cost.Sparse pts in
+  let rung_cells_equal =
+    let rng = Rng.create (seed + 5) in
+    let ok = ref true in
+    for _ = 1 to 20_000 do
+      let j = Rng.int rng 3 in
+      let lo = Rng.int rng 1200 in
+      let hi = lo + Rng.int rng (1200 - lo) in
+      if
+        dense_p.Interval_cost.step_cost j lo hi
+        <> sparse_p.Interval_cost.step_cost j lo hi
+      then ok := false
+    done;
+    !ok
+  in
+  let gd = Mt_greedy.best dense_p and gs = Mt_greedy.best sparse_p in
+  let rung_plans_equal =
+    gd.Mt_greedy.cost = gs.Mt_greedy.cost
+    && Breakpoints.equal gd.Mt_greedy.bp gs.Mt_greedy.bp
+  in
+  let large_ok =
+    sparse_build_ms < 1000.
+    && sstats.Interval_cost.bytes_resident < 100 * 1024 * 1024
+    && sstats.Interval_cost.queries > 0
+    && rung_cells_equal && rung_plans_equal
+  in
+
   let doc =
     Telemetry.Obj
       [
@@ -401,6 +456,28 @@ let () =
               ("stores", Telemetry.Int cstats.Table_cache.stores);
               ("warm_equal", Telemetry.Bool warm_equal);
             ] );
+        ( "large_n",
+          Telemetry.Obj
+            [
+              ("m", Telemetry.Int large_m);
+              ("n", Telemetry.Int large_n);
+              ("segments", Telemetry.Int sstats.Interval_cost.segments);
+              ("entries", Telemetry.Int sstats.Interval_cost.cells);
+              ("build_ms", Telemetry.Float sparse_build_ms);
+              ( "bytes_resident",
+                Telemetry.Int sstats.Interval_cost.bytes_resident );
+              ("dense_projected_bytes", Telemetry.Int dense_projected_bytes);
+              ("queries", Telemetry.Int sstats.Interval_cost.queries);
+              ("greedy_cost", Telemetry.Int greedy.Mt_greedy.cost);
+              ("greedy_name", Telemetry.String greedy.Mt_greedy.name);
+              ("greedy_ms", Telemetry.Float greedy_ms);
+              ("dp_cost", Telemetry.Int dp_sol.Mt_dp.cost);
+              ("dp_cut_off", Telemetry.Bool dp_sol.Mt_dp.cut_off);
+              ("dp_ms", Telemetry.Float dp_ms);
+              ("rung_cells_equal", Telemetry.Bool rung_cells_equal);
+              ("rung_plans_equal", Telemetry.Bool rung_plans_equal);
+              ("ok", Telemetry.Bool large_ok);
+            ] );
       ]
   in
   let oc = open_out out in
@@ -425,6 +502,25 @@ let () =
     warm_oracle_stats.Interval_cost.width_bits
     warm_oracle_stats.Interval_cost.bytes_resident cold_ms warm_ms
     (cold_ms /. warm_ms) cstats.Table_cache.hits cstats.Table_cache.stores;
+  Printf.printf
+    "large-n: m=%d n=%d | sparse build %.1f ms, %d segments, %d bytes (dense \
+     would need %d MB) | greedy %s cost %d in %.1f ms | mt-dp (m=1, 2 s \
+     budget) cost %d in %.1f ms%s | rungs agree: cells %b, plans %b\n"
+    large_m large_n sparse_build_ms sstats.Interval_cost.segments
+    sstats.Interval_cost.bytes_resident
+    (dense_projected_bytes / 1024 / 1024)
+    greedy.Mt_greedy.name greedy.Mt_greedy.cost greedy_ms dp_sol.Mt_dp.cost
+    dp_ms
+    (if dp_sol.Mt_dp.cut_off then " (cut off)" else "")
+    rung_cells_equal rung_plans_equal;
+  if not large_ok then begin
+    Printf.eprintf
+      "dp_bench: large-n sparse track failed (build %.1f ms, %d bytes, %d \
+       queries, cells_equal %b, plans_equal %b)\n"
+      sparse_build_ms sstats.Interval_cost.bytes_resident
+      sstats.Interval_cost.queries rung_cells_equal rung_plans_equal;
+    exit 1
+  end;
   if not warm_equal then begin
     Printf.eprintf "dp_bench: warm-loaded table deviates from the built table\n";
     exit 1

@@ -1,13 +1,17 @@
-(* CLI: compile boolean expressions to SHyRA programs.
+(* CLI: compile boolean expressions to SHyRA programs, and generate
+   large phase-structured benchmark traces.
 
-   Example:
+   Examples:
      dune exec bin/hrcompile.exe -- '(a ^ b) & !(c | d)' --stats
-     dune exec bin/hrcompile.exe -- 'a & b' --emit out.shyra *)
+     dune exec bin/hrcompile.exe -- 'a & b' --emit out.shyra
+     dune exec bin/hrcompile.exe -- --steps 50000 --tasks 4 \
+       --dump-trace big.trace *)
 
 open Cmdliner
 module Shyra = Hr_shyra
+module W = Hr_workload
 
-let run source stats emit trace_out =
+let compile source stats emit trace_out =
   match Shyra.Expr_parse.parse source with
   | Error e ->
       prerr_endline ("parse error: " ^ e);
@@ -53,8 +57,51 @@ let run source stats emit trace_out =
         emit;
       0
 
+(* The large-trace generator (docs/scaling.md): looped FSM/LFSR/Rule-90
+   bursts with long empty-requirement dwells, sized for the sparse
+   oracle track.  tasks = 1 writes FILE; tasks > 1 writes FILE.t0,
+   FILE.t1, ... (one Trace_io file per task). *)
+let generate steps tasks seed stats trace_out =
+  let steps = Hr_util.Cli.positive_exn ~what:"--steps" steps in
+  if tasks < 1 then failwith "--tasks must be >= 1";
+  let ts = W.Large_gen.task_set ~seed ~steps ~tasks () in
+  for j = 0 to tasks - 1 do
+    let trace = (Hr_core.Task_set.get ts j).Hr_core.Task_set.trace in
+    let nsegs = Array.length (Hr_core.Trace.segments trace) in
+    Printf.printf "task %d: %d steps, %d segments (%.1fx compression)\n" j steps
+      nsegs
+      (float_of_int steps /. float_of_int nsegs);
+    if stats then
+      Format.printf "  %a@." Hr_core.Trace_stats.pp
+        (Hr_core.Trace_stats.analyze trace)
+  done;
+  Option.iter
+    (fun path ->
+      if tasks = 1 then begin
+        Hr_core.Trace_io.save path (Hr_core.Task_set.get ts 0).Hr_core.Task_set.trace;
+        Printf.printf "trace written to %s\n" path
+      end
+      else
+        for j = 0 to tasks - 1 do
+          let p = Printf.sprintf "%s.t%d" path j in
+          Hr_core.Trace_io.save p (Hr_core.Task_set.get ts j).Hr_core.Task_set.trace;
+          Printf.printf "trace written to %s\n" p
+        done)
+    trace_out;
+  0
+
+let run source stats emit trace_out gen_steps gen_tasks gen_seed =
+  match (gen_steps, source) with
+  | Some steps, None -> generate steps gen_tasks gen_seed stats trace_out
+  | Some _, Some _ -> failwith "EXPR and --steps are mutually exclusive"
+  | None, Some source -> compile source stats emit trace_out
+  | None, None -> failwith "need an EXPR to compile, or --steps N to generate"
+
 let source =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Boolean expression.")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"EXPR" ~doc:"Boolean expression (omit with $(b,--steps)).")
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print trace statistics.")
 
@@ -62,10 +109,41 @@ let emit =
   Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FILE" ~doc:"Write a configuration listing.")
 
 let trace_out =
-  Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc:"Write the requirement trace.")
+  Arg.(value & opt (some string) None & info [ "dump-trace" ] ~docv:"FILE" ~doc:"Write the requirement trace(s).")
+
+let gen_steps =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "steps" ] ~docv:"N"
+        ~doc:
+          "Generator mode: instead of compiling an expression, generate a \
+           phase-structured $(docv)-step benchmark trace per task (looped \
+           FSM/LFSR/Rule-90 bursts separated by long dwells; deterministic in \
+           $(b,--gen-seed)).  Sized for the sparse oracle: 10⁴–10⁵ steps \
+           compress ~10x into run-length segments.")
+
+let gen_tasks =
+  Arg.(
+    value & opt int 1
+    & info [ "tasks" ] ~docv:"M"
+        ~doc:
+          "Generator mode: number of tasks.  1 writes $(b,--dump-trace) FILE; \
+           more write FILE.t0, FILE.t1, ...")
+
+let gen_seed =
+  Arg.(value & opt int 2004 & info [ "gen-seed" ] ~docv:"S" ~doc:"Generator seed.")
 
 let cmd =
-  let doc = "compile boolean expressions to SHyRA programs" in
-  Cmd.v (Cmd.info "hrcompile" ~doc) Term.(const run $ source $ stats $ emit $ trace_out)
+  let doc = "compile boolean expressions to SHyRA programs; generate benchmark traces" in
+  Cmd.v (Cmd.info "hrcompile" ~doc)
+    Term.(
+      const run $ source $ stats $ emit $ trace_out $ gen_steps $ gen_tasks
+      $ gen_seed)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "hrcompile: %s\n" msg;
+      exit 2

@@ -33,22 +33,23 @@ let mode_enum =
 let split_enum =
   [ ("single", Shyra.Tasks.single_task); ("four", Shyra.Tasks.four_tasks) ]
 
-let counter_oracle mode parts =
+let counter_oracle ?policy ?max_bytes mode parts =
   let run = Shyra.Counter.build ~init:0 ~bound:10 () in
   let trace = Shyra.Tracer.trace ~mode run.Shyra.Counter.program in
-  (Shyra.Tasks.oracle trace parts, Shyra.Tasks.split trace parts)
+  let ts = Shyra.Tasks.split trace parts in
+  (Interval_cost.of_task_set ?policy ?max_bytes ts, ts)
 
-let synthetic_oracle seed m n correlated =
+let synthetic_oracle ?policy ?max_bytes seed m n correlated =
   let sizes = Array.init m (fun j -> if j = m - 1 then 24 else 8) in
   let spec = { W.Multi_gen.default_spec with W.Multi_gen.m; n; local_sizes = sizes } in
   let gen = if correlated then W.Multi_gen.correlated else W.Multi_gen.independent in
   let ts = gen (Rng.create seed) spec in
-  (Interval_cost.of_task_set ts, ts)
+  (Interval_cost.of_task_set ?policy ?max_bytes ts, ts)
 
-let file_oracle path =
+let file_oracle ?policy ?max_bytes path =
   let trace = Trace_io.load path in
   let ts = Task_set.single ~name:"trace" trace in
-  (Interval_cost.of_task_set ts, ts)
+  (Interval_cost.of_task_set ?policy ?max_bytes ts, ts)
 
 (* Old method names from before the registry, kept as aliases. *)
 let alias = function
@@ -64,7 +65,8 @@ let list_registry () =
        (Solver_registry.all ()))
 
 let run workload mode split seed m n correlated method_ seed_opt deadline_ms
-    telemetry_file show_figures trace_file plan_file max_table_mb fabric_width =
+    telemetry_file show_figures trace_file plan_file max_table_mb oracle_policy
+    fabric_width =
   Hr_place.Solvers.ensure ();
   let method_ = alias method_ in
   (* Parsed as eagerly as the enums: a bad --max-table-mb fails under
@@ -73,6 +75,9 @@ let run workload mode split seed m n correlated method_ seed_opt deadline_ms
     Option.map
       (fun s -> Hr_util.Cli.positive_exn ~what:"--max-table-mb" s * 1024 * 1024)
       max_table_mb
+  in
+  let policy =
+    Hr_util.Cli.enum_exn ~what:"--oracle" Interval_cost.policy_enum oracle_policy
   in
   if method_ = "list" then begin
     list_registry ();
@@ -84,11 +89,11 @@ let run workload mode split seed m n correlated method_ seed_opt deadline_ms
     let parts = Hr_util.Cli.enum_exn ~what:"split" split_enum split in
     let oracle, ts =
       match workload with
-      | `Counter -> counter_oracle tracer_mode parts
-      | `Synthetic -> synthetic_oracle seed m n correlated
+      | `Counter -> counter_oracle ~policy ?max_bytes tracer_mode parts
+      | `Synthetic -> synthetic_oracle ~policy ?max_bytes seed m n correlated
       | `File -> (
           match trace_file with
-          | Some path -> file_oracle path
+          | Some path -> file_oracle ~policy ?max_bytes path
           | None -> failwith "workload 'file' needs --trace-file")
     in
     let problem = Problem.make ?max_bytes oracle in
@@ -300,9 +305,20 @@ let max_table_mb =
     & info [ "max-table-mb" ] ~docv:"MB"
         ~doc:
           "Dense oracle-table memory cap in MiB (a positive integer; default \
-           128).  Over-budget instances degrade to the memory-bounded \
-           memoizer; telemetry reports the chosen cache kind, element width \
-           and resident bytes.")
+           128).  Over-budget instances degrade down the oracle ladder \
+           (sparse index, then the memory-bounded memoizer); telemetry \
+           reports the chosen cache kind, element width and resident bytes.")
+
+let oracle_policy =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "oracle" ] ~docv:"POLICY"
+        ~doc:
+          "Oracle ladder rung: dense (always precompute the O(1) tables), \
+           sparse (always the occurrence index — linear memory, O(S log n) \
+           queries), or auto (dense while it fits the byte budget, sparse \
+           above it; the default).")
 
 let fabric_width =
   Arg.(
@@ -321,7 +337,7 @@ let cmd =
     Term.(
       const run $ workload $ mode $ split $ seed $ m $ n $ correlated $ method_
       $ seed_opt $ deadline_ms $ telemetry_file $ show_figures $ trace_file
-      $ plan_file $ max_table_mb $ fabric_width)
+      $ plan_file $ max_table_mb $ oracle_policy $ fabric_width)
 
 (* cmdliner spells single-char options "-m"/"-n"; accept the "--m"/
    "--n" spelling too (it cannot be a prefix of another option, but

@@ -4,7 +4,7 @@
            [--workers N] [--deadline-ms MS] [--solver NAME]...
            [--max-queue N] [--max-batch N] [--seed S] [--summary FILE]
            [--cache-dir DIR] [--max-table-mb MB] [--max-lru-mb MB]
-           [--no-prefetch] [--no-timing]
+           [--oracle dense|sparse|auto] [--no-prefetch] [--no-timing]
 
    Two front-ends over the same JSON-lines protocol (docs/serving.md):
 
@@ -74,7 +74,7 @@ let write_summary path json =
 (* stdio mode: batch loop over stdin/stdout.                           *)
 
 let run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
-    ~cache_dir ~max_table_bytes ~max_lru_bytes ~timing =
+    ~cache_dir ~max_table_bytes ~max_lru_bytes ~oracle ~timing =
   let pool = Hr_util.Pool.create ?workers () in
   (* Outlives every batch: later batches reuse earlier batches'
      precomputed problems, within the LRU byte budget. *)
@@ -119,7 +119,7 @@ let run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
     | line when String.trim line = "" -> serve pending npending k
     | line ->
         let pending =
-          Protocol.parse_line ?max_table_bytes ?cache_dir
+          Protocol.parse_line ?max_table_bytes ?cache_dir ~oracle
             ~fallback_id:(Printf.sprintf "#%d" k) line
           :: pending
         in
@@ -187,11 +187,12 @@ let run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
 (* Socket mode: long-lived concurrent server.                          *)
 
 let run_socket ~listen ~workers ~deadline_ms ~solvers ~max_queue ~max_batch
-    ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes ~prefetch
-    ~timing =
+    ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes ~oracle
+    ~prefetch ~timing =
   let cfg =
     Server.config ?workers ?deadline_ms ~max_queue ?max_batch ~seed ~solvers
-      ?max_lru_bytes ?max_table_bytes ?cache_dir ~prefetch ~timing listen
+      ?max_lru_bytes ?max_table_bytes ?cache_dir ~oracle ~prefetch ~timing
+      listen
   in
   Printf.eprintf "hrserve: listening on %s (max queue %d)\n%!"
     (Server.listen_to_string listen) max_queue;
@@ -219,17 +220,21 @@ let run_socket ~listen ~workers ~deadline_ms ~solvers ~max_queue ~max_batch
 (* ------------------------------------------------------------------ *)
 
 let run stdio listen workers deadline_ms solver_names max_queue max_batch seed
-    summary_file cache_dir max_table_mb max_lru_mb no_prefetch no_timing =
+    summary_file cache_dir max_table_mb max_lru_mb oracle_policy no_prefetch
+    no_timing =
   if max_queue < 1 then failwith "--max-queue must be >= 1";
   let mib what = Option.map (fun s -> Hr_util.Cli.positive_exn ~what s * 1024 * 1024) in
   let max_table_bytes = mib "--max-table-mb" max_table_mb in
   let max_lru_bytes = mib "--max-lru-mb" max_lru_mb in
+  let oracle =
+    Hr_util.Cli.enum_exn ~what:"--oracle" Interval_cost.policy_enum oracle_policy
+  in
   let solvers = solvers_of_names solver_names in
   let timing = not no_timing in
   match listen with
   | None ->
       run_stdio ~workers ~deadline_ms ~solvers ~max_queue ~seed ~summary_file
-        ~cache_dir ~max_table_bytes ~max_lru_bytes ~timing
+        ~cache_dir ~max_table_bytes ~max_lru_bytes ~oracle ~timing
   | Some addr ->
       if stdio then failwith "--stdio and --listen are mutually exclusive";
       let listen =
@@ -238,7 +243,7 @@ let run stdio listen workers deadline_ms solver_names max_queue max_batch seed
         | Error e -> failwith e
       in
       run_socket ~listen ~workers ~deadline_ms ~solvers ~max_queue ~max_batch
-        ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes
+        ~seed ~summary_file ~cache_dir ~max_table_bytes ~max_lru_bytes ~oracle
         ~prefetch:(not no_prefetch) ~timing
 
 let stdio =
@@ -350,6 +355,17 @@ let max_lru_mb =
            integer).  Least-recently-used problems are evicted past it; \
            default: unbounded, the pre-LRU behaviour.")
 
+let oracle_policy =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "oracle" ] ~docv:"POLICY"
+        ~doc:
+          "Oracle ladder rung for switch-model cases: $(b,dense) (always the \
+           O(1) precomputed tables), $(b,sparse) (always the occurrence index \
+           — linear memory, never densified, bypasses the table cache), or \
+           $(b,auto) (dense while it fits the byte budget; the default).")
+
 let no_prefetch =
   Arg.(
     value & flag
@@ -372,7 +388,7 @@ let cmd =
     Term.(
       const run $ stdio $ listen $ workers $ deadline_ms $ solver_names
       $ max_queue $ max_batch $ seed $ summary_file $ cache_dir $ max_table_mb
-      $ max_lru_mb $ no_prefetch $ no_timing)
+      $ max_lru_mb $ oracle_policy $ no_prefetch $ no_timing)
 
 let () =
   match Cmd.eval' ~catch:false cmd with

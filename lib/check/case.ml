@@ -56,9 +56,10 @@ let oracle_v t =
       Array.map (Array.fold_left ( + ) 0) weights
   | Dag { w; _ } -> [| w |]
 
-let build_oracle t =
+let build_oracle ?policy t =
   match t.spec with
-  | Switch { widths; vs; reqs } -> Interval_cost.of_task_set (task_set widths vs reqs)
+  | Switch { widths; vs; reqs } ->
+      Interval_cost.of_task_set ?policy (task_set widths vs reqs)
   | Weighted { widths; reqs; weights } ->
       (* The task-set vs are placeholders; see [oracle_v]. *)
       let vs = Array.map (fun _ -> 0) widths in
@@ -186,7 +187,7 @@ let to_string t = json_to_string (to_json t)
    table file). *)
 let oracle_key t = Digest.to_hex (Digest.string (json_to_string (spec_to_json t.spec)))
 
-let problem ?max_table_bytes ?cache_dir t =
+let problem ?max_table_bytes ?cache_dir ?oracle t =
   let mk = Problem.make ~params:t.params ~mode:t.mode ~machine_class:t.machine_class in
   (* The fabric extends the problem after the oracle is built — on the
      warm cache path too, since the dense tables are fabric-independent. *)
@@ -194,9 +195,14 @@ let problem ?max_table_bytes ?cache_dir t =
     match t.place with None -> p | Some f -> Hr_place.Joint.attach p f
   in
   extend
-    (match cache_dir with
-    | None -> mk ?max_bytes:max_table_bytes (build_oracle t)
-    | Some dir -> (
+    (match (oracle, cache_dir) with
+    (* A forced-sparse oracle never touches the dense table cache —
+       neither the warm mmap path nor the write-back make sense for an
+       index that is rebuilt in O(input). *)
+    | Some Interval_cost.Sparse, _ ->
+        mk ?max_bytes:max_table_bytes (build_oracle ?policy:oracle t)
+    | _, None -> mk ?max_bytes:max_table_bytes (build_oracle ?policy:oracle t)
+    | _, Some dir -> (
         let cache = Table_cache.of_dir dir in
         let key = oracle_key t in
         (* Warm path: reconstruct the oracle straight from the mapped
@@ -207,7 +213,7 @@ let problem ?max_table_bytes ?cache_dir t =
         | Some oracle -> mk oracle
         | None ->
             mk ?max_bytes:max_table_bytes ~cache_dir:dir ~cache_key:key
-              (build_oracle t)))
+              (build_oracle ?policy:oracle t)))
 
 (* ------------------------------------------------------------------ *)
 (* JSON decoding with validation.  Everything funnels through [check]

@@ -56,16 +56,26 @@ val schema_version : string
 val m : t -> int
 val n : t -> int
 
-(** [problem ?max_table_bytes ?cache_dir t] builds the instance
+(** [problem ?max_table_bytes ?cache_dir ?oracle t] builds the instance
     (precomputed oracle).  [max_table_bytes] caps the dense-table
     memory ({!Hr_core.Problem.make}'s [max_bytes]).  With [cache_dir]
     the dense table is served from the persistent
     {!Hr_core.Table_cache} under {!oracle_key} when a valid entry
     exists — skipping even the oracle construction, so a warm build
     performs no O(m·n²) work — and stored there after a cold build.
-    Raises [Invalid_argument] on an inconsistent case — {!of_string}
+    [oracle] picks the rung of the oracle ladder for switch-model
+    cases ({!Hr_core.Interval_cost.policy}; default [Auto]); forcing
+    [Sparse] bypasses the table cache entirely (an {!Hr_core.Occ_index}
+    rebuilds in O(input), and is never densified).  Weighted and DAG
+    cases build their own oracles and ignore the policy.  Raises
+    [Invalid_argument] on an inconsistent case — {!of_string}
     validates enough that loaded corpus cases never do. *)
-val problem : ?max_table_bytes:int -> ?cache_dir:string -> t -> Hr_core.Problem.t
+val problem :
+  ?max_table_bytes:int ->
+  ?cache_dir:string ->
+  ?oracle:Hr_core.Interval_cost.policy ->
+  t ->
+  Hr_core.Problem.t
 
 (** [oracle_key t] is the persistent-cache key: a hex digest of the
     canonical oracle-spec JSON (the dense tables are a function of the

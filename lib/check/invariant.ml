@@ -218,6 +218,41 @@ let cached_matches_fresh =
                    direct.Solution.exact));
   }
 
+(* The sparse Occ_index oracle must be observationally identical to the
+   dense tables: same step costs, hence the same solve, bit for bit.
+   Both sides run fresh unlimited-budget solves (the ctx solution may
+   have been deadline-cut). *)
+let oracle_agree =
+  {
+    name = "oracle-agree";
+    doc = "forced-sparse oracle solves identically to the dense build";
+    check =
+      (fun ctx ->
+        match ctx.case.Case.spec with
+        | Case.Weighted _ | Case.Dag _ -> Skip "switch cases only"
+        | Case.Switch _ -> (
+            let direct = Solver.solve ~seed:ctx.seed ctx.solver ctx.problem in
+            let sparse_problem =
+              Case.problem ~oracle:Interval_cost.Sparse ctx.case
+            in
+            match Solver.solve ~seed:ctx.seed ctx.solver sparse_problem with
+            | exception e ->
+                Fail ("sparse-oracle solve raised: " ^ Printexc.to_string e)
+            | sparse ->
+                if
+                  sparse.Solution.cost = direct.Solution.cost
+                  && sparse.Solution.exact = direct.Solution.exact
+                  && Breakpoints.equal sparse.Solution.bp direct.Solution.bp
+                then Pass
+                else
+                  Fail
+                    (Printf.sprintf
+                       "sparse-oracle solve differs: cost %d/exact %b vs dense \
+                        cost %d/exact %b"
+                       sparse.Solution.cost sparse.Solution.exact
+                       direct.Solution.cost direct.Solution.exact)));
+  }
+
 let plan_roundtrip =
   {
     name = "plan-io";
@@ -497,6 +532,7 @@ let all =
     cutoff_safe;
     batch_matches_single;
     cached_matches_fresh;
+    oracle_agree;
     plan_roundtrip;
     online_replay;
     place_in_bounds;

@@ -64,6 +64,14 @@ val batch_matches_single : t
     cache directory, removed at exit. *)
 val cached_matches_fresh : t
 
+(** A switch-model case rebuilt with the forced-sparse
+    {!Hr_core.Occ_index} oracle ([Case.problem
+    ~oracle:Interval_cost.Sparse]) solves identically to the dense
+    build — same cost, exactness flag and breakpoint matrix.  Skips
+    weighted/DAG cases (their oracles have no sparse rung).  Both sides
+    solve fresh under an unlimited budget with the ctx seed. *)
+val oracle_agree : t
+
 (** The plan survives a {!Hr_core.Plan_io} round-trip unchanged. *)
 val plan_roundtrip : t
 

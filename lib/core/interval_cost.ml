@@ -8,20 +8,31 @@ type cache =
       hits : int Atomic.t;
       misses : int Atomic.t;
       entries : int Atomic.t;
+      probe_full : int Atomic.t;
+      slot_races : int Atomic.t;
     }
-  | Dense of {
+  | Dense_table of {
       table : Flat_table.t;
       build_ms : float;
       build_workers : int;
       build_seq_ms : float;
       source : dense_source;
     }
+  | Sparse_index of { indexes : Occ_index.t array; build_ms : float }
+
+type policy = Dense | Sparse | Auto
+
+let policy_enum = [ ("dense", Dense); ("sparse", Sparse); ("auto", Auto) ]
 
 type cache_stats = {
   kind : string;
   hits : int;
   misses : int;
+  probe_full : int;
+  slot_races : int;
+  queries : int;
   cells : int;
+  segments : int;
   build_ms : float;
   build_workers : int;
   build_seq_ms : float;
@@ -52,43 +63,47 @@ let word = Sys.word_size / 8
 let memo_table_bytes = memo_shards * memo_slots * word
 let memo_entry_bytes = 3 * word
 
+let no_stats =
+  {
+    kind = "direct";
+    hits = 0;
+    misses = 0;
+    probe_full = 0;
+    slot_races = 0;
+    queries = 0;
+    cells = 0;
+    segments = 0;
+    build_ms = 0.;
+    build_workers = 1;
+    build_seq_ms = 0.;
+    width_bits = 0;
+    bytes_resident = 0;
+    bytes_peak = 0;
+    source = "";
+  }
+
 let cache_stats t =
   match t.cache with
-  | Direct ->
-      {
-        kind = "direct";
-        hits = 0;
-        misses = 0;
-        cells = 0;
-        build_ms = 0.;
-        build_workers = 1;
-        build_seq_ms = 0.;
-        width_bits = 0;
-        bytes_resident = 0;
-        bytes_peak = 0;
-        source = "";
-      }
-  | Memoized { hits; misses; entries } ->
+  | Direct -> no_stats
+  | Memoized { hits; misses; entries; probe_full; slot_races } ->
       let resident = Atomic.get entries in
       {
+        no_stats with
         kind = "memoize";
         hits = Atomic.get hits;
         misses = Atomic.get misses;
+        probe_full = Atomic.get probe_full;
+        slot_races = Atomic.get slot_races;
         cells = resident;
-        build_ms = 0.;
-        build_workers = 1;
-        build_seq_ms = 0.;
         width_bits = 64;
         bytes_resident = memo_table_bytes + (resident * memo_entry_bytes);
         bytes_peak = memo_table_bytes + (memo_shards * memo_slots * memo_entry_bytes);
-        source = "";
       }
-  | Dense { table; build_ms; build_workers; build_seq_ms; source } ->
+  | Dense_table { table; build_ms; build_workers; build_seq_ms; source } ->
       let bytes = Flat_table.bytes table in
       {
+        no_stats with
         kind = "dense";
-        hits = 0;
-        misses = 0;
         cells = Flat_table.length table;
         build_ms;
         build_workers;
@@ -97,6 +112,23 @@ let cache_stats t =
         bytes_resident = bytes;
         bytes_peak = bytes;
         source = (match source with Built -> "built" | Mapped -> "mmap");
+      }
+  | Sparse_index { indexes; build_ms } ->
+      let sum f = Array.fold_left (fun acc ix -> acc + f ix) 0 indexes in
+      let bytes = sum Occ_index.bytes in
+      {
+        no_stats with
+        kind = "sparse";
+        queries = sum Occ_index.queries;
+        (* cells: the occurrence-list entries actually stored — the
+           sparse analogue of the dense table's m·n² cell count. *)
+        cells = sum Occ_index.entries;
+        segments = sum Occ_index.segments;
+        build_ms;
+        build_seq_ms = build_ms;
+        width_bits = 64;
+        bytes_resident = bytes;
+        bytes_peak = bytes;
       }
 
 let make ~m ~n ~v ~step_cost =
@@ -129,7 +161,12 @@ let task_set_fingerprint ts =
   done;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let of_task_set ?pool ts =
+(* 128 MiB: the same ceiling the old 16M-cell ([int array], 8 B/cell)
+   default imposed, but now width-aware — a 16-bit table fits 4x the
+   cells in the same budget. *)
+let default_max_bytes = 128 * 1024 * 1024
+
+let dense_of_task_set ?pool ts =
   let m = Task_set.num_tasks ts in
   let n = Task_set.steps ts in
   let v = Array.init m (fun j -> (Task_set.get ts j).Task_set.v) in
@@ -152,7 +189,38 @@ let of_task_set ?pool ts =
   let step_cost j lo hi = Range_union.size tables.(j) lo hi in
   { (make ~m ~n ~v ~step_cost) with fingerprint = Some (task_set_fingerprint ts) }
 
-let of_single ?pool ~v trace = of_task_set ?pool (Task_set.single ~name:"task" ~v trace)
+let sparse_of_task_set ts =
+  let m = Task_set.num_tasks ts in
+  let n = Task_set.steps ts in
+  let v = Array.init m (fun j -> (Task_set.get ts j).Task_set.v) in
+  let t0 = Hr_util.Budget.now_ms () in
+  let indexes =
+    Array.init m (fun j -> Occ_index.of_trace (Task_set.get ts j).Task_set.trace)
+  in
+  let build_ms = Hr_util.Budget.now_ms () -. t0 in
+  let step_cost j lo hi = Occ_index.size indexes.(j) lo hi in
+  {
+    (make ~m ~n ~v ~step_cost) with
+    cache = Sparse_index { indexes; build_ms };
+    fingerprint = Some (task_set_fingerprint ts);
+  }
+
+(* The projected dense footprint: m triangular Range_union tables plus
+   the m·n² Interval_cost table, both at the 2-byte minimum width — the
+   cheapest the dense rung can possibly be. *)
+let projected_dense_bytes ~m ~n = m * n * n * 3
+
+let of_task_set ?pool ?(policy = Auto) ?(max_bytes = default_max_bytes) ts =
+  match policy with
+  | Dense -> dense_of_task_set ?pool ts
+  | Sparse -> sparse_of_task_set ts
+  | Auto ->
+      let m = Task_set.num_tasks ts and n = Task_set.steps ts in
+      if projected_dense_bytes ~m ~n > max_bytes then sparse_of_task_set ts
+      else dense_of_task_set ?pool ts
+
+let of_single ?pool ?policy ?max_bytes ~v trace =
+  of_task_set ?pool ?policy ?max_bytes (Task_set.single ~name:"task" ~v trace)
 
 (* The memoize fallback: a sharded, fixed-capacity, lock-free cache.
    Each slot is an [Atomic.t] holding an immutable (key, value) pair;
@@ -164,6 +232,7 @@ let memoize t =
   let empty = (min_int, 0) in
   let table = Array.init (memo_shards * memo_slots) (fun _ -> Atomic.make empty) in
   let hits = Atomic.make 0 and misses = Atomic.make 0 and entries = Atomic.make 0 in
+  let probe_full = Atomic.make 0 and slot_races = Atomic.make 0 in
   let step_cost j lo hi =
     let key = (((j * t.n) + lo) * t.n) + hi in
     let h = key * 0x2545F4914F6CDD1D in
@@ -171,7 +240,9 @@ let memoize t =
     let slot0 = (h lsr 6) land (memo_slots - 1) in
     let rec probe k =
       if k >= memo_probe_limit then begin
-        Atomic.incr misses;
+        (* Window exhausted: compute without caching.  Counted apart
+           from misses so telemetry can tell "cold" from "capacity". *)
+        Atomic.incr probe_full;
         t.step_cost j lo hi
       end
       else begin
@@ -184,7 +255,8 @@ let memoize t =
         else if ck = min_int then begin
           Atomic.incr misses;
           let c = t.step_cost j lo hi in
-          if Atomic.compare_and_set slot empty (key, c) then Atomic.incr entries;
+          if Atomic.compare_and_set slot empty (key, c) then Atomic.incr entries
+          else Atomic.incr slot_races;
           c
         end
         else probe (k + 1)
@@ -192,12 +264,11 @@ let memoize t =
     in
     probe 0
   in
-  { t with step_cost; cache = Memoized { hits; misses; entries } }
-
-(* 128 MiB: the same ceiling the old 16M-cell ([int array], 8 B/cell)
-   default imposed, but now width-aware — a 16-bit table fits 4x the
-   cells in the same budget. *)
-let default_max_bytes = 128 * 1024 * 1024
+  {
+    t with
+    step_cost;
+    cache = Memoized { hits; misses; entries; probe_full; slot_races };
+  }
 
 (* [step_cost] is monotone (non-increasing in lo, non-decreasing in
    hi), so the largest cell of task j is the full-interval cost — m
@@ -226,7 +297,8 @@ let of_table ~m ~n ~v table =
     v = Array.copy v;
     step_cost = dense_lookup ~n table;
     cache =
-      Dense { table; build_ms = 0.; build_workers = 1; build_seq_ms = 0.; source = Mapped };
+      Dense_table
+        { table; build_ms = 0.; build_workers = 1; build_seq_ms = 0.; source = Mapped };
     fingerprint = None;
   }
 
@@ -242,8 +314,10 @@ let precompute ?(max_bytes = default_max_bytes) ?cache ?pool t =
   (* Already materialized (or already fallen back): re-densifying would
      only copy the table.  Short-circuiting keeps per-solve calls
      (Mt_ga, Mt_local, Mt_anneal under Solver.race) free once
-     Problem.make has built the shared tables. *)
-  | Dense _ -> t
+     Problem.make has built the shared tables.  A sparse oracle stays
+     sparse — the whole point of forcing [Sparse] is never to pay the
+     n² densification. *)
+  | Dense_table _ | Sparse_index _ -> t
   | _ when t.n = 0 -> t
   | _ ->
       let n = t.n and m = t.m in
@@ -268,7 +342,7 @@ let precompute ?(max_bytes = default_max_bytes) ?cache ?pool t =
               t with
               step_cost = dense_lookup ~n table;
               cache =
-                Dense
+                Dense_table
                   { table; build_ms; build_workers = 1; build_seq_ms = build_ms; source = Mapped };
             }
         | None ->
@@ -335,7 +409,8 @@ let precompute ?(max_bytes = default_max_bytes) ?cache ?pool t =
               t with
               step_cost = dense_lookup ~n tab;
               cache =
-                Dense { table = tab; build_ms; build_workers; build_seq_ms; source = Built };
+                Dense_table
+                  { table = tab; build_ms; build_workers; build_seq_ms; source = Built };
             }
 
 let full_cost t j = if t.n = 0 then 0 else t.step_cost j 0 (t.n - 1)

@@ -30,6 +30,19 @@
     by the oracle so the solver telemetry can report cache behavior. *)
 type cache
 
+(** Which rung of the oracle ladder {!of_task_set} builds:
+    {ul
+    {- [Dense] — always the O(1) precomputed tables, whatever the size;}
+    {- [Sparse] — always the {!Occ_index} occurrence index: O(S log σ)
+       queries, memory linear in the compressed trace, no n² anywhere;}
+    {- [Auto] (the default) — dense while the projected tables fit the
+       byte budget, sparse above it.}} *)
+type policy = Dense | Sparse | Auto
+
+(** Command-line spelling of {!policy} — [("dense", Dense); ("sparse",
+    Sparse); ("auto", Auto)], for {!Hr_util.Cli.enum}. *)
+val policy_enum : (string * policy) list
+
 type t = {
   m : int;  (** number of tasks *)
   n : int;  (** number of synchronized machine steps *)
@@ -48,10 +61,20 @@ type t = {
 (** A telemetry snapshot of the oracle's cache.  [kind] is ["direct"]
     (no cache), ["memoize"] (sharded lock-free cache; [hits]/[misses]
     count queries, [cells] counts the distinct entries actually
-    resident — {e not} the miss count: a miss that lost its slot race
-    or found its probe window full computes without caching) or
-    ["dense"] ([cells] = m·n² precomputed table cells; lookups are
-    uncounted array reads).
+    resident — {e not} the miss count), ["dense"] ([cells] = m·n²
+    precomputed table cells; lookups are uncounted array reads) or
+    ["sparse"] (the {!Occ_index} occurrence index; [queries] counts
+    [step_cost] calls, [cells] the stored occurrence-list entries,
+    [segments] the compressed trace length summed over tasks).
+
+    For ["memoize"], [misses] counts only queries that found an open
+    slot to fill; a query whose probe window was full computes without
+    caching and is counted in [probe_full] instead, and a filling miss
+    that lost its publish race to a concurrent domain is additionally
+    counted in [slot_races] (its computed value is returned but not
+    cached).  So in a single-domain run
+    [cells = misses - slot_races = misses] exactly; [hits + misses +
+    probe_full] is the total query count.
 
     The build-parallelism fields describe how a dense table was
     materialized: [build_ms] is the wall-clock build time,
@@ -77,7 +100,11 @@ type cache_stats = {
   kind : string;
   hits : int;
   misses : int;
+  probe_full : int;
+  slot_races : int;
+  queries : int;
   cells : int;
+  segments : int;
   build_ms : float;
   build_workers : int;
   build_seq_ms : float;
@@ -91,18 +118,38 @@ type cache_stats = {
     lifetime and safe to read while other domains query it. *)
 val cache_stats : t -> cache_stats
 
-(** [of_task_set ?pool ts] is the MT-Switch oracle: [step_cost j lo hi =
-    |U_j(lo,hi)|].  Precomputes the per-task interval-union tables —
-    in parallel on [pool] across tasks (and across [lo] rows for
-    single-task sets, via {!Range_union.make}).  Without [pool], builds
-    of at least {!Flat_table.parallel_build_cells} cells run on the
-    shared {!Hr_util.Pool.default}; smaller ones stay sequential.  The
-    tables are elementwise identical either way.  The oracle carries
-    {!task_set_fingerprint}[ ts] as its [fingerprint]. *)
-val of_task_set : ?pool:Hr_util.Pool.t -> Task_set.t -> t
+(** [of_task_set ?pool ?policy ?max_bytes ts] is the MT-Switch oracle:
+    [step_cost j lo hi = |U_j(lo,hi)|].
 
-(** [of_single ?pool ~v trace] is the single-task switch oracle. *)
-val of_single : ?pool:Hr_util.Pool.t -> v:int -> Trace.t -> t
+    Under the dense rung (the [Auto] default while the projected
+    per-task tables fit [max_bytes], or forced with [Dense]) it
+    precomputes the per-task interval-union tables — in parallel on
+    [pool] across tasks (and across [lo] rows for single-task sets, via
+    {!Range_union.make}).  Without [pool], builds of at least
+    {!Flat_table.parallel_build_cells} cells run on the shared
+    {!Hr_util.Pool.default}; smaller ones stay sequential.  The tables
+    are elementwise identical either way.
+
+    Under the sparse rung ([Sparse], or [Auto] above the budget) it
+    builds one {!Occ_index} per task instead: O(n + requirement
+    entries) build, memory linear in the run-length-compressed trace,
+    O(S log σ) queries — elementwise identical to the dense tables
+    (property-tested), just slower per query.  This is what makes
+    10⁵-step traces feasible: their dense tables would need > 10 GiB.
+    [pool] is unused on this rung.  Sparse oracles are never densified
+    by {!precompute} (solvers query them through [step_cost] as-is).
+
+    [max_bytes] (default {!default_max_bytes}) budgets the {e combined}
+    projected dense footprint, m·n²·3 bytes at the cheapest element
+    width.  Either way the oracle carries {!task_set_fingerprint}[ ts]
+    as its [fingerprint]. *)
+val of_task_set :
+  ?pool:Hr_util.Pool.t -> ?policy:policy -> ?max_bytes:int -> Task_set.t -> t
+
+(** [of_single ?pool ?policy ?max_bytes ~v trace] is the single-task
+    switch oracle. *)
+val of_single :
+  ?pool:Hr_util.Pool.t -> ?policy:policy -> ?max_bytes:int -> v:int -> Trace.t -> t
 
 (** [make ~m ~n ~v ~step_cost] builds a custom oracle (used by the DAG
     and General models).  Custom oracles carry no [fingerprint], so

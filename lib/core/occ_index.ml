@@ -1,0 +1,148 @@
+module Bitset = Hr_util.Bitset
+
+type t = {
+  n : int;
+  space : Switch_space.t;
+  seg_start : int array; (* seg_start.(k) = first step of segment k *)
+  seg_req : Bitset.t array; (* requirement of segment k *)
+  occ : int array array; (* per switch: ascending segment indices *)
+  switches : int array; (* switches with at least one occurrence *)
+  union_cutoff : int; (* segment spans up to this count by direct union *)
+  queries : int Atomic.t;
+}
+
+let of_trace trace =
+  let n = Trace.length trace in
+  let space = Trace.space trace in
+  let width = Switch_space.size space in
+  let segs = Trace.segments trace in
+  let nsegs = Array.length segs in
+  let seg_start = Array.make nsegs 0 in
+  let seg_req = Array.make nsegs (Switch_space.empty space) in
+  let counts = Array.make width 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun k (s : Trace.segment) ->
+      seg_start.(k) <- !pos;
+      seg_req.(k) <- s.Trace.req;
+      pos := !pos + s.Trace.len;
+      Bitset.iter (fun sw -> counts.(sw) <- counts.(sw) + 1) s.Trace.req)
+    segs;
+  let occ = Array.init width (fun sw -> Array.make counts.(sw) 0) in
+  let fill = Array.make width 0 in
+  Array.iteri
+    (fun k req ->
+      Bitset.iter
+        (fun sw ->
+          occ.(sw).(fill.(sw)) <- k;
+          fill.(sw) <- fill.(sw) + 1)
+        req)
+    seg_req;
+  let switches =
+    let present = ref [] in
+    for sw = width - 1 downto 0 do
+      if counts.(sw) > 0 then present := sw :: !present
+    done;
+    Array.of_list !present
+  in
+  (* The two query strategies cost ~(span · bitset words) vs
+     ~(occurring switches · log segments); the cutoff picks whichever
+     is cheaper per query, so short spans — the bulk of what greedy
+     heuristics and windowed DPs ask — stay O(span). *)
+  let words = ((width + 63) / 64) + 1 in
+  let log2 =
+    let rec go acc k = if k <= 1 then acc else go (acc + 1) (k / 2) in
+    go 1 nsegs
+  in
+  let union_cutoff = max 1 (Array.length switches * log2 / words) in
+  {
+    n;
+    space;
+    seg_start;
+    seg_req;
+    occ;
+    switches;
+    union_cutoff;
+    queries = Atomic.make 0;
+  }
+
+let length t = t.n
+let segments t = Array.length t.seg_start
+
+(* Greatest [k] with [seg_start.(k) <= step] — the segment containing
+   the step.  The steps of a segment share one requirement, so every
+   step-range query reduces to a segment-range query. *)
+let seg_of t step =
+  let lo = ref 0 and hi = ref (Array.length t.seg_start - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.seg_start.(mid) <= step then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Least index [i] with [a.(i) >= k], or [length a] when none. *)
+let lower_bound a k =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let check_range t lo hi =
+  if lo < 0 || hi >= t.n || lo > hi then
+    invalid_arg (Printf.sprintf "Occ_index: bad range [%d,%d] (n=%d)" lo hi t.n)
+
+let size t lo hi =
+  check_range t lo hi;
+  Atomic.incr t.queries;
+  let slo = seg_of t lo and shi = seg_of t hi in
+  if shi - slo < t.union_cutoff then begin
+    (* Short span: accumulate the union directly — O(span) one-word
+       bitset unions beats a binary search per occurring switch. *)
+    if slo = shi then Bitset.cardinal t.seg_req.(slo)
+    else begin
+      let acc = ref (Bitset.copy t.seg_req.(slo)) in
+      for k = slo + 1 to shi do
+        acc := Bitset.union_into ~into:!acc t.seg_req.(k)
+      done;
+      Bitset.cardinal !acc
+    end
+  end
+  else begin
+    let count = ref 0 in
+    for i = 0 to Array.length t.switches - 1 do
+      let occ = t.occ.(t.switches.(i)) in
+      (* next_occ: the switch's first occurrence at or after segment
+         [slo]; the switch is in U(lo,hi) iff that occurrence is ≤ shi. *)
+      let k = lower_bound occ slo in
+      if k < Array.length occ && occ.(k) <= shi then incr count
+    done;
+    !count
+  end
+
+let union t lo hi =
+  check_range t lo hi;
+  let slo = seg_of t lo and shi = seg_of t hi in
+  let acc = ref (Bitset.copy t.seg_req.(slo)) in
+  for k = slo + 1 to shi do
+    acc := Bitset.union_into ~into:!acc t.seg_req.(k)
+  done;
+  !acc
+
+let queries t = Atomic.get t.queries
+
+let entries t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.occ
+
+let word = Sys.word_size / 8
+
+let bytes t =
+  (* Words held by the index proper: the two per-segment arrays, the
+     per-switch occurrence lists (headers + cells), and the segment
+     requirement bitsets (one word of payload per 64 switches, plus
+     headers). *)
+  let nsegs = Array.length t.seg_start in
+  let occ_cells = Array.fold_left (fun acc a -> acc + Array.length a + 1) 0 t.occ in
+  let width = Switch_space.size t.space in
+  let bitset_words = ((width + 63) / 64) + 2 in
+  ((2 * nsegs) + occ_cells + Array.length t.switches + (nsegs * bitset_words)) * word

@@ -54,9 +54,10 @@ let plain t = Option.is_none t.ext
 let with_ext t ext = { t with ext = Some ext }
 let without_ext t = { t with ext = None }
 
-let of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool ts =
+let of_task_set ?params ?mode ?machine_class ?oracle ?max_bytes ?cache_dir ?pool
+    ts =
   make ?params ?mode ?machine_class ?max_bytes ?cache_dir ?pool
-    (Interval_cost.of_task_set ?pool ts)
+    (Interval_cost.of_task_set ?pool ?policy:oracle ?max_bytes ts)
 
 let of_trace ?v ?params trace =
   let v = match v with Some v -> v | None -> Switch_space.size (Trace.space trace) in

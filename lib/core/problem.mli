@@ -106,15 +106,20 @@ val with_ext : t -> extension -> t
 
 val without_ext : t -> t
 
-(** [of_task_set ?params ?mode ?machine_class ?max_bytes ?cache_dir
-    ?pool ts] — the MT-Switch instance of a task set; [pool]
-    parallelizes both the range-union and the dense-table build;
+(** [of_task_set ?params ?mode ?machine_class ?oracle ?max_bytes
+    ?cache_dir ?pool ts] — the MT-Switch instance of a task set;
+    [pool] parallelizes both the range-union and the dense-table build;
     [max_bytes]/[cache_dir] as in {!make} (the cache key is
-    {!Interval_cost.task_set_fingerprint}). *)
+    {!Interval_cost.task_set_fingerprint}).  [oracle] picks the rung of
+    the oracle ladder (see {!Interval_cost.policy}): [Auto] (the
+    default) builds dense tables while they fit [max_bytes] and the
+    sparse {!Occ_index} above it; a sparse oracle is never densified
+    and is solved through [step_cost] queries. *)
 val of_task_set :
   ?params:Sync_cost.params ->
   ?mode:Mixed_sync.mode ->
   ?machine_class:machine_class ->
+  ?oracle:Interval_cost.policy ->
   ?max_bytes:int ->
   ?cache_dir:string ->
   ?pool:Hr_util.Pool.t ->

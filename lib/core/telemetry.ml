@@ -352,7 +352,11 @@ let oracle_to_json (o : Interval_cost.cache_stats) =
       ("kind", String o.Interval_cost.kind);
       ("hits", Int o.Interval_cost.hits);
       ("misses", Int o.Interval_cost.misses);
+      ("probe_full", Int o.Interval_cost.probe_full);
+      ("slot_races", Int o.Interval_cost.slot_races);
+      ("queries", Int o.Interval_cost.queries);
       ("cells", Int o.Interval_cost.cells);
+      ("segments", Int o.Interval_cost.segments);
       ("build_ms", Float o.Interval_cost.build_ms);
       ("build_workers", Int o.Interval_cost.build_workers);
       ("build_seq_ms", Float o.Interval_cost.build_seq_ms);

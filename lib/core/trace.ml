@@ -56,6 +56,42 @@ let project t keep ~to_space ~renumber =
   in
   { space = to_space; reqs = Array.map project_one t.reqs }
 
+type segment = { len : int; req : Bitset.t }
+
+let segments t =
+  let n = Array.length t.reqs in
+  if n = 0 then [||]
+  else begin
+    let segs = ref [] and start = ref 0 in
+    for i = 1 to n - 1 do
+      if not (Bitset.equal t.reqs.(i) t.reqs.(!start)) then begin
+        segs := { len = i - !start; req = t.reqs.(!start) } :: !segs;
+        start := i
+      end
+    done;
+    segs := { len = n - !start; req = t.reqs.(!start) } :: !segs;
+    Array.of_list (List.rev !segs)
+  end
+
+let of_segments space segs =
+  Array.iteri
+    (fun k s ->
+      if s.len <= 0 then
+        invalid_arg
+          (Printf.sprintf "Trace.of_segments: segment %d has length %d" k s.len))
+    segs;
+  let n = Array.fold_left (fun acc s -> acc + s.len) 0 segs in
+  let reqs = Array.make (max n 1) (Switch_space.empty space) in
+  let pos = ref 0 in
+  Array.iter
+    (fun s ->
+      for _ = 1 to s.len do
+        reqs.(!pos) <- s.req;
+        incr pos
+      done)
+    segs;
+  make space (if n = 0 then [||] else reqs)
+
 let sizes t = Array.map Bitset.cardinal t.reqs
 
 let pp ppf t =

@@ -52,6 +52,26 @@ val concat : t -> t -> t
 val project :
   t -> Hr_util.Bitset.t -> to_space:Switch_space.t -> renumber:(int -> int) -> t
 
+(** A maximal run of identical requirement steps: [len ≥ 1] consecutive
+    steps all requiring exactly [req].  Adjacent segments of
+    {!segments} always have unequal requirements. *)
+type segment = { len : int; req : Hr_util.Bitset.t }
+
+(** [segments t] is the run-length compression of [t]: the unique
+    partition of its steps into maximal runs of equal requirements, in
+    trace order.  Phase-structured traces (long dwells between bursts
+    of reconfiguration) compress 10–100x; {!Occ_index} builds its
+    occurrence lists over segments so its memory and build time scale
+    with the {e compressed} length.  O(n) bitset comparisons; the
+    returned [req]s share the trace's bitsets (do not mutate them). *)
+val segments : t -> segment array
+
+(** [of_segments space segs] expands a segment array back into a trace
+    — the inverse of {!segments} ([of_segments space (segments t) ≡ t]
+    up to bitset sharing).  Raises [Invalid_argument] on a non-positive
+    segment length or a width mismatch. *)
+val of_segments : Switch_space.t -> segment array -> t
+
 (** [sizes t] is the array of requirement cardinalities — handy for
     trace statistics. *)
 val sizes : t -> int array

@@ -6,7 +6,7 @@ type parsed =
   | Request of Batch.request
   | Malformed of { id : string; error : string }
 
-let parse_line ?max_table_bytes ?cache_dir ~fallback_id line =
+let parse_line ?max_table_bytes ?cache_dir ?oracle ~fallback_id line =
   match Telemetry.json_of_string line with
   | Error e -> Malformed { id = fallback_id; error = e }
   | Ok json ->
@@ -44,7 +44,7 @@ let parse_line ?max_table_bytes ?cache_dir ~fallback_id line =
                ~key:(Digest.to_hex (Digest.string (Check.Case.to_string case)))
                ?budget:(Option.map Budget.of_deadline_ms deadline_ms)
                ~id (fun () ->
-                 Check.Case.problem ?max_table_bytes ?cache_dir case)))
+                 Check.Case.problem ?max_table_bytes ?cache_dir ?oracle case)))
 
 let response_line ?timing r =
   Telemetry.json_to_string (Batch.response_to_json ?timing r)

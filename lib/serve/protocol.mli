@@ -13,17 +13,18 @@ type parsed =
   | Request of Hr_core.Batch.request
   | Malformed of { id : string; error : string }
 
-(** [parse_line ?max_table_bytes ?cache_dir ~fallback_id line] parses
-    one request line.  The request is keyed by the digest of the
+(** [parse_line ?max_table_bytes ?cache_dir ?oracle ~fallback_id line]
+    parses one request line.  The request is keyed by the digest of the
     canonical case JSON (the cross-batch dedup/LRU key), builds its
     problem through [Hr_check.Case.problem] with the given table-cache
-    knobs, and — when the envelope carries [deadline_ms] — gets a
-    per-request budget that starts ticking now, at admission, so queue
-    wait counts against it.  [fallback_id] is used when the envelope
-    does not choose an id. *)
+    and oracle-policy knobs, and — when the envelope carries
+    [deadline_ms] — gets a per-request budget that starts ticking now,
+    at admission, so queue wait counts against it.  [fallback_id] is
+    used when the envelope does not choose an id. *)
 val parse_line :
   ?max_table_bytes:int ->
   ?cache_dir:string ->
+  ?oracle:Hr_core.Interval_cost.policy ->
   fallback_id:string ->
   string ->
   parsed

@@ -43,6 +43,7 @@ type config = {
   max_lru_bytes : int option;
   max_table_bytes : int option;
   cache_dir : string option;
+  oracle : Interval_cost.policy option;
   prefetch : bool;
   timing : bool;
   before_batch : (unit -> unit) option;
@@ -50,7 +51,7 @@ type config = {
 
 let config ?workers ?deadline_ms ?(max_queue = 64) ?max_batch
     ?(seed = Solver.default_seed) ?(solvers = Solver_registry.applicable)
-    ?max_lru_bytes ?max_table_bytes ?cache_dir ?(prefetch = true)
+    ?max_lru_bytes ?max_table_bytes ?cache_dir ?oracle ?(prefetch = true)
     ?(timing = true) ?before_batch listen =
   if max_queue < 1 then invalid_arg "Server.config: max_queue must be >= 1";
   let max_batch = max 1 (Option.value max_batch ~default:max_queue) in
@@ -65,6 +66,7 @@ let config ?workers ?deadline_ms ?(max_queue = 64) ?max_batch
     max_lru_bytes;
     max_table_bytes;
     cache_dir;
+    oracle;
     prefetch;
     timing;
     before_batch;
@@ -309,7 +311,7 @@ let handle_conn t fd =
     | line ->
         (match
            Protocol.parse_line ?max_table_bytes:t.cfg.max_table_bytes
-             ?cache_dir:t.cfg.cache_dir
+             ?cache_dir:t.cfg.cache_dir ?oracle:t.cfg.oracle
              ~fallback_id:(Printf.sprintf "#%d" k)
              line
          with

@@ -35,6 +35,8 @@ type config = {
   max_lru_bytes : int option;  (** oracle LRU byte budget; None = unbounded *)
   max_table_bytes : int option;  (** per-problem dense-table cap *)
   cache_dir : string option;  (** persistent on-disk table cache *)
+  oracle : Hr_core.Interval_cost.policy option;
+      (** oracle ladder rung for switch-model cases; None = Auto *)
   prefetch : bool;  (** prewarm likely-next oracles when idle *)
   timing : bool;  (** false zeroes wall_ms in responses (determinism) *)
   before_batch : (unit -> unit) option;
@@ -53,6 +55,7 @@ val config :
   ?max_lru_bytes:int ->
   ?max_table_bytes:int ->
   ?cache_dir:string ->
+  ?oracle:Hr_core.Interval_cost.policy ->
   ?prefetch:bool ->
   ?timing:bool ->
   ?before_batch:(unit -> unit) ->

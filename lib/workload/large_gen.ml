@@ -1,0 +1,78 @@
+open Hr_core
+module Shyra = Hr_shyra
+module Tracer = Shyra.Tracer
+
+let default_burst = 24
+let default_dwell = 232
+
+(* A small deterministic LCG (a 63-bit-safe 64-bit-LCG multiplier): the
+   generator must produce identical traces on every run and platform
+   for a given seed — benches and CI smoke tests compare against
+   them. *)
+type rng = { mutable state : int }
+
+let make_rng seed = { state = (seed * 0x9E3779B9) lxor 0x6A09E667 }
+
+let next rng bound =
+  rng.state <- ((rng.state * 2862933555777941757) + 3037000493) land max_int;
+  (rng.state lsr 17) mod bound
+
+type phase = Lfsr | Rule90 | Fsm
+
+let phases = [| Lfsr; Rule90; Fsm |]
+
+(* One application burst: run a real SHyRA program for roughly [budget]
+   machine cycles and extract its word-granular reconfiguration trace.
+   Bursts are where the requirements actually churn — nearly every
+   cycle is its own run-length segment. *)
+let burst_reqs rng kind budget =
+  let program =
+    match kind with
+    | Lfsr -> Shyra.Lfsr.build ~steps:(max 1 (budget / Shyra.Lfsr.step_cycles))
+    | Rule90 ->
+        Shyra.Rule90.build ~steps:(max 1 (budget / Shyra.Rule90.step_cycles))
+    | Fsm ->
+        let spec =
+          if next rng 2 = 0 then Shyra.Fsm.detector_101 else Shyra.Fsm.parity_fsm
+        in
+        let inputs = List.init budget (fun _ -> next rng 2 = 1) in
+        fst (Shyra.Fsm.run spec inputs)
+  in
+  Trace.reqs (Tracer.trace ~mode:Tracer.Field_diff program)
+
+let trace ?(burst = default_burst) ?(dwell = default_dwell) ~seed ~steps () =
+  if steps <= 0 then invalid_arg "Large_gen.trace: steps must be positive";
+  if burst <= 0 then invalid_arg "Large_gen.trace: burst must be positive";
+  if dwell < 0 then invalid_arg "Large_gen.trace: dwell must be >= 0";
+  let space = Shyra.Config.space in
+  let empty = Switch_space.empty space in
+  let rng = make_rng seed in
+  let chunks = ref [] and have = ref 0 and k = ref 0 in
+  while !have < steps do
+    (* Cycle through the three applications so every generated trace
+       mixes all phase shapes; the RNG varies FSM specs, inputs and
+       dwell lengths. *)
+    let reqs = burst_reqs rng phases.(!k mod Array.length phases) burst in
+    incr k;
+    chunks := reqs :: !chunks;
+    have := !have + Array.length reqs;
+    (* The dwell: the application holds its configuration, so the
+       requirement is empty for a long stretch — one run-length segment
+       however long it is.  Jittered around [dwell] so the trace is not
+       exactly periodic. *)
+    let d = if dwell = 0 then 0 else (dwell / 2) + next rng (dwell + 1) in
+    if d > 0 then begin
+      chunks := Array.make d empty :: !chunks;
+      have := !have + d
+    end
+  done;
+  let all = Array.concat (List.rev !chunks) in
+  Trace.make space (Array.sub all 0 steps)
+
+let task_set ?burst ?dwell ~seed ~steps ~tasks () =
+  if tasks <= 0 then invalid_arg "Large_gen.task_set: tasks must be positive";
+  Task_set.make
+    (Array.init tasks (fun j ->
+         Task_set.task
+           ~name:(Printf.sprintf "gen%d" j)
+           (trace ?burst ?dwell ~seed:(seed + (j * 7919)) ~steps ())))

@@ -1,0 +1,49 @@
+(** Large phase-structured trace generation — the 10⁴–10⁵-step
+    workloads of the sparse-oracle track (docs/scaling.md).
+
+    Real reconfigurable workloads are {e phasic}: short bursts of
+    reconfiguration (an application rewires itself) separated by long
+    dwells in which the configuration holds still.  The generator
+    reproduces that shape from first principles rather than sampling
+    random requirements: each burst is a real SHyRA program — the
+    self-reconfiguring FSMs, the LFSR, the Rule 90 automaton — traced
+    at word granularity ({!Hr_shyra.Tracer.Field_diff}), and each dwell
+    is a run of empty requirements.
+
+    The dwells are what makes the instances tractable at scale: a
+    dwell of any length is a single run-length segment, so
+    {!Hr_core.Trace.segments} compresses a generated trace roughly
+    [(burst + dwell) / burst]-fold (≈ 10x at the defaults) and the
+    sparse {!Hr_core.Occ_index} stays small even at 10⁵ steps, where
+    dense tables would need tens of GiB.
+
+    Deterministic: the same (seed, steps, burst, dwell) always yields
+    the same trace, on every platform. *)
+
+(** Default burst budget in machine cycles (24). *)
+val default_burst : int
+
+(** Default mean dwell length in steps (232). *)
+val default_dwell : int
+
+(** [trace ?burst ?dwell ~seed ~steps ()] generates a [steps]-step
+    trace over {!Hr_shyra.Config.space} (48 switches): looped
+    FSM/LFSR/Rule-90 bursts of roughly [burst] cycles each, separated
+    by empty-requirement dwells jittered around [dwell] steps.  Raises
+    [Invalid_argument] on [steps <= 0], [burst <= 0] or [dwell < 0]. *)
+val trace :
+  ?burst:int -> ?dwell:int -> seed:int -> steps:int -> unit -> Hr_core.Trace.t
+
+(** [task_set ?burst ?dwell ~seed ~steps ~tasks ()] builds a
+    fully synchronized [tasks]-task instance: each task gets its own
+    independently generated trace (seed offset per task) over the full
+    48-switch space, with the default local hyperreconfiguration cost
+    [v = 48]. *)
+val task_set :
+  ?burst:int ->
+  ?dwell:int ->
+  seed:int ->
+  steps:int ->
+  tasks:int ->
+  unit ->
+  Hr_core.Task_set.t

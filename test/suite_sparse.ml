@@ -1,0 +1,242 @@
+(* Sparse oracle rung: Occ_index vs Range_union conformance, trace
+   segment round-trips, dense/sparse plan bit-identity, the large-trace
+   generator, and the new memoize/sparse telemetry counters. *)
+
+open Hr_core
+module Bitset = Hr_util.Bitset
+module Rng = Hr_util.Rng
+module W = Hr_workload
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* Random trace with run-length structure: geometric dwell per
+   requirement so segments are non-trivial but plentiful. *)
+let random_trace rng ~width ~n =
+  let space = Switch_space.make width in
+  let reqs = Array.make n (Switch_space.empty space) in
+  let i = ref 0 in
+  while !i < n do
+    let req = Bitset.create width in
+    for s = 0 to width - 1 do
+      if Rng.int rng 3 = 0 then ignore (Bitset.add req s)
+    done;
+    let dwell = 1 + Rng.int rng 5 in
+    let stop = min n (!i + dwell) in
+    while !i < stop do
+      reqs.(!i) <- req;
+      incr i
+    done
+  done;
+  Trace.make space reqs
+
+let traces_equal a b =
+  Trace.length a = Trace.length b
+  && Switch_space.size (Trace.space a) = Switch_space.size (Trace.space b)
+  &&
+  let ok = ref true in
+  for i = 0 to Trace.length a - 1 do
+    if not (Bitset.equal (Trace.req a i) (Trace.req b i)) then ok := false
+  done;
+  !ok
+
+(* Occ_index.size must agree with Range_union.size on EVERY (lo,hi) —
+   the widths straddle one bitset word (48) and several (130) so both
+   the short-span union path and the occurrence-list path run. *)
+let test_occ_matches_range_union () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun (width, n) ->
+      let t = random_trace rng ~width ~n in
+      let ru = Range_union.make t in
+      let oi = Occ_index.of_trace t in
+      check int "length" (Trace.length t) (Occ_index.length oi);
+      for lo = 0 to n - 1 do
+        for hi = lo to n - 1 do
+          let want = Range_union.size ru lo hi in
+          let got = Occ_index.size oi lo hi in
+          if want <> got then
+            Alcotest.failf "width=%d n=%d [%d,%d]: range_union=%d occ=%d"
+              width n lo hi want got
+        done
+      done;
+      check bool "queries counted" true
+        (Occ_index.queries oi >= n * (n + 1) / 2))
+    [ (8, 40); (48, 64); (130, 48); (5, 1) ]
+
+let test_occ_union_matches () =
+  let rng = Rng.create 42 in
+  let t = random_trace rng ~width:20 ~n:50 in
+  let ru = Range_union.make t in
+  let oi = Occ_index.of_trace t in
+  for lo = 0 to 49 do
+    for hi = lo to 49 do
+      if not (Bitset.equal (Range_union.union ru lo hi) (Occ_index.union oi lo hi))
+      then Alcotest.failf "union mismatch on [%d,%d]" lo hi
+    done
+  done
+
+let test_occ_bad_range () =
+  let t = random_trace (Rng.create 1) ~width:4 ~n:10 in
+  let oi = Occ_index.of_trace t in
+  List.iter
+    (fun (lo, hi) ->
+      match Occ_index.size oi lo hi with
+      | _ -> Alcotest.failf "range [%d,%d] should raise" lo hi
+      | exception Invalid_argument _ -> ())
+    [ (-1, 0); (0, 10); (5, 4) ]
+
+let test_segments_roundtrip () =
+  let rng = Rng.create 7 in
+  List.iter
+    (fun (width, n) ->
+      let t = random_trace rng ~width ~n in
+      let segs = Trace.segments t in
+      (* maximality: adjacent segments differ, lengths are positive and
+         sum to n *)
+      let total = ref 0 in
+      Array.iteri
+        (fun k (s : Trace.segment) ->
+          check bool "positive len" true (s.Trace.len > 0);
+          total := !total + s.Trace.len;
+          if k > 0 then
+            check bool "adjacent segments differ" false
+              (Bitset.equal s.Trace.req segs.(k - 1).Trace.req))
+        segs;
+      check int "lens sum to n" n !total;
+      let back = Trace.of_segments (Trace.space t) segs in
+      check bool "round-trip" true (traces_equal t back))
+    [ (8, 1); (8, 100); (70, 64) ]
+
+let solve_both ts =
+  let dense = Interval_cost.of_task_set ~policy:Interval_cost.Dense ts in
+  let sparse = Interval_cost.of_task_set ~policy:Interval_cost.Sparse ts in
+  (dense, sparse)
+
+(* Dense and sparse are different data structures answering the same
+   queries, so every solver must produce bit-identical plans on top of
+   either rung. *)
+let test_dense_sparse_plans_identical () =
+  let rng = Rng.create 13 in
+  for round = 0 to 4 do
+    let m = 1 + Rng.int rng 3 in
+    let tasks =
+      Array.init m (fun j ->
+          Task_set.task
+            ~name:(Printf.sprintf "t%d" j)
+            ~v:(Rng.int rng 4)
+            (random_trace rng ~width:(4 + Rng.int rng 8) ~n:24))
+    in
+    let ts = Task_set.make tasks in
+    let dense, sparse = solve_both ts in
+    (* elementwise first: the oracle cells themselves *)
+    for j = 0 to m - 1 do
+      for lo = 0 to 23 do
+        for hi = lo to 23 do
+          if
+            dense.Interval_cost.step_cost j lo hi
+            <> sparse.Interval_cost.step_cost j lo hi
+          then Alcotest.failf "round %d: cell (%d,%d,%d) differs" round j lo hi
+        done
+      done
+    done;
+    let dd = Mt_dp.solve dense and ds = Mt_dp.solve sparse in
+    check int "mt-dp cost" dd.Mt_dp.cost ds.Mt_dp.cost;
+    check bool "mt-dp plan" true (Breakpoints.equal dd.Mt_dp.bp ds.Mt_dp.bp);
+    let gd = Mt_greedy.best dense and gs = Mt_greedy.best sparse in
+    check int "greedy cost" gd.Mt_greedy.cost gs.Mt_greedy.cost;
+    check bool "greedy plan" true
+      (Breakpoints.equal gd.Mt_greedy.bp gs.Mt_greedy.bp)
+  done
+
+let test_auto_policy_picks_rung () =
+  let rng = Rng.create 99 in
+  let ts =
+    Task_set.make
+      [| Task_set.task ~name:"t0" ~v:1 (random_trace rng ~width:8 ~n:40) |]
+  in
+  let tiny = Interval_cost.of_task_set ~policy:Interval_cost.Auto ~max_bytes:1 ts in
+  check Alcotest.string "auto over budget -> sparse" "sparse"
+    (Interval_cost.cache_stats tiny).Interval_cost.kind;
+  (* the dense rung reports "direct" until [precompute] flattens it *)
+  let roomy = Interval_cost.of_task_set ~policy:Interval_cost.Auto ts in
+  check Alcotest.string "auto under budget -> dense rung" "direct"
+    (Interval_cost.cache_stats roomy).Interval_cost.kind
+
+let test_sparse_cache_stats () =
+  let ts = W.Large_gen.task_set ~seed:5 ~steps:2000 ~tasks:2 () in
+  let o = Interval_cost.of_task_set ~policy:Interval_cost.Sparse ts in
+  let before = Interval_cost.cache_stats o in
+  check Alcotest.string "kind" "sparse" before.Interval_cost.kind;
+  check int "no queries yet" 0 before.Interval_cost.queries;
+  check bool "segments" true (before.Interval_cost.segments > 0);
+  check bool "entries" true (before.Interval_cost.cells > 0);
+  check bool "bytes" true (before.Interval_cost.bytes_resident > 0);
+  ignore (o.Interval_cost.step_cost 0 0 1999);
+  ignore (o.Interval_cost.step_cost 1 10 20);
+  let after = Interval_cost.cache_stats o in
+  check int "queries counted" 2 after.Interval_cost.queries;
+  (* precompute must never densify a sparse oracle *)
+  let p = Interval_cost.precompute o in
+  check Alcotest.string "precompute keeps sparse" "sparse"
+    (Interval_cost.cache_stats p).Interval_cost.kind
+
+(* Single-domain memoize accounting: every query is exactly one of
+   hit / miss (open-slot fill) / probe_full, and without contention
+   there are no slot races, so cells = misses. *)
+let test_memoize_counters () =
+  let rng = Rng.create 23 in
+  let ts =
+    Task_set.make
+      [| Task_set.task ~name:"t0" ~v:2 (random_trace rng ~width:10 ~n:60) |]
+  in
+  let base = Interval_cost.of_task_set ~policy:Interval_cost.Sparse ts in
+  let memo = Interval_cost.memoize base in
+  let total = ref 0 in
+  for _ = 1 to 3 do
+    for lo = 0 to 59 do
+      for hi = lo to 59 do
+        ignore (memo.Interval_cost.step_cost 0 lo hi);
+        incr total
+      done
+    done
+  done;
+  let s = Interval_cost.cache_stats memo in
+  check Alcotest.string "kind" "memoize" s.Interval_cost.kind;
+  check int "no races single-domain" 0 s.Interval_cost.slot_races;
+  check int "cells = misses" s.Interval_cost.misses s.Interval_cost.cells;
+  check int "hits + misses + probe_full = queries" !total
+    (s.Interval_cost.hits + s.Interval_cost.misses + s.Interval_cost.probe_full);
+  check bool "some hits on repeat rounds" true (s.Interval_cost.hits > 0)
+
+let test_large_gen_deterministic () =
+  let a = W.Large_gen.trace ~seed:2004 ~steps:3000 () in
+  let b = W.Large_gen.trace ~seed:2004 ~steps:3000 () in
+  check bool "same seed, same trace" true (traces_equal a b);
+  let c = W.Large_gen.trace ~seed:2005 ~steps:3000 () in
+  check bool "different seed, different trace" false (traces_equal a c);
+  check int "length honoured" 3000 (Trace.length a);
+  let nsegs = Array.length (Trace.segments a) in
+  check bool "compresses at least 4x" true (nsegs * 4 < 3000);
+  (* per-task seeds differ within a set *)
+  let ts = W.Large_gen.task_set ~seed:2004 ~steps:500 ~tasks:2 () in
+  check bool "tasks differ" false
+    (traces_equal (Task_set.get ts 0).Task_set.trace
+       (Task_set.get ts 1).Task_set.trace)
+
+let tests =
+  [
+    Alcotest.test_case "occ_index matches range_union" `Quick
+      test_occ_matches_range_union;
+    Alcotest.test_case "occ_index union matches" `Quick test_occ_union_matches;
+    Alcotest.test_case "occ_index bad range" `Quick test_occ_bad_range;
+    Alcotest.test_case "segments round-trip" `Quick test_segments_roundtrip;
+    Alcotest.test_case "dense/sparse plans identical" `Quick
+      test_dense_sparse_plans_identical;
+    Alcotest.test_case "auto policy picks rung" `Quick test_auto_policy_picks_rung;
+    Alcotest.test_case "sparse cache stats" `Quick test_sparse_cache_stats;
+    Alcotest.test_case "memoize counters" `Quick test_memoize_counters;
+    Alcotest.test_case "large_gen deterministic" `Quick
+      test_large_gen_deterministic;
+  ]

@@ -34,4 +34,5 @@ let () =
       ("robust", Suite_robust.tests);
       ("online", Suite_online.tests);
       ("place", Suite_place.tests);
+      ("sparse", Suite_sparse.tests);
     ]
